@@ -1,0 +1,137 @@
+//! Distinctiveness-sensitive nearest-neighbor ranking, in the spirit of
+//! Katayama & Satoh (ICDE 2001) — reference \[19\] of the paper.
+//!
+//! §1 cites \[19\] as independent confirmation that "distinctiveness
+//! sensitive nearest neighbor search leads to higher quality of retrieval":
+//! a neighbor is only valuable if it can be *discriminated* from the rest
+//! of the database at the scale of its distance to the query. A candidate
+//! buried in a diffuse crowd — where many interchangeable points sit within
+//! the same distance scale — is a low-value answer even when its raw
+//! distance is small.
+//!
+//! Here each candidate `x` is scored by the number of other database points
+//! lying within `α · dist(q, x)` of `x` (its *indistinctness*); candidates
+//! are ranked by `(indistinctness, raw distance)`, so among equally
+//! distinctive points the nearest still wins.
+
+use crate::knn::{knn_indices, Metric};
+
+/// Fraction of the query distance used as the discrimination radius.
+const ALPHA: f64 = 0.5;
+
+/// Rank the `k` most *distinctive* neighbors of `query`.
+///
+/// The `candidate_pool` nearest candidates are re-ranked by indistinctness
+/// (see module docs); `local_cap` bounds the neighbor count examined per
+/// candidate (indistinctness saturates there — beyond a screenful of
+/// interchangeable points, more of them no longer matters).
+///
+/// # Panics
+/// Panics if `points` is empty or `local_cap == 0`.
+pub fn distinctiveness_knn(
+    points: &[Vec<f64>],
+    query: &[f64],
+    k: usize,
+    candidate_pool: usize,
+    local_cap: usize,
+    metric: Metric,
+) -> Vec<usize> {
+    assert!(!points.is_empty(), "distinctiveness_knn: empty data");
+    assert!(
+        local_cap > 0,
+        "distinctiveness_knn: local_cap must be positive"
+    );
+    let pool = knn_indices(points, query, candidate_pool.max(k), metric);
+    let mut scored: Vec<(usize, f64, usize)> = pool
+        .into_iter()
+        .map(|i| {
+            let x = &points[i];
+            let d_q = metric.dist(x, query);
+            let radius = ALPHA * d_q;
+            // Count other points within the discrimination radius, capped.
+            let mut indistinct = 0usize;
+            for (j, p) in points.iter().enumerate() {
+                if j != i && metric.dist(p, x) <= radius {
+                    indistinct += 1;
+                    if indistinct >= local_cap {
+                        break;
+                    }
+                }
+            }
+            (indistinct, d_q, i)
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.1.partial_cmp(&b.1).expect("NaN distance"))
+            .then(a.2.cmp(&b.2))
+    });
+    scored.into_iter().take(k).map(|(_, _, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefers_distinct_points_over_generic_crowd() {
+        // Query at 10.5. A pair of isolated points near x=10 is distinctive;
+        // a diffuse crowd spanning x=6..9 is closer on average to nothing —
+        // each crowd member has many interchangeable peers at its
+        // query-distance scale.
+        let mut pts: Vec<Vec<f64>> = Vec::new();
+        pts.push(vec![10.0]); // index 0: distinctive
+        pts.push(vec![9.8]); // index 1: distinctive
+        for i in 0..30 {
+            pts.push(vec![6.0 + 0.1 * i as f64]); // crowd, indices 2..32
+        }
+        let query = [10.5];
+        let top = distinctiveness_knn(&pts, &query, 2, 20, 16, Metric::L2);
+        assert_eq!(top, vec![0, 1], "isolated near points must rank first");
+    }
+
+    #[test]
+    fn crowded_closer_point_demoted() {
+        // One point inside a dense blob is slightly closer to the query
+        // than one isolated point; distinctiveness should prefer the
+        // isolated one.
+        let mut pts: Vec<Vec<f64>> = Vec::new();
+        // Dense blob at x = 1.0 ± 0.05 (indices 0..20), nearest to query 1.2.
+        for i in 0..20 {
+            pts.push(vec![0.95 + 0.005 * i as f64]);
+        }
+        // Isolated point a touch farther (index 20).
+        pts.push(vec![1.45]);
+        let top = distinctiveness_knn(&pts, &[1.2], 1, 21, 16, Metric::L2);
+        assert_eq!(top, vec![20], "isolated point should beat blob members");
+    }
+
+    #[test]
+    fn ties_fall_back_to_distance() {
+        // All points isolated → indistinctness 0 for everyone; ranking must
+        // degrade gracefully to plain k-NN.
+        let pts: Vec<Vec<f64>> = (0..6).map(|i| vec![10.0 * i as f64]).collect();
+        let r = distinctiveness_knn(&pts, &[21.0], 3, 6, 8, Metric::L2);
+        assert_eq!(r, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn k_caps_result() {
+        let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let r = distinctiveness_knn(&pts, &[5.0], 3, 10, 4, Metric::L2);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn single_point_dataset() {
+        let pts = vec![vec![1.0, 2.0]];
+        let r = distinctiveness_knn(&pts, &[0.0, 0.0], 1, 5, 2, Metric::L2);
+        assert_eq!(r, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "local_cap")]
+    fn zero_local_cap_panics() {
+        distinctiveness_knn(&[vec![0.0]], &[0.0], 1, 1, 0, Metric::L2);
+    }
+}

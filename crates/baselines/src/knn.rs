@@ -1,0 +1,156 @@
+//! Exact k-nearest-neighbor linear scan under Minkowski metrics.
+
+use hinn_linalg::vector::lp_dist;
+use hinn_linalg::Subspace;
+
+/// A Minkowski distance metric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Metric {
+    /// Manhattan distance.
+    L1,
+    /// Euclidean distance.
+    L2,
+    /// Chebyshev (max) distance.
+    LInf,
+    /// General `L_p`, including fractional `0 < p < 1`.
+    Lp(f64),
+}
+
+impl Metric {
+    /// Distance between two points under this metric.
+    #[inline]
+    pub fn dist(&self, x: &[f64], y: &[f64]) -> f64 {
+        match self {
+            Metric::L1 => lp_dist(x, y, 1.0),
+            Metric::L2 => hinn_linalg::vector::dist(x, y),
+            Metric::LInf => lp_dist(x, y, f64::INFINITY),
+            Metric::Lp(p) => lp_dist(x, y, *p),
+        }
+    }
+}
+
+/// Indices of the `k` points nearest to `query`, closest first. Ties are
+/// broken by index for determinism. Returns all points (sorted) when
+/// `k >= points.len()`.
+///
+/// ```
+/// use hinn_baselines::{knn_indices, Metric};
+///
+/// let points = vec![vec![0.0], vec![5.0], vec![1.0], vec![9.0]];
+/// assert_eq!(knn_indices(&points, &[0.4], 2, Metric::L2), vec![0, 2]);
+/// ```
+pub fn knn_indices(points: &[Vec<f64>], query: &[f64], k: usize, metric: Metric) -> Vec<usize> {
+    let mut scored: Vec<(f64, usize)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (metric.dist(p, query), i))
+        .collect();
+    let k = k.min(scored.len());
+    // Partial selection then sort of the head — O(N + k log k).
+    scored.select_nth_unstable_by(k.saturating_sub(1), |a, b| {
+        a.partial_cmp(b).expect("NaN distance")
+    });
+    let mut head: Vec<(f64, usize)> = scored[..k].to_vec();
+    head.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
+    head.into_iter().map(|(_, i)| i).collect()
+}
+
+/// k-NN under the Euclidean metric *inside a subspace* (`Pdist` of §1.3).
+pub fn knn_indices_in_subspace(
+    points: &[Vec<f64>],
+    query: &[f64],
+    k: usize,
+    subspace: &Subspace,
+) -> Vec<usize> {
+    let mut scored: Vec<(f64, usize)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (subspace.projected_distance(p, query), i))
+        .collect();
+    let k = k.min(scored.len());
+    scored.select_nth_unstable_by(k.saturating_sub(1), |a, b| {
+        a.partial_cmp(b).expect("NaN distance")
+    });
+    let mut head: Vec<(f64, usize)> = scored[..k].to_vec();
+    head.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
+    head.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_points() -> Vec<Vec<f64>> {
+        // Points at x = 0, 1, 2, ..., 9 on a line.
+        (0..10).map(|i| vec![i as f64, 0.0]).collect()
+    }
+
+    #[test]
+    fn knn_on_a_line() {
+        let pts = line_points();
+        let nn = knn_indices(&pts, &[3.2, 0.0], 3, Metric::L2);
+        assert_eq!(nn, vec![3, 4, 2]);
+    }
+
+    #[test]
+    fn k_zero_and_k_too_large() {
+        let pts = line_points();
+        assert!(knn_indices(&pts, &[0.0, 0.0], 0, Metric::L2).is_empty());
+        let all = knn_indices(&pts, &[0.0, 0.0], 99, Metric::L2);
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[0], 0);
+        assert_eq!(all[9], 9);
+    }
+
+    #[test]
+    fn metrics_rank_differently() {
+        // Under L2, (3,3) [d=4.24] is closer than (0,5) [d=5];
+        // under L1 they tie (6 vs 5 — actually (0,5) is closer);
+        // under LInf (3,3) [3] is closer than (0,5) [5].
+        let pts = vec![vec![3.0, 3.0], vec![0.0, 5.0]];
+        let q = [0.0, 0.0];
+        assert_eq!(knn_indices(&pts, &q, 1, Metric::L2), vec![0]);
+        assert_eq!(knn_indices(&pts, &q, 1, Metric::L1), vec![1]);
+        assert_eq!(knn_indices(&pts, &q, 1, Metric::LInf), vec![0]);
+    }
+
+    #[test]
+    fn fractional_metric_runs() {
+        let pts = line_points();
+        let nn = knn_indices(&pts, &[5.0, 0.0], 2, Metric::Lp(0.5));
+        assert_eq!(nn[0], 5);
+    }
+
+    #[test]
+    fn ties_broken_by_index() {
+        let pts = vec![vec![1.0], vec![-1.0], vec![1.0]];
+        let nn = knn_indices(&pts, &[0.0], 3, Metric::L2);
+        assert_eq!(nn, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn subspace_knn_ignores_complement() {
+        // Subspace = x-axis; y-coordinates must not matter.
+        let s = Subspace::from_vectors(2, &[vec![1.0, 0.0]]);
+        let pts = vec![vec![5.0, 0.0], vec![1.0, 100.0], vec![2.0, -50.0]];
+        let nn = knn_indices_in_subspace(&pts, &[0.0, 0.0], 2, &s);
+        assert_eq!(nn, vec![1, 2]);
+    }
+
+    #[test]
+    fn full_subspace_matches_l2() {
+        let pts = line_points();
+        let s = Subspace::full(2);
+        let a = knn_indices(&pts, &[4.1, 0.0], 5, Metric::L2);
+        let b = knn_indices_in_subspace(&pts, &[4.1, 0.0], 5, &s);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metric_dist_values() {
+        let m = Metric::Lp(3.0);
+        let d = m.dist(&[0.0, 0.0], &[1.0, 1.0]);
+        assert!((d - 2f64.powf(1.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(Metric::L1.dist(&[0.0], &[-2.0]), 2.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Criterion benchmarks for the KDE substrate: grid estimation cost as a
+//! function of data size `N` and grid resolution `p`, density-connectivity
+//! flood fill, and the separator-sweep selection curve — the per-view costs
+//! of the interactive loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hinn_kde::{
+    adaptive_bandwidths, connected_cells, estimate_grid, estimate_grid_adaptive, extract_contours,
+    Bandwidth2D, CornerRule, GridSpec, VisualProfile,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn points(n: usize) -> Vec<[f64; 2]> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut pts = Vec::with_capacity(n);
+    // A cluster plus background — representative of a real view.
+    for _ in 0..n / 5 {
+        pts.push([
+            5.0 + 0.3 * hinn_data::projected::randn(&mut rng),
+            5.0 + 0.3 * hinn_data::projected::randn(&mut rng),
+        ]);
+    }
+    while pts.len() < n {
+        pts.push([rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)]);
+    }
+    pts
+}
+
+fn bench_grid_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kde_grid/N");
+    for n in [1000usize, 5000, 20000] {
+        let pts = points(n);
+        let bw = Bandwidth2D::silverman(&pts).scaled(0.3);
+        let spec = GridSpec::covering(&pts, &[], 0.15, 80);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| estimate_grid(black_box(&pts), bw, spec))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("kde_grid/p");
+    let pts = points(5000);
+    let bw = Bandwidth2D::silverman(&pts).scaled(0.3);
+    for p in [40usize, 80, 160] {
+        let spec = GridSpec::covering(&pts, &[], 0.15, p);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| estimate_grid(black_box(&pts), bw, spec))
+        });
+    }
+    group.finish();
+}
+
+fn bench_connectivity(c: &mut Criterion) {
+    let pts = points(5000);
+    let profile = VisualProfile::build(pts, [5.0, 5.0], 80, 0.3);
+    let tau = profile.max_density() * 0.2;
+
+    c.bench_function("kde_connectivity/flood_fill", |b| {
+        b.iter(|| {
+            connected_cells(
+                black_box(&profile.grid),
+                tau,
+                profile.query_cell,
+                CornerRule::AtLeastThree,
+            )
+        })
+    });
+
+    c.bench_function("kde_connectivity/select", |b| {
+        b.iter(|| profile.select(black_box(tau), CornerRule::AtLeastThree))
+    });
+
+    // The simulated user's full separator sweep (48 thresholds).
+    c.bench_function("kde_connectivity/selection_curve_48", |b| {
+        b.iter(|| profile.selection_curve(black_box(48), CornerRule::AtLeastThree))
+    });
+}
+
+fn bench_adaptive_and_contours(c: &mut Criterion) {
+    let pts = points(5000);
+    let bw = Bandwidth2D::silverman(&pts).scaled(0.5);
+    let spec = GridSpec::covering(&pts, &[], 0.15, 80);
+
+    c.bench_function("kde_adaptive/bandwidth_factors_5000", |b| {
+        b.iter(|| adaptive_bandwidths(black_box(&pts), bw, 0.5))
+    });
+    let abw = adaptive_bandwidths(&pts, bw, 0.5);
+    c.bench_function("kde_adaptive/grid_5000_p80", |b| {
+        b.iter(|| estimate_grid_adaptive(black_box(&pts), &abw, spec))
+    });
+
+    let grid = estimate_grid(&pts, bw, spec);
+    let tau = grid.max() * 0.2;
+    c.bench_function("kde_contour/marching_squares_p80", |b| {
+        b.iter(|| extract_contours(black_box(&grid), tau))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_grid_estimation, bench_connectivity, bench_adaptive_and_contours
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benchmarks for the linear-algebra substrate: the Jacobi
+//! eigensolver and covariance computation as dimensionality grows (these
+//! dominate the query-cluster subspace determination of Fig. 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hinn_linalg::{covariance_matrix, jacobi_eigen, Matrix, Subspace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn sym_matrix(d: usize, rng: &mut StdRng) -> Matrix {
+    let mut m = Matrix::zeros(d, d);
+    for i in 0..d {
+        for j in i..d {
+            let v = rng.gen_range(-1.0..1.0);
+            m[(i, j)] = v;
+            m[(j, i)] = v;
+        }
+    }
+    m
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("linalg_eigen/d");
+    for d in [8usize, 16, 32, 64] {
+        let m = sym_matrix(d, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| jacobi_eigen(black_box(&m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_covariance(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("linalg_covariance/n_points");
+    for n in [100usize, 1000, 5000] {
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..20).map(|_| rng.gen_range(0.0..100.0)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| covariance_matrix(black_box(&pts)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_subspace_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let d = 20;
+    let pts: Vec<Vec<f64>> = (0..5000)
+        .map(|_| (0..d).map(|_| rng.gen_range(0.0..100.0)).collect())
+        .collect();
+    let sub = hinn_data::projected::random_subspace(d, 2, &mut rng);
+
+    c.bench_function("linalg_subspace/project_all_5000x20_to_2", |b| {
+        b.iter(|| sub.project_all(black_box(&pts)))
+    });
+
+    let full = Subspace::full(d);
+    c.bench_function("linalg_subspace/complement_within_20", |b| {
+        b.iter(|| full.complement_within(black_box(&sub)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_eigen, bench_covariance, bench_subspace_ops
+);
+criterion_main!(benches);

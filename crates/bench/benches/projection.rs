@@ -1,0 +1,47 @@
+//! Criterion benchmark for the query-centered projection search (Fig. 3) —
+//! the computer's main per-view cost in the interactive loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hinn_core::projection::find_query_centered_projection;
+use hinn_core::ProjectionMode;
+use hinn_data::projected::{generate_projected_clusters, ProjectedClusterSpec};
+use hinn_linalg::Subspace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_projection_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("projection_search/N");
+    group.sample_size(10);
+    for n in [1000usize, 5000] {
+        let spec = ProjectedClusterSpec {
+            n_points: n,
+            ..ProjectedClusterSpec::case1()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = generate_projected_clusters(&spec, &mut rng);
+        let q = data.cluster_members(0)[0];
+        let query = data.points[q].clone();
+        let full = Subspace::full(data.dim());
+        for (mode, label) in [
+            (ProjectionMode::AxisParallel, "axis"),
+            (ProjectionMode::Arbitrary, "arbitrary"),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    find_query_centered_projection(
+                        black_box(&data.points),
+                        black_box(&query),
+                        &full,
+                        25,
+                        mode,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_projection_search);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmark for the end-to-end interactive session (Fig. 2) with
+//! the simulated user — the wall-clock cost of one human-free "session"
+//! (per-view costs × `d/2` views × major iterations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hinn_core::{InteractiveSearch, ProjectionMode, SearchConfig};
+use hinn_data::projected::{generate_projected_clusters, ProjectedClusterSpec};
+use hinn_user::HeuristicUser;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_full_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interactive_session/N");
+    group.sample_size(10);
+    for n in [500usize, 2000] {
+        let spec = ProjectedClusterSpec {
+            n_points: n,
+            ..ProjectedClusterSpec::case1()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = generate_projected_clusters(&spec, &mut rng);
+        let q = data.cluster_members(0)[0];
+        let query = data.points[q].clone();
+        let config = SearchConfig {
+            max_major_iterations: 2,
+            min_major_iterations: 2,
+            ..SearchConfig::default()
+                .with_support(25)
+                .with_mode(ProjectionMode::AxisParallel)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut user = HeuristicUser::default();
+                InteractiveSearch::new(config.clone()).run(
+                    black_box(&data.points),
+                    black_box(&query),
+                    &mut user,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_session);
+criterion_main!(benches);

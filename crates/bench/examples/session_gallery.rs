@@ -1,0 +1,59 @@
+//! Run one interactive session with profile recording and export every
+//! view as an isometric surface SVG plus the session report — a browsable
+//! audit trail of what the (simulated) user saw and chose.
+//!
+//! ```sh
+//! cargo run --release -p hinn-bench --example session_gallery
+//! ```
+
+use hinn_bench::{artifact_dir, save_session_gallery};
+use hinn_core::{InteractiveSearch, ProjectionMode, SearchConfig};
+use hinn_data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
+use hinn_user::{HeuristicUser, RecordingUser};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let spec = ProjectedClusterSpec {
+        n_points: 1500,
+        ..ProjectedClusterSpec::case1()
+    };
+    let (data, _truth) = generate_projected_clusters_detailed(&spec, &mut rng);
+    let query = data.points[data.cluster_members(0)[0]].clone();
+
+    let config = SearchConfig {
+        max_major_iterations: 2,
+        min_major_iterations: 2,
+        record_profiles: true,
+        ..SearchConfig::default()
+            .with_support(25)
+            .with_mode(ProjectionMode::AxisParallel)
+    };
+    let mut user = RecordingUser::new(HeuristicUser::default());
+    let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+
+    let dir = artifact_dir("session_gallery");
+    let files = save_session_gallery(&outcome, &dir).expect("write gallery");
+    println!(
+        "session: {} views ({} dismissed), verdict {}",
+        outcome.transcript.total_views(),
+        outcome.transcript.total_dismissed(),
+        if outcome.diagnosis.is_meaningful() {
+            "MEANINGFUL"
+        } else {
+            "not meaningful"
+        }
+    );
+    println!("gallery ({} files):", files.len());
+    for f in &files {
+        println!("  {}", f.display());
+    }
+
+    // The recorded responses can be persisted and replayed — see
+    // tests/record_replay.rs for the exactness guarantee.
+    let (_, log) = user.into_parts();
+    let replay_path = dir.join("session_responses.txt");
+    std::fs::write(&replay_path, hinn_user::session_to_string(&log)).expect("write responses");
+    println!("replayable responses: {}", replay_path.display());
+}

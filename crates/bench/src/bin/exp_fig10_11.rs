@@ -1,0 +1,135 @@
+//! **Figures 10–11** — density profiles of an *early* vs a *late* minor
+//! iteration on Synthetic 1 (§4.1).
+//!
+//! The paper's point: the graded subspace determination pushes most of the
+//! data's discrimination into the first few minor iterations. Fig. 10 (an
+//! early minor iteration) shows a crisp well-separated peak at the query;
+//! Fig. 11 (the last minor iteration, forced into the orthogonal leftovers)
+//! shows a much less discriminating profile. This experiment runs one real
+//! session on Synthetic-1 data with profile recording on, pulls the first
+//! and last views of the first major iteration, and reports the grading
+//! diagnostics (variance ratios, query sharpness) alongside the rendered
+//! profiles.
+//!
+//! ```sh
+//! cargo run --release -p hinn-bench --bin exp_fig10_11
+//! ```
+
+use hinn_bench::{artifact_dir, banner, sample_labeled_queries, write_series};
+use hinn_core::{InteractiveSearch, ProjectionMode, SearchConfig};
+use hinn_data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
+use hinn_user::HeuristicUser;
+use hinn_viz::{render_heatmap, save_surface_svg, AsciiOptions, SurfaceOptions, SvgCanvas};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner("Figures 10-11: early vs late minor-iteration profiles (Synthetic 1)");
+    let dir = artifact_dir("fig10_11");
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let (data, _truth) =
+        generate_projected_clusters_detailed(&ProjectedClusterSpec::case1(), &mut rng);
+    let q = sample_labeled_queries(&data, 1, 31)[0];
+
+    let config = SearchConfig {
+        max_major_iterations: 1,
+        min_major_iterations: 1,
+        record_profiles: true,
+        ..SearchConfig::default()
+            .with_support(25)
+            .with_mode(ProjectionMode::AxisParallel)
+    };
+    let mut user = HeuristicUser::default();
+    let outcome = InteractiveSearch::new(config).run(&data.points, &data.points[q], &mut user);
+    let minors = &outcome.transcript.majors[0].minors;
+    assert!(minors.len() >= 2, "need at least two minor iterations");
+
+    // Grading curve: query sharpness per minor iteration.
+    let grading: Vec<(f64, f64)> = minors
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let p = m.profile.as_ref().expect("profiles recorded");
+            (i as f64, p.query_sharpness(6.0))
+        })
+        .collect();
+    write_series(
+        &dir.join("grading_sharpness.csv"),
+        ("minor", "sharpness"),
+        &grading,
+    );
+
+    for (fig, idx) in [("fig10_early", 0usize), ("fig11_late", minors.len() - 1)] {
+        let rec = &minors[idx];
+        let profile = rec.profile.as_ref().expect("profiles recorded");
+        println!(
+            "\n{fig}: minor iteration {} — variance ratios {:?}, query at {:.0}% of peak, sharpness {:.1}",
+            rec.minor,
+            rec.variance_ratios
+                .iter()
+                .map(|r| (r * 1e4).round() / 1e4)
+                .collect::<Vec<_>>(),
+            100.0 * rec.query_peak_ratio,
+            profile.query_sharpness(6.0),
+        );
+        println!(
+            "{}",
+            render_heatmap(
+                &profile.grid,
+                profile.query,
+                None,
+                AsciiOptions {
+                    legend: false,
+                    y_up: true
+                }
+            )
+        );
+
+        let spec = &profile.grid.spec;
+        let bb = (
+            (spec.x0, spec.x0 + (spec.n - 1) as f64 * spec.dx),
+            (spec.y0, spec.y0 + (spec.n - 1) as f64 * spec.dy),
+        );
+        let mut svg = SvgCanvas::new(
+            &format!("{fig}: minor iteration {}", rec.minor + 1),
+            560.0,
+            500.0,
+            bb.0,
+            bb.1,
+        );
+        svg.heatmap(&profile.grid);
+        svg.marker(profile.query, "Query Point", "black");
+        let path = dir.join(format!("{fig}.svg"));
+        svg.save(&path).expect("write svg");
+        println!("  → {}", path.display());
+
+        let surf_path = dir.join(format!("{fig}_surface.svg"));
+        save_surface_svg(
+            &profile.grid,
+            &format!("{fig} surface (minor iteration {})", rec.minor + 1),
+            &SurfaceOptions {
+                query: Some(profile.query),
+                ..SurfaceOptions::default()
+            },
+            &surf_path,
+        )
+        .expect("write surface svg");
+        println!("  → {}", surf_path.display());
+    }
+
+    let early = grading.first().map(|g| g.1).unwrap_or(0.0);
+    let late = grading.last().map(|g| g.1).unwrap_or(0.0);
+    println!(
+        "\ngrading summary: sharpness per minor iteration = {:?}",
+        grading
+            .iter()
+            .map(|g| (g.1 * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "shape to check: the early view is far more discriminative than the late\n\
+         one (here {early:.1} vs {late:.1}); most of the noise is pushed into the\n\
+         last projections (§4.1's \"graded quality\")."
+    );
+}

@@ -1,0 +1,119 @@
+//! **Figure 12** — the density profile of a query-centered projection of
+//! *uniformly distributed* data (§4.2): the poorly-behaved case in which
+//! nearest-neighbor search is truly not meaningful.
+//!
+//! The paper: "the discrimination of the data surrounding the query cluster
+//! is very poor in such a case … a user can infer that the data is not very
+//! prone to meaningful nearest neighbor search". This experiment builds the
+//! view exactly the way the search loop would (best query-centered
+//! projection of uniform 20-d data), renders it, and quantifies the absence
+//! of discrimination.
+//!
+//! ```sh
+//! cargo run --release -p hinn-bench --bin exp_fig12
+//! ```
+
+use hinn_bench::{artifact_dir, banner};
+use hinn_core::projection::find_query_centered_projection;
+use hinn_core::ProjectionMode;
+use hinn_data::uniform::uniform_hypercube;
+use hinn_kde::VisualProfile;
+use hinn_linalg::Subspace;
+use hinn_viz::{render_heatmap, save_surface_svg, AsciiOptions, SurfaceOptions, SvgCanvas};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    banner("Figure 12: density profile of uniform data (meaningless case)");
+    let dir = artifact_dir("fig12");
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let data = uniform_hypercube(5000, 20, 100.0, &mut rng);
+    let query: Vec<f64> = (0..20).map(|_| rng.gen_range(20.0..80.0)).collect();
+
+    // The very best projection the system can find for this query…
+    let proj = find_query_centered_projection(
+        &data.points,
+        &query,
+        &Subspace::full(20),
+        25,
+        ProjectionMode::AxisParallel,
+    );
+    let pts2d: Vec<[f64; 2]> = data
+        .points
+        .iter()
+        .map(|p| {
+            let c = proj.projection.project(p);
+            [c[0], c[1]]
+        })
+        .collect();
+    let qc = proj.projection.project(&query);
+    let profile = VisualProfile::build(pts2d, [qc[0], qc[1]], 70, 0.3);
+
+    println!(
+        "\nbest projection found: variance ratios {:?} (note: on uniform data\n\
+         the ratio itself overfits the tiny neighborhood — which is exactly why\n\
+         the paper insists on the *visual* judgement below)",
+        proj.variance_ratios
+            .iter()
+            .map(|r| (r * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "query density = {:.4}, peak = {:.4} ({:.0}% of peak), local sharpness = {:.2}",
+        profile.query_density(),
+        profile.max_density(),
+        100.0 * profile.query_density() / profile.max_density(),
+        profile.query_sharpness(6.0)
+    );
+    println!(
+        "{}",
+        render_heatmap(
+            &profile.grid,
+            profile.query,
+            None,
+            AsciiOptions {
+                legend: false,
+                y_up: true
+            }
+        )
+    );
+
+    let spec = &profile.grid.spec;
+    let bb = (
+        (spec.x0, spec.x0 + (spec.n - 1) as f64 * spec.dx),
+        (spec.y0, spec.y0 + (spec.n - 1) as f64 * spec.dy),
+    );
+    let mut svg = SvgCanvas::new(
+        "Fig. 12: uniform data — no query cluster",
+        560.0,
+        500.0,
+        bb.0,
+        bb.1,
+    );
+    svg.heatmap(&profile.grid);
+    svg.marker(profile.query, "Query Point", "black");
+    let path = dir.join("fig12.svg");
+    svg.save(&path).expect("write svg");
+    println!("  → {}", path.display());
+
+    let surf_path = dir.join("fig12_surface.svg");
+    save_surface_svg(
+        &profile.grid,
+        "fig12 surface",
+        &SurfaceOptions {
+            query: Some(profile.query),
+            ..SurfaceOptions::default()
+        },
+        &surf_path,
+    )
+    .expect("write surface svg");
+    println!("  → {}", surf_path.display());
+
+    println!(
+        "\nshape to check: even the *best* projection shows only KDE texture —\n\
+         no sharp peak at the query (sharpness ≈ 1-2, vs 10-100+ on clustered\n\
+         data, cf. exp_fig10_11); the automated ratio is fooled by its own\n\
+         neighborhood, the visual profile is not."
+    );
+}

@@ -1,0 +1,102 @@
+//! **§1 instability demonstration** — "the use of different distance
+//! metrics can result in widely varying ordering of distances of points
+//! from the target for a given query", and the companion observation from
+//! Beyer et al. that relative contrast collapses with dimensionality.
+//!
+//! Not a numbered table in the paper, but the motivating claim the whole
+//! system rests on; this binary measures both effects on uniform data:
+//!
+//! * rank agreement (Kendall τ, top-10 overlap) between L1 / L2 / L∞ /
+//!   fractional L0.5 orderings, at d = 2 vs d = 50;
+//! * relative contrast `(D_max − D_min)/D_min` as d grows.
+//!
+//! ```sh
+//! cargo run --release -p hinn-bench --bin exp_metric_instability
+//! ```
+
+use hinn_baselines::Metric;
+use hinn_bench::banner;
+use hinn_metrics::contrast::DistanceStats;
+use hinn_metrics::{kendall_tau, top_k_overlap};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 2000;
+
+fn distances(points: &[Vec<f64>], query: &[f64], metric: Metric) -> Vec<f64> {
+    points.iter().map(|p| metric.dist(p, query)).collect()
+}
+
+fn main() {
+    banner("§1: metric instability and contrast collapse with dimensionality");
+    let metrics = [
+        (Metric::L1, "L1"),
+        (Metric::L2, "L2"),
+        (Metric::LInf, "Linf"),
+        (Metric::Lp(0.5), "L0.5"),
+    ];
+
+    println!(
+        "\n{:<6} {:>14} {:>22} {:>22}",
+        "d", "contrast (L2)", "tau(L2, L1)/(L2, Linf)", "top-10 ovl L2 vs L1/Linf"
+    );
+    for d in [2usize, 5, 10, 20, 50, 100] {
+        let mut rng = StdRng::seed_from_u64(d as u64);
+        let points: Vec<Vec<f64>> = (0..N)
+            .map(|_| (0..d).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        let query: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
+
+        let dists: Vec<Vec<f64>> = metrics
+            .iter()
+            .map(|(m, _)| distances(&points, &query, *m))
+            .collect();
+        let contrast = DistanceStats::compute(&dists[1]).relative_contrast();
+        let tau_l1 = kendall_tau(&dists[1], &dists[0]);
+        let tau_linf = kendall_tau(&dists[1], &dists[2]);
+        let ovl_l1 = top_k_overlap(&dists[1], &dists[0], 10);
+        let ovl_linf = top_k_overlap(&dists[1], &dists[2], 10);
+        println!(
+            "{:<6} {:>14.3} {:>11.3}/{:>9.3} {:>13.0}%/{:>6.0}%",
+            d,
+            contrast,
+            tau_l1,
+            tau_linf,
+            100.0 * ovl_l1,
+            100.0 * ovl_linf
+        );
+    }
+
+    println!(
+        "\nshape to check: relative contrast collapses as d grows (Beyer et al.);\n\
+         the top-10 *answers* under different metrics drift apart — by d = 50 the\n\
+         nearest neighbors under L2 and L∞ barely overlap, even though global\n\
+         rank correlation stays moderate. The instability lives exactly where\n\
+         the NN answer does."
+    );
+
+    banner("fractional metrics retain more contrast (ICDT 2001, the paper's [3])");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10}",
+        "d", "L0.5", "L1", "L2", "Linf"
+    );
+    for d in [10usize, 50, 100] {
+        let mut rng = StdRng::seed_from_u64(1000 + d as u64);
+        let points: Vec<Vec<f64>> = (0..N)
+            .map(|_| (0..d).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        let query: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
+        print!("{d:<6}");
+        for (m, _) in [
+            (Metric::Lp(0.5), "L0.5"),
+            (Metric::L1, "L1"),
+            (Metric::L2, "L2"),
+            (Metric::LInf, "Linf"),
+        ] {
+            let c = DistanceStats::compute(&distances(&points, &query, m)).relative_contrast();
+            print!(" {c:>9.3}");
+        }
+        println!();
+    }
+    println!("shape to check: contrast ordering L0.5 > L1 > L2 > Linf at every d.");
+}

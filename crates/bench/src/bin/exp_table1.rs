@@ -1,0 +1,123 @@
+//! **Table 1** — precision and recall of the interactive search on the
+//! synthetic projected-cluster data sets ("Synthetic 1" / "Synthetic 2",
+//! §4.1 of the paper).
+//!
+//! Protocol (following §4.1): `N = 5000`, `d = 20`, 6-dimensional projected
+//! clusters, 10 query points per data set drawn from clusters; the returned
+//! set is the *natural* neighbor set found by thresholding the
+//! meaningfulness probabilities just above the steep drop. Paper reference:
+//! Synthetic 1 → 87% / 98%, Synthetic 2 → 91% / 96%.
+//!
+//! ```sh
+//! cargo run --release -p hinn-bench --bin exp_table1
+//! ```
+
+use hinn_baselines::{knn_indices, projected_knn, Metric, ProjectedNnConfig};
+use hinn_bench::{banner, parallel_map, pct, sample_labeled_queries};
+use hinn_core::{InteractiveSearch, ProjectionMode, SearchConfig, SearchDiagnosis};
+use hinn_data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
+use hinn_metrics::PrecisionRecall;
+use hinn_user::HeuristicUser;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N_QUERIES: usize = 10;
+
+fn main() {
+    banner("Table 1: precision/recall on synthetic projected-cluster data");
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>14} {:>10} {:>10}",
+        "Data Set", "Precision", "Recall", "natural k", "true cluster", "L2 F1", "[15] F1"
+    );
+
+    for (label, spec, mode, support) in [
+        (
+            "Synthetic 1",
+            ProjectedClusterSpec::case1(),
+            ProjectionMode::AxisParallel,
+            25, // the paper's 0.5% of N = 5000
+        ),
+        (
+            "Synthetic 2",
+            ProjectedClusterSpec::case2(),
+            ProjectionMode::Arbitrary,
+            // Arbitrary orientations need a larger neighborhood for the
+            // cross-fitted PCA to see oblique structure (DESIGN.md §4).
+            300,
+        ),
+    ] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (data, _truth) = generate_projected_clusters_detailed(&spec, &mut rng);
+        let queries = sample_labeled_queries(&data, N_QUERIES, 31);
+
+        let per_query = parallel_map(&queries, |&q| {
+            let relevant: Vec<usize> = (0..data.len())
+                .filter(|&i| data.labels[i] == data.labels[q])
+                .collect();
+            let mut user = HeuristicUser::default();
+            let config = SearchConfig::default()
+                .with_support(support)
+                .with_mode(mode);
+            let outcome =
+                InteractiveSearch::new(config).run(&data.points, &data.points[q], &mut user);
+            let (set, k) = match outcome.diagnosis {
+                SearchDiagnosis::Meaningful { natural_k, .. } => (
+                    outcome.natural_neighbors().expect("meaningful"),
+                    Some(natural_k),
+                ),
+                SearchDiagnosis::NotMeaningful { .. } => (outcome.neighbors.clone(), None),
+            };
+            // Automated comparators on the same query, retrieving the true
+            // cluster's cardinality (most favorable k for them).
+            let l2 = knn_indices(&data.points, &data.points[q], relevant.len(), Metric::L2);
+            let l2_f1 = PrecisionRecall::compute(&l2, &relevant).f1();
+            let pnn = projected_knn(
+                &data.points,
+                &data.points[q],
+                relevant.len(),
+                &ProjectedNnConfig {
+                    support: support.max(40),
+                    proj_dim: 6,
+                    refine_iters: 3,
+                },
+            );
+            let pnn_f1 = PrecisionRecall::compute(&pnn.neighbors, &relevant).f1();
+            (
+                PrecisionRecall::compute(&set, &relevant),
+                k,
+                relevant.len(),
+                l2_f1,
+                pnn_f1,
+            )
+        });
+        let prs: Vec<PrecisionRecall> = per_query.iter().map(|(pr, ..)| *pr).collect();
+        let natural_ks: Vec<usize> = per_query.iter().filter_map(|(_, k, ..)| *k).collect();
+        let cluster_sizes: Vec<usize> = per_query.iter().map(|&(_, _, c, _, _)| c).collect();
+        let l2_f1 = per_query.iter().map(|&(.., f, _)| f).sum::<f64>() / per_query.len() as f64;
+        let pnn_f1 = per_query.iter().map(|&(.., f)| f).sum::<f64>() / per_query.len() as f64;
+        let mean = PrecisionRecall::mean(&prs);
+        let mean_k = if natural_ks.is_empty() {
+            0
+        } else {
+            natural_ks.iter().sum::<usize>() / natural_ks.len()
+        };
+        let mean_cluster = cluster_sizes.iter().sum::<usize>() / cluster_sizes.len();
+        println!(
+            "{:<14} {:>10} {:>10} {:>12} {:>14} {:>10} {:>10}",
+            label,
+            pct(mean.precision),
+            pct(mean.recall),
+            format!("{mean_k} ({}/{} found)", natural_ks.len(), N_QUERIES),
+            mean_cluster,
+            pct(l2_f1),
+            pct(pnn_f1),
+        );
+    }
+
+    println!(
+        "\npaper reference:  Synthetic 1 → 87% / 98%;  Synthetic 2 → 91% / 96%\n\
+         shape to check:   both metrics high; natural k within ~15% of cluster\n\
+         size; the interactive F1 beats full-dim L2 and the automated\n\
+         projected-NN of [15] (the paper's single-projection predecessor)."
+    );
+}

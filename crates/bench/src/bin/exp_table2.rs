@@ -1,0 +1,117 @@
+//! **Table 2** — nearest-neighbor classification accuracy of full-
+//! dimensional L2 vs the interactive method on (simulated) UCI data (§4.3).
+//!
+//! Protocol: for each query point, classify by the majority label of the
+//! neighbors the method returns; for the interactive method the neighbor
+//! set is the natural query cluster, for L2 it is the k nearest under the
+//! full-dimensional Euclidean metric. Paper reference: ionosphere
+//! 71% → 86%, segmentation 61% → 83%.
+//!
+//! The UCI datasets are statistically-matched simulations (no network in
+//! this environment); see DESIGN.md's substitution table. If you have the
+//! real files, point `HINN_UCI_DIR` at a directory containing
+//! `ionosphere.data` and `segmentation.data` and the experiment runs on
+//! the genuine datasets instead:
+//!
+//! ```sh
+//! cargo run --release -p hinn-bench --bin exp_table2
+//! HINN_UCI_DIR=~/uci cargo run --release -p hinn-bench --bin exp_table2
+//! ```
+
+use hinn_baselines::{knn_classify, Metric};
+use hinn_bench::{banner, parallel_map, pct, sample_labeled_queries};
+use hinn_core::{InteractiveSearch, SearchConfig};
+use hinn_data::{simulated_ionosphere, simulated_segmentation};
+use hinn_metrics::{classification_accuracy, majority_label};
+use hinn_user::HeuristicUser;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// More queries than the paper's 10 to tame sampling noise; the paper
+/// protocol (10) is a subset of the reported runs.
+const N_QUERIES: usize = 20;
+const L2_K: usize = 10;
+
+fn main() {
+    banner("Table 2: classification accuracy, full-dim L2 vs interactive");
+    println!(
+        "{:<26} {:>14} {:>14} {:>12}",
+        "Data Set (dim)", "Accuracy (L2)", "Interactive", "queries"
+    );
+
+    let mut seed_rng = StdRng::seed_from_u64(5);
+    let datasets = match std::env::var_os("HINN_UCI_DIR") {
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            println!("(using real UCI files from {})", dir.display());
+            vec![
+                (
+                    "Ionosphere (34, real)",
+                    hinn_data::load_ionosphere(&dir.join("ionosphere.data"))
+                        .expect("read ionosphere.data"),
+                ),
+                (
+                    "Segmentation (19, real)",
+                    hinn_data::load_segmentation(&dir.join("segmentation.data"))
+                        .expect("read segmentation.data"),
+                ),
+            ]
+        }
+        None => vec![
+            ("Ionosphere (34)", simulated_ionosphere(&mut seed_rng)),
+            ("Segmentation (19)", simulated_segmentation(&mut seed_rng)),
+        ],
+    };
+    for (label, data) in datasets {
+        let queries = sample_labeled_queries(&data, N_QUERIES, 99);
+
+        let l2: Vec<(usize, Option<usize>)> = parallel_map(&queries, |&q| {
+            (
+                data.labels[q].expect("labeled query"),
+                knn_classify(
+                    &data.points,
+                    &data.labels,
+                    &data.points[q],
+                    L2_K,
+                    Metric::L2,
+                    Some(q),
+                ),
+            )
+        });
+
+        let interactive: Vec<(usize, Option<usize>)> = parallel_map(&queries, |&q| {
+            let mut user = HeuristicUser::default();
+            let outcome = InteractiveSearch::new(SearchConfig::default().with_support(20)).run(
+                &data.points,
+                &data.points[q],
+                &mut user,
+            );
+            let set = outcome
+                .natural_neighbors()
+                .unwrap_or_else(|| outcome.neighbors.clone());
+            let labels: Vec<Option<usize>> = set
+                .iter()
+                .filter(|&&i| i != q)
+                .map(|&i| data.labels[i])
+                .collect();
+            (
+                data.labels[q].expect("labeled query"),
+                majority_label(&labels),
+            )
+        });
+
+        println!(
+            "{:<26} {:>14} {:>14} {:>12}",
+            label,
+            pct(classification_accuracy(&l2)),
+            pct(classification_accuracy(&interactive)),
+            N_QUERIES
+        );
+    }
+
+    println!(
+        "\npaper reference:  Ionosphere 71% → 86%;  Segmentation 61% → 83%\n\
+         shape to check:   interactive ≥ L2, with the larger margin on the\n\
+         many-class segmentation-style data (§4.3)."
+    );
+}

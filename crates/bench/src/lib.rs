@@ -1,0 +1,216 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper (see `DESIGN.md` §5 for the index).
+//!
+//! Each `exp_*` binary prints the rows/series the paper reports and writes
+//! rendered artifacts (SVG, ASCII profiles, CSV series) under
+//! [`artifact_dir`]. Numbers will not match the paper's testbed exactly —
+//! the substrate here is a simulation (see DESIGN.md's substitution table)
+//! — but the *shape* of each result is the reproduction target.
+
+use std::path::PathBuf;
+
+/// Directory where experiment artifacts are written
+/// (`target/experiments/<name>/`). Created on demand.
+pub fn artifact_dir(experiment: &str) -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates/
+    p.pop(); // repo root
+    p.push("target");
+    p.push("experiments");
+    p.push(experiment);
+    std::fs::create_dir_all(&p).expect("create artifact dir");
+    p
+}
+
+/// Print a section header in a consistent style.
+pub fn banner(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Format a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Draw `n` indices of labeled (non-outlier) points from a dataset,
+/// deterministically under `seed`.
+pub fn sample_labeled_queries(data: &hinn_data::Dataset, n: usize, seed: u64) -> Vec<usize> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let c = rng.gen_range(0..data.len());
+        if data.labels[c].is_some() {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Map `f` over `items` with one scoped thread per item, preserving order.
+/// The experiment binaries use this to evaluate independent queries in
+/// parallel (each query's interactive session is CPU-bound and touches
+/// only shared read-only data).
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let results: Vec<parking_lot::Mutex<Option<R>>> = items
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+    crossbeam::scope(|scope| {
+        for (item, slot) in items.iter().zip(&results) {
+            scope.spawn(|_| {
+                *slot.lock() = Some(f(item));
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("result written"))
+        .collect()
+}
+
+/// Export every recorded view of a completed session as SVG artifacts —
+/// a browsable gallery of "what the user saw and did" (requires the search
+/// to have run with `record_profiles: true`). Returns the files written.
+pub fn save_session_gallery(
+    outcome: &hinn_core::SearchOutcome,
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for minor in outcome.transcript.iter_minors() {
+        let Some(profile) = minor.profile.as_ref() else {
+            continue;
+        };
+        let tau = match &minor.response {
+            hinn_user::UserResponse::Threshold(t) => Some(*t),
+            _ => None,
+        };
+        let title = format!(
+            "major {} view {} — {}",
+            minor.major + 1,
+            minor.minor + 1,
+            match &minor.response {
+                hinn_user::UserResponse::Threshold(t) =>
+                    format!("separator τ = {t:.4}, {} picked", minor.n_picked),
+                hinn_user::UserResponse::Polygon(_) =>
+                    format!("polygon, {} picked", minor.n_picked),
+                hinn_user::UserResponse::Discard => "dismissed".to_string(),
+            }
+        );
+        let path = dir.join(format!("m{}_v{}.svg", minor.major + 1, minor.minor + 1));
+        hinn_viz::save_surface_svg(
+            &profile.grid,
+            &title,
+            &hinn_viz::SurfaceOptions {
+                separator: tau,
+                query: Some(profile.query),
+                ..hinn_viz::SurfaceOptions::default()
+            },
+            &path,
+        )?;
+        written.push(path);
+    }
+    // The session report alongside.
+    let report_path = dir.join("session_report.txt");
+    std::fs::write(&report_path, hinn_core::report::text_report(outcome))?;
+    written.push(report_path);
+    Ok(written)
+}
+
+/// Write a two-column CSV series (x, y) for external plotting.
+pub fn write_series(path: &std::path::Path, header: (&str, &str), rows: &[(f64, f64)]) {
+    use std::io::Write;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path).expect("create series file"));
+    writeln!(f, "{},{}", header.0, header.1).unwrap();
+    for (x, y) in rows {
+        writeln!(f, "{x},{y}").unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_dir_is_created() {
+        let d = artifact_dir("selftest");
+        assert!(d.exists());
+        assert!(d.ends_with("experiments/selftest"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.875), "87.5%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn query_sampling_is_deterministic_and_labeled() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let data = hinn_data::projected::generate_projected_clusters(
+            &hinn_data::ProjectedClusterSpec::small_test(),
+            &mut rng,
+        );
+        let a = sample_labeled_queries(&data, 5, 9);
+        let b = sample_labeled_queries(&data, 5, 9);
+        assert_eq!(a, b);
+        for q in a {
+            assert!(data.labels[q].is_some());
+        }
+    }
+
+    #[test]
+    fn session_gallery_writes_one_svg_per_recorded_view() {
+        use hinn_core::{InteractiveSearch, SearchConfig};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let data = hinn_data::projected::generate_projected_clusters(
+            &hinn_data::ProjectedClusterSpec::small_test(),
+            &mut rng,
+        );
+        let query = data.points[data.cluster_members(0)[0]].clone();
+        let config = SearchConfig {
+            max_major_iterations: 1,
+            min_major_iterations: 1,
+            record_profiles: true,
+            ..SearchConfig::default().with_support(10)
+        };
+        let mut user = hinn_user::HeuristicUser::default();
+        let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+        let dir = artifact_dir("selftest_gallery");
+        let files = save_session_gallery(&outcome, &dir).expect("gallery");
+        // One SVG per view + the report.
+        assert_eq!(files.len(), outcome.transcript.total_views() + 1);
+        for f in &files {
+            assert!(f.exists());
+        }
+        let report = std::fs::read_to_string(files.last().unwrap()).unwrap();
+        assert!(report.contains("session report"));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..32).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn series_roundtrip() {
+        let dir = artifact_dir("selftest");
+        let p = dir.join("series.csv");
+        write_series(&p, ("x", "y"), &[(1.0, 2.0), (3.0, 4.0)]);
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert!(content.starts_with("x,y\n1,2\n3,4"));
+    }
+}

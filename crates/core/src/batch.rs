@@ -1,0 +1,189 @@
+//! Batch evaluation: run many queries against one data set.
+//!
+//! Real deployments (and the paper's own evaluation protocol) ask the same
+//! question for a set of query points — "what are the natural neighbors of
+//! each of these, and how meaningful are they?". [`BatchRunner`] packages
+//! that: one shared data set and configuration, a user-model factory (each
+//! query gets a fresh user, as in the paper's per-query sessions), and
+//! parallel execution across queries with `std::thread::scope`.
+
+use crate::config::SearchConfig;
+use crate::diagnosis::SearchDiagnosis;
+use crate::search::{InteractiveSearch, SearchOutcome};
+use hinn_user::UserModel;
+
+/// Result of one query in a batch.
+#[derive(Clone, Debug)]
+pub struct QueryReport {
+    /// Index into the batch's query list.
+    pub query_index: usize,
+    /// The returned neighbor set: the natural set when the session was
+    /// meaningful, the top-`s` ranking otherwise.
+    pub neighbors: Vec<usize>,
+    /// The session's verdict.
+    pub diagnosis: SearchDiagnosis,
+    /// Major iterations run.
+    pub majors_run: usize,
+    /// Views shown / dismissed.
+    pub views: (usize, usize),
+}
+
+impl QueryReport {
+    fn from_outcome(query_index: usize, outcome: &SearchOutcome) -> Self {
+        let neighbors = outcome
+            .natural_neighbors()
+            .unwrap_or_else(|| outcome.neighbors.clone());
+        Self {
+            query_index,
+            neighbors,
+            diagnosis: outcome.diagnosis.clone(),
+            majors_run: outcome.majors_run,
+            views: (
+                outcome.transcript.total_views(),
+                outcome.transcript.total_dismissed(),
+            ),
+        }
+    }
+}
+
+/// Multi-query driver (see module docs).
+pub struct BatchRunner<'a> {
+    points: &'a [Vec<f64>],
+    config: SearchConfig,
+    threads: usize,
+}
+
+impl<'a> BatchRunner<'a> {
+    /// Create a runner over `points` with the shared `config`.
+    pub fn new(points: &'a [Vec<f64>], config: SearchConfig) -> Self {
+        config.validate();
+        Self {
+            points,
+            config,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Cap the worker-thread count (default: available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "BatchRunner: need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Run every query, constructing a fresh user per query via
+    /// `make_user`. Reports come back in query order.
+    pub fn run<F>(&self, queries: &[Vec<f64>], make_user: F) -> Vec<QueryReport>
+    where
+        F: Fn() -> Box<dyn UserModel> + Sync,
+    {
+        let n = queries.len();
+        let mut reports: Vec<Option<QueryReport>> = (0..n).map(|_| None).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<&mut Option<QueryReport>>> =
+            reports.iter_mut().map(std::sync::Mutex::new).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n.max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let mut user = make_user();
+                    let outcome = InteractiveSearch::new(self.config.clone()).run(
+                        self.points,
+                        &queries[i],
+                        user.as_mut(),
+                    );
+                    **slots[i].lock().expect("slot lock") =
+                        Some(QueryReport::from_outcome(i, &outcome));
+                });
+            }
+        });
+        reports
+            .into_iter()
+            .map(|r| r.expect("every query produced a report"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hinn_user::HeuristicUser;
+
+    /// 6-D data, full-space cluster at 50 plus background.
+    fn workload() -> Vec<Vec<f64>> {
+        let mut state = 0xC0FFEEu64;
+        let mut unif = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut pts: Vec<Vec<f64>> = Vec::new();
+        for _ in 0..30 {
+            pts.push((0..6).map(|_| 50.0 + (unif() - 0.5) * 2.0).collect());
+        }
+        for _ in 0..90 {
+            pts.push((0..6).map(|_| unif() * 100.0).collect());
+        }
+        pts
+    }
+
+    fn config() -> SearchConfig {
+        SearchConfig {
+            max_major_iterations: 1,
+            min_major_iterations: 1,
+            ..SearchConfig::default().with_support(10)
+        }
+    }
+
+    #[test]
+    fn batch_reports_in_query_order() {
+        let pts = workload();
+        let queries = vec![pts[0].clone(), pts[5].clone(), pts[100].clone()];
+        let runner = BatchRunner::new(&pts, config());
+        let reports = runner.run(&queries, || Box::new(HeuristicUser::default()));
+        assert_eq!(reports.len(), 3);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.query_index, i);
+            assert!(!r.neighbors.is_empty());
+            assert!(r.views.0 >= r.views.1);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_single_threaded() {
+        let pts = workload();
+        let queries: Vec<Vec<f64>> = (0..4).map(|i| pts[i * 7].clone()).collect();
+        let serial = BatchRunner::new(&pts, config())
+            .with_threads(1)
+            .run(&queries, || Box::new(HeuristicUser::default()));
+        let parallel = BatchRunner::new(&pts, config())
+            .with_threads(4)
+            .run(&queries, || Box::new(HeuristicUser::default()));
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.neighbors, b.neighbors);
+            assert_eq!(a.majors_run, b.majors_run);
+        }
+    }
+
+    #[test]
+    fn empty_query_list_is_fine() {
+        let pts = workload();
+        let runner = BatchRunner::new(&pts, config());
+        let reports = runner.run(&[], || Box::new(HeuristicUser::default()));
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let pts = workload();
+        let _ = BatchRunner::new(&pts, config()).with_threads(0);
+    }
+}

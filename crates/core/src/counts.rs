@@ -1,0 +1,123 @@
+//! Preference-count bookkeeping (Fig. 7 of the paper).
+//!
+//! Counts are kept per *original* dataset index and weighted by the
+//! per-projection weights `w_i` (Eq. 3; the paper's experiments use
+//! `w_i = 1`). A count update also records `n_i` — how many points the user
+//! picked in projection `i` — which the meaningfulness statistics of Fig. 8
+//! need.
+
+/// Weighted preference counts over the original dataset.
+#[derive(Clone, Debug)]
+pub struct PreferenceCounts {
+    v: Vec<f64>,
+    /// `(n_i, w_i)` per minor iteration of the current major iteration.
+    picks: Vec<(usize, f64)>,
+}
+
+impl PreferenceCounts {
+    /// All-zero counts for `n` original points.
+    pub fn new(n: usize) -> Self {
+        Self {
+            v: vec![0.0; n],
+            picks: Vec::new(),
+        }
+    }
+
+    /// Record one projection's user picks: `original_ids` of the selected
+    /// points and the projection weight `w`.
+    ///
+    /// # Panics
+    /// Panics if any id is out of range or `w < 0`.
+    pub fn record_view(&mut self, original_ids: &[usize], w: f64) {
+        assert!(w >= 0.0, "record_view: negative weight");
+        for &id in original_ids {
+            assert!(id < self.v.len(), "record_view: id {id} out of range");
+            self.v[id] += w;
+        }
+        self.picks.push((original_ids.len(), w));
+    }
+
+    /// Record a dismissed view (`n_i = 0`); keeps the statistics aligned
+    /// with the number of views shown.
+    pub fn record_discard(&mut self, w: f64) {
+        self.picks.push((0, w));
+    }
+
+    /// Weighted count of point `id`.
+    #[inline]
+    pub fn count(&self, id: usize) -> f64 {
+        self.v[id]
+    }
+
+    /// All counts (indexed by original id).
+    pub fn counts(&self) -> &[f64] {
+        &self.v
+    }
+
+    /// `(n_i, w_i)` of every view in this major iteration.
+    pub fn views(&self) -> &[(usize, f64)] {
+        &self.picks
+    }
+
+    /// Number of views recorded (including dismissed ones).
+    pub fn n_views(&self) -> usize {
+        self.picks.len()
+    }
+
+    /// Ids with a strictly positive count — the survivors of the paper's
+    /// "remove any point with v(i) = 0" rule, restricted to `candidates`.
+    pub fn survivors(&self, candidates: &[usize]) -> Vec<usize> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&id| self.v[id] > 0.0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_weighted_counts() {
+        let mut c = PreferenceCounts::new(5);
+        c.record_view(&[0, 2, 4], 1.0);
+        c.record_view(&[2], 2.0);
+        assert_eq!(c.count(0), 1.0);
+        assert_eq!(c.count(1), 0.0);
+        assert_eq!(c.count(2), 3.0);
+        assert_eq!(c.views(), &[(3, 1.0), (1, 2.0)]);
+    }
+
+    #[test]
+    fn discards_recorded_as_zero_picks() {
+        let mut c = PreferenceCounts::new(3);
+        c.record_discard(1.0);
+        c.record_view(&[1], 1.0);
+        assert_eq!(c.n_views(), 2);
+        assert_eq!(c.views()[0], (0, 1.0));
+    }
+
+    #[test]
+    fn survivors_filter() {
+        let mut c = PreferenceCounts::new(6);
+        c.record_view(&[1, 3], 1.0);
+        assert_eq!(c.survivors(&[0, 1, 2, 3]), vec![1, 3]);
+        assert_eq!(c.survivors(&[0, 2]), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_id_panics() {
+        let mut c = PreferenceCounts::new(2);
+        c.record_view(&[2], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative weight")]
+    fn negative_weight_panics() {
+        let mut c = PreferenceCounts::new(2);
+        c.record_view(&[0], -1.0);
+    }
+}

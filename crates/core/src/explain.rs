@@ -1,0 +1,256 @@
+//! Per-neighbor explanations.
+//!
+//! The paper's central pitch is that the user *understands* why the
+//! returned neighbors are meaningful, because they watched the views in
+//! which those neighbors clustered with the query. This module makes that
+//! understanding queryable after the fact: for any returned point, which
+//! views included it in the user's selection, through which attributes
+//! (projection directions) those views looked, and how close the point sat
+//! to the query in each.
+//!
+//! Requires the session to have run with
+//! `SearchConfig::record_profiles = true` and needs the original data to
+//! re-derive per-view membership (the transcript stores the views, not the
+//! per-point pick lists).
+
+use crate::search::SearchOutcome;
+use hinn_user::UserResponse;
+
+/// One view's contribution to a neighbor's meaningfulness.
+#[derive(Clone, Debug)]
+pub struct ViewEvidence {
+    /// Major iteration (0-based).
+    pub major: usize,
+    /// Minor iteration (0-based).
+    pub minor: usize,
+    /// Was the point inside the user's selection in this view?
+    pub picked: bool,
+    /// Projected distance from the point to the query in this view.
+    pub projected_distance: f64,
+    /// For each of the view's two directions: the dominant original
+    /// attribute index and its weight in the direction (the
+    /// interpretability handle — for axis-parallel views the weight is 1).
+    pub dominant_attributes: [(usize, f64); 2],
+}
+
+/// The full explanation of one neighbor.
+#[derive(Clone, Debug)]
+pub struct NeighborExplanation {
+    /// The explained point's original index.
+    pub index: usize,
+    /// Final meaningfulness probability.
+    pub probability: f64,
+    /// Per-view evidence (only views whose recorded profile still contains
+    /// the point — later major iterations drop filtered points).
+    pub evidence: Vec<ViewEvidence>,
+}
+
+impl NeighborExplanation {
+    /// Number of views that picked this point.
+    pub fn times_picked(&self) -> usize {
+        self.evidence.iter().filter(|e| e.picked).count()
+    }
+}
+
+/// Explain why `index` was (or was not) a meaningful neighbor in this
+/// session (see module docs).
+///
+/// # Panics
+/// Panics if `index` is out of range or the session was run without
+/// profile recording.
+pub fn explain_neighbor(
+    outcome: &SearchOutcome,
+    points: &[Vec<f64>],
+    query: &[f64],
+    index: usize,
+) -> NeighborExplanation {
+    assert!(
+        index < outcome.probabilities.len(),
+        "explain_neighbor: index out of range"
+    );
+    let mut evidence = Vec::new();
+    for minor in outcome.transcript.iter_minors() {
+        let profile = minor
+            .profile
+            .as_ref()
+            .expect("explain_neighbor: session must record profiles");
+        // The view's rows map to original ids through the projection of
+        // the then-current data; recompute this point's projection
+        // directly from the ambient coordinates.
+        let coords = minor.projection.project(&points[index]);
+        let qcoords = minor.projection.project(query);
+        let projected_distance = hinn_linalg::vector::dist(&coords, &qcoords);
+
+        // Was it picked? Re-apply the recorded response to this point's
+        // projected position.
+        let picked = match &minor.response {
+            UserResponse::Discard => false,
+            UserResponse::Threshold(tau) => {
+                // Inside the (τ, Q)-connected region ⇔ its cell is in the
+                // mask and the point was part of the view's data. Points
+                // filtered out in earlier majors were not on screen.
+                let on_screen = profile
+                    .points
+                    .iter()
+                    .any(|p| (p[0] - coords[0]).abs() < 1e-9 && (p[1] - coords[1]).abs() < 1e-9);
+                on_screen && {
+                    let mask = profile.connected_mask(*tau, hinn_kde::CornerRule::AtLeastThree);
+                    profile
+                        .grid
+                        .spec
+                        .cell_of(coords[0], coords[1])
+                        .map(|(cx, cy)| mask.contains(cx, cy))
+                        .unwrap_or(false)
+                }
+            }
+            UserResponse::Polygon(lines) => {
+                let qsig: Vec<bool> = lines.iter().map(|l| l.side(profile.query)).collect();
+                lines
+                    .iter()
+                    .zip(&qsig)
+                    .all(|(l, &s)| l.side([coords[0], coords[1]]) == s)
+            }
+        };
+
+        // Dominant original attribute per direction.
+        let mut dominant = [(0usize, 0.0f64); 2];
+        for (k, dir) in minor.projection.basis().iter().enumerate().take(2) {
+            let (attr, weight) = dir
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("NaN weight"))
+                .expect("non-empty direction");
+            dominant[k] = (attr, *weight);
+        }
+
+        evidence.push(ViewEvidence {
+            major: minor.major,
+            minor: minor.minor,
+            picked,
+            projected_distance,
+            dominant_attributes: dominant,
+        });
+    }
+    NeighborExplanation {
+        index,
+        probability: outcome.probabilities[index],
+        evidence,
+    }
+}
+
+/// Render an explanation as human-readable text.
+pub fn explanation_text(e: &NeighborExplanation) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "point #{}: meaningfulness probability {:.3}, picked in {}/{} views",
+        e.index,
+        e.probability,
+        e.times_picked(),
+        e.evidence.len()
+    );
+    for v in &e.evidence {
+        let _ = writeln!(
+            out,
+            "  major {} view {}: {} at projected distance {:.3} (axes ~ attr {} ({:.2}), attr {} ({:.2}))",
+            v.major + 1,
+            v.minor + 1,
+            if v.picked { "PICKED" } else { "not picked" },
+            v.projected_distance,
+            v.dominant_attributes[0].0,
+            v.dominant_attributes[0].1,
+            v.dominant_attributes[1].0,
+            v.dominant_attributes[1].1,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InteractiveSearch, ProjectionMode, SearchConfig};
+    use hinn_user::HeuristicUser;
+
+    fn session() -> (Vec<Vec<f64>>, Vec<f64>, SearchOutcome) {
+        let mut state = 0xDEAD1234u64;
+        let mut unif = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut pts: Vec<Vec<f64>> = Vec::new();
+        for _ in 0..30 {
+            let mut p: Vec<f64> = (0..6).map(|_| unif() * 100.0).collect();
+            p[0] = 50.0 + (unif() - 0.5) * 2.0;
+            p[1] = 50.0 + (unif() - 0.5) * 2.0;
+            p[2] = 50.0 + (unif() - 0.5) * 2.0;
+            pts.push(p);
+        }
+        for _ in 0..90 {
+            pts.push((0..6).map(|_| unif() * 100.0).collect());
+        }
+        let query = vec![50.0; 6];
+        let config = SearchConfig {
+            max_major_iterations: 1,
+            min_major_iterations: 1,
+            record_profiles: true,
+            ..SearchConfig::default()
+                .with_support(10)
+                .with_mode(ProjectionMode::AxisParallel)
+        };
+        let mut user = HeuristicUser::default();
+        let outcome = InteractiveSearch::new(config).run(&pts, &query, &mut user);
+        (pts, query, outcome)
+    }
+
+    #[test]
+    fn cluster_member_has_pick_evidence() {
+        let (pts, query, outcome) = session();
+        let top = outcome.neighbors[0];
+        let e = explain_neighbor(&outcome, &pts, &query, top);
+        assert_eq!(e.index, top);
+        assert_eq!(e.evidence.len(), outcome.transcript.total_views());
+        assert!(
+            e.times_picked() >= 1,
+            "the top neighbor must have been picked somewhere"
+        );
+        // Its probability matches the outcome's.
+        assert_eq!(e.probability, outcome.probabilities[top]);
+    }
+
+    #[test]
+    fn background_point_has_fewer_picks_than_member() {
+        let (pts, query, outcome) = session();
+        let member = explain_neighbor(&outcome, &pts, &query, 0);
+        // Find the background point with the lowest probability.
+        let worst = (30..120)
+            .min_by(|&a, &b| {
+                outcome.probabilities[a]
+                    .partial_cmp(&outcome.probabilities[b])
+                    .unwrap()
+            })
+            .unwrap();
+        let bg = explain_neighbor(&outcome, &pts, &query, worst);
+        assert!(member.times_picked() > bg.times_picked());
+    }
+
+    #[test]
+    fn text_rendering_contains_the_story() {
+        let (pts, query, outcome) = session();
+        let e = explain_neighbor(&outcome, &pts, &query, outcome.neighbors[0]);
+        let text = explanation_text(&e);
+        assert!(text.contains("meaningfulness probability"));
+        assert!(text.contains("PICKED"));
+        assert!(text.contains("attr"));
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn out_of_range_panics() {
+        let (pts, query, outcome) = session();
+        explain_neighbor(&outcome, &pts, &query, 10_000);
+    }
+}

@@ -1,0 +1,43 @@
+//! The interactive nearest-neighbor search system — the paper's primary
+//! contribution (Figs. 2–8 of Aggarwal, ICDE 2002).
+//!
+//! The system runs *major iterations*, each consisting of `d/2` *minor
+//! iterations*. Every minor iteration:
+//!
+//! 1. finds the most discriminatory query-centered 2-D projection inside
+//!    the subspace orthogonal to everything already shown
+//!    ([`projection::find_query_centered_projection`], Figs. 3–4),
+//! 2. renders its kernel-density visual profile and asks the
+//!    [`hinn_user::UserModel`] to place a density separator — or dismiss
+//!    the view (Figs. 5–6),
+//! 3. turns the separator into the set of points density-connected to the
+//!    query and updates the preference counts ([`counts`], Fig. 7).
+//!
+//! After each major iteration the counts become *meaningfulness
+//! probabilities* under the independent-Bernoulli null ([`meaning`],
+//! Fig. 8); points never picked are removed; and the loop terminates when
+//! the top-`s` ranking stabilizes ([`search`], Fig. 2). The final
+//! probabilities feed the steep-drop diagnosis ([`diagnosis`], §4.1–4.2)
+//! which either reports the *natural* neighbor set or declares the data
+//! not amenable to meaningful nearest-neighbor search.
+//!
+//! Every piece is independently usable; [`search::InteractiveSearch`] is
+//! the packaged driver.
+
+pub mod batch;
+pub mod config;
+pub mod counts;
+pub mod diagnosis;
+pub mod explain;
+pub mod meaning;
+pub mod projection;
+pub mod report;
+pub mod search;
+pub mod transcript;
+
+pub use batch::{BatchRunner, QueryReport};
+pub use config::{BandwidthMode, ProjectionMode, SearchConfig};
+pub use diagnosis::SearchDiagnosis;
+pub use explain::{explain_neighbor, explanation_text, NeighborExplanation};
+pub use search::{InteractiveSearch, SearchOutcome};
+pub use transcript::{MinorRecord, Transcript};

@@ -1,0 +1,158 @@
+//! Meaningfulness quantification (Fig. 8 / §3 of the paper).
+//!
+//! Under the null hypothesis that the user's picks across the `d/2`
+//! orthogonal views of a major iteration are *uncorrelated* (what noisy,
+//! pattern-free data would produce), the total preference
+//! `Y_j = Σᵢ wᵢ·Xᵢⱼ` of point `j` has
+//!
+//! ```text
+//! E[Y_j]   = Σᵢ wᵢ · nᵢ/N
+//! var(Y_j) = Σᵢ wᵢ² · (nᵢ/N)(1 − nᵢ/N)        (Eqs. 4–5)
+//! ```
+//!
+//! where `nᵢ` is how many points the user picked in view `i` and `N` the
+//! current data size. The *meaningfulness coefficient*
+//! `M(j) = (v(j) − E[Y_j]) / √var(Y_j)` (Eq. 6) is approximately standard
+//! normal for large `d`, giving the *meaningfulness probability*
+//! `P(j) = max(2Φ(M(j)) − 1, 0)` (Eq. 7) — the confidence that `j` is
+//! coherently closer to the query than chance across independent views.
+
+use crate::counts::PreferenceCounts;
+use hinn_metrics::normal::meaningfulness_probability;
+
+/// Null-model moments of one major iteration's views.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NullMoments {
+    /// `E[Y_j]` — identical for every point.
+    pub expected: f64,
+    /// `var(Y_j)` — identical for every point.
+    pub variance: f64,
+}
+
+/// Compute the null moments from the recorded views (Eqs. 4–5).
+///
+/// # Panics
+/// Panics if `n_current == 0`.
+pub fn null_moments(counts: &PreferenceCounts, n_current: usize) -> NullMoments {
+    assert!(n_current > 0, "null_moments: empty data set");
+    let n = n_current as f64;
+    let mut expected = 0.0;
+    let mut variance = 0.0;
+    for &(n_i, w_i) in counts.views() {
+        let p = n_i as f64 / n;
+        expected += w_i * p;
+        variance += w_i * w_i * p * (1.0 - p);
+    }
+    NullMoments { expected, variance }
+}
+
+/// The meaningfulness coefficient `M(j)` (Eq. 6) for a point with weighted
+/// count `v`. Returns 0 when the variance is degenerate (every view picked
+/// nothing or everything — no discrimination is possible).
+pub fn meaningfulness_coefficient(v: f64, moments: NullMoments) -> f64 {
+    if moments.variance <= 1e-15 {
+        0.0
+    } else {
+        (v - moments.expected) / moments.variance.sqrt()
+    }
+}
+
+/// The meaningfulness probabilities of one major iteration for the listed
+/// `alive` original ids (Fig. 8's loop body). Output is aligned with
+/// `alive`.
+pub fn iteration_probabilities(counts: &PreferenceCounts, alive: &[usize]) -> Vec<f64> {
+    let moments = null_moments(counts, alive.len());
+    alive
+        .iter()
+        .map(|&id| {
+            meaningfulness_probability(meaningfulness_coefficient(counts.count(id), moments))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_hand_computation() {
+        let mut c = PreferenceCounts::new(10);
+        c.record_view(&[0, 1], 1.0); // n=2 of N=10 → p=0.2
+        c.record_view(&[0, 1, 2, 3, 4], 1.0); // p=0.5
+        let m = null_moments(&c, 10);
+        assert!((m.expected - 0.7).abs() < 1e-12);
+        assert!((m.variance - (0.2 * 0.8 + 0.5 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_enter_linearly_and_quadratically() {
+        let mut c = PreferenceCounts::new(4);
+        c.record_view(&[0], 2.0); // p=0.25, w=2
+        let m = null_moments(&c, 4);
+        assert!((m.expected - 0.5).abs() < 1e-12);
+        assert!((m.variance - 4.0 * 0.25 * 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coherent_point_gets_high_probability() {
+        let mut c = PreferenceCounts::new(100);
+        // Point 0 picked in all 10 views of ~10 points each.
+        for _ in 0..10 {
+            let ids: Vec<usize> = (0..10).collect();
+            c.record_view(&ids, 1.0);
+        }
+        let probs = iteration_probabilities(&c, &(0..100).collect::<Vec<_>>());
+        assert!(
+            probs[0] > 0.99,
+            "coherent point must be near 1: {}",
+            probs[0]
+        );
+        assert_eq!(probs[50], 0.0, "never-picked point must be 0");
+    }
+
+    #[test]
+    fn point_at_expectation_gets_zero() {
+        let mut c = PreferenceCounts::new(10);
+        // Every view picks half the data; a point picked in exactly half
+        // the views sits at the expectation.
+        c.record_view(&[0, 1, 2, 3, 4], 1.0);
+        c.record_view(&[5, 6, 7, 8, 9], 1.0);
+        let m = null_moments(&c, 10);
+        let coeff = meaningfulness_coefficient(1.0, m);
+        assert!(coeff.abs() < 1e-12);
+        let probs = iteration_probabilities(&c, &(0..10).collect::<Vec<_>>());
+        for p in probs {
+            assert!(p < 1e-6, "all points at expectation: {p}");
+        }
+    }
+
+    #[test]
+    fn degenerate_variance_yields_zero() {
+        let mut c = PreferenceCounts::new(5);
+        c.record_discard(1.0); // n=0 → contributes nothing
+        let m = null_moments(&c, 5);
+        assert_eq!(m.variance, 0.0);
+        assert_eq!(meaningfulness_coefficient(3.0, m), 0.0);
+    }
+
+    #[test]
+    fn below_expectation_clamps_to_zero() {
+        let mut c = PreferenceCounts::new(4);
+        c.record_view(&[0, 1, 2], 1.0);
+        c.record_view(&[0, 1, 2], 1.0);
+        let probs = iteration_probabilities(&c, &[0, 1, 2, 3]);
+        assert_eq!(probs[3], 0.0);
+        assert!(probs[0] > 0.0);
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let mut c = PreferenceCounts::new(20);
+        c.record_view(&(0..7).collect::<Vec<_>>(), 1.0);
+        c.record_view(&(3..12).collect::<Vec<_>>(), 0.5);
+        c.record_discard(1.0);
+        for p in iteration_probabilities(&c, &(0..20).collect::<Vec<_>>()) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

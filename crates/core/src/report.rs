@@ -1,0 +1,185 @@
+//! Session reporting: render a completed [`crate::SearchOutcome`] as a
+//! human-readable summary or a machine-readable CSV — the audit trail of
+//! "what did the user actually do, and what did the system conclude".
+//!
+//! The paper's core pitch is that the user *understands* the quality of
+//! the result because they were in the loop; a persistent session report
+//! is the artifact that carries that understanding forward.
+
+use crate::diagnosis::SearchDiagnosis;
+use crate::search::SearchOutcome;
+use hinn_user::UserResponse;
+use std::fmt::Write as _;
+
+/// Render a multi-line human-readable session summary.
+pub fn text_report(outcome: &SearchOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "interactive nearest-neighbor session report");
+    let _ = writeln!(out, "--------------------------------------------");
+    let _ = writeln!(
+        out,
+        "major iterations: {}   views shown: {}   dismissed: {}",
+        outcome.majors_run,
+        outcome.transcript.total_views(),
+        outcome.transcript.total_dismissed()
+    );
+    let _ = writeln!(out, "effective support: {}", outcome.effective_support);
+
+    for major in &outcome.transcript.majors {
+        let _ = writeln!(
+            out,
+            "major {} — {} -> {} points after filtering{}",
+            major.minors.first().map(|m| m.major + 1).unwrap_or(0),
+            major.n_points_before,
+            major.n_points_after,
+            match major.overlap_with_previous {
+                Some(o) => format!(", top-s overlap with previous {:.0}%", o * 100.0),
+                None => String::new(),
+            }
+        );
+        for minor in &major.minors {
+            let action = match &minor.response {
+                UserResponse::Threshold(tau) => {
+                    format!("separator τ = {tau:.5} → {} points", minor.n_picked)
+                }
+                UserResponse::Polygon(lines) => {
+                    format!(
+                        "polygon ({} lines) → {} points",
+                        lines.len(),
+                        minor.n_picked
+                    )
+                }
+                UserResponse::Discard => "dismissed".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  view {:>2}: query at {:>3.0}% of peak; {}",
+                minor.minor + 1,
+                minor.query_peak_ratio * 100.0,
+                action
+            );
+        }
+    }
+
+    match &outcome.diagnosis {
+        SearchDiagnosis::Meaningful {
+            natural_k,
+            gap,
+            top_mean,
+        } => {
+            let _ = writeln!(
+                out,
+                "verdict: MEANINGFUL — natural neighbor set of {natural_k} points \
+                 (cliff {gap:.2}, top mean probability {top_mean:.2})"
+            );
+        }
+        SearchDiagnosis::NotMeaningful { reason, .. } => {
+            let _ = writeln!(out, "verdict: NOT MEANINGFUL — {reason}");
+        }
+    }
+    out
+}
+
+/// Render the per-view log as CSV
+/// (`major,minor,response,tau,n_picked,query_peak_ratio`).
+pub fn views_csv(outcome: &SearchOutcome) -> String {
+    let mut out = String::from("major,minor,response,tau,n_picked,query_peak_ratio\n");
+    for minor in outcome.transcript.iter_minors() {
+        let (kind, tau) = match &minor.response {
+            UserResponse::Threshold(t) => ("threshold", format!("{t}")),
+            UserResponse::Polygon(_) => ("polygon", String::new()),
+            UserResponse::Discard => ("discard", String::new()),
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            minor.major, minor.minor, kind, tau, minor.n_picked, minor.query_peak_ratio
+        );
+    }
+    out
+}
+
+/// Render the final ranking as CSV (`rank,index,probability`), top `k`.
+pub fn ranking_csv(outcome: &SearchOutcome, k: usize) -> String {
+    let mut order: Vec<usize> = (0..outcome.probabilities.len()).collect();
+    order.sort_by(|&a, &b| {
+        outcome.probabilities[b]
+            .partial_cmp(&outcome.probabilities[a])
+            .expect("NaN probability")
+            .then(a.cmp(&b))
+    });
+    let mut out = String::from("rank,index,probability\n");
+    for (rank, &idx) in order.iter().take(k).enumerate() {
+        let _ = writeln!(out, "{},{},{}", rank + 1, idx, outcome.probabilities[idx]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InteractiveSearch, SearchConfig};
+    use hinn_user::ScriptedUser;
+
+    fn outcome() -> SearchOutcome {
+        // Tiny deterministic session: 30 points in 4-D, scripted user that
+        // dismisses everything — structure is what we test here.
+        let points: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                vec![
+                    (i % 5) as f64,
+                    (i / 5) as f64,
+                    (i % 3) as f64,
+                    (i % 7) as f64,
+                ]
+            })
+            .collect();
+        let mut user = ScriptedUser::new([]);
+        let config = SearchConfig {
+            max_major_iterations: 1,
+            min_major_iterations: 1,
+            ..SearchConfig::default().with_support(5)
+        };
+        InteractiveSearch::new(config).run(&points, &points[0].clone(), &mut user)
+    }
+
+    #[test]
+    fn text_report_contains_all_sections() {
+        let o = outcome();
+        let report = text_report(&o);
+        assert!(report.contains("session report"));
+        assert!(report.contains("major 1"));
+        assert!(report.contains("dismissed"));
+        assert!(report.contains("verdict: NOT MEANINGFUL"));
+        // 4-D → 2 minor iterations.
+        assert!(report.contains("view  1:"));
+        assert!(report.contains("view  2:"));
+    }
+
+    #[test]
+    fn views_csv_has_one_row_per_view() {
+        let o = outcome();
+        let csv = views_csv(&o);
+        let rows: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(
+            rows[0],
+            "major,minor,response,tau,n_picked,query_peak_ratio"
+        );
+        assert_eq!(rows.len() - 1, o.transcript.total_views());
+        assert!(rows[1].starts_with("0,0,discard"));
+    }
+
+    #[test]
+    fn ranking_csv_is_sorted_and_capped() {
+        let o = outcome();
+        let csv = ranking_csv(&o, 10);
+        let rows: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(rows.len(), 11);
+        let mut prev = f64::INFINITY;
+        for row in &rows[1..] {
+            let p: f64 = row.split(',').nth(2).unwrap().parse().unwrap();
+            assert!(p <= prev);
+            prev = p;
+        }
+    }
+}

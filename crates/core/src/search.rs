@@ -1,0 +1,428 @@
+//! The interactive search driver (Fig. 2 of the paper).
+
+use crate::config::{BandwidthMode, SearchConfig};
+use crate::counts::PreferenceCounts;
+use crate::diagnosis::SearchDiagnosis;
+use crate::meaning::iteration_probabilities;
+use crate::projection::find_query_centered_projection;
+use crate::transcript::{MajorRecord, MinorRecord, Transcript};
+use hinn_kde::VisualProfile;
+use hinn_linalg::Subspace;
+use hinn_metrics::drop::DropConfig;
+use hinn_user::{UserModel, UserResponse, ViewContext};
+
+/// The packaged interactive nearest-neighbor search system.
+#[derive(Clone, Debug)]
+pub struct InteractiveSearch {
+    config: SearchConfig,
+    drop_config: DropConfig,
+}
+
+/// Everything a completed session produced.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// Top-`s` original indices ranked by meaningfulness probability
+    /// (ties broken by full-space distance to the query).
+    pub neighbors: Vec<usize>,
+    /// Final meaningfulness probability per original point (the average of
+    /// Eq. 8 over the major iterations run).
+    pub probabilities: Vec<f64>,
+    /// Full session transcript.
+    pub transcript: Transcript,
+    /// Meaningful-vs-not verdict (§4.1–4.2).
+    pub diagnosis: SearchDiagnosis,
+    /// How many major iterations ran.
+    pub majors_run: usize,
+    /// The effective support `max(s, d)` that was used.
+    pub effective_support: usize,
+}
+
+impl SearchOutcome {
+    /// The *natural* neighbor set: the `natural_k` points above the steep
+    /// drop, when the session was diagnosed meaningful (§4.1's
+    /// thresholding). `None` when the data was diagnosed not meaningful.
+    pub fn natural_neighbors(&self) -> Option<Vec<usize>> {
+        match self.diagnosis {
+            SearchDiagnosis::Meaningful { natural_k, .. } => {
+                let mut order: Vec<usize> = (0..self.probabilities.len()).collect();
+                order.sort_by(|&a, &b| {
+                    self.probabilities[b]
+                        .partial_cmp(&self.probabilities[a])
+                        .expect("NaN probability")
+                        .then(a.cmp(&b))
+                });
+                order.truncate(natural_k);
+                Some(order)
+            }
+            SearchDiagnosis::NotMeaningful { .. } => None,
+        }
+    }
+}
+
+impl InteractiveSearch {
+    /// Create a search engine with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`SearchConfig::validate`]).
+    pub fn new(config: SearchConfig) -> Self {
+        config.validate();
+        Self {
+            config,
+            drop_config: DropConfig::default(),
+        }
+    }
+
+    /// Override the steep-drop detector configuration.
+    pub fn with_drop_config(mut self, drop_config: DropConfig) -> Self {
+        self.drop_config = drop_config;
+        self
+    }
+
+    /// Run the full interactive session of Fig. 2 against `user`.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, dimensionalities disagree, or `d < 2`.
+    pub fn run(
+        &self,
+        points: &[Vec<f64>],
+        query: &[f64],
+        user: &mut dyn UserModel,
+    ) -> SearchOutcome {
+        assert!(!points.is_empty(), "InteractiveSearch: empty data set");
+        let d = points[0].len();
+        assert!(d >= 2, "InteractiveSearch: need at least 2 dimensions");
+        assert_eq!(query.len(), d, "InteractiveSearch: query dimensionality");
+        assert!(
+            query.iter().all(|v| v.is_finite()),
+            "InteractiveSearch: query contains non-finite coordinates"
+        );
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.len(), d, "InteractiveSearch: ragged point {i}");
+            assert!(
+                p.iter().all(|v| v.is_finite()),
+                "InteractiveSearch: point {i} contains non-finite coordinates"
+            );
+        }
+
+        let n = points.len();
+        let s_eff = self.config.effective_support(d).min(n);
+        let n_minors = (d / 2).max(1);
+
+        let mut alive: Vec<usize> = (0..n).collect();
+        let mut p_sum = vec![0.0f64; n];
+        let mut transcript = Transcript::default();
+        let mut majors_run = 0usize;
+        let mut prev_top: Option<Vec<usize>> = None;
+
+        for major in 0..self.config.max_major_iterations {
+            if alive.len() < 2 {
+                break;
+            }
+            let alive_points: Vec<Vec<f64>> = alive.iter().map(|&i| points[i].clone()).collect();
+            let mut counts = PreferenceCounts::new(n);
+            let mut ec = Subspace::full(d);
+            let mut major_rec = MajorRecord {
+                n_points_before: alive.len(),
+                ..MajorRecord::default()
+            };
+
+            for minor in 0..n_minors {
+                if ec.dim() < 2 {
+                    break;
+                }
+                let proj = find_query_centered_projection(
+                    &alive_points,
+                    query,
+                    &ec,
+                    s_eff,
+                    self.config.projection_mode,
+                );
+                let pts2d: Vec<[f64; 2]> = alive_points
+                    .iter()
+                    .map(|p| {
+                        let c = proj.projection.project(p);
+                        [c[0], c[1]]
+                    })
+                    .collect();
+                let qc = proj.projection.project(query);
+                let profile = match self.config.bandwidth_mode {
+                    BandwidthMode::Fixed => VisualProfile::build(
+                        pts2d,
+                        [qc[0], qc[1]],
+                        self.config.grid_n,
+                        self.config.bandwidth_scale,
+                    ),
+                    BandwidthMode::Adaptive { alpha } => VisualProfile::build_adaptive(
+                        pts2d,
+                        [qc[0], qc[1]],
+                        self.config.grid_n,
+                        self.config.bandwidth_scale,
+                        alpha,
+                    ),
+                };
+                let ctx = ViewContext {
+                    major,
+                    minor,
+                    original_ids: alive.clone(),
+                    total_n: n,
+                };
+                let response = user.respond(&profile, &ctx);
+                let picked_rows: Vec<usize> = match &response {
+                    UserResponse::Threshold(tau) => profile.select(*tau, self.config.corner_rule),
+                    UserResponse::Polygon(lines) => profile.select_polygon(lines),
+                    UserResponse::Discard => Vec::new(),
+                };
+                let w = self.config.weight(minor);
+                if picked_rows.is_empty() {
+                    counts.record_discard(w);
+                } else {
+                    let picked_ids: Vec<usize> = picked_rows.iter().map(|&r| alive[r]).collect();
+                    counts.record_view(&picked_ids, w);
+                }
+                let query_peak_ratio = if profile.max_density() > 0.0 {
+                    profile.query_density() / profile.max_density()
+                } else {
+                    0.0
+                };
+                major_rec.minors.push(MinorRecord {
+                    major,
+                    minor,
+                    projection: proj.projection.clone(),
+                    variance_ratios: proj.variance_ratios.clone(),
+                    response,
+                    n_picked: picked_rows.len(),
+                    query_peak_ratio,
+                    profile: if self.config.record_profiles {
+                        Some(profile)
+                    } else {
+                        None
+                    },
+                });
+                ec = proj.remainder;
+            }
+
+            // Fig. 8: convert counts to per-iteration probabilities.
+            let probs = iteration_probabilities(&counts, &alive);
+            for (k, &id) in alive.iter().enumerate() {
+                p_sum[id] += probs[k];
+            }
+            majors_run += 1;
+
+            // Termination check on the stability of the top-s set.
+            let current_probs: Vec<f64> = p_sum.iter().map(|p| p / majors_run as f64).collect();
+            let top = rank_neighbors(&current_probs, points, query, s_eff);
+            let overlap = prev_top.as_ref().map(|prev| {
+                let prev_set: std::collections::HashSet<usize> = prev.iter().copied().collect();
+                top.iter().filter(|i| prev_set.contains(i)).count() as f64 / s_eff.max(1) as f64
+            });
+            major_rec.overlap_with_previous = overlap;
+
+            // Fig. 2: drop points never picked this iteration.
+            let survivors = counts.survivors(&alive);
+            if survivors.len() >= 2 {
+                alive = survivors;
+            }
+            major_rec.n_points_after = alive.len();
+            transcript.majors.push(major_rec);
+            prev_top = Some(top);
+
+            let stable = overlap
+                .map(|o| o >= self.config.overlap_threshold)
+                .unwrap_or(false);
+            if majors_run >= self.config.min_major_iterations && stable {
+                break;
+            }
+        }
+
+        let probabilities: Vec<f64> = if majors_run > 0 {
+            p_sum.iter().map(|p| p / majors_run as f64).collect()
+        } else {
+            p_sum
+        };
+        let neighbors = rank_neighbors(&probabilities, points, query, s_eff);
+        let diagnosis = SearchDiagnosis::derive(&probabilities, &transcript, &self.drop_config);
+        SearchOutcome {
+            neighbors,
+            probabilities,
+            transcript,
+            diagnosis,
+            majors_run,
+            effective_support: s_eff,
+        }
+    }
+}
+
+/// Rank original indices by probability (descending), breaking ties by
+/// full-space Euclidean distance to the query (ascending), then index.
+fn rank_neighbors(
+    probabilities: &[f64],
+    points: &[Vec<f64>],
+    query: &[f64],
+    k: usize,
+) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..probabilities.len()).collect();
+    order.sort_by(|&a, &b| {
+        probabilities[b]
+            .partial_cmp(&probabilities[a])
+            .expect("NaN probability")
+            .then_with(|| {
+                let da = hinn_linalg::vector::dist_sq(&points[a], query);
+                let db = hinn_linalg::vector::dist_sq(&points[b], query);
+                da.partial_cmp(&db).expect("NaN distance")
+            })
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProjectionMode;
+    use hinn_user::{HeuristicUser, ScriptedUser};
+
+    /// 8-D data: a 30-point cluster tight in dims (0,1,2) around 50, with
+    /// the query at its center; 170 uniform background points.
+    fn planted() -> (Vec<Vec<f64>>, Vec<f64>, Vec<usize>) {
+        let mut state = 0xDA3E39CB94B95BDBu64;
+        let mut unif = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut pts = Vec::new();
+        for _ in 0..30 {
+            let mut p: Vec<f64> = (0..8).map(|_| unif() * 100.0).collect();
+            for k in 0..3 {
+                p[k] = 50.0 + (unif() - 0.5) * 3.0;
+            }
+            pts.push(p);
+        }
+        for _ in 0..170 {
+            pts.push((0..8).map(|_| unif() * 100.0).collect());
+        }
+        (pts, vec![50.0; 8], (0..30).collect())
+    }
+
+    #[test]
+    fn recovers_planted_cluster_with_heuristic_user() {
+        let (pts, q, members) = planted();
+        let config = SearchConfig::default()
+            .with_support(30)
+            .with_mode(ProjectionMode::AxisParallel);
+        let mut user = HeuristicUser::default();
+        let outcome = InteractiveSearch::new(config).run(&pts, &q, &mut user);
+        assert!(outcome.majors_run >= 2);
+        let hits = outcome
+            .neighbors
+            .iter()
+            .filter(|i| members.contains(i))
+            .count();
+        assert!(
+            hits as f64 >= 0.7 * outcome.neighbors.len() as f64,
+            "interactive search should recover the cluster: {hits}/{}",
+            outcome.neighbors.len()
+        );
+        // Cluster members should carry higher probability than background.
+        let mean_member: f64 = members
+            .iter()
+            .map(|&i| outcome.probabilities[i])
+            .sum::<f64>()
+            / members.len() as f64;
+        let mean_bg: f64 = (30..200).map(|i| outcome.probabilities[i]).sum::<f64>() / 170.0;
+        assert!(
+            mean_member > mean_bg + 0.3,
+            "member prob {mean_member} vs background {mean_bg}"
+        );
+    }
+
+    #[test]
+    fn all_discard_user_yields_not_meaningful() {
+        let (pts, q, _) = planted();
+        let config = SearchConfig {
+            max_major_iterations: 2,
+            min_major_iterations: 1,
+            ..SearchConfig::default()
+        };
+        let mut user = ScriptedUser::new([]); // discards everything
+        let outcome = InteractiveSearch::new(config).run(&pts, &q, &mut user);
+        assert!(!outcome.diagnosis.is_meaningful());
+        assert!(outcome.probabilities.iter().all(|&p| p == 0.0));
+        assert!(outcome.natural_neighbors().is_none());
+    }
+
+    #[test]
+    fn probabilities_are_valid_and_aligned() {
+        let (pts, q, _) = planted();
+        let mut user = HeuristicUser::default();
+        let outcome = InteractiveSearch::new(SearchConfig::default().with_support(20))
+            .run(&pts, &q, &mut user);
+        assert_eq!(outcome.probabilities.len(), pts.len());
+        for p in &outcome.probabilities {
+            assert!((0.0..=1.0).contains(p), "probability out of range: {p}");
+        }
+        assert_eq!(outcome.neighbors.len(), outcome.effective_support);
+    }
+
+    #[test]
+    fn transcript_records_every_view() {
+        let (pts, q, _) = planted();
+        let config = SearchConfig {
+            max_major_iterations: 2,
+            min_major_iterations: 2,
+            record_profiles: true,
+            ..SearchConfig::default()
+        };
+        let mut user = HeuristicUser::default();
+        let outcome = InteractiveSearch::new(config).run(&pts, &q, &mut user);
+        // 8 dims → 4 minors per major.
+        assert_eq!(outcome.transcript.majors[0].minors.len(), 4);
+        for rec in outcome.transcript.iter_minors() {
+            assert!(rec.profile.is_some(), "profiles must be recorded");
+            assert_eq!(rec.projection.dim(), 2);
+        }
+    }
+
+    #[test]
+    fn effective_support_clamps_to_dimensionality() {
+        let (pts, q, _) = planted();
+        let mut user = HeuristicUser::default();
+        let outcome = InteractiveSearch::new(SearchConfig::default().with_support(3))
+            .run(&pts, &q, &mut user);
+        assert_eq!(outcome.effective_support, 8, "support must be ≥ d");
+    }
+
+    #[test]
+    fn natural_neighbors_sorted_by_probability() {
+        let (pts, q, _) = planted();
+        let mut user = HeuristicUser::default();
+        let outcome = InteractiveSearch::new(SearchConfig::default().with_support(30))
+            .run(&pts, &q, &mut user);
+        if let Some(natural) = outcome.natural_neighbors() {
+            for w in natural.windows(2) {
+                assert!(outcome.probabilities[w[0]] >= outcome.probabilities[w[1]]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimensionality")]
+    fn query_dim_mismatch_panics() {
+        let mut user = ScriptedUser::new([]);
+        InteractiveSearch::new(SearchConfig::default()).run(
+            &[vec![0.0, 0.0]],
+            &[0.0, 0.0, 0.0],
+            &mut user,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data set")]
+    fn empty_data_panics() {
+        let mut user = ScriptedUser::new([]);
+        InteractiveSearch::new(SearchConfig::default()).run(&[], &[0.0], &mut user);
+    }
+}

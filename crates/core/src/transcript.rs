@@ -1,0 +1,128 @@
+//! Session transcripts: everything that happened across the interactive
+//! loop, for experiments, figures, and auditability.
+
+use hinn_kde::VisualProfile;
+use hinn_linalg::Subspace;
+use hinn_user::UserResponse;
+
+/// Record of one minor iteration (one view shown to the user).
+#[derive(Clone, Debug)]
+pub struct MinorRecord {
+    /// Major iteration index (0-based).
+    pub major: usize,
+    /// Minor iteration index (0-based).
+    pub minor: usize,
+    /// The 2-D projection that was shown (ambient coordinates).
+    pub projection: Subspace,
+    /// Variance ratios of the projection's directions (grading diagnostic —
+    /// §4.1's "graded quality of the projections").
+    pub variance_ratios: Vec<f64>,
+    /// The user's response.
+    pub response: UserResponse,
+    /// How many points the response selected.
+    pub n_picked: usize,
+    /// Query density / peak density in the view (how query-centered the
+    /// view looked).
+    pub query_peak_ratio: f64,
+    /// The full visual profile (present when profile recording is on).
+    pub profile: Option<VisualProfile>,
+}
+
+impl MinorRecord {
+    /// Was the view dismissed (explicitly or by picking nothing)?
+    pub fn dismissed(&self) -> bool {
+        matches!(self.response, UserResponse::Discard) || self.n_picked == 0
+    }
+}
+
+/// Record of one major iteration.
+#[derive(Clone, Debug, Default)]
+pub struct MajorRecord {
+    /// The views of this major iteration.
+    pub minors: Vec<MinorRecord>,
+    /// Data-set size at the start of the iteration.
+    pub n_points_before: usize,
+    /// Data-set size after the `v(i) = 0` removal.
+    pub n_points_after: usize,
+    /// Top-`s` overlap with the previous iteration (None for the first).
+    pub overlap_with_previous: Option<f64>,
+}
+
+/// Complete session transcript.
+#[derive(Clone, Debug, Default)]
+pub struct Transcript {
+    /// One record per major iteration, in order.
+    pub majors: Vec<MajorRecord>,
+}
+
+impl Transcript {
+    /// Total number of views shown across the session.
+    pub fn total_views(&self) -> usize {
+        self.majors.iter().map(|m| m.minors.len()).sum()
+    }
+
+    /// Total number of dismissed views.
+    pub fn total_dismissed(&self) -> usize {
+        self.majors
+            .iter()
+            .flat_map(|m| &m.minors)
+            .filter(|r| r.dismissed())
+            .count()
+    }
+
+    /// Iterate over all minor records in display order.
+    pub fn iter_minors(&self) -> impl Iterator<Item = &MinorRecord> {
+        self.majors.iter().flat_map(|m| m.minors.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(major: usize, minor: usize, response: UserResponse, n: usize) -> MinorRecord {
+        MinorRecord {
+            major,
+            minor,
+            projection: Subspace::full(2),
+            variance_ratios: vec![0.1, 0.2],
+            response,
+            n_picked: n,
+            query_peak_ratio: 0.5,
+            profile: None,
+        }
+    }
+
+    #[test]
+    fn dismissal_logic() {
+        assert!(record(0, 0, UserResponse::Discard, 0).dismissed());
+        assert!(record(0, 0, UserResponse::Threshold(0.5), 0).dismissed());
+        assert!(!record(0, 0, UserResponse::Threshold(0.5), 3).dismissed());
+    }
+
+    #[test]
+    fn transcript_aggregates() {
+        let t = Transcript {
+            majors: vec![
+                MajorRecord {
+                    minors: vec![
+                        record(0, 0, UserResponse::Threshold(0.2), 5),
+                        record(0, 1, UserResponse::Discard, 0),
+                    ],
+                    n_points_before: 100,
+                    n_points_after: 40,
+                    overlap_with_previous: None,
+                },
+                MajorRecord {
+                    minors: vec![record(1, 0, UserResponse::Threshold(0.3), 7)],
+                    n_points_before: 40,
+                    n_points_after: 30,
+                    overlap_with_previous: Some(0.9),
+                },
+            ],
+        };
+        assert_eq!(t.total_views(), 3);
+        assert_eq!(t.total_dismissed(), 1);
+        assert_eq!(t.iter_minors().count(), 3);
+    }
+}

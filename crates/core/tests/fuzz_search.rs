@@ -1,0 +1,74 @@
+//! Fuzz-style robustness: the search loop must complete (no panic, valid
+//! outputs) on arbitrary small datasets with arbitrary (scripted) user
+//! behavior.
+
+use hinn_core::{InteractiveSearch, ProjectionMode, SearchConfig};
+use hinn_user::{ScriptedUser, UserResponse};
+use proptest::prelude::*;
+
+fn arbitrary_dataset() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (2usize..7, 3usize..60).prop_flat_map(|(d, n)| {
+        proptest::collection::vec(proptest::collection::vec(-100.0..100.0f64, d), n..=n)
+    })
+}
+
+fn arbitrary_responses() -> impl Strategy<Value = Vec<UserResponse>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(UserResponse::Discard),
+            // τ relative magnitudes vary wildly; the loop must cope with
+            // thresholds above every density (selecting nothing).
+            (1e-6..10.0f64).prop_map(UserResponse::Threshold),
+        ],
+        0..30,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn search_is_total_on_arbitrary_inputs(
+        points in arbitrary_dataset(),
+        responses in arbitrary_responses(),
+        support in 1usize..20,
+        mode_axis in proptest::bool::ANY,
+        qidx in 0usize..60,
+    ) {
+        let query = points[qidx % points.len()].clone();
+        let config = SearchConfig {
+            max_major_iterations: 2,
+            min_major_iterations: 1,
+            grid_n: 16,
+            projection_mode: if mode_axis {
+                ProjectionMode::AxisParallel
+            } else {
+                ProjectionMode::Arbitrary
+            },
+            ..SearchConfig::default().with_support(support)
+        };
+        let mut user = ScriptedUser::new(responses);
+        let outcome = InteractiveSearch::new(config).run(&points, &query, &mut user);
+
+        // Structural invariants that must hold for ANY input.
+        prop_assert_eq!(outcome.probabilities.len(), points.len());
+        for p in &outcome.probabilities {
+            prop_assert!((0.0..=1.0).contains(p), "P out of range: {p}");
+        }
+        prop_assert_eq!(outcome.neighbors.len(), outcome.effective_support.min(points.len()));
+        // Neighbors are distinct, in-range indices.
+        let set: std::collections::HashSet<_> = outcome.neighbors.iter().collect();
+        prop_assert_eq!(set.len(), outcome.neighbors.len());
+        prop_assert!(outcome.neighbors.iter().all(|&i| i < points.len()));
+        // Transcript is internally consistent.
+        prop_assert_eq!(outcome.transcript.majors.len(), outcome.majors_run);
+        prop_assert!(
+            outcome.transcript.total_dismissed() <= outcome.transcript.total_views()
+        );
+        // Natural neighbors, when reported, are a prefix-sized subset.
+        if let Some(natural) = outcome.natural_neighbors() {
+            prop_assert!(!natural.is_empty());
+            prop_assert!(natural.iter().all(|&i| i < points.len()));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the search core's statistics and subspace
+//! machinery.
+
+use hinn_core::counts::PreferenceCounts;
+use hinn_core::meaning::{iteration_probabilities, meaningfulness_coefficient, null_moments};
+use hinn_core::projection::query_cluster_subspace_mode;
+use hinn_core::ProjectionMode;
+use hinn_linalg::Subspace;
+use proptest::prelude::*;
+
+/// Strategy: a set of views over `n` points — each view picks a random
+/// subset.
+fn views(n: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    proptest::collection::vec(proptest::collection::vec(0..n, 0..n), 1..6).prop_map(|vs| {
+        vs.into_iter()
+            .map(|mut v| {
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn probabilities_always_in_unit_interval(picks in views(25)) {
+        let mut counts = PreferenceCounts::new(25);
+        for v in &picks {
+            if v.is_empty() {
+                counts.record_discard(1.0);
+            } else {
+                counts.record_view(v, 1.0);
+            }
+        }
+        let alive: Vec<usize> = (0..25).collect();
+        for p in iteration_probabilities(&counts, &alive) {
+            prop_assert!((0.0..=1.0).contains(&p), "P out of range: {p}");
+        }
+    }
+
+    #[test]
+    fn never_picked_points_get_zero(picks in views(25)) {
+        let mut counts = PreferenceCounts::new(25);
+        let mut ever = std::collections::HashSet::new();
+        for v in &picks {
+            if v.is_empty() {
+                counts.record_discard(1.0);
+            } else {
+                counts.record_view(v, 1.0);
+                ever.extend(v.iter().copied());
+            }
+        }
+        let alive: Vec<usize> = (0..25).collect();
+        let probs = iteration_probabilities(&counts, &alive);
+        for (i, p) in probs.iter().enumerate() {
+            if !ever.contains(&i) {
+                prop_assert_eq!(*p, 0.0, "unpicked point {} has P {}", i, p);
+            }
+        }
+    }
+
+    #[test]
+    fn probability_is_monotone_in_count(picks in views(25)) {
+        let mut counts = PreferenceCounts::new(25);
+        for v in &picks {
+            if v.is_empty() {
+                counts.record_discard(1.0);
+            } else {
+                counts.record_view(v, 1.0);
+            }
+        }
+        let moments = null_moments(&counts, 25);
+        // More picks → no smaller coefficient.
+        let mut prev = f64::NEG_INFINITY;
+        for v in 0..=picks.len() {
+            let m = meaningfulness_coefficient(v as f64, moments);
+            prop_assert!(m >= prev - 1e-12);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn moments_match_direct_formula(picks in views(40)) {
+        let n = 40.0;
+        let mut counts = PreferenceCounts::new(40);
+        let mut expected = 0.0;
+        let mut variance = 0.0;
+        for v in &picks {
+            if v.is_empty() {
+                counts.record_discard(1.0);
+            } else {
+                counts.record_view(v, 1.0);
+            }
+            let p = v.len() as f64 / n;
+            expected += p;
+            variance += p * (1.0 - p);
+        }
+        let m = null_moments(&counts, 40);
+        prop_assert!((m.expected - expected).abs() < 1e-12);
+        prop_assert!((m.variance - variance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_cluster_subspace_dim_and_orthonormality(
+        cluster in proptest::collection::vec(proptest::collection::vec(-10.0..10.0f64, 5), 6..30),
+        data in proptest::collection::vec(proptest::collection::vec(-10.0..10.0f64, 5), 6..30),
+        l in 1usize..5,
+    ) {
+        let full = Subspace::full(5);
+        for mode in [ProjectionMode::AxisParallel, ProjectionMode::Arbitrary] {
+            let (sub, ratios) = query_cluster_subspace_mode(&full, &cluster, &data, l, mode);
+            prop_assert!(sub.dim() <= l);
+            prop_assert!(sub.is_orthonormal(1e-8));
+            prop_assert_eq!(ratios.len(), sub.dim());
+            for r in &ratios {
+                prop_assert!(*r >= -1e-9, "negative variance ratio {r}");
+            }
+            // Ratios ascend.
+            for w in ratios.windows(2) {
+                prop_assert!(w[0] <= w[1] + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn survivors_are_exactly_positive_counts(picks in views(30)) {
+        let mut counts = PreferenceCounts::new(30);
+        for v in &picks {
+            if v.is_empty() {
+                counts.record_discard(1.0);
+            } else {
+                counts.record_view(v, 1.0);
+            }
+        }
+        let alive: Vec<usize> = (0..30).collect();
+        let survivors = counts.survivors(&alive);
+        for &id in &survivors {
+            prop_assert!(counts.count(id) > 0.0);
+        }
+        for id in 0..30 {
+            if counts.count(id) > 0.0 {
+                prop_assert!(survivors.contains(&id));
+            }
+        }
+    }
+}

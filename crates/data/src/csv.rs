@@ -1,0 +1,165 @@
+//! Minimal CSV persistence for datasets and experiment artifacts.
+//!
+//! Format: one header row `x0,x1,…,x{d-1},label`, then one row per point;
+//! the label column holds the class index or an empty field for outliers.
+//! Hand-rolled (the offline crate set has no `csv` crate); numbers are
+//! written with enough precision to round-trip `f64` exactly.
+
+use crate::dataset::Dataset;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Write `dataset` as CSV to `path`.
+pub fn save_csv(dataset: &Dataset, path: &Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let d = dataset.dim();
+    for j in 0..d {
+        write!(w, "x{j},")?;
+    }
+    writeln!(w, "label")?;
+    for (p, l) in dataset.points.iter().zip(&dataset.labels) {
+        for v in p {
+            // {:?} prints the shortest representation that round-trips.
+            write!(w, "{v:?},")?;
+        }
+        match l {
+            Some(c) => writeln!(w, "{c}")?,
+            None => writeln!(w)?,
+        }
+    }
+    w.flush()
+}
+
+/// Read a dataset previously written by [`save_csv`].
+///
+/// # Errors
+/// Returns `InvalidData` on malformed rows (wrong column count, unparsable
+/// numbers) and propagates I/O errors.
+pub fn load_csv(name: &str, path: &Path) -> io::Result<Dataset> {
+    let file = std::fs::File::open(path)?;
+    let reader = io::BufReader::new(file);
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty CSV"))??;
+    let d = header.split(',').count().saturating_sub(1);
+    if d == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "header has no data columns",
+        ));
+    }
+    let mut points = Vec::new();
+    let mut labels = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != d + 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "row {}: expected {} fields, got {}",
+                    lineno + 2,
+                    d + 1,
+                    fields.len()
+                ),
+            ));
+        }
+        let mut p = Vec::with_capacity(d);
+        for f in &fields[..d] {
+            p.push(f.parse::<f64>().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("row {}: bad number {f:?}: {e}", lineno + 2),
+                )
+            })?);
+        }
+        let label = if fields[d].trim().is_empty() {
+            None
+        } else {
+            Some(fields[d].trim().parse::<usize>().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("row {}: bad label {:?}: {e}", lineno + 2, fields[d]),
+                )
+            })?)
+        };
+        points.push(p);
+        labels.push(label);
+    }
+    if points.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "CSV has no data rows",
+        ));
+    }
+    Ok(Dataset::new(name, points, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hinn_csv_test_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ds = Dataset::new(
+            "rt",
+            vec![vec![1.5, -2.25, 1.0 / 3.0], vec![0.0, 1e-10, 4.0]],
+            vec![Some(1), None],
+        );
+        let path = tmp("roundtrip");
+        save_csv(&ds, &path).unwrap();
+        let back = load_csv("rt", &path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.points, ds.points);
+        assert_eq!(back.labels, ds.labels);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let path = tmp("ragged");
+        std::fs::write(&path, "x0,x1,label\n1.0,2.0,0\n1.0,0\n").unwrap();
+        let err = load_csv("bad", &path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_bad_numbers_and_labels() {
+        let path = tmp("badnum");
+        std::fs::write(&path, "x0,label\nfoo,0\n").unwrap();
+        assert!(load_csv("bad", &path).is_err());
+        std::fs::write(&path, "x0,label\n1.0,minus\n").unwrap();
+        assert!(load_csv("bad", &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_empty_file() {
+        let path = tmp("empty");
+        std::fs::write(&path, "").unwrap();
+        assert!(load_csv("bad", &path).is_err());
+        std::fs::write(&path, "x0,label\n").unwrap();
+        assert!(load_csv("bad", &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let path = tmp("blank");
+        std::fs::write(&path, "x0,label\n1.0,0\n\n2.0,1\n").unwrap();
+        let ds = load_csv("ok", &path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(ds.len(), 2);
+    }
+}

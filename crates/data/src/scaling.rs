@@ -1,0 +1,150 @@
+//! Feature scaling.
+//!
+//! Real datasets mix attribute scales (the UCI ionosphere attributes live
+//! in `[-1, 1]`, segmentation attributes span orders of magnitude), while
+//! everything downstream — Euclidean distances, variance ratios, KDE
+//! bandwidths — implicitly assumes comparable scales. These transforms
+//! are fit on a dataset and reapplied to external queries, so a query
+//! point travels through the same coordinates as the data it is searched
+//! against.
+
+use crate::dataset::Dataset;
+
+/// A fitted per-dimension affine transform `x ↦ (x − offset) · scale`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeatureScaler {
+    offset: Vec<f64>,
+    scale: Vec<f64>,
+}
+
+impl FeatureScaler {
+    /// Fit a min-max scaler mapping each dimension of `data` onto `[0, hi]`
+    /// (constant dimensions map to 0).
+    ///
+    /// # Panics
+    /// Panics if `hi <= 0`.
+    pub fn min_max(data: &Dataset, hi: f64) -> Self {
+        assert!(hi > 0.0, "FeatureScaler: hi must be positive");
+        let bb = data.bounding_box();
+        let offset: Vec<f64> = bb.iter().map(|&(lo, _)| lo).collect();
+        let scale: Vec<f64> = bb
+            .iter()
+            .map(|&(lo, hi_d)| {
+                let span = hi_d - lo;
+                if span > 1e-12 {
+                    hi / span
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Self { offset, scale }
+    }
+
+    /// Fit a z-score scaler (mean 0, standard deviation `sd` per dimension;
+    /// constant dimensions map to 0).
+    ///
+    /// # Panics
+    /// Panics if `sd <= 0`.
+    pub fn standard(data: &Dataset, sd: f64) -> Self {
+        assert!(sd > 0.0, "FeatureScaler: sd must be positive");
+        let offset = hinn_linalg::stats::mean_vector(&data.points);
+        let var = hinn_linalg::stats::coordinate_variances(&data.points);
+        let scale = var
+            .iter()
+            .map(|&v| if v > 1e-24 { sd / v.sqrt() } else { 0.0 })
+            .collect();
+        Self { offset, scale }
+    }
+
+    /// Transform one point.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch.
+    pub fn apply(&self, point: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            point.len(),
+            self.offset.len(),
+            "FeatureScaler: dimension mismatch"
+        );
+        point
+            .iter()
+            .zip(self.offset.iter().zip(&self.scale))
+            .map(|(x, (o, s))| (x - o) * s)
+            .collect()
+    }
+
+    /// Transform a whole dataset (labels preserved).
+    pub fn apply_dataset(&self, data: &Dataset) -> Dataset {
+        Dataset::new(
+            format!("{} (scaled)", data.name),
+            data.points.iter().map(|p| self.apply(p)).collect(),
+            data.labels.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::unlabeled(
+            "toy",
+            vec![
+                vec![0.0, -10.0, 7.0],
+                vec![5.0, 10.0, 7.0],
+                vec![10.0, 0.0, 7.0],
+            ],
+        )
+    }
+
+    #[test]
+    fn min_max_maps_onto_range() {
+        let ds = toy();
+        let scaler = FeatureScaler::min_max(&ds, 100.0);
+        let scaled = scaler.apply_dataset(&ds);
+        let bb = scaled.bounding_box();
+        assert!((bb[0].0 - 0.0).abs() < 1e-12 && (bb[0].1 - 100.0).abs() < 1e-12);
+        assert!((bb[1].0 - 0.0).abs() < 1e-12 && (bb[1].1 - 100.0).abs() < 1e-12);
+        // Constant dimension collapses to zero, not NaN.
+        assert!(scaled.points.iter().all(|p| p[2] == 0.0));
+    }
+
+    #[test]
+    fn standard_gives_unit_moments() {
+        let ds = toy();
+        let scaler = FeatureScaler::standard(&ds, 1.0);
+        let scaled = scaler.apply_dataset(&ds);
+        let mean = hinn_linalg::stats::mean_vector(&scaled.points);
+        let var = hinn_linalg::stats::coordinate_variances(&scaled.points);
+        for j in 0..2 {
+            assert!(mean[j].abs() < 1e-12);
+            assert!((var[j] - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(var[2], 0.0);
+    }
+
+    #[test]
+    fn external_query_travels_with_the_data() {
+        let ds = toy();
+        let scaler = FeatureScaler::min_max(&ds, 1.0);
+        // The midpoint of dim 0's range must map to 0.5.
+        let q = scaler.apply(&[5.0, 0.0, 7.0]);
+        assert!((q[0] - 0.5).abs() < 1e-12);
+        assert!((q[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_survive_scaling() {
+        let ds = Dataset::new("labeled", vec![vec![1.0], vec![2.0]], vec![Some(1), None]);
+        let scaled = FeatureScaler::min_max(&ds, 1.0).apply_dataset(&ds);
+        assert_eq!(scaled.labels, ds.labels);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        FeatureScaler::min_max(&toy(), 1.0).apply(&[1.0]);
+    }
+}

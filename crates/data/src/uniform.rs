@@ -1,0 +1,99 @@
+//! Baseline distributions: the uniform hypercube (§4.2's "poorly behaved"
+//! case — high local implicit dimensionality, hence truly meaningless
+//! nearest neighbors) and isotropic Gaussian blobs for controlled tests.
+
+use crate::dataset::Dataset;
+use crate::projected::randn;
+use rand::Rng;
+
+/// `n` points uniform in `[0, range]^d` — the canonical data set for which
+/// high-dimensional NN search is *not* meaningful (§4.2 uses
+/// `N = 5000`, `d = 20`).
+pub fn uniform_hypercube<R: Rng>(n: usize, d: usize, range: f64, rng: &mut R) -> Dataset {
+    assert!(
+        n > 0 && d > 0,
+        "uniform_hypercube: n and d must be positive"
+    );
+    assert!(range > 0.0, "uniform_hypercube: range must be positive");
+    let points = (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(0.0..range)).collect())
+        .collect();
+    Dataset::unlabeled(format!("uniform({n}x{d})"), points)
+}
+
+/// `n` points from an isotropic Gaussian centered at `center` with standard
+/// deviation `sigma` — a single unambiguous full-space cluster.
+pub fn gaussian_blob<R: Rng>(n: usize, center: &[f64], sigma: f64, rng: &mut R) -> Dataset {
+    assert!(n > 0, "gaussian_blob: n must be positive");
+    assert!(sigma > 0.0, "gaussian_blob: sigma must be positive");
+    let points = (0..n)
+        .map(|_| center.iter().map(|c| c + sigma * randn(rng)).collect())
+        .collect();
+    let labels = vec![Some(0); n];
+    Dataset::new(
+        format!("gaussian-blob({n}x{})", center.len()),
+        points,
+        labels,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_stays_in_box() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = uniform_hypercube(500, 7, 10.0, &mut rng);
+        assert_eq!(ds.len(), 500);
+        assert_eq!(ds.dim(), 7);
+        for p in &ds.points {
+            assert!(p.iter().all(|&v| (0.0..10.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_center() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = uniform_hypercube(5000, 3, 2.0, &mut rng);
+        let mean = hinn_linalg::stats::mean_vector(&ds.points);
+        for m in mean {
+            assert!((m - 1.0).abs() < 0.05, "uniform mean off: {m}");
+        }
+    }
+
+    #[test]
+    fn blob_concentrates_at_center() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let center = vec![5.0, -3.0, 0.0];
+        let ds = gaussian_blob(4000, &center, 0.5, &mut rng);
+        let mean = hinn_linalg::stats::mean_vector(&ds.points);
+        for (m, c) in mean.iter().zip(&center) {
+            assert!((m - c).abs() < 0.05);
+        }
+        let var = hinn_linalg::stats::coordinate_variances(&ds.points);
+        for v in var {
+            assert!(
+                (v - 0.25).abs() < 0.03,
+                "variance should be σ²=0.25, got {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn blob_is_labeled_single_cluster() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ds = gaussian_blob(10, &[0.0], 1.0, &mut rng);
+        assert_eq!(ds.n_classes(), 1);
+        assert_eq!(ds.cluster_members(0).len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_points_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        uniform_hypercube(0, 3, 1.0, &mut rng);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the data generators.
+
+use hinn_data::projected::{
+    generate_projected_clusters_detailed, Orientation, ProjectedClusterSpec,
+};
+use hinn_data::uci::{class_subspace_dataset_detailed, ClassSpec};
+use hinn_data::uniform::uniform_hypercube;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn projected_generator_respects_spec(
+        n in 50usize..300,
+        dim in 4usize..12,
+        n_clusters in 1usize..4,
+        outlier_pct in 0usize..30,
+        seed in 0u64..1000,
+        arbitrary in proptest::bool::ANY,
+    ) {
+        let cluster_dim = (dim / 2).max(1);
+        let spec = ProjectedClusterSpec {
+            name: "prop".into(),
+            n_points: n,
+            dim,
+            n_clusters,
+            cluster_dim,
+            outlier_fraction: outlier_pct as f64 / 100.0,
+            range: 100.0,
+            spread: 2.0,
+            orientation: if arbitrary { Orientation::Arbitrary } else { Orientation::AxisParallel },
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (ds, infos) = generate_projected_clusters_detailed(&spec, &mut rng);
+        prop_assert_eq!(ds.len(), n);
+        prop_assert_eq!(ds.dim(), dim);
+        prop_assert_eq!(infos.len(), n_clusters);
+        // Sizes account for every point.
+        let total: usize = infos.iter().map(|i| i.size).sum();
+        prop_assert_eq!(total + ds.outliers().len(), n);
+        // Subspaces are orthonormal and of the declared dimensionality.
+        for info in &infos {
+            prop_assert_eq!(info.subspace.dim(), cluster_dim);
+            prop_assert!(info.subspace.is_orthonormal(1e-8));
+            prop_assert_eq!(info.sigmas.len(), cluster_dim);
+        }
+        // Labels agree with reported sizes.
+        for (c, info) in infos.iter().enumerate() {
+            prop_assert_eq!(ds.cluster_members(c).len(), info.size);
+        }
+    }
+
+    #[test]
+    fn class_generator_sizes_exact(
+        sizes in proptest::collection::vec(5usize..60, 1..5),
+        signal in 1usize..4,
+        modes in 1usize..4,
+        scatter_pct in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        let spec = ClassSpec {
+            name: "prop".into(),
+            class_sizes: sizes.clone(),
+            dim: 8,
+            signal_dims: signal,
+            subclusters: modes,
+            signal_sigma: 0.5,
+            sigma_spread: 1.2,
+            range: 10.0,
+            scatter_fraction: scatter_pct as f64 / 100.0,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (ds, mode_ids, mode_infos) = class_subspace_dataset_detailed(&spec, &mut rng);
+        prop_assert_eq!(ds.len(), sizes.iter().sum::<usize>());
+        prop_assert_eq!(mode_ids.len(), ds.len());
+        for (c, &size) in sizes.iter().enumerate() {
+            prop_assert_eq!(ds.cluster_members(c).len(), size);
+        }
+        // Every non-scatter mode id refers to a real mode of the right class.
+        for (i, &mid) in mode_ids.iter().enumerate() {
+            if let Some(info) = mode_infos.get(mid) {
+                prop_assert_eq!(Some(info.class), ds.labels[i]);
+            }
+        }
+        // Mode sizes sum to class size minus scatter.
+        let mode_total: usize = mode_infos.iter().map(|m| m.size).sum();
+        prop_assert!(mode_total <= ds.len());
+    }
+
+    #[test]
+    fn uniform_is_in_bounds_and_unlabeled(
+        n in 1usize..300,
+        d in 1usize..10,
+        range_tenths in 1usize..100,
+        seed in 0u64..1000,
+    ) {
+        let range = range_tenths as f64 / 10.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = uniform_hypercube(n, d, range, &mut rng);
+        prop_assert_eq!(ds.len(), n);
+        prop_assert_eq!(ds.dim(), d);
+        prop_assert_eq!(ds.outliers().len(), n);
+        for p in &ds.points {
+            for &v in p {
+                prop_assert!((0.0..range).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_any_dataset(
+        n in 1usize..40,
+        d in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = uniform_hypercube(n, d, 10.0, &mut rng);
+        let mut path = std::env::temp_dir();
+        path.push(format!("hinn_prop_csv_{}_{seed}_{n}_{d}.csv", std::process::id()));
+        hinn_data::csv::save_csv(&ds, &path).unwrap();
+        let back = hinn_data::csv::load_csv("rt", &path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back.points, ds.points);
+        prop_assert_eq!(back.labels, ds.labels);
+    }
+}

@@ -1,0 +1,221 @@
+//! Adaptive (variable-bandwidth) kernel density estimation — Silverman,
+//! *Density Estimation for Statistics and Data Analysis* (the paper's
+//! reference \[26\]), §5.3.
+//!
+//! The fixed-bandwidth estimator of [`crate::estimate`] must compromise: a
+//! bandwidth wide enough to smooth sparse background regions over-smooths
+//! dense clusters (this workspace's default mitigates that with a global
+//! scale factor — see `SearchConfig::bandwidth_scale`). Silverman's
+//! *adaptive kernel estimator* resolves the tension per-point:
+//!
+//! 1. compute a fixed-bandwidth **pilot** estimate `f̃`,
+//! 2. give each data point a local bandwidth factor
+//!    `λᵢ = (f̃(xᵢ) / g)^(−α)` where `g` is the geometric mean of the pilot
+//!    densities and `α ∈ [0, 1]` the sensitivity (Silverman recommends
+//!    `α = 1/2`),
+//! 3. estimate with per-point bandwidths `h·λᵢ`: narrow kernels in dense
+//!    regions (sharp peaks), wide kernels in sparse ones (smooth tails).
+//!
+//! The ablation experiment compares this against the scaled-Silverman
+//! default on cluster-separation quality.
+
+use crate::grid::{DensityGrid, GridSpec};
+use crate::kernel::{gaussian_kernel, Bandwidth2D};
+
+/// Per-point bandwidth factors `λᵢ` from a pilot estimate.
+#[derive(Clone, Debug)]
+pub struct AdaptiveBandwidths {
+    /// Base (pilot) bandwidths.
+    pub base: Bandwidth2D,
+    /// Per-point multipliers `λᵢ`.
+    pub factors: Vec<f64>,
+    /// Sensitivity exponent used.
+    pub alpha: f64,
+}
+
+/// Compute Silverman's adaptive bandwidth factors for `points`.
+///
+/// `alpha = 0` reduces to the fixed-bandwidth estimator (`λᵢ ≡ 1`);
+/// `alpha = 0.5` is the recommended setting.
+///
+/// # Panics
+/// Panics if `points` is empty or `alpha ∉ [0, 1]`.
+pub fn adaptive_bandwidths(
+    points: &[[f64; 2]],
+    base: Bandwidth2D,
+    alpha: f64,
+) -> AdaptiveBandwidths {
+    assert!(!points.is_empty(), "adaptive_bandwidths: empty point set");
+    assert!(
+        (0.0..=1.0).contains(&alpha),
+        "adaptive_bandwidths: alpha must be in [0, 1]"
+    );
+
+    // Pilot densities at the data points (fixed bandwidth). A coarse grid
+    // pilot keeps this O(N·p²) instead of O(N²) for large N.
+    let spec = GridSpec::covering(points, &[], 0.15, 64);
+    let pilot = crate::estimate::estimate_grid(points, base, spec);
+    let dens: Vec<f64> = points
+        .iter()
+        .map(|p| pilot.interpolate(p[0], p[1]).max(1e-300))
+        .collect();
+
+    // Geometric mean of the pilot densities.
+    let log_g = dens.iter().map(|d| d.ln()).sum::<f64>() / dens.len() as f64;
+    let g = log_g.exp();
+
+    let factors = dens.iter().map(|d| (d / g).powf(-alpha)).collect();
+    AdaptiveBandwidths {
+        base,
+        factors,
+        alpha,
+    }
+}
+
+/// Evaluate the adaptive estimator on every grid point of `spec`.
+///
+/// Each point contributes a product-Gaussian with its own bandwidth
+/// `(hx·λᵢ, hy·λᵢ)` (sample-point estimator: the bandwidth rides with the
+/// data point, keeping the estimate a genuine density).
+#[allow(clippy::needless_range_loop)] // index loops mirror the grid math
+pub fn estimate_grid_adaptive(
+    points: &[[f64; 2]],
+    bw: &AdaptiveBandwidths,
+    spec: GridSpec,
+) -> DensityGrid {
+    assert_eq!(
+        points.len(),
+        bw.factors.len(),
+        "estimate_grid_adaptive: factor count mismatch"
+    );
+    let n = spec.n;
+    let mut values = vec![0.0; n * n];
+    if points.is_empty() {
+        return DensityGrid::new(spec, values);
+    }
+    let inv_n = 1.0 / points.len() as f64;
+    let trunc = 6.0;
+    let mut kx = vec![0.0; n];
+    let mut ky = vec![0.0; n];
+    for (p, &lambda) in points.iter().zip(&bw.factors) {
+        let hx = bw.base.hx * lambda;
+        let hy = bw.base.hy * lambda;
+        let x_lo = (((p[0] - trunc * hx - spec.x0) / spec.dx).ceil().max(0.0)) as usize;
+        let x_hi_f = ((p[0] + trunc * hx - spec.x0) / spec.dx).floor();
+        let y_lo = (((p[1] - trunc * hy - spec.y0) / spec.dy).ceil().max(0.0)) as usize;
+        let y_hi_f = ((p[1] + trunc * hy - spec.y0) / spec.dy).floor();
+        if x_hi_f < 0.0 || y_hi_f < 0.0 {
+            continue;
+        }
+        let x_hi = (x_hi_f as usize).min(n - 1);
+        let y_hi = (y_hi_f as usize).min(n - 1);
+        if x_lo > x_hi || y_lo > y_hi {
+            continue;
+        }
+        for ix in x_lo..=x_hi {
+            let gx = spec.x0 + ix as f64 * spec.dx;
+            kx[ix] = gaussian_kernel(gx - p[0], hx);
+        }
+        for iy in y_lo..=y_hi {
+            let gy = spec.y0 + iy as f64 * spec.dy;
+            ky[iy] = gaussian_kernel(gy - p[1], hy);
+        }
+        for iy in y_lo..=y_hi {
+            let row = &mut values[iy * n..(iy + 1) * n];
+            let kyv = ky[iy];
+            for ix in x_lo..=x_hi {
+                row[ix] += kx[ix] * kyv;
+            }
+        }
+    }
+    for v in &mut values {
+        *v *= inv_n;
+    }
+    DensityGrid::new(spec, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Bandwidth2D;
+
+    /// A tight 60-point cluster at the origin plus 60 scattered points.
+    fn cluster_and_noise() -> Vec<[f64; 2]> {
+        let mut pts = Vec::new();
+        for i in 0..60 {
+            let a = i as f64 * 0.7;
+            pts.push([0.2 * a.sin() * 0.2, 0.2 * a.cos() * 0.2]);
+        }
+        for i in 0..60 {
+            pts.push([
+                2.0 + 8.0 * ((i * 37 % 60) as f64 / 60.0),
+                -4.0 + 8.0 * ((i * 53 % 60) as f64 / 60.0),
+            ]);
+        }
+        pts
+    }
+
+    #[test]
+    fn alpha_zero_matches_fixed_estimator() {
+        let pts = cluster_and_noise();
+        let base = Bandwidth2D::silverman(&pts);
+        let bw = adaptive_bandwidths(&pts, base, 0.0);
+        assert!(bw.factors.iter().all(|&f| (f - 1.0).abs() < 1e-12));
+        let spec = GridSpec::covering(&pts, &[], 0.2, 31);
+        let adaptive = estimate_grid_adaptive(&pts, &bw, spec);
+        let fixed = crate::estimate::estimate_grid(&pts, base, spec);
+        for (a, b) in adaptive.values().iter().zip(fixed.values()) {
+            assert!((a - b).abs() < 1e-9, "alpha=0 must equal fixed: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dense_points_get_narrow_kernels() {
+        let pts = cluster_and_noise();
+        let base = Bandwidth2D::silverman(&pts);
+        let bw = adaptive_bandwidths(&pts, base, 0.5);
+        let cluster_mean: f64 = bw.factors[..60].iter().sum::<f64>() / 60.0;
+        let noise_mean: f64 = bw.factors[60..].iter().sum::<f64>() / 60.0;
+        assert!(
+            cluster_mean < noise_mean,
+            "cluster factors ({cluster_mean:.2}) must be below noise factors ({noise_mean:.2})"
+        );
+        assert!(cluster_mean < 1.0);
+        assert!(noise_mean > 1.0);
+    }
+
+    #[test]
+    fn adaptive_peak_is_sharper_than_fixed() {
+        let pts = cluster_and_noise();
+        let base = Bandwidth2D::silverman(&pts);
+        let spec = GridSpec::covering(&pts, &[], 0.2, 61);
+        let fixed = crate::estimate::estimate_grid(&pts, base, spec);
+        let bw = adaptive_bandwidths(&pts, base, 0.5);
+        let adaptive = estimate_grid_adaptive(&pts, &bw, spec);
+        // Peak (at the cluster) must be higher relative to the same grid's
+        // total mass for the adaptive estimator.
+        assert!(
+            adaptive.max() > 1.5 * fixed.max(),
+            "adaptive peak {} vs fixed {}",
+            adaptive.max(),
+            fixed.max()
+        );
+    }
+
+    #[test]
+    fn adaptive_estimate_integrates_to_about_one() {
+        let pts = cluster_and_noise();
+        let base = Bandwidth2D::silverman(&pts);
+        let bw = adaptive_bandwidths(&pts, base, 0.5);
+        let spec = GridSpec::covering(&pts, &[], 1.0, 121);
+        let g = estimate_grid_adaptive(&pts, &bw, spec);
+        let mass = g.integral();
+        assert!((mass - 1.0).abs() < 0.05, "adaptive mass {mass}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn invalid_alpha_panics() {
+        adaptive_bandwidths(&[[0.0, 0.0]], Bandwidth2D { hx: 1.0, hy: 1.0 }, 1.5);
+    }
+}

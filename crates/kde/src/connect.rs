@@ -1,0 +1,299 @@
+//! Grid-based density connectivity (Definitions 2.1 / 2.2 of the paper).
+//!
+//! A data point is *density connected* to the query `Q` at noise threshold
+//! `τ` if a path of density ≥ τ joins them (Def. 2.1). The paper
+//! approximates this on the evaluation grid: an elementary rectangle belongs
+//! to `R(τ, Q)` iff it is joined to `Q`'s rectangle by a chain of *adjacent*
+//! (side-sharing) rectangles, each having **at least three corners** with
+//! density above `τ` (Def. 2.2). A breadth-first flood fill from `Q`'s
+//! rectangle computes `R(τ, Q)` exactly.
+//!
+//! The ≥3-corners rule is one point in a design space; [`CornerRule`] also
+//! exposes stricter/looser variants for the ablation experiments.
+
+use crate::grid::DensityGrid;
+use std::collections::VecDeque;
+
+/// Which corner predicate qualifies an elementary rectangle as "dense".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CornerRule {
+    /// Paper's Def. 2.2: at least 3 of 4 corners above `τ`.
+    AtLeastThree,
+    /// Strict variant: all 4 corners above `τ`.
+    AllFour,
+    /// Loose variant: any corner above `τ`.
+    AnyOne,
+    /// At least 2 of 4 corners above `τ`.
+    AtLeastTwo,
+}
+
+impl CornerRule {
+    /// Does a rectangle with the given corner densities qualify at `τ`?
+    #[inline]
+    pub fn qualifies(self, corners: [f64; 4], tau: f64) -> bool {
+        let k = corners.iter().filter(|&&c| c > tau).count();
+        match self {
+            CornerRule::AtLeastThree => k >= 3,
+            CornerRule::AllFour => k == 4,
+            CornerRule::AnyOne => k >= 1,
+            CornerRule::AtLeastTwo => k >= 2,
+        }
+    }
+}
+
+/// Boolean mask over elementary rectangles, row-major
+/// (`cy * cells_per_axis + cx`), marking membership in `R(τ, Q)`.
+#[derive(Clone, Debug)]
+pub struct CellMask {
+    /// Rectangles per axis.
+    pub cells_per_axis: usize,
+    mask: Vec<bool>,
+}
+
+impl CellMask {
+    /// Is rectangle `(cx, cy)` in the connected set?
+    #[inline]
+    pub fn contains(&self, cx: usize, cy: usize) -> bool {
+        self.mask[cy * self.cells_per_axis + cx]
+    }
+
+    /// Number of rectangles in the connected set.
+    pub fn count(&self) -> usize {
+        self.mask.iter().filter(|&&b| b).count()
+    }
+
+    /// Iterate over `(cx, cy)` of member rectangles.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let m = self.cells_per_axis;
+        self.mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(move |(i, _)| (i % m, i / m))
+    }
+}
+
+/// Compute `R(τ, Q)`: the rectangles density-connected to the one containing
+/// the query (Def. 2.2), via BFS over side-adjacent qualifying rectangles.
+///
+/// If the query's own rectangle does not qualify, the result is empty — the
+/// query sits in a region below the noise threshold and nothing is selected
+/// (the "user dismisses this view" situation of §2.2).
+pub fn connected_cells(
+    grid: &DensityGrid,
+    tau: f64,
+    query_cell: (usize, usize),
+    rule: CornerRule,
+) -> CellMask {
+    let m = grid.spec.cells_per_axis();
+    let mut mask = vec![false; m * m];
+    let (qx, qy) = query_cell;
+    assert!(
+        qx < m && qy < m,
+        "connected_cells: query cell out of bounds"
+    );
+
+    let qualifies = |cx: usize, cy: usize| rule.qualifies(grid.cell_corners(cx, cy), tau);
+
+    if !qualifies(qx, qy) {
+        return CellMask {
+            cells_per_axis: m,
+            mask,
+        };
+    }
+    let mut queue = VecDeque::new();
+    mask[qy * m + qx] = true;
+    queue.push_back((qx, qy));
+    while let Some((cx, cy)) = queue.pop_front() {
+        let visit =
+            |nx: usize, ny: usize, mask: &mut Vec<bool>, queue: &mut VecDeque<(usize, usize)>| {
+                if !mask[ny * m + nx] && qualifies(nx, ny) {
+                    mask[ny * m + nx] = true;
+                    queue.push_back((nx, ny));
+                }
+            };
+        if cx > 0 {
+            visit(cx - 1, cy, &mut mask, &mut queue);
+        }
+        if cx + 1 < m {
+            visit(cx + 1, cy, &mut mask, &mut queue);
+        }
+        if cy > 0 {
+            visit(cx, cy - 1, &mut mask, &mut queue);
+        }
+        if cy + 1 < m {
+            visit(cx, cy + 1, &mut mask, &mut queue);
+        }
+    }
+    CellMask {
+        cells_per_axis: m,
+        mask,
+    }
+}
+
+/// Indices of the 2-D `points` that fall inside rectangles of `mask`.
+/// Points outside the grid are never selected.
+pub fn points_in_mask(points: &[[f64; 2]], grid: &DensityGrid, mask: &CellMask) -> Vec<usize> {
+    points
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| {
+            grid.spec
+                .cell_of(p[0], p[1])
+                .filter(|&(cx, cy)| mask.contains(cx, cy))
+                .map(|_| i)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{DensityGrid, GridSpec};
+
+    /// 5×5 grid points (4×4 cells), unit spacing, with a dense 2×2-cell
+    /// block of grid points in the lower-left and another dense point block
+    /// in the upper-right, separated by a zero-density moat.
+    fn two_island_grid() -> DensityGrid {
+        let spec = GridSpec {
+            x0: 0.0,
+            y0: 0.0,
+            dx: 1.0,
+            dy: 1.0,
+            n: 5,
+        };
+        let mut v = vec![0.0; 25];
+        // Lower-left island: grid points (0..=2, 0..=2).
+        for iy in 0..=2usize {
+            for ix in 0..=2usize {
+                v[iy * 5 + ix] = 10.0;
+            }
+        }
+        // Upper-right island: grid points (4, 4) neighborhood.
+        v[4 * 5 + 4] = 10.0;
+        v[4 * 5 + 3] = 10.0;
+        v[3 * 5 + 4] = 10.0;
+        v[3 * 5 + 3] = 10.0;
+        DensityGrid::new(spec, v)
+    }
+
+    #[test]
+    fn corner_rules() {
+        let c = [5.0, 5.0, 5.0, 0.0];
+        assert!(CornerRule::AtLeastThree.qualifies(c, 1.0));
+        assert!(!CornerRule::AllFour.qualifies(c, 1.0));
+        assert!(CornerRule::AnyOne.qualifies([5.0, 0.0, 0.0, 0.0], 1.0));
+        assert!(CornerRule::AtLeastTwo.qualifies([5.0, 5.0, 0.0, 0.0], 1.0));
+        assert!(!CornerRule::AtLeastTwo.qualifies([5.0, 0.0, 0.0, 0.0], 1.0));
+        // Threshold is strict (> τ).
+        assert!(!CornerRule::AnyOne.qualifies([1.0, 1.0, 1.0, 1.0], 1.0));
+    }
+
+    #[test]
+    fn flood_fill_stays_on_query_island() {
+        let g = two_island_grid();
+        // Query in cell (0,0) — on the lower-left island.
+        let mask = connected_cells(&g, 1.0, (0, 0), CornerRule::AllFour);
+        // Lower-left island cells with all 4 corners dense: (0..2, 0..2).
+        assert!(mask.contains(0, 0));
+        assert!(mask.contains(1, 1));
+        assert!(!mask.contains(3, 3), "other island must not be reached");
+        assert_eq!(mask.count(), 4);
+    }
+
+    #[test]
+    fn other_island_reachable_from_its_own_query() {
+        let g = two_island_grid();
+        let mask = connected_cells(&g, 1.0, (3, 3), CornerRule::AllFour);
+        assert!(mask.contains(3, 3));
+        assert!(!mask.contains(0, 0));
+        assert_eq!(mask.count(), 1);
+    }
+
+    #[test]
+    fn query_below_threshold_selects_nothing() {
+        let g = two_island_grid();
+        // Cell (2,2) corners: (2,2)=10 but (3,2),(2,3),(3,3)=0 → only 1 corner.
+        let mask = connected_cells(&g, 1.0, (2, 2), CornerRule::AtLeastThree);
+        assert_eq!(mask.count(), 0);
+    }
+
+    #[test]
+    fn at_least_three_extends_over_fringe() {
+        let g = two_island_grid();
+        // Cell (2,0): corners (2,0)=10,(3,0)=0,(2,1)=10,(3,1)=0 → 2 corners.
+        // With AtLeastTwo it belongs; with AtLeastThree it does not.
+        let loose = connected_cells(&g, 1.0, (0, 0), CornerRule::AtLeastTwo);
+        let tight = connected_cells(&g, 1.0, (0, 0), CornerRule::AtLeastThree);
+        assert!(loose.count() > tight.count());
+        assert!(loose.contains(2, 0));
+        assert!(!tight.contains(2, 0));
+    }
+
+    #[test]
+    fn tau_zero_spans_everything_dense() {
+        // All grid points positive → every cell qualifies at τ=0 (strict >).
+        let spec = GridSpec {
+            x0: 0.0,
+            y0: 0.0,
+            dx: 1.0,
+            dy: 1.0,
+            n: 3,
+        };
+        let g = DensityGrid::new(spec, vec![0.5; 9]);
+        let mask = connected_cells(&g, 0.0, (0, 0), CornerRule::AtLeastThree);
+        assert_eq!(mask.count(), 4);
+    }
+
+    #[test]
+    fn very_high_tau_selects_nothing() {
+        let g = two_island_grid();
+        let mask = connected_cells(&g, 1e9, (0, 0), CornerRule::AnyOne);
+        assert_eq!(mask.count(), 0);
+    }
+
+    #[test]
+    fn monotone_in_tau() {
+        let g = two_island_grid();
+        let lo = connected_cells(&g, 0.5, (0, 0), CornerRule::AtLeastThree);
+        let hi = connected_cells(&g, 9.0, (0, 0), CornerRule::AtLeastThree);
+        // Raising τ (below the island's density) can only shrink the set.
+        assert!(hi.count() <= lo.count());
+        for (cx, cy) in hi.iter_cells() {
+            assert!(lo.contains(cx, cy));
+        }
+    }
+
+    #[test]
+    fn points_in_mask_selects_members_only() {
+        let g = two_island_grid();
+        let mask = connected_cells(&g, 1.0, (0, 0), CornerRule::AllFour);
+        let pts = vec![
+            [0.5, 0.5],   // inside island cell (0,0)
+            [1.5, 1.5],   // inside island cell (1,1)
+            [3.5, 3.5],   // other island
+            [2.5, 0.5],   // moat
+            [-5.0, -5.0], // off-grid
+        ];
+        let selected = points_in_mask(&pts, &g, &mask);
+        assert_eq!(selected, vec![0, 1]);
+    }
+
+    #[test]
+    fn iter_cells_matches_contains() {
+        let g = two_island_grid();
+        let mask = connected_cells(&g, 1.0, (0, 0), CornerRule::AtLeastThree);
+        let listed: Vec<_> = mask.iter_cells().collect();
+        assert_eq!(listed.len(), mask.count());
+        for (cx, cy) in listed {
+            assert!(mask.contains(cx, cy));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_query_cell_panics() {
+        let g = two_island_grid();
+        connected_cells(&g, 1.0, (9, 0), CornerRule::AnyOne);
+    }
+}

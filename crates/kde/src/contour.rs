@@ -1,0 +1,270 @@
+//! Iso-density contour extraction (marching squares).
+//!
+//! §2.2: "the contour of intersection of the density separator plane with
+//! the density profile of the data is a set of closed regions. Each such
+//! closed region corresponds to the contour of the cluster in the
+//! projection … only one of these contours is relevant; the one that
+//! contains the query point Q." This module traces those contours on the
+//! evaluation grid with the standard marching-squares cases (linear
+//! interpolation along cell edges), so the figure experiments can overlay
+//! the exact `(τ, Q)`-contour the paper draws.
+
+use crate::grid::DensityGrid;
+
+/// A traced contour: an ordered polyline of data-space points. Closed
+/// contours repeat their first point at the end; contours that leave the
+/// grid are open.
+pub type Contour = Vec<[f64; 2]>;
+
+/// Extract all iso-density contours of `grid` at level `tau`.
+///
+/// Each cell contributes 0–2 segments via marching squares; segments are
+/// then stitched into polylines by matching endpoints.
+pub fn extract_contours(grid: &DensityGrid, tau: f64) -> Vec<Contour> {
+    let m = grid.spec.cells_per_axis();
+    let mut segments: Vec<([f64; 2], [f64; 2])> = Vec::new();
+
+    for cy in 0..m {
+        for cx in 0..m {
+            // Corner values, counter-clockwise from bottom-left.
+            let v = [
+                grid.at(cx, cy),
+                grid.at(cx + 1, cy),
+                grid.at(cx + 1, cy + 1),
+                grid.at(cx, cy + 1),
+            ];
+            let mut case = 0usize;
+            for (bit, &val) in v.iter().enumerate() {
+                if val > tau {
+                    case |= 1 << bit;
+                }
+            }
+            if case == 0 || case == 15 {
+                continue;
+            }
+
+            // Interpolated crossing points on the four edges
+            // (0: bottom, 1: right, 2: top, 3: left).
+            let spec = &grid.spec;
+            let x0 = spec.x0 + cx as f64 * spec.dx;
+            let y0 = spec.y0 + cy as f64 * spec.dy;
+            let lerp = |a: f64, b: f64| {
+                if (b - a).abs() < 1e-300 {
+                    0.5
+                } else {
+                    ((tau - a) / (b - a)).clamp(0.0, 1.0)
+                }
+            };
+            let edge = |e: usize| -> [f64; 2] {
+                match e {
+                    0 => [x0 + spec.dx * lerp(v[0], v[1]), y0],
+                    1 => [x0 + spec.dx, y0 + spec.dy * lerp(v[1], v[2])],
+                    2 => [x0 + spec.dx * lerp(v[3], v[2]), y0 + spec.dy],
+                    _ => [x0, y0 + spec.dy * lerp(v[0], v[3])],
+                }
+            };
+
+            // Marching-squares segment table (ambiguous cases 5 and 10 are
+            // resolved by the cell-center mean, the standard disambiguation).
+            let segs: &[(usize, usize)] = match case {
+                1 => &[(3, 0)],
+                2 => &[(0, 1)],
+                3 => &[(3, 1)],
+                4 => &[(1, 2)],
+                5 => {
+                    let center = (v[0] + v[1] + v[2] + v[3]) / 4.0;
+                    if center > tau {
+                        &[(3, 2), (1, 0)]
+                    } else {
+                        &[(3, 0), (1, 2)]
+                    }
+                }
+                6 => &[(0, 2)],
+                7 => &[(3, 2)],
+                8 => &[(2, 3)],
+                9 => &[(2, 0)],
+                10 => {
+                    let center = (v[0] + v[1] + v[2] + v[3]) / 4.0;
+                    if center > tau {
+                        &[(0, 1), (2, 3)]
+                    } else {
+                        &[(0, 3), (2, 1)]
+                    }
+                }
+                11 => &[(2, 1)],
+                12 => &[(1, 3)],
+                13 => &[(1, 0)],
+                14 => &[(0, 3)],
+                _ => &[],
+            };
+            for &(a, b) in segs {
+                segments.push((edge(a), edge(b)));
+            }
+        }
+    }
+
+    stitch(segments)
+}
+
+/// The contour containing the query: the closed region of the
+/// `(τ, Q)`-selection (Def. 2.1's relevant contour). Returns the contour
+/// whose bounding box contains the query and whose centroid is nearest to
+/// it, or `None` when no contour exists at this level.
+pub fn query_contour(grid: &DensityGrid, tau: f64, query: [f64; 2]) -> Option<Contour> {
+    let contours = extract_contours(grid, tau);
+    contours
+        .into_iter()
+        .filter(|c| {
+            let (mut xlo, mut xhi, mut ylo, mut yhi) = (
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+            );
+            for p in c {
+                xlo = xlo.min(p[0]);
+                xhi = xhi.max(p[0]);
+                ylo = ylo.min(p[1]);
+                yhi = yhi.max(p[1]);
+            }
+            query[0] >= xlo && query[0] <= xhi && query[1] >= ylo && query[1] <= yhi
+        })
+        .min_by(|a, b| {
+            let d = |c: &Contour| {
+                let n = c.len() as f64;
+                let cx = c.iter().map(|p| p[0]).sum::<f64>() / n;
+                let cy = c.iter().map(|p| p[1]).sum::<f64>() / n;
+                (cx - query[0]).powi(2) + (cy - query[1]).powi(2)
+            };
+            d(a).partial_cmp(&d(b)).expect("NaN centroid")
+        })
+}
+
+/// Stitch loose segments into polylines by greedy endpoint matching.
+fn stitch(mut segments: Vec<([f64; 2], [f64; 2])>) -> Vec<Contour> {
+    const EPS: f64 = 1e-9;
+    let close = |a: [f64; 2], b: [f64; 2]| (a[0] - b[0]).abs() < EPS && (a[1] - b[1]).abs() < EPS;
+    let mut contours = Vec::new();
+    while let Some((start, end)) = segments.pop() {
+        let mut line = vec![start, end];
+        loop {
+            let tail = *line.last().expect("non-empty");
+            // Find a segment continuing from the tail.
+            let mut found = None;
+            for (i, &(a, b)) in segments.iter().enumerate() {
+                if close(a, tail) {
+                    found = Some((i, b));
+                    break;
+                }
+                if close(b, tail) {
+                    found = Some((i, a));
+                    break;
+                }
+            }
+            match found {
+                Some((i, next)) => {
+                    segments.swap_remove(i);
+                    line.push(next);
+                    if close(next, line[0]) {
+                        break; // closed
+                    }
+                }
+                None => break, // open contour (hits the grid edge)
+            }
+        }
+        contours.push(line);
+    }
+    contours
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridSpec;
+
+    /// Radially symmetric bump centered at (0, 0) on a grid over [-3, 3]².
+    fn bump_grid(n: usize) -> DensityGrid {
+        let spec = GridSpec {
+            x0: -3.0,
+            y0: -3.0,
+            dx: 6.0 / (n - 1) as f64,
+            dy: 6.0 / (n - 1) as f64,
+            n,
+        };
+        let values = (0..n * n)
+            .map(|i| {
+                let [x, y] = spec.point(i % n, i / n);
+                (-(x * x + y * y)).exp()
+            })
+            .collect();
+        DensityGrid::new(spec, values)
+    }
+
+    #[test]
+    fn single_bump_yields_one_closed_contour() {
+        let g = bump_grid(41);
+        let contours = extract_contours(&g, 0.5);
+        assert_eq!(contours.len(), 1, "one level set at τ=0.5");
+        let c = &contours[0];
+        assert!(c.len() > 8);
+        // Closed: first == last.
+        let (first, last) = (c[0], *c.last().unwrap());
+        assert!((first[0] - last[0]).abs() < 1e-9 && (first[1] - last[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contour_points_lie_on_the_level_set() {
+        // exp(-(r²)) = 0.5 → r = sqrt(ln 2) ≈ 0.8326.
+        let g = bump_grid(81);
+        let contours = extract_contours(&g, 0.5);
+        let r_expect = (2f64.ln()).sqrt();
+        for p in &contours[0] {
+            let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            assert!(
+                (r - r_expect).abs() < 0.05,
+                "contour point at radius {r}, expected ~{r_expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_contour_above_the_peak_or_below_zero() {
+        let g = bump_grid(31);
+        assert!(extract_contours(&g, 2.0).is_empty());
+        assert!(extract_contours(&g, -1.0).is_empty());
+    }
+
+    #[test]
+    fn two_bumps_give_two_contours_and_query_selects_one() {
+        let n = 61;
+        let spec = GridSpec {
+            x0: -3.0,
+            y0: -3.0,
+            dx: 12.0 / (n - 1) as f64,
+            dy: 6.0 / (n - 1) as f64,
+            n,
+        };
+        let values = (0..n * n)
+            .map(|i| {
+                let [x, y] = spec.point(i % n, i / n);
+                (-((x - 0.0).powi(2) + y * y)).exp() + (-((x - 6.0).powi(2) + y * y)).exp()
+            })
+            .collect();
+        let g = DensityGrid::new(spec, values);
+        let contours = extract_contours(&g, 0.5);
+        assert_eq!(contours.len(), 2, "two separated bumps");
+
+        let qc = query_contour(&g, 0.5, [6.0, 0.0]).expect("query on the right bump");
+        let cx: f64 = qc.iter().map(|p| p[0]).sum::<f64>() / qc.len() as f64;
+        assert!(
+            (cx - 6.0).abs() < 0.2,
+            "selected the wrong bump: centroid x = {cx}"
+        );
+    }
+
+    #[test]
+    fn query_outside_any_contour_returns_none() {
+        let g = bump_grid(31);
+        assert!(query_contour(&g, 0.5, [2.9, 2.9]).is_none());
+    }
+}

@@ -1,0 +1,294 @@
+//! The `p × p` evaluation grid and the densities computed on it.
+//!
+//! Fig. 5 of the paper: "Divide the 2-dimensional hyperplane for `E_proj`
+//! into a `p × p` grid … compute kernel density on the `p²` grid points."
+//! The **grid points** carry densities; the **elementary rectangles** (the
+//! `(p−1) × (p−1)` cells between adjacent grid points) are the unit of the
+//! density-connectivity flood fill of Def. 2.2.
+
+/// Geometry of a regular 2-D evaluation grid: `n × n` grid points spanning
+/// the rectangle `[x0, x0 + (n−1)·dx] × [y0, y0 + (n−1)·dy]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GridSpec {
+    /// x-coordinate of the first grid column.
+    pub x0: f64,
+    /// y-coordinate of the first grid row.
+    pub y0: f64,
+    /// Spacing between grid columns (> 0).
+    pub dx: f64,
+    /// Spacing between grid rows (> 0).
+    pub dy: f64,
+    /// Grid points per axis (the paper's `p`, ≥ 2).
+    pub n: usize,
+}
+
+impl GridSpec {
+    /// Build a grid covering `points` (plus `margin` in units of the data
+    /// extent on each side) with `n` grid points per axis. The `extra`
+    /// points (e.g. the query) are included in the bounding box.
+    ///
+    /// # Panics
+    /// Panics if `n < 2` or if there are no points at all.
+    pub fn covering(points: &[[f64; 2]], extra: &[[f64; 2]], margin: f64, n: usize) -> Self {
+        assert!(n >= 2, "GridSpec: need at least 2 grid points per axis");
+        assert!(
+            !points.is_empty() || !extra.is_empty(),
+            "GridSpec: no points to cover"
+        );
+        let mut xlo = f64::INFINITY;
+        let mut xhi = f64::NEG_INFINITY;
+        let mut ylo = f64::INFINITY;
+        let mut yhi = f64::NEG_INFINITY;
+        for p in points.iter().chain(extra) {
+            xlo = xlo.min(p[0]);
+            xhi = xhi.max(p[0]);
+            ylo = ylo.min(p[1]);
+            yhi = yhi.max(p[1]);
+        }
+        let xspan = (xhi - xlo).max(1e-9);
+        let yspan = (yhi - ylo).max(1e-9);
+        let x0 = xlo - margin * xspan;
+        let y0 = ylo - margin * yspan;
+        let dx = xspan * (1.0 + 2.0 * margin) / (n - 1) as f64;
+        let dy = yspan * (1.0 + 2.0 * margin) / (n - 1) as f64;
+        Self { x0, y0, dx, dy, n }
+    }
+
+    /// Coordinates of grid point `(ix, iy)`.
+    #[inline]
+    pub fn point(&self, ix: usize, iy: usize) -> [f64; 2] {
+        debug_assert!(ix < self.n && iy < self.n);
+        [self.x0 + ix as f64 * self.dx, self.y0 + iy as f64 * self.dy]
+    }
+
+    /// Number of elementary rectangles per axis (`n − 1`).
+    #[inline]
+    pub fn cells_per_axis(&self) -> usize {
+        self.n - 1
+    }
+
+    /// The elementary rectangle containing `(x, y)`, clamped to the grid, or
+    /// `None` if the location falls outside the grid entirely.
+    pub fn cell_of(&self, x: f64, y: f64) -> Option<(usize, usize)> {
+        let m = self.cells_per_axis() as f64;
+        let fx = (x - self.x0) / self.dx;
+        let fy = (y - self.y0) / self.dy;
+        // Allow a hair of numerical slop at the outer edges.
+        if fx < -1e-9 || fy < -1e-9 || fx > m + 1e-9 || fy > m + 1e-9 {
+            return None;
+        }
+        let cx = (fx.floor().max(0.0) as usize).min(self.cells_per_axis() - 1);
+        let cy = (fy.floor().max(0.0) as usize).min(self.cells_per_axis() - 1);
+        Some((cx, cy))
+    }
+
+    /// Center coordinates of cell `(cx, cy)`.
+    #[inline]
+    pub fn cell_center(&self, cx: usize, cy: usize) -> [f64; 2] {
+        [
+            self.x0 + (cx as f64 + 0.5) * self.dx,
+            self.y0 + (cy as f64 + 0.5) * self.dy,
+        ]
+    }
+
+    /// Area of one elementary rectangle.
+    #[inline]
+    pub fn cell_area(&self) -> f64 {
+        self.dx * self.dy
+    }
+}
+
+/// Kernel densities evaluated on every grid point of a [`GridSpec`].
+#[derive(Clone, Debug)]
+pub struct DensityGrid {
+    /// Grid geometry.
+    pub spec: GridSpec,
+    /// Row-major density values: index `iy * n + ix`.
+    values: Vec<f64>,
+}
+
+impl DensityGrid {
+    /// Wrap precomputed values.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != spec.n²`.
+    pub fn new(spec: GridSpec, values: Vec<f64>) -> Self {
+        assert_eq!(
+            values.len(),
+            spec.n * spec.n,
+            "DensityGrid: value count must be n²"
+        );
+        Self { spec, values }
+    }
+
+    /// Density at grid point `(ix, iy)`.
+    #[inline]
+    pub fn at(&self, ix: usize, iy: usize) -> f64 {
+        self.values[iy * self.spec.n + ix]
+    }
+
+    /// Flat row-major view of all grid-point densities.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Maximum density over the grid.
+    pub fn max(&self) -> f64 {
+        self.values.iter().fold(0.0, |m, &v| m.max(v))
+    }
+
+    /// Empirical quantile (`q ∈ [0,1]`) of the grid-point densities.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile: q must be in [0,1]");
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN density"));
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+
+    /// Densities at the four corners of cell `(cx, cy)`.
+    #[inline]
+    pub fn cell_corners(&self, cx: usize, cy: usize) -> [f64; 4] {
+        [
+            self.at(cx, cy),
+            self.at(cx + 1, cy),
+            self.at(cx, cy + 1),
+            self.at(cx + 1, cy + 1),
+        ]
+    }
+
+    /// Bilinear interpolation of the density at an arbitrary location,
+    /// clamped to the grid bounds. This approximates "density at a data
+    /// point" without a fresh KDE evaluation (used by Fig. 7's update rule).
+    pub fn interpolate(&self, x: f64, y: f64) -> f64 {
+        let s = &self.spec;
+        let m = (s.n - 1) as f64;
+        let fx = ((x - s.x0) / s.dx).clamp(0.0, m);
+        let fy = ((y - s.y0) / s.dy).clamp(0.0, m);
+        let ix = (fx.floor() as usize).min(s.n - 2);
+        let iy = (fy.floor() as usize).min(s.n - 2);
+        let tx = fx - ix as f64;
+        let ty = fy - iy as f64;
+        let v00 = self.at(ix, iy);
+        let v10 = self.at(ix + 1, iy);
+        let v01 = self.at(ix, iy + 1);
+        let v11 = self.at(ix + 1, iy + 1);
+        v00 * (1.0 - tx) * (1.0 - ty)
+            + v10 * tx * (1.0 - ty)
+            + v01 * (1.0 - tx) * ty
+            + v11 * tx * ty
+    }
+
+    /// Approximate integral of the density over the grid (Riemann sum using
+    /// cell-corner averages). Close to 1 when the grid covers the data with
+    /// enough margin.
+    pub fn integral(&self) -> f64 {
+        let m = self.spec.cells_per_axis();
+        let mut s = 0.0;
+        for cy in 0..m {
+            for cx in 0..m {
+                let c = self.cell_corners(cx, cy);
+                s += (c[0] + c[1] + c[2] + c[3]) / 4.0;
+            }
+        }
+        s * self.spec.cell_area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec3() -> GridSpec {
+        GridSpec {
+            x0: 0.0,
+            y0: 0.0,
+            dx: 1.0,
+            dy: 1.0,
+            n: 3,
+        }
+    }
+
+    #[test]
+    fn covering_includes_all_points() {
+        let pts = [[0.0, 0.0], [10.0, 5.0], [-2.0, 3.0]];
+        let spec = GridSpec::covering(&pts, &[[12.0, -1.0]], 0.1, 20);
+        for p in pts.iter().chain(&[[12.0, -1.0]]) {
+            assert!(
+                spec.cell_of(p[0], p[1]).is_some(),
+                "point {p:?} not covered"
+            );
+        }
+    }
+
+    #[test]
+    fn covering_degenerate_single_point() {
+        let spec = GridSpec::covering(&[[1.0, 1.0]], &[], 0.1, 5);
+        assert!(spec.dx > 0.0 && spec.dy > 0.0);
+        assert!(spec.cell_of(1.0, 1.0).is_some());
+    }
+
+    #[test]
+    fn grid_point_coordinates() {
+        let s = spec3();
+        assert_eq!(s.point(0, 0), [0.0, 0.0]);
+        assert_eq!(s.point(2, 1), [2.0, 1.0]);
+        assert_eq!(s.cells_per_axis(), 2);
+        assert_eq!(s.cell_area(), 1.0);
+    }
+
+    #[test]
+    fn cell_lookup_and_clamping() {
+        let s = spec3();
+        assert_eq!(s.cell_of(0.5, 0.5), Some((0, 0)));
+        assert_eq!(s.cell_of(1.5, 0.2), Some((1, 0)));
+        // Boundary points belong to the last cell (clamped).
+        assert_eq!(s.cell_of(2.0, 2.0), Some((1, 1)));
+        assert_eq!(s.cell_of(-0.5, 0.0), None);
+        assert_eq!(s.cell_of(0.0, 3.0), None);
+    }
+
+    #[test]
+    fn cell_center_is_midpoint() {
+        let s = spec3();
+        assert_eq!(s.cell_center(0, 1), [0.5, 1.5]);
+    }
+
+    #[test]
+    fn density_grid_accessors() {
+        let g = DensityGrid::new(spec3(), vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(g.at(1, 0), 1.0);
+        assert_eq!(g.at(0, 2), 6.0);
+        assert_eq!(g.max(), 8.0);
+        assert_eq!(g.cell_corners(0, 0), [0.0, 1.0, 3.0, 4.0]);
+        assert_eq!(g.quantile(0.0), 0.0);
+        assert_eq!(g.quantile(1.0), 8.0);
+        assert_eq!(g.quantile(0.5), 4.0);
+    }
+
+    #[test]
+    fn interpolation_reproduces_corners_and_midpoints() {
+        let g = DensityGrid::new(spec3(), vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert!((g.interpolate(0.0, 0.0) - 0.0).abs() < 1e-12);
+        assert!((g.interpolate(1.0, 1.0) - 4.0).abs() < 1e-12);
+        // Midpoint of cell (0,0): average of its four corners.
+        assert!((g.interpolate(0.5, 0.5) - 2.0).abs() < 1e-12);
+        // Out-of-grid clamps.
+        assert!((g.interpolate(-10.0, -10.0) - 0.0).abs() < 1e-12);
+        assert!((g.interpolate(10.0, 10.0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_of_constant_grid() {
+        // Constant density c over a (n-1)·dx × (n-1)·dy box integrates to
+        // c · area.
+        let g = DensityGrid::new(spec3(), vec![0.5; 9]);
+        assert!((g.integral() - 0.5 * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "n²")]
+    fn wrong_value_count_panics() {
+        DensityGrid::new(spec3(), vec![0.0; 4]);
+    }
+}

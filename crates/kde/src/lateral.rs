@@ -1,0 +1,128 @@
+//! Lateral density plots (§2.2): a scatter of *fictitious* points sampled in
+//! proportion to the estimated density. Figs. 1(a)–(c) of the paper are
+//! lateral scatter plots of 500 such points.
+//!
+//! Sampling draws a cell with probability proportional to its average corner
+//! density × area, then places the point uniformly within the cell. This
+//! matches the grid resolution of the profile the user is already looking
+//! at.
+
+use crate::grid::DensityGrid;
+use rand::Rng;
+
+/// Sample `count` fictitious points distributed ∝ the grid density.
+///
+/// Returns an empty vector when the grid carries no mass (all-zero density).
+pub fn lateral_points<R: Rng>(grid: &DensityGrid, count: usize, rng: &mut R) -> Vec<[f64; 2]> {
+    let m = grid.spec.cells_per_axis();
+    // Cumulative weights over cells.
+    let mut cum = Vec::with_capacity(m * m);
+    let mut total = 0.0;
+    for cy in 0..m {
+        for cx in 0..m {
+            let c = grid.cell_corners(cx, cy);
+            total += (c[0] + c[1] + c[2] + c[3]) / 4.0;
+            cum.push(total);
+        }
+    }
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let u: f64 = rng.gen_range(0.0..total);
+        // Binary search for the first cumulative weight exceeding u.
+        let idx = cum.partition_point(|&w| w <= u).min(m * m - 1);
+        let (cx, cy) = (idx % m, idx / m);
+        let x = grid.spec.x0 + (cx as f64 + rng.gen::<f64>()) * grid.spec.dx;
+        let y = grid.spec.y0 + (cy as f64 + rng.gen::<f64>()) * grid.spec.dy;
+        out.push([x, y]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn peaked_grid() -> DensityGrid {
+        // 11×11 grid over [0,10]²; all density concentrated near (2,2).
+        let spec = GridSpec {
+            x0: 0.0,
+            y0: 0.0,
+            dx: 1.0,
+            dy: 1.0,
+            n: 11,
+        };
+        let mut v = vec![0.0; 121];
+        for iy in 1..=3usize {
+            for ix in 1..=3usize {
+                v[iy * 11 + ix] = 50.0;
+            }
+        }
+        DensityGrid::new(spec, v)
+    }
+
+    #[test]
+    fn samples_cluster_at_the_peak() {
+        let g = peaked_grid();
+        let mut rng = StdRng::seed_from_u64(42);
+        let pts = lateral_points(&g, 400, &mut rng);
+        assert_eq!(pts.len(), 400);
+        let near_peak = pts
+            .iter()
+            .filter(|p| p[0] >= 0.0 && p[0] <= 4.0 && p[1] >= 0.0 && p[1] <= 4.0)
+            .count();
+        assert!(
+            near_peak > 380,
+            "expected samples near the density peak, got {near_peak}/400"
+        );
+    }
+
+    #[test]
+    fn samples_stay_in_grid_bounds() {
+        let g = peaked_grid();
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in lateral_points(&g, 200, &mut rng) {
+            assert!(p[0] >= 0.0 && p[0] <= 10.0);
+            assert!(p[1] >= 0.0 && p[1] <= 10.0);
+        }
+    }
+
+    #[test]
+    fn zero_density_yields_no_samples() {
+        let spec = GridSpec {
+            x0: 0.0,
+            y0: 0.0,
+            dx: 1.0,
+            dy: 1.0,
+            n: 4,
+        };
+        let g = DensityGrid::new(spec, vec![0.0; 16]);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(lateral_points(&g, 100, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn uniform_density_spreads_samples() {
+        let spec = GridSpec {
+            x0: 0.0,
+            y0: 0.0,
+            dx: 1.0,
+            dy: 1.0,
+            n: 5,
+        };
+        let g = DensityGrid::new(spec, vec![1.0; 25]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = lateral_points(&g, 4000, &mut rng);
+        // Each quadrant of the 4×4-cell grid should get roughly a quarter.
+        let q = pts.iter().filter(|p| p[0] < 2.0 && p[1] < 2.0).count();
+        assert!(
+            (q as f64 - 1000.0).abs() < 150.0,
+            "uniform sampling skewed: {q}/4000 in one quadrant"
+        );
+    }
+}

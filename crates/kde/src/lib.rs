@@ -1,0 +1,42 @@
+//! Kernel density estimation and density connectivity for `hinn`.
+//!
+//! The paper's interactive loop shows the user a **visual profile** of each
+//! 2-D query-centered projection: the kernel density estimate of the
+//! projected data evaluated on a `p × p` grid (Fig. 5), optionally with a
+//! *lateral density plot* — a scatter of fictitious points sampled in
+//! proportion to the density (§2.2). The user's density separator `τ` then
+//! selects the set of points **density-connected** to the query point
+//! (Def. 2.1), which the system approximates on the grid by flood-filling
+//! elementary rectangles whose corners clear the noise threshold
+//! (Def. 2.2).
+//!
+//! This crate provides all of that machinery:
+//!
+//! * [`kernel`] — the Gaussian kernel and Silverman's bandwidth rule
+//!   (`h = 1.06 · σ · N^(−1/5)`, the formula quoted in §2.2),
+//! * [`grid`] — the `p × p` evaluation grid and the [`grid::DensityGrid`],
+//! * [`estimate`] — KDE evaluation over a grid or at arbitrary points,
+//! * [`connect`] — Def. 2.2 grid flood-fill with configurable corner rules,
+//! * [`lateral`] — lateral density plots (density-proportional sampling),
+//! * [`profile`] — [`profile::VisualProfile`], the packaged "what the user
+//!   sees" object consumed by both the search core and the user models.
+
+pub mod adaptive;
+pub mod connect;
+pub mod contour;
+pub mod estimate;
+pub mod grid;
+pub mod kernel;
+pub mod lateral;
+pub mod marginal;
+pub mod polygon;
+pub mod profile;
+
+pub use adaptive::{adaptive_bandwidths, estimate_grid_adaptive, AdaptiveBandwidths};
+pub use connect::{connected_cells, CornerRule};
+pub use contour::{extract_contours, query_contour};
+pub use estimate::{density_at, estimate_grid};
+pub use grid::{DensityGrid, GridSpec};
+pub use kernel::{gaussian_kernel, silverman_bandwidth, Bandwidth2D};
+pub use marginal::MarginalProfile;
+pub use profile::VisualProfile;

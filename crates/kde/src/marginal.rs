@@ -1,0 +1,150 @@
+//! One-dimensional marginal density profiles.
+//!
+//! §1.1 argues for axis-parallel projections because of their "greater
+//! interpretability to the user": a view's axes are actual attributes. The
+//! natural companion is the 1-D marginal density of each axis with the
+//! query's position marked — the per-attribute summary a user reads to
+//! understand *why* the cluster separates. `hinn-viz` renders these as
+//! sparklines under the heatmap.
+
+use crate::kernel::{gaussian_kernel, silverman_bandwidth};
+
+/// A 1-D kernel density curve evaluated on an even grid.
+#[derive(Clone, Debug)]
+pub struct MarginalProfile {
+    /// Left edge of the evaluation grid.
+    pub x0: f64,
+    /// Grid step.
+    pub dx: f64,
+    /// Densities at `x0 + i·dx`.
+    pub values: Vec<f64>,
+    /// Bandwidth used.
+    pub bandwidth: f64,
+}
+
+impl MarginalProfile {
+    /// Estimate the marginal density of `sample` on `n` grid points
+    /// covering the sample range plus `margin` (fraction of the range) on
+    /// each side. `bw_scale` multiplies Silverman's bandwidth.
+    ///
+    /// # Panics
+    /// Panics if `sample` is empty or `n < 2`.
+    pub fn estimate(sample: &[f64], n: usize, margin: f64, bw_scale: f64) -> Self {
+        assert!(!sample.is_empty(), "MarginalProfile: empty sample");
+        assert!(n >= 2, "MarginalProfile: need at least 2 grid points");
+        assert!(
+            bw_scale > 0.0,
+            "MarginalProfile: bandwidth scale must be positive"
+        );
+        let lo = sample.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = sample.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1e-9);
+        let x0 = lo - margin * span;
+        let dx = span * (1.0 + 2.0 * margin) / (n - 1) as f64;
+        let h = silverman_bandwidth(sample) * bw_scale;
+        let inv_n = 1.0 / sample.len() as f64;
+        let values = (0..n)
+            .map(|i| {
+                let x = x0 + i as f64 * dx;
+                sample
+                    .iter()
+                    .map(|&s| gaussian_kernel(x - s, h))
+                    .sum::<f64>()
+                    * inv_n
+            })
+            .collect();
+        Self {
+            x0,
+            dx,
+            values,
+            bandwidth: h,
+        }
+    }
+
+    /// Density at an arbitrary `x` (linear interpolation, clamped).
+    pub fn at(&self, x: f64) -> f64 {
+        let m = (self.values.len() - 1) as f64;
+        let f = ((x - self.x0) / self.dx).clamp(0.0, m);
+        let i = (f.floor() as usize).min(self.values.len() - 2);
+        let t = f - i as f64;
+        self.values[i] * (1.0 - t) + self.values[i + 1] * t
+    }
+
+    /// Peak density.
+    pub fn max(&self) -> f64 {
+        self.values.iter().fold(0.0, |m, &v| m.max(v))
+    }
+
+    /// Approximate integral (trapezoid).
+    pub fn integral(&self) -> f64 {
+        let mut s = 0.0;
+        for w in self.values.windows(2) {
+            s += (w[0] + w[1]) / 2.0;
+        }
+        s * self.dx
+    }
+}
+
+impl crate::profile::VisualProfile {
+    /// The two axis marginals of this view's projected points, at the
+    /// view's grid resolution and bandwidth scaling (interpretability aid
+    /// for axis-parallel projections, §1.1).
+    pub fn axis_marginals(&self, bw_scale: f64) -> [MarginalProfile; 2] {
+        let xs: Vec<f64> = self.points.iter().map(|p| p[0]).collect();
+        let ys: Vec<f64> = self.points.iter().map(|p| p[1]).collect();
+        let n = self.grid.spec.n;
+        [
+            MarginalProfile::estimate(&xs, n, 0.15, bw_scale),
+            MarginalProfile::estimate(&ys, n, 0.15, bw_scale),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_to_about_one() {
+        let sample: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+        let m = MarginalProfile::estimate(&sample, 200, 1.0, 1.0);
+        assert!(
+            (m.integral() - 1.0).abs() < 0.03,
+            "marginal mass {}",
+            m.integral()
+        );
+    }
+
+    #[test]
+    fn peaks_where_the_data_is() {
+        let mut sample = vec![0.0; 50];
+        sample.extend(vec![10.0; 10]);
+        let m = MarginalProfile::estimate(&sample, 100, 0.2, 1.0);
+        assert!(m.at(0.0) > m.at(5.0), "density at the mass > in the gap");
+        assert!(m.at(0.0) > m.at(10.0), "bigger mode is denser");
+        assert!(m.at(10.0) > m.at(5.0));
+    }
+
+    #[test]
+    fn interpolation_clamps() {
+        let m = MarginalProfile::estimate(&[1.0, 2.0, 3.0], 20, 0.1, 1.0);
+        assert_eq!(m.at(-100.0), m.values[0]);
+        assert_eq!(m.at(100.0), *m.values.last().unwrap());
+    }
+
+    #[test]
+    fn visual_profile_marginals_align_with_grid() {
+        let pts: Vec<[f64; 2]> = (0..60).map(|i| [(i % 6) as f64, (i / 6) as f64]).collect();
+        let profile = crate::profile::VisualProfile::build(pts, [2.0, 4.0], 24, 0.5);
+        let [mx, my] = profile.axis_marginals(0.5);
+        assert_eq!(mx.values.len(), 24);
+        assert_eq!(my.values.len(), 24);
+        assert!(mx.max() > 0.0 && my.max() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        MarginalProfile::estimate(&[], 10, 0.1, 1.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Half-plane separators for the lateral (polygonal) separation mode.
+//!
+//! §2.2: "An alternative way of separating the query cluster is by using the
+//! lateral density plot in which the user visually specifies the separating
+//! hyperplanes (lines) in order to divide the space into a set of polygonal
+//! regions. The set of points in the same polygonal region as the query
+//! point is the user response."
+//!
+//! Each line `a·x + b·y + c = 0` splits the plane in two; a set of lines
+//! partitions it into convex polygonal regions identified by their vector of
+//! half-plane signs.
+
+/// An oriented line `a·x + b·y + c = 0` in the projection plane.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HalfPlane {
+    /// x coefficient.
+    pub a: f64,
+    /// y coefficient.
+    pub b: f64,
+    /// constant term.
+    pub c: f64,
+}
+
+impl HalfPlane {
+    /// Construct from coefficients.
+    ///
+    /// # Panics
+    /// Panics if `a` and `b` are both (near-)zero — that is not a line.
+    pub fn new(a: f64, b: f64, c: f64) -> Self {
+        assert!(
+            a.abs() + b.abs() > 1e-12,
+            "HalfPlane: a and b cannot both be zero"
+        );
+        Self { a, b, c }
+    }
+
+    /// The line through two distinct points.
+    ///
+    /// # Panics
+    /// Panics if the points coincide.
+    pub fn through(p: [f64; 2], q: [f64; 2]) -> Self {
+        let a = q[1] - p[1];
+        let b = p[0] - q[0];
+        assert!(
+            a.abs() + b.abs() > 1e-12,
+            "HalfPlane::through: points coincide"
+        );
+        let c = -(a * p[0] + b * p[1]);
+        Self { a, b, c }
+    }
+
+    /// Which side of the line `point` falls on (`true` = non-negative side).
+    #[inline]
+    pub fn side(&self, point: [f64; 2]) -> bool {
+        self.a * point[0] + self.b * point[1] + self.c >= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertical_line_sides() {
+        // x = 2 → 1·x + 0·y − 2 = 0.
+        let l = HalfPlane::new(1.0, 0.0, -2.0);
+        assert!(l.side([3.0, 0.0]));
+        assert!(!l.side([1.0, 5.0]));
+        assert!(l.side([2.0, -1.0]), "points on the line are on the + side");
+    }
+
+    #[test]
+    fn through_two_points_contains_both() {
+        let p = [1.0, 1.0];
+        let q = [4.0, 3.0];
+        let l = HalfPlane::through(p, q);
+        for pt in [p, q] {
+            let v = l.a * pt[0] + l.b * pt[1] + l.c;
+            assert!(v.abs() < 1e-12, "point {pt:?} not on line: {v}");
+        }
+        // A point off the line lands on one definite side.
+        assert!(l.side([0.0, 5.0]) != l.side([5.0, 0.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot both be zero")]
+    fn degenerate_line_panics() {
+        HalfPlane::new(0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "points coincide")]
+    fn coincident_points_panic() {
+        HalfPlane::through([1.0, 1.0], [1.0, 1.0]);
+    }
+}

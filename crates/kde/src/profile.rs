@@ -1,0 +1,338 @@
+//! The visual profile: what the user is shown for one 2-D projection.
+//!
+//! `VisualProfile` packages the projected data, the query location, and the
+//! grid KDE (Fig. 5). Both the *human* user (via the renderers in
+//! `hinn-viz`) and the *simulated* users (in `hinn-user`) consume exactly
+//! this object — the simulated users never see anything a human could not
+//! read off the same plot.
+
+use crate::connect::{connected_cells, points_in_mask, CellMask, CornerRule};
+use crate::estimate::estimate_grid;
+use crate::grid::{DensityGrid, GridSpec};
+use crate::kernel::Bandwidth2D;
+use crate::polygon::HalfPlane;
+
+/// Fraction of the data extent added as margin around the grid so that
+/// density tails are visible and the integral is close to 1.
+const GRID_MARGIN: f64 = 0.15;
+
+/// A rendered 2-D density profile of one projection, centered on a query.
+#[derive(Clone, Debug)]
+pub struct VisualProfile {
+    /// Projected data points (aligned with the current data set's indices).
+    pub points: Vec<[f64; 2]>,
+    /// Projected query location.
+    pub query: [f64; 2],
+    /// Grid KDE of the projected points.
+    pub grid: DensityGrid,
+    /// Bandwidths used for the KDE.
+    pub bandwidth: Bandwidth2D,
+    /// Elementary rectangle containing the query (always on-grid:
+    /// the grid is built to cover the query).
+    pub query_cell: (usize, usize),
+}
+
+impl VisualProfile {
+    /// Build the profile for already-projected 2-D `points` and `query`,
+    /// with `grid_n` grid points per axis and a bandwidth multiplier
+    /// `bw_scale` (1.0 = Silverman's rule as-is).
+    ///
+    /// ```
+    /// use hinn_kde::{CornerRule, VisualProfile};
+    ///
+    /// // A blob at the origin plus two far-away points.
+    /// let mut pts: Vec<[f64; 2]> = (0..40)
+    ///     .map(|i| [(i % 7) as f64 * 0.05, (i / 7) as f64 * 0.05])
+    ///     .collect();
+    /// pts.push([9.0, 9.0]);
+    /// pts.push([9.5, 8.5]);
+    /// let profile = VisualProfile::build(pts, [0.1, 0.1], 40, 0.5);
+    ///
+    /// // A separator at 20% of the peak selects the blob, not the strays.
+    /// let tau = profile.max_density() * 0.2;
+    /// let picked = profile.select(tau, CornerRule::AtLeastThree);
+    /// assert!(picked.len() >= 30 && picked.len() <= 40);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or `grid_n < 2`.
+    pub fn build(points: Vec<[f64; 2]>, query: [f64; 2], grid_n: usize, bw_scale: f64) -> Self {
+        assert!(!points.is_empty(), "VisualProfile: empty projection");
+        let bandwidth = Bandwidth2D::silverman(&points).scaled(bw_scale);
+        let spec = GridSpec::covering(&points, &[query], GRID_MARGIN, grid_n);
+        let grid = estimate_grid(&points, bandwidth, spec);
+        let query_cell = spec
+            .cell_of(query[0], query[1])
+            .expect("grid is constructed to cover the query");
+        Self {
+            points,
+            query,
+            grid,
+            bandwidth,
+            query_cell,
+        }
+    }
+
+    /// Like [`VisualProfile::build`], but with Silverman's adaptive kernel
+    /// estimator (see [`crate::adaptive`]): per-point bandwidths sharpen
+    /// cluster peaks and smooth sparse tails simultaneously.
+    /// `alpha ∈ [0, 1]` is the sensitivity (0 = fixed bandwidth).
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, `grid_n < 2`, or `alpha ∉ [0, 1]`.
+    pub fn build_adaptive(
+        points: Vec<[f64; 2]>,
+        query: [f64; 2],
+        grid_n: usize,
+        bw_scale: f64,
+        alpha: f64,
+    ) -> Self {
+        assert!(!points.is_empty(), "VisualProfile: empty projection");
+        let bandwidth = Bandwidth2D::silverman(&points).scaled(bw_scale);
+        let adaptive = crate::adaptive::adaptive_bandwidths(&points, bandwidth, alpha);
+        let spec = GridSpec::covering(&points, &[query], GRID_MARGIN, grid_n);
+        let grid = crate::adaptive::estimate_grid_adaptive(&points, &adaptive, spec);
+        let query_cell = spec
+            .cell_of(query[0], query[1])
+            .expect("grid is constructed to cover the query");
+        Self {
+            points,
+            query,
+            grid,
+            bandwidth,
+            query_cell,
+        }
+    }
+
+    /// Density at the query location (bilinear on the grid).
+    pub fn query_density(&self) -> f64 {
+        self.grid.interpolate(self.query[0], self.query[1])
+    }
+
+    /// The grid point of highest density within `radius_cells` of the
+    /// query (the top of the peak the query stands on — a query is usually
+    /// a *member* of its cluster, i.e. on the peak's slope rather than its
+    /// summit). Returns the position and its density.
+    pub fn local_peak(&self, radius_cells: f64) -> ([f64; 2], f64) {
+        let spec = &self.grid.spec;
+        let (qx, qy) = self.query_cell;
+        let r = radius_cells.ceil() as isize;
+        let n = spec.n as isize;
+        let mut best_pos = self.query;
+        let mut best = self.query_density();
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let ix = qx as isize + dx;
+                let iy = qy as isize + dy;
+                if ix < 0 || iy < 0 || ix >= n || iy >= n {
+                    continue;
+                }
+                let v = self.grid.at(ix as usize, iy as usize);
+                if v > best {
+                    best = v;
+                    best_pos = spec.point(ix as usize, iy as usize);
+                }
+            }
+        }
+        (best_pos, best)
+    }
+
+    /// Mean density on a ring of `radius_cells` grid cells around `center`
+    /// (12 samples).
+    pub fn ring_density_at(&self, center: [f64; 2], radius_cells: f64) -> f64 {
+        let spec = &self.grid.spec;
+        let r = radius_cells * spec.dx.max(spec.dy);
+        let samples = 12;
+        let mut s = 0.0;
+        for a in 0..samples {
+            let th = a as f64 * std::f64::consts::TAU / samples as f64;
+            s += self
+                .grid
+                .interpolate(center[0] + r * th.cos(), center[1] + r * th.sin());
+        }
+        s / samples as f64
+    }
+
+    /// Mean density on a ring of `radius_cells` grid cells around the
+    /// query (12 samples).
+    pub fn ring_density(&self, radius_cells: f64) -> f64 {
+        self.ring_density_at(self.query, radius_cells)
+    }
+
+    /// The *local sharpness* of the peak the query stands on: the density
+    /// at the local peak (within `radius_cells / 2` of the query) over the
+    /// mean density on a ring `radius_cells` out from that peak. High for
+    /// a needle standing on the data; near 1 on flat noise (Fig. 1(c)), in
+    /// sparse regions (Fig. 1(b)), and on the smooth summit of a broad
+    /// bulk. ∞-safe: returns 0 when the peak density is 0, a large value
+    /// when only the ring is empty.
+    pub fn query_sharpness(&self, radius_cells: f64) -> f64 {
+        let (peak_pos, peak) = self.local_peak((radius_cells / 2.0).max(1.0));
+        if peak <= 0.0 {
+            return 0.0;
+        }
+        let ring = self.ring_density_at(peak_pos, radius_cells);
+        if ring <= 0.0 {
+            f64::INFINITY
+        } else {
+            peak / ring
+        }
+    }
+
+    /// Peak grid density.
+    pub fn max_density(&self) -> f64 {
+        self.grid.max()
+    }
+
+    /// `R(τ, Q)` under `rule` (Def. 2.2).
+    pub fn connected_mask(&self, tau: f64, rule: CornerRule) -> CellMask {
+        connected_cells(&self.grid, tau, self.query_cell, rule)
+    }
+
+    /// Indices of data points density-connected to the query at `τ`
+    /// (the user's picks for this projection, Fig. 7).
+    pub fn select(&self, tau: f64, rule: CornerRule) -> Vec<usize> {
+        let mask = self.connected_mask(tau, rule);
+        points_in_mask(&self.points, &self.grid, &mask)
+    }
+
+    /// Alternative separation mode (§2.2): the user draws separating lines
+    /// on the lateral plot; the points in the same polygonal region as the
+    /// query (identical half-plane signature) are selected.
+    pub fn select_polygon(&self, lines: &[HalfPlane]) -> Vec<usize> {
+        let qsig: Vec<bool> = lines.iter().map(|l| l.side(self.query)).collect();
+        self.points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| lines.iter().zip(&qsig).all(|(l, &s)| l.side(**p) == s))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of selected points as a function of `τ`, scanned over
+    /// `steps` evenly spaced thresholds in `(0, max_density)`. Simulated
+    /// users use this curve the way a human scrubs the separator plane up
+    /// and down (Fig. 6's interaction loop).
+    pub fn selection_curve(&self, steps: usize, rule: CornerRule) -> Vec<(f64, usize)> {
+        let max = self.max_density();
+        (0..steps)
+            .map(|k| {
+                let tau = max * (k as f64 + 0.5) / steps as f64;
+                (tau, self.select(tau, rule).len())
+            })
+            .collect()
+    }
+
+    /// Fraction of all points selected at `τ` — the "how big is the picked
+    /// cluster relative to the data" quantity the user eyeballs.
+    pub fn selected_fraction(&self, tau: f64, rule: CornerRule) -> f64 {
+        self.select(tau, rule).len() as f64 / self.points.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight blobs: one around (0,0) containing the query, one around
+    /// (8,8); plus scattered noise.
+    fn two_blob_points() -> Vec<[f64; 2]> {
+        let mut pts = Vec::new();
+        for i in 0..60 {
+            let a = i as f64 * 0.1;
+            pts.push([0.3 * a.sin() * 0.3, 0.3 * a.cos() * 0.3]);
+            pts.push([8.0 + 0.3 * a.cos() * 0.3, 8.0 + 0.3 * a.sin() * 0.3]);
+        }
+        for i in 0..20 {
+            pts.push([(i as f64 * 0.37) % 8.0, (i as f64 * 0.73) % 8.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn build_covers_query() {
+        let profile = VisualProfile::build(two_blob_points(), [0.0, 0.0], 40, 1.0);
+        let (cx, cy) = profile.query_cell;
+        assert!(cx < profile.grid.spec.cells_per_axis());
+        assert!(cy < profile.grid.spec.cells_per_axis());
+        assert!(profile.query_density() > 0.0);
+    }
+
+    #[test]
+    fn query_on_peak_has_high_relative_density() {
+        let profile = VisualProfile::build(two_blob_points(), [0.0, 0.0], 50, 1.0);
+        assert!(
+            profile.query_density() > 0.3 * profile.max_density(),
+            "query sits on a blob; density {} vs max {}",
+            profile.query_density(),
+            profile.max_density()
+        );
+    }
+
+    #[test]
+    fn selection_at_moderate_tau_returns_query_blob_only() {
+        let pts = two_blob_points();
+        let profile = VisualProfile::build(pts.clone(), [0.0, 0.0], 60, 1.0);
+        let tau = profile.query_density() * 0.4;
+        let sel = profile.select(tau, CornerRule::AtLeastThree);
+        assert!(!sel.is_empty());
+        for &i in &sel {
+            let p = pts[i];
+            assert!(
+                p[0] * p[0] + p[1] * p[1] < 16.0,
+                "selected point {p:?} is not in the query blob"
+            );
+        }
+    }
+
+    #[test]
+    fn selection_curve_is_monotone_nonincreasing() {
+        let profile = VisualProfile::build(two_blob_points(), [0.0, 0.0], 40, 1.0);
+        let curve = profile.selection_curve(20, CornerRule::AtLeastThree);
+        for w in curve.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1,
+                "raising tau must not grow the selection: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn selected_fraction_bounds() {
+        let profile = VisualProfile::build(two_blob_points(), [0.0, 0.0], 40, 1.0);
+        let f = profile.selected_fraction(profile.max_density() * 0.1, CornerRule::AtLeastThree);
+        assert!((0.0..=1.0).contains(&f));
+        assert_eq!(
+            profile.selected_fraction(f64::INFINITY, CornerRule::AtLeastThree),
+            0.0
+        );
+    }
+
+    #[test]
+    fn polygon_selection_separates_blobs() {
+        let pts = two_blob_points();
+        let profile = VisualProfile::build(pts.clone(), [0.0, 0.0], 30, 1.0);
+        // The line x + y = 8 separates blob (0,0) from blob (8,8).
+        let sel = profile.select_polygon(&[HalfPlane::new(1.0, 1.0, -8.0)]);
+        assert!(!sel.is_empty());
+        for &i in &sel {
+            assert!(pts[i][0] + pts[i][1] < 8.0);
+        }
+    }
+
+    #[test]
+    fn polygon_no_lines_selects_everything() {
+        let pts = two_blob_points();
+        let n = pts.len();
+        let profile = VisualProfile::build(pts, [0.0, 0.0], 30, 1.0);
+        assert_eq!(profile.select_polygon(&[]).len(), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty projection")]
+    fn empty_points_panics() {
+        VisualProfile::build(Vec::new(), [0.0, 0.0], 10, 1.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the KDE substrate.
+
+use hinn_kde::connect::{connected_cells, CornerRule};
+use hinn_kde::estimate::{density_at, estimate_grid};
+use hinn_kde::grid::{DensityGrid, GridSpec};
+use hinn_kde::kernel::{gaussian_kernel, silverman_bandwidth, Bandwidth2D};
+use hinn_kde::profile::VisualProfile;
+use proptest::prelude::*;
+
+fn points_2d(min_n: usize, max_n: usize) -> impl Strategy<Value = Vec<[f64; 2]>> {
+    proptest::collection::vec((-50.0..50.0f64, -50.0..50.0f64), min_n..=max_n)
+        .prop_map(|v| v.into_iter().map(|(x, y)| [x, y]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kernel_nonnegative_and_bounded(u in -100.0..100.0f64, h in 0.01..10.0f64) {
+        let v = gaussian_kernel(u, h);
+        prop_assert!(v >= 0.0);
+        prop_assert!(v <= gaussian_kernel(0.0, h) + 1e-15);
+    }
+
+    #[test]
+    fn silverman_nonneg(sample in proptest::collection::vec(-100.0..100.0f64, 0..50)) {
+        prop_assert!(silverman_bandwidth(&sample) > 0.0);
+    }
+
+    #[test]
+    fn density_nonnegative_everywhere(pts in points_2d(1, 40), x in -60.0..60.0f64, y in -60.0..60.0f64) {
+        let bw = Bandwidth2D::silverman(&pts);
+        prop_assert!(density_at(&pts, bw, x, y) >= 0.0);
+    }
+
+    #[test]
+    fn grid_densities_nonnegative(pts in points_2d(1, 40)) {
+        let bw = Bandwidth2D::silverman(&pts);
+        let spec = GridSpec::covering(&pts, &[], 0.2, 17);
+        let g = estimate_grid(&pts, bw, spec);
+        prop_assert!(g.values().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn grid_integral_below_one_plus_eps(pts in points_2d(2, 40)) {
+        // The grid covers a finite window, so the Riemann mass never
+        // (meaningfully) exceeds the full integral of 1.
+        let bw = Bandwidth2D::silverman(&pts);
+        let spec = GridSpec::covering(&pts, &[], 0.5, 41);
+        let g = estimate_grid(&pts, bw, spec);
+        prop_assert!(g.integral() < 1.1, "grid mass {}", g.integral());
+    }
+
+    #[test]
+    fn connectivity_shrinks_with_tau(
+        pts in points_2d(5, 40),
+        t1 in 0.0..0.5f64,
+        t2 in 0.5..1.0f64,
+    ) {
+        let q = pts[0];
+        let profile = VisualProfile::build(pts.clone(), q, 15, 1.0);
+        let max = profile.max_density();
+        let lo = profile.select(max * t1, CornerRule::AtLeastThree);
+        let hi = profile.select(max * t2, CornerRule::AtLeastThree);
+        prop_assert!(hi.len() <= lo.len());
+        for i in &hi {
+            prop_assert!(lo.contains(i), "selection at higher tau not nested");
+        }
+    }
+
+    #[test]
+    fn looser_corner_rule_selects_no_fewer(
+        pts in points_2d(5, 40),
+        t in 0.05..0.8f64,
+    ) {
+        let q = pts[0];
+        let profile = VisualProfile::build(pts, q, 15, 1.0);
+        let tau = profile.max_density() * t;
+        let tight = profile.select(tau, CornerRule::AllFour).len();
+        let mid = profile.select(tau, CornerRule::AtLeastThree).len();
+        let loose = profile.select(tau, CornerRule::AnyOne).len();
+        prop_assert!(tight <= mid && mid <= loose);
+    }
+
+    #[test]
+    fn connected_mask_contains_query_or_is_empty(
+        pts in points_2d(5, 30),
+        t in 0.0..1.0f64,
+    ) {
+        let q = pts[0];
+        let profile = VisualProfile::build(pts, q, 12, 1.0);
+        let tau = profile.max_density() * t;
+        let mask = profile.connected_mask(tau, CornerRule::AtLeastThree);
+        if mask.count() > 0 {
+            let (qx, qy) = profile.query_cell;
+            prop_assert!(mask.contains(qx, qy));
+        }
+    }
+
+    #[test]
+    fn interpolation_within_grid_range(pts in points_2d(2, 30), x in -60.0..60.0f64, y in -60.0..60.0f64) {
+        let bw = Bandwidth2D::silverman(&pts);
+        let spec = GridSpec::covering(&pts, &[], 0.2, 13);
+        let g = estimate_grid(&pts, bw, spec);
+        let v = g.interpolate(x, y);
+        prop_assert!(v >= -1e-12 && v <= g.max() + 1e-12);
+    }
+
+    #[test]
+    fn cell_of_roundtrips_cell_center(n in 3usize..20, cx in 0usize..18, cy in 0usize..18) {
+        let spec = GridSpec { x0: -3.0, y0: 2.0, dx: 0.7, dy: 1.3, n };
+        let m = spec.cells_per_axis();
+        let (cx, cy) = (cx % m, cy % m);
+        let [x, y] = spec.cell_center(cx, cy);
+        prop_assert_eq!(spec.cell_of(x, y), Some((cx, cy)));
+    }
+
+    #[test]
+    fn lateral_samples_inside_grid(pts in points_2d(3, 30), count in 1usize..200) {
+        use rand::SeedableRng;
+        let bw = Bandwidth2D::silverman(&pts);
+        let spec = GridSpec::covering(&pts, &[], 0.2, 13);
+        let g = estimate_grid(&pts, bw, spec);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let samples = hinn_kde::lateral::lateral_points(&g, count, &mut rng);
+        let xmax = spec.x0 + (spec.n - 1) as f64 * spec.dx;
+        let ymax = spec.y0 + (spec.n - 1) as f64 * spec.dy;
+        for s in samples {
+            prop_assert!(s[0] >= spec.x0 - 1e-9 && s[0] <= xmax + 1e-9);
+            prop_assert!(s[1] >= spec.y0 - 1e-9 && s[1] <= ymax + 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantile_monotone(values in proptest::collection::vec(0.0..10.0f64, 9), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+        let spec = GridSpec { x0: 0.0, y0: 0.0, dx: 1.0, dy: 1.0, n: 3 };
+        let g = DensityGrid::new(spec, values);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(g.quantile(lo) <= g.quantile(hi) + 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! Sample statistics over point sets.
+//!
+//! Points are rows: a data set is a `&[Vec<f64>]` (or any slice of rows of a
+//! common dimensionality). These routines feed the query-cluster subspace
+//! determination of Fig. 4: the covariance matrix `Σ` of the cluster, and
+//! per-direction variances `γᵢ` of the whole data used in the variance ratio
+//! `λᵢ / γᵢ`.
+
+use crate::matrix::Matrix;
+use crate::vector::dot;
+
+/// Component-wise mean of a non-empty point set.
+///
+/// # Panics
+/// Panics if `points` is empty.
+pub fn mean_vector(points: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!points.is_empty(), "mean_vector: empty point set");
+    let d = points[0].len();
+    let mut m = vec![0.0; d];
+    for p in points {
+        assert_eq!(p.len(), d, "mean_vector: ragged point set");
+        for (mi, pi) in m.iter_mut().zip(p) {
+            *mi += pi;
+        }
+    }
+    let n = points.len() as f64;
+    for mi in &mut m {
+        *mi /= n;
+    }
+    m
+}
+
+/// Sample covariance matrix (`1/n` normalization, i.e. the population form
+/// the paper's Fig. 4 uses — the eigen *directions* and variance *ratios*
+/// are unaffected by the `1/n` vs `1/(n−1)` choice).
+///
+/// # Panics
+/// Panics if `points` is empty.
+pub fn covariance_matrix(points: &[Vec<f64>]) -> Matrix {
+    assert!(!points.is_empty(), "covariance_matrix: empty point set");
+    let d = points[0].len();
+    let mean = mean_vector(points);
+    let mut cov = Matrix::zeros(d, d);
+    let mut centered = vec![0.0; d];
+    for p in points {
+        for (c, (pi, mi)) in centered.iter_mut().zip(p.iter().zip(&mean)) {
+            *c = pi - mi;
+        }
+        for i in 0..d {
+            let ci = centered[i];
+            if ci == 0.0 {
+                continue;
+            }
+            let row = cov.row_mut(i);
+            for (j, &cj) in centered.iter().enumerate().skip(i) {
+                row[j] += ci * cj;
+            }
+        }
+    }
+    let n = points.len() as f64;
+    for i in 0..d {
+        for j in i..d {
+            let v = cov[(i, j)] / n;
+            cov[(i, j)] = v;
+            cov[(j, i)] = v;
+        }
+    }
+    cov
+}
+
+/// Variance of the point set when projected onto a (not necessarily unit)
+/// `direction`. For a unit direction this is `uᵀ Σ u`.
+///
+/// # Panics
+/// Panics if `points` is empty or dimensions mismatch.
+pub fn variance_along(points: &[Vec<f64>], direction: &[f64]) -> f64 {
+    assert!(!points.is_empty(), "variance_along: empty point set");
+    let n = points.len() as f64;
+    let proj: Vec<f64> = points.iter().map(|p| dot(p, direction)).collect();
+    let mean: f64 = proj.iter().sum::<f64>() / n;
+    proj.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n
+}
+
+/// Per-coordinate variances — the axis-parallel specialization used when the
+/// system runs in interpretable (axis-parallel) projection mode.
+pub fn coordinate_variances(points: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!points.is_empty(), "coordinate_variances: empty point set");
+    let d = points[0].len();
+    let mean = mean_vector(points);
+    let mut var = vec![0.0; d];
+    for p in points {
+        for ((v, pi), mi) in var.iter_mut().zip(p).zip(&mean) {
+            let c = pi - mi;
+            *v += c * c;
+        }
+    }
+    let n = points.len() as f64;
+    for v in &mut var {
+        *v /= n;
+    }
+    var
+}
+
+/// Standard deviation of a scalar sample (population form). Returns 0 for
+/// samples of size < 2. Used by Silverman's bandwidth rule in `hinn-kde`.
+pub fn std_dev(sample: &[f64]) -> f64 {
+    if sample.len() < 2 {
+        return 0.0;
+    }
+    let n = sample.len() as f64;
+    let mean: f64 = sample.iter().sum::<f64>() / n;
+    (sample.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigen::jacobi_eigen;
+
+    #[test]
+    fn mean_of_known_points() {
+        let pts = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        assert_eq!(mean_vector(&pts), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn covariance_of_axis_aligned_data() {
+        // Points on the x-axis: variance in x, none in y, no cross term.
+        let pts = vec![vec![-1.0, 0.0], vec![1.0, 0.0]];
+        let c = covariance_matrix(&pts);
+        assert!((c[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!(c[(1, 1)].abs() < 1e-12);
+        assert!(c[(0, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd() {
+        let pts = vec![
+            vec![1.0, 2.0, 0.5],
+            vec![2.0, 1.0, 1.5],
+            vec![0.0, 0.5, 2.0],
+            vec![1.5, 1.5, 1.0],
+        ];
+        let c = covariance_matrix(&pts);
+        assert!(c.is_symmetric(1e-12));
+        let e = jacobi_eigen(&c);
+        for v in e.values {
+            assert!(v > -1e-10, "covariance must be PSD, got eigenvalue {v}");
+        }
+    }
+
+    #[test]
+    fn variance_along_matches_quadratic_form() {
+        let pts = vec![
+            vec![1.0, 0.0],
+            vec![-1.0, 0.5],
+            vec![0.5, -1.0],
+            vec![-0.5, 0.5],
+        ];
+        let c = covariance_matrix(&pts);
+        let u = [0.6, 0.8];
+        let quad = c.matvec(&u).iter().zip(&u).map(|(a, b)| a * b).sum::<f64>();
+        assert!((variance_along(&pts, &u) - quad).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coordinate_variances_match_diagonal() {
+        let pts = vec![vec![1.0, 5.0], vec![3.0, 5.0], vec![2.0, 5.0]];
+        let c = covariance_matrix(&pts);
+        let v = coordinate_variances(&pts);
+        assert!((v[0] - c[(0, 0)]).abs() < 1e-12);
+        assert!((v[1] - c[(1, 1)]).abs() < 1e-12);
+        assert!(v[1].abs() < 1e-12, "constant coordinate has zero variance");
+    }
+
+    #[test]
+    fn std_dev_known() {
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn empty_mean_panics() {
+        mean_vector(&[]);
+    }
+}

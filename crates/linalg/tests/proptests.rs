@@ -1,0 +1,144 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use hinn_linalg::{covariance_matrix, jacobi_eigen, mean_vector, variance_along, Matrix, Subspace};
+use proptest::prelude::*;
+
+/// Strategy: a symmetric n×n matrix with entries in [-10, 10].
+fn sym_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0..10.0f64, n * (n + 1) / 2).prop_map(move |upper| {
+        let mut m = Matrix::zeros(n, n);
+        let mut it = upper.into_iter();
+        for i in 0..n {
+            for j in i..n {
+                let v = it.next().unwrap();
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        m
+    })
+}
+
+/// Strategy: a set of points in R^d.
+fn point_set(d: usize, min_n: usize, max_n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-100.0..100.0f64, d),
+        min_n..=max_n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn eigen_reconstructs_matrix(m in sym_matrix(5)) {
+        let e = jacobi_eigen(&m);
+        let err = m.sub(&e.reconstruct()).max_abs();
+        prop_assert!(err < 1e-7 * (1.0 + m.max_abs()), "reconstruction error {err}");
+    }
+
+    #[test]
+    fn eigen_vectors_orthonormal(m in sym_matrix(6)) {
+        let e = jacobi_eigen(&m);
+        for i in 0..6 {
+            let vi = e.vector(i);
+            prop_assert!((hinn_linalg::vector::norm(&vi) - 1.0).abs() < 1e-8);
+            for j in (i + 1)..6 {
+                prop_assert!(hinn_linalg::vector::dot(&vi, &e.vector(j)).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_trace_preserved(m in sym_matrix(4)) {
+        let e = jacobi_eigen(&m);
+        let trace: f64 = (0..4).map(|i| m[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-8 * (1.0 + trace.abs()));
+    }
+
+    #[test]
+    fn covariance_psd(pts in point_set(4, 2, 30)) {
+        let c = covariance_matrix(&pts);
+        prop_assert!(c.is_symmetric(1e-9));
+        let e = jacobi_eigen(&c);
+        for v in e.values {
+            prop_assert!(v > -1e-6 * (1.0 + c.max_abs()), "negative eigenvalue {v}");
+        }
+    }
+
+    #[test]
+    fn variance_along_nonnegative(pts in point_set(3, 2, 20), dir in proptest::collection::vec(-1.0..1.0f64, 3)) {
+        let v = variance_along(&pts, &dir);
+        prop_assert!(v >= -1e-9);
+    }
+
+    #[test]
+    fn mean_within_bounding_box(pts in point_set(3, 1, 20)) {
+        let m = mean_vector(&pts);
+        for j in 0..3 {
+            let lo = pts.iter().map(|p| p[j]).fold(f64::INFINITY, f64::min);
+            let hi = pts.iter().map(|p| p[j]).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m[j] >= lo - 1e-9 && m[j] <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn subspace_projection_contracts(
+        vecs in proptest::collection::vec(proptest::collection::vec(-5.0..5.0f64, 4), 1..4),
+        x in proptest::collection::vec(-5.0..5.0f64, 4),
+        y in proptest::collection::vec(-5.0..5.0f64, 4),
+    ) {
+        let s = Subspace::from_vectors(4, &vecs);
+        prop_assert!(s.is_orthonormal(1e-8));
+        let pd = s.projected_distance(&x, &y);
+        let fd = hinn_linalg::vector::dist(&x, &y);
+        prop_assert!(pd <= fd + 1e-9, "projection expanded distance: {pd} > {fd}");
+    }
+
+    #[test]
+    fn complement_is_orthogonal_and_spans(
+        vecs in proptest::collection::vec(proptest::collection::vec(-5.0..5.0f64, 5), 1..4),
+    ) {
+        let full = Subspace::full(5);
+        let inner = Subspace::from_vectors(5, &vecs);
+        let comp = full.complement_within(&inner);
+        prop_assert_eq!(comp.dim(), 5 - inner.dim());
+        for c in comp.basis() {
+            for e in inner.basis() {
+                prop_assert!(hinn_linalg::vector::dot(c, e).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn lift_then_project_roundtrips(
+        vecs in proptest::collection::vec(proptest::collection::vec(-5.0..5.0f64, 4), 2..4),
+        coeff in proptest::collection::vec(-3.0..3.0f64, 4),
+    ) {
+        let s = Subspace::from_vectors(4, &vecs);
+        let coords: Vec<f64> = coeff.into_iter().take(s.dim()).collect();
+        let back = s.project(&s.lift(&coords));
+        for (a, b) in coords.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn lp_distance_monotone_in_point_gap(a in -10.0..10.0f64, b in -10.0..10.0f64, p in 0.25..4.0f64) {
+        // In 1-D every Lp distance equals |a-b|.
+        let d = hinn_linalg::vector::lp_dist(&[a], &[b], p);
+        prop_assert!((d - (a - b).abs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality_for_p_ge_1(
+        x in proptest::collection::vec(-5.0..5.0f64, 3),
+        y in proptest::collection::vec(-5.0..5.0f64, 3),
+        z in proptest::collection::vec(-5.0..5.0f64, 3),
+        p in 1.0..4.0f64,
+    ) {
+        let d = |a: &[f64], b: &[f64]| hinn_linalg::vector::lp_dist(a, b, p);
+        prop_assert!(d(&x, &z) <= d(&x, &y) + d(&y, &z) + 1e-9);
+    }
+}

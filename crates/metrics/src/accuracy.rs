@@ -1,0 +1,72 @@
+//! Nearest-neighbor classification accuracy (Table 2 of the paper).
+//!
+//! §4.3: each query point is classified by the labels of the neighbors the
+//! method returns ("as many nearest neighbors as determined by the natural
+//! query cluster size"); accuracy is the fraction of queries whose majority
+//! neighbor label matches the query's own label.
+
+/// Majority label among `neighbor_labels` (ties broken toward the smaller
+/// label, unlabeled neighbors ignored). `None` if no neighbor is labeled.
+pub fn majority_label(neighbor_labels: &[Option<usize>]) -> Option<usize> {
+    let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    for l in neighbor_labels.iter().flatten() {
+        *counts.entry(*l).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(l, _)| l)
+}
+
+/// Fraction of `(true_label, predicted)` pairs that agree; `None`
+/// predictions always count as errors.
+pub fn classification_accuracy(results: &[(usize, Option<usize>)]) -> f64 {
+    assert!(!results.is_empty(), "classification_accuracy: no results");
+    let correct = results.iter().filter(|(t, p)| *p == Some(*t)).count();
+    correct as f64 / results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_basic() {
+        assert_eq!(majority_label(&[Some(1), Some(1), Some(0)]), Some(1));
+        assert_eq!(majority_label(&[Some(2)]), Some(2));
+    }
+
+    #[test]
+    fn majority_ignores_unlabeled() {
+        assert_eq!(majority_label(&[None, None, Some(3)]), Some(3));
+        assert_eq!(majority_label(&[None, None]), None);
+        assert_eq!(majority_label(&[]), None);
+    }
+
+    #[test]
+    fn majority_tie_breaks_to_smaller_label() {
+        assert_eq!(majority_label(&[Some(0), Some(1)]), Some(0));
+        assert_eq!(
+            majority_label(&[Some(5), Some(2), Some(5), Some(2)]),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn accuracy_counts_correct_fraction() {
+        let results = [(0, Some(0)), (1, Some(0)), (2, Some(2)), (3, None)];
+        assert!((classification_accuracy(&results) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_perfect_and_zero() {
+        assert_eq!(classification_accuracy(&[(1, Some(1))]), 1.0);
+        assert_eq!(classification_accuracy(&[(1, Some(2))]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no results")]
+    fn empty_accuracy_panics() {
+        classification_accuracy(&[]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Distance-distribution statistics behind the meaningfulness discussion.
+//!
+//! §1 / §1.1 of the paper build on Beyer et al. (ICDT 1999): in high
+//! dimension, for broad classes of distributions, `D_max ≈ D_min` — the
+//! *relative contrast* `(D_max − D_min) / D_min` vanishes and nearest
+//! neighbor queries become unstable. These statistics let the experiments
+//! demonstrate the instability on the uniform workload and the restored
+//! contrast inside well-chosen projections.
+
+/// Summary of the distances from one query to a data set.
+#[derive(Clone, Copy, Debug)]
+pub struct DistanceStats {
+    /// Smallest distance.
+    pub min: f64,
+    /// Largest distance.
+    pub max: f64,
+    /// Mean distance.
+    pub mean: f64,
+    /// Population standard deviation of the distances.
+    pub std: f64,
+}
+
+impl DistanceStats {
+    /// Compute from a non-empty slice of distances.
+    ///
+    /// # Panics
+    /// Panics if `distances` is empty.
+    pub fn compute(distances: &[f64]) -> Self {
+        assert!(!distances.is_empty(), "DistanceStats: no distances");
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &d in distances {
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+        }
+        let mean = sum / distances.len() as f64;
+        let var = distances
+            .iter()
+            .map(|d| (d - mean) * (d - mean))
+            .sum::<f64>()
+            / distances.len() as f64;
+        Self {
+            min,
+            max,
+            mean,
+            std: var.sqrt(),
+        }
+    }
+
+    /// Beyer et al.'s relative contrast `(D_max − D_min) / D_min`
+    /// (`∞` when `D_min = 0` and `D_max > 0`; `0` when all distances equal).
+    pub fn relative_contrast(&self) -> f64 {
+        if self.min == 0.0 {
+            if self.max == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.max - self.min) / self.min
+        }
+    }
+
+    /// Coefficient of variation `σ / μ` — the alternative "spread of the
+    /// distance distribution" measure used in the meaningfulness literature.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std / self.mean
+        }
+    }
+}
+
+/// The ε-instability of a nearest-neighbor query (Beyer et al., the
+/// paper's \[10\]): the fraction of data points lying within
+/// `(1 + ε) · D_min` of the query. When this fraction is large, "a slight
+/// relative perturbation of the query point away from the nearest neighbor
+/// could change it into the farthest neighbor and vice versa" (§1) — the
+/// query is *unstable*.
+///
+/// # Panics
+/// Panics if `distances` is empty or `epsilon < 0`.
+pub fn epsilon_instability(distances: &[f64], epsilon: f64) -> f64 {
+    assert!(!distances.is_empty(), "epsilon_instability: no distances");
+    assert!(epsilon >= 0.0, "epsilon_instability: negative epsilon");
+    let dmin = distances.iter().copied().fold(f64::INFINITY, f64::min);
+    let radius = dmin * (1.0 + epsilon);
+    distances.iter().filter(|&&d| d <= radius).count() as f64 / distances.len() as f64
+}
+
+/// Convenience: relative contrast of the distances from `query` to every
+/// point of `points` under the Euclidean metric.
+pub fn relative_contrast(points: &[Vec<f64>], query: &[f64]) -> f64 {
+    let d: Vec<f64> = points
+        .iter()
+        .map(|p| hinn_linalg::vector::dist(p, query))
+        .collect();
+    DistanceStats::compute(&d).relative_contrast()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_sample() {
+        let s = DistanceStats::compute(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+        assert!((s.relative_contrast() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_contrasts() {
+        let zero = DistanceStats::compute(&[0.0, 0.0]);
+        assert_eq!(zero.relative_contrast(), 0.0);
+        let inf = DistanceStats::compute(&[0.0, 5.0]);
+        assert!(inf.relative_contrast().is_infinite());
+        let flat = DistanceStats::compute(&[2.0, 2.0, 2.0]);
+        assert_eq!(flat.relative_contrast(), 0.0);
+        assert_eq!(flat.coefficient_of_variation(), 0.0);
+    }
+
+    #[test]
+    fn contrast_shrinks_with_dimension_for_uniform_data() {
+        // The classic curse-of-dimensionality demonstration, with a
+        // deterministic LCG so the test is stable.
+        let mut state = 88172645463325252u64;
+        let mut unif = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let contrast_at = |d: usize, unif: &mut dyn FnMut() -> f64| {
+            let points: Vec<Vec<f64>> =
+                (0..300).map(|_| (0..d).map(|_| unif()).collect()).collect();
+            let query: Vec<f64> = (0..d).map(|_| unif()).collect();
+            relative_contrast(&points, &query)
+        };
+        let c2 = contrast_at(2, &mut unif);
+        let c100 = contrast_at(100, &mut unif);
+        assert!(
+            c100 < c2 / 3.0,
+            "contrast should collapse with dimension: c2={c2}, c100={c100}"
+        );
+    }
+
+    #[test]
+    fn epsilon_instability_basics() {
+        // dmin = 1; radius at ε=0.5 is 1.5 → 2 of 4 points inside.
+        let d = [1.0, 1.4, 2.0, 3.0];
+        assert!((epsilon_instability(&d, 0.5) - 0.5).abs() < 1e-12);
+        // ε = 0: only (ties with) the nearest neighbor.
+        assert!((epsilon_instability(&d, 0.0) - 0.25).abs() < 1e-12);
+        // Everything equidistant → totally unstable at any ε.
+        assert_eq!(epsilon_instability(&[2.0, 2.0, 2.0], 0.01), 1.0);
+    }
+
+    #[test]
+    fn instability_grows_with_dimension_on_uniform_data() {
+        let mut state = 0x1234ABCDu64;
+        let mut unif = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let inst = |d: usize, unif: &mut dyn FnMut() -> f64| {
+            let pts: Vec<Vec<f64>> = (0..400).map(|_| (0..d).map(|_| unif()).collect()).collect();
+            let q: Vec<f64> = (0..d).map(|_| unif()).collect();
+            let dist: Vec<f64> = pts
+                .iter()
+                .map(|p| hinn_linalg::vector::dist(p, &q))
+                .collect();
+            epsilon_instability(&dist, 0.1)
+        };
+        let low = inst(2, &mut unif);
+        let high = inst(80, &mut unif);
+        assert!(
+            high > 5.0 * low.max(1.0 / 400.0),
+            "instability must grow with d: {low} vs {high}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no distances")]
+    fn empty_panics() {
+        DistanceStats::compute(&[]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Standard normal CDF.
+//!
+//! Fig. 8 of the paper converts the meaningfulness coefficient `M(j)` into a
+//! probability `P(j) = max(2Φ(M(j)) − 1, 0)`. `Φ` is computed through the
+//! complementary error function with the Abramowitz–Stegun 7.1.26 rational
+//! approximation (max absolute error ≈ 1.5e−7 — far below anything the
+//! preference-count statistics can resolve).
+
+/// The error function `erf(x)`, Abramowitz & Stegun 7.1.26.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF `Φ(z)`.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// The paper's meaningfulness probability transform:
+/// `P = max(2Φ(m) − 1, 0)` (Fig. 8 / Eq. 7).
+///
+/// For `m ≤ 0` the exact value is 0 (the clamp); returning it directly also
+/// avoids the ~1.5e−7 wobble of the erf approximation around zero.
+pub fn meaningfulness_probability(m: f64) -> f64 {
+    if m <= 0.0 {
+        return 0.0;
+    }
+    (2.0 * normal_cdf(m) - 1.0).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from tables.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204998778),
+            (1.0, 0.8427007929),
+            (2.0, 0.9953222650),
+            (-1.0, -0.8427007929),
+        ];
+        for (x, want) in cases {
+            assert!(
+                (erf(x) - want).abs() < 2e-7,
+                "erf({x}) = {} want {want}",
+                erf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        let cases = [
+            (0.0, 0.5),
+            (1.0, 0.8413447461),
+            (1.96, 0.9750021049),
+            (-1.645, 0.0499849088),
+            (3.0, 0.9986501020),
+        ];
+        for (z, want) in cases {
+            assert!(
+                (normal_cdf(z) - want).abs() < 2e-7,
+                "Φ({z}) = {} want {want}",
+                normal_cdf(z)
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_symmetry_and_monotonicity() {
+        for i in 0..100 {
+            let z = -5.0 + 0.1 * i as f64;
+            assert!((normal_cdf(z) + normal_cdf(-z) - 1.0).abs() < 3e-7);
+            assert!(normal_cdf(z + 0.1) >= normal_cdf(z));
+        }
+    }
+
+    #[test]
+    fn meaningfulness_probability_properties() {
+        // Negative coefficient → clamped to zero (Eq. 7's max with 0).
+        assert_eq!(meaningfulness_probability(-1.0), 0.0);
+        assert_eq!(meaningfulness_probability(0.0), 0.0);
+        // Large coefficient → probability approaches 1.
+        assert!(meaningfulness_probability(4.0) > 0.9999);
+        // 2Φ(1.96)−1 ≈ 0.95.
+        assert!((meaningfulness_probability(1.96) - 0.95).abs() < 1e-3);
+        // Monotone in m (up to the ~1.5e-7 error of the A&S approximation).
+        let mut prev = 0.0;
+        for i in 0..50 {
+            let p = meaningfulness_probability(0.1 * i as f64);
+            assert!(p >= prev - 1e-6);
+            prev = p;
+        }
+    }
+}

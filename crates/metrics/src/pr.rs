@@ -1,0 +1,134 @@
+//! Precision / recall / F1 over index sets (Table 1 of the paper).
+
+use std::collections::HashSet;
+
+/// Precision and recall of a retrieved set against a relevant set.
+///
+/// ```
+/// use hinn_metrics::PrecisionRecall;
+///
+/// let pr = PrecisionRecall::compute(&[1, 2, 3, 4], &[3, 4, 5, 6]);
+/// assert_eq!(pr.hits, 2);
+/// assert!((pr.precision - 0.5).abs() < 1e-12);
+/// assert!((pr.f1() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrecisionRecall {
+    /// `|retrieved ∩ relevant| / |retrieved|` (1.0 for empty retrieved).
+    pub precision: f64,
+    /// `|retrieved ∩ relevant| / |relevant|` (1.0 for empty relevant).
+    pub recall: f64,
+    /// Number of true positives.
+    pub hits: usize,
+}
+
+impl PrecisionRecall {
+    /// Compute from slices of indices (duplicates are ignored).
+    pub fn compute(retrieved: &[usize], relevant: &[usize]) -> Self {
+        let retrieved: HashSet<usize> = retrieved.iter().copied().collect();
+        let relevant: HashSet<usize> = relevant.iter().copied().collect();
+        let hits = retrieved.intersection(&relevant).count();
+        let precision = if retrieved.is_empty() {
+            1.0
+        } else {
+            hits as f64 / retrieved.len() as f64
+        };
+        let recall = if relevant.is_empty() {
+            1.0
+        } else {
+            hits as f64 / relevant.len() as f64
+        };
+        Self {
+            precision,
+            recall,
+            hits,
+        }
+    }
+
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let s = self.precision + self.recall;
+        if s == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / s
+        }
+    }
+
+    /// Mean precision/recall over several query results.
+    pub fn mean(results: &[PrecisionRecall]) -> PrecisionRecall {
+        assert!(!results.is_empty(), "mean: no results");
+        let n = results.len() as f64;
+        PrecisionRecall {
+            precision: results.iter().map(|r| r.precision).sum::<f64>() / n,
+            recall: results.iter().map(|r| r.recall).sum::<f64>() / n,
+            hits: results.iter().map(|r| r.hits).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_retrieval() {
+        let pr = PrecisionRecall::compute(&[1, 2, 3], &[3, 2, 1]);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 1.0);
+        assert_eq!(pr.hits, 3);
+        assert_eq!(pr.f1(), 1.0);
+    }
+
+    #[test]
+    fn partial_retrieval() {
+        // retrieved {1,2,3,4}, relevant {3,4,5,6,7,8}: hits 2.
+        let pr = PrecisionRecall::compute(&[1, 2, 3, 4], &[3, 4, 5, 6, 7, 8]);
+        assert!((pr.precision - 0.5).abs() < 1e-12);
+        assert!((pr.recall - 2.0 / 6.0).abs() < 1e-12);
+        assert!((pr.f1() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        let pr = PrecisionRecall::compute(&[1, 2], &[3, 4]);
+        assert_eq!(pr.precision, 0.0);
+        assert_eq!(pr.recall, 0.0);
+        assert_eq!(pr.f1(), 0.0);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let pr = PrecisionRecall::compute(&[], &[1]);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 0.0);
+        let pr = PrecisionRecall::compute(&[1], &[]);
+        assert_eq!(pr.precision, 0.0);
+        assert_eq!(pr.recall, 1.0);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let pr = PrecisionRecall::compute(&[1, 1, 1, 2], &[1, 2]);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 1.0);
+    }
+
+    #[test]
+    fn mean_aggregates() {
+        let a = PrecisionRecall {
+            precision: 1.0,
+            recall: 0.5,
+            hits: 2,
+        };
+        let b = PrecisionRecall {
+            precision: 0.5,
+            recall: 1.0,
+            hits: 3,
+        };
+        let m = PrecisionRecall::mean(&[a, b]);
+        assert!((m.precision - 0.75).abs() < 1e-12);
+        assert!((m.recall - 0.75).abs() < 1e-12);
+        assert_eq!(m.hits, 5);
+    }
+}

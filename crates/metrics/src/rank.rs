@@ -1,0 +1,174 @@
+//! Rank-agreement statistics.
+//!
+//! §1 of the paper: "the use of different distance metrics can result in
+//! widely varying ordering of distances of points from the target for a
+//! given query. This leads to questions on whether a user should consider
+//! such results meaningful." Quantifying that instability needs a rank
+//! correlation; Kendall's τ (pairwise concordance) and Spearman's ρ
+//! (rank-value correlation) are implemented here, plus top-k overlap —
+//! the measure most relevant to nearest-neighbor answers.
+
+/// Kendall's τ-a between two equal-length score vectors: the fraction of
+/// concordant minus discordant pairs over all pairs. Ties count as neither.
+/// Returns 0 for inputs shorter than 2.
+///
+/// `O(n²)` — fine for the result-list sizes this crate compares.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "kendall_tau: length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let s = da * db;
+            if s > 0.0 {
+                concordant += 1;
+            } else if s < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+/// Spearman's ρ: Pearson correlation of the rank vectors (average ranks
+/// for ties). Returns 0 for inputs shorter than 2 or constant inputs.
+pub fn spearman_rho(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "spearman_rho: length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Average ranks (1-based, ties share the mean rank).
+fn ranks(x: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..x.len()).collect();
+    order.sort_by(|&i, &j| x[i].partial_cmp(&x[j]).expect("NaN value"));
+    let mut r = vec![0.0; x.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && x[order[j + 1]] == x[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            r[k] = avg;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// `|top-k(a) ∩ top-k(b)| / k` where top-k means the k *smallest* scores
+/// (distances). The head-stability measure for NN answers.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > len`.
+pub fn top_k_overlap(a: &[f64], b: &[f64], k: usize) -> f64 {
+    assert_eq!(a.len(), b.len(), "top_k_overlap: length mismatch");
+    assert!(k >= 1 && k <= a.len(), "top_k_overlap: k out of range");
+    let top = |x: &[f64]| -> std::collections::HashSet<usize> {
+        let mut idx: Vec<usize> = (0..x.len()).collect();
+        idx.sort_by(|&i, &j| x[i].partial_cmp(&x[j]).expect("NaN value"));
+        idx.into_iter().take(k).collect()
+    };
+    let ta = top(a);
+    let tb = top(b);
+    ta.intersection(&tb).count() as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_identical_and_reversed() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert!((kendall_tau(&a, &a) - 1.0).abs() < 1e-12);
+        let rev = [4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau(&a, &rev) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_known_value() {
+        // a = [1,2,3], b = [1,3,2]: pairs (1,2)C,(1,3)C,(2,3)D → (2-1)/3.
+        let tau = kendall_tau(&[1.0, 2.0, 3.0], &[1.0, 3.0, 2.0]);
+        assert!((tau - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_handles_ties_and_tiny_inputs() {
+        assert_eq!(kendall_tau(&[], &[]), 0.0);
+        assert_eq!(kendall_tau(&[1.0], &[2.0]), 0.0);
+        // All ties in a → every pair neither concordant nor discordant.
+        assert_eq!(kendall_tau(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_identical_reversed_constant() {
+        let a = [3.0, 1.0, 4.0, 1.5, 5.0];
+        assert!((spearman_rho(&a, &a) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = a.iter().map(|v| -v).collect();
+        assert!((spearman_rho(&a, &neg) + 1.0).abs() < 1e-12);
+        assert_eq!(spearman_rho(&a, &[2.0; 5]), 0.0);
+    }
+
+    #[test]
+    fn spearman_ties_share_ranks() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn top_k_overlap_basics() {
+        let a = [0.1, 0.2, 0.3, 0.9, 0.8];
+        let b = [0.9, 0.8, 0.3, 0.2, 0.1];
+        // top-2 of a = {0,1}; of b = {4,3} → 0 overlap.
+        assert_eq!(top_k_overlap(&a, &b, 2), 0.0);
+        assert_eq!(top_k_overlap(&a, &a, 3), 1.0);
+        // top-3 of a = {0,1,2}; of b = {4,3,2} → 1/3.
+        assert!((top_k_overlap(&a, &b, 3) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k out of range")]
+    fn zero_k_panics() {
+        top_k_overlap(&[1.0], &[1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatch_panics() {
+        kendall_tau(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the metrics crate.
+
+use hinn_metrics::drop::{detect_steep_drop, DropConfig};
+use hinn_metrics::normal::{erf, normal_cdf};
+use hinn_metrics::{kendall_tau, spearman_rho, top_k_overlap, DistanceStats, PrecisionRecall};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn precision_recall_bounds(
+        retrieved in proptest::collection::vec(0usize..50, 0..30),
+        relevant in proptest::collection::vec(0usize..50, 0..30),
+    ) {
+        let pr = PrecisionRecall::compute(&retrieved, &relevant);
+        prop_assert!((0.0..=1.0).contains(&pr.precision));
+        prop_assert!((0.0..=1.0).contains(&pr.recall));
+        prop_assert!((0.0..=1.0).contains(&pr.f1()));
+        let r: std::collections::HashSet<_> = retrieved.iter().collect();
+        let v: std::collections::HashSet<_> = relevant.iter().collect();
+        prop_assert!(pr.hits <= r.len().min(v.len()));
+    }
+
+    #[test]
+    fn distance_stats_invariants(d in proptest::collection::vec(0.0..100.0f64, 1..50)) {
+        let s = DistanceStats::compute(&d);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.std >= 0.0);
+        prop_assert!(s.relative_contrast() >= 0.0);
+    }
+
+    #[test]
+    fn contrast_scale_invariant(d in proptest::collection::vec(0.1..100.0f64, 2..40), c in 0.1..10.0f64) {
+        let scaled: Vec<f64> = d.iter().map(|x| x * c).collect();
+        let a = DistanceStats::compute(&d).relative_contrast();
+        let b = DistanceStats::compute(&scaled).relative_contrast();
+        prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded(x in -6.0..6.0f64) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 3e-7);
+        prop_assert!(erf(x).abs() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn cdf_bounded_and_complementary(z in -8.0..8.0f64) {
+        let p = normal_cdf(z);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((p + normal_cdf(-z) - 1.0).abs() < 3e-7);
+    }
+
+    #[test]
+    fn kendall_tau_bounds_and_symmetry(
+        a in proptest::collection::vec(-10.0..10.0f64, 2..20),
+        b in proptest::collection::vec(-10.0..10.0f64, 2..20),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let t = kendall_tau(a, b);
+        prop_assert!((-1.0..=1.0).contains(&t));
+        prop_assert!((t - kendall_tau(b, a)).abs() < 1e-12, "tau must be symmetric");
+    }
+
+    #[test]
+    fn spearman_bounds_and_monotone_transform_invariance(
+        a in proptest::collection::vec(-10.0..10.0f64, 3..20),
+    ) {
+        // A strictly increasing transform preserves ranks exactly.
+        let b: Vec<f64> = a.iter().map(|x| x.exp()).collect();
+        let rho = spearman_rho(&a, &b);
+        prop_assert!(rho > 1.0 - 1e-9, "monotone transform must give rho 1, got {rho}");
+        let c: Vec<f64> = a.iter().map(|x| -x).collect();
+        prop_assert!((-1.0..=1.0).contains(&spearman_rho(&a, &c)));
+    }
+
+    #[test]
+    fn top_k_overlap_bounds_and_self(
+        a in proptest::collection::vec(-10.0..10.0f64, 1..30),
+        k in 1usize..30,
+    ) {
+        let k = k.min(a.len());
+        prop_assert_eq!(top_k_overlap(&a, &a, k), 1.0);
+        let b: Vec<f64> = a.iter().rev().copied().collect();
+        let o = top_k_overlap(&a, &b, k);
+        prop_assert!((0.0..=1.0).contains(&o));
+    }
+
+    #[test]
+    fn steep_drop_never_exceeds_horizon(
+        probs in proptest::collection::vec(0.0..1.0f64, 4..100),
+        frac in 0.1..0.9f64,
+    ) {
+        let cfg = DropConfig { max_fraction: frac, ..DropConfig::default() };
+        if let hinn_metrics::DropVerdict::Meaningful { natural_k, .. } =
+            detect_steep_drop(&probs, &cfg)
+        {
+            let horizon = (probs.len() as f64 * frac).ceil() as usize;
+            prop_assert!(natural_k <= horizon + 1, "k {natural_k} beyond horizon {horizon}");
+        }
+    }
+
+    #[test]
+    fn steep_drop_invariant_to_input_order(
+        mut probs in proptest::collection::vec(0.0..1.0f64, 4..60),
+    ) {
+        let v1 = detect_steep_drop(&probs, &DropConfig::default());
+        probs.reverse();
+        let v2 = detect_steep_drop(&probs, &DropConfig::default());
+        prop_assert_eq!(v1, v2);
+    }
+}

@@ -1,0 +1,424 @@
+//! The default simulated user.
+//!
+//! A person looking at the paper's density profiles does three things
+//! (§2.2, §4.1):
+//!
+//! 1. **Dismisses** views where the query point sits in a sparsely
+//!    populated region (Fig. 1(b)) — here: the query's density is a small
+//!    fraction of the view's peak density.
+//! 2. **Dismisses** views with no contrast at all (Fig. 1(c), the uniform
+//!    case) — here: the peak density is not far above the mean density.
+//! 3. Otherwise **scrubs the separator plane** up and down (the
+//!    `AdjustDensitySeparator` loop of Fig. 6) and watches the cluster
+//!    outline around the query. Visually, a real query cluster is a sharp
+//!    peak standing on the broad bulk of the data: as the plane descends,
+//!    the peak's outline grows slowly — until the plane passes the *saddle*
+//!    where the peak merges into the bulk and the selection suddenly
+//!    explodes. The human keeps the plane just above that merge. Here: scan
+//!    a ladder of thresholds, find the largest *merge jump* in the
+//!    selected-count curve, and place the separator on the stable stretch
+//!    just above it.
+//!
+//! Everything the model reads — grid densities, query location, selection
+//! counts as the plane moves — is visible to a human on the same plot; no
+//! ground truth is consulted.
+
+use crate::{UserModel, UserResponse, ViewContext};
+use hinn_kde::{CornerRule, VisualProfile};
+
+/// Tuning knobs for [`HeuristicUser`].
+#[derive(Clone, Copy, Debug)]
+pub struct HeuristicUserConfig {
+    /// Number of thresholds scanned between 0 and the peak density.
+    pub scan_steps: usize,
+    /// Dismiss the view when the query density is below this fraction of
+    /// the peak (query in a sparse region, Fig. 1(b)).
+    pub min_query_peak_ratio: f64,
+    /// Dismiss the view unless the query's peak is at least this much
+    /// *sharper* than its surroundings (query density over the mean density
+    /// on a ring a few cells out). Sharpness near 1 means the query sits on
+    /// flat noise (Fig. 1(c)), in a sparse region (Fig. 1(b)), or on the
+    /// smooth summit of the data's bulk — none of which is a query cluster.
+    pub min_query_prominence: f64,
+    /// Above this sharpness the query's needle visibly towers over the view
+    /// and the user accepts it even without a merge event in the count
+    /// curve (after iterative filtering the query cluster can *be* most of
+    /// the remaining data, so no flood exists).
+    pub strong_prominence: f64,
+    /// Ring radius (in grid cells) used for the sharpness measurement.
+    pub prominence_ring_cells: f64,
+    /// A selection bigger than this fraction of the *original* dataset is
+    /// not a distinct cluster. Anchored to `ViewContext::total_n`, not the
+    /// current (filtered) view size: the search loop removes never-picked
+    /// points between major iterations, and the user's sense of "small
+    /// distinct cluster" does not shrink with it.
+    pub max_cluster_fraction: f64,
+    /// A selection smaller than this is noise.
+    pub min_cluster_points: usize,
+    /// Minimum count-explosion factor across `jump_window` scan steps for a
+    /// plane height to qualify as sitting just above the peak-merges-into-
+    /// bulk event. If no height qualifies, the profile has no distinct peak
+    /// around the query and the view is dismissed.
+    pub min_jump_ratio: f64,
+    /// Number of scan steps the flood is measured across (background
+    /// bridges erode gradually, not in one step).
+    pub jump_window: usize,
+    /// Thresholds below this fraction of the peak density are not
+    /// considered (a separator resting on the floor of the profile selects
+    /// "everything vaguely dense").
+    pub min_tau_ratio: f64,
+    /// Corner rule used for density connectivity.
+    pub corner_rule: CornerRule,
+}
+
+impl Default for HeuristicUserConfig {
+    fn default() -> Self {
+        Self {
+            scan_steps: 48,
+            min_query_peak_ratio: 0.10,
+            min_query_prominence: 4.0,
+            strong_prominence: 8.0,
+            prominence_ring_cells: 6.0,
+            max_cluster_fraction: 0.40,
+            min_cluster_points: 3,
+            min_jump_ratio: 1.8,
+            jump_window: 4,
+            min_tau_ratio: 0.02,
+            corner_rule: CornerRule::AtLeastThree,
+        }
+    }
+}
+
+/// The default simulated human (see module docs).
+#[derive(Clone, Debug, Default)]
+pub struct HeuristicUser {
+    /// Configuration.
+    pub config: HeuristicUserConfig,
+    /// Running estimate of "my cluster's size" across accepted views — a
+    /// person who has outlined ~900 points in three views does not suddenly
+    /// call a 150-point core the same cluster. Exponential moving average.
+    remembered_size: Option<f64>,
+    name: String,
+}
+
+impl HeuristicUser {
+    /// Create with explicit configuration.
+    pub fn new(config: HeuristicUserConfig) -> Self {
+        Self {
+            config,
+            remembered_size: None,
+            name: "heuristic".into(),
+        }
+    }
+}
+
+impl UserModel for HeuristicUser {
+    fn respond(&mut self, profile: &VisualProfile, ctx: &ViewContext) -> UserResponse {
+        let cfg = &self.config;
+        let max = profile.max_density();
+        if max <= 0.0 {
+            return UserResponse::Discard;
+        }
+
+        // (1) Query in a sparse region → dismiss.
+        let qd = profile.query_density();
+        if qd < cfg.min_query_peak_ratio * max {
+            return UserResponse::Discard;
+        }
+
+        // (2) The query must sit on a locally *sharp* peak. This is the
+        // visual judgement that rejects the sparse-query view of Fig. 1(b),
+        // the contrast-free view of Fig. 1(c), views where a strong peak
+        // exists *elsewhere* but the query sits on a mediocre bump, and —
+        // the subtle case — views where the query rides the smooth summit
+        // of the data's own bulk (arbitrary projections of high-dimensional
+        // noise look like one central Gaussian hill).
+        let prominence = profile.query_sharpness(cfg.prominence_ring_cells);
+        if prominence < cfg.min_query_prominence {
+            return UserResponse::Discard;
+        }
+
+        // (3) Find the biggest merge event: the scan step across which the
+        // query component explodes from a small cluster into the bulk.
+        // `curve[k] = (τ_k, count at τ_k)` with τ ascending, so counts are
+        // non-increasing in k; a merge shows as a large `count[k] /
+        // count[k+1]` drop.
+        let anchor_n = ctx.total_n.max(profile.points.len());
+        let max_cluster = ((anchor_n as f64) * cfg.max_cluster_fraction) as usize;
+        let curve = profile.selection_curve(cfg.scan_steps, cfg.corner_rule);
+        let tau_floor = cfg.min_tau_ratio * max;
+
+        // The merge shows as the selection *flooding* when the plane drops
+        // a few steps: count(τ − w·Δ) / count(τ) ≥ min_jump_ratio, with the
+        // flood measured over a small window because background bridges
+        // erode gradually rather than in one step. Among all plane heights
+        // that sit above a qualifying flood, a human takes the LOWEST — the
+        // most inclusive outline of the peak that still excludes the bulk
+        // (putting the plane near the peak's very top would keep only its
+        // core).
+        let window = cfg.jump_window.max(1);
+        let mut above: Option<usize> = None;
+        for k in 1..curve.len() {
+            let (tau_k, n_k) = curve[k];
+            if tau_k < tau_floor || n_k < cfg.min_cluster_points || n_k > max_cluster {
+                continue;
+            }
+            let below = curve[k.saturating_sub(window)].1;
+            if below as f64 / n_k as f64 >= cfg.min_jump_ratio {
+                above = Some(k);
+                break;
+            }
+        }
+        let above = match above {
+            Some(k) => k,
+            // No merge event: if the query's peak towers over the view the
+            // cluster may simply *be* the bulk of (the filtered) data —
+            // start from the lowest valid plane instead of dismissing.
+            None if prominence >= cfg.strong_prominence => {
+                #[allow(clippy::needless_range_loop)]
+                match (1..curve.len()).find(|&k| {
+                    let (tau_k, n_k) = curve[k];
+                    tau_k >= tau_floor && n_k >= cfg.min_cluster_points && n_k <= max_cluster
+                }) {
+                    Some(k) => k,
+                    None => return UserResponse::Discard,
+                }
+            }
+            None => return UserResponse::Discard,
+        };
+
+        // (4) Keep the plane at the floodline: the most inclusive outline
+        // of the query's peak that still excludes the bulk. Raising the
+        // plane further would shave the peak's fringe — and the points a
+        // fringe cut drops differ from view to view, which is exactly the
+        // incoherence the meaningfulness statistics punish. The few
+        // background points the inclusive outline sweeps in differ randomly
+        // across orthogonal views and wash out instead.
+        let mut chosen = above;
+
+        // (5) Consistency with earlier views: if this view's outline is far
+        // smaller than the cluster size remembered from previous views
+        // (e.g. the flood landed on the cluster's own core because, after
+        // the search loop's filtering, the cluster *is* the bulk), lower
+        // the plane to the valid height whose count best matches memory.
+        if let Some(remembered) = self.remembered_size {
+            if (curve[chosen].1 as f64) < 0.4 * remembered {
+                let mut best_k = chosen;
+                let mut best_err = f64::INFINITY;
+                for (k, &(tau_k, n_k)) in curve.iter().enumerate().skip(1) {
+                    if tau_k < tau_floor || n_k < cfg.min_cluster_points || n_k > max_cluster {
+                        continue;
+                    }
+                    let err = (n_k as f64 / remembered).ln().abs();
+                    if err < best_err {
+                        best_err = err;
+                        best_k = k;
+                    }
+                }
+                chosen = best_k;
+            }
+        }
+
+        let picked = curve[chosen].1 as f64;
+        self.remembered_size = Some(match self.remembered_size {
+            Some(prev) => 0.5 * prev + 0.5 * picked,
+            None => picked,
+        });
+        UserResponse::Threshold(curve[chosen].0)
+    }
+
+    fn name(&self) -> &str {
+        if self.name.is_empty() {
+            "heuristic"
+        } else {
+            &self.name
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ViewContext;
+
+    fn ctx(n: usize) -> ViewContext {
+        ViewContext {
+            major: 0,
+            minor: 0,
+            original_ids: (0..n).collect(),
+            total_n: n,
+        }
+    }
+
+    /// A tight blob near the origin (containing the query) plus scattered
+    /// background.
+    fn good_view() -> VisualProfile {
+        let mut pts = Vec::new();
+        for i in 0..80 {
+            let a = i as f64 * 0.21;
+            pts.push([0.4 * a.sin(), 0.4 * a.cos()]);
+        }
+        for i in 0..160 {
+            pts.push([
+                3.0 + 6.0 * ((i * 37 % 160) as f64 / 160.0),
+                -4.0 + 9.0 * ((i * 73 % 160) as f64 / 160.0),
+            ]);
+        }
+        VisualProfile::build(pts, [0.0, 0.0], 50, 0.35)
+    }
+
+    /// The query far from every data point (sparse region).
+    fn sparse_query_view() -> VisualProfile {
+        let pts: Vec<[f64; 2]> = (0..100)
+            .map(|i| [(i % 10) as f64, (i / 10) as f64])
+            .collect();
+        VisualProfile::build(pts, [40.0, 40.0], 30, 1.0)
+    }
+
+    /// Near-uniform scatter: no contrast.
+    fn uniform_view() -> VisualProfile {
+        let mut pts = Vec::new();
+        for i in 0..400 {
+            // Low-discrepancy-ish fill of the unit square.
+            let x = (i as f64 * 0.754877666) % 1.0;
+            let y = (i as f64 * 0.569840296) % 1.0;
+            pts.push([x * 10.0, y * 10.0]);
+        }
+        VisualProfile::build(pts, [5.0, 5.0], 30, 1.0)
+    }
+
+    #[test]
+    fn accepts_good_view_with_reasonable_threshold() {
+        let profile = good_view();
+        let mut user = HeuristicUser::default();
+        match user.respond(&profile, &ctx(profile.points.len())) {
+            UserResponse::Threshold(tau) => {
+                assert!(tau > 0.0 && tau < profile.max_density());
+                let picked = profile.select(tau, CornerRule::AtLeastThree);
+                // The blob has 80 members; the pick should be mostly blob.
+                assert!(picked.len() >= 40, "picked only {}", picked.len());
+                let blob_hits = picked.iter().filter(|&&i| i < 80).count();
+                assert!(
+                    blob_hits as f64 >= 0.8 * picked.len() as f64,
+                    "selection not concentrated on the blob: {blob_hits}/{}",
+                    picked.len()
+                );
+            }
+            r => panic!("expected a threshold, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn dismisses_sparse_query_region() {
+        let profile = sparse_query_view();
+        let mut user = HeuristicUser::default();
+        assert_eq!(
+            user.respond(&profile, &ctx(profile.points.len())),
+            UserResponse::Discard
+        );
+    }
+
+    #[test]
+    fn dismisses_uniform_view() {
+        let profile = uniform_view();
+        let mut user = HeuristicUser::default();
+        assert_eq!(
+            user.respond(&profile, &ctx(profile.points.len())),
+            UserResponse::Discard
+        );
+    }
+
+    #[test]
+    fn needle_on_gaussian_bulk_is_separated() {
+        // The hard case: a broad central Gaussian bulk (what arbitrary
+        // projections of high-dimensional noise look like) with a sharp
+        // 60-point needle standing on its shoulder at (2, 2). The merge
+        // detector must isolate the needle, not the bulk's dense core.
+        let mut pts = Vec::new();
+        let mut state = 0xABCDEF12345u64;
+        let mut unif = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..600 {
+            // Approximate Gaussian via sum of uniforms (Irwin–Hall).
+            let g = |u: &mut dyn FnMut() -> f64| (0..6).map(|_| u()).sum::<f64>() - 3.0;
+            pts.push([2.0 * g(&mut unif), 2.0 * g(&mut unif)]);
+        }
+        for _ in 0..60 {
+            pts.push([2.0 + 0.15 * (unif() - 0.5), 2.0 + 0.15 * (unif() - 0.5)]);
+        }
+        let profile = VisualProfile::build(pts, [2.0, 2.0], 70, 0.3);
+        let mut user = HeuristicUser::default();
+        match user.respond(&profile, &ctx(660)) {
+            UserResponse::Threshold(tau) => {
+                let picked = profile.select(tau, CornerRule::AtLeastThree);
+                let needle_hits = picked.iter().filter(|&&i| i >= 600).count();
+                assert!(
+                    needle_hits >= 50,
+                    "needle should be recovered: {needle_hits}/60 in {} picked",
+                    picked.len()
+                );
+                assert!(
+                    picked.len() <= 200,
+                    "selection should be the needle, not the bulk: {}",
+                    picked.len()
+                );
+            }
+            r => panic!("needle view should be accepted, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn stricter_contrast_config_dismisses_more() {
+        let profile = good_view();
+        let mut strict = HeuristicUser::new(HeuristicUserConfig {
+            min_query_prominence: 1e9,
+            strong_prominence: 2e9,
+            ..HeuristicUserConfig::default()
+        });
+        assert_eq!(
+            strict.respond(&profile, &ctx(profile.points.len())),
+            UserResponse::Discard
+        );
+    }
+
+    #[test]
+    fn impossible_jump_ratio_dismisses() {
+        // With no achievable flood AND the strong-prominence fallback also
+        // out of reach, the view must be dismissed.
+        let profile = good_view();
+        let mut user = HeuristicUser::new(HeuristicUserConfig {
+            min_jump_ratio: 1e9,
+            strong_prominence: 1e9,
+            ..HeuristicUserConfig::default()
+        });
+        assert_eq!(
+            user.respond(&profile, &ctx(profile.points.len())),
+            UserResponse::Discard
+        );
+    }
+
+    #[test]
+    fn strong_prominence_fallback_accepts_dominant_peak() {
+        // Same impossible flood, but the towering blob around the query
+        // lets the strong-prominence path accept the view anyway.
+        let profile = good_view();
+        let mut user = HeuristicUser::new(HeuristicUserConfig {
+            min_jump_ratio: 1e9,
+            strong_prominence: 5.0,
+            ..HeuristicUserConfig::default()
+        });
+        assert!(matches!(
+            user.respond(&profile, &ctx(profile.points.len())),
+            UserResponse::Threshold(_)
+        ));
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(HeuristicUser::default().name(), "heuristic");
+    }
+}

@@ -1,0 +1,188 @@
+//! Human imprecision wrapper.
+//!
+//! Real users do not place the separator at exactly the "right" height and
+//! sometimes misjudge a view. [`NoisyUser`] wraps any inner [`UserModel`]
+//! and perturbs its behavior: thresholds get multiplicative jitter, good
+//! views are occasionally dismissed, and dismissed views are occasionally
+//! accepted at a naive threshold. The ablation experiments sweep these
+//! rates to measure how robust the meaningfulness quantification is to
+//! user error (the paper's statistics aggregate over many views precisely
+//! to absorb this).
+
+use crate::{UserModel, UserResponse, ViewContext};
+use hinn_kde::VisualProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A [`UserModel`] wrapper that injects configurable human error.
+#[derive(Clone, Debug)]
+pub struct NoisyUser<U> {
+    inner: U,
+    rng: StdRng,
+    /// Std-dev of the multiplicative log-jitter applied to thresholds.
+    pub tau_jitter: f64,
+    /// Probability of dismissing a view the inner user accepted.
+    pub p_wrong_discard: f64,
+    /// Probability of accepting (at half the query density) a view the
+    /// inner user dismissed.
+    pub p_wrong_accept: f64,
+    name: String,
+}
+
+impl<U: UserModel> NoisyUser<U> {
+    /// Wrap `inner` with default error rates (5% each, 15% jitter).
+    pub fn new(inner: U, seed: u64) -> Self {
+        let name = format!("noisy({})", inner.name());
+        Self {
+            inner,
+            rng: StdRng::seed_from_u64(seed),
+            tau_jitter: 0.15,
+            p_wrong_discard: 0.05,
+            p_wrong_accept: 0.05,
+            name,
+        }
+    }
+
+    /// Set all error knobs at once.
+    pub fn with_rates(
+        mut self,
+        tau_jitter: f64,
+        p_wrong_discard: f64,
+        p_wrong_accept: f64,
+    ) -> Self {
+        assert!(tau_jitter >= 0.0, "NoisyUser: negative jitter");
+        assert!(
+            (0.0..=1.0).contains(&p_wrong_discard),
+            "NoisyUser: bad p_wrong_discard"
+        );
+        assert!(
+            (0.0..=1.0).contains(&p_wrong_accept),
+            "NoisyUser: bad p_wrong_accept"
+        );
+        self.tau_jitter = tau_jitter;
+        self.p_wrong_discard = p_wrong_discard;
+        self.p_wrong_accept = p_wrong_accept;
+        self
+    }
+
+    /// Standard-normal deviate via Box–Muller.
+    fn randn(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl<U: UserModel> UserModel for NoisyUser<U> {
+    fn respond(&mut self, profile: &VisualProfile, ctx: &ViewContext) -> UserResponse {
+        let base = self.inner.respond(profile, ctx);
+        match base {
+            UserResponse::Threshold(tau) => {
+                if self.rng.gen::<f64>() < self.p_wrong_discard {
+                    return UserResponse::Discard;
+                }
+                let jitter = (self.tau_jitter * self.randn()).exp();
+                UserResponse::Threshold((tau * jitter).min(profile.max_density() * 0.999))
+            }
+            UserResponse::Discard => {
+                // Forced wrong accept: a naive separator at half the query
+                // density — unless the query sits on zero density, where
+                // even a careless user has nothing to separate.
+                let naive_tau = profile.query_density() * 0.5;
+                if naive_tau > 0.0 && self.rng.gen::<f64>() < self.p_wrong_accept {
+                    UserResponse::Threshold(naive_tau)
+                } else {
+                    UserResponse::Discard
+                }
+            }
+            other @ UserResponse::Polygon(_) => other,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScriptedUser;
+
+    fn profile() -> VisualProfile {
+        let pts: Vec<[f64; 2]> = (0..50).map(|i| [(i % 7) as f64, (i / 7) as f64]).collect();
+        VisualProfile::build(pts, [3.0, 3.0], 20, 1.0)
+    }
+
+    fn ctx() -> ViewContext {
+        ViewContext {
+            major: 0,
+            minor: 0,
+            original_ids: (0..50).collect(),
+            total_n: 1000,
+        }
+    }
+
+    #[test]
+    fn jitters_thresholds_but_keeps_them_valid() {
+        let p = profile();
+        let script = ScriptedUser::new(
+            std::iter::repeat(UserResponse::Threshold(p.max_density() * 0.5)).take(100),
+        );
+        let mut noisy = NoisyUser::new(script, 7).with_rates(0.3, 0.0, 0.0);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..100 {
+            match noisy.respond(&p, &ctx()) {
+                UserResponse::Threshold(tau) => {
+                    assert!(tau > 0.0 && tau < p.max_density());
+                    distinct.insert((tau * 1e9) as u64);
+                }
+                r => panic!("unexpected {r:?}"),
+            }
+        }
+        assert!(distinct.len() > 50, "jitter should vary the threshold");
+    }
+
+    #[test]
+    fn zero_noise_is_transparent() {
+        let p = profile();
+        let script = ScriptedUser::new([UserResponse::Threshold(0.01), UserResponse::Discard]);
+        let mut noisy = NoisyUser::new(script, 3).with_rates(0.0, 0.0, 0.0);
+        assert_eq!(noisy.respond(&p, &ctx()), UserResponse::Threshold(0.01));
+        assert_eq!(noisy.respond(&p, &ctx()), UserResponse::Discard);
+    }
+
+    #[test]
+    fn always_wrong_discard() {
+        let p = profile();
+        let script =
+            ScriptedUser::new([]).with_fallback(UserResponse::Threshold(p.max_density() * 0.4));
+        let mut noisy = NoisyUser::new(script, 5).with_rates(0.0, 1.0, 0.0);
+        for _ in 0..10 {
+            assert_eq!(noisy.respond(&p, &ctx()), UserResponse::Discard);
+        }
+    }
+
+    #[test]
+    fn always_wrong_accept() {
+        let p = profile();
+        let script = ScriptedUser::new([]); // always discards
+        let mut noisy = NoisyUser::new(script, 5).with_rates(0.0, 0.0, 1.0);
+        match noisy.respond(&p, &ctx()) {
+            UserResponse::Threshold(tau) => assert!(tau > 0.0),
+            r => panic!("expected forced accept, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn name_reflects_inner() {
+        let noisy = NoisyUser::new(ScriptedUser::new([]), 1);
+        assert_eq!(noisy.name(), "noisy(scripted)");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad p_wrong_discard")]
+    fn invalid_rate_panics() {
+        NoisyUser::new(ScriptedUser::new([]), 1).with_rates(0.0, 1.5, 0.0);
+    }
+}

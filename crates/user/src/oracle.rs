@@ -1,0 +1,147 @@
+//! An oracle user that knows the ground-truth relevant set.
+//!
+//! Used only for calibration and upper-bound experiments: given the true
+//! cluster membership, the oracle places the separator at the threshold
+//! that maximizes the F1 of the selected set against the truth — the best
+//! any user could do with a single density separator on the given view.
+//! When even the best threshold is poor, the oracle dismisses the view
+//! (which is itself informative: the projection does not expose the
+//! cluster).
+
+use crate::{UserModel, UserResponse, ViewContext};
+use hinn_kde::{CornerRule, VisualProfile};
+use std::collections::HashSet;
+
+/// Ground-truth-aware user (see module docs).
+#[derive(Clone, Debug)]
+pub struct OracleUser {
+    relevant: HashSet<usize>,
+    /// Minimum F1 for accepting a view.
+    pub min_f1: f64,
+    /// Selections larger than this fraction of the *original* dataset are
+    /// not a cluster separation and are never accepted (guards against the
+    /// trivial τ→0 "select everything" threshold). Anchored to
+    /// `ViewContext::total_n`, not the current filtered view.
+    pub max_fraction: f64,
+    /// Thresholds scanned.
+    pub scan_steps: usize,
+    /// Connectivity rule.
+    pub corner_rule: CornerRule,
+}
+
+impl OracleUser {
+    /// Create from the original-dataset indices of the relevant points.
+    pub fn new(relevant: impl IntoIterator<Item = usize>) -> Self {
+        Self {
+            relevant: relevant.into_iter().collect(),
+            min_f1: 0.50,
+            max_fraction: 0.50,
+            scan_steps: 48,
+            corner_rule: CornerRule::AtLeastThree,
+        }
+    }
+}
+
+impl UserModel for OracleUser {
+    fn respond(&mut self, profile: &VisualProfile, ctx: &ViewContext) -> UserResponse {
+        let max = profile.max_density();
+        if max <= 0.0 || self.relevant.is_empty() {
+            return UserResponse::Discard;
+        }
+        let anchor_n = ctx.total_n.max(profile.points.len());
+        let mut best: Option<(f64, f64)> = None; // (f1, tau)
+        for k in 0..self.scan_steps {
+            let tau = max * (k as f64 + 0.5) / self.scan_steps as f64;
+            let picked = profile.select(tau, self.corner_rule);
+            if picked.is_empty() || picked.len() as f64 > self.max_fraction * anchor_n as f64 {
+                continue;
+            }
+            let hits = picked
+                .iter()
+                .filter(|&&row| self.relevant.contains(&ctx.original_ids[row]))
+                .count();
+            let precision = hits as f64 / picked.len() as f64;
+            let recall = hits as f64 / self.relevant.len() as f64;
+            let f1 = if precision + recall > 0.0 {
+                2.0 * precision * recall / (precision + recall)
+            } else {
+                0.0
+            };
+            if best.map(|(bf, _)| f1 > bf).unwrap_or(true) {
+                best = Some((f1, tau));
+            }
+        }
+        match best {
+            Some((f1, tau)) if f1 >= self.min_f1 => UserResponse::Threshold(tau),
+            _ => UserResponse::Discard,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "oracle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Blob of 40 relevant points at the origin + 60 scattered irrelevant.
+    fn view() -> (VisualProfile, ViewContext) {
+        let mut pts = Vec::new();
+        for i in 0..40 {
+            let a = i as f64 * 0.37;
+            pts.push([0.3 * a.sin(), 0.3 * a.cos()]);
+        }
+        for i in 0..60 {
+            pts.push([
+                4.0 + 5.0 * ((i * 29 % 60) as f64 / 60.0),
+                -5.0 + 9.0 * ((i * 41 % 60) as f64 / 60.0),
+            ]);
+        }
+        let profile = VisualProfile::build(pts, [0.0, 0.0], 40, 1.0);
+        // Original ids shifted by 1000 to prove the mapping is used.
+        let ctx = ViewContext {
+            major: 0,
+            minor: 0,
+            original_ids: (1000..1100).collect(),
+            total_n: 1000,
+        };
+        (profile, ctx)
+    }
+
+    #[test]
+    fn oracle_finds_high_f1_threshold() {
+        let (profile, ctx) = view();
+        let mut oracle = OracleUser::new(1000..1040);
+        match oracle.respond(&profile, &ctx) {
+            UserResponse::Threshold(tau) => {
+                let picked = profile.select(tau, CornerRule::AtLeastThree);
+                let hits = picked.iter().filter(|&&r| r < 40).count();
+                assert!(hits >= 35, "oracle should recover the blob: {hits}/40");
+                assert!(
+                    picked.len() <= 50,
+                    "selection should be tight, got {}",
+                    picked.len()
+                );
+            }
+            r => panic!("oracle dismissed a good view: {r:?}"),
+        }
+    }
+
+    #[test]
+    fn oracle_dismisses_when_relevant_not_visible() {
+        let (profile, ctx) = view();
+        // Relevant points are a small subset of the scattered background —
+        // no threshold exposes them as the query cluster with useful F1.
+        let mut oracle = OracleUser::new(1085..1095);
+        assert_eq!(oracle.respond(&profile, &ctx), UserResponse::Discard);
+    }
+
+    #[test]
+    fn empty_relevant_set_discards() {
+        let (profile, ctx) = view();
+        let mut oracle = OracleUser::new(std::iter::empty());
+        assert_eq!(oracle.respond(&profile, &ctx), UserResponse::Discard);
+    }
+}

@@ -1,0 +1,151 @@
+//! A simulated user for the paper's *alternative* separation mode.
+//!
+//! §2.2: "An alternative way of separating the query cluster is by using
+//! the lateral density plot in which the user visually specifies the
+//! separating hyperplanes (lines) in order to divide the space into a set
+//! of polygonal regions. The set of points in the same polygonal region as
+//! the query point is the user response."
+//!
+//! [`PolygonUser`] makes the same visual judgements as
+//! [`crate::HeuristicUser`] (dismiss sparse/contrast-free views, find the
+//! floodline of the query's peak) but answers with *separating lines*
+//! instead of a density threshold: it draws the axis-aligned box around
+//! the `(τ, Q)`-connected region — four half-plane cuts, exactly what a
+//! person boxing in a visible blob does. The paper notes the density
+//! separator "tends to be a more attractive option" because it follows
+//! arbitrary cluster shapes; the ablation experiment quantifies that gap.
+
+use crate::heuristic::{HeuristicUser, HeuristicUserConfig};
+use crate::{UserModel, UserResponse, ViewContext};
+use hinn_kde::polygon::HalfPlane;
+use hinn_kde::VisualProfile;
+
+/// Simulated user answering with polygonal separations (see module docs).
+#[derive(Clone, Debug, Default)]
+pub struct PolygonUser {
+    inner: HeuristicUser,
+}
+
+impl PolygonUser {
+    /// Create with an explicit inner-heuristic configuration.
+    pub fn new(config: HeuristicUserConfig) -> Self {
+        Self {
+            inner: HeuristicUser::new(config),
+        }
+    }
+}
+
+impl UserModel for PolygonUser {
+    fn respond(&mut self, profile: &VisualProfile, ctx: &ViewContext) -> UserResponse {
+        // Reuse the heuristic's full judgement pipeline to find the
+        // separator height…
+        match self.inner.respond(profile, ctx) {
+            UserResponse::Threshold(tau) => {
+                // …then emulate "drawing a box around the visible blob":
+                // the bounding box of the density-connected region, with
+                // half a cell of slack (a person does not trace pixels).
+                let mask = profile.connected_mask(tau, self.inner.config.corner_rule);
+                let spec = &profile.grid.spec;
+                let mut xlo = f64::INFINITY;
+                let mut xhi = f64::NEG_INFINITY;
+                let mut ylo = f64::INFINITY;
+                let mut yhi = f64::NEG_INFINITY;
+                for (cx, cy) in mask.iter_cells() {
+                    xlo = xlo.min(spec.x0 + cx as f64 * spec.dx);
+                    xhi = xhi.max(spec.x0 + (cx + 1) as f64 * spec.dx);
+                    ylo = ylo.min(spec.y0 + cy as f64 * spec.dy);
+                    yhi = yhi.max(spec.y0 + (cy + 1) as f64 * spec.dy);
+                }
+                if !xlo.is_finite() {
+                    return UserResponse::Discard;
+                }
+                let sx = spec.dx * 0.5;
+                let sy = spec.dy * 0.5;
+                UserResponse::Polygon(vec![
+                    HalfPlane::new(1.0, 0.0, -(xlo - sx)), // x ≥ xlo − s
+                    HalfPlane::new(-1.0, 0.0, xhi + sx),   // x ≤ xhi + s
+                    HalfPlane::new(0.0, 1.0, -(ylo - sy)), // y ≥ ylo − s
+                    HalfPlane::new(0.0, -1.0, yhi + sy),   // y ≤ yhi + s
+                ])
+            }
+            other => other,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "polygon"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(n: usize) -> ViewContext {
+        ViewContext {
+            major: 0,
+            minor: 0,
+            original_ids: (0..n).collect(),
+            total_n: n,
+        }
+    }
+
+    /// Blob of 80 points at the origin plus 160 scattered points.
+    fn blob_view() -> VisualProfile {
+        let mut pts = Vec::new();
+        for i in 0..80 {
+            let a = i as f64 * 0.21;
+            pts.push([0.4 * a.sin(), 0.4 * a.cos()]);
+        }
+        for i in 0..160 {
+            pts.push([
+                3.0 + 6.0 * ((i * 37 % 160) as f64 / 160.0),
+                -4.0 + 9.0 * ((i * 73 % 160) as f64 / 160.0),
+            ]);
+        }
+        VisualProfile::build(pts, [0.0, 0.0], 50, 0.35)
+    }
+
+    #[test]
+    fn boxes_in_the_blob() {
+        let profile = blob_view();
+        let mut user = PolygonUser::default();
+        match user.respond(&profile, &ctx(profile.points.len())) {
+            UserResponse::Polygon(lines) => {
+                assert_eq!(lines.len(), 4, "a box has four sides");
+                let picked = profile.select_polygon(&lines);
+                let blob_hits = picked.iter().filter(|&&i| i < 80).count();
+                assert!(
+                    blob_hits >= 70,
+                    "the box should contain the blob: {blob_hits}/80"
+                );
+                assert!(
+                    picked.len() <= 120,
+                    "the box should exclude most background: {}",
+                    picked.len()
+                );
+            }
+            r => panic!("expected a polygon, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn dismissals_pass_through() {
+        // Query far from the data → the inner heuristic dismisses, and so
+        // does the polygon user.
+        let pts: Vec<[f64; 2]> = (0..100)
+            .map(|i| [(i % 10) as f64, (i / 10) as f64])
+            .collect();
+        let profile = VisualProfile::build(pts, [50.0, 50.0], 30, 0.35);
+        let mut user = PolygonUser::default();
+        assert_eq!(
+            user.respond(&profile, &ctx(profile.points.len())),
+            UserResponse::Discard
+        );
+    }
+
+    #[test]
+    fn name_is_polygon() {
+        assert_eq!(PolygonUser::default().name(), "polygon");
+    }
+}

@@ -1,0 +1,237 @@
+//! Session recording and replay.
+//!
+//! A real interactive session (a human at a [`crate::TerminalUser`]) is
+//! expensive; being able to *replay* one — for regression tests, audits, or
+//! sharing "here is what I looked at and chose" — is the natural companion
+//! feature. [`RecordingUser`] wraps any user model and logs every response;
+//! the log serializes to a simple line format and loads back into a
+//! [`ScriptedUser`] that reproduces the session exactly (the search loop is
+//! deterministic given the same data and responses).
+
+use crate::{ScriptedUser, UserModel, UserResponse, ViewContext};
+use hinn_kde::polygon::HalfPlane;
+use hinn_kde::VisualProfile;
+use std::io;
+
+/// Wraps a user model and records every response it gives.
+pub struct RecordingUser<U> {
+    inner: U,
+    log: Vec<UserResponse>,
+    name: String,
+}
+
+impl<U: UserModel> RecordingUser<U> {
+    /// Wrap `inner`.
+    pub fn new(inner: U) -> Self {
+        let name = format!("recording({})", inner.name());
+        Self {
+            inner,
+            log: Vec::new(),
+            name,
+        }
+    }
+
+    /// The responses recorded so far.
+    pub fn log(&self) -> &[UserResponse] {
+        &self.log
+    }
+
+    /// Consume the recorder, returning the inner user and the full log.
+    pub fn into_parts(self) -> (U, Vec<UserResponse>) {
+        (self.inner, self.log)
+    }
+}
+
+impl<U: UserModel> UserModel for RecordingUser<U> {
+    fn respond(&mut self, profile: &VisualProfile, ctx: &ViewContext) -> UserResponse {
+        let r = self.inner.respond(profile, ctx);
+        self.log.push(r.clone());
+        r
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Serialize one response as a single line.
+///
+/// Format: `discard` | `threshold <tau>` | `polygon a,b,c;a,b,c;…`.
+pub fn response_to_line(r: &UserResponse) -> String {
+    match r {
+        UserResponse::Discard => "discard".to_string(),
+        UserResponse::Threshold(tau) => format!("threshold {tau:?}"),
+        UserResponse::Polygon(lines) => {
+            let parts: Vec<String> = lines
+                .iter()
+                .map(|l| format!("{:?},{:?},{:?}", l.a, l.b, l.c))
+                .collect();
+            format!("polygon {}", parts.join(";"))
+        }
+    }
+}
+
+/// Parse one line written by [`response_to_line`].
+///
+/// # Errors
+/// `InvalidData` on any malformed line.
+pub fn response_from_line(line: &str) -> io::Result<UserResponse> {
+    let line = line.trim();
+    if line == "discard" {
+        return Ok(UserResponse::Discard);
+    }
+    if let Some(rest) = line.strip_prefix("threshold ") {
+        let tau: f64 = rest
+            .trim()
+            .parse()
+            .map_err(|e| bad(format!("bad threshold {rest:?}: {e}")))?;
+        if !tau.is_finite() {
+            return Err(bad(format!("non-finite threshold {tau}")));
+        }
+        return Ok(UserResponse::Threshold(tau));
+    }
+    if let Some(rest) = line.strip_prefix("polygon ") {
+        let mut lines_out = Vec::new();
+        for part in rest.split(';') {
+            let nums: Vec<&str> = part.split(',').collect();
+            if nums.len() != 3 {
+                return Err(bad(format!("bad polygon line {part:?}")));
+            }
+            let mut v = [0.0f64; 3];
+            for (slot, s) in v.iter_mut().zip(&nums) {
+                *slot = s
+                    .trim()
+                    .parse()
+                    .map_err(|e| bad(format!("bad polygon number {s:?}: {e}")))?;
+            }
+            if v[0].abs() + v[1].abs() <= 1e-12 {
+                return Err(bad(format!("degenerate polygon line {part:?}")));
+            }
+            lines_out.push(HalfPlane::new(v[0], v[1], v[2]));
+        }
+        return Ok(UserResponse::Polygon(lines_out));
+    }
+    Err(bad(format!("unrecognized response line {line:?}")))
+}
+
+/// Serialize a whole session log (one response per line).
+pub fn session_to_string(log: &[UserResponse]) -> String {
+    let mut out = String::new();
+    for r in log {
+        out.push_str(&response_to_line(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a session log into a replaying [`ScriptedUser`].
+///
+/// # Errors
+/// `InvalidData` on any malformed line.
+pub fn session_from_string(content: &str) -> io::Result<ScriptedUser> {
+    let mut responses = Vec::new();
+    for line in content.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        responses.push(response_from_line(line)?);
+    }
+    Ok(ScriptedUser::new(responses))
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HeuristicUser;
+
+    #[test]
+    fn line_roundtrip_all_variants() {
+        let cases = [
+            UserResponse::Discard,
+            UserResponse::Threshold(0.012345678901234),
+            UserResponse::Polygon(vec![
+                HalfPlane::new(1.0, -2.5, 3.25),
+                HalfPlane::new(0.0, 1.0, -7.0),
+            ]),
+        ];
+        for r in cases {
+            let line = response_to_line(&r);
+            let back = response_from_line(&line).unwrap();
+            assert_eq!(back, r, "roundtrip failed for {line:?}");
+        }
+    }
+
+    #[test]
+    fn threshold_roundtrips_exactly() {
+        // `{:?}` prints the shortest f64 representation that round-trips.
+        let tau = 0.1 + 0.2; // classic non-representable sum
+        let line = response_to_line(&UserResponse::Threshold(tau));
+        match response_from_line(&line).unwrap() {
+            UserResponse::Threshold(t) => assert_eq!(t, tau),
+            r => panic!("{r:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        for bad in [
+            "thresh 0.5",
+            "threshold banana",
+            "threshold inf",
+            "polygon 1,2",
+            "polygon 0,0,1",
+            "polygon a,b,c",
+            "",
+        ] {
+            assert!(response_from_line(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn recorder_logs_everything() {
+        let profile = VisualProfile::build(
+            (0..30).map(|i| [(i % 6) as f64, (i / 6) as f64]).collect(),
+            [2.0, 2.0],
+            12,
+            0.5,
+        );
+        let ctx = ViewContext {
+            major: 0,
+            minor: 0,
+            original_ids: (0..30).collect(),
+            total_n: 30,
+        };
+        let mut rec = RecordingUser::new(HeuristicUser::default());
+        let r1 = rec.respond(&profile, &ctx);
+        let r2 = rec.respond(&profile, &ctx);
+        assert_eq!(rec.log().len(), 2);
+        assert_eq!(rec.log()[0], r1);
+        assert_eq!(rec.log()[1], r2);
+        assert!(rec.name().starts_with("recording("));
+    }
+
+    #[test]
+    fn session_roundtrip_to_scripted_user() {
+        let log = vec![
+            UserResponse::Threshold(0.5),
+            UserResponse::Discard,
+            UserResponse::Polygon(vec![HalfPlane::new(1.0, 0.0, -1.0)]),
+        ];
+        let text = session_to_string(&log);
+        let mut replay = session_from_string(&text).unwrap();
+        let profile = VisualProfile::build(vec![[0.0, 0.0], [1.0, 1.0]], [0.0, 0.0], 5, 1.0);
+        let ctx = ViewContext {
+            major: 0,
+            minor: 0,
+            original_ids: vec![0, 1],
+            total_n: 2,
+        };
+        for want in &log {
+            assert_eq!(&replay.respond(&profile, &ctx), want);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! A user that replays a fixed response script — the deterministic test
+//! double for the interactive loop.
+
+use crate::{UserModel, UserResponse, ViewContext};
+use hinn_kde::VisualProfile;
+use std::collections::VecDeque;
+
+/// Replays a queue of responses; once exhausted, returns a configurable
+/// fallback (default: [`UserResponse::Discard`]).
+///
+/// ```
+/// use hinn_user::{ScriptedUser, UserModel, UserResponse, ViewContext};
+/// use hinn_kde::VisualProfile;
+///
+/// let profile = VisualProfile::build(vec![[0.0, 0.0], [1.0, 1.0]], [0.0, 0.0], 5, 1.0);
+/// let ctx = ViewContext { major: 0, minor: 0, original_ids: vec![0, 1], total_n: 2 };
+/// let mut user = ScriptedUser::new([UserResponse::Threshold(0.5)]);
+/// assert_eq!(user.respond(&profile, &ctx), UserResponse::Threshold(0.5));
+/// assert_eq!(user.respond(&profile, &ctx), UserResponse::Discard); // fallback
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScriptedUser {
+    script: VecDeque<UserResponse>,
+    fallback: UserResponse,
+    served: usize,
+}
+
+impl ScriptedUser {
+    /// Create from a response sequence.
+    pub fn new(script: impl IntoIterator<Item = UserResponse>) -> Self {
+        Self {
+            script: script.into_iter().collect(),
+            fallback: UserResponse::Discard,
+            served: 0,
+        }
+    }
+
+    /// Change the response used after the script runs out.
+    pub fn with_fallback(mut self, fallback: UserResponse) -> Self {
+        self.fallback = fallback;
+        self
+    }
+
+    /// How many views this user has responded to.
+    pub fn served(&self) -> usize {
+        self.served
+    }
+
+    /// Number of scripted responses not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.script.len()
+    }
+}
+
+impl UserModel for ScriptedUser {
+    fn respond(&mut self, _profile: &VisualProfile, _ctx: &ViewContext) -> UserResponse {
+        self.served += 1;
+        self.script
+            .pop_front()
+            .unwrap_or_else(|| self.fallback.clone())
+    }
+
+    fn name(&self) -> &str {
+        "scripted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_profile() -> VisualProfile {
+        VisualProfile::build(vec![[0.0, 0.0], [1.0, 1.0]], [0.0, 0.0], 5, 1.0)
+    }
+
+    fn ctx() -> ViewContext {
+        ViewContext {
+            major: 0,
+            minor: 0,
+            original_ids: vec![0, 1],
+            total_n: 2,
+        }
+    }
+
+    #[test]
+    fn replays_in_order_then_falls_back() {
+        let mut u = ScriptedUser::new([UserResponse::Threshold(0.5), UserResponse::Discard]);
+        let p = dummy_profile();
+        assert_eq!(u.respond(&p, &ctx()), UserResponse::Threshold(0.5));
+        assert_eq!(u.respond(&p, &ctx()), UserResponse::Discard);
+        assert_eq!(u.respond(&p, &ctx()), UserResponse::Discard, "fallback");
+        assert_eq!(u.served(), 3);
+        assert_eq!(u.remaining(), 0);
+    }
+
+    #[test]
+    fn custom_fallback() {
+        let mut u = ScriptedUser::new([]).with_fallback(UserResponse::Threshold(0.1));
+        let p = dummy_profile();
+        assert_eq!(u.respond(&p, &ctx()), UserResponse::Threshold(0.1));
+    }
+}

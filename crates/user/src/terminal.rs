@@ -1,0 +1,330 @@
+//! A *real* human in the loop, over a terminal.
+//!
+//! Renders each visual profile as a heatmap (ANSI color or plain ASCII),
+//! prints the caption, and runs the `AdjustDensitySeparator` interaction of
+//! Fig. 6: the user types a separator height as a fraction of the peak
+//! density, immediately sees how many points the `(τ, Q)`-contour selects,
+//! and either confirms or tries another height. `d` dismisses the view.
+//!
+//! Generic over reader/writer so the whole dialogue is unit-testable; the
+//! `interactive_session` example wires it to stdin/stdout.
+
+use crate::{UserModel, UserResponse, ViewContext};
+use hinn_kde::polygon::HalfPlane;
+use hinn_kde::{CornerRule, VisualProfile};
+use std::io::{BufRead, Write};
+
+/// Terminal-interactive user (see module docs).
+pub struct TerminalUser<R, W> {
+    input: R,
+    output: W,
+    /// Use ANSI color output (set false for plain ASCII / log capture).
+    pub color: bool,
+    /// Connectivity rule used for the live selection preview.
+    pub corner_rule: CornerRule,
+}
+
+impl<R: BufRead, W: Write> TerminalUser<R, W> {
+    /// Create over an input/output pair.
+    pub fn new(input: R, output: W) -> Self {
+        Self {
+            input,
+            output,
+            color: true,
+            corner_rule: CornerRule::AtLeastThree,
+        }
+    }
+
+    fn render(&mut self, profile: &VisualProfile, ctx: &ViewContext) -> std::io::Result<()> {
+        writeln!(
+            self.output,
+            "\n=== major iteration {}, view {} ===",
+            ctx.major + 1,
+            ctx.minor + 1
+        )?;
+        if self.color {
+            let map = hinn_viz::ansi::render_ansi_heatmap(&profile.grid, profile.query);
+            self.output.write_all(map.as_bytes())?;
+        } else {
+            let map = hinn_viz::render_heatmap(
+                &profile.grid,
+                profile.query,
+                None,
+                hinn_viz::AsciiOptions::default(),
+            );
+            self.output.write_all(map.as_bytes())?;
+        }
+        writeln!(
+            self.output,
+            "{}",
+            hinn_viz::ascii::profile_caption(&profile.grid, profile.query)
+        )?;
+        // Axis marginals: per-attribute interpretability aid (§1.1).
+        let width = profile.grid.spec.cells_per_axis().min(60);
+        let [mx, my] = profile.axis_marginals(0.5);
+        writeln!(
+            self.output,
+            "x-axis {}",
+            hinn_viz::render_sparkline(&mx, profile.query[0], width)
+        )?;
+        writeln!(
+            self.output,
+            "y-axis {}",
+            hinn_viz::render_sparkline(&my, profile.query[1], width)
+        )?;
+        Ok(())
+    }
+
+    fn prompt_line(&mut self, msg: &str) -> std::io::Result<Option<String>> {
+        write!(self.output, "{msg}")?;
+        self.output.flush()?;
+        let mut line = String::new();
+        let n = self.input.read_line(&mut line)?;
+        if n == 0 {
+            Ok(None) // EOF
+        } else {
+            Ok(Some(line.trim().to_string()))
+        }
+    }
+}
+
+impl<R: BufRead, W: Write> UserModel for TerminalUser<R, W> {
+    fn respond(&mut self, profile: &VisualProfile, ctx: &ViewContext) -> UserResponse {
+        if self.render(profile, ctx).is_err() {
+            return UserResponse::Discard;
+        }
+        let max = profile.max_density();
+        loop {
+            let line = match self.prompt_line(
+                "separator height as fraction of peak (0-1),                  'b x0 y0 x1 y1' for a box, or 'd' to dismiss: ",
+            ) {
+                Ok(Some(l)) => l,
+                _ => return UserResponse::Discard,
+            };
+            if line.eq_ignore_ascii_case("d") {
+                return UserResponse::Discard;
+            }
+            // Polygonal mode (§2.2): a box typed as data coordinates.
+            if let Some(rest) = line.strip_prefix('b').filter(|r| r.starts_with(' ')) {
+                let nums: Vec<f64> = rest
+                    .split_whitespace()
+                    .filter_map(|s| s.parse().ok())
+                    .collect();
+                if nums.len() != 4 {
+                    let _ = writeln!(self.output, "box needs four numbers: b x0 y0 x1 y1");
+                    continue;
+                }
+                let (x0, y0) = (nums[0].min(nums[2]), nums[1].min(nums[3]));
+                let (x1, y1) = (nums[0].max(nums[2]), nums[1].max(nums[3]));
+                if x1 - x0 < 1e-12 || y1 - y0 < 1e-12 {
+                    let _ = writeln!(self.output, "box has no area");
+                    continue;
+                }
+                let lines = vec![
+                    HalfPlane::new(1.0, 0.0, -x0),
+                    HalfPlane::new(-1.0, 0.0, x1),
+                    HalfPlane::new(0.0, 1.0, -y0),
+                    HalfPlane::new(0.0, -1.0, y1),
+                ];
+                let picked = profile.select_polygon(&lines);
+                let _ = writeln!(
+                    self.output,
+                    "box selects {} of {} points",
+                    picked.len(),
+                    profile.points.len()
+                );
+                match self.prompt_line("keep this box? (y/n): ") {
+                    Ok(Some(ans)) if ans.eq_ignore_ascii_case("y") => {
+                        return UserResponse::Polygon(lines)
+                    }
+                    Ok(Some(_)) => continue,
+                    _ => return UserResponse::Discard,
+                }
+            }
+            let frac: f64 = match line.parse() {
+                Ok(f) if (0.0..=1.0).contains(&f) => f,
+                _ => {
+                    let _ = writeln!(
+                        self.output,
+                        "please enter a number in [0, 1], 'b …', or 'd'"
+                    );
+                    continue;
+                }
+            };
+            let tau = frac * max;
+            let picked = profile.select(tau, self.corner_rule);
+            let _ = writeln!(
+                self.output,
+                "τ = {tau:.5} selects {} of {} points",
+                picked.len(),
+                profile.points.len()
+            );
+            match self.prompt_line("keep this separator? (y/n): ") {
+                Ok(Some(ans)) if ans.eq_ignore_ascii_case("y") => {
+                    return UserResponse::Threshold(tau)
+                }
+                Ok(Some(_)) => continue,
+                _ => return UserResponse::Discard,
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "terminal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> VisualProfile {
+        let mut pts = Vec::new();
+        for i in 0..40 {
+            let a = i as f64 * 0.3;
+            pts.push([0.3 * a.sin(), 0.3 * a.cos()]);
+        }
+        for i in 0..20 {
+            pts.push([5.0 + (i % 5) as f64, 5.0 + (i / 5) as f64]);
+        }
+        VisualProfile::build(pts, [0.0, 0.0], 25, 1.0)
+    }
+
+    fn ctx() -> ViewContext {
+        ViewContext {
+            major: 0,
+            minor: 0,
+            original_ids: (0..60).collect(),
+            total_n: 1000,
+        }
+    }
+
+    #[test]
+    fn accepts_confirmed_threshold() {
+        let input = b"0.3\ny\n" as &[u8];
+        let mut out = Vec::new();
+        let p = profile();
+        let resp = {
+            let mut user = TerminalUser::new(input, &mut out);
+            user.color = false;
+            user.respond(&p, &ctx())
+        };
+        match resp {
+            UserResponse::Threshold(tau) => {
+                assert!((tau - 0.3 * p.max_density()).abs() < 1e-12);
+            }
+            r => panic!("expected threshold, got {r:?}"),
+        }
+        let transcript = String::from_utf8(out).unwrap();
+        assert!(transcript.contains("selects"));
+        assert!(transcript.contains("major iteration 1"));
+    }
+
+    #[test]
+    fn retry_after_rejection() {
+        let input = b"0.8\nn\n0.2\ny\n" as &[u8];
+        let mut out = Vec::new();
+        let p = profile();
+        let resp = {
+            let mut user = TerminalUser::new(input, &mut out);
+            user.color = false;
+            user.respond(&p, &ctx())
+        };
+        match resp {
+            UserResponse::Threshold(tau) => {
+                assert!((tau - 0.2 * p.max_density()).abs() < 1e-12);
+            }
+            r => panic!("{r:?}"),
+        }
+    }
+
+    #[test]
+    fn dismiss_command() {
+        let input = b"d\n" as &[u8];
+        let mut out = Vec::new();
+        let p = profile();
+        let mut user = TerminalUser::new(input, &mut out);
+        user.color = false;
+        assert_eq!(user.respond(&p, &ctx()), UserResponse::Discard);
+    }
+
+    #[test]
+    fn invalid_input_reprompts() {
+        let input = b"banana\n7\n0.5\ny\n" as &[u8];
+        let mut out = Vec::new();
+        let p = profile();
+        let resp = {
+            let mut user = TerminalUser::new(input, &mut out);
+            user.color = false;
+            user.respond(&p, &ctx())
+        };
+        assert!(matches!(resp, UserResponse::Threshold(_)));
+        let transcript = String::from_utf8(out).unwrap();
+        assert!(transcript.matches("please enter a number").count() == 2);
+    }
+
+    #[test]
+    fn box_input_yields_polygon() {
+        // Box around the origin blob, confirmed.
+        let input = b"b -1 -1 1 1\ny\n" as &[u8];
+        let mut out = Vec::new();
+        let p = profile();
+        let resp = {
+            let mut user = TerminalUser::new(input, &mut out);
+            user.color = false;
+            user.respond(&p, &ctx())
+        };
+        match resp {
+            UserResponse::Polygon(lines) => {
+                assert_eq!(lines.len(), 4);
+                let picked = p.select_polygon(&lines);
+                assert!(
+                    picked.iter().all(|&i| i < 40),
+                    "box must hold only the blob"
+                );
+                assert!(picked.len() >= 35);
+            }
+            r => panic!("expected polygon, got {r:?}"),
+        }
+        let transcript = String::from_utf8(out).unwrap();
+        assert!(transcript.contains("box selects"));
+    }
+
+    #[test]
+    fn malformed_box_reprompts() {
+        let input = b"b 1 2\nb 0 0 0 0\nd\n" as &[u8];
+        let mut out = Vec::new();
+        let p = profile();
+        let resp = {
+            let mut user = TerminalUser::new(input, &mut out);
+            user.color = false;
+            user.respond(&p, &ctx())
+        };
+        assert_eq!(resp, UserResponse::Discard);
+        let transcript = String::from_utf8(out).unwrap();
+        assert!(transcript.contains("box needs four numbers"));
+        assert!(transcript.contains("box has no area"));
+    }
+
+    #[test]
+    fn eof_means_discard() {
+        let input = b"" as &[u8];
+        let mut out = Vec::new();
+        let p = profile();
+        let mut user = TerminalUser::new(input, &mut out);
+        user.color = false;
+        assert_eq!(user.respond(&p, &ctx()), UserResponse::Discard);
+    }
+
+    #[test]
+    fn ansi_mode_emits_color() {
+        let input = b"d\n" as &[u8];
+        let mut out = Vec::new();
+        let p = profile();
+        let mut user = TerminalUser::new(input, &mut out);
+        user.color = true;
+        let _ = user.respond(&p, &ctx());
+        let transcript = String::from_utf8(out).unwrap();
+        assert!(transcript.contains("\x1b[48;5;"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based robustness tests: user models must produce *valid*
+//! responses on arbitrary views and never panic.
+
+use hinn_kde::VisualProfile;
+use hinn_user::{
+    HeuristicUser, NoisyUser, PolygonUser, ScriptedUser, UserModel, UserResponse, ViewContext,
+};
+use proptest::prelude::*;
+
+fn arbitrary_profile() -> impl Strategy<Value = VisualProfile> {
+    (
+        proptest::collection::vec((-20.0..20.0f64, -20.0..20.0f64), 2..80),
+        -25.0..25.0f64,
+        -25.0..25.0f64,
+        8usize..40,
+    )
+        .prop_map(|(pts, qx, qy, grid_n)| {
+            let points: Vec<[f64; 2]> = pts.into_iter().map(|(x, y)| [x, y]).collect();
+            VisualProfile::build(points, [qx, qy], grid_n, 0.5)
+        })
+}
+
+fn ctx_for(profile: &VisualProfile) -> ViewContext {
+    ViewContext {
+        major: 0,
+        minor: 0,
+        original_ids: (0..profile.points.len()).collect(),
+        total_n: profile.points.len(),
+    }
+}
+
+/// A threshold response must be positive and at most the view's peak —
+/// anything else is un-actionable for the search loop.
+fn assert_valid(profile: &VisualProfile, r: &UserResponse) {
+    match r {
+        UserResponse::Threshold(tau) => {
+            assert!(tau.is_finite(), "non-finite τ");
+            assert!(*tau > 0.0, "non-positive τ");
+            assert!(
+                *tau <= profile.max_density() * (1.0 + 1e-9),
+                "τ above the peak"
+            );
+        }
+        UserResponse::Polygon(lines) => {
+            assert!(!lines.is_empty(), "empty polygon");
+        }
+        UserResponse::Discard => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn heuristic_is_total_and_valid(profile in arbitrary_profile()) {
+        let mut user = HeuristicUser::default();
+        let r = user.respond(&profile, &ctx_for(&profile));
+        assert_valid(&profile, &r);
+    }
+
+    #[test]
+    fn polygon_user_is_total_and_valid(profile in arbitrary_profile()) {
+        let mut user = PolygonUser::default();
+        let r = user.respond(&profile, &ctx_for(&profile));
+        assert_valid(&profile, &r);
+        // A polygon answer must actually contain the query's region.
+        if let UserResponse::Polygon(lines) = &r {
+            let picked = profile.select_polygon(lines);
+            prop_assert!(!picked.is_empty(), "polygon selected nothing");
+        }
+    }
+
+    #[test]
+    fn noisy_wrapper_preserves_validity(profile in arbitrary_profile(), seed in 0u64..1000) {
+        let mut user = NoisyUser::new(HeuristicUser::default(), seed).with_rates(0.5, 0.3, 0.3);
+        for _ in 0..3 {
+            let r = user.respond(&profile, &ctx_for(&profile));
+            assert_valid(&profile, &r);
+        }
+    }
+
+    #[test]
+    fn heuristic_is_deterministic(profile in arbitrary_profile()) {
+        let mut a = HeuristicUser::default();
+        let mut b = HeuristicUser::default();
+        let ra = a.respond(&profile, &ctx_for(&profile));
+        let rb = b.respond(&profile, &ctx_for(&profile));
+        prop_assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn scripted_fallback_never_exhausts(profile in arbitrary_profile(), n in 0usize..5) {
+        let mut user = ScriptedUser::new(
+            std::iter::repeat(UserResponse::Threshold(0.25)).take(n),
+        );
+        for i in 0..8 {
+            let r = user.respond(&profile, &ctx_for(&profile));
+            if i >= n {
+                prop_assert_eq!(r, UserResponse::Discard);
+            }
+        }
+    }
+}

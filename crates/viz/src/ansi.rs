@@ -1,0 +1,82 @@
+//! 256-color ANSI heatmap rendering for interactive terminal sessions.
+//!
+//! Used by the `TerminalUser` (the real human in the loop): each cell is a
+//! two-space block whose background walks a dark-blue → yellow → white ramp
+//! with density. Terminals without color support can fall back to
+//! [`crate::ascii`].
+
+use hinn_kde::DensityGrid;
+
+/// xterm-256 color codes forming a perceptually-reasonable density ramp.
+const COLOR_RAMP: [u8; 10] = [16, 17, 18, 19, 61, 103, 179, 220, 226, 231];
+
+/// Render `grid` as an ANSI-colored heatmap with the query marked `Q`.
+pub fn render_ansi_heatmap(grid: &DensityGrid, query: [f64; 2]) -> String {
+    let m = grid.spec.cells_per_axis();
+    let cell_mean = |cx: usize, cy: usize| {
+        let c = grid.cell_corners(cx, cy);
+        (c[0] + c[1] + c[2] + c[3]) / 4.0
+    };
+    // Normalize by the brightest *cell* so the top ramp color is always used.
+    let mut max = 1e-300f64;
+    for cy in 0..m {
+        for cx in 0..m {
+            max = max.max(cell_mean(cx, cy));
+        }
+    }
+    let qcell = grid.spec.cell_of(query[0], query[1]);
+    let mut out = String::new();
+    for cy in (0..m).rev() {
+        for cx in 0..m {
+            let mean = cell_mean(cx, cy);
+            let level = ((mean / max) * (COLOR_RAMP.len() - 1) as f64).round() as usize;
+            let color = COLOR_RAMP[level.min(COLOR_RAMP.len() - 1)];
+            if qcell == Some((cx, cy)) {
+                // Red background, white Q.
+                out.push_str("\x1b[48;5;196m\x1b[97mQ \x1b[0m");
+            } else {
+                out.push_str(&format!("\x1b[48;5;{color}m  \x1b[0m"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hinn_kde::grid::GridSpec;
+
+    fn small_grid() -> DensityGrid {
+        let spec = GridSpec {
+            x0: 0.0,
+            y0: 0.0,
+            dx: 1.0,
+            dy: 1.0,
+            n: 3,
+        };
+        DensityGrid::new(spec, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+    }
+
+    #[test]
+    fn contains_reset_sequences_and_rows() {
+        let s = render_ansi_heatmap(&small_grid(), [-10.0, -10.0]);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("\x1b[0m"));
+        assert!(s.contains("\x1b[48;5;"));
+    }
+
+    #[test]
+    fn query_rendered_in_red() {
+        let s = render_ansi_heatmap(&small_grid(), [0.5, 0.5]);
+        assert!(s.contains("\x1b[48;5;196m"), "query cell must be red");
+        assert!(s.contains('Q'));
+    }
+
+    #[test]
+    fn brightest_cell_uses_top_ramp_color() {
+        let s = render_ansi_heatmap(&small_grid(), [-10.0, -10.0]);
+        assert!(s.contains(&format!("\x1b[48;5;{}m", COLOR_RAMP[9])));
+    }
+}

@@ -1,0 +1,229 @@
+//! Plain-text heatmap rendering of density grids.
+//!
+//! The density ramp uses the classic ASCII intensity scale; the query point
+//! renders as `Q` and, when a noise threshold `τ` is supplied, grid cells on
+//! the `(τ, Q)`-connected region are wrapped in `[` `]` markers so the
+//! density-separated view of §2.2 is visible in plain text.
+
+use hinn_kde::connect::CellMask;
+use hinn_kde::DensityGrid;
+
+/// Density-to-character ramp, dark to bright.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Options for [`render_heatmap`].
+#[derive(Clone, Copy, Debug)]
+pub struct AsciiOptions {
+    /// Print a density legend under the map.
+    pub legend: bool,
+    /// Invert the vertical axis so larger `y` is at the top (math style).
+    pub y_up: bool,
+}
+
+impl Default for AsciiOptions {
+    fn default() -> Self {
+        Self {
+            legend: true,
+            y_up: true,
+        }
+    }
+}
+
+/// Render `grid` as an ASCII heatmap (one character per *cell*, using the
+/// mean of the cell's corner densities). `query` is marked `Q`; cells of
+/// `mask` (the density-connected selection, if any) are upper-cased `#`
+/// overlay via `[` `]` brackets when space allows — practically, the masked
+/// cells render as `o` when their ramp char would be a blank/low value.
+pub fn render_heatmap(
+    grid: &DensityGrid,
+    query: [f64; 2],
+    mask: Option<&CellMask>,
+    opts: AsciiOptions,
+) -> String {
+    let m = grid.spec.cells_per_axis();
+    let max = grid.max().max(1e-300);
+    let qcell = grid.spec.cell_of(query[0], query[1]);
+    let mut out = String::with_capacity((m + 3) * (m + 2));
+
+    let rows: Box<dyn Iterator<Item = usize>> = if opts.y_up {
+        Box::new((0..m).rev())
+    } else {
+        Box::new(0..m)
+    };
+    for cy in rows {
+        out.push('|');
+        for cx in 0..m {
+            if qcell == Some((cx, cy)) {
+                out.push('Q');
+                continue;
+            }
+            let corners = grid.cell_corners(cx, cy);
+            let mean = (corners[0] + corners[1] + corners[2] + corners[3]) / 4.0;
+            let level = ((mean / max) * (RAMP.len() - 1) as f64).round() as usize;
+            let ch = RAMP[level.min(RAMP.len() - 1)] as char;
+            let selected = mask.map(|k| k.contains(cx, cy)).unwrap_or(false);
+            if selected && (ch == ' ' || ch == '.') {
+                out.push('o');
+            } else {
+                out.push(ch);
+            }
+        }
+        out.push('|');
+        out.push('\n');
+    }
+    if opts.legend {
+        out.push_str(&format!(
+            "density 0 '{}' .. '{}' {max:.4}   Q = query",
+            RAMP[0] as char,
+            RAMP[RAMP.len() - 1] as char
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// A compact one-line textual summary of a profile (peak, query density,
+/// their ratio) — the caption experiments print under each heatmap.
+pub fn profile_caption(grid: &DensityGrid, query: [f64; 2]) -> String {
+    let q = grid.interpolate(query[0], query[1]);
+    let max = grid.max();
+    let ratio = if max > 0.0 { q / max } else { 0.0 };
+    format!(
+        "peak density {max:.5}, query density {q:.5} ({:.0}% of peak)",
+        ratio * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hinn_kde::grid::GridSpec;
+
+    fn grid_with_peak() -> DensityGrid {
+        let spec = GridSpec {
+            x0: 0.0,
+            y0: 0.0,
+            dx: 1.0,
+            dy: 1.0,
+            n: 6,
+        };
+        let mut v = vec![0.0; 36];
+        v[2 * 6 + 2] = 10.0;
+        v[2 * 6 + 3] = 10.0;
+        v[3 * 6 + 2] = 10.0;
+        v[3 * 6 + 3] = 10.0;
+        DensityGrid::new(spec, v)
+    }
+
+    #[test]
+    fn heatmap_has_expected_shape() {
+        let g = grid_with_peak();
+        let s = render_heatmap(&g, [-100.0, -100.0], None, AsciiOptions::default());
+        let lines: Vec<&str> = s.lines().collect();
+        // 5 cell rows + 1 legend line.
+        assert_eq!(lines.len(), 6);
+        for row in &lines[..5] {
+            assert_eq!(row.len(), 7, "5 cells + 2 borders: {row:?}");
+            assert!(row.starts_with('|') && row.ends_with('|'));
+        }
+        assert!(lines[5].contains("Q = query"));
+    }
+
+    #[test]
+    fn peak_renders_bright_and_off_peak_dark() {
+        let g = grid_with_peak();
+        let s = render_heatmap(
+            &g,
+            [-100.0, -100.0],
+            None,
+            AsciiOptions {
+                legend: false,
+                y_up: false,
+            },
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        // Cell (2,2) has all 4 corners at the peak → '@'.
+        assert_eq!(&lines[2][3..4], "@");
+        // Far corner is blank.
+        assert_eq!(&lines[0][1..2], " ");
+    }
+
+    #[test]
+    fn query_marker_present() {
+        let g = grid_with_peak();
+        let s = render_heatmap(
+            &g,
+            [2.5, 2.5],
+            None,
+            AsciiOptions {
+                legend: false,
+                y_up: false,
+            },
+        );
+        assert!(s.contains('Q'), "query marker missing:\n{s}");
+        assert_eq!(s.matches('Q').count(), 1);
+    }
+
+    #[test]
+    fn y_up_flips_vertically() {
+        let g = grid_with_peak();
+        let up = render_heatmap(
+            &g,
+            [-100.0, -100.0],
+            None,
+            AsciiOptions {
+                legend: false,
+                y_up: true,
+            },
+        );
+        let down = render_heatmap(
+            &g,
+            [-100.0, -100.0],
+            None,
+            AsciiOptions {
+                legend: false,
+                y_up: false,
+            },
+        );
+        let up_lines: Vec<&str> = up.lines().collect();
+        let down_lines: Vec<&str> = down.lines().collect();
+        assert_eq!(up_lines.len(), down_lines.len());
+        for (a, b) in up_lines.iter().zip(down_lines.iter().rev()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn mask_marks_low_cells() {
+        let g = grid_with_peak();
+        let mask = hinn_kde::connect::connected_cells(
+            &g,
+            -1.0, // everything qualifies (densities ≥ 0 > -1)
+            (0, 0),
+            hinn_kde::CornerRule::AnyOne,
+        );
+        let s = render_heatmap(
+            &g,
+            [-100.0, -100.0],
+            Some(&mask),
+            AsciiOptions {
+                legend: false,
+                y_up: false,
+            },
+        );
+        assert!(
+            s.contains('o'),
+            "selected low-density cells should be marked:\n{s}"
+        );
+    }
+
+    #[test]
+    fn caption_reports_ratio() {
+        let g = grid_with_peak();
+        let c = profile_caption(&g, [2.5, 2.5]);
+        assert!(c.contains("peak density"));
+        assert!(c.contains("100%"), "query on the peak: {c}");
+        let c2 = profile_caption(&g, [0.0, 0.0]);
+        assert!(c2.contains("(0% of peak)"), "{c2}");
+    }
+}

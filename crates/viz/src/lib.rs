@@ -1,0 +1,27 @@
+//! Rendering of visual profiles for `hinn`.
+//!
+//! The paper's system is built around a human *looking at* density profiles
+//! (Figs. 1, 9–13) and dragging a density-separator plane. The Rust GUI /
+//! interactive-plotting ecosystem is not a stable substrate for this
+//! reproduction (see DESIGN.md), so this crate renders the same artifacts
+//! into media that work everywhere:
+//!
+//! * [`ascii`] — plain-text heatmaps of a [`hinn_kde::DensityGrid`], with
+//!   the query point and the `τ`-contour marked; readable in any terminal
+//!   or log file, and what the interactive `TerminalUser` shows a real
+//!   human.
+//! * [`ansi`] — 256-color ANSI heatmaps for richer terminals.
+//! * [`svg`] — dependency-free SVG scatter plots, heatmaps, and line
+//!   charts; the figure-reproduction experiments write these next to their
+//!   numeric output.
+
+pub mod ansi;
+pub mod ascii;
+pub mod sparkline;
+pub mod surface;
+pub mod svg;
+
+pub use ascii::{render_heatmap, AsciiOptions};
+pub use sparkline::render_sparkline;
+pub use surface::{render_surface_svg, save_surface_svg, SurfaceOptions};
+pub use svg::SvgCanvas;

@@ -1,0 +1,81 @@
+//! Unicode sparklines for 1-D density marginals.
+//!
+//! One line per axis under a heatmap: the marginal density curve as block
+//! characters, with the query's position marked — the per-attribute
+//! interpretability aid for axis-parallel projections (§1.1 of the paper).
+
+use hinn_kde::MarginalProfile;
+
+/// Density-to-block ramp (eighth blocks).
+const BLOCKS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render `marginal` as a sparkline of `width` characters; `query` (in data
+/// coordinates) renders as `Q` on top of its block.
+pub fn render_sparkline(marginal: &MarginalProfile, query: f64, width: usize) -> String {
+    assert!(width >= 2, "render_sparkline: width must be at least 2");
+    let max = marginal.max().max(1e-300);
+    let span = marginal.dx * (marginal.values.len() - 1) as f64;
+    let mut out = String::with_capacity(width * 3);
+    let q_col =
+        (((query - marginal.x0) / span).clamp(0.0, 1.0) * (width - 1) as f64).round() as usize;
+    for col in 0..width {
+        if col == q_col {
+            out.push('Q');
+            continue;
+        }
+        let x = marginal.x0 + span * col as f64 / (width - 1) as f64;
+        let level = ((marginal.at(x) / max) * (BLOCKS.len() - 1) as f64).round() as usize;
+        out.push(BLOCKS[level.min(BLOCKS.len() - 1)]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bimodal() -> MarginalProfile {
+        let mut sample = vec![0.0; 60];
+        sample.extend(vec![10.0; 30]);
+        MarginalProfile::estimate(&sample, 120, 0.1, 0.5)
+    }
+
+    #[test]
+    fn width_and_query_marker() {
+        let m = bimodal();
+        let s = render_sparkline(&m, 0.0, 40);
+        assert_eq!(s.chars().count(), 40);
+        assert_eq!(s.matches('Q').count(), 1);
+    }
+
+    #[test]
+    fn modes_render_taller_than_the_gap() {
+        let m = bimodal();
+        let s: Vec<char> = render_sparkline(&m, -100.0, 41).chars().collect();
+        // Query clamps to column 0; inspect the two mode regions vs middle.
+        let level = |c: char| BLOCKS.iter().position(|&b| b == c).unwrap_or(0);
+        let left_max = s[1..10].iter().map(|&c| level(c)).max().unwrap();
+        let mid_min = s[18..23].iter().map(|&c| level(c)).min().unwrap();
+        let right_max = s[32..40].iter().map(|&c| level(c)).max().unwrap();
+        assert!(left_max > mid_min, "left mode must rise above the gap");
+        assert!(right_max > mid_min, "right mode must rise above the gap");
+        assert!(left_max >= right_max, "bigger mode at least as tall");
+    }
+
+    #[test]
+    fn query_lands_on_correct_side() {
+        let m = bimodal();
+        let s: Vec<char> = render_sparkline(&m, 10.0, 40).chars().collect();
+        let q_pos = s.iter().position(|&c| c == 'Q').unwrap();
+        assert!(
+            q_pos > 30,
+            "query at x=10 belongs near the right edge: {q_pos}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn tiny_width_panics() {
+        render_sparkline(&bimodal(), 0.0, 1);
+    }
+}

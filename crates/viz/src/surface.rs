@@ -1,0 +1,257 @@
+//! Isometric 3-D surface plots of density grids — the look of the paper's
+//! Figures 9–13 (MATLAB `surf` plots of the kernel density with the query
+//! point starred and, optionally, the density-separator plane).
+//!
+//! The renderer projects each grid point `(x, y, density)` isometrically
+//! into the image plane and draws the surface as painter-ordered quads with
+//! height-mapped fill, wireframe edges, an optional horizontal separator
+//! plane at `τ`, and the query marker riding on the surface.
+
+use crate::svg::SvgCanvas;
+use hinn_kde::DensityGrid;
+use std::fmt::Write as _;
+
+/// Options for [`render_surface_svg`].
+#[derive(Clone, Copy, Debug)]
+pub struct SurfaceOptions {
+    /// Output image width in pixels.
+    pub width: f64,
+    /// Output image height in pixels.
+    pub height: f64,
+    /// Vertical exaggeration: the density axis spans this fraction of the
+    /// image height.
+    pub z_scale: f64,
+    /// Optional separator plane height (density units).
+    pub separator: Option<f64>,
+    /// Optional query location (data coordinates); drawn as a star riding
+    /// the surface.
+    pub query: Option<[f64; 2]>,
+    /// Title text.
+    pub title_height: f64,
+}
+
+impl Default for SurfaceOptions {
+    fn default() -> Self {
+        Self {
+            width: 640.0,
+            height: 480.0,
+            z_scale: 0.45,
+            separator: None,
+            query: None,
+            title_height: 28.0,
+        }
+    }
+}
+
+/// Isometric projection of normalized grid coordinates `(u, v) ∈ [0,1]²`
+/// and normalized height `w ∈ [0,1]` into image space.
+fn iso(u: f64, v: f64, w: f64, opts: &SurfaceOptions) -> (f64, f64) {
+    // Classic 2:1 isometric: x' = (u − v), y' = (u + v)/2 − w.
+    let margin = 40.0;
+    let usable_w = opts.width - 2.0 * margin;
+    let usable_h = opts.height - 2.0 * margin - opts.title_height;
+    let zspan = opts.z_scale * usable_h;
+    let base_h = usable_h - zspan;
+    let px = margin + usable_w * (0.5 + (u - v) * 0.5);
+    let py = opts.title_height + margin + zspan + base_h * ((u + v) / 2.0) - zspan * w;
+    (px, py)
+}
+
+/// Render `grid` as an isometric surface SVG (see module docs).
+pub fn render_surface_svg(grid: &DensityGrid, title: &str, opts: &SurfaceOptions) -> String {
+    let n = grid.spec.n;
+    let max = grid.max().max(1e-300);
+    let norm_u = |ix: usize| ix as f64 / (n - 1) as f64;
+
+    let mut body = String::new();
+
+    // Painter's order: draw quads from the back (large u+v drawn last →
+    // iterate so nearer rows overwrite farther ones). With this projection
+    // the viewer looks from (u,v) = (0.5, −∞), so back = large v first.
+    for cy in (0..n - 1).rev() {
+        for cx in 0..n - 1 {
+            let corners = [(cx, cy + 1), (cx + 1, cy + 1), (cx + 1, cy), (cx, cy)];
+            let mut d = String::new();
+            let mut mean_w = 0.0;
+            for (k, &(ix, iy)) in corners.iter().enumerate() {
+                let w = grid.at(ix, iy) / max;
+                mean_w += w / 4.0;
+                let (px, py) = iso(norm_u(ix), norm_u(iy), w, opts);
+                let _ = write!(d, "{}{px:.1} {py:.1}", if k == 0 { "M " } else { " L " });
+            }
+            d.push_str(" Z");
+            // Height-mapped fill: deep blue valleys to warm peaks.
+            let t = mean_w.clamp(0.0, 1.0);
+            let r = (40.0 + 215.0 * t) as u8;
+            let g = (70.0 + 120.0 * t) as u8;
+            let b = (160.0 - 80.0 * t) as u8;
+            let _ = write!(
+                body,
+                r#"<path d="{d}" fill="rgb({r},{g},{b})" stroke="rgba(20,30,60,0.35)" stroke-width="0.4"/>"#
+            );
+        }
+        body.push('\n');
+    }
+
+    // Separator plane: a translucent quad at w = τ/max.
+    if let Some(tau) = opts.separator {
+        let w = (tau / max).clamp(0.0, 1.0);
+        let mut d = String::new();
+        for (k, (u, v)) in [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+            .into_iter()
+            .enumerate()
+        {
+            let (px, py) = iso(u, v, w, opts);
+            let _ = write!(d, "{}{px:.1} {py:.1}", if k == 0 { "M " } else { " L " });
+        }
+        d.push_str(" Z");
+        let _ = write!(
+            body,
+            r#"<path d="{d}" fill="rgba(200,60,60,0.25)" stroke="rgba(160,30,30,0.8)" stroke-width="1"/>"#
+        );
+    }
+
+    // Query marker riding the surface.
+    if let Some(q) = opts.query {
+        let spec = &grid.spec;
+        let u = ((q[0] - spec.x0) / (spec.dx * (n - 1) as f64)).clamp(0.0, 1.0);
+        let v = ((q[1] - spec.y0) / (spec.dy * (n - 1) as f64)).clamp(0.0, 1.0);
+        let w = (grid.interpolate(q[0], q[1]) / max).clamp(0.0, 1.0);
+        let (px, py) = iso(u, v, w, opts);
+        let _ = write!(
+            body,
+            r#"<path d="M {x0} {py} L {x1} {py} M {px} {y0} L {px} {y1}" stroke="black" stroke-width="2"/>
+<text x="{tx}" y="{ty}" font-size="12" fill="black">* Query Point</text>"#,
+            x0 = px - 7.0,
+            x1 = px + 7.0,
+            y0 = py - 7.0,
+            y1 = py + 7.0,
+            tx = px + 9.0,
+            ty = py - 9.0,
+        );
+    }
+
+    format!(
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">
+<rect width="{w}" height="{h}" fill="white"/>
+<text x="16" y="20" font-size="15" font-family="sans-serif" fill="#111">{title}</text>
+{body}</svg>
+"##,
+        w = opts.width,
+        h = opts.height,
+        title = title
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;"),
+    )
+}
+
+/// Convenience: render and save.
+pub fn save_surface_svg(
+    grid: &DensityGrid,
+    title: &str,
+    opts: &SurfaceOptions,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    std::fs::write(path, render_surface_svg(grid, title, opts))
+}
+
+/// Kept for API symmetry with [`SvgCanvas`]: a surface plus a flat heatmap
+/// side panel is a common combination; this helper builds the heatmap half.
+pub fn heatmap_canvas(grid: &DensityGrid, title: &str) -> SvgCanvas {
+    let spec = &grid.spec;
+    let bb = (
+        (spec.x0, spec.x0 + (spec.n - 1) as f64 * spec.dx),
+        (spec.y0, spec.y0 + (spec.n - 1) as f64 * spec.dy),
+    );
+    let mut c = SvgCanvas::new(title, 560.0, 500.0, bb.0, bb.1);
+    c.heatmap(grid);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hinn_kde::GridSpec;
+
+    fn peaked_grid() -> DensityGrid {
+        let spec = GridSpec {
+            x0: 0.0,
+            y0: 0.0,
+            dx: 1.0,
+            dy: 1.0,
+            n: 8,
+        };
+        let mut v = vec![0.1; 64];
+        v[3 * 8 + 3] = 5.0;
+        v[3 * 8 + 4] = 4.0;
+        DensityGrid::new(spec, v)
+    }
+
+    #[test]
+    fn surface_svg_structure() {
+        let g = peaked_grid();
+        let svg = render_surface_svg(&g, "test <surface>", &SurfaceOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("test &lt;surface&gt;"));
+        // (n-1)² quads.
+        assert_eq!(svg.matches("fill=\"rgb(").count(), 49);
+    }
+
+    #[test]
+    fn separator_and_query_render() {
+        let g = peaked_grid();
+        let opts = SurfaceOptions {
+            separator: Some(1.0),
+            query: Some([3.0, 3.0]),
+            ..SurfaceOptions::default()
+        };
+        let svg = render_surface_svg(&g, "with extras", &opts);
+        assert!(
+            svg.contains("rgba(200,60,60,0.25)"),
+            "separator plane missing"
+        );
+        assert!(svg.contains("* Query Point"), "query marker missing");
+    }
+
+    #[test]
+    fn projection_keeps_points_in_bounds() {
+        let opts = SurfaceOptions::default();
+        for &(u, v, w) in &[
+            (0.0, 0.0, 0.0),
+            (1.0, 1.0, 1.0),
+            (0.5, 0.5, 0.5),
+            (1.0, 0.0, 1.0),
+        ] {
+            let (px, py) = iso(u, v, w, &opts);
+            assert!(px >= 0.0 && px <= opts.width, "x out of bounds: {px}");
+            assert!(py >= 0.0 && py <= opts.height, "y out of bounds: {py}");
+        }
+    }
+
+    #[test]
+    fn higher_density_projects_higher_on_screen() {
+        let opts = SurfaceOptions::default();
+        let (_, y_low) = iso(0.5, 0.5, 0.0, &opts);
+        let (_, y_high) = iso(0.5, 0.5, 1.0, &opts);
+        assert!(y_high < y_low, "peaks must rise (smaller SVG y)");
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let g = peaked_grid();
+        let mut path = std::env::temp_dir();
+        path.push(format!("hinn_surface_{}.svg", std::process::id()));
+        save_surface_svg(&g, "saved", &SurfaceOptions::default(), &path).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().contains("<svg"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn heatmap_canvas_builds() {
+        let g = peaked_grid();
+        let svg = heatmap_canvas(&g, "hm").finish();
+        assert!(svg.contains("<rect"));
+    }
+}

@@ -1,0 +1,310 @@
+//! Dependency-free SVG rendering.
+//!
+//! A tiny retained canvas with data-space coordinates: callers add scatter
+//! points, heatmap cells, polylines, and text; `finish()` produces a
+//! self-contained SVG document with axes. Used by the figure-reproduction
+//! experiments to emit the analogues of the paper's Figs. 1 and 9–13.
+
+use hinn_kde::DensityGrid;
+use std::fmt::Write as _;
+
+/// Margin around the plot area, in output pixels.
+const MARGIN: f64 = 45.0;
+
+/// A simple SVG plot canvas with a data-space → pixel-space transform.
+#[derive(Clone, Debug)]
+pub struct SvgCanvas {
+    width: f64,
+    height: f64,
+    xlim: (f64, f64),
+    ylim: (f64, f64),
+    body: String,
+    title: String,
+}
+
+impl SvgCanvas {
+    /// Create a canvas mapping the data rectangle `xlim × ylim` onto a
+    /// `width × height` pixel image.
+    ///
+    /// # Panics
+    /// Panics on empty data ranges or non-positive pixel sizes.
+    pub fn new(title: &str, width: f64, height: f64, xlim: (f64, f64), ylim: (f64, f64)) -> Self {
+        assert!(
+            width > 2.0 * MARGIN && height > 2.0 * MARGIN,
+            "SvgCanvas: image too small"
+        );
+        assert!(
+            xlim.1 > xlim.0 && ylim.1 > ylim.0,
+            "SvgCanvas: empty data range"
+        );
+        Self {
+            width,
+            height,
+            xlim,
+            ylim,
+            body: String::new(),
+            title: title.to_string(),
+        }
+    }
+
+    fn tx(&self, x: f64) -> f64 {
+        MARGIN + (x - self.xlim.0) / (self.xlim.1 - self.xlim.0) * (self.width - 2.0 * MARGIN)
+    }
+
+    fn ty(&self, y: f64) -> f64 {
+        // SVG y grows downward; data y grows upward.
+        self.height
+            - MARGIN
+            - (y - self.ylim.0) / (self.ylim.1 - self.ylim.0) * (self.height - 2.0 * MARGIN)
+    }
+
+    /// Scatter `points` as circles of radius `r` and CSS `color`.
+    pub fn scatter(&mut self, points: &[[f64; 2]], r: f64, color: &str) -> &mut Self {
+        for p in points {
+            let _ = write!(
+                self.body,
+                r#"<circle cx="{:.2}" cy="{:.2}" r="{r}" fill="{color}" fill-opacity="0.75"/>"#,
+                self.tx(p[0]),
+                self.ty(p[1]),
+            );
+            self.body.push('\n');
+        }
+        self
+    }
+
+    /// Mark a point with a star-like cross (the paper's `* Query Point`).
+    pub fn marker(&mut self, p: [f64; 2], label: &str, color: &str) -> &mut Self {
+        let (x, y) = (self.tx(p[0]), self.ty(p[1]));
+        let _ = write!(
+            self.body,
+            r#"<path d="M {x0} {y} L {x1} {y} M {x} {y0} L {x} {y1} M {xa} {ya} L {xb} {yb} M {xa} {yb} L {xb} {ya}" stroke="{color}" stroke-width="2" fill="none"/>"#,
+            x0 = x - 7.0,
+            x1 = x + 7.0,
+            y0 = y - 7.0,
+            y1 = y + 7.0,
+            xa = x - 5.0,
+            xb = x + 5.0,
+            ya = y - 5.0,
+            yb = y + 5.0,
+        );
+        let _ = write!(
+            self.body,
+            r#"<text x="{:.2}" y="{:.2}" font-size="12" fill="{color}">{label}</text>"#,
+            x + 9.0,
+            y - 9.0
+        );
+        self.body.push('\n');
+        self
+    }
+
+    /// Draw a density grid as colored cells (white → steel blue ramp).
+    pub fn heatmap(&mut self, grid: &DensityGrid) -> &mut Self {
+        let m = grid.spec.cells_per_axis();
+        let max = grid.max().max(1e-300);
+        for cy in 0..m {
+            for cx in 0..m {
+                let corners = grid.cell_corners(cx, cy);
+                let mean = (corners[0] + corners[1] + corners[2] + corners[3]) / 4.0;
+                let t = (mean / max).clamp(0.0, 1.0);
+                // White (low) to dark blue (high).
+                let rch = (255.0 * (1.0 - 0.85 * t)) as u8;
+                let g = (255.0 * (1.0 - 0.70 * t)) as u8;
+                let b = (255.0 * (1.0 - 0.30 * t)) as u8;
+                let x = self.tx(grid.spec.x0 + cx as f64 * grid.spec.dx);
+                let y = self.ty(grid.spec.y0 + (cy + 1) as f64 * grid.spec.dy);
+                let w = self.tx(grid.spec.x0 + (cx + 1) as f64 * grid.spec.dx) - x;
+                let h = self.ty(grid.spec.y0 + cy as f64 * grid.spec.dy) - y;
+                let _ = write!(
+                    self.body,
+                    r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="rgb({rch},{g},{b})"/>"#
+                );
+            }
+        }
+        self.body.push('\n');
+        self
+    }
+
+    /// Polyline through `points` (e.g. a sorted-probability curve).
+    pub fn polyline(&mut self, points: &[[f64; 2]], color: &str, width: f64) -> &mut Self {
+        if points.is_empty() {
+            return self;
+        }
+        let mut d = String::new();
+        for (i, p) in points.iter().enumerate() {
+            let _ = write!(
+                d,
+                "{}{:.2} {:.2}",
+                if i == 0 { "M " } else { " L " },
+                self.tx(p[0]),
+                self.ty(p[1])
+            );
+        }
+        let _ = write!(
+            self.body,
+            r#"<path d="{d}" stroke="{color}" stroke-width="{width}" fill="none"/>"#
+        );
+        self.body.push('\n');
+        self
+    }
+
+    /// Horizontal reference line at data-`y` (the density separator plane
+    /// seen edge-on).
+    pub fn hline(&mut self, y: f64, color: &str) -> &mut Self {
+        let py = self.ty(y);
+        let _ = write!(
+            self.body,
+            r#"<line x1="{:.2}" y1="{py:.2}" x2="{:.2}" y2="{py:.2}" stroke="{color}" stroke-width="1.5" stroke-dasharray="6 3"/>"#,
+            MARGIN,
+            self.width - MARGIN
+        );
+        self.body.push('\n');
+        self
+    }
+
+    /// Free text annotation at a data-space position.
+    pub fn text(&mut self, p: [f64; 2], s: &str, size: u32) -> &mut Self {
+        let _ = write!(
+            self.body,
+            r##"<text x="{:.2}" y="{:.2}" font-size="{size}" fill="#333">{}</text>"##,
+            self.tx(p[0]),
+            self.ty(p[1]),
+            escape(s)
+        );
+        self.body.push('\n');
+        self
+    }
+
+    /// Produce the final SVG document (axes, frame, title, body).
+    pub fn finish(&self) -> String {
+        let mut svg = String::with_capacity(self.body.len() + 1024);
+        let _ = write!(
+            svg,
+            r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">
+<rect width="{w}" height="{h}" fill="white"/>
+<text x="{tx}" y="24" font-size="15" font-family="sans-serif" fill="#111">{title}</text>
+"##,
+            w = self.width,
+            h = self.height,
+            tx = MARGIN,
+            title = escape(&self.title),
+        );
+        svg.push_str(&self.body);
+        // Frame and axis labels.
+        let _ = write!(
+            svg,
+            r##"<rect x="{m}" y="{m}" width="{pw}" height="{ph}" fill="none" stroke="#555"/>
+<text x="{m}" y="{yb}" font-size="11" fill="#555">{x0:.3}</text>
+<text x="{xe}" y="{yb}" font-size="11" fill="#555" text-anchor="end">{x1:.3}</text>
+<text x="4" y="{yb0}" font-size="11" fill="#555">{y0:.3}</text>
+<text x="4" y="{yt}" font-size="11" fill="#555">{y1:.3}</text>
+</svg>
+"##,
+            m = MARGIN,
+            pw = self.width - 2.0 * MARGIN,
+            ph = self.height - 2.0 * MARGIN,
+            yb = self.height - MARGIN + 16.0,
+            xe = self.width - MARGIN,
+            x0 = self.xlim.0,
+            x1 = self.xlim.1,
+            y0 = self.ylim.0,
+            y1 = self.ylim.1,
+            yb0 = self.height - MARGIN,
+            yt = MARGIN + 4.0,
+        );
+        svg
+    }
+
+    /// Write the document to `path`.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.finish())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hinn_kde::grid::GridSpec;
+
+    #[test]
+    fn document_structure() {
+        let mut c = SvgCanvas::new("test <plot>", 400.0, 300.0, (0.0, 1.0), (0.0, 1.0));
+        c.scatter(&[[0.5, 0.5]], 3.0, "black");
+        let svg = c.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("test &lt;plot&gt;"), "title must be escaped");
+        assert_eq!(svg.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    fn transform_maps_corners() {
+        let c = SvgCanvas::new("t", 400.0, 300.0, (0.0, 10.0), (0.0, 10.0));
+        assert!((c.tx(0.0) - MARGIN).abs() < 1e-9);
+        assert!((c.tx(10.0) - (400.0 - MARGIN)).abs() < 1e-9);
+        // Data y=0 maps to the bottom of the plot area.
+        assert!((c.ty(0.0) - (300.0 - MARGIN)).abs() < 1e-9);
+        assert!((c.ty(10.0) - MARGIN).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heatmap_emits_cells() {
+        let spec = GridSpec {
+            x0: 0.0,
+            y0: 0.0,
+            dx: 1.0,
+            dy: 1.0,
+            n: 4,
+        };
+        let g = DensityGrid::new(spec, (0..16).map(|i| i as f64).collect());
+        let mut c = SvgCanvas::new("h", 300.0, 300.0, (0.0, 3.0), (0.0, 3.0));
+        c.heatmap(&g);
+        let svg = c.finish();
+        // 3×3 cells + the frame rect + background.
+        assert_eq!(svg.matches("<rect").count(), 9 + 2);
+    }
+
+    #[test]
+    fn polyline_and_marker_and_hline() {
+        let mut c = SvgCanvas::new("p", 300.0, 300.0, (0.0, 1.0), (0.0, 1.0));
+        c.polyline(&[[0.0, 0.0], [0.5, 1.0], [1.0, 0.0]], "red", 2.0);
+        c.marker([0.5, 0.5], "Query Point", "crimson");
+        c.hline(0.3, "gray");
+        c.text([0.1, 0.9], "a<b", 10);
+        let svg = c.finish();
+        assert!(svg.contains("<path d=\"M "));
+        assert!(svg.contains("Query Point"));
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains("a&lt;b"));
+    }
+
+    #[test]
+    fn empty_polyline_is_noop() {
+        let mut c = SvgCanvas::new("p", 300.0, 300.0, (0.0, 1.0), (0.0, 1.0));
+        let before = c.finish();
+        c.polyline(&[], "red", 1.0);
+        assert_eq!(c.finish(), before);
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("hinn_svg_test_{}.svg", std::process::id()));
+        let c = SvgCanvas::new("s", 200.0, 200.0, (0.0, 1.0), (0.0, 1.0));
+        c.save(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(content.contains("<svg"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data range")]
+    fn empty_range_panics() {
+        SvgCanvas::new("bad", 300.0, 300.0, (1.0, 1.0), (0.0, 1.0));
+    }
+}

@@ -1,0 +1,89 @@
+//! A genuinely interactive session: *you* are the user model.
+//!
+//! Generates a small projected-cluster dataset, then drives the paper's
+//! loop with a [`hinn::user::TerminalUser`]: each query-centered projection
+//! is rendered as a heatmap in your terminal, you place the density
+//! separator (as a fraction of the peak density), see how many points it
+//! selects, and confirm or retry — exactly the `AdjustDensitySeparator`
+//! interaction of Fig. 6. Type `d` to dismiss a poor view.
+//!
+//! ```sh
+//! cargo run --release --example interactive_session          # ANSI color
+//! NO_COLOR=1 cargo run --release --example interactive_session  # plain ASCII
+//! ```
+//!
+//! Hints while playing: views where the query `Q` sits on a bright, compact
+//! island are good — put the separator around 0.2–0.4 and keep the
+//! selection small. Dismiss views where `Q` floats in darkness (Fig. 1(b))
+//! or the whole map glows evenly (Fig. 1(c)).
+
+use hinn::core::{InteractiveSearch, SearchConfig, SearchDiagnosis};
+use hinn::data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
+use hinn::user::TerminalUser;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::BufReader;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let spec = ProjectedClusterSpec {
+        n_points: 800,
+        dim: 8,
+        n_clusters: 3,
+        cluster_dim: 4,
+        ..ProjectedClusterSpec::case1()
+    };
+    let (data, truth) = generate_projected_clusters_detailed(&spec, &mut rng);
+    let members = data.cluster_members(0);
+    let query = data.points[members[0]].clone();
+
+    println!(
+        "Interactive nearest-neighbor session: {} points, {} dims.",
+        data.len(),
+        data.dim()
+    );
+    println!(
+        "Your query secretly belongs to a projected cluster of {} points — \
+         let's see if the session finds it.\n",
+        truth[0].size
+    );
+
+    let stdin = std::io::stdin();
+    let mut user = TerminalUser::new(BufReader::new(stdin.lock()), std::io::stdout());
+    user.color = std::env::var_os("NO_COLOR").is_none();
+
+    let config = SearchConfig {
+        max_major_iterations: 2,
+        min_major_iterations: 1,
+        grid_n: 36, // coarse enough to fit a terminal
+        ..SearchConfig::default().with_support(40)
+    };
+    let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+
+    println!("\n================ session result ================");
+    match &outcome.diagnosis {
+        SearchDiagnosis::Meaningful { natural_k, .. } => {
+            let natural = outcome.natural_neighbors().expect("meaningful");
+            let hits = natural
+                .iter()
+                .filter(|i| data.labels[**i] == Some(0))
+                .count();
+            println!("verdict: MEANINGFUL — you isolated a natural group of {natural_k} points,");
+            println!(
+                "{hits} of which belong to the true hidden cluster \
+                 (precision {:.0}%, recall {:.0}%).",
+                100.0 * hits as f64 / natural.len() as f64,
+                100.0 * hits as f64 / truth[0].size as f64
+            );
+        }
+        SearchDiagnosis::NotMeaningful { reason, .. } => {
+            println!("verdict: NOT MEANINGFUL — {reason}");
+            println!("(dismissing every view produces exactly this, by design)");
+        }
+    }
+    println!(
+        "views shown: {}, dismissed: {}",
+        outcome.transcript.total_views(),
+        outcome.transcript.total_dismissed()
+    );
+}

@@ -1,0 +1,102 @@
+//! Quickstart: run the interactive nearest-neighbor search end to end on a
+//! synthetic projected-cluster workload and inspect everything the session
+//! produces.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use hinn::core::{InteractiveSearch, ProjectionMode, SearchConfig};
+use hinn::data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
+use hinn::user::HeuristicUser;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // A 20-dimensional data set with 6-dimensional projected clusters —
+    // the paper's §4.1 workload, scaled down for a fast demo.
+    let spec = ProjectedClusterSpec {
+        n_points: 1500,
+        ..ProjectedClusterSpec::case1()
+    };
+    let (data, truth) = generate_projected_clusters_detailed(&spec, &mut rng);
+
+    // Query: a member of cluster 0.
+    let members = data.cluster_members(0);
+    let query = data.points[members[0]].clone();
+    println!(
+        "data: {} points in {} dims; query belongs to a projected cluster of {} points",
+        data.len(),
+        data.dim(),
+        truth[0].size
+    );
+
+    // The human side of the loop: a simulated user that reads the same
+    // density profiles a person would see (swap in `TerminalUser` to drive
+    // the session yourself — see examples/interactive_session.rs).
+    let mut user = HeuristicUser::default();
+
+    let config = SearchConfig::default()
+        .with_support(40)
+        .with_mode(ProjectionMode::AxisParallel)
+        .recording_profiles();
+    let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+
+    println!(
+        "\nsession: {} major iterations, {} views shown, {} dismissed",
+        outcome.majors_run,
+        outcome.transcript.total_views(),
+        outcome.transcript.total_dismissed()
+    );
+
+    println!("\ntop 10 neighbors (original index, meaningfulness probability, same cluster?):");
+    for &i in outcome.neighbors.iter().take(10) {
+        println!(
+            "  #{i:<5} P = {:.3}   {}",
+            outcome.probabilities[i],
+            if data.labels[i] == Some(0) {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+    }
+
+    match &outcome.diagnosis {
+        hinn::core::SearchDiagnosis::Meaningful {
+            natural_k,
+            gap,
+            top_mean,
+        } => {
+            println!(
+                "\ndiagnosis: MEANINGFUL — natural neighbor set of {natural_k} points \
+                 (probability cliff of {gap:.2}, top mean {top_mean:.2})"
+            );
+            let natural = outcome.natural_neighbors().expect("meaningful");
+            let hits = natural
+                .iter()
+                .filter(|i| data.labels[**i] == Some(0))
+                .count();
+            println!(
+                "natural set precision vs ground-truth cluster: {hits}/{} = {:.1}%",
+                natural.len(),
+                100.0 * hits as f64 / natural.len() as f64
+            );
+        }
+        hinn::core::SearchDiagnosis::NotMeaningful { reason, .. } => {
+            println!("\ndiagnosis: NOT meaningful — {reason}");
+        }
+    }
+
+    // Why is the top neighbor a neighbor? The session can explain itself.
+    // (Skip the query's own point — its distance is trivially zero.)
+    let top = *outcome
+        .neighbors
+        .iter()
+        .find(|&&i| i != members[0])
+        .expect("a non-query neighbor");
+    let explanation = hinn::core::explain_neighbor(&outcome, &data.points, &query, top);
+    println!("\n{}", hinn::core::explanation_text(&explanation));
+}

@@ -1,0 +1,60 @@
+//! # hinn — Human-computer Interactive Nearest Neighbor search
+//!
+//! A from-scratch Rust reproduction of
+//! *Charu C. Aggarwal, "Towards Meaningful High-Dimensional Nearest Neighbor
+//! Search by Human-Computer Interaction", ICDE 2002.*
+//!
+//! This facade crate re-exports every subsystem of the workspace under one
+//! roof, so downstream users can depend on `hinn` alone:
+//!
+//! * [`linalg`] — dense vectors/matrices, Jacobi eigensolver, orthonormal
+//!   subspaces and projections.
+//! * [`kde`] — Gaussian kernel density estimation on 2-D grids (fixed and
+//!   adaptive bandwidths), density connectivity (Def. 2.2), iso-density
+//!   contours, lateral density plots, 1-D marginals.
+//! * [`data`] — synthetic projected-cluster workloads, uniform/noise data,
+//!   simulated UCI datasets *and* parsers for the real UCI files, feature
+//!   scaling, CSV I/O.
+//! * [`user`] — the user-model abstraction: simulated users (heuristic,
+//!   polygonal, noisy, oracle, scripted), a real terminal-interactive
+//!   user, and session recording/replay.
+//! * [`viz`] — ASCII/ANSI heatmaps, sparklines, and dependency-free SVG
+//!   rendering of scatter plots, heatmaps, and isometric density surfaces.
+//! * [`baselines`] — exact k-NN under L_p metrics, k-NN classification,
+//!   automated projected-NN and distinctiveness-sensitive baselines, and
+//!   the VA-file index.
+//! * [`metrics`] — precision/recall, accuracy, relative contrast and
+//!   ε-instability, rank agreement, steep-drop (natural neighbor count)
+//!   analysis.
+//! * [`core`] — the interactive search system itself (Figs. 2–8 of the
+//!   paper): graded query-centered projections, visual profiles, preference
+//!   counts, meaningfulness quantification, meaninglessness diagnosis,
+//!   batch evaluation, per-neighbor explanations, and session reports.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hinn::core::{InteractiveSearch, SearchConfig};
+//! use hinn::data::projected::{ProjectedClusterSpec, generate_projected_clusters};
+//! use hinn::user::HeuristicUser;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let spec = ProjectedClusterSpec::small_test();
+//! let data = generate_projected_clusters(&spec, &mut rng);
+//! let query = data.points[data.cluster_members(0)[0]].clone();
+//!
+//! let config = SearchConfig::default().with_support(20);
+//! let mut user = HeuristicUser::default();
+//! let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+//! assert!(!outcome.neighbors.is_empty());
+//! ```
+
+pub use hinn_baselines as baselines;
+pub use hinn_core as core;
+pub use hinn_data as data;
+pub use hinn_kde as kde;
+pub use hinn_linalg as linalg;
+pub use hinn_metrics as metrics;
+pub use hinn_user as user;
+pub use hinn_viz as viz;

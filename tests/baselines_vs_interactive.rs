@@ -1,0 +1,120 @@
+//! Integration tests pitting the interactive system against the automated
+//! baselines on workloads where the paper predicts a specific ordering.
+
+use hinn::baselines::{knn_indices, projected_knn, Metric, ProjectedNnConfig};
+use hinn::core::{InteractiveSearch, ProjectionMode, SearchConfig};
+use hinn::data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
+use hinn::metrics::{relative_contrast, PrecisionRecall};
+use hinn::user::HeuristicUser;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload() -> (hinn::data::Dataset, Vec<usize>, Vec<f64>) {
+    let spec = ProjectedClusterSpec {
+        n_points: 1500,
+        dim: 16,
+        n_clusters: 4,
+        cluster_dim: 5,
+        ..ProjectedClusterSpec::small_test()
+    };
+    let mut rng = StdRng::seed_from_u64(23);
+    let (mut data, _truth) = generate_projected_clusters_detailed(&spec, &mut rng);
+    let members = data.cluster_members(0);
+    let query = data.points[members[0]].clone();
+    // Make the query external (remove its own row) so distance statistics
+    // like relative contrast are well-defined (min distance > 0).
+    data.points.remove(members[0]);
+    data.labels.remove(members[0]);
+    let members = data.cluster_members(0);
+    (data, members, query)
+}
+
+#[test]
+fn interactive_beats_full_dimensional_l2_on_subspace_clusters() {
+    let (data, members, query) = workload();
+    let k = members.len();
+
+    let l2 = knn_indices(&data.points, &query, k, Metric::L2);
+    let l2_pr = PrecisionRecall::compute(&l2, &members);
+
+    let mut user = HeuristicUser::default();
+    let outcome = InteractiveSearch::new(
+        SearchConfig::default()
+            .with_support(25)
+            .with_mode(ProjectionMode::AxisParallel),
+    )
+    .run(&data.points, &query, &mut user);
+    let set = outcome
+        .natural_neighbors()
+        .unwrap_or_else(|| outcome.neighbors.clone());
+    let inter_pr = PrecisionRecall::compute(&set, &members);
+
+    assert!(
+        inter_pr.f1() > l2_pr.f1() + 0.1,
+        "interactive F1 {:.2} should clearly beat full-dim L2 {:.2}",
+        inter_pr.f1(),
+        l2_pr.f1()
+    );
+}
+
+#[test]
+fn projected_nn_sits_between_l2_and_interactive() {
+    // The paper positions [15] as the automated middle ground: better than
+    // full-dimensional L2 (it finds one discriminating projection), weaker
+    // than the multi-projection interactive process.
+    let (data, members, query) = workload();
+    let k = members.len();
+
+    let l2_hits = knn_indices(&data.points, &query, k, Metric::L2)
+        .iter()
+        .filter(|i| members.contains(i))
+        .count();
+    let pnn = projected_knn(
+        &data.points,
+        &query,
+        k,
+        &ProjectedNnConfig {
+            support: 40,
+            proj_dim: 5,
+            refine_iters: 3,
+        },
+    );
+    let pnn_hits = pnn.neighbors.iter().filter(|i| members.contains(i)).count();
+    assert!(
+        pnn_hits > l2_hits,
+        "projected NN ({pnn_hits}) should beat full-dim L2 ({l2_hits})"
+    );
+}
+
+#[test]
+fn contrast_is_restored_inside_the_discovered_projection() {
+    // §1's stability argument: the full-dimensional distance distribution
+    // has low relative contrast, while the projection the interactive
+    // system shows the user has much higher contrast around the query.
+    let (data, members, query) = workload();
+    let full_contrast = relative_contrast(&data.points, &query);
+
+    let mut user = HeuristicUser::default();
+    let config = SearchConfig {
+        max_major_iterations: 1,
+        min_major_iterations: 1,
+        record_profiles: true,
+        ..SearchConfig::default()
+            .with_support(25)
+            .with_mode(ProjectionMode::AxisParallel)
+    };
+    let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+    // Contrast in the first (best-graded) projection, restricted to the
+    // query cluster vs everything: distance from the query to all points in
+    // the 2-d view.
+    let first = &outcome.transcript.majors[0].minors[0];
+    let profile = first.profile.as_ref().expect("recorded");
+    let proj_points: Vec<Vec<f64>> = profile.points.iter().map(|p| p.to_vec()).collect();
+    let proj_contrast = relative_contrast(&proj_points, &profile.query.to_vec());
+
+    assert!(
+        proj_contrast > 2.0 * full_contrast,
+        "projection should restore contrast: {proj_contrast:.2} vs full-dim {full_contrast:.2}"
+    );
+    let _ = members;
+}

@@ -1,0 +1,80 @@
+//! Integration tests for reproducibility (seeded determinism across the
+//! whole pipeline) and dataset I/O round-trips.
+
+use hinn::core::{InteractiveSearch, ProjectionMode, SearchConfig};
+use hinn::data::csv::{load_csv, save_csv};
+use hinn::data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
+use hinn::user::HeuristicUser;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_once(seed: u64) -> (Vec<usize>, Vec<f64>) {
+    let spec = ProjectedClusterSpec {
+        n_points: 600,
+        dim: 8,
+        n_clusters: 2,
+        cluster_dim: 4,
+        ..ProjectedClusterSpec::small_test()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (data, _truth) = generate_projected_clusters_detailed(&spec, &mut rng);
+    let query = data.points[data.cluster_members(0)[0]].clone();
+    let mut user = HeuristicUser::default();
+    let outcome = InteractiveSearch::new(
+        SearchConfig::default()
+            .with_support(15)
+            .with_mode(ProjectionMode::AxisParallel),
+    )
+    .run(&data.points, &query, &mut user);
+    (outcome.neighbors, outcome.probabilities)
+}
+
+#[test]
+fn whole_pipeline_is_deterministic_under_a_seed() {
+    let (n1, p1) = run_once(42);
+    let (n2, p2) = run_once(42);
+    assert_eq!(n1, n2, "neighbor ranking must be reproducible");
+    assert_eq!(p1, p2, "probabilities must be reproducible");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let (_, p1) = run_once(42);
+    let (_, p2) = run_once(43);
+    assert_ne!(p1, p2, "different data must give different probabilities");
+}
+
+#[test]
+fn dataset_roundtrips_through_csv_and_search_agrees() {
+    let spec = ProjectedClusterSpec {
+        n_points: 300,
+        dim: 6,
+        n_clusters: 2,
+        cluster_dim: 3,
+        ..ProjectedClusterSpec::small_test()
+    };
+    let mut rng = StdRng::seed_from_u64(77);
+    let (data, _truth) = generate_projected_clusters_detailed(&spec, &mut rng);
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("hinn_it_roundtrip_{}.csv", std::process::id()));
+    save_csv(&data, &path).expect("save");
+    let loaded = load_csv("reloaded", &path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(loaded.points, data.points);
+    assert_eq!(loaded.labels, data.labels);
+
+    // Identical data → identical search outcome.
+    let query = data.points[data.cluster_members(0)[0]].clone();
+    let config = SearchConfig {
+        max_major_iterations: 1,
+        min_major_iterations: 1,
+        ..SearchConfig::default().with_support(10)
+    };
+    let mut u1 = HeuristicUser::default();
+    let r1 = InteractiveSearch::new(config.clone()).run(&data.points, &query, &mut u1);
+    let mut u2 = HeuristicUser::default();
+    let r2 = InteractiveSearch::new(config).run(&loaded.points, &query, &mut u2);
+    assert_eq!(r1.neighbors, r2.neighbors);
+}

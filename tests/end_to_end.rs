@@ -1,0 +1,230 @@
+//! Cross-crate integration tests: the full interactive pipeline from data
+//! generation through search, diagnosis, and evaluation.
+
+use hinn::core::{InteractiveSearch, ProjectionMode, SearchConfig, SearchDiagnosis};
+use hinn::data::projected::{
+    generate_projected_clusters_detailed, Orientation, ProjectedClusterSpec,
+};
+use hinn::data::uniform::uniform_hypercube;
+use hinn::kde::polygon::HalfPlane;
+use hinn::metrics::PrecisionRecall;
+use hinn::user::{HeuristicUser, OracleUser, ScriptedUser, UserResponse};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn small_spec() -> ProjectedClusterSpec {
+    ProjectedClusterSpec {
+        n_points: 800,
+        dim: 10,
+        n_clusters: 3,
+        cluster_dim: 4,
+        ..ProjectedClusterSpec::small_test()
+    }
+}
+
+#[test]
+fn heuristic_session_recovers_planted_cluster() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let (data, _truth) = generate_projected_clusters_detailed(&small_spec(), &mut rng);
+    let members = data.cluster_members(0);
+    let query = data.points[members[0]].clone();
+
+    let mut user = HeuristicUser::default();
+    let outcome = InteractiveSearch::new(
+        SearchConfig::default()
+            .with_support(20)
+            .with_mode(ProjectionMode::AxisParallel),
+    )
+    .run(&data.points, &query, &mut user);
+
+    let set = outcome
+        .natural_neighbors()
+        .unwrap_or_else(|| outcome.neighbors.clone());
+    let pr = PrecisionRecall::compute(&set, &members);
+    assert!(
+        pr.precision > 0.6,
+        "precision too low: {} (set size {})",
+        pr.precision,
+        set.len()
+    );
+    // Cluster members must decisively outrank the background.
+    let mean_member: f64 = members
+        .iter()
+        .map(|&i| outcome.probabilities[i])
+        .sum::<f64>()
+        / members.len() as f64;
+    let bg: Vec<usize> = (0..data.len()).filter(|i| !members.contains(i)).collect();
+    let mean_bg: f64 = bg.iter().map(|&i| outcome.probabilities[i]).sum::<f64>() / bg.len() as f64;
+    assert!(
+        mean_member > mean_bg + 0.25,
+        "member P {mean_member:.2} vs background {mean_bg:.2}"
+    );
+}
+
+#[test]
+fn uniform_data_is_diagnosed_not_meaningful() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let data = uniform_hypercube(800, 12, 100.0, &mut rng);
+    let query: Vec<f64> = (0..12).map(|_| rng.gen_range(20.0..80.0)).collect();
+
+    let mut user = HeuristicUser::default();
+    let outcome = InteractiveSearch::new(SearchConfig::default().with_support(15)).run(
+        &data.points,
+        &query,
+        &mut user,
+    );
+    assert!(
+        !outcome.diagnosis.is_meaningful(),
+        "uniform data must not be meaningful: {:?}",
+        outcome.diagnosis
+    );
+    assert!(outcome.natural_neighbors().is_none());
+    // Dismissal should dominate the transcript.
+    let total = outcome.transcript.total_views();
+    let dismissed = outcome.transcript.total_dismissed();
+    assert!(
+        dismissed * 2 > total,
+        "expected mostly dismissed views: {dismissed}/{total}"
+    );
+}
+
+#[test]
+fn oracle_user_is_an_upper_bound_for_the_heuristic() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let (data, _truth) = generate_projected_clusters_detailed(&small_spec(), &mut rng);
+    let members = data.cluster_members(1);
+    let query = data.points[members[0]].clone();
+    let config = SearchConfig::default()
+        .with_support(20)
+        .with_mode(ProjectionMode::AxisParallel);
+
+    let run = |user: &mut dyn hinn::user::UserModel| {
+        let outcome = InteractiveSearch::new(config.clone()).run(&data.points, &query, user);
+        let set = outcome
+            .natural_neighbors()
+            .unwrap_or_else(|| outcome.neighbors.clone());
+        PrecisionRecall::compute(&set, &members).f1()
+    };
+    let mut oracle = OracleUser::new(members.iter().copied());
+    let oracle_f1 = run(&mut oracle);
+    let mut heuristic = HeuristicUser::default();
+    let heuristic_f1 = run(&mut heuristic);
+    assert!(
+        oracle_f1 + 0.15 >= heuristic_f1,
+        "oracle ({oracle_f1:.2}) should not be far below heuristic ({heuristic_f1:.2})"
+    );
+    assert!(oracle_f1 > 0.5, "oracle should do well: {oracle_f1:.2}");
+}
+
+#[test]
+fn scripted_all_discard_returns_not_meaningful_and_zero_probabilities() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let (data, _truth) = generate_projected_clusters_detailed(&small_spec(), &mut rng);
+    let query = data.points[0].clone();
+    let mut user = ScriptedUser::new([]);
+    let config = SearchConfig {
+        max_major_iterations: 2,
+        min_major_iterations: 1,
+        ..SearchConfig::default().with_support(15)
+    };
+    let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+    assert!(!outcome.diagnosis.is_meaningful());
+    assert!(outcome.probabilities.iter().all(|&p| p == 0.0));
+    // Fallback ranking still returns the requested number of neighbors.
+    assert_eq!(outcome.neighbors.len(), outcome.effective_support);
+}
+
+#[test]
+fn polygon_responses_flow_through_the_search() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let (data, _truth) = generate_projected_clusters_detailed(&small_spec(), &mut rng);
+    let query = data.points[data.cluster_members(0)[0]].clone();
+    // A half-plane that keeps everything: every view picks all points, so
+    // every point survives with identical counts → no discrimination.
+    let keep_all = UserResponse::Polygon(vec![HalfPlane::new(1.0, 0.0, 1e9)]);
+    let mut user = ScriptedUser::new(std::iter::repeat(keep_all).take(100))
+        .with_fallback(UserResponse::Discard);
+    let config = SearchConfig {
+        max_major_iterations: 2,
+        min_major_iterations: 1,
+        ..SearchConfig::default().with_support(15)
+    };
+    let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+    // Picking everything every time gives every point the same count; the
+    // variance of the null is 0 → probabilities all zero → not meaningful.
+    assert!(!outcome.diagnosis.is_meaningful());
+}
+
+#[test]
+fn arbitrary_mode_handles_oblique_clusters() {
+    let spec = ProjectedClusterSpec {
+        n_points: 1200,
+        dim: 10,
+        n_clusters: 2,
+        cluster_dim: 4,
+        orientation: Orientation::Arbitrary,
+        ..ProjectedClusterSpec::small_test()
+    };
+    let mut rng = StdRng::seed_from_u64(13);
+    let (data, _truth) = generate_projected_clusters_detailed(&spec, &mut rng);
+    let members = data.cluster_members(0);
+    let query = data.points[members[0]].clone();
+    let mut user = HeuristicUser::default();
+    let outcome = InteractiveSearch::new(
+        SearchConfig::default()
+            .with_support(80)
+            .with_mode(ProjectionMode::Arbitrary),
+    )
+    .run(&data.points, &query, &mut user);
+    let set = outcome
+        .natural_neighbors()
+        .unwrap_or_else(|| outcome.neighbors.clone());
+    let pr = PrecisionRecall::compute(&set, &members);
+    assert!(
+        pr.precision > 0.5,
+        "oblique cluster precision too low: {:.2}",
+        pr.precision
+    );
+}
+
+#[test]
+fn transcript_is_complete_and_consistent() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let (data, _truth) = generate_projected_clusters_detailed(&small_spec(), &mut rng);
+    let query = data.points[data.cluster_members(0)[0]].clone();
+    let config = SearchConfig {
+        max_major_iterations: 2,
+        min_major_iterations: 2,
+        record_profiles: true,
+        ..SearchConfig::default().with_support(15)
+    };
+    let mut user = HeuristicUser::default();
+    let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+
+    assert_eq!(outcome.transcript.majors.len(), outcome.majors_run);
+    for (mi, major) in outcome.transcript.majors.iter().enumerate() {
+        assert!(major.n_points_after <= major.n_points_before);
+        // d = 10 → 5 minor iterations.
+        assert_eq!(major.minors.len(), 5);
+        for (vi, minor) in major.minors.iter().enumerate() {
+            assert_eq!(minor.major, mi);
+            assert_eq!(minor.minor, vi);
+            assert_eq!(minor.projection.dim(), 2);
+            let profile = minor.profile.as_ref().expect("recorded");
+            assert_eq!(profile.points.len(), major.n_points_before);
+        }
+        // The d/2 projections of a major iteration are mutually orthogonal.
+        for a in 0..major.minors.len() {
+            for b in (a + 1)..major.minors.len() {
+                for ea in major.minors[a].projection.basis() {
+                    for eb in major.minors[b].projection.basis() {
+                        assert!(
+                            hinn::linalg::vector::dot(ea, eb).abs() < 1e-6,
+                            "projections {a} and {b} not orthogonal"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Integration test: a recorded interactive session replays to the exact
+//! same outcome — the audit/regression feature of `hinn::user::recording`.
+
+use hinn::core::{InteractiveSearch, ProjectionMode, SearchConfig};
+use hinn::data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
+use hinn::user::{session_from_string, session_to_string, HeuristicUser, RecordingUser};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn recorded_session_replays_identically() {
+    let spec = ProjectedClusterSpec {
+        n_points: 600,
+        dim: 8,
+        n_clusters: 2,
+        cluster_dim: 4,
+        ..ProjectedClusterSpec::small_test()
+    };
+    let mut rng = StdRng::seed_from_u64(21);
+    let (data, _truth) = generate_projected_clusters_detailed(&spec, &mut rng);
+    let query = data.points[data.cluster_members(0)[0]].clone();
+    let config = SearchConfig::default()
+        .with_support(15)
+        .with_mode(ProjectionMode::AxisParallel);
+
+    // Live session with a recorder around the simulated human.
+    let mut recorder = RecordingUser::new(HeuristicUser::default());
+    let live = InteractiveSearch::new(config.clone()).run(&data.points, &query, &mut recorder);
+    let (_, log) = recorder.into_parts();
+    assert_eq!(log.len(), live.transcript.total_views());
+
+    // Serialize → parse → replay.
+    let text = session_to_string(&log);
+    let mut replay = session_from_string(&text).expect("parse recorded session");
+    let replayed = InteractiveSearch::new(config).run(&data.points, &query, &mut replay);
+
+    assert_eq!(replayed.neighbors, live.neighbors);
+    assert_eq!(replayed.probabilities, live.probabilities);
+    assert_eq!(replayed.majors_run, live.majors_run);
+    assert_eq!(
+        replayed.diagnosis.is_meaningful(),
+        live.diagnosis.is_meaningful()
+    );
+    // Per-view picks agree too.
+    for (a, b) in live
+        .transcript
+        .iter_minors()
+        .zip(replayed.transcript.iter_minors())
+    {
+        assert_eq!(a.n_picked, b.n_picked);
+        assert_eq!(a.response, b.response);
+    }
+}
