@@ -1,7 +1,13 @@
 //! Exact k-nearest-neighbor linear scan under Minkowski metrics.
+//!
+//! The distance scan is the O(N·d) hot loop; the `*_with` variants spread
+//! it over a [`Parallelism`] budget with `hinn-par`'s fixed chunks. Each
+//! distance is a pure function of its point, so the scored array — and the
+//! selection made from it — is identical for every thread count.
 
 use hinn_linalg::vector::lp_dist;
-use hinn_linalg::Subspace;
+use hinn_linalg::{Parallelism, Subspace};
+use hinn_par::fill_chunks;
 
 /// A Minkowski distance metric.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -40,19 +46,20 @@ impl Metric {
 /// assert_eq!(knn_indices(&points, &[0.4], 2, Metric::L2), vec![0, 2]);
 /// ```
 pub fn knn_indices(points: &[Vec<f64>], query: &[f64], k: usize, metric: Metric) -> Vec<usize> {
-    let mut scored: Vec<(f64, usize)> = points
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (metric.dist(p, query), i))
-        .collect();
-    let k = k.min(scored.len());
-    // Partial selection then sort of the head — O(N + k log k).
-    scored.select_nth_unstable_by(k.saturating_sub(1), |a, b| {
-        a.partial_cmp(b).expect("NaN distance")
-    });
-    let mut head: Vec<(f64, usize)> = scored[..k].to_vec();
-    head.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
-    head.into_iter().map(|(_, i)| i).collect()
+    knn_indices_with(Parallelism::serial(), points, query, k, metric)
+}
+
+/// [`knn_indices`] with an explicit thread budget for the distance scan.
+/// Identical results for every budget (each distance is a pure function of
+/// its point; the selection runs on the calling thread).
+pub fn knn_indices_with(
+    par: Parallelism,
+    points: &[Vec<f64>],
+    query: &[f64],
+    k: usize,
+    metric: Metric,
+) -> Vec<usize> {
+    select_k(scan_distances(par, points, |p| metric.dist(p, query)), k)
 }
 
 /// k-NN under the Euclidean metric *inside a subspace* (`Pdist` of §1.3).
@@ -62,11 +69,41 @@ pub fn knn_indices_in_subspace(
     k: usize,
     subspace: &Subspace,
 ) -> Vec<usize> {
-    let mut scored: Vec<(f64, usize)> = points
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (subspace.projected_distance(p, query), i))
-        .collect();
+    knn_indices_in_subspace_with(Parallelism::serial(), points, query, k, subspace)
+}
+
+/// [`knn_indices_in_subspace`] with an explicit thread budget for the
+/// projected-distance scan. Identical results for every budget.
+pub fn knn_indices_in_subspace_with(
+    par: Parallelism,
+    points: &[Vec<f64>],
+    query: &[f64],
+    k: usize,
+    subspace: &Subspace,
+) -> Vec<usize> {
+    select_k(
+        scan_distances(par, points, |p| subspace.projected_distance(p, query)),
+        k,
+    )
+}
+
+/// Score every point with `dist`, chunked over the thread budget.
+fn scan_distances<F>(par: Parallelism, points: &[Vec<f64>], dist: F) -> Vec<(f64, usize)>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    let mut scored: Vec<(f64, usize)> = vec![(0.0, 0); points.len()];
+    fill_chunks(par, &mut scored, |start, slice| {
+        for (off, slot) in slice.iter_mut().enumerate() {
+            let i = start + off;
+            *slot = (dist(&points[i]), i);
+        }
+    });
+    scored
+}
+
+/// Partial selection then sort of the head — O(N + k log k).
+fn select_k(mut scored: Vec<(f64, usize)>, k: usize) -> Vec<usize> {
     let k = k.min(scored.len());
     scored.select_nth_unstable_by(k.saturating_sub(1), |a, b| {
         a.partial_cmp(b).expect("NaN distance")

@@ -33,6 +33,9 @@ pub mod vafile;
 
 pub use classifier::knn_classify;
 pub use distinctiveness::distinctiveness_knn;
-pub use knn::{knn_indices, knn_indices_in_subspace, Metric};
+pub use hinn_par::Parallelism;
+pub use knn::{
+    knn_indices, knn_indices_in_subspace, knn_indices_in_subspace_with, knn_indices_with, Metric,
+};
 pub use projected_nn::{projected_knn, ProjectedNnConfig};
 pub use vafile::{VaFile, VaQueryStats};

@@ -189,7 +189,7 @@ mod tests {
             proj_dim: 3,
             refine_iters: 2,
         };
-        let res = projected_knn(&pts, &vec![50.0; 6], 5, &cfg);
+        let res = projected_knn(&pts, &[50.0; 6], 5, &cfg);
         assert_eq!(res.subspace.dim(), 3);
         assert_eq!(res.neighbors.len(), 5);
     }
@@ -200,7 +200,7 @@ mod tests {
         let (pts, _) = planted(10, 10);
         projected_knn(
             &pts,
-            &vec![0.0; 6],
+            &[0.0; 6],
             3,
             &ProjectedNnConfig {
                 support: 10,

@@ -17,6 +17,7 @@
 //! implementation also serves the Criterion benches comparing scan vs
 //! filter-and-refine cost.
 
+use hinn_par::{fill_chunks, Parallelism};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -116,8 +117,25 @@ impl VaFile {
     ///
     /// # Panics
     /// Panics on query dimensionality mismatch.
-    #[allow(clippy::needless_range_loop)] // index loops mirror the grid math
     pub fn knn(&self, query: &[f64], k: usize) -> (Vec<usize>, VaQueryStats) {
+        self.knn_with(Parallelism::serial(), query, k)
+    }
+
+    /// [`VaFile::knn`] with an explicit thread budget for the phase-1
+    /// filter scan (the O(N·d) pass computing per-point lower/upper
+    /// bounds). Each bound pair is a pure function of its signature, so
+    /// the bounds — and the refine phase driven by them — are identical
+    /// for every budget.
+    ///
+    /// # Panics
+    /// Panics on query dimensionality mismatch.
+    #[allow(clippy::needless_range_loop)] // index loops mirror the grid math
+    pub fn knn_with(
+        &self,
+        par: Parallelism,
+        query: &[f64],
+        k: usize,
+    ) -> (Vec<usize>, VaQueryStats) {
         assert_eq!(query.len(), self.dim, "VaFile: query dimensionality");
         let n = self.points.len();
         let k = k.min(n);
@@ -155,21 +173,25 @@ impl VaFile {
             }
         }
 
-        // Phase 1: bounds per point (no sort — one pass computes both
-        // bounds and collects the lower bounds for the pruning threshold).
-        let mut lowers = vec![0.0f64; n];
-        let mut uppers = vec![0.0f64; n];
-        for i in 0..n {
-            let sig = &self.cells[i * self.dim..(i + 1) * self.dim];
-            let mut l = 0.0;
-            let mut h = 0.0;
-            for (j, &c) in sig.iter().enumerate() {
-                l += lo[j * cells + c as usize];
-                h += hi[j * cells + c as usize];
+        // Phase 1: bounds per point, chunked over the thread budget (no
+        // sort — one pass computes both bounds and collects the lower
+        // bounds for the pruning threshold).
+        let mut bound_pairs = vec![(0.0f64, 0.0f64); n];
+        fill_chunks(par, &mut bound_pairs, |start, slice| {
+            for (off, slot) in slice.iter_mut().enumerate() {
+                let i = start + off;
+                let sig = &self.cells[i * self.dim..(i + 1) * self.dim];
+                let mut l = 0.0;
+                let mut h = 0.0;
+                for (j, &c) in sig.iter().enumerate() {
+                    l += lo[j * cells + c as usize];
+                    h += hi[j * cells + c as usize];
+                }
+                *slot = (l, h);
             }
-            lowers[i] = l;
-            uppers[i] = h;
-        }
+        });
+        let lowers: Vec<f64> = bound_pairs.iter().map(|&(l, _)| l).collect();
+        let uppers: Vec<f64> = bound_pairs.iter().map(|&(_, h)| h).collect();
         // The k-th smallest *upper* bound prunes everything with a larger
         // lower bound: any true k-NN member has exact ≤ its upper ≤ that
         // threshold, hence lower ≤ threshold, so no true neighbor is lost.

@@ -5,8 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hinn_kde::{
-    adaptive_bandwidths, connected_cells, estimate_grid, estimate_grid_adaptive, extract_contours,
-    Bandwidth2D, CornerRule, GridSpec, VisualProfile,
+    adaptive_bandwidths, connected_cells, estimate_grid, estimate_grid_adaptive,
+    estimate_grid_with, extract_contours, Bandwidth2D, CornerRule, GridSpec, Parallelism,
+    VisualProfile,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,6 +50,24 @@ fn bench_grid_estimation(c: &mut Criterion) {
             b.iter(|| estimate_grid(black_box(&pts), bw, spec))
         });
     }
+    group.finish();
+}
+
+/// Serial vs parallel grid estimation at a size where threads pay off
+/// (N = 50k clears `hinn_par::SERIAL_CUTOFF` by a wide margin). Both sides
+/// produce bit-identical grids; the comparison is pure wall-clock.
+fn bench_grid_parallel(c: &mut Criterion) {
+    let pts = points(50_000);
+    let bw = Bandwidth2D::silverman(&pts).scaled(0.3);
+    let spec = GridSpec::covering(&pts, &[], 0.15, 80);
+    let mut group = c.benchmark_group("kde_grid/serial_vs_parallel_50k");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| estimate_grid_with(Parallelism::serial(), black_box(&pts), bw, spec))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| estimate_grid_with(Parallelism::available(), black_box(&pts), bw, spec))
+    });
     group.finish();
 }
 
@@ -101,6 +120,7 @@ fn bench_adaptive_and_contours(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_grid_estimation, bench_connectivity, bench_adaptive_and_contours
+    targets = bench_grid_estimation, bench_grid_parallel, bench_connectivity,
+        bench_adaptive_and_contours
 );
 criterion_main!(benches);

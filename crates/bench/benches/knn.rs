@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hinn_baselines::{
-    distinctiveness_knn, knn_indices, projected_knn, Metric, ProjectedNnConfig, VaFile,
+    distinctiveness_knn, knn_indices, knn_indices_with, projected_knn, Metric, Parallelism,
+    ProjectedNnConfig, VaFile,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,6 +27,37 @@ fn bench_knn_scaling(c: &mut Criterion) {
             b.iter(|| knn_indices(black_box(&pts), black_box(&q), 25, Metric::L2))
         });
     }
+    group.finish();
+}
+
+/// Serial vs parallel distance scan at N = 100k (well past
+/// `hinn_par::SERIAL_CUTOFF`): identical answers, wall-clock only.
+fn bench_knn_parallel(c: &mut Criterion) {
+    let (pts, q) = data(100_000, 20);
+    let mut group = c.benchmark_group("knn_scan/serial_vs_parallel_100k");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            knn_indices_with(
+                Parallelism::serial(),
+                black_box(&pts),
+                black_box(&q),
+                25,
+                Metric::L2,
+            )
+        })
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| {
+            knn_indices_with(
+                Parallelism::available(),
+                black_box(&pts),
+                black_box(&q),
+                25,
+                Metric::L2,
+            )
+        })
+    });
     group.finish();
 }
 
@@ -91,9 +123,38 @@ fn bench_vafile(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial vs parallel VA-file phase-1 filter at N = 60k clustered points.
+fn bench_vafile_parallel(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut pts: Vec<Vec<f64>> = Vec::new();
+    for _ in 0..60 {
+        let center: Vec<f64> = (0..20).map(|_| rng.gen_range(0.0..100.0)).collect();
+        for _ in 0..1000 {
+            pts.push(
+                center
+                    .iter()
+                    .map(|c| c + rng.gen_range(-2.0..2.0))
+                    .collect(),
+            );
+        }
+    }
+    let q: Vec<f64> = pts[500].clone();
+    let va = VaFile::build(pts, 6);
+    let mut group = c.benchmark_group("vafile_knn/serial_vs_parallel_60k");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| va.knn_with(Parallelism::serial(), black_box(&q), 25))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| va.knn_with(Parallelism::available(), black_box(&q), 25))
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_knn_scaling, bench_metrics, bench_automated_baselines, bench_vafile
+    targets = bench_knn_scaling, bench_knn_parallel, bench_metrics, bench_automated_baselines,
+        bench_vafile, bench_vafile_parallel
 );
 criterion_main!(benches);

@@ -3,7 +3,9 @@
 //! dominate the query-cluster subspace determination of Fig. 4).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hinn_linalg::{covariance_matrix, jacobi_eigen, Matrix, Subspace};
+use hinn_linalg::{
+    covariance_matrix, covariance_matrix_with, jacobi_eigen, Matrix, Parallelism, Subspace,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -46,6 +48,24 @@ fn bench_covariance(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial vs parallel covariance at N = 50k × d = 20 (the PCA input size
+/// where threads pay off). Both sides return bit-identical matrices.
+fn bench_covariance_parallel(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let pts: Vec<Vec<f64>> = (0..50_000)
+        .map(|_| (0..20).map(|_| rng.gen_range(0.0..100.0)).collect())
+        .collect();
+    let mut group = c.benchmark_group("linalg_covariance/serial_vs_parallel_50k");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| covariance_matrix_with(Parallelism::serial(), black_box(&pts)))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| covariance_matrix_with(Parallelism::available(), black_box(&pts)))
+    });
+    group.finish();
+}
+
 fn bench_subspace_ops(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let d = 20;
@@ -67,6 +87,6 @@ fn bench_subspace_ops(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_eigen, bench_covariance, bench_subspace_ops
+    targets = bench_eigen, bench_covariance, bench_covariance_parallel, bench_subspace_ops
 );
 criterion_main!(benches);

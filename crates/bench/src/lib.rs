@@ -49,31 +49,38 @@ pub fn sample_labeled_queries(data: &hinn_data::Dataset, n: usize, seed: u64) ->
     out
 }
 
-/// Map `f` over `items` with one scoped thread per item, preserving order.
-/// The experiment binaries use this to evaluate independent queries in
+/// Map `f` over `items` on scoped worker threads, preserving order. The
+/// experiment binaries use this to evaluate independent queries in
 /// parallel (each query's interactive session is CPU-bound and touches
-/// only shared read-only data).
+/// only shared read-only data). The thread budget comes from
+/// [`hinn_par::Parallelism::from_env`], so `HINN_THREADS` pins it.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let results: Vec<parking_lot::Mutex<Option<R>>> = items
-        .iter()
-        .map(|_| parking_lot::Mutex::new(None))
-        .collect();
-    crossbeam::scope(|scope| {
-        for (item, slot) in items.iter().zip(&results) {
-            scope.spawn(|_| {
-                *slot.lock() = Some(f(item));
+    let workers = hinn_par::Parallelism::from_env()
+        .threads()
+        .min(items.len().max(1));
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                **slots[i].lock().expect("result slot") = Some(f(&items[i]));
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("result written"))
+        .map(|r| r.expect("result written"))
         .collect()
 }
 

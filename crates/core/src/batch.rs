@@ -10,6 +10,7 @@
 use crate::config::SearchConfig;
 use crate::diagnosis::SearchDiagnosis;
 use crate::search::{InteractiveSearch, SearchOutcome};
+use hinn_par::Parallelism;
 use hinn_user::UserModel;
 
 /// Result of one query in a batch.
@@ -50,26 +51,34 @@ impl QueryReport {
 pub struct BatchRunner<'a> {
     points: &'a [Vec<f64>],
     config: SearchConfig,
-    threads: usize,
+    budget: Parallelism,
 }
 
 impl<'a> BatchRunner<'a> {
-    /// Create a runner over `points` with the shared `config`.
+    /// Create a runner over `points` with the shared `config`. The thread
+    /// budget defaults to the config's [`SearchConfig::parallelism`].
     pub fn new(points: &'a [Vec<f64>], config: SearchConfig) -> Self {
         config.validate();
+        let budget = config.parallelism;
         Self {
             points,
             config,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            budget,
         }
     }
 
-    /// Cap the worker-thread count (default: available parallelism).
+    /// Cap the worker-thread count (default: the config's parallelism).
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads >= 1, "BatchRunner: need at least one thread");
-        self.threads = threads;
+        self.budget = Parallelism::fixed(threads);
+        self
+    }
+
+    /// Set the total thread budget. It is divided between inter-query
+    /// workers and each session's intra-query parallelism so nested
+    /// sessions never oversubscribe the machine.
+    pub fn with_parallelism(mut self, budget: Parallelism) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -80,20 +89,27 @@ impl<'a> BatchRunner<'a> {
         F: Fn() -> Box<dyn UserModel> + Sync,
     {
         let n = queries.len();
+        let workers = self.budget.threads().min(n.max(1));
+        // Each worker runs sessions whose intra-query hot paths get an
+        // equal share of the remaining budget. Results do not depend on
+        // this split (bit-identical under any Parallelism); only the
+        // schedule does.
+        let mut session_config = self.config.clone();
+        session_config.parallelism = self.budget.split(workers);
         let mut reports: Vec<Option<QueryReport>> = (0..n).map(|_| None).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let slots: Vec<std::sync::Mutex<&mut Option<QueryReport>>> =
             reports.iter_mut().map(std::sync::Mutex::new).collect();
 
         std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(n.max(1)) {
+            for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
                     let mut user = make_user();
-                    let outcome = InteractiveSearch::new(self.config.clone()).run(
+                    let outcome = InteractiveSearch::new(session_config.clone()).run(
                         self.points,
                         &queries[i],
                         user.as_mut(),
@@ -185,5 +201,24 @@ mod tests {
     fn zero_threads_panics() {
         let pts = workload();
         let _ = BatchRunner::new(&pts, config()).with_threads(0);
+    }
+
+    #[test]
+    fn nested_budget_matches_serial_budget() {
+        // A total budget split between inter-query workers and intra-query
+        // hot paths must not change any answer.
+        let pts = workload();
+        let queries: Vec<Vec<f64>> = (0..4).map(|i| pts[i * 7].clone()).collect();
+        let serial = BatchRunner::new(&pts, config())
+            .with_parallelism(Parallelism::serial())
+            .run(&queries, || Box::new(HeuristicUser::default()));
+        let budgeted = BatchRunner::new(&pts, config())
+            .with_parallelism(Parallelism::fixed(6))
+            .run(&queries, || Box::new(HeuristicUser::default()));
+        for (a, b) in serial.iter().zip(&budgeted) {
+            assert_eq!(a.neighbors, b.neighbors);
+            assert_eq!(a.majors_run, b.majors_run);
+            assert_eq!(a.views, b.views);
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! Configuration of the interactive search loop.
 
 use hinn_kde::CornerRule;
+use hinn_par::Parallelism;
 
 /// Whether projections are built from arbitrary directions (principal
 /// components of the query cluster) or restricted to the original
@@ -67,6 +68,12 @@ pub struct SearchConfig {
     /// Record every visual profile into the transcript (needed by the
     /// figure experiments; costs memory).
     pub record_profiles: bool,
+    /// Thread budget for the intra-query hot paths (KDE grids, covariance
+    /// statistics, projection scans). Results are bit-identical for every
+    /// budget (see `hinn-par`); this knob only trades wall-clock for
+    /// cores. Defaults to [`Parallelism::from_env`] (`HINN_THREADS`, else
+    /// all hardware threads).
+    pub parallelism: Parallelism,
 }
 
 impl Default for SearchConfig {
@@ -83,6 +90,7 @@ impl Default for SearchConfig {
             max_major_iterations: 6,
             projection_weights: Vec::new(),
             record_profiles: false,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -104,6 +112,12 @@ impl SearchConfig {
     /// Enable profile recording.
     pub fn recording_profiles(mut self) -> Self {
         self.record_profiles = true;
+        self
+    }
+
+    /// Set the intra-query thread budget.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -180,10 +194,12 @@ mod tests {
         let c = SearchConfig::default()
             .with_support(7)
             .with_mode(ProjectionMode::AxisParallel)
-            .recording_profiles();
+            .recording_profiles()
+            .with_parallelism(Parallelism::fixed(3));
         assert_eq!(c.support, 7);
         assert_eq!(c.projection_mode, ProjectionMode::AxisParallel);
         assert!(c.record_profiles);
+        assert_eq!(c.parallelism.threads(), 3);
     }
 
     #[test]

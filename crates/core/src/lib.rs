@@ -39,5 +39,6 @@ pub use batch::{BatchRunner, QueryReport};
 pub use config::{BandwidthMode, ProjectionMode, SearchConfig};
 pub use diagnosis::SearchDiagnosis;
 pub use explain::{explain_neighbor, explanation_text, NeighborExplanation};
+pub use hinn_par::Parallelism;
 pub use search::{InteractiveSearch, SearchOutcome};
 pub use transcript::{MinorRecord, Transcript};

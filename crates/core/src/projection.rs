@@ -10,7 +10,8 @@
 //! on each other, and the refinement lets each sharpen the other (§2.1).
 
 use crate::config::ProjectionMode;
-use hinn_linalg::{covariance_matrix, jacobi_eigen, Matrix, Subspace};
+use hinn_linalg::{covariance_matrix, jacobi_eigen, Matrix, Parallelism, Subspace};
+use hinn_par::fill_chunks;
 
 /// Result of one projection search: the 2-D projection to show the user and
 /// the complementary subspace that the remaining minor iterations must use.
@@ -57,6 +58,27 @@ pub fn query_cluster_subspace_mode(
     l: usize,
     mode: ProjectionMode,
 ) -> (Subspace, Vec<f64>) {
+    query_cluster_subspace_mode_with(
+        Parallelism::serial(),
+        current,
+        cluster_coords,
+        data_coords,
+        l,
+        mode,
+    )
+}
+
+/// [`query_cluster_subspace_mode`] with an explicit thread budget for the
+/// covariance and variance scans. Bit-identical to the serial path for
+/// every budget.
+pub fn query_cluster_subspace_mode_with(
+    par: Parallelism,
+    current: &Subspace,
+    cluster_coords: &[Vec<f64>],
+    data_coords: &[Vec<f64>],
+    l: usize,
+    mode: ProjectionMode,
+) -> (Subspace, Vec<f64>) {
     let m = current.dim();
     assert!(l >= 1 && l <= m, "query_cluster_subspace: l out of range");
     assert!(
@@ -91,16 +113,16 @@ pub fn query_cluster_subspace_mode(
             // Cross-fitted principal components: directions from each half
             // are scored on the other half.
             for (fit, score) in [(&half_a, &half_b), (&half_b, &half_a)] {
-                let eig = jacobi_eigen(&covariance_matrix(fit));
+                let eig = jacobi_eigen(&hinn_linalg::covariance_matrix_with(par, fit));
                 for i in 0..m {
                     let dir = eig.vector(i);
-                    let held_out = hinn_linalg::stats::variance_along(score, &dir);
+                    let held_out = hinn_linalg::stats::variance_along_with(par, score, &dir);
                     pool.push((dir, held_out));
                 }
             }
             // Axis candidates cannot overfit, so they are scored on the
             // full cluster sample (the lowest-variance estimate available).
-            let var = hinn_linalg::stats::coordinate_variances(cluster_coords);
+            let var = hinn_linalg::stats::coordinate_variances_with(par, cluster_coords);
             for (i, &v) in var.iter().enumerate() {
                 let mut e = vec![0.0; m];
                 e[i] = 1.0;
@@ -109,7 +131,7 @@ pub fn query_cluster_subspace_mode(
             pool
         }
         ProjectionMode::Arbitrary | ProjectionMode::AxisParallel => {
-            let var = hinn_linalg::stats::coordinate_variances(cluster_coords);
+            let var = hinn_linalg::stats::coordinate_variances_with(par, cluster_coords);
             (0..m)
                 .map(|i| {
                     let mut e = vec![0.0; m];
@@ -125,7 +147,7 @@ pub fn query_cluster_subspace_mode(
         .iter()
         .enumerate()
         .map(|(i, (dir, lambda))| {
-            let gamma = hinn_linalg::stats::variance_along(data_coords, dir).max(1e-12);
+            let gamma = hinn_linalg::stats::variance_along_with(par, data_coords, dir).max(1e-12);
             (lambda / gamma, i)
         })
         .collect();
@@ -163,6 +185,30 @@ pub fn find_query_centered_projection(
     support: usize,
     mode: ProjectionMode,
 ) -> ProjectionResult {
+    find_query_centered_projection_with(
+        Parallelism::serial(),
+        points,
+        query,
+        current,
+        support,
+        mode,
+    )
+}
+
+/// [`find_query_centered_projection`] with an explicit thread budget for
+/// the per-round projection, distance, covariance, and variance scans.
+/// Bit-identical to the serial path for every budget.
+///
+/// # Panics
+/// Panics if `current.dim() < 2` or `points` is empty.
+pub fn find_query_centered_projection_with(
+    par: Parallelism,
+    points: &[Vec<f64>],
+    query: &[f64],
+    current: &Subspace,
+    support: usize,
+    mode: ProjectionMode,
+) -> ProjectionResult {
     assert!(
         current.dim() >= 2,
         "find_query_centered_projection: need a ≥2-D search subspace"
@@ -188,7 +234,7 @@ pub fn find_query_centered_projection(
 
     let mut best: Option<(f64, ProjectionResult)> = None;
     for s in candidates {
-        let result = find_projection_with_support(points, query, current, s, mode);
+        let result = find_projection_with_support(par, points, query, current, s, mode);
         let score = if result.variance_ratios.is_empty() {
             f64::INFINITY
         } else {
@@ -203,6 +249,7 @@ pub fn find_query_centered_projection(
 
 /// One run of the Fig. 3 halving pipeline at a fixed support.
 fn find_projection_with_support(
+    par: Parallelism,
     points: &[Vec<f64>],
     query: &[f64],
     current: &Subspace,
@@ -215,15 +262,17 @@ fn find_projection_with_support(
     while lp > 2 {
         let next_l = (lp / 2).max(2);
         // Coordinates of data and query inside the current E_p.
-        let data_coords = ep.project_all(points);
+        let data_coords = ep.project_all_with(par, points);
         let q_coords = ep.project(query);
         // The s nearest points to the query within E_p (the tentative
         // query cluster N_p).
-        let mut order: Vec<(f64, usize)> = data_coords
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (hinn_linalg::vector::dist(c, &q_coords), i))
-            .collect();
+        let mut order: Vec<(f64, usize)> = vec![(0.0, 0); data_coords.len()];
+        fill_chunks(par, &mut order, |start, slice| {
+            for (off, slot) in slice.iter_mut().enumerate() {
+                let i = start + off;
+                *slot = (hinn_linalg::vector::dist(&data_coords[i], &q_coords), i);
+            }
+        });
         let keep = support.min(order.len());
         order.select_nth_unstable_by(keep.saturating_sub(1), |a, b| {
             a.partial_cmp(b).expect("NaN distance")
@@ -234,7 +283,7 @@ fn find_projection_with_support(
             .collect();
 
         let (next, r) =
-            query_cluster_subspace_mode(&ep, &cluster_coords, &data_coords, next_l, mode);
+            query_cluster_subspace_mode_with(par, &ep, &cluster_coords, &data_coords, next_l, mode);
         // Numerical degeneracies can shrink the basis; bail out with what
         // we have rather than loop forever.
         if next.dim() < 2 {

@@ -4,7 +4,7 @@ use crate::config::{BandwidthMode, SearchConfig};
 use crate::counts::PreferenceCounts;
 use crate::diagnosis::SearchDiagnosis;
 use crate::meaning::iteration_probabilities;
-use crate::projection::find_query_centered_projection;
+use crate::projection::find_query_centered_projection_with;
 use crate::transcript::{MajorRecord, MinorRecord, Transcript};
 use hinn_kde::VisualProfile;
 use hinn_linalg::Subspace;
@@ -108,6 +108,7 @@ impl InteractiveSearch {
         let n = points.len();
         let s_eff = self.config.effective_support(d).min(n);
         let n_minors = (d / 2).max(1);
+        let par = self.config.parallelism;
 
         let mut alive: Vec<usize> = (0..n).collect();
         let mut p_sum = vec![0.0f64; n];
@@ -131,29 +132,32 @@ impl InteractiveSearch {
                 if ec.dim() < 2 {
                     break;
                 }
-                let proj = find_query_centered_projection(
+                let proj = find_query_centered_projection_with(
+                    par,
                     &alive_points,
                     query,
                     &ec,
                     s_eff,
                     self.config.projection_mode,
                 );
-                let pts2d: Vec<[f64; 2]> = alive_points
-                    .iter()
-                    .map(|p| {
-                        let c = proj.projection.project(p);
-                        [c[0], c[1]]
-                    })
-                    .collect();
+                let mut pts2d: Vec<[f64; 2]> = vec![[0.0; 2]; alive_points.len()];
+                hinn_par::fill_chunks(par, &mut pts2d, |start, slice| {
+                    for (off, slot) in slice.iter_mut().enumerate() {
+                        let c = proj.projection.project(&alive_points[start + off]);
+                        *slot = [c[0], c[1]];
+                    }
+                });
                 let qc = proj.projection.project(query);
                 let profile = match self.config.bandwidth_mode {
-                    BandwidthMode::Fixed => VisualProfile::build(
+                    BandwidthMode::Fixed => VisualProfile::build_with(
+                        par,
                         pts2d,
                         [qc[0], qc[1]],
                         self.config.grid_n,
                         self.config.bandwidth_scale,
                     ),
-                    BandwidthMode::Adaptive { alpha } => VisualProfile::build_adaptive(
+                    BandwidthMode::Adaptive { alpha } => VisualProfile::build_adaptive_with(
+                        par,
                         pts2d,
                         [qc[0], qc[1]],
                         self.config.grid_n,
@@ -296,8 +300,8 @@ mod tests {
         let mut pts = Vec::new();
         for _ in 0..30 {
             let mut p: Vec<f64> = (0..8).map(|_| unif() * 100.0).collect();
-            for k in 0..3 {
-                p[k] = 50.0 + (unif() - 0.5) * 3.0;
+            for coord in p.iter_mut().take(3) {
+                *coord = 50.0 + (unif() - 0.5) * 3.0;
             }
             pts.push(p);
         }

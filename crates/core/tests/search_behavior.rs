@@ -17,8 +17,8 @@ fn planted() -> (Vec<Vec<f64>>, Vec<usize>) {
     let mut pts = Vec::new();
     for _ in 0..25 {
         let mut p: Vec<f64> = (0..6).map(|_| unif() * 100.0).collect();
-        for k in 0..3 {
-            p[k] = 50.0 + (unif() - 0.5) * 2.0;
+        for coord in p.iter_mut().take(3) {
+            *coord = 50.0 + (unif() - 0.5) * 2.0;
         }
         pts.push(p);
     }
@@ -132,7 +132,7 @@ fn two_dimensional_data_runs_a_single_minor_iteration() {
         ..SearchConfig::default().with_support(5)
     };
     let mut user = HeuristicUser::default();
-    let outcome = InteractiveSearch::new(config).run(&pts, &vec![3.0, 3.0], &mut user);
+    let outcome = InteractiveSearch::new(config).run(&pts, &[3.0, 3.0], &mut user);
     assert_eq!(
         outcome.transcript.majors[0].minors.len(),
         1,
@@ -154,7 +154,7 @@ fn duplicate_points_are_handled() {
     };
     let mut user = HeuristicUser::default();
     // Must not panic; NaN-free probabilities.
-    let outcome = InteractiveSearch::new(config).run(&pts, &vec![5.0; 4], &mut user);
+    let outcome = InteractiveSearch::new(config).run(&pts, &[5.0; 4], &mut user);
     assert!(outcome.probabilities.iter().all(|p| p.is_finite()));
 }
 
@@ -169,7 +169,7 @@ fn odd_dimensionality_gets_floor_of_d_over_2_views() {
         ..SearchConfig::default().with_support(8)
     };
     let mut user = HeuristicUser::default();
-    let outcome = InteractiveSearch::new(config).run(&pts5, &vec![50.0; 5], &mut user);
+    let outcome = InteractiveSearch::new(config).run(&pts5, &[50.0; 5], &mut user);
     // d = 5 → floor(5/2) = 2 views.
     assert_eq!(outcome.transcript.majors[0].minors.len(), 2);
 }
@@ -181,7 +181,7 @@ fn nan_data_fails_fast() {
     let mut user = HeuristicUser::default();
     let _ = InteractiveSearch::new(SearchConfig::default().with_support(1)).run(
         &pts,
-        &vec![0.0, 0.0],
+        &[0.0, 0.0],
         &mut user,
     );
 }
@@ -193,7 +193,7 @@ fn ragged_data_fails_fast() {
     let mut user = HeuristicUser::default();
     let _ = InteractiveSearch::new(SearchConfig::default().with_support(1)).run(
         &pts,
-        &vec![0.0, 0.0],
+        &[0.0, 0.0],
         &mut user,
     );
 }

@@ -21,6 +21,7 @@
 
 use crate::grid::{DensityGrid, GridSpec};
 use crate::kernel::{gaussian_kernel, Bandwidth2D};
+use hinn_par::{fill_chunks, map_reduce_chunks, Parallelism};
 
 /// Per-point bandwidth factors `λᵢ` from a pilot estimate.
 #[derive(Clone, Debug)]
@@ -45,6 +46,22 @@ pub fn adaptive_bandwidths(
     base: Bandwidth2D,
     alpha: f64,
 ) -> AdaptiveBandwidths {
+    adaptive_bandwidths_with(Parallelism::serial(), points, base, alpha)
+}
+
+/// [`adaptive_bandwidths`] with an explicit thread budget. The pilot grid,
+/// the per-point pilot densities, and the geometric-mean reduction all use
+/// the fixed-chunk schedule, so the factors are bit-identical for every
+/// budget.
+///
+/// # Panics
+/// Panics if `points` is empty or `alpha ∉ [0, 1]`.
+pub fn adaptive_bandwidths_with(
+    par: Parallelism,
+    points: &[[f64; 2]],
+    base: Bandwidth2D,
+    alpha: f64,
+) -> AdaptiveBandwidths {
     assert!(!points.is_empty(), "adaptive_bandwidths: empty point set");
     assert!(
         (0.0..=1.0).contains(&alpha),
@@ -54,17 +71,29 @@ pub fn adaptive_bandwidths(
     // Pilot densities at the data points (fixed bandwidth). A coarse grid
     // pilot keeps this O(N·p²) instead of O(N²) for large N.
     let spec = GridSpec::covering(points, &[], 0.15, 64);
-    let pilot = crate::estimate::estimate_grid(points, base, spec);
-    let dens: Vec<f64> = points
-        .iter()
-        .map(|p| pilot.interpolate(p[0], p[1]).max(1e-300))
-        .collect();
+    let pilot = crate::estimate::estimate_grid_with(par, points, base, spec);
+    let mut dens = vec![0.0f64; points.len()];
+    fill_chunks(par, &mut dens, |start, slice| {
+        for (k, d) in slice.iter_mut().enumerate() {
+            let p = points[start + k];
+            *d = pilot.interpolate(p[0], p[1]).max(1e-300);
+        }
+    });
 
-    // Geometric mean of the pilot densities.
-    let log_g = dens.iter().map(|d| d.ln()).sum::<f64>() / dens.len() as f64;
-    let g = log_g.exp();
+    // Geometric mean of the pilot densities (ordered chunked reduction).
+    let log_sum = map_reduce_chunks(
+        par,
+        dens.len(),
+        |r| dens[r].iter().map(|d| d.ln()).sum::<f64>(),
+        0.0f64,
+        |a, p| a + p,
+    );
+    let g = (log_sum / dens.len() as f64).exp();
 
-    let factors = dens.iter().map(|d| (d / g).powf(-alpha)).collect();
+    let mut factors = dens;
+    for f in &mut factors {
+        *f = (*f / g).powf(-alpha);
+    }
     AdaptiveBandwidths {
         base,
         factors,
@@ -77,8 +106,19 @@ pub fn adaptive_bandwidths(
 /// Each point contributes a product-Gaussian with its own bandwidth
 /// `(hx·λᵢ, hy·λᵢ)` (sample-point estimator: the bandwidth rides with the
 /// data point, keeping the estimate a genuine density).
-#[allow(clippy::needless_range_loop)] // index loops mirror the grid math
 pub fn estimate_grid_adaptive(
+    points: &[[f64; 2]],
+    bw: &AdaptiveBandwidths,
+    spec: GridSpec,
+) -> DensityGrid {
+    estimate_grid_adaptive_with(Parallelism::serial(), points, bw, spec)
+}
+
+/// [`estimate_grid_adaptive`] with an explicit thread budget. Same
+/// fixed-chunk partial-grid scheme as
+/// [`crate::estimate::estimate_grid_with`]: bit-identical for every budget.
+pub fn estimate_grid_adaptive_with(
+    par: Parallelism,
     points: &[[f64; 2]],
     bw: &AdaptiveBandwidths,
     spec: GridSpec,
@@ -89,17 +129,44 @@ pub fn estimate_grid_adaptive(
         "estimate_grid_adaptive: factor count mismatch"
     );
     let n = spec.n;
-    let mut values = vec![0.0; n * n];
     if points.is_empty() {
-        return DensityGrid::new(spec, values);
+        return DensityGrid::new(spec, vec![0.0; n * n]);
     }
     let inv_n = 1.0 / points.len() as f64;
+    let mut values = map_reduce_chunks(
+        par,
+        points.len(),
+        |r| accumulate_adaptive_chunk(&points[r.clone()], &bw.factors[r], bw.base, spec),
+        vec![0.0; n * n],
+        |mut acc, part| {
+            for (a, b) in acc.iter_mut().zip(&part) {
+                *a += b;
+            }
+            acc
+        },
+    );
+    for v in &mut values {
+        *v *= inv_n;
+    }
+    DensityGrid::new(spec, values)
+}
+
+/// Un-normalized adaptive kernel-sum grid of one chunk of points.
+#[allow(clippy::needless_range_loop)] // index loops mirror the grid math
+fn accumulate_adaptive_chunk(
+    points: &[[f64; 2]],
+    factors: &[f64],
+    base: Bandwidth2D,
+    spec: GridSpec,
+) -> Vec<f64> {
+    let n = spec.n;
+    let mut values = vec![0.0; n * n];
     let trunc = 6.0;
     let mut kx = vec![0.0; n];
     let mut ky = vec![0.0; n];
-    for (p, &lambda) in points.iter().zip(&bw.factors) {
-        let hx = bw.base.hx * lambda;
-        let hy = bw.base.hy * lambda;
+    for (p, &lambda) in points.iter().zip(factors) {
+        let hx = base.hx * lambda;
+        let hy = base.hy * lambda;
         let x_lo = (((p[0] - trunc * hx - spec.x0) / spec.dx).ceil().max(0.0)) as usize;
         let x_hi_f = ((p[0] + trunc * hx - spec.x0) / spec.dx).floor();
         let y_lo = (((p[1] - trunc * hy - spec.y0) / spec.dy).ceil().max(0.0)) as usize;
@@ -128,10 +195,7 @@ pub fn estimate_grid_adaptive(
             }
         }
     }
-    for v in &mut values {
-        *v *= inv_n;
-    }
-    DensityGrid::new(spec, values)
+    values
 }
 
 #[cfg(test)]

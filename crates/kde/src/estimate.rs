@@ -9,6 +9,7 @@
 
 use crate::grid::{DensityGrid, GridSpec};
 use crate::kernel::{gaussian_kernel, Bandwidth2D};
+use hinn_par::{map_reduce_chunks, Parallelism};
 
 /// Gaussian kernel support truncation, in bandwidth units. Beyond 6σ the
 /// kernel value is below 6e-9 of the peak — invisible in any profile.
@@ -17,14 +18,49 @@ const TRUNC_SIGMAS: f64 = 6.0;
 /// Evaluate the KDE of `points` on every grid point of `spec`.
 ///
 /// Returns a [`DensityGrid`]; an empty point set yields an all-zero grid.
-#[allow(clippy::needless_range_loop)] // index loops mirror the grid math
 pub fn estimate_grid(points: &[[f64; 2]], bw: Bandwidth2D, spec: GridSpec) -> DensityGrid {
+    estimate_grid_with(Parallelism::serial(), points, bw, spec)
+}
+
+/// [`estimate_grid`] with an explicit thread budget. Each fixed chunk of
+/// data points accumulates its own partial `p × p` grid; the partial grids
+/// merge elementwise in chunk order, so the result is bit-identical for
+/// every budget. Transient memory is `O(⌈N/CHUNK⌉ · p²)` during a parallel
+/// run (one partial grid per chunk).
+pub fn estimate_grid_with(
+    par: Parallelism,
+    points: &[[f64; 2]],
+    bw: Bandwidth2D,
+    spec: GridSpec,
+) -> DensityGrid {
     let n = spec.n;
-    let mut values = vec![0.0; n * n];
     if points.is_empty() {
-        return DensityGrid::new(spec, values);
+        return DensityGrid::new(spec, vec![0.0; n * n]);
     }
     let inv_n = 1.0 / points.len() as f64;
+    let mut values = map_reduce_chunks(
+        par,
+        points.len(),
+        |r| accumulate_grid_chunk(&points[r], bw, spec),
+        vec![0.0; n * n],
+        |mut acc, part| {
+            for (a, b) in acc.iter_mut().zip(&part) {
+                *a += b;
+            }
+            acc
+        },
+    );
+    for v in &mut values {
+        *v *= inv_n;
+    }
+    DensityGrid::new(spec, values)
+}
+
+/// Un-normalized kernel-sum grid of one chunk of points.
+#[allow(clippy::needless_range_loop)] // index loops mirror the grid math
+fn accumulate_grid_chunk(points: &[[f64; 2]], bw: Bandwidth2D, spec: GridSpec) -> Vec<f64> {
+    let n = spec.n;
+    let mut values = vec![0.0; n * n];
     let mut kx = vec![0.0; n];
     let mut ky = vec![0.0; n];
     for p in points {
@@ -50,10 +86,7 @@ pub fn estimate_grid(points: &[[f64; 2]], bw: Bandwidth2D, spec: GridSpec) -> De
             }
         }
     }
-    for v in &mut values {
-        *v *= inv_n;
-    }
-    DensityGrid::new(spec, values)
+    values
 }
 
 /// Inclusive index range `[lo, hi]` of grid coordinates within the truncated

@@ -32,11 +32,15 @@ pub mod marginal;
 pub mod polygon;
 pub mod profile;
 
-pub use adaptive::{adaptive_bandwidths, estimate_grid_adaptive, AdaptiveBandwidths};
+pub use adaptive::{
+    adaptive_bandwidths, adaptive_bandwidths_with, estimate_grid_adaptive,
+    estimate_grid_adaptive_with, AdaptiveBandwidths,
+};
 pub use connect::{connected_cells, CornerRule};
 pub use contour::{extract_contours, query_contour};
-pub use estimate::{density_at, estimate_grid};
+pub use estimate::{density_at, estimate_grid, estimate_grid_with};
 pub use grid::{DensityGrid, GridSpec};
+pub use hinn_par::Parallelism;
 pub use kernel::{gaussian_kernel, silverman_bandwidth, Bandwidth2D};
 pub use marginal::MarginalProfile;
 pub use profile::VisualProfile;

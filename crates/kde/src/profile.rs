@@ -7,7 +7,6 @@
 //! read off the same plot.
 
 use crate::connect::{connected_cells, points_in_mask, CellMask, CornerRule};
-use crate::estimate::estimate_grid;
 use crate::grid::{DensityGrid, GridSpec};
 use crate::kernel::Bandwidth2D;
 use crate::polygon::HalfPlane;
@@ -57,10 +56,32 @@ impl VisualProfile {
     /// # Panics
     /// Panics if `points` is empty or `grid_n < 2`.
     pub fn build(points: Vec<[f64; 2]>, query: [f64; 2], grid_n: usize, bw_scale: f64) -> Self {
+        Self::build_with(
+            hinn_par::Parallelism::serial(),
+            points,
+            query,
+            grid_n,
+            bw_scale,
+        )
+    }
+
+    /// [`VisualProfile::build`] with an explicit thread budget for the grid
+    /// KDE. Bit-identical to the serial build for every budget (see
+    /// `hinn-par`).
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or `grid_n < 2`.
+    pub fn build_with(
+        par: hinn_par::Parallelism,
+        points: Vec<[f64; 2]>,
+        query: [f64; 2],
+        grid_n: usize,
+        bw_scale: f64,
+    ) -> Self {
         assert!(!points.is_empty(), "VisualProfile: empty projection");
         let bandwidth = Bandwidth2D::silverman(&points).scaled(bw_scale);
         let spec = GridSpec::covering(&points, &[query], GRID_MARGIN, grid_n);
-        let grid = estimate_grid(&points, bandwidth, spec);
+        let grid = crate::estimate::estimate_grid_with(par, &points, bandwidth, spec);
         let query_cell = spec
             .cell_of(query[0], query[1])
             .expect("grid is constructed to cover the query");
@@ -87,11 +108,35 @@ impl VisualProfile {
         bw_scale: f64,
         alpha: f64,
     ) -> Self {
+        Self::build_adaptive_with(
+            hinn_par::Parallelism::serial(),
+            points,
+            query,
+            grid_n,
+            bw_scale,
+            alpha,
+        )
+    }
+
+    /// [`VisualProfile::build_adaptive`] with an explicit thread budget for
+    /// the pilot and final grids. Bit-identical to the serial build for
+    /// every budget.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, `grid_n < 2`, or `alpha ∉ [0, 1]`.
+    pub fn build_adaptive_with(
+        par: hinn_par::Parallelism,
+        points: Vec<[f64; 2]>,
+        query: [f64; 2],
+        grid_n: usize,
+        bw_scale: f64,
+        alpha: f64,
+    ) -> Self {
         assert!(!points.is_empty(), "VisualProfile: empty projection");
         let bandwidth = Bandwidth2D::silverman(&points).scaled(bw_scale);
-        let adaptive = crate::adaptive::adaptive_bandwidths(&points, bandwidth, alpha);
+        let adaptive = crate::adaptive::adaptive_bandwidths_with(par, &points, bandwidth, alpha);
         let spec = GridSpec::covering(&points, &[query], GRID_MARGIN, grid_n);
-        let grid = crate::adaptive::estimate_grid_adaptive(&points, &adaptive, spec);
+        let grid = crate::adaptive::estimate_grid_adaptive_with(par, &points, &adaptive, spec);
         let query_cell = spec
             .cell_of(query[0], query[1])
             .expect("grid is constructed to cover the query");

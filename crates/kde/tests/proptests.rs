@@ -1,6 +1,6 @@
 //! Property-based tests for the KDE substrate.
 
-use hinn_kde::connect::{connected_cells, CornerRule};
+use hinn_kde::connect::CornerRule;
 use hinn_kde::estimate::{density_at, estimate_grid};
 use hinn_kde::grid::{DensityGrid, GridSpec};
 use hinn_kde::kernel::{gaussian_kernel, silverman_bandwidth, Bandwidth2D};

@@ -25,6 +25,10 @@ pub mod subspace;
 pub mod vector;
 
 pub use eigen::{jacobi_eigen, SymEigen};
+pub use hinn_par::Parallelism;
 pub use matrix::Matrix;
-pub use stats::{covariance_matrix, mean_vector, variance_along};
+pub use stats::{
+    covariance_matrix, covariance_matrix_with, mean_vector, mean_vector_with, variance_along,
+    variance_along_with,
+};
 pub use subspace::Subspace;

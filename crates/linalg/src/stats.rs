@@ -5,24 +5,53 @@
 //! determination of Fig. 4: the covariance matrix `Σ` of the cluster, and
 //! per-direction variances `γᵢ` of the whole data used in the variance ratio
 //! `λᵢ / γᵢ`.
+//!
+//! Every routine has a `*_with` variant taking a [`Parallelism`] budget; the
+//! plain name is the serial schedule (`Parallelism::serial()`). Both run the
+//! *same* fixed-chunk algorithm with an ordered reduction (see `hinn-par`),
+//! so the result is bit-identical for every thread count.
 
 use crate::matrix::Matrix;
 use crate::vector::dot;
+use hinn_par::{map_reduce_chunks, Parallelism};
 
 /// Component-wise mean of a non-empty point set.
 ///
 /// # Panics
 /// Panics if `points` is empty.
 pub fn mean_vector(points: &[Vec<f64>]) -> Vec<f64> {
+    mean_vector_with(Parallelism::serial(), points)
+}
+
+/// [`mean_vector`] with an explicit thread budget. Bit-identical to the
+/// serial path for every budget.
+///
+/// # Panics
+/// Panics if `points` is empty.
+pub fn mean_vector_with(par: Parallelism, points: &[Vec<f64>]) -> Vec<f64> {
     assert!(!points.is_empty(), "mean_vector: empty point set");
     let d = points[0].len();
-    let mut m = vec![0.0; d];
-    for p in points {
-        assert_eq!(p.len(), d, "mean_vector: ragged point set");
-        for (mi, pi) in m.iter_mut().zip(p) {
-            *mi += pi;
-        }
-    }
+    let mut m = map_reduce_chunks(
+        par,
+        points.len(),
+        |r| {
+            let mut s = vec![0.0; d];
+            for p in &points[r] {
+                assert_eq!(p.len(), d, "mean_vector: ragged point set");
+                for (si, pi) in s.iter_mut().zip(p) {
+                    *si += pi;
+                }
+            }
+            s
+        },
+        vec![0.0; d],
+        |mut acc, s| {
+            for (a, b) in acc.iter_mut().zip(&s) {
+                *a += b;
+            }
+            acc
+        },
+    );
     let n = points.len() as f64;
     for mi in &mut m {
         *mi /= n;
@@ -37,26 +66,52 @@ pub fn mean_vector(points: &[Vec<f64>]) -> Vec<f64> {
 /// # Panics
 /// Panics if `points` is empty.
 pub fn covariance_matrix(points: &[Vec<f64>]) -> Matrix {
+    covariance_matrix_with(Parallelism::serial(), points)
+}
+
+/// [`covariance_matrix`] with an explicit thread budget. Each chunk of rows
+/// accumulates a partial upper-triangular `Σ`; partials merge in chunk
+/// order, so the result is bit-identical for every budget.
+///
+/// # Panics
+/// Panics if `points` is empty.
+pub fn covariance_matrix_with(par: Parallelism, points: &[Vec<f64>]) -> Matrix {
     assert!(!points.is_empty(), "covariance_matrix: empty point set");
     let d = points[0].len();
-    let mean = mean_vector(points);
-    let mut cov = Matrix::zeros(d, d);
-    let mut centered = vec![0.0; d];
-    for p in points {
-        for (c, (pi, mi)) in centered.iter_mut().zip(p.iter().zip(&mean)) {
-            *c = pi - mi;
-        }
-        for i in 0..d {
-            let ci = centered[i];
-            if ci == 0.0 {
-                continue;
+    let mean = mean_vector_with(par, points);
+    let mut cov = map_reduce_chunks(
+        par,
+        points.len(),
+        |r| {
+            let mut part = Matrix::zeros(d, d);
+            let mut centered = vec![0.0; d];
+            for p in &points[r] {
+                for (c, (pi, mi)) in centered.iter_mut().zip(p.iter().zip(&mean)) {
+                    *c = pi - mi;
+                }
+                for i in 0..d {
+                    let ci = centered[i];
+                    if ci == 0.0 {
+                        continue;
+                    }
+                    let row = part.row_mut(i);
+                    for (j, &cj) in centered.iter().enumerate().skip(i) {
+                        row[j] += ci * cj;
+                    }
+                }
             }
-            let row = cov.row_mut(i);
-            for (j, &cj) in centered.iter().enumerate().skip(i) {
-                row[j] += ci * cj;
+            part
+        },
+        Matrix::zeros(d, d),
+        |mut acc, part| {
+            for i in 0..d {
+                for j in i..d {
+                    acc[(i, j)] += part[(i, j)];
+                }
             }
-        }
-    }
+            acc
+        },
+    );
     let n = points.len() as f64;
     for i in 0..d {
         for j in i..d {
@@ -74,26 +129,77 @@ pub fn covariance_matrix(points: &[Vec<f64>]) -> Matrix {
 /// # Panics
 /// Panics if `points` is empty or dimensions mismatch.
 pub fn variance_along(points: &[Vec<f64>], direction: &[f64]) -> f64 {
+    variance_along_with(Parallelism::serial(), points, direction)
+}
+
+/// [`variance_along`] with an explicit thread budget. Two chunked passes
+/// (projection mean, then squared deviations), each with an ordered
+/// reduction — bit-identical for every budget.
+///
+/// # Panics
+/// Panics if `points` is empty or dimensions mismatch.
+pub fn variance_along_with(par: Parallelism, points: &[Vec<f64>], direction: &[f64]) -> f64 {
     assert!(!points.is_empty(), "variance_along: empty point set");
     let n = points.len() as f64;
-    let proj: Vec<f64> = points.iter().map(|p| dot(p, direction)).collect();
-    let mean: f64 = proj.iter().sum::<f64>() / n;
-    proj.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n
+    let sum = map_reduce_chunks(
+        par,
+        points.len(),
+        |r| points[r].iter().map(|p| dot(p, direction)).sum::<f64>(),
+        0.0f64,
+        |a, p| a + p,
+    );
+    let mean = sum / n;
+    let ss = map_reduce_chunks(
+        par,
+        points.len(),
+        |r| {
+            points[r]
+                .iter()
+                .map(|p| {
+                    let x = dot(p, direction) - mean;
+                    x * x
+                })
+                .sum::<f64>()
+        },
+        0.0f64,
+        |a, p| a + p,
+    );
+    ss / n
 }
 
 /// Per-coordinate variances — the axis-parallel specialization used when the
 /// system runs in interpretable (axis-parallel) projection mode.
 pub fn coordinate_variances(points: &[Vec<f64>]) -> Vec<f64> {
+    coordinate_variances_with(Parallelism::serial(), points)
+}
+
+/// [`coordinate_variances`] with an explicit thread budget. Bit-identical
+/// to the serial path for every budget.
+pub fn coordinate_variances_with(par: Parallelism, points: &[Vec<f64>]) -> Vec<f64> {
     assert!(!points.is_empty(), "coordinate_variances: empty point set");
     let d = points[0].len();
-    let mean = mean_vector(points);
-    let mut var = vec![0.0; d];
-    for p in points {
-        for ((v, pi), mi) in var.iter_mut().zip(p).zip(&mean) {
-            let c = pi - mi;
-            *v += c * c;
-        }
-    }
+    let mean = mean_vector_with(par, points);
+    let mut var = map_reduce_chunks(
+        par,
+        points.len(),
+        |r| {
+            let mut s = vec![0.0; d];
+            for p in &points[r] {
+                for ((v, pi), mi) in s.iter_mut().zip(p).zip(&mean) {
+                    let c = pi - mi;
+                    *v += c * c;
+                }
+            }
+            s
+        },
+        vec![0.0; d],
+        |mut acc, s| {
+            for (a, b) in acc.iter_mut().zip(&s) {
+                *a += b;
+            }
+            acc
+        },
+    );
     let n = points.len() as f64;
     for v in &mut var {
         *v /= n;
@@ -184,5 +290,81 @@ mod tests {
     #[should_panic(expected = "empty point set")]
     fn empty_mean_panics() {
         mean_vector(&[]);
+    }
+
+    /// A pseudo-random point set big enough to clear `SERIAL_CUTOFF`, so
+    /// parallel runs actually spawn workers.
+    fn big_points(n: usize, d: usize) -> Vec<Vec<f64>> {
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut unif = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| (0..d).map(|_| unif() * 10.0 - 5.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn parallel_stats_bit_identical_to_serial() {
+        let pts = big_points(hinn_par::SERIAL_CUTOFF + 311, 6);
+        let dir = vec![0.3, -0.2, 0.5, 0.1, -0.7, 0.4];
+        let mean_s = mean_vector(&pts);
+        let cov_s = covariance_matrix(&pts);
+        let var_s = coordinate_variances(&pts);
+        let along_s = variance_along(&pts, &dir);
+        for t in [1usize, 2, 3, 7] {
+            let par = Parallelism::fixed(t);
+            let mean_p = mean_vector_with(par, &pts);
+            for (a, b) in mean_s.iter().zip(&mean_p) {
+                assert_eq!(a.to_bits(), b.to_bits(), "mean, threads={t}");
+            }
+            let cov_p = covariance_matrix_with(par, &pts);
+            for i in 0..6 {
+                for j in 0..6 {
+                    assert_eq!(
+                        cov_s[(i, j)].to_bits(),
+                        cov_p[(i, j)].to_bits(),
+                        "cov[{i},{j}], threads={t}"
+                    );
+                }
+            }
+            let var_p = coordinate_variances_with(par, &pts);
+            for (a, b) in var_s.iter().zip(&var_p) {
+                assert_eq!(a.to_bits(), b.to_bits(), "variances, threads={t}");
+            }
+            assert_eq!(
+                along_s.to_bits(),
+                variance_along_with(par, &pts, &dir).to_bits(),
+                "variance_along, threads={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_variance_covariance_is_exactly_zero_in_parallel() {
+        // n identical rows, above the cutoff: every centered coordinate is
+        // exactly 0.0, so Σ must be the exact zero matrix on every schedule.
+        let row = vec![3.25, -1.5, 7.0];
+        let pts: Vec<Vec<f64>> = vec![row; hinn_par::SERIAL_CUTOFF + 5];
+        for t in [1usize, 2, 7] {
+            let c = covariance_matrix_with(Parallelism::fixed(t), &pts);
+            for i in 0..3 {
+                for j in 0..3 {
+                    assert_eq!(c[(i, j)].to_bits(), 0.0f64.to_bits(), "threads={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_handle_n_smaller_than_threads() {
+        let pts = vec![vec![1.0, 2.0]];
+        let par = Parallelism::fixed(8);
+        assert_eq!(mean_vector_with(par, &pts), vec![1.0, 2.0]);
+        assert_eq!(coordinate_variances_with(par, &pts), vec![0.0, 0.0]);
+        assert_eq!(variance_along_with(par, &pts, &[1.0, 0.0]), 0.0);
     }
 }

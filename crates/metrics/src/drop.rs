@@ -123,7 +123,7 @@ mod tests {
     fn clean_cliff_detected() {
         // 5 confident points, then a cliff to noise.
         let mut probs = vec![0.98, 0.95, 0.97, 0.93, 0.96];
-        probs.extend(std::iter::repeat(0.1).take(95));
+        probs.extend(std::iter::repeat_n(0.1, 95));
         match detect_steep_drop(&probs, &DropConfig::default()) {
             DropVerdict::Meaningful {
                 natural_k,
@@ -153,7 +153,7 @@ mod tests {
     fn all_low_probabilities_not_meaningful() {
         // A relative cliff among uniformly low values must not qualify.
         let mut probs = vec![0.30, 0.28];
-        probs.extend(std::iter::repeat(0.05).take(50));
+        probs.extend(std::iter::repeat_n(0.05, 50));
         let v = detect_steep_drop(&probs, &DropConfig::default());
         assert!(!v.is_meaningful(), "low-confidence cliff accepted: {v:?}");
     }
@@ -169,7 +169,7 @@ mod tests {
     fn cliff_beyond_horizon_ignored() {
         // Cliff at 80% of the data — not a small natural cluster.
         let mut probs = vec![0.95; 80];
-        probs.extend(std::iter::repeat(0.05).take(20));
+        probs.extend(std::iter::repeat_n(0.05, 20));
         let cfg = DropConfig {
             max_fraction: 0.5,
             ..DropConfig::default()

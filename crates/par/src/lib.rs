@@ -1,0 +1,426 @@
+//! Deterministic intra-query data parallelism.
+//!
+//! Every hot path in this workspace (KDE grid accumulation, covariance/PCA
+//! statistics, full-space k-NN scans, VA-file filter scans) is a map-reduce
+//! over points. This crate provides the one shared substrate they use, built
+//! only on `std::thread::scope` — no external dependencies — with a design
+//! that makes the floating-point result **bit-identical for every thread
+//! count**, including one:
+//!
+//! 1. **Fixed chunk boundaries.** The input `0..n` is split into chunks of
+//!    [`CHUNK`] items. The boundaries depend only on `n`, never on the
+//!    thread count, so the partial result computed for chunk `i` is the
+//!    same no matter which worker computes it, or when.
+//! 2. **Ordered reduction.** Partials are folded strictly in chunk order
+//!    (`0, 1, 2, …`) on the calling thread. Floating-point addition is not
+//!    associative, so an unordered (work-stealing) reduction would make
+//!    results depend on scheduling; an ordered one makes the parallel sum
+//!    a *fixed* parenthesization — the same one the serial path uses.
+//!
+//! Consequently `parallel(threads = k) == serial` holds **exactly**
+//! (`f64::to_bits` equality) for all `k`, which
+//! `tests/parallel_equivalence.rs` at the workspace root enforces.
+//!
+//! Thread counts flow from a single [`Parallelism`] value, plumbed through
+//! `SearchConfig` and `BatchRunner` in `hinn-core` so that nested
+//! parallelism (a batch of parallel sessions) splits one budget instead of
+//! oversubscribing the machine.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Items per chunk. Fixed — chunk boundaries must depend only on the input
+/// length, never the thread count, or determinism across thread counts is
+/// lost. 1024 points ≈ 160 KB of 20-d `f64` rows: big enough to amortize
+/// scheduling, small enough to load-balance.
+pub const CHUNK: usize = 1024;
+
+/// Inputs shorter than this run on the calling thread even when the
+/// [`Parallelism`] allows more — thread spawn/join costs ~10 µs, which
+/// swamps the work at small `n`. Purely a scheduling decision: the chunking
+/// and reduction order are identical either way, so results do not change.
+pub const SERIAL_CUTOFF: usize = 4 * CHUNK;
+
+/// A thread-count budget for intra-query parallelism.
+///
+/// `Parallelism` is deliberately *not* a thread pool: the workspace's hot
+/// paths are short bursts inside an interactive loop, and scoped threads
+/// let every borrow stay a plain `&`/`&mut` with no `'static` bounds. It is
+/// a small copyable budget that can be split across nested layers (see
+/// [`Parallelism::split`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+/// Environment variable consulted by [`Parallelism::from_env`] (and thus
+/// [`Parallelism::default`]): set `HINN_THREADS=k` to pin the budget.
+pub const THREADS_ENV: &str = "HINN_THREADS";
+
+impl Parallelism {
+    /// One thread: the serial schedule.
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// Exactly `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads` is 0.
+    pub fn fixed(threads: usize) -> Self {
+        assert!(threads >= 1, "Parallelism: need at least one thread");
+        Self { threads }
+    }
+
+    /// All hardware threads the OS reports (1 if unknown).
+    pub fn available() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// The `HINN_THREADS` environment variable if set to a positive
+    /// integer, otherwise [`Parallelism::available`]. This is the default,
+    /// so CI can pin the whole test run to a thread count.
+    pub fn from_env() -> Self {
+        match std::env::var(THREADS_ENV) {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(k) if k >= 1 => Self::fixed(k),
+                _ => Self::available(),
+            },
+            Err(_) => Self::available(),
+        }
+    }
+
+    /// The thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` iff the budget is one thread.
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Divide the budget among `ways` concurrent consumers (at least one
+    /// thread each). `BatchRunner` uses this so `w` concurrent sessions
+    /// over a `t`-thread budget get `t/w` threads each instead of `w·t`
+    /// total — nested parallelism must not oversubscribe.
+    ///
+    /// # Panics
+    /// Panics if `ways` is 0.
+    pub fn split(&self, ways: usize) -> Self {
+        assert!(ways >= 1, "Parallelism: split into at least one way");
+        Self {
+            threads: (self.threads / ways).max(1),
+        }
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Number of fixed-size chunks covering `0..n`.
+pub fn chunk_count(n: usize) -> usize {
+    n.div_ceil(CHUNK)
+}
+
+/// Half-open index range of chunk `i` over an input of length `n`
+/// (the last chunk may be short).
+///
+/// # Panics
+/// Panics if `i >= chunk_count(n)`.
+pub fn chunk_range(n: usize, i: usize) -> Range<usize> {
+    assert!(i < chunk_count(n), "chunk_range: chunk {i} out of range");
+    let start = i * CHUNK;
+    start..((start + CHUNK).min(n))
+}
+
+/// Map each fixed chunk of `0..n` to a partial result, then fold the
+/// partials **in chunk order** on the calling thread.
+///
+/// `map` must be a pure function of its index range (it sees the same
+/// range regardless of thread count or scheduling); under that contract
+/// the returned value is bit-identical for every `par` — the only thing
+/// parallelism changes is which worker computes which chunk, and the
+/// ordered fold erases that distinction.
+///
+/// Scheduling: with `t` effective workers, chunks are claimed dynamically
+/// from an atomic counter (work-stealing friendly for skewed chunk costs);
+/// partials land in a per-chunk slot array, so no ordering is lost. With
+/// one worker (or `n` below [`SERIAL_CUTOFF`]) everything runs inline on
+/// the calling thread — same chunks, same fold, zero thread overhead.
+pub fn map_reduce_chunks<P, Out, M, F>(
+    par: Parallelism,
+    n: usize,
+    map: M,
+    init: Out,
+    fold: F,
+) -> Out
+where
+    P: Send,
+    M: Fn(Range<usize>) -> P + Sync,
+    F: FnMut(Out, P) -> Out,
+{
+    let nchunks = chunk_count(n);
+    let workers = effective_workers(par, n, nchunks);
+    let mut fold = fold;
+    if workers <= 1 {
+        let mut acc = init;
+        for i in 0..nchunks {
+            acc = fold(acc, map(chunk_range(n, i)));
+        }
+        return acc;
+    }
+
+    let mut partials: Vec<Option<P>> = (0..nchunks).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let map = &map;
+        let next = &next;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, P)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= nchunks {
+                            break;
+                        }
+                        out.push((i, map(chunk_range(n, i))));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, p) in h.join().expect("hinn-par worker panicked") {
+                partials[i] = Some(p);
+            }
+        }
+    });
+    let mut acc = init;
+    for p in partials {
+        acc = fold(acc, p.expect("every chunk produced a partial"));
+    }
+    acc
+}
+
+/// Fill `out` in place, chunk by chunk: `fill(start, slice)` receives each
+/// fixed chunk (`slice == &mut out[start .. start + slice.len()]`) and must
+/// write every element as a pure function of its global index. Disjoint
+/// chunks mean no reduction at all, so results are trivially identical for
+/// every thread count. This is the primitive behind the k-NN distance scan
+/// and the VA-file phase-1 bound scan.
+pub fn fill_chunks<T, F>(par: Parallelism, out: &mut [T], fill: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = out.len();
+    let nchunks = chunk_count(n);
+    let workers = effective_workers(par, n, nchunks);
+    if workers <= 1 {
+        for (i, slice) in out.chunks_mut(CHUNK).enumerate() {
+            fill(i * CHUNK, slice);
+        }
+        return;
+    }
+
+    // Static round-robin assignment of chunks to workers: per-element cost
+    // is uniform in these scans, and ownership of `&mut` chunks is simplest
+    // to establish up front.
+    let mut per_worker: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, slice) in out.chunks_mut(CHUNK).enumerate() {
+        per_worker[i % workers].push((i * CHUNK, slice));
+    }
+    std::thread::scope(|scope| {
+        for group in per_worker {
+            let fill = &fill;
+            scope.spawn(move || {
+                for (start, slice) in group {
+                    fill(start, slice);
+                }
+            });
+        }
+    });
+}
+
+/// How many workers to actually spawn: never more than there are chunks,
+/// and one (inline) when the input is below [`SERIAL_CUTOFF`].
+fn effective_workers(par: Parallelism, n: usize, nchunks: usize) -> usize {
+    if n < SERIAL_CUTOFF {
+        1
+    } else {
+        par.threads().min(nchunks).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_squares(par: Parallelism, n: usize) -> f64 {
+        map_reduce_chunks(
+            par,
+            n,
+            |r| r.map(|i| (i as f64).sqrt()).sum::<f64>(),
+            0.0f64,
+            |a, p| a + p,
+        )
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(chunk_count(0), 0);
+        for t in [1, 2, 7] {
+            assert_eq!(
+                sum_squares(Parallelism::fixed(t), 0).to_bits(),
+                0.0f64.to_bits()
+            );
+            let mut v: Vec<f64> = Vec::new();
+            fill_chunks(Parallelism::fixed(t), &mut v, |_, _| panic!("no chunks"));
+        }
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(chunk_count(1), 1);
+        assert_eq!(chunk_range(1, 0), 0..1);
+        for t in [1, 2, 7] {
+            assert_eq!(
+                sum_squares(Parallelism::fixed(t), 1).to_bits(),
+                sum_squares(Parallelism::serial(), 1).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn n_smaller_than_threads() {
+        // 3 items, 7 threads: must not panic, must match serial exactly.
+        for n in [1usize, 2, 3] {
+            assert_eq!(
+                sum_squares(Parallelism::fixed(7), n).to_bits(),
+                sum_squares(Parallelism::serial(), n).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_cover_exactly() {
+        // Off-by-one sweep around every boundary-sensitive length.
+        for n in [
+            0,
+            1,
+            CHUNK - 1,
+            CHUNK,
+            CHUNK + 1,
+            2 * CHUNK - 1,
+            2 * CHUNK,
+            2 * CHUNK + 1,
+            5 * CHUNK + 17,
+        ] {
+            let nchunks = chunk_count(n);
+            let mut covered = 0usize;
+            let mut prev_end = 0usize;
+            for i in 0..nchunks {
+                let r = chunk_range(n, i);
+                assert_eq!(
+                    r.start, prev_end,
+                    "chunks must be contiguous (n={n}, i={i})"
+                );
+                assert!(!r.is_empty(), "empty chunk (n={n}, i={i})");
+                assert!(r.end <= n);
+                covered += r.len();
+                prev_end = r.end;
+            }
+            assert_eq!(covered, n, "chunks must cover 0..{n} exactly");
+            assert_eq!(prev_end, n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn chunk_range_out_of_range_panics() {
+        chunk_range(CHUNK, 1);
+    }
+
+    #[test]
+    fn map_reduce_is_bit_identical_across_thread_counts() {
+        // Large enough to clear SERIAL_CUTOFF so threads actually spawn.
+        let n = 6 * CHUNK + 311;
+        let serial = sum_squares(Parallelism::serial(), n);
+        for t in [1, 2, 3, 7, 16] {
+            let par = sum_squares(Parallelism::fixed(t), n);
+            assert_eq!(
+                par.to_bits(),
+                serial.to_bits(),
+                "threads={t}: {par} != {serial}"
+            );
+        }
+    }
+
+    #[test]
+    fn fill_chunks_writes_every_element() {
+        let n = 5 * CHUNK + 3;
+        let mut serial = vec![0u64; n];
+        fill_chunks(Parallelism::serial(), &mut serial, |start, s| {
+            for (k, v) in s.iter_mut().enumerate() {
+                *v = ((start + k) as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            }
+        });
+        for t in [2, 3, 7] {
+            let mut par = vec![0u64; n];
+            fill_chunks(Parallelism::fixed(t), &mut par, |start, s| {
+                for (k, v) in s.iter_mut().enumerate() {
+                    *v = ((start + k) as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                }
+            });
+            assert_eq!(serial, par, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn ordered_fold_sees_chunks_in_order() {
+        let n = 5 * CHUNK;
+        let order = map_reduce_chunks(
+            Parallelism::fixed(4),
+            n,
+            |r| r.start / CHUNK,
+            Vec::new(),
+            |mut acc: Vec<usize>, i| {
+                acc.push(i);
+                acc
+            },
+        );
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn parallelism_split_never_oversubscribes() {
+        let p = Parallelism::fixed(8);
+        assert_eq!(p.split(2).threads(), 4);
+        assert_eq!(p.split(3).threads(), 2);
+        assert_eq!(p.split(8).threads(), 1);
+        assert_eq!(p.split(100).threads(), 1);
+        assert_eq!(Parallelism::serial().split(4).threads(), 1);
+    }
+
+    #[test]
+    fn parallelism_constructors() {
+        assert!(Parallelism::serial().is_serial());
+        assert_eq!(Parallelism::fixed(3).threads(), 3);
+        assert!(Parallelism::available().threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        Parallelism::fixed(0);
+    }
+}

@@ -1,0 +1,496 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This build environment has no crates-registry access, so the workspace
+//! ships a small property-testing engine with `proptest`'s surface syntax:
+//! the [`proptest!`] macro, [`Strategy`] with `prop_map`/`prop_flat_map`,
+//! range and tuple strategies, [`collection::vec`], [`Just`],
+//! [`prop_oneof!`], [`bool::ANY`], `prop_assert!`/`prop_assert_eq!`, and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from crates.io proptest, deliberately accepted:
+//! * **No shrinking.** A failing case reports its case number and seed; the
+//!   run is fully deterministic (seed = FNV-1a of the test name), so a
+//!   failure always reproduces by re-running the test.
+//! * **No persistence.** `.proptest-regressions` files are ignored.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// A generator of test values. Unlike real proptest there is no value tree;
+/// a strategy is just a deterministic sampler.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy it selects.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discard generated values failing `pred` (retries; panics if the
+    /// predicate rejects 1000 draws in a row).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            pred,
+            whence,
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            sample: Box::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 consecutive draws: {}",
+            self.whence
+        );
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T> {
+    sample: Box<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+/// A strategy producing one constant value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u32, u64, i32, i64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A size specification: an exact count or a range of counts.
+    pub trait SizeRange {
+        /// Draw a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    /// `proptest::collection::vec`: a vector whose length is drawn from
+    /// `size` and whose elements are drawn from `element`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A fair coin.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+}
+
+/// Runner configuration (`proptest::test_runner`).
+pub mod test_runner {
+    /// Subset of proptest's config: the number of cases per test.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// How many random cases each `proptest!` test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+/// Deterministic 64-bit FNV-1a, used to derive a per-test seed from the
+/// test's name so every test draws an independent, reproducible stream.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The deterministic per-test RNG used by [`proptest!`] (seeded from the
+/// fully qualified test name, so consumer crates need no `rand` dependency).
+pub fn rng_for(qualified_test_name: &str) -> TestRng {
+    TestRng::seed_from_u64(fnv1a(qualified_test_name))
+}
+
+/// Everything a test file needs (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        Strategy,
+    };
+}
+
+/// Assert inside a property test (stub: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test (stub: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test (stub: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        $crate::OneOf {
+            options: vec![$($crate::Strategy::boxed($strategy)),+],
+        }
+    }};
+}
+
+/// Backing type of [`prop_oneof!`].
+pub struct OneOf<T> {
+    /// The alternatives, chosen uniformly.
+    pub options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// The test-defining macro. Accepts the same shape as crates.io proptest:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0.0..1.0f64, v in proptest::collection::vec(0usize..9, 3)) {
+///         prop_assert!(x < 1.0);
+///         prop_assert_eq!(v.len(), 3);
+///     }
+/// }
+/// ```
+///
+/// Each test runs `cases` deterministic cases; the per-test RNG is seeded
+/// from the test's name.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — one item per test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (
+        config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng: $crate::TestRng =
+                $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..config.cases {
+                let ($($arg,)+) = (
+                    $($crate::Strategy::generate(&($strategy), &mut rng),)+
+                );
+                // A panic in the body fails the test; the run is
+                // deterministic, so the failing case reproduces as-is.
+                let __guard = $crate::CaseReporter {
+                    test: stringify!($name),
+                    case: __case,
+                };
+                $body
+                std::mem::forget(__guard);
+            }
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Prints which case failed when a property body panics (armed via
+/// `mem::forget` on success).
+#[doc(hidden)]
+pub struct CaseReporter {
+    /// Test name.
+    pub test: &'static str,
+    /// Zero-based case index.
+    pub case: u32,
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        eprintln!(
+            "proptest (offline stub): test `{}` failed at case {} — deterministic, rerun to reproduce",
+            self.test, self.case
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Pick {
+        A,
+        B(f64),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -3.0..7.0f64, n in 1usize..9) {
+            prop_assert!((-3.0..7.0).contains(&x));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in crate::collection::vec((0.0..1.0f64, 0usize..5), 2..=6),
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() <= 6);
+            for (x, k) in &v {
+                prop_assert!((0.0..1.0).contains(x));
+                prop_assert!(*k < 5);
+            }
+            let _ = flag;
+        }
+
+        #[test]
+        fn map_flat_map_oneof(
+            n in (1usize..4).prop_flat_map(|k| crate::collection::vec(0.0..1.0f64, k..=k)),
+            p in prop_oneof![Just(Pick::A), (0.5..2.0f64).prop_map(Pick::B)],
+        ) {
+            prop_assert!(!n.is_empty() && n.len() < 4);
+            match p {
+                Pick::A => {}
+                Pick::B(v) => prop_assert!((0.5..2.0).contains(&v)),
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::Strategy;
+        use rand::SeedableRng;
+        let strat = crate::collection::vec(0.0..1.0f64, 5usize);
+        let mut r1 = crate::TestRng::seed_from_u64(9);
+        let mut r2 = crate::TestRng::seed_from_u64(9);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+}

@@ -126,9 +126,10 @@ mod tests {
     #[test]
     fn jitters_thresholds_but_keeps_them_valid() {
         let p = profile();
-        let script = ScriptedUser::new(
-            std::iter::repeat(UserResponse::Threshold(p.max_density() * 0.5)).take(100),
-        );
+        let script = ScriptedUser::new(std::iter::repeat_n(
+            UserResponse::Threshold(p.max_density() * 0.5),
+            100,
+        ));
         let mut noisy = NoisyUser::new(script, 7).with_rates(0.3, 0.0, 0.0);
         let mut distinct = std::collections::HashSet::new();
         for _ in 0..100 {

@@ -91,7 +91,7 @@ proptest! {
     #[test]
     fn scripted_fallback_never_exhausts(profile in arbitrary_profile(), n in 0usize..5) {
         let mut user = ScriptedUser::new(
-            std::iter::repeat(UserResponse::Threshold(0.25)).take(n),
+            std::iter::repeat_n(UserResponse::Threshold(0.25), n),
         );
         for i in 0..8 {
             let r = user.respond(&profile, &ctx_for(&profile));

@@ -7,6 +7,9 @@
 //! This facade crate re-exports every subsystem of the workspace under one
 //! roof, so downstream users can depend on `hinn` alone:
 //!
+//! * [`par`] — the deterministic data-parallel layer: fixed-chunk
+//!   map/reduce on `std::thread::scope` whose results are bit-identical
+//!   to serial execution for every thread budget.
 //! * [`linalg`] — dense vectors/matrices, Jacobi eigensolver, orthonormal
 //!   subspaces and projections.
 //! * [`kde`] — Gaussian kernel density estimation on 2-D grids (fixed and
@@ -56,5 +59,6 @@ pub use hinn_data as data;
 pub use hinn_kde as kde;
 pub use hinn_linalg as linalg;
 pub use hinn_metrics as metrics;
+pub use hinn_par as par;
 pub use hinn_user as user;
 pub use hinn_viz as viz;

@@ -17,7 +17,7 @@ fn workload() -> (hinn::data::Dataset, Vec<usize>, Vec<f64>) {
         cluster_dim: 5,
         ..ProjectedClusterSpec::small_test()
     };
-    let mut rng = StdRng::seed_from_u64(23);
+    let mut rng = StdRng::seed_from_u64(7);
     let (mut data, _truth) = generate_projected_clusters_detailed(&spec, &mut rng);
     let members = data.cluster_members(0);
     let query = data.points[members[0]].clone();
@@ -110,7 +110,7 @@ fn contrast_is_restored_inside_the_discovered_projection() {
     let first = &outcome.transcript.majors[0].minors[0];
     let profile = first.profile.as_ref().expect("recorded");
     let proj_points: Vec<Vec<f64>> = profile.points.iter().map(|p| p.to_vec()).collect();
-    let proj_contrast = relative_contrast(&proj_points, &profile.query.to_vec());
+    let proj_contrast = relative_contrast(&proj_points, profile.query.as_ref());
 
     assert!(
         proj_contrast > 2.0 * full_contrast,

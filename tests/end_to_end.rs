@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full interactive pipeline from data
 //! generation through search, diagnosis, and evaluation.
 
-use hinn::core::{InteractiveSearch, ProjectionMode, SearchConfig, SearchDiagnosis};
+use hinn::core::{InteractiveSearch, ProjectionMode, SearchConfig};
 use hinn::data::projected::{
     generate_projected_clusters_detailed, Orientation, ProjectedClusterSpec,
 };
@@ -142,8 +142,8 @@ fn polygon_responses_flow_through_the_search() {
     // A half-plane that keeps everything: every view picks all points, so
     // every point survives with identical counts → no discrimination.
     let keep_all = UserResponse::Polygon(vec![HalfPlane::new(1.0, 0.0, 1e9)]);
-    let mut user = ScriptedUser::new(std::iter::repeat(keep_all).take(100))
-        .with_fallback(UserResponse::Discard);
+    let mut user =
+        ScriptedUser::new(std::iter::repeat_n(keep_all, 100)).with_fallback(UserResponse::Discard);
     let config = SearchConfig {
         max_major_iterations: 2,
         min_major_iterations: 1,

@@ -1,0 +1,121 @@
+//! Golden end-to-end regression test.
+//!
+//! One fixed scenario — planted projected clusters, a deterministic
+//! heuristic user, the default config — rendered to a text snapshot that
+//! lives in the repo (`tests/golden/session.txt`). Any change to the
+//! numeric pipeline (projection search, KDE, preference counts,
+//! meaningfulness probabilities, diagnosis) shows up as a readable diff
+//! against the snapshot rather than a silent behavior drift.
+//!
+//! Probabilities are printed with 12 significant digits: tight enough to
+//! catch real changes, loose enough to survive last-ULP differences in
+//! `libm` across platforms. To regenerate after an *intentional* change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_session
+//! ```
+
+use hinn::core::{InteractiveSearch, ProjectionMode, SearchConfig, SearchDiagnosis};
+use hinn::data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
+use hinn::user::HeuristicUser;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("session.txt")
+}
+
+/// Render the fixed scenario to its snapshot text.
+fn render_session() -> String {
+    let spec = ProjectedClusterSpec {
+        n_points: 600,
+        dim: 8,
+        n_clusters: 2,
+        cluster_dim: 4,
+        ..ProjectedClusterSpec::small_test()
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let (data, _truth) = generate_projected_clusters_detailed(&spec, &mut rng);
+    let query = data.points[data.cluster_members(0)[0]].clone();
+
+    let config = SearchConfig::default()
+        .with_support(20)
+        .with_mode(ProjectionMode::AxisParallel);
+    let mut user = HeuristicUser::default();
+    let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "scenario: projected-clusters n=600 d=8 seed=1");
+    // Format diagnosis fields at 12 significant digits ourselves; `{:?}`
+    // would print full-precision floats and break the ULP tolerance.
+    match &outcome.diagnosis {
+        SearchDiagnosis::Meaningful {
+            natural_k,
+            gap,
+            top_mean,
+        } => {
+            let _ = writeln!(
+                out,
+                "diagnosis: meaningful natural_k={natural_k} gap={gap:.12e} top_mean={top_mean:.12e}"
+            );
+        }
+        SearchDiagnosis::NotMeaningful { best_gap, reason } => {
+            let _ = writeln!(
+                out,
+                "diagnosis: not-meaningful best_gap={best_gap:.12e} reason={reason:?}"
+            );
+        }
+    }
+    let _ = writeln!(out, "majors_run: {}", outcome.majors_run);
+    let _ = writeln!(out, "effective_support: {}", outcome.effective_support);
+    let _ = writeln!(out, "neighbors: {:?}", outcome.neighbors);
+    for (m, major) in outcome.transcript.majors.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "major {m}: before={} after={} overlap={:?}",
+            major.n_points_before, major.n_points_after, major.overlap_with_previous
+        );
+        for minor in &major.minors {
+            let _ = writeln!(
+                out,
+                "  minor {}: picked={} dismissed={} peak_ratio={:.12e}",
+                minor.minor,
+                minor.n_picked,
+                minor.dismissed(),
+                minor.query_peak_ratio
+            );
+        }
+    }
+    let _ = writeln!(out, "top probabilities:");
+    for &i in &outcome.neighbors {
+        let _ = writeln!(out, "  {:4}  {:.12e}", i, outcome.probabilities[i]);
+    }
+    out
+}
+
+#[test]
+fn session_matches_golden_snapshot() {
+    let rendered = render_session();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &rendered).expect("write golden snapshot");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test golden_session`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "session output drifted from the golden snapshot; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
