@@ -92,6 +92,8 @@ fn scan_distances<F>(par: Parallelism, points: &[Vec<f64>], dist: F) -> Vec<(f64
 where
     F: Fn(&[f64]) -> f64 + Sync,
 {
+    let _span = hinn_obs::span!("baselines.knn_scan");
+    hinn_obs::counter("baselines.points_scanned", points.len() as u64);
     let mut scored: Vec<(f64, usize)> = vec![(0.0, 0); points.len()];
     fill_chunks(par, &mut scored, |start, slice| {
         for (off, slot) in slice.iter_mut().enumerate() {

@@ -176,6 +176,8 @@ impl VaFile {
         // Phase 1: bounds per point, chunked over the thread budget (no
         // sort — one pass computes both bounds and collects the lower
         // bounds for the pruning threshold).
+        let filter_span = hinn_obs::span!("baselines.vafile_filter");
+        hinn_obs::counter("baselines.points_scanned", n as u64);
         let mut bound_pairs = vec![(0.0f64, 0.0f64); n];
         fill_chunks(par, &mut bound_pairs, |start, slice| {
             for (off, slot) in slice.iter_mut().enumerate() {
@@ -198,9 +200,11 @@ impl VaFile {
         let mut upper_sel = uppers.clone();
         upper_sel.select_nth_unstable_by(k - 1, |a, b| a.partial_cmp(b).expect("NaN bound"));
         let kth_upper = upper_sel[k - 1];
+        drop(filter_span);
 
         // Phase 2: refine every surviving candidate, tightening the cutoff
         // to the current k-th exact distance as the heap fills.
+        let refine_span = hinn_obs::span!("baselines.vafile_refine");
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new(); // max-heap of k best
         let mut refined = 0usize;
         for i in 0..n {
@@ -220,6 +224,9 @@ impl VaFile {
                 heap.push(HeapEntry { dist: d, idx: i });
             }
         }
+
+        drop(refine_span);
+        hinn_obs::counter("baselines.vafile_refined", refined as u64);
 
         let mut result: Vec<HeapEntry> = heap.into_vec();
         result.sort_by(|a, b| {

@@ -12,6 +12,7 @@ use crate::diagnosis::SearchDiagnosis;
 use crate::search::{InteractiveSearch, SearchOutcome};
 use hinn_par::Parallelism;
 use hinn_user::UserModel;
+use std::time::Duration;
 
 /// Result of one query in a batch.
 #[derive(Clone, Debug)]
@@ -27,10 +28,20 @@ pub struct QueryReport {
     pub majors_run: usize,
     /// Views shown / dismissed.
     pub views: (usize, usize),
+    /// Wall-clock time of this query's session.
+    pub wall: Duration,
+    /// Intra-query thread budget the session ran with (the batch budget
+    /// divided across inter-query workers — see [`Parallelism::split`]).
+    pub intra_threads: usize,
 }
 
 impl QueryReport {
-    fn from_outcome(query_index: usize, outcome: &SearchOutcome) -> Self {
+    fn from_outcome(
+        query_index: usize,
+        outcome: &SearchOutcome,
+        wall: Duration,
+        intra_threads: usize,
+    ) -> Self {
         let neighbors = outcome
             .natural_neighbors()
             .unwrap_or_else(|| outcome.neighbors.clone());
@@ -43,6 +54,8 @@ impl QueryReport {
                 outcome.transcript.total_views(),
                 outcome.transcript.total_dismissed(),
             ),
+            wall,
+            intra_threads,
         }
     }
 }
@@ -96,6 +109,7 @@ impl<'a> BatchRunner<'a> {
         // schedule does.
         let mut session_config = self.config.clone();
         session_config.parallelism = self.budget.split(workers);
+        let intra_threads = session_config.parallelism.threads();
         let mut reports: Vec<Option<QueryReport>> = (0..n).map(|_| None).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let slots: Vec<std::sync::Mutex<&mut Option<QueryReport>>> =
@@ -109,13 +123,16 @@ impl<'a> BatchRunner<'a> {
                         break;
                     }
                     let mut user = make_user();
+                    let t0 = std::time::Instant::now();
                     let outcome = InteractiveSearch::new(session_config.clone()).run(
                         self.points,
                         &queries[i],
                         user.as_mut(),
                     );
+                    let wall = t0.elapsed();
+                    hinn_obs::observe("batch.query_ms", wall.as_secs_f64() * 1e3);
                     **slots[i].lock().expect("slot lock") =
-                        Some(QueryReport::from_outcome(i, &outcome));
+                        Some(QueryReport::from_outcome(i, &outcome, wall, intra_threads));
                 });
             }
         });
@@ -169,6 +186,8 @@ mod tests {
             assert_eq!(r.query_index, i);
             assert!(!r.neighbors.is_empty());
             assert!(r.views.0 >= r.views.1);
+            assert!(r.intra_threads >= 1);
+            assert!(r.wall > Duration::ZERO);
         }
     }
 
@@ -220,5 +239,8 @@ mod tests {
             assert_eq!(a.majors_run, b.majors_run);
             assert_eq!(a.views, b.views);
         }
+        // 4 workers over a 6-thread budget → 1 intra-query thread each.
+        assert!(budgeted.iter().all(|r| r.intra_threads == 1));
+        assert!(serial.iter().all(|r| r.intra_threads == 1));
     }
 }

@@ -96,6 +96,7 @@ mod tests {
                 n_picked: 5,
                 query_peak_ratio: 0.8,
                 profile: None,
+                phases: None,
             });
         }
         for i in 0..dismissed {
@@ -108,6 +109,7 @@ mod tests {
                 n_picked: 0,
                 query_peak_ratio: 0.1,
                 profile: None,
+                phases: None,
             });
         }
         Transcript {

@@ -41,4 +41,4 @@ pub use diagnosis::SearchDiagnosis;
 pub use explain::{explain_neighbor, explanation_text, NeighborExplanation};
 pub use hinn_par::Parallelism;
 pub use search::{InteractiveSearch, SearchOutcome};
-pub use transcript::{MinorRecord, Transcript};
+pub use transcript::{MinorPhases, MinorRecord, Transcript};

@@ -61,6 +61,8 @@ pub fn meaningfulness_coefficient(v: f64, moments: NullMoments) -> f64 {
 /// `alive` original ids (Fig. 8's loop body). Output is aligned with
 /// `alive`.
 pub fn iteration_probabilities(counts: &PreferenceCounts, alive: &[usize]) -> Vec<f64> {
+    let _span = hinn_obs::span!("meaning.update");
+    hinn_obs::counter("meaning.points", alive.len() as u64);
     let moments = null_moments(counts, alive.len());
     alive
         .iter()

@@ -79,6 +79,7 @@ pub fn query_cluster_subspace_mode_with(
     l: usize,
     mode: ProjectionMode,
 ) -> (Subspace, Vec<f64>) {
+    let _span = hinn_obs::span!("projection.subspace");
     let m = current.dim();
     assert!(l >= 1 && l <= m, "query_cluster_subspace: l out of range");
     assert!(
@@ -209,6 +210,7 @@ pub fn find_query_centered_projection_with(
     support: usize,
     mode: ProjectionMode,
 ) -> ProjectionResult {
+    let _span = hinn_obs::span!("projection.find");
     assert!(
         current.dim() >= 2,
         "find_query_centered_projection: need a ≥2-D search subspace"
@@ -266,6 +268,8 @@ fn find_projection_with_support(
         let q_coords = ep.project(query);
         // The s nearest points to the query within E_p (the tentative
         // query cluster N_p).
+        let scan_span = hinn_obs::span!("projection.scan");
+        hinn_obs::counter("projection.points_scanned", data_coords.len() as u64);
         let mut order: Vec<(f64, usize)> = vec![(0.0, 0); data_coords.len()];
         fill_chunks(par, &mut order, |start, slice| {
             for (off, slot) in slice.iter_mut().enumerate() {
@@ -277,6 +281,7 @@ fn find_projection_with_support(
         order.select_nth_unstable_by(keep.saturating_sub(1), |a, b| {
             a.partial_cmp(b).expect("NaN distance")
         });
+        drop(scan_span);
         let cluster_coords: Vec<Vec<f64>> = order[..keep]
             .iter()
             .map(|&(_, i)| data_coords[i].clone())

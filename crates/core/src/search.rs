@@ -5,7 +5,7 @@ use crate::counts::PreferenceCounts;
 use crate::diagnosis::SearchDiagnosis;
 use crate::meaning::iteration_probabilities;
 use crate::projection::find_query_centered_projection_with;
-use crate::transcript::{MajorRecord, MinorRecord, Transcript};
+use crate::transcript::{MajorRecord, MinorPhases, MinorRecord, Transcript};
 use hinn_kde::VisualProfile;
 use hinn_linalg::Subspace;
 use hinn_metrics::drop::DropConfig;
@@ -89,6 +89,7 @@ impl InteractiveSearch {
         query: &[f64],
         user: &mut dyn UserModel,
     ) -> SearchOutcome {
+        let _session_span = hinn_obs::span!("search.session");
         assert!(!points.is_empty(), "InteractiveSearch: empty data set");
         let d = points[0].len();
         assert!(d >= 2, "InteractiveSearch: need at least 2 dimensions");
@@ -109,6 +110,11 @@ impl InteractiveSearch {
         let s_eff = self.config.effective_support(d).min(n);
         let n_minors = (d / 2).max(1);
         let par = self.config.parallelism;
+        if hinn_obs::enabled() {
+            hinn_obs::gauge("search.points", n as f64);
+            hinn_obs::gauge("search.dims", d as f64);
+            hinn_obs::gauge("search.threads", par.threads() as f64);
+        }
 
         let mut alive: Vec<usize> = (0..n).collect();
         let mut p_sum = vec![0.0f64; n];
@@ -120,6 +126,9 @@ impl InteractiveSearch {
             if alive.len() < 2 {
                 break;
             }
+            let _major_span = hinn_obs::span!("search.major");
+            // Candidate-set size entering this major iteration.
+            hinn_obs::observe("search.candidates", alive.len() as f64);
             let alive_points: Vec<Vec<f64>> = alive.iter().map(|&i| points[i].clone()).collect();
             let mut counts = PreferenceCounts::new(n);
             let mut ec = Subspace::full(d);
@@ -132,6 +141,13 @@ impl InteractiveSearch {
                 if ec.dim() < 2 {
                     break;
                 }
+                let _minor_span = hinn_obs::span!("search.minor");
+                // Phase wall-clocks for the transcript; only read while a
+                // recorder is installed so the disabled path stays free of
+                // clock calls (and the invariance tests compare fields that
+                // exist on both paths).
+                let timing = hinn_obs::enabled();
+                let t_start = timing.then(std::time::Instant::now);
                 let proj = find_query_centered_projection_with(
                     par,
                     &alive_points,
@@ -148,6 +164,7 @@ impl InteractiveSearch {
                     }
                 });
                 let qc = proj.projection.project(query);
+                let t_proj = timing.then(std::time::Instant::now);
                 let profile = match self.config.bandwidth_mode {
                     BandwidthMode::Fixed => VisualProfile::build_with(
                         par,
@@ -165,6 +182,7 @@ impl InteractiveSearch {
                         alpha,
                     ),
                 };
+                let t_profile = timing.then(std::time::Instant::now);
                 let ctx = ViewContext {
                     major,
                     minor,
@@ -189,6 +207,18 @@ impl InteractiveSearch {
                 } else {
                     0.0
                 };
+                let phases = match (t_start, t_proj, t_profile) {
+                    (Some(a), Some(b), Some(c)) => Some(MinorPhases {
+                        projection_ns: (b - a).as_nanos() as u64,
+                        profile_ns: (c - b).as_nanos() as u64,
+                        select_ns: c.elapsed().as_nanos() as u64,
+                    }),
+                    _ => None,
+                };
+                if let Some(p) = &phases {
+                    hinn_obs::observe("search.picked", picked_rows.len() as f64);
+                    hinn_obs::observe("search.minor_ms", p.total_ns() as f64 / 1e6);
+                }
                 major_rec.minors.push(MinorRecord {
                     major,
                     minor,
@@ -202,6 +232,7 @@ impl InteractiveSearch {
                     } else {
                         None
                     },
+                    phases,
                 });
                 ec = proj.remainder;
             }
@@ -254,6 +285,25 @@ impl InteractiveSearch {
             majors_run,
             effective_support: s_eff,
         }
+    }
+
+    /// [`InteractiveSearch::run`] with a scoped [`hinn_obs::SessionRecorder`]
+    /// installed for the session's duration; returns the outcome together
+    /// with the merged telemetry report. The outcome is bit-identical to a
+    /// plain [`run`](InteractiveSearch::run) — instrumentation only reads
+    /// clocks and bumps counters (`tests/obs_invariance.rs` proves it).
+    pub fn run_traced(
+        &self,
+        points: &[Vec<f64>],
+        query: &[f64],
+        user: &mut dyn UserModel,
+    ) -> (SearchOutcome, hinn_obs::TelemetryReport) {
+        let recorder = std::sync::Arc::new(hinn_obs::SessionRecorder::new());
+        let outcome = {
+            let _guard = hinn_obs::install(recorder.clone());
+            self.run(points, query, user)
+        };
+        (outcome, recorder.report())
     }
 }
 

@@ -5,6 +5,27 @@ use hinn_kde::VisualProfile;
 use hinn_linalg::Subspace;
 use hinn_user::UserResponse;
 
+/// Wall-clock split of one minor iteration's pipeline phases, recorded
+/// only while a `hinn-obs` recorder is installed (`None` otherwise —
+/// timings are machine-dependent, so the invariance tests compare the
+/// *numeric* transcript fields and results, never these).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MinorPhases {
+    /// Projection search plus the 2-D coordinate fill (Figs. 3–4).
+    pub projection_ns: u64,
+    /// Visual-profile construction: the grid KDE (Fig. 5).
+    pub profile_ns: u64,
+    /// User response, density-connection selection, count update (Fig. 7).
+    pub select_ns: u64,
+}
+
+impl MinorPhases {
+    /// Total wall time of the minor iteration's measured phases.
+    pub fn total_ns(&self) -> u64 {
+        self.projection_ns + self.profile_ns + self.select_ns
+    }
+}
+
 /// Record of one minor iteration (one view shown to the user).
 #[derive(Clone, Debug)]
 pub struct MinorRecord {
@@ -26,6 +47,9 @@ pub struct MinorRecord {
     pub query_peak_ratio: f64,
     /// The full visual profile (present when profile recording is on).
     pub profile: Option<VisualProfile>,
+    /// Per-phase wall times (present while a `hinn-obs` recorder is
+    /// installed).
+    pub phases: Option<MinorPhases>,
 }
 
 impl MinorRecord {
@@ -90,7 +114,19 @@ mod tests {
             n_picked: n,
             query_peak_ratio: 0.5,
             profile: None,
+            phases: None,
         }
+    }
+
+    #[test]
+    fn phases_total() {
+        let p = MinorPhases {
+            projection_ns: 1,
+            profile_ns: 2,
+            select_ns: 3,
+        };
+        assert_eq!(p.total_ns(), 6);
+        assert_eq!(MinorPhases::default().total_ns(), 0);
     }
 
     #[test]

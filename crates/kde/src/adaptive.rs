@@ -62,6 +62,7 @@ pub fn adaptive_bandwidths_with(
     base: Bandwidth2D,
     alpha: f64,
 ) -> AdaptiveBandwidths {
+    let _span = hinn_obs::span!("kde.adaptive_bandwidths");
     assert!(!points.is_empty(), "adaptive_bandwidths: empty point set");
     assert!(
         (0.0..=1.0).contains(&alpha),
@@ -123,6 +124,7 @@ pub fn estimate_grid_adaptive_with(
     bw: &AdaptiveBandwidths,
     spec: GridSpec,
 ) -> DensityGrid {
+    let _span = hinn_obs::span!("kde.estimate_grid_adaptive");
     assert_eq!(
         points.len(),
         bw.factors.len(),
@@ -131,6 +133,10 @@ pub fn estimate_grid_adaptive_with(
     let n = spec.n;
     if points.is_empty() {
         return DensityGrid::new(spec, vec![0.0; n * n]);
+    }
+    if hinn_obs::enabled() {
+        hinn_obs::counter("kde.points_scanned", points.len() as u64);
+        hinn_obs::counter("kde.grid_cells", (n * n) as u64);
     }
     let inv_n = 1.0 / points.len() as f64;
     let mut values = map_reduce_chunks(

@@ -85,6 +85,8 @@ pub fn connected_cells(
     query_cell: (usize, usize),
     rule: CornerRule,
 ) -> CellMask {
+    let _span = hinn_obs::span!("kde.connect");
+    hinn_obs::counter("kde.connect_calls", 1);
     let m = grid.spec.cells_per_axis();
     let mut mask = vec![false; m * m];
     let (qx, qy) = query_cell;
@@ -96,6 +98,7 @@ pub fn connected_cells(
     let qualifies = |cx: usize, cy: usize| rule.qualifies(grid.cell_corners(cx, cy), tau);
 
     if !qualifies(qx, qy) {
+        hinn_obs::counter("kde.cells_visited", 1);
         return CellMask {
             cells_per_axis: m,
             mask,
@@ -124,6 +127,11 @@ pub fn connected_cells(
         if cy + 1 < m {
             visit(cx, cy + 1, &mut mask, &mut queue);
         }
+    }
+    if hinn_obs::enabled() {
+        let selected = mask.iter().filter(|&&b| b).count() as u64;
+        hinn_obs::counter("kde.cells_visited", selected);
+        hinn_obs::counter("kde.cells_selected", selected);
     }
     CellMask {
         cells_per_axis: m,

@@ -33,9 +33,14 @@ pub fn estimate_grid_with(
     bw: Bandwidth2D,
     spec: GridSpec,
 ) -> DensityGrid {
+    let _span = hinn_obs::span!("kde.estimate_grid");
     let n = spec.n;
     if points.is_empty() {
         return DensityGrid::new(spec, vec![0.0; n * n]);
+    }
+    if hinn_obs::enabled() {
+        hinn_obs::counter("kde.points_scanned", points.len() as u64);
+        hinn_obs::counter("kde.grid_cells", (n * n) as u64);
     }
     let inv_n = 1.0 / points.len() as f64;
     let mut values = map_reduce_chunks(

@@ -78,6 +78,7 @@ impl VisualProfile {
         grid_n: usize,
         bw_scale: f64,
     ) -> Self {
+        let _span = hinn_obs::span!("kde.profile");
         assert!(!points.is_empty(), "VisualProfile: empty projection");
         let bandwidth = Bandwidth2D::silverman(&points).scaled(bw_scale);
         let spec = GridSpec::covering(&points, &[query], GRID_MARGIN, grid_n);
@@ -132,6 +133,7 @@ impl VisualProfile {
         bw_scale: f64,
         alpha: f64,
     ) -> Self {
+        let _span = hinn_obs::span!("kde.profile");
         assert!(!points.is_empty(), "VisualProfile: empty projection");
         let bandwidth = Bandwidth2D::silverman(&points).scaled(bw_scale);
         let adaptive = crate::adaptive::adaptive_bandwidths_with(par, &points, bandwidth, alpha);

@@ -50,6 +50,7 @@ const MAX_SWEEPS: usize = 64;
 /// Panics if `a` is not square or not symmetric (tolerance scaled to the
 /// matrix magnitude).
 pub fn jacobi_eigen(a: &Matrix) -> SymEigen {
+    let _span = hinn_obs::span!("linalg.eigen");
     assert_eq!(a.rows(), a.cols(), "jacobi_eigen: matrix must be square");
     let scale_tol = 1e-8 * (1.0 + a.max_abs());
     assert!(
@@ -77,16 +78,20 @@ pub fn jacobi_eigen(a: &Matrix) -> SymEigen {
     };
     let tol = 1e-22 * (1.0 + a.max_abs()).powi(2);
 
+    let mut sweeps = 0u64;
+    let mut rotations = 0u64;
     for _sweep in 0..MAX_SWEEPS {
         if off(&m) <= tol {
             break;
         }
+        sweeps += 1;
         for p in 0..n {
             for q in (p + 1)..n {
                 let apq = m[(p, q)];
                 if apq.abs() < 1e-300 {
                     continue;
                 }
+                rotations += 1;
                 let app = m[(p, p)];
                 let aqq = m[(q, q)];
                 // Stable rotation computation (Golub & Van Loan, Alg. 8.4.1).
@@ -121,6 +126,12 @@ pub fn jacobi_eigen(a: &Matrix) -> SymEigen {
                 }
             }
         }
+    }
+
+    if hinn_obs::enabled() {
+        hinn_obs::counter("linalg.eigenpairs", n as u64);
+        hinn_obs::counter("linalg.jacobi_sweeps", sweeps);
+        hinn_obs::counter("linalg.jacobi_rotations", rotations);
     }
 
     // Extract, then sort eigenpairs by descending eigenvalue.

@@ -76,7 +76,9 @@ pub fn covariance_matrix(points: &[Vec<f64>]) -> Matrix {
 /// # Panics
 /// Panics if `points` is empty.
 pub fn covariance_matrix_with(par: Parallelism, points: &[Vec<f64>]) -> Matrix {
+    let _span = hinn_obs::span!("linalg.covariance");
     assert!(!points.is_empty(), "covariance_matrix: empty point set");
+    hinn_obs::counter("linalg.points_scanned", points.len() as u64);
     let d = points[0].len();
     let mean = mean_vector_with(par, points);
     let mut cov = map_reduce_chunks(

@@ -1,0 +1,508 @@
+//! The exported telemetry report: a deterministic snapshot of one
+//! session's spans, counters, gauges, and histograms, renderable as JSON
+//! (machine-readable, schema-stable) or pretty text (human-readable).
+//!
+//! All collections are `BTreeMap`s and span children are sorted by name,
+//! so two reports with the same *structure* always serialize their keys in
+//! the same order — the workspace golden test pins the schema (the set of
+//! span paths and metric names) without pinning the timing values, which
+//! are inherently machine-dependent.
+
+use crate::session::SpanStat;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// JSON schema version stamped into every export; bump when the report
+/// shape changes incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Aggregate of one histogram metric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One node of the merged span tree.
+#[derive(Clone, Debug)]
+pub struct SpanNode {
+    /// Span name (the last path segment).
+    pub name: String,
+    /// Full `/`-joined path from the root.
+    pub path: String,
+    /// How many times this span was entered and exited.
+    pub count: u64,
+    /// Total monotonic nanoseconds across all entries.
+    pub total_ns: u64,
+    /// Child spans, sorted by name.
+    pub children: Vec<SpanNode>,
+}
+
+/// A deterministic snapshot of one session's telemetry (see module docs).
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryReport {
+    /// Root spans (paths with no parent), sorted by name.
+    pub spans: Vec<SpanNode>,
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name (last write wins).
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl TelemetryReport {
+    /// Build a report from flat aggregates (used by
+    /// [`crate::SessionRecorder::report`]).
+    pub(crate) fn assemble(
+        spans: BTreeMap<String, SpanStat>,
+        counters: BTreeMap<String, u64>,
+        gauges: BTreeMap<String, f64>,
+        histograms: BTreeMap<String, Histogram>,
+    ) -> Self {
+        let mut roots: Vec<SpanNode> = Vec::new();
+        // BTreeMap iteration is lexicographic, so every parent path sorts
+        // before its children and insertion always finds the parent (or
+        // synthesizes it for an orphan path recorded on a worker thread).
+        for (path, stat) in &spans {
+            insert_span(&mut roots, path, *stat);
+        }
+        Self {
+            spans: roots,
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// The counter's value, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Find a span node by its full `/`-joined path.
+    pub fn find_span(&self, path: &str) -> Option<&SpanNode> {
+        let mut nodes = &self.spans;
+        let mut found: Option<&SpanNode> = None;
+        for segment in path.split('/') {
+            found = nodes.iter().find(|n| n.name == segment);
+            nodes = match found {
+                Some(node) => &node.children,
+                None => return None,
+            };
+        }
+        found
+    }
+
+    /// Every span path in the report, depth-first, children in name order.
+    pub fn span_paths(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        fn walk(nodes: &[SpanNode], out: &mut Vec<String>) {
+            for n in nodes {
+                out.push(n.path.clone());
+                walk(&n.children, out);
+            }
+        }
+        walk(&self.spans, &mut out);
+        out
+    }
+
+    /// The report's *schema*: every span path and metric name, one per
+    /// line, values elided. Timing values are machine-dependent, so golden
+    /// tests pin this structure instead of the raw export.
+    pub fn schema(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "schema_version: {SCHEMA_VERSION}");
+        for path in self.span_paths() {
+            let _ = writeln!(out, "span: {path}");
+        }
+        for name in self.counters.keys() {
+            let _ = writeln!(out, "counter: {name}");
+        }
+        for name in self.gauges.keys() {
+            let _ = writeln!(out, "gauge: {name}");
+        }
+        for name in self.histograms.keys() {
+            let _ = writeln!(out, "histogram: {name}");
+        }
+        out
+    }
+
+    /// Machine-readable JSON export (stable key order; see module docs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+        out.push_str("  \"spans\": [");
+        for (i, node) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            json_span(&mut out, node, 2);
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        json_map(&mut out, "counters", &self.counters, |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str(",\n");
+        json_map(&mut out, "gauges", &self.gauges, |out, v| {
+            let _ = write!(out, "{}", json_f64(*v));
+        });
+        out.push_str(",\n");
+        json_map(&mut out, "histograms", &self.histograms, |out, h| {
+            let _ = write!(
+                out,
+                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+                h.count,
+                json_f64(h.sum),
+                json_f64(if h.count == 0 { 0.0 } else { h.min }),
+                json_f64(if h.count == 0 { 0.0 } else { h.max })
+            );
+        });
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Human-readable report: the span tree with per-span timings, then
+    /// counters, gauges, and histograms.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "telemetry report");
+        let _ = writeln!(out, "----------------");
+        if self.spans.is_empty() {
+            let _ = writeln!(out, "(no spans recorded)");
+        }
+        fn walk(out: &mut String, nodes: &[SpanNode], depth: usize) {
+            for n in nodes {
+                let _ = writeln!(
+                    out,
+                    "{:indent$}{:<32} {:>7}x  {:>12.3} ms",
+                    "",
+                    n.name,
+                    n.count,
+                    n.total_ns as f64 / 1e6,
+                    indent = depth * 2
+                );
+                walk(out, &n.children, depth + 1);
+            }
+        }
+        walk(&mut out, &self.spans, 0);
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<38} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<38} {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms:");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<38} n={} mean={:.3} min={:.3} max={:.3}",
+                    h.count,
+                    h.mean(),
+                    if h.count == 0 { 0.0 } else { h.min },
+                    if h.count == 0 { 0.0 } else { h.max }
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Insert `stat` at `path` into the span forest, creating intermediate
+/// nodes (with zero stats) for orphan paths if needed.
+fn insert_span(roots: &mut Vec<SpanNode>, path: &str, stat: SpanStat) {
+    let mut nodes = roots;
+    let mut prefix = String::new();
+    let segments: Vec<&str> = path.split('/').collect();
+    for (depth, segment) in segments.iter().enumerate() {
+        if !prefix.is_empty() {
+            prefix.push('/');
+        }
+        prefix.push_str(segment);
+        let pos = match nodes.iter().position(|n| n.name == *segment) {
+            Some(p) => p,
+            None => {
+                let node = SpanNode {
+                    name: (*segment).to_string(),
+                    path: prefix.clone(),
+                    count: 0,
+                    total_ns: 0,
+                    children: Vec::new(),
+                };
+                // Keep siblings sorted by name for deterministic output.
+                let p = nodes
+                    .binary_search_by(|n| n.name.as_str().cmp(segment))
+                    .unwrap_err();
+                nodes.insert(p, node);
+                p
+            }
+        };
+        if depth + 1 == segments.len() {
+            nodes[pos].count += stat.count;
+            nodes[pos].total_ns += stat.total_ns;
+            return;
+        }
+        nodes = &mut nodes[pos].children;
+    }
+}
+
+/// Render an f64 as JSON (finite values only; non-finite become null).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escape a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one span node (and its children) as a JSON object.
+fn json_span(out: &mut String, node: &SpanNode, depth: usize) {
+    let pad = "  ".repeat(depth);
+    let _ = write!(
+        out,
+        "{pad}{{\"name\": \"{}\", \"path\": \"{}\", \"count\": {}, \"total_ns\": {}, \"children\": [",
+        json_escape(&node.name),
+        json_escape(&node.path),
+        node.count,
+        node.total_ns
+    );
+    for (i, child) in node.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        json_span(out, child, depth + 1);
+    }
+    if !node.children.is_empty() {
+        out.push('\n');
+        out.push_str(&pad);
+    }
+    out.push_str("]}");
+}
+
+/// Render a named map as a JSON object with one writer per value.
+fn json_map<V>(
+    out: &mut String,
+    key: &str,
+    map: &BTreeMap<String, V>,
+    write_value: impl Fn(&mut String, &V),
+) {
+    let _ = write!(out, "  \"{key}\": {{");
+    for (i, (name, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": ", json_escape(name));
+        write_value(out, v);
+    }
+    if !map.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetryReport {
+        let mut spans = BTreeMap::new();
+        spans.insert(
+            "a".to_string(),
+            SpanStat {
+                count: 1,
+                total_ns: 100,
+            },
+        );
+        spans.insert(
+            "a/b".to_string(),
+            SpanStat {
+                count: 2,
+                total_ns: 40,
+            },
+        );
+        spans.insert(
+            "a/c".to_string(),
+            SpanStat {
+                count: 1,
+                total_ns: 10,
+            },
+        );
+        let mut counters = BTreeMap::new();
+        counters.insert("points".to_string(), 42u64);
+        let mut gauges = BTreeMap::new();
+        gauges.insert("alive".to_string(), 17.0);
+        let mut hists = BTreeMap::new();
+        let mut h = Histogram::default();
+        h.push(1.0);
+        h.push(3.0);
+        hists.insert("sizes".to_string(), h);
+        TelemetryReport::assemble(spans, counters, gauges, hists)
+    }
+
+    #[test]
+    fn span_tree_structure() {
+        let r = sample();
+        assert_eq!(r.spans.len(), 1);
+        assert_eq!(r.spans[0].children.len(), 2);
+        assert_eq!(r.find_span("a/b").map(|n| n.count), Some(2));
+        assert_eq!(r.find_span("a/c").map(|n| n.total_ns), Some(10));
+        assert!(r.find_span("a/missing").is_none());
+        assert_eq!(r.span_paths(), vec!["a", "a/b", "a/c"]);
+    }
+
+    #[test]
+    fn orphan_path_synthesizes_parent() {
+        let mut spans = BTreeMap::new();
+        spans.insert(
+            "x/y".to_string(),
+            SpanStat {
+                count: 3,
+                total_ns: 9,
+            },
+        );
+        let r = TelemetryReport::assemble(spans, BTreeMap::new(), BTreeMap::new(), BTreeMap::new());
+        let x = r.find_span("x").expect("synthesized parent");
+        assert_eq!(x.count, 0);
+        assert_eq!(r.find_span("x/y").map(|n| n.count), Some(3));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_stable() {
+        let r = sample();
+        let json = r.to_json();
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"path\": \"a/b\""));
+        assert!(json.contains("\"points\": 42"));
+        assert!(json.contains("\"sizes\": {\"count\": 2"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+        assert_eq!(json, sample().to_json(), "export must be deterministic");
+    }
+
+    #[test]
+    fn schema_lists_structure_without_values() {
+        let s = sample().schema();
+        assert!(s.contains("span: a/b"));
+        assert!(s.contains("counter: points"));
+        assert!(s.contains("gauge: alive"));
+        assert!(s.contains("histogram: sizes"));
+        assert!(!s.contains("42"), "schema must not contain values");
+    }
+
+    #[test]
+    fn text_report_renders_all_sections() {
+        let t = sample().to_text();
+        assert!(t.contains("telemetry report"));
+        assert!(t.contains('a'));
+        assert!(t.contains("counters:"));
+        assert!(t.contains("gauges:"));
+        assert!(t.contains("histograms:"));
+        assert!(t.contains("mean=2.000"));
+    }
+
+    #[test]
+    fn histogram_accumulates() {
+        let mut h = Histogram::default();
+        assert_eq!(h.mean(), 0.0);
+        h.push(2.0);
+        h.push(6.0);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.mean(), 4.0);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 6.0);
+        let mut other = Histogram::default();
+        other.push(-1.0);
+        h.merge(&other);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, -1.0);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}

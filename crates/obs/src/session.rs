@@ -1,0 +1,299 @@
+//! The thread-sharded session recorder.
+//!
+//! Every thread that emits an event gets its own *shard* — a small
+//! mutex-protected scratch area registered with the recorder on first use.
+//! Because a shard is only ever locked by its owning thread (and once more
+//! at report time), the lock is uncontended in steady state: recording is
+//! effectively lock-free even under the scoped worker threads `hinn-par`
+//! spawns inside every hot path.
+//!
+//! Merging is **deterministic**: shards aggregate into `BTreeMap`s keyed
+//! by span path / metric name, so the merged report does not depend on
+//! thread scheduling or shard registration order. (Span and counter
+//! aggregation is integer addition — associative and commutative — and
+//! histogram merge uses only order-independent reductions: sum of counts,
+//! min of mins, max of maxes, plus an f64 value sum whose shard order is
+//! fixed by registration sequence.)
+
+use crate::report::{Histogram, TelemetryReport};
+use crate::Recorder;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Aggregated statistics of one span path within one shard.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct SpanStat {
+    pub(crate) count: u64,
+    pub(crate) total_ns: u64,
+}
+
+/// One thread's private event scratch area.
+#[derive(Default)]
+struct Shard {
+    /// Stack of currently-open span names on the owning thread.
+    stack: Vec<&'static str>,
+    /// Aggregated spans keyed by `/`-joined path.
+    spans: BTreeMap<String, SpanStat>,
+    /// Monotonic counters.
+    counters: BTreeMap<&'static str, u64>,
+    /// Last-write-wins gauges, with a sequence number so the merged value
+    /// is the globally last write, not the last shard's write.
+    gauges: BTreeMap<&'static str, (u64, f64)>,
+    /// Histogram accumulators.
+    hists: BTreeMap<&'static str, Histogram>,
+}
+
+impl Shard {
+    /// The `/`-joined path of the currently-open span stack.
+    fn path(&self) -> String {
+        self.stack.join("/")
+    }
+}
+
+/// Distinguishes recorder instances so a long-lived thread's cached shard
+/// handle is never mistakenly reused for a *different* recorder.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+/// Global sequence for gauge writes (see `Shard::gauges`).
+static GAUGE_SEQ: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's cached `(generation, shard)` handle.
+    static LOCAL_SHARD: RefCell<Option<(u64, Arc<Mutex<Shard>>)>> = const { RefCell::new(None) };
+}
+
+/// A [`Recorder`] that collects spans, counters, gauges, and histograms
+/// into per-thread shards and merges them into a [`TelemetryReport`].
+///
+/// See the [crate docs](crate) for a usage example.
+pub struct SessionRecorder {
+    generation: u64,
+    shards: Mutex<Vec<Arc<Mutex<Shard>>>>,
+}
+
+impl Default for SessionRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionRecorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        Self {
+            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
+            shards: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Run `f` on the calling thread's shard, creating and registering the
+    /// shard on first use.
+    fn with_shard(&self, f: impl FnOnce(&mut Shard)) {
+        LOCAL_SHARD.with(|tl| {
+            let mut tl = tl.borrow_mut();
+            let cached = matches!(&*tl, Some((generation, _)) if *generation == self.generation);
+            if !cached {
+                let shard = Arc::new(Mutex::new(Shard::default()));
+                self.shards
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(shard.clone());
+                *tl = Some((self.generation, shard));
+            }
+            let (_, shard) = tl.as_ref().expect("shard just installed");
+            f(&mut shard.lock().unwrap_or_else(|e| e.into_inner()));
+        });
+    }
+
+    /// Merge every shard into a deterministic snapshot report. The
+    /// recorder keeps accumulating afterwards; reporting does not drain.
+    pub fn report(&self) -> TelemetryReport {
+        let shards = self.shards.lock().unwrap_or_else(|e| e.into_inner());
+        let mut spans: BTreeMap<String, SpanStat> = BTreeMap::new();
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+        let mut hists: BTreeMap<String, Histogram> = BTreeMap::new();
+        for shard in shards.iter() {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (path, stat) in &shard.spans {
+                let s = spans.entry(path.clone()).or_default();
+                s.count += stat.count;
+                s.total_ns += stat.total_ns;
+            }
+            for (&name, &v) in &shard.counters {
+                *counters.entry(name.to_string()).or_insert(0) += v;
+            }
+            for (&name, &(seq, v)) in &shard.gauges {
+                let slot = gauges.entry(name.to_string()).or_insert((0, 0.0));
+                if seq > slot.0 {
+                    *slot = (seq, v);
+                }
+            }
+            for (&name, h) in &shard.hists {
+                hists.entry(name.to_string()).or_default().merge(h);
+            }
+        }
+        TelemetryReport::assemble(
+            spans,
+            counters,
+            gauges.into_iter().map(|(k, (_, v))| (k, v)).collect(),
+            hists,
+        )
+    }
+}
+
+impl Recorder for SessionRecorder {
+    fn enter_span(&self, name: &'static str) {
+        self.with_shard(|shard| shard.stack.push(name));
+    }
+
+    fn exit_span(&self, name: &'static str, nanos: u64) {
+        self.with_shard(|shard| {
+            // Tolerate an unbalanced exit (a guard created just before the
+            // recorder was installed, or dropped just after removal).
+            if shard.stack.last() != Some(&name) {
+                return;
+            }
+            shard.stack.pop();
+            let path = if shard.stack.is_empty() {
+                name.to_string()
+            } else {
+                format!("{}/{}", shard.path(), name)
+            };
+            let stat = shard.spans.entry(path).or_default();
+            stat.count += 1;
+            stat.total_ns += nanos;
+        });
+    }
+
+    fn add(&self, name: &'static str, delta: u64) {
+        self.with_shard(|shard| *shard.counters.entry(name).or_insert(0) += delta);
+    }
+
+    fn gauge(&self, name: &'static str, value: f64) {
+        let seq = GAUGE_SEQ.fetch_add(1, Ordering::Relaxed);
+        self.with_shard(|shard| {
+            shard.gauges.insert(name, (seq, value));
+        });
+    }
+
+    fn observe(&self, name: &'static str, value: f64) {
+        self.with_shard(|shard| shard.hists.entry(name).or_default().push(value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive the recorder directly (no global install), so these tests are
+    /// independent of any concurrently-installed recorder.
+    #[test]
+    fn spans_nest_into_paths() {
+        let rec = SessionRecorder::new();
+        rec.enter_span("outer");
+        rec.enter_span("inner");
+        rec.exit_span("inner", 5);
+        rec.enter_span("inner");
+        rec.exit_span("inner", 7);
+        rec.exit_span("outer", 100);
+        let report = rec.report();
+        let outer = report.find_span("outer").expect("outer span");
+        assert_eq!(outer.count, 1);
+        assert_eq!(outer.total_ns, 100);
+        let inner = report.find_span("outer/inner").expect("nested span");
+        assert_eq!(inner.count, 2);
+        assert_eq!(inner.total_ns, 12);
+        assert!(report.find_span("inner").is_none(), "no top-level inner");
+    }
+
+    #[test]
+    fn unbalanced_exit_is_ignored() {
+        let rec = SessionRecorder::new();
+        rec.exit_span("never_entered", 99);
+        rec.enter_span("a");
+        rec.exit_span("b", 1); // mismatched name: ignored, stack intact
+        rec.exit_span("a", 2);
+        let report = rec.report();
+        assert!(report.find_span("never_entered").is_none());
+        assert_eq!(report.find_span("a").map(|s| s.total_ns), Some(2));
+    }
+
+    #[test]
+    fn per_thread_shards_merge_deterministically() {
+        let rec = Arc::new(SessionRecorder::new());
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    rec.enter_span("work");
+                    rec.add("items", 10 + t);
+                    rec.observe("latency", t as f64);
+                    rec.exit_span("work", t);
+                });
+            }
+        });
+        let report = rec.report();
+        // Scheduling-independent aggregates.
+        assert_eq!(report.counter("items"), 10 + 11 + 12 + 13);
+        let work = report.find_span("work").expect("work span");
+        assert_eq!(work.count, 4);
+        assert_eq!(work.total_ns, 6); // 0 + 1 + 2 + 3
+        let h = report.histograms.get("latency").expect("histogram");
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 3.0);
+        // Two reports from the same shards are identical, and repeated
+        // runs would produce the same JSON regardless of thread order.
+        assert_eq!(report.to_json(), rec.report().to_json());
+    }
+
+    #[test]
+    fn merge_order_of_shards_does_not_change_the_report() {
+        // Two recorders fed the same events from threads started in
+        // opposite orders must render identical reports.
+        let run = |reverse: bool| {
+            let rec = Arc::new(SessionRecorder::new());
+            let mut ids: Vec<u64> = (0..6).collect();
+            if reverse {
+                ids.reverse();
+            }
+            std::thread::scope(|scope| {
+                for t in ids {
+                    let rec = rec.clone();
+                    scope.spawn(move || {
+                        rec.enter_span("phase");
+                        rec.add("n", t);
+                        rec.exit_span("phase", 2 * t);
+                    });
+                }
+            });
+            rec.report().to_json()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn gauge_last_write_wins_across_shards() {
+        let rec = Arc::new(SessionRecorder::new());
+        rec.gauge("points.alive", 100.0);
+        std::thread::scope(|scope| {
+            let rec2 = rec.clone();
+            scope.spawn(move || rec2.gauge("points.alive", 40.0));
+        });
+        // The thread's write happened after the main thread's.
+        assert_eq!(rec.report().gauges.get("points.alive"), Some(&40.0));
+    }
+
+    #[test]
+    fn fresh_recorder_does_not_inherit_old_shards() {
+        let a = SessionRecorder::new();
+        a.add("x", 1);
+        let b = SessionRecorder::new();
+        b.add("x", 5);
+        assert_eq!(a.report().counter("x"), 1);
+        assert_eq!(b.report().counter("x"), 5);
+    }
+}

@@ -169,6 +169,7 @@ where
 {
     let nchunks = chunk_count(n);
     let workers = effective_workers(par, n, nchunks);
+    record_dispatch(workers, nchunks);
     let mut fold = fold;
     if workers <= 1 {
         let mut acc = init;
@@ -225,6 +226,7 @@ where
     let n = out.len();
     let nchunks = chunk_count(n);
     let workers = effective_workers(par, n, nchunks);
+    record_dispatch(workers, nchunks);
     if workers <= 1 {
         for (i, slice) in out.chunks_mut(CHUNK).enumerate() {
             fill(i * CHUNK, slice);
@@ -258,6 +260,23 @@ fn effective_workers(par: Parallelism, n: usize, nchunks: usize) -> usize {
         1
     } else {
         par.threads().min(nchunks).max(1)
+    }
+}
+
+/// Telemetry for one dispatch decision: chunk volume, inline-vs-parallel
+/// outcome, and the worker count actually used. Purely observational — the
+/// schedule is decided before this is called and never depends on it.
+#[inline]
+fn record_dispatch(workers: usize, nchunks: usize) {
+    if !hinn_obs::enabled() {
+        return;
+    }
+    hinn_obs::counter("par.chunks", nchunks as u64);
+    if workers <= 1 {
+        hinn_obs::counter("par.inline", 1);
+    } else {
+        hinn_obs::counter("par.parallel", 1);
+        hinn_obs::counter("par.workers", workers as u64);
     }
 }
 

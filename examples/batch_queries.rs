@@ -8,7 +8,13 @@
 //! scans) so nested parallelism never oversubscribes the machine.
 //!
 //! Results are bit-identical for every budget — rerun with
-//! `HINN_THREADS=1` (or 8) and the report below does not change a digit.
+//! `HINN_THREADS=1` (or 8) and the answers below do not change a digit;
+//! only the telemetry timings move.
+//!
+//! The whole batch runs under a `hinn-obs` session recorder, so the
+//! bottom of the output is the aggregated telemetry report: the span tree
+//! of the pipeline (session → major → minor → KDE/PCA/scan), work
+//! counters, and per-query wall-time histograms.
 //!
 //! ```sh
 //! cargo run --release --example batch_queries
@@ -16,9 +22,11 @@
 
 use hinn::core::{BatchRunner, Parallelism, SearchConfig};
 use hinn::data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
+use hinn::obs::SessionRecorder;
 use hinn::user::HeuristicUser;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn main() {
     // A 5000-point, 16-d data set with planted 5-d clusters.
@@ -50,11 +58,18 @@ fn main() {
         spec.dim,
         budget.threads()
     );
-    let reports = runner.run(&queries, || Box::new(HeuristicUser::default()));
+    // Trace the whole batch: every session records into one recorder,
+    // and the deterministic shard merge below yields one report.
+    let recorder = Arc::new(SessionRecorder::new());
+    let reports = {
+        let _guard = hinn::obs::install(recorder.clone());
+        runner.run(&queries, || Box::new(HeuristicUser::default()))
+    };
 
     for r in &reports {
         println!(
-            "query {}: {:>4} neighbors, {} majors, {} views ({} dismissed) — {}",
+            "query {}: {:>4} neighbors, {} majors, {} views ({} dismissed) — {} \
+             [{:.1} ms on {} intra-query thread(s)]",
             r.query_index,
             r.neighbors.len(),
             r.majors_run,
@@ -64,7 +79,9 @@ fn main() {
                 "meaningful"
             } else {
                 "not meaningful"
-            }
+            },
+            r.wall.as_secs_f64() * 1e3,
+            r.intra_threads,
         );
     }
 
@@ -79,5 +96,10 @@ fn main() {
     println!(
         "\nserial rerun identical: {}",
         if identical { "yes" } else { "NO — BUG" }
+    );
+
+    println!(
+        "\n=== session telemetry ===\n{}",
+        recorder.report().to_text()
     );
 }

@@ -10,6 +10,9 @@
 //! * [`par`] — the deterministic data-parallel layer: fixed-chunk
 //!   map/reduce on `std::thread::scope` whose results are bit-identical
 //!   to serial execution for every thread budget.
+//! * [`obs`] — structured tracing and session telemetry: hierarchical
+//!   spans, typed counters/gauges/histograms, and JSON/text reports,
+//!   with near-zero cost when no recorder is installed.
 //! * [`linalg`] — dense vectors/matrices, Jacobi eigensolver, orthonormal
 //!   subspaces and projections.
 //! * [`kde`] — Gaussian kernel density estimation on 2-D grids (fixed and
@@ -59,6 +62,7 @@ pub use hinn_data as data;
 pub use hinn_kde as kde;
 pub use hinn_linalg as linalg;
 pub use hinn_metrics as metrics;
+pub use hinn_obs as obs;
 pub use hinn_par as par;
 pub use hinn_user as user;
 pub use hinn_viz as viz;
