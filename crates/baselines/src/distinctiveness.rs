@@ -63,7 +63,9 @@ pub fn distinctiveness_knn(
         .collect();
     scored.sort_by(|a, b| {
         a.0.cmp(&b.0)
-            .then(a.1.partial_cmp(&b.1).expect("NaN distance"))
+            // Non-negative distances: `total_cmp` matches the old order
+            // and stays total if a poisoned (NaN) distance slips in.
+            .then(a.1.total_cmp(&b.1))
             .then(a.2.cmp(&b.2))
     });
     scored.into_iter().take(k).map(|(_, _, i)| i).collect()

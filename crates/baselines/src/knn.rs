@@ -107,11 +107,13 @@ where
 /// Partial selection then sort of the head — O(N + k log k).
 fn select_k(mut scored: Vec<(f64, usize)>, k: usize) -> Vec<usize> {
     let k = k.min(scored.len());
-    scored.select_nth_unstable_by(k.saturating_sub(1), |a, b| {
-        a.partial_cmp(b).expect("NaN distance")
-    });
+    // Distances are non-negative, so `total_cmp` matches the old partial
+    // order; a poisoned (NaN) distance sorts last and is excluded from
+    // the k nearest instead of panicking the scan.
+    let by_dist = |a: &(f64, usize), b: &(f64, usize)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1));
+    scored.select_nth_unstable_by(k.saturating_sub(1), by_dist);
     let mut head: Vec<(f64, usize)> = scored[..k].to_vec();
-    head.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
+    head.sort_by(by_dist);
     head.into_iter().map(|(_, i)| i).collect()
 }
 
@@ -129,6 +131,17 @@ mod tests {
         let pts = line_points();
         let nn = knn_indices(&pts, &[3.2, 0.0], 3, Metric::L2);
         assert_eq!(nn, vec![3, 4, 2]);
+    }
+
+    #[test]
+    fn poisoned_point_is_excluded_from_the_k_nearest() {
+        // NaN policy: a point with a NaN coordinate gets a NaN distance,
+        // which sorts behind every finite one — it can never displace a
+        // real neighbor, and the scan never panics.
+        let mut pts = line_points();
+        pts[4] = vec![f64::NAN, 0.0];
+        let nn = knn_indices(&pts, &[3.2, 0.0], 3, Metric::L2);
+        assert_eq!(nn, vec![3, 2, 5]);
     }
 
     #[test]

@@ -95,7 +95,9 @@ pub fn projected_knn(
                 (eig.values[i].max(0.0) / gamma, i)
             })
             .collect();
-        scored.sort_by(|a, b| a.partial_cmp(b).expect("NaN ratio"));
+        // Variance ratios are non-negative; `total_cmp` keeps the order
+        // total (NaN last) if an eigenvalue is ever poisoned.
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let chosen: Vec<Vec<f64>> = scored[..config.proj_dim]
             .iter()
             .map(|&(_, i)| eig.vector(i))

@@ -31,6 +31,10 @@ pub struct VaFile {
     bounds: Vec<Vec<f64>>,
     /// Per-point cell signature, row-major `n × dim` (cell index per dim).
     cells: Vec<u16>,
+    /// Points with a NaN coordinate: their signature is meaningless, so
+    /// the filter gives them infinite bounds — they can neither tighten
+    /// the pruning threshold nor appear in any answer.
+    poisoned: Vec<bool>,
     /// The exact vectors (needed for the refine phase).
     points: Vec<Vec<f64>>,
 }
@@ -67,32 +71,50 @@ impl VaFile {
         let mut bounds = Vec::with_capacity(dim);
         for j in 0..dim {
             let mut col: Vec<f64> = points.iter().map(|p| p[j]).collect();
-            col.sort_by(|a, b| a.partial_cmp(b).expect("NaN coordinate"));
+            // `total_cmp` keeps the sort total on poisoned data: NaN
+            // coordinates collect at the extremes deterministically. The
+            // boundaries themselves must stay finite — a NaN outer edge
+            // would silently weaken the per-cell distance bounds and let
+            // the filter prune true neighbors — so the outer boundaries
+            // clamp to the finite span of the column (identical to the
+            // raw extremes on clean data; NaN points themselves are
+            // excluded by the refine heap regardless of their cell).
+            col.sort_by(|a, b| a.total_cmp(b));
+            let lo_edge = col.iter().copied().find(|v| !v.is_nan()).unwrap_or(0.0);
+            let hi_edge = col
+                .iter()
+                .rev()
+                .copied()
+                .find(|v| !v.is_nan())
+                .unwrap_or(0.0);
             let mut b = Vec::with_capacity(cells + 1);
-            b.push(col[0]);
+            b.push(lo_edge);
             for c in 1..cells {
                 let idx = (c * (col.len() - 1)) / cells;
-                let v = col[idx];
-                // Boundaries must be non-decreasing; duplicates are fine
-                // (empty cells).
+                let v = col[idx].min(hi_edge); // `min` ignores a NaN quantile
+                                               // Boundaries must be non-decreasing; duplicates are fine
+                                               // (empty cells).
                 b.push(v.max(*b.last().expect("non-empty")));
             }
-            b.push(col[col.len() - 1]);
+            b.push(hi_edge.max(*b.last().expect("non-empty")));
             bounds.push(b);
         }
 
         // Signatures.
         let mut cell_ids = Vec::with_capacity(points.len() * dim);
+        let mut poisoned = Vec::with_capacity(points.len());
         for p in &points {
             for j in 0..dim {
                 cell_ids.push(cell_of(&bounds[j], p[j]) as u16);
             }
+            poisoned.push(p.iter().any(|v| v.is_nan()));
         }
         Self {
             bits,
             dim,
             bounds,
             cells: cell_ids,
+            poisoned,
             points,
         }
     }
@@ -182,6 +204,14 @@ impl VaFile {
         fill_chunks(par, &mut bound_pairs, |start, slice| {
             for (off, slot) in slice.iter_mut().enumerate() {
                 let i = start + off;
+                if self.poisoned[i] {
+                    // A NaN coordinate has no meaningful cell: infinite
+                    // bounds keep it out of both the pruning threshold
+                    // (a falsely small upper could discard true
+                    // neighbors) and the refine phase.
+                    *slot = (f64::INFINITY, f64::INFINITY);
+                    continue;
+                }
                 let sig = &self.cells[i * self.dim..(i + 1) * self.dim];
                 let mut l = 0.0;
                 let mut h = 0.0;
@@ -198,7 +228,7 @@ impl VaFile {
         // lower bound: any true k-NN member has exact ≤ its upper ≤ that
         // threshold, hence lower ≤ threshold, so no true neighbor is lost.
         let mut upper_sel = uppers.clone();
-        upper_sel.select_nth_unstable_by(k - 1, |a, b| a.partial_cmp(b).expect("NaN bound"));
+        upper_sel.select_nth_unstable_by(k - 1, |a, b| a.total_cmp(b));
         let kth_upper = upper_sel[k - 1];
         drop(filter_span);
 
@@ -229,12 +259,7 @@ impl VaFile {
         hinn_obs::counter("baselines.vafile_refined", refined as u64);
 
         let mut result: Vec<HeapEntry> = heap.into_vec();
-        result.sort_by(|a, b| {
-            a.dist
-                .partial_cmp(&b.dist)
-                .expect("NaN distance")
-                .then(a.idx.cmp(&b.idx))
-        });
+        result.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.idx.cmp(&b.idx)));
         (
             result.into_iter().map(|e| e.idx).collect(),
             VaQueryStats { refined, total: n },
@@ -251,9 +276,12 @@ fn cell_of(bounds: &[f64], v: f64) -> usize {
     if v >= bounds[cells] {
         return cells - 1;
     }
-    // partition_point: first boundary > v, minus one.
+    // partition_point: first boundary > v, minus one. A NaN coordinate
+    // satisfies no comparison above and no `<=` here, so `idx` is 0: the
+    // saturating subtraction files it in cell 0 instead of underflowing.
+    // Its exact distance is NaN, which sorts behind every real neighbor.
     let idx = bounds.partition_point(|b| *b <= v);
-    (idx - 1).min(cells - 1)
+    idx.saturating_sub(1).min(cells - 1)
 }
 
 #[derive(PartialEq)]
@@ -266,9 +294,12 @@ impl Eq for HeapEntry {}
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Squared distances are non-negative, so `total_cmp` matches the
+        // old order; a poisoned (NaN) distance ranks as the *worst* entry
+        // in the max-heap of k best, so it is evicted first and never
+        // displaces a real neighbor.
         self.dist
-            .partial_cmp(&other.dist)
-            .expect("NaN distance")
+            .total_cmp(&other.dist)
             .then(self.idx.cmp(&other.idx))
     }
 }
@@ -306,6 +337,24 @@ mod tests {
             let (got, _) = va.knn(q, 10);
             let want = knn_indices(&pts, q, 10, Metric::L2);
             assert_eq!(got, want, "VA-file must be exact (query {qi})");
+        }
+    }
+
+    #[test]
+    fn poisoned_coordinate_neither_panics_nor_displaces_neighbors() {
+        // NaN policy: a poisoned point files into the outermost cell
+        // (saturating, no index underflow), its exact distance is NaN,
+        // and the refine heap evicts it first — so the VA-file still
+        // agrees with the linear scan, which applies the same policy.
+        let mut pts = random_points(120, 6, 21);
+        pts[7][1] = f64::NAN;
+        let va = VaFile::build(pts.clone(), 4);
+        for qi in [0usize, 50, 100] {
+            let q = pts[qi].clone();
+            let (got, _) = va.knn(&q, 8);
+            let want = knn_indices(&pts, &q, 8, Metric::L2);
+            assert_eq!(got, want, "query {qi}");
+            assert!(!got.contains(&7), "poisoned point must not rank");
         }
     }
 

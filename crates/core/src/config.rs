@@ -1,5 +1,6 @@
 //! Configuration of the interactive search loop.
 
+use crate::error::HinnError;
 use hinn_kde::CornerRule;
 use hinn_par::Parallelism;
 
@@ -74,6 +75,12 @@ pub struct SearchConfig {
     /// cores. Defaults to [`Parallelism::from_env`] (`HINN_THREADS`, else
     /// all hardware threads).
     pub parallelism: Parallelism,
+    /// Optional wall-clock budget per session. Checked cooperatively at
+    /// minor-iteration boundaries: when exceeded,
+    /// [`crate::InteractiveSearch::try_run`] returns
+    /// [`crate::HinnError::Deadline`] instead of a partial answer. `None`
+    /// (the default) keeps the engine clock-free outside instrumentation.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for SearchConfig {
@@ -91,6 +98,7 @@ impl Default for SearchConfig {
             projection_weights: Vec::new(),
             record_profiles: false,
             parallelism: Parallelism::default(),
+            deadline: None,
         }
     }
 }
@@ -121,6 +129,13 @@ impl SearchConfig {
         self
     }
 
+    /// Set a per-session wall-clock budget (see
+    /// [`SearchConfig::deadline`]).
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// The effective support for data of dimensionality `d`
     /// (§2: at least `d`).
     pub fn effective_support(&self, d: usize) -> usize {
@@ -133,32 +148,54 @@ impl SearchConfig {
     }
 
     /// Validate invariants that cannot be enforced at construction.
+    ///
+    /// # Panics
+    /// Panics with the offending invariant's message; [`try_validate`]
+    /// (`SearchConfig::try_validate`) is the non-panicking form.
     pub fn validate(&self) {
-        assert!(self.support > 0, "SearchConfig: support must be positive");
-        assert!(self.grid_n >= 4, "SearchConfig: grid_n must be at least 4");
-        assert!(
-            self.bandwidth_scale > 0.0,
-            "SearchConfig: bandwidth_scale must be positive"
-        );
-        if let BandwidthMode::Adaptive { alpha } = self.bandwidth_mode {
-            assert!(
-                (0.0..=1.0).contains(&alpha),
-                "SearchConfig: adaptive alpha must be in [0, 1]"
-            );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
-        assert!(
-            (0.0..=1.0).contains(&self.overlap_threshold),
-            "SearchConfig: overlap_threshold must be in [0,1]"
-        );
-        assert!(
-            self.min_major_iterations >= 1
-                && self.min_major_iterations <= self.max_major_iterations,
-            "SearchConfig: iteration bounds inconsistent"
-        );
-        assert!(
-            self.projection_weights.iter().all(|w| *w >= 0.0),
-            "SearchConfig: weights must be non-negative"
-        );
+    }
+
+    /// [`validate`](SearchConfig::validate) returning a typed
+    /// [`HinnError::InvalidInput`] instead of panicking.
+    pub fn try_validate(&self) -> Result<(), HinnError> {
+        let fail = |message: &str| {
+            Err(HinnError::InvalidInput {
+                phase: "config.validate",
+                message: message.to_string(),
+            })
+        };
+        if self.support == 0 {
+            return fail("SearchConfig: support must be positive");
+        }
+        if self.grid_n < 4 {
+            return fail("SearchConfig: grid_n must be at least 4");
+        }
+        if self.bandwidth_scale.is_nan() || self.bandwidth_scale <= 0.0 {
+            return fail("SearchConfig: bandwidth_scale must be positive");
+        }
+        if let BandwidthMode::Adaptive { alpha } = self.bandwidth_mode {
+            if !(0.0..=1.0).contains(&alpha) {
+                return fail("SearchConfig: adaptive alpha must be in [0, 1]");
+            }
+        }
+        if !(0.0..=1.0).contains(&self.overlap_threshold) {
+            return fail("SearchConfig: overlap_threshold must be in [0,1]");
+        }
+        if self.min_major_iterations < 1 || self.min_major_iterations > self.max_major_iterations {
+            return fail("SearchConfig: iteration bounds inconsistent");
+        }
+        if !self.projection_weights.iter().all(|w| *w >= 0.0) {
+            return fail("SearchConfig: weights must be non-negative");
+        }
+        if let Some(d) = self.deadline {
+            if d.is_zero() {
+                return fail("SearchConfig: deadline must be non-zero");
+            }
+        }
+        Ok(())
     }
 }
 
@@ -217,5 +254,22 @@ mod tests {
     #[should_panic(expected = "support must be positive")]
     fn zero_support_panics() {
         SearchConfig::default().with_support(0);
+    }
+
+    #[test]
+    fn try_validate_reports_typed_errors() {
+        assert!(SearchConfig::default().try_validate().is_ok());
+        let bad = SearchConfig {
+            grid_n: 2,
+            ..SearchConfig::default()
+        };
+        let err = bad.try_validate().expect_err("grid_n too small");
+        assert!(err.is_invalid_input());
+        assert!(err.to_string().contains("grid_n"));
+        let zero_deadline = SearchConfig::default().with_deadline(std::time::Duration::ZERO);
+        assert!(zero_deadline.try_validate().is_err());
+        let fine = SearchConfig::default().with_deadline(std::time::Duration::from_secs(1));
+        assert!(fine.try_validate().is_ok());
+        assert!(fine.deadline.is_some());
     }
 }

@@ -1,0 +1,211 @@
+//! The graceful-degradation ladder's audit trail.
+//!
+//! When the engine survives a numerical pathology by downgrading itself —
+//! falling back from PCA to axis-parallel candidates, dropping a
+//! zero-variance direction, flooring a collapsed bandwidth, skipping an
+//! unusable view — the recovery must be *visible*, not silent: a session
+//! that quietly degraded is exactly the kind of "plausible but wrong"
+//! result the paper warns about. Every rung taken is recorded as a
+//! [`DegradationEvent`] in the transcript's [`DegradationLog`] and counted
+//! through `hinn-obs` under `fault.downgrade.*`, so both interactive
+//! callers and telemetry dashboards see how much of the answer rests on
+//! fallbacks.
+
+use std::fmt;
+
+/// Which rung of the ladder fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DegradationKind {
+    /// The Jacobi eigensolver failed or did not converge on a query-cluster
+    /// covariance; the candidate pool fell back to axis-parallel
+    /// directions (which cannot overfit and need no decomposition).
+    EigenFallback,
+    /// A query-cluster covariance was flagged degenerate; its PCA
+    /// candidates were dropped and only axis marginals competed.
+    DegenerateCovariance,
+    /// Candidate directions along which the *data* has (numerically) zero
+    /// variance were dropped: a variance ratio against a zero denominator
+    /// ranks on noise, not signal.
+    DroppedZeroVariance,
+    /// A visual profile's KDE bandwidth collapsed (zero-spread projection)
+    /// and was floored to a small positive value.
+    BandwidthFloored,
+    /// A minor iteration's view could not be built at all and was skipped;
+    /// the session continued in the remaining subspace.
+    SkippedMinorView,
+    /// A batch query failed and was retried once with a degraded
+    /// configuration (axis-parallel projections, fixed bandwidth).
+    DegradedRetry,
+}
+
+impl DegradationKind {
+    /// Stable snake_case name (used in event text and test assertions).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::EigenFallback => "eigen_fallback",
+            Self::DegenerateCovariance => "degenerate_covariance",
+            Self::DroppedZeroVariance => "dropped_zero_variance",
+            Self::BandwidthFloored => "bandwidth_floored",
+            Self::SkippedMinorView => "skipped_minor_view",
+            Self::DegradedRetry => "degraded_retry",
+        }
+    }
+
+    /// The `hinn-obs` counter bumped when this rung fires.
+    pub fn metric(self) -> &'static str {
+        match self {
+            Self::EigenFallback => "fault.downgrade.eigen_fallback",
+            Self::DegenerateCovariance => "fault.downgrade.degenerate_covariance",
+            Self::DroppedZeroVariance => "fault.downgrade.dropped_zero_variance",
+            Self::BandwidthFloored => "fault.downgrade.bandwidth_floored",
+            Self::SkippedMinorView => "fault.downgrade.skipped_minor_view",
+            Self::DegradedRetry => "fault.downgrade.degraded_retry",
+        }
+    }
+}
+
+impl fmt::Display for DegradationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One rung of the ladder actually taken, with enough context to audit it.
+#[derive(Clone, Debug)]
+pub struct DegradationEvent {
+    /// Major iteration the event belongs to (`None` when it happened
+    /// outside the minor loop, e.g. a batch-level retry).
+    pub major: Option<usize>,
+    /// Minor iteration the event belongs to.
+    pub minor: Option<usize>,
+    /// Which rung fired.
+    pub kind: DegradationKind,
+    /// Free-form detail: what collapsed and what the fallback was.
+    pub detail: String,
+}
+
+impl DegradationEvent {
+    /// An event not yet attributed to a specific view (the search driver
+    /// stamps `major`/`minor` when it absorbs helper-level events).
+    pub fn unplaced(kind: DegradationKind, detail: impl Into<String>) -> Self {
+        Self {
+            major: None,
+            minor: None,
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.major, self.minor) {
+            (Some(ma), Some(mi)) => {
+                write!(f, "[major {ma} minor {mi}] {}: {}", self.kind, self.detail)
+            }
+            _ => write!(f, "{}: {}", self.kind, self.detail),
+        }
+    }
+}
+
+/// Ordered record of every degradation a session went through.
+#[derive(Clone, Debug, Default)]
+pub struct DegradationLog {
+    /// The events, in the order they fired.
+    pub events: Vec<DegradationEvent>,
+}
+
+impl DegradationLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Did the session complete without taking any ladder rung?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// How many events of `kind` fired.
+    pub fn count(&self, kind: DegradationKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Iterate the events in firing order.
+    pub fn iter(&self) -> impl Iterator<Item = &DegradationEvent> {
+        self.events.iter()
+    }
+
+    /// Record `event`, bumping its `fault.downgrade.*` counter.
+    pub fn push(&mut self, event: DegradationEvent) {
+        hinn_obs::counter(event.kind.metric(), 1);
+        self.events.push(event);
+    }
+
+    /// Absorb helper-level events, stamping them with the view they
+    /// belong to.
+    pub fn absorb(&mut self, events: Vec<DegradationEvent>, major: usize, minor: usize) {
+        for mut e in events {
+            e.major = Some(major);
+            e.minor = Some(minor);
+            self.push(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_counts_and_stamps() {
+        let mut log = DegradationLog::new();
+        assert!(log.is_empty());
+        log.push(DegradationEvent::unplaced(
+            DegradationKind::BandwidthFloored,
+            "zero-spread projection",
+        ));
+        log.absorb(
+            vec![
+                DegradationEvent::unplaced(DegradationKind::EigenFallback, "stalled"),
+                DegradationEvent::unplaced(DegradationKind::EigenFallback, "stalled again"),
+            ],
+            2,
+            1,
+        );
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.count(DegradationKind::EigenFallback), 2);
+        assert_eq!(log.count(DegradationKind::DegradedRetry), 0);
+        let last = &log.events[2];
+        assert_eq!((last.major, last.minor), (Some(2), Some(1)));
+        assert!(last.to_string().contains("major 2 minor 1"));
+        assert!(log.events[0].to_string().starts_with("bandwidth_floored"));
+    }
+
+    #[test]
+    fn degradations_bump_obs_counters() {
+        let recorder = std::sync::Arc::new(hinn_obs::SessionRecorder::new());
+        {
+            let _g = hinn_obs::install(recorder.clone());
+            let mut log = DegradationLog::new();
+            log.push(DegradationEvent::unplaced(
+                DegradationKind::SkippedMinorView,
+                "profile unavailable",
+            ));
+            log.push(DegradationEvent::unplaced(
+                DegradationKind::SkippedMinorView,
+                "profile unavailable again",
+            ));
+        }
+        let report = recorder.report();
+        assert_eq!(
+            report.counters.get("fault.downgrade.skipped_minor_view"),
+            Some(&2)
+        );
+    }
+}

@@ -119,6 +119,7 @@ mod tests {
                 n_points_after: 50,
                 overlap_with_previous: None,
             }],
+            ..Transcript::default()
         }
     }
 

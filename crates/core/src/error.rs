@@ -1,0 +1,180 @@
+//! The typed error taxonomy of the fallible search core.
+//!
+//! Every failure the engine can report flows through [`HinnError`]; the
+//! panicking entry points (`InteractiveSearch::run`,
+//! `find_query_centered_projection`, …) are thin wrappers that panic with
+//! the error's `Display` text, so legacy `should_panic` callers see the
+//! same messages they always did while `try_*` callers get structured
+//! variants carrying the failing phase.
+//!
+//! The taxonomy deliberately distinguishes *caller mistakes*
+//! ([`HinnError::InvalidInput`]) from *data pathologies* the degradation
+//! ladder could not absorb ([`HinnError::DegenerateGeometry`],
+//! [`HinnError::EigenFailure`]) and *operational limits*
+//! ([`HinnError::Deadline`], [`HinnError::SessionPanicked`]): batch
+//! drivers retry the latter groups with a degraded configuration but never
+//! the first (garbage input stays garbage under any configuration).
+
+use std::fmt;
+use std::time::Duration;
+
+/// Everything that can go wrong inside the search core.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HinnError {
+    /// The caller handed the engine something unusable: empty data, ragged
+    /// or non-finite points, a mis-sized query, an inconsistent
+    /// configuration. Never retried.
+    InvalidInput {
+        /// Pipeline phase that rejected the input.
+        phase: &'static str,
+        /// Human-readable description (matches the legacy panic message).
+        message: String,
+    },
+    /// The data's geometry collapsed past what the degradation ladder can
+    /// absorb: a density grid with no extent, a projection search with no
+    /// usable direction left.
+    DegenerateGeometry {
+        /// Pipeline phase that hit the degeneracy.
+        phase: &'static str,
+        /// What exactly collapsed.
+        message: String,
+    },
+    /// The eigensolver rejected its input outright (non-symmetric or
+    /// non-finite covariance). Plain non-*convergence* is not an error —
+    /// the ladder falls back to axis-parallel candidates and records a
+    /// [`crate::degrade::DegradationKind::EigenFallback`].
+    EigenFailure {
+        /// Pipeline phase whose covariance failed.
+        phase: &'static str,
+        /// The underlying solver complaint.
+        message: String,
+    },
+    /// The session exceeded its configured per-query deadline
+    /// ([`crate::SearchConfig::deadline`]). Checked cooperatively at minor
+    /// iteration boundaries, so the overshoot is at most one view's work.
+    Deadline {
+        /// Phase at which the budget check fired.
+        phase: &'static str,
+        /// Wall-clock time consumed when the check fired.
+        elapsed: Duration,
+        /// The configured budget.
+        budget: Duration,
+    },
+    /// A panic escaped a session and was caught at the batch boundary
+    /// ([`crate::BatchRunner`] isolates each query with `catch_unwind`).
+    SessionPanicked {
+        /// Phase label of the catching boundary.
+        phase: &'static str,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl HinnError {
+    /// The pipeline phase the error originated from.
+    pub fn phase(&self) -> &'static str {
+        match self {
+            Self::InvalidInput { phase, .. }
+            | Self::DegenerateGeometry { phase, .. }
+            | Self::EigenFailure { phase, .. }
+            | Self::Deadline { phase, .. }
+            | Self::SessionPanicked { phase, .. } => phase,
+        }
+    }
+
+    /// Is this a caller mistake (as opposed to a data pathology or an
+    /// operational limit)? Batch drivers never retry these.
+    pub fn is_invalid_input(&self) -> bool {
+        matches!(self, Self::InvalidInput { .. })
+    }
+}
+
+impl fmt::Display for HinnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Invalid-input messages carry their own "who rejected you"
+            // prefix and double as the legacy panic text, so they render
+            // bare.
+            Self::InvalidInput { message, .. } => write!(f, "{message}"),
+            Self::DegenerateGeometry { phase, message } => {
+                write!(f, "degenerate geometry in {phase}: {message}")
+            }
+            Self::EigenFailure { phase, message } => {
+                write!(f, "eigensolver failure in {phase}: {message}")
+            }
+            Self::Deadline {
+                phase,
+                elapsed,
+                budget,
+            } => write!(
+                f,
+                "deadline exceeded in {phase}: {elapsed:?} elapsed of a {budget:?} budget"
+            ),
+            Self::SessionPanicked { phase, message } => {
+                write!(f, "session panicked in {phase}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HinnError {}
+
+impl From<hinn_linalg::LinalgError> for HinnError {
+    fn from(e: hinn_linalg::LinalgError) -> Self {
+        Self::EigenFailure {
+            phase: "linalg.eigen",
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<hinn_kde::KdeError> for HinnError {
+    fn from(e: hinn_kde::KdeError) -> Self {
+        Self::DegenerateGeometry {
+            phase: "kde.profile",
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_preserves_legacy_panic_substrings() {
+        let e = HinnError::InvalidInput {
+            phase: "search.validate",
+            message: "InteractiveSearch: empty data set".into(),
+        };
+        assert_eq!(e.to_string(), "InteractiveSearch: empty data set");
+        assert_eq!(e.phase(), "search.validate");
+        assert!(e.is_invalid_input());
+    }
+
+    #[test]
+    fn conversions_map_to_the_right_variants() {
+        let le = hinn_linalg::LinalgError::NotSymmetric { tolerance: 1e-9 };
+        let he: HinnError = le.into();
+        assert!(matches!(he, HinnError::EigenFailure { .. }));
+        assert!(he.to_string().contains("symmetric"));
+
+        let ke = hinn_kde::KdeError::EmptyProjection;
+        let he: HinnError = ke.into();
+        assert!(matches!(he, HinnError::DegenerateGeometry { .. }));
+        assert!(he.to_string().contains("empty projection"));
+        assert!(!he.is_invalid_input());
+    }
+
+    #[test]
+    fn deadline_display_names_both_durations() {
+        let e = HinnError::Deadline {
+            phase: "search.minor",
+            elapsed: Duration::from_millis(1500),
+            budget: Duration::from_millis(1000),
+        };
+        let s = e.to_string();
+        assert!(s.contains("deadline exceeded"), "{s}");
+        assert!(s.contains("search.minor"), "{s}");
+    }
+}

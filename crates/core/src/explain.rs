@@ -70,10 +70,9 @@ pub fn explain_neighbor(
     );
     let mut evidence = Vec::new();
     for minor in outcome.transcript.iter_minors() {
-        let profile = minor
-            .profile
-            .as_ref()
-            .expect("explain_neighbor: session must record profiles");
+        let Some(profile) = minor.profile.as_ref() else {
+            panic!("explain_neighbor: session must record profiles");
+        };
         // The view's rows map to original ids through the projection of
         // the then-current data; recompute this point's projection
         // directly from the ambient coordinates.
@@ -112,15 +111,18 @@ pub fn explain_neighbor(
             }
         };
 
-        // Dominant original attribute per direction.
+        // Dominant original attribute per direction. The `>=` keeps the
+        // old `max_by` tie behavior (last maximum wins) and, unlike the
+        // old `partial_cmp().expect()`, never panics on a NaN weight.
         let mut dominant = [(0usize, 0.0f64); 2];
         for (k, dir) in minor.projection.basis().iter().enumerate().take(2) {
-            let (attr, weight) = dir
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("NaN weight"))
-                .expect("non-empty direction");
-            dominant[k] = (attr, *weight);
+            let mut best = (0usize, 0.0f64);
+            for (attr, &weight) in dir.iter().enumerate() {
+                if weight.abs() >= best.1.abs() {
+                    best = (attr, weight);
+                }
+            }
+            dominant[k] = best;
         }
 
         evidence.push(ViewEvidence {

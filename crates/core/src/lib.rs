@@ -24,10 +24,17 @@
 //! Every piece is independently usable; [`search::InteractiveSearch`] is
 //! the packaged driver.
 
+// The robustness wall: the core crate's non-test code must not contain
+// hidden panic sites — fallible paths return `HinnError`, intentional
+// aborts use an explicit `panic!` with a message. Tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod batch;
 pub mod config;
 pub mod counts;
+pub mod degrade;
 pub mod diagnosis;
+pub mod error;
 pub mod explain;
 pub mod meaning;
 pub mod projection;
@@ -37,7 +44,9 @@ pub mod transcript;
 
 pub use batch::{BatchRunner, QueryReport};
 pub use config::{BandwidthMode, ProjectionMode, SearchConfig};
+pub use degrade::{DegradationEvent, DegradationKind, DegradationLog};
 pub use diagnosis::SearchDiagnosis;
+pub use error::HinnError;
 pub use explain::{explain_neighbor, explanation_text, NeighborExplanation};
 pub use hinn_par::Parallelism;
 pub use search::{InteractiveSearch, SearchOutcome};

@@ -8,9 +8,18 @@
 //! ratio `λᵢ/γᵢ`). The dimensionality halves each round until a 2-D
 //! projection remains. The gradual halving matters: `N_p` and `E_p` depend
 //! on each other, and the refinement lets each sharpen the other (§2.1).
+//!
+//! Numerical pathologies do not abort the search — they walk a
+//! **degradation ladder** recorded as [`DegradationEvent`]s: an
+//! eigensolver failure or non-convergence falls back to the axis-parallel
+//! candidate pool, a degenerate query-cluster covariance drops its PCA
+//! candidates, and directions with zero *data* variance are dropped
+//! rather than ranked against a floored denominator.
 
 use crate::config::ProjectionMode;
-use hinn_linalg::{covariance_matrix, jacobi_eigen, Matrix, Parallelism, Subspace};
+use crate::degrade::{DegradationEvent, DegradationKind};
+use crate::error::HinnError;
+use hinn_linalg::{covariance_matrix, try_jacobi_eigen, Matrix, Parallelism, Subspace};
 use hinn_par::fill_chunks;
 
 /// Result of one projection search: the 2-D projection to show the user and
@@ -71,6 +80,10 @@ pub fn query_cluster_subspace_mode(
 /// [`query_cluster_subspace_mode`] with an explicit thread budget for the
 /// covariance and variance scans. Bit-identical to the serial path for
 /// every budget.
+///
+/// # Panics
+/// Panics on invalid input; [`try_query_cluster_subspace_mode_with`] is
+/// the non-panicking form.
 pub fn query_cluster_subspace_mode_with(
     par: Parallelism,
     current: &Subspace,
@@ -79,13 +92,69 @@ pub fn query_cluster_subspace_mode_with(
     l: usize,
     mode: ProjectionMode,
 ) -> (Subspace, Vec<f64>) {
+    let mut events = Vec::new();
+    match try_query_cluster_subspace_mode_with(
+        par,
+        current,
+        cluster_coords,
+        data_coords,
+        l,
+        mode,
+        &mut events,
+    ) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The axis-parallel candidate pool: coordinate axes of the current
+/// subspace, scored by the cluster's marginal variances. Robust by
+/// construction (no decomposition, cannot overfit) — it is both the
+/// [`ProjectionMode::AxisParallel`] pool and the ladder's fallback when
+/// the PCA pool is unusable.
+fn axis_candidates(
+    par: Parallelism,
+    cluster_coords: &[Vec<f64>],
+    m: usize,
+) -> Vec<(Vec<f64>, f64)> {
+    let var = hinn_linalg::stats::coordinate_variances_with(par, cluster_coords);
+    (0..m)
+        .map(|i| {
+            let mut e = vec![0.0; m];
+            e[i] = 1.0;
+            (e, var[i])
+        })
+        .collect()
+}
+
+/// Fallible [`query_cluster_subspace_mode_with`]: invalid input comes back
+/// as [`HinnError::InvalidInput`], and every ladder rung taken while
+/// assembling the candidate pool is appended to `events` (unstamped — the
+/// caller knows which view it is building).
+#[allow(clippy::too_many_arguments)]
+pub fn try_query_cluster_subspace_mode_with(
+    par: Parallelism,
+    current: &Subspace,
+    cluster_coords: &[Vec<f64>],
+    data_coords: &[Vec<f64>],
+    l: usize,
+    mode: ProjectionMode,
+    events: &mut Vec<DegradationEvent>,
+) -> Result<(Subspace, Vec<f64>), HinnError> {
     let _span = hinn_obs::span!("projection.subspace");
     let m = current.dim();
-    assert!(l >= 1 && l <= m, "query_cluster_subspace: l out of range");
-    assert!(
-        !cluster_coords.is_empty() && !data_coords.is_empty(),
-        "query_cluster_subspace: empty point sets"
-    );
+    if l < 1 || l > m {
+        return Err(HinnError::InvalidInput {
+            phase: "projection.subspace",
+            message: "query_cluster_subspace: l out of range".into(),
+        });
+    }
+    if cluster_coords.is_empty() || data_coords.is_empty() {
+        return Err(HinnError::InvalidInput {
+            phase: "projection.subspace",
+            message: "query_cluster_subspace: empty point sets".into(),
+        });
+    }
 
     // Candidate directions in `current` coordinates, with the cluster
     // variance along each.
@@ -108,51 +177,97 @@ pub fn query_cluster_subspace_mode_with(
         // are selection-biased noise. Below that, fall back to the robust
         // axis marginals.
         ProjectionMode::Arbitrary if cluster_coords.len() >= 4 * m => {
-            let half_a: Vec<Vec<f64>> = cluster_coords.iter().step_by(2).cloned().collect();
-            let half_b: Vec<Vec<f64>> = cluster_coords.iter().skip(1).step_by(2).cloned().collect();
-            let mut pool: Vec<(Vec<f64>, f64)> = Vec::with_capacity(3 * m);
-            // Cross-fitted principal components: directions from each half
-            // are scored on the other half.
-            for (fit, score) in [(&half_a, &half_b), (&half_b, &half_a)] {
-                let eig = jacobi_eigen(&hinn_linalg::covariance_matrix_with(par, fit));
-                for i in 0..m {
-                    let dir = eig.vector(i);
-                    let held_out = hinn_linalg::stats::variance_along_with(par, score, &dir);
-                    pool.push((dir, held_out));
+            if hinn_fault::point("covariance.degenerate") {
+                // Forced (or detected) covariance degeneracy: the PCA pool
+                // is untrustworthy wholesale, so only the axis marginals
+                // compete — exactly the AxisParallel pool.
+                events.push(DegradationEvent::unplaced(
+                    DegradationKind::DegenerateCovariance,
+                    "query-cluster covariance degenerate; PCA candidates dropped, \
+                     axis marginals only",
+                ));
+                axis_candidates(par, cluster_coords, m)
+            } else {
+                let half_a: Vec<Vec<f64>> = cluster_coords.iter().step_by(2).cloned().collect();
+                let half_b: Vec<Vec<f64>> =
+                    cluster_coords.iter().skip(1).step_by(2).cloned().collect();
+                let mut pool: Vec<(Vec<f64>, f64)> = Vec::with_capacity(3 * m);
+                // Cross-fitted principal components: directions from each
+                // half are scored on the other half. An eigensolver that
+                // rejects or fails to diagonalize a half's covariance
+                // costs only that half's candidates — the axis pool below
+                // keeps the view buildable (ladder rung: EigenFallback).
+                for (fit, score) in [(&half_a, &half_b), (&half_b, &half_a)] {
+                    let cov = hinn_linalg::covariance_matrix_with(par, fit);
+                    match try_jacobi_eigen(&cov) {
+                        Ok(out) if out.converged => {
+                            for i in 0..m {
+                                let dir = out.eigen.vector(i);
+                                let held_out =
+                                    hinn_linalg::stats::variance_along_with(par, score, &dir);
+                                pool.push((dir, held_out));
+                            }
+                        }
+                        Ok(out) => {
+                            events.push(DegradationEvent::unplaced(
+                                DegradationKind::EigenFallback,
+                                format!(
+                                    "eigensolver stalled after {} sweep(s) on a half-sample \
+                                     covariance; falling back to axis-parallel candidates",
+                                    out.sweeps
+                                ),
+                            ));
+                        }
+                        Err(e) => {
+                            events.push(DegradationEvent::unplaced(
+                                DegradationKind::EigenFallback,
+                                format!(
+                                    "eigensolver rejected a half-sample covariance ({e}); \
+                                     falling back to axis-parallel candidates"
+                                ),
+                            ));
+                        }
+                    }
                 }
+                // Axis candidates cannot overfit, so they are scored on
+                // the full cluster sample (the lowest-variance estimate
+                // available).
+                pool.extend(axis_candidates(par, cluster_coords, m));
+                pool
             }
-            // Axis candidates cannot overfit, so they are scored on the
-            // full cluster sample (the lowest-variance estimate available).
-            let var = hinn_linalg::stats::coordinate_variances_with(par, cluster_coords);
-            for (i, &v) in var.iter().enumerate() {
-                let mut e = vec![0.0; m];
-                e[i] = 1.0;
-                pool.push((e, v));
-            }
-            pool
         }
         ProjectionMode::Arbitrary | ProjectionMode::AxisParallel => {
-            let var = hinn_linalg::stats::coordinate_variances_with(par, cluster_coords);
-            (0..m)
-                .map(|i| {
-                    let mut e = vec![0.0; m];
-                    e[i] = 1.0;
-                    (e, var[i])
-                })
-                .collect()
+            axis_candidates(par, cluster_coords, m)
         }
     };
 
     // Variance ratio λᵢ/γᵢ with γᵢ the data variance along the direction.
-    let mut scored: Vec<(f64, usize)> = candidates
-        .iter()
-        .enumerate()
-        .map(|(i, (dir, lambda))| {
-            let gamma = hinn_linalg::stats::variance_along_with(par, data_coords, dir).max(1e-12);
-            (lambda / gamma, i)
-        })
-        .collect();
-    scored.sort_by(|a, b| a.partial_cmp(b).expect("NaN variance ratio"));
+    // A direction along which the *data* itself has (numerically) zero
+    // spread carries no discriminating signal — its ratio would compare
+    // noise against a floored denominator — so it is dropped and the drop
+    // recorded (ladder rung: DroppedZeroVariance). The 1e-12 threshold
+    // matches the floor the ranking historically applied.
+    let mut scored: Vec<(f64, usize)> = Vec::with_capacity(candidates.len());
+    let mut dropped = 0usize;
+    for (i, (dir, lambda)) in candidates.iter().enumerate() {
+        let gamma = hinn_linalg::stats::variance_along_with(par, data_coords, dir);
+        if gamma < 1e-12 {
+            dropped += 1;
+            continue;
+        }
+        scored.push((lambda / gamma, i));
+    }
+    if dropped > 0 {
+        events.push(DegradationEvent::unplaced(
+            DegradationKind::DroppedZeroVariance,
+            format!("dropped {dropped} candidate direction(s) with zero data variance"),
+        ));
+    }
+    // Variance ratios are quotients of non-negative variances, so they are
+    // never -0.0 and `total_cmp` agrees with the old partial order while
+    // staying total (a NaN ratio from pathological input sorts last
+    // instead of panicking).
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
     // Greedily collect the `l` best *linearly independent* directions (the
     // pooled candidates can overlap, e.g. an eigenvector nearly equal to an
@@ -168,7 +283,7 @@ pub fn query_cluster_subspace_mode_with(
         }
     }
     let chosen: Vec<Vec<f64>> = picked.basis().to_vec();
-    (current.sub_subspace(&chosen), ratios)
+    Ok((current.sub_subspace(&chosen), ratios))
 }
 
 /// Fig. 3: find the most discriminatory query-centered 2-D projection
@@ -201,7 +316,8 @@ pub fn find_query_centered_projection(
 /// Bit-identical to the serial path for every budget.
 ///
 /// # Panics
-/// Panics if `current.dim() < 2` or `points` is empty.
+/// Panics if `current.dim() < 2` or `points` is empty;
+/// [`try_find_query_centered_projection_with`] is the non-panicking form.
 pub fn find_query_centered_projection_with(
     par: Parallelism,
     points: &[Vec<f64>],
@@ -210,15 +326,37 @@ pub fn find_query_centered_projection_with(
     support: usize,
     mode: ProjectionMode,
 ) -> ProjectionResult {
+    match try_find_query_centered_projection_with(par, points, query, current, support, mode) {
+        Ok((result, _events)) => result,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`find_query_centered_projection_with`]: returns the
+/// projection together with every degradation event the winning pipeline
+/// run recorded (only the kept support candidate's events are reported —
+/// a discarded restart's hiccups never influenced the answer).
+pub fn try_find_query_centered_projection_with(
+    par: Parallelism,
+    points: &[Vec<f64>],
+    query: &[f64],
+    current: &Subspace,
+    support: usize,
+    mode: ProjectionMode,
+) -> Result<(ProjectionResult, Vec<DegradationEvent>), HinnError> {
     let _span = hinn_obs::span!("projection.find");
-    assert!(
-        current.dim() >= 2,
-        "find_query_centered_projection: need a ≥2-D search subspace"
-    );
-    assert!(
-        !points.is_empty(),
-        "find_query_centered_projection: empty data"
-    );
+    if current.dim() < 2 {
+        return Err(HinnError::InvalidInput {
+            phase: "projection.find",
+            message: "find_query_centered_projection: need a ≥2-D search subspace".into(),
+        });
+    }
+    if points.is_empty() {
+        return Err(HinnError::InvalidInput {
+            phase: "projection.find",
+            message: "find_query_centered_projection: empty data".into(),
+        });
+    }
 
     // The right neighborhood size is not knowable a priori: too small and
     // the tentative cluster N_p is all noise, too large and it is diluted
@@ -234,30 +372,40 @@ pub fn find_query_centered_projection_with(
     candidates.sort_unstable();
     candidates.dedup();
 
-    let mut best: Option<(f64, ProjectionResult)> = None;
+    let mut best: Option<(f64, ProjectionResult, Vec<DegradationEvent>)> = None;
     for s in candidates {
-        let result = find_projection_with_support(par, points, query, current, s, mode);
+        let (result, events) =
+            try_find_projection_with_support(par, points, query, current, s, mode)?;
         let score = if result.variance_ratios.is_empty() {
             f64::INFINITY
         } else {
             result.variance_ratios.iter().sum::<f64>() / result.variance_ratios.len() as f64
         };
-        if best.as_ref().map(|(b, _)| score < *b).unwrap_or(true) {
-            best = Some((score, result));
+        if best.as_ref().map(|(b, _, _)| score < *b).unwrap_or(true) {
+            best = Some((score, result, events));
         }
     }
-    best.expect("at least one support candidate").1
+    match best {
+        Some((_, result, events)) => Ok((result, events)),
+        // Unreachable — the candidate list is never empty — but surfaced
+        // as a typed error rather than an unwrap.
+        None => Err(HinnError::DegenerateGeometry {
+            phase: "projection.find",
+            message: "no support candidate produced a projection".into(),
+        }),
+    }
 }
 
 /// One run of the Fig. 3 halving pipeline at a fixed support.
-fn find_projection_with_support(
+fn try_find_projection_with_support(
     par: Parallelism,
     points: &[Vec<f64>],
     query: &[f64],
     current: &Subspace,
     support: usize,
     mode: ProjectionMode,
-) -> ProjectionResult {
+) -> Result<(ProjectionResult, Vec<DegradationEvent>), HinnError> {
+    let mut events = Vec::new();
     let mut ep = current.clone();
     let mut lp = ep.dim();
     let mut ratios = Vec::new();
@@ -278,8 +426,10 @@ fn find_projection_with_support(
             }
         });
         let keep = support.min(order.len());
+        // Distances are non-negative, so `total_cmp` coincides with the
+        // old partial order while tolerating NaN from poisoned input.
         order.select_nth_unstable_by(keep.saturating_sub(1), |a, b| {
-            a.partial_cmp(b).expect("NaN distance")
+            a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
         });
         drop(scan_span);
         let cluster_coords: Vec<Vec<f64>> = order[..keep]
@@ -287,8 +437,15 @@ fn find_projection_with_support(
             .map(|&(_, i)| data_coords[i].clone())
             .collect();
 
-        let (next, r) =
-            query_cluster_subspace_mode_with(par, &ep, &cluster_coords, &data_coords, next_l, mode);
+        let (next, r) = try_query_cluster_subspace_mode_with(
+            par,
+            &ep,
+            &cluster_coords,
+            &data_coords,
+            next_l,
+            mode,
+            &mut events,
+        )?;
         // Numerical degeneracies can shrink the basis; bail out with what
         // we have rather than loop forever.
         if next.dim() < 2 {
@@ -302,11 +459,14 @@ fn find_projection_with_support(
     // If the search subspace was already 2-D we never entered the loop.
     let projection = ep;
     let remainder = current.complement_within(&projection);
-    ProjectionResult {
-        projection,
-        remainder,
-        variance_ratios: ratios,
-    }
+    Ok((
+        ProjectionResult {
+            projection,
+            remainder,
+            variance_ratios: ratios,
+        },
+        events,
+    ))
 }
 
 /// Convenience for tests and diagnostics: the `l × l` covariance of points
@@ -449,5 +609,192 @@ mod tests {
     fn l_too_large_panics() {
         let full = Subspace::full(2);
         query_cluster_subspace(&full, &[vec![0.0, 0.0]], &[vec![0.0, 0.0]], 3);
+    }
+
+    #[test]
+    fn try_variant_matches_panicking_variant_bit_for_bit() {
+        let (pts, q) = planted();
+        let full = Subspace::full(6);
+        for mode in [ProjectionMode::Arbitrary, ProjectionMode::AxisParallel] {
+            let plain = find_query_centered_projection(&pts, &q, &full, 50, mode);
+            let (tried, events) = try_find_query_centered_projection_with(
+                Parallelism::serial(),
+                &pts,
+                &q,
+                &full,
+                50,
+                mode,
+            )
+            .expect("healthy data");
+            assert!(
+                events.is_empty(),
+                "healthy data must not degrade: {events:?}"
+            );
+            assert_eq!(plain.variance_ratios.len(), tried.variance_ratios.len());
+            for (a, b) in plain.variance_ratios.iter().zip(&tried.variance_ratios) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in plain
+                .projection
+                .basis()
+                .iter()
+                .zip(tried.projection.basis())
+            {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_variant_reports_invalid_input() {
+        let line = Subspace::from_vectors(3, &[vec![1.0, 0.0, 0.0]]);
+        let err = try_find_query_centered_projection_with(
+            Parallelism::serial(),
+            &[vec![0.0; 3]],
+            &[0.0; 3],
+            &line,
+            8,
+            ProjectionMode::Arbitrary,
+        )
+        .expect_err("1-D search subspace");
+        assert!(err.is_invalid_input());
+        assert!(err.to_string().contains("≥2-D search subspace"));
+
+        let full = Subspace::full(3);
+        let err = try_find_query_centered_projection_with(
+            Parallelism::serial(),
+            &[],
+            &[0.0; 3],
+            &full,
+            8,
+            ProjectionMode::Arbitrary,
+        )
+        .expect_err("empty data");
+        assert!(err.to_string().contains("empty data"));
+    }
+
+    #[test]
+    fn forced_eigen_fault_falls_back_to_axis_parallel_pool() {
+        // With `eigen.converge` forced, every PCA half fails and the
+        // Arbitrary pool collapses to the axis marginals — the projection
+        // must equal the explicit AxisParallel run bit for bit, and the
+        // fallback must be recorded.
+        let (pts, q) = planted();
+        let full = Subspace::full(6);
+        let plan = std::sync::Arc::new(
+            hinn_fault::FaultPlan::new().with("eigen.converge", hinn_fault::FaultMode::Always),
+        );
+        let (faulted, events) = {
+            let _g = hinn_fault::install_local(plan.clone());
+            try_find_query_centered_projection_with(
+                Parallelism::serial(),
+                &pts,
+                &q,
+                &full,
+                50,
+                ProjectionMode::Arbitrary,
+            )
+            .expect("fallback keeps the search alive")
+        };
+        assert!(plan.fired("eigen.converge") > 0);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == DegradationKind::EigenFallback),
+            "fallback must be recorded: {events:?}"
+        );
+        let axis =
+            find_query_centered_projection(&pts, &q, &full, 50, ProjectionMode::AxisParallel);
+        for (a, b) in faulted
+            .projection
+            .basis()
+            .iter()
+            .zip(axis.projection.basis())
+        {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "faulted ≠ axis-parallel");
+            }
+        }
+        for (a, b) in faulted.variance_ratios.iter().zip(&axis.variance_ratios) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn forced_degenerate_covariance_drops_the_pca_pool() {
+        let (pts, q) = planted();
+        let full = Subspace::full(6);
+        let plan = std::sync::Arc::new(
+            hinn_fault::FaultPlan::new()
+                .with("covariance.degenerate", hinn_fault::FaultMode::Always),
+        );
+        let (faulted, events) = {
+            let _g = hinn_fault::install_local(plan.clone());
+            try_find_query_centered_projection_with(
+                Parallelism::serial(),
+                &pts,
+                &q,
+                &full,
+                50,
+                ProjectionMode::Arbitrary,
+            )
+            .expect("axis pool keeps the search alive")
+        };
+        assert!(plan.fired("covariance.degenerate") > 0);
+        assert!(events
+            .iter()
+            .any(|e| e.kind == DegradationKind::DegenerateCovariance));
+        let axis =
+            find_query_centered_projection(&pts, &q, &full, 50, ProjectionMode::AxisParallel);
+        for (a, b) in faulted
+            .projection
+            .basis()
+            .iter()
+            .zip(axis.projection.basis())
+        {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_variance_directions_are_dropped_and_logged() {
+        // Data constant in coordinate 2: that axis has zero data variance
+        // and must be dropped from the ranking rather than win with a
+        // floored denominator.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut unif = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let data: Vec<Vec<f64>> = (0..40)
+            .map(|_| vec![unif() * 10.0, unif() * 10.0, 7.0])
+            .collect();
+        let cluster: Vec<Vec<f64>> = data[..10].to_vec();
+        let full = Subspace::full(3);
+        let mut events = Vec::new();
+        let (sub, _ratios) = try_query_cluster_subspace_mode_with(
+            Parallelism::serial(),
+            &full,
+            &cluster,
+            &data,
+            2,
+            ProjectionMode::AxisParallel,
+            &mut events,
+        )
+        .expect("two informative axes remain");
+        assert_eq!(sub.dim(), 2);
+        assert!(
+            !sub.contains(&[0.0, 0.0, 1.0], 1e-9),
+            "the constant axis must not be selected"
+        );
+        assert!(events
+            .iter()
+            .any(|e| e.kind == DegradationKind::DroppedZeroVariance));
     }
 }

@@ -102,10 +102,11 @@ pub fn views_csv(outcome: &SearchOutcome) -> String {
 /// Render the final ranking as CSV (`rank,index,probability`), top `k`.
 pub fn ranking_csv(outcome: &SearchOutcome, k: usize) -> String {
     let mut order: Vec<usize> = (0..outcome.probabilities.len()).collect();
+    // Probabilities are non-negative, so `total_cmp` matches the old
+    // partial order and stays total on poisoned (NaN) values.
     order.sort_by(|&a, &b| {
         outcome.probabilities[b]
-            .partial_cmp(&outcome.probabilities[a])
-            .expect("NaN probability")
+            .total_cmp(&outcome.probabilities[a])
             .then(a.cmp(&b))
     });
     let mut out = String::from("rank,index,probability\n");

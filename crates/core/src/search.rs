@@ -2,9 +2,11 @@
 
 use crate::config::{BandwidthMode, SearchConfig};
 use crate::counts::PreferenceCounts;
+use crate::degrade::{DegradationEvent, DegradationKind, DegradationLog};
 use crate::diagnosis::SearchDiagnosis;
+use crate::error::HinnError;
 use crate::meaning::iteration_probabilities;
-use crate::projection::find_query_centered_projection_with;
+use crate::projection::try_find_query_centered_projection_with;
 use crate::transcript::{MajorRecord, MinorPhases, MinorRecord, Transcript};
 use hinn_kde::VisualProfile;
 use hinn_linalg::Subspace;
@@ -45,10 +47,14 @@ impl SearchOutcome {
         match self.diagnosis {
             SearchDiagnosis::Meaningful { natural_k, .. } => {
                 let mut order: Vec<usize> = (0..self.probabilities.len()).collect();
+                // Probabilities are non-negative, so `total_cmp` coincides
+                // with the old partial order; unlike the old
+                // `partial_cmp().expect()`, a NaN probability (poisoned
+                // upstream data) sorts deterministically instead of
+                // panicking mid-ranking.
                 order.sort_by(|&a, &b| {
                     self.probabilities[b]
-                        .partial_cmp(&self.probabilities[a])
-                        .expect("NaN probability")
+                        .total_cmp(&self.probabilities[a])
                         .then(a.cmp(&b))
                 });
                 order.truncate(natural_k);
@@ -57,6 +63,12 @@ impl SearchOutcome {
             SearchDiagnosis::NotMeaningful { .. } => None,
         }
     }
+
+    /// Every degradation-ladder rung the session took (empty on a fully
+    /// healthy run). Shorthand for `transcript.degradations`.
+    pub fn degradations(&self) -> &DegradationLog {
+        &self.transcript.degradations
+    }
 }
 
 impl InteractiveSearch {
@@ -64,13 +76,22 @@ impl InteractiveSearch {
     ///
     /// # Panics
     /// Panics if the configuration is invalid (see
-    /// [`SearchConfig::validate`]).
+    /// [`SearchConfig::validate`]); [`InteractiveSearch::try_new`] is the
+    /// non-panicking form.
     pub fn new(config: SearchConfig) -> Self {
-        config.validate();
-        Self {
+        match Self::try_new(config) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`InteractiveSearch::new`].
+    pub fn try_new(config: SearchConfig) -> Result<Self, HinnError> {
+        config.try_validate()?;
+        Ok(Self {
             config,
             drop_config: DropConfig::default(),
-        }
+        })
     }
 
     /// Override the steep-drop detector configuration.
@@ -82,28 +103,69 @@ impl InteractiveSearch {
     /// Run the full interactive session of Fig. 2 against `user`.
     ///
     /// # Panics
-    /// Panics if `points` is empty, dimensionalities disagree, or `d < 2`.
+    /// Panics if `points` is empty, dimensionalities disagree, or `d < 2`;
+    /// [`InteractiveSearch::try_run`] is the non-panicking form.
     pub fn run(
         &self,
         points: &[Vec<f64>],
         query: &[f64],
         user: &mut dyn UserModel,
     ) -> SearchOutcome {
+        match self.try_run(points, query, user) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`InteractiveSearch::run`]: invalid input comes back as
+    /// [`HinnError::InvalidInput`] and a configured
+    /// [`SearchConfig::deadline`] as [`HinnError::Deadline`], instead of a
+    /// panic. On healthy input the outcome is bit-identical to
+    /// [`run`](InteractiveSearch::run) (which is a thin wrapper over this
+    /// method). Numerical pathologies mid-session do not error: they walk
+    /// the degradation ladder and are recorded in
+    /// [`Transcript::degradations`].
+    pub fn try_run(
+        &self,
+        points: &[Vec<f64>],
+        query: &[f64],
+        user: &mut dyn UserModel,
+    ) -> Result<SearchOutcome, HinnError> {
         let _session_span = hinn_obs::span!("search.session");
-        assert!(!points.is_empty(), "InteractiveSearch: empty data set");
+        let invalid = |message: String| {
+            Err(HinnError::InvalidInput {
+                phase: "search.validate",
+                message,
+            })
+        };
+        if points.is_empty() {
+            return invalid("InteractiveSearch: empty data set".into());
+        }
         let d = points[0].len();
-        assert!(d >= 2, "InteractiveSearch: need at least 2 dimensions");
-        assert_eq!(query.len(), d, "InteractiveSearch: query dimensionality");
-        assert!(
-            query.iter().all(|v| v.is_finite()),
-            "InteractiveSearch: query contains non-finite coordinates"
-        );
+        if d < 2 {
+            return invalid("InteractiveSearch: need at least 2 dimensions".into());
+        }
+        if query.len() != d {
+            return invalid(format!(
+                "InteractiveSearch: query dimensionality {} does not match data dimensionality {d}",
+                query.len()
+            ));
+        }
+        if !query.iter().all(|v| v.is_finite()) {
+            return invalid("InteractiveSearch: query contains non-finite coordinates".into());
+        }
         for (i, p) in points.iter().enumerate() {
-            assert_eq!(p.len(), d, "InteractiveSearch: ragged point {i}");
-            assert!(
-                p.iter().all(|v| v.is_finite()),
-                "InteractiveSearch: point {i} contains non-finite coordinates"
-            );
+            if p.len() != d {
+                return invalid(format!(
+                    "InteractiveSearch: ragged point {i} (length {}, expected {d})",
+                    p.len()
+                ));
+            }
+            if !p.iter().all(|v| v.is_finite()) {
+                return invalid(format!(
+                    "InteractiveSearch: point {i} contains non-finite coordinates"
+                ));
+            }
         }
 
         let n = points.len();
@@ -115,6 +177,10 @@ impl InteractiveSearch {
             hinn_obs::gauge("search.dims", d as f64);
             hinn_obs::gauge("search.threads", par.threads() as f64);
         }
+        // The session clock exists only when a deadline is configured: the
+        // default path stays clock-free outside instrumentation, which the
+        // obs-invariance suite relies on.
+        let session_start = self.config.deadline.map(|_| std::time::Instant::now());
 
         let mut alive: Vec<usize> = (0..n).collect();
         let mut p_sum = vec![0.0f64; n];
@@ -141,6 +207,25 @@ impl InteractiveSearch {
                 if ec.dim() < 2 {
                     break;
                 }
+                // Deterministic fault point: a forced in-session panic,
+                // for proving that the batch boundary contains it.
+                if hinn_fault::point("search.panic") {
+                    panic!("forced in-session panic (fault point search.panic)");
+                }
+                // Cooperative deadline check at the view boundary — the
+                // overshoot is at most one view's work. The fault point is
+                // consulted first so forced expiry fires deterministically
+                // regardless of machine speed.
+                if let Some(budget) = self.config.deadline {
+                    let elapsed = session_start.map(|t| t.elapsed()).unwrap_or_default();
+                    if hinn_fault::point("search.deadline") || elapsed > budget {
+                        return Err(HinnError::Deadline {
+                            phase: "search.minor",
+                            elapsed,
+                            budget,
+                        });
+                    }
+                }
                 let _minor_span = hinn_obs::span!("search.minor");
                 // Phase wall-clocks for the transcript; only read while a
                 // recorder is installed so the disabled path stays free of
@@ -148,14 +233,15 @@ impl InteractiveSearch {
                 // exist on both paths).
                 let timing = hinn_obs::enabled();
                 let t_start = timing.then(std::time::Instant::now);
-                let proj = find_query_centered_projection_with(
+                let (proj, proj_events) = try_find_query_centered_projection_with(
                     par,
                     &alive_points,
                     query,
                     &ec,
                     s_eff,
                     self.config.projection_mode,
-                );
+                )?;
+                transcript.degradations.absorb(proj_events, major, minor);
                 let mut pts2d: Vec<[f64; 2]> = vec![[0.0; 2]; alive_points.len()];
                 hinn_par::fill_chunks(par, &mut pts2d, |start, slice| {
                     for (off, slot) in slice.iter_mut().enumerate() {
@@ -165,15 +251,15 @@ impl InteractiveSearch {
                 });
                 let qc = proj.projection.project(query);
                 let t_proj = timing.then(std::time::Instant::now);
-                let profile = match self.config.bandwidth_mode {
-                    BandwidthMode::Fixed => VisualProfile::build_with(
+                let built = match self.config.bandwidth_mode {
+                    BandwidthMode::Fixed => VisualProfile::try_build_with(
                         par,
                         pts2d,
                         [qc[0], qc[1]],
                         self.config.grid_n,
                         self.config.bandwidth_scale,
                     ),
-                    BandwidthMode::Adaptive { alpha } => VisualProfile::build_adaptive_with(
+                    BandwidthMode::Adaptive { alpha } => VisualProfile::try_build_adaptive_with(
                         par,
                         pts2d,
                         [qc[0], qc[1]],
@@ -182,6 +268,31 @@ impl InteractiveSearch {
                         alpha,
                     ),
                 };
+                let (profile, notes) = match built {
+                    Ok(p) => p,
+                    Err(e) => {
+                        // An unusable view is skipped, not fatal: record
+                        // the skip and continue the session in the
+                        // remaining subspace (ladder rung:
+                        // SkippedMinorView).
+                        transcript.degradations.push(DegradationEvent {
+                            major: Some(major),
+                            minor: Some(minor),
+                            kind: DegradationKind::SkippedMinorView,
+                            detail: format!("visual profile unavailable ({e}); view skipped"),
+                        });
+                        ec = proj.remainder;
+                        continue;
+                    }
+                };
+                if notes.bandwidth_floored {
+                    transcript.degradations.push(DegradationEvent {
+                        major: Some(major),
+                        minor: Some(minor),
+                        kind: DegradationKind::BandwidthFloored,
+                        detail: "zero-spread projection; KDE bandwidth floored".into(),
+                    });
+                }
                 let t_profile = timing.then(std::time::Instant::now);
                 let ctx = ViewContext {
                     major,
@@ -277,14 +388,14 @@ impl InteractiveSearch {
         };
         let neighbors = rank_neighbors(&probabilities, points, query, s_eff);
         let diagnosis = SearchDiagnosis::derive(&probabilities, &transcript, &self.drop_config);
-        SearchOutcome {
+        Ok(SearchOutcome {
             neighbors,
             probabilities,
             transcript,
             diagnosis,
             majors_run,
             effective_support: s_eff,
-        }
+        })
     }
 
     /// [`InteractiveSearch::run`] with a scoped [`hinn_obs::SessionRecorder`]
@@ -298,17 +409,34 @@ impl InteractiveSearch {
         query: &[f64],
         user: &mut dyn UserModel,
     ) -> (SearchOutcome, hinn_obs::TelemetryReport) {
+        match self.try_run_traced(points, query, user) {
+            Ok(pair) => pair,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`InteractiveSearch::run_traced`]. The telemetry report of
+    /// a failed session is dropped with the session.
+    pub fn try_run_traced(
+        &self,
+        points: &[Vec<f64>],
+        query: &[f64],
+        user: &mut dyn UserModel,
+    ) -> Result<(SearchOutcome, hinn_obs::TelemetryReport), HinnError> {
         let recorder = std::sync::Arc::new(hinn_obs::SessionRecorder::new());
         let outcome = {
             let _guard = hinn_obs::install(recorder.clone());
-            self.run(points, query, user)
+            self.try_run(points, query, user)?
         };
-        (outcome, recorder.report())
+        Ok((outcome, recorder.report()))
     }
 }
 
 /// Rank original indices by probability (descending), breaking ties by
 /// full-space Euclidean distance to the query (ascending), then index.
+/// Probabilities and squared distances are non-negative, so `total_cmp`
+/// coincides with the old partial order while staying total on poisoned
+/// (NaN) values.
 fn rank_neighbors(
     probabilities: &[f64],
     points: &[Vec<f64>],
@@ -318,12 +446,11 @@ fn rank_neighbors(
     let mut order: Vec<usize> = (0..probabilities.len()).collect();
     order.sort_by(|&a, &b| {
         probabilities[b]
-            .partial_cmp(&probabilities[a])
-            .expect("NaN probability")
+            .total_cmp(&probabilities[a])
             .then_with(|| {
                 let da = hinn_linalg::vector::dist_sq(&points[a], query);
                 let db = hinn_linalg::vector::dist_sq(&points[b], query);
-                da.partial_cmp(&db).expect("NaN distance")
+                da.total_cmp(&db)
             })
             .then(a.cmp(&b))
     });
@@ -391,6 +518,8 @@ mod tests {
             mean_member > mean_bg + 0.3,
             "member prob {mean_member} vs background {mean_bg}"
         );
+        // A healthy session takes no ladder rung.
+        assert!(outcome.degradations().is_empty());
     }
 
     #[test]
@@ -460,6 +589,118 @@ mod tests {
                 assert!(outcome.probabilities[w[0]] >= outcome.probabilities[w[1]]);
             }
         }
+    }
+
+    #[test]
+    fn natural_neighbors_tolerates_poisoned_probabilities() {
+        // Regression: a NaN probability used to panic the ranking via
+        // `partial_cmp().expect()`. With `total_cmp` the poisoned entry
+        // sorts deterministically (NaN first, as the largest value) and
+        // the healthy ordering is otherwise preserved.
+        let outcome = SearchOutcome {
+            neighbors: vec![],
+            probabilities: vec![0.2, f64::NAN, 0.9, 0.4],
+            transcript: Transcript::default(),
+            diagnosis: SearchDiagnosis::Meaningful {
+                natural_k: 4,
+                gap: 0.5,
+                top_mean: 0.9,
+            },
+            majors_run: 1,
+            effective_support: 4,
+        };
+        let order = outcome.natural_neighbors().expect("meaningful");
+        assert_eq!(order, vec![1, 2, 3, 0], "NaN first, then descending");
+    }
+
+    #[test]
+    fn try_run_reports_invalid_input_instead_of_panicking() {
+        let mut user = ScriptedUser::new([]);
+        let engine = InteractiveSearch::new(SearchConfig::default());
+        let err = engine
+            .try_run(&[], &[0.0, 0.0], &mut user)
+            .expect_err("empty data");
+        assert!(err.is_invalid_input());
+        assert!(err.to_string().contains("empty data set"));
+
+        let err = engine
+            .try_run(
+                &[vec![0.0, 0.0], vec![1.0, f64::NAN]],
+                &[0.0, 0.0],
+                &mut user,
+            )
+            .expect_err("non-finite point");
+        assert!(err.to_string().contains("point 1"));
+
+        let err = engine
+            .try_run(
+                &[vec![0.0, 0.0], vec![1.0, 1.0, 2.0]],
+                &[0.0, 0.0],
+                &mut user,
+            )
+            .expect_err("ragged point");
+        assert!(err.to_string().contains("ragged point 1"));
+
+        assert!(InteractiveSearch::try_new(SearchConfig {
+            grid_n: 1,
+            ..SearchConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn try_run_matches_run_bit_for_bit() {
+        let (pts, q, _) = planted();
+        let config = SearchConfig::default().with_support(20);
+        let outcome =
+            InteractiveSearch::new(config.clone()).run(&pts, &q, &mut HeuristicUser::default());
+        let tried = InteractiveSearch::new(config)
+            .try_run(&pts, &q, &mut HeuristicUser::default())
+            .expect("healthy data");
+        assert_eq!(outcome.neighbors, tried.neighbors);
+        for (a, b) in outcome.probabilities.iter().zip(&tried.probabilities) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(tried.degradations().is_empty());
+    }
+
+    #[test]
+    fn forced_deadline_surfaces_as_typed_error() {
+        let (pts, q, _) = planted();
+        // A generous budget that cannot expire on its own — only the
+        // forced fault point trips the check, deterministically at the
+        // first minor boundary.
+        let config = SearchConfig::default()
+            .with_support(20)
+            .with_deadline(std::time::Duration::from_secs(3600));
+        let plan = std::sync::Arc::new(
+            hinn_fault::FaultPlan::new().with("search.deadline", hinn_fault::FaultMode::Always),
+        );
+        let err = {
+            let _g = hinn_fault::install_local(plan.clone());
+            InteractiveSearch::new(config)
+                .try_run(&pts, &q, &mut HeuristicUser::default())
+                .expect_err("forced deadline")
+        };
+        assert_eq!(plan.fired("search.deadline"), 1);
+        assert!(matches!(err, HinnError::Deadline { .. }));
+        assert!(err.to_string().contains("deadline exceeded"));
+    }
+
+    #[test]
+    fn without_deadline_the_fault_point_is_never_consulted() {
+        let (pts, q, _) = planted();
+        let plan = std::sync::Arc::new(
+            hinn_fault::FaultPlan::new().with("search.deadline", hinn_fault::FaultMode::Always),
+        );
+        let outcome = {
+            let _g = hinn_fault::install_local(plan.clone());
+            InteractiveSearch::new(SearchConfig::default().with_support(20))
+                .try_run(&pts, &q, &mut HeuristicUser::default())
+                .expect("no deadline configured")
+        };
+        assert_eq!(plan.hits("search.deadline"), 0, "clock-free path");
+        assert!(outcome.majors_run >= 1);
     }
 
     #[test]

@@ -77,6 +77,9 @@ pub struct MajorRecord {
 pub struct Transcript {
     /// One record per major iteration, in order.
     pub majors: Vec<MajorRecord>,
+    /// Every degradation-ladder rung the session took, in firing order
+    /// (empty on a fully healthy run). See [`crate::degrade`].
+    pub degradations: crate::degrade::DegradationLog,
 }
 
 impl Transcript {
@@ -156,6 +159,7 @@ mod tests {
                     overlap_with_previous: Some(0.9),
                 },
             ],
+            ..Transcript::default()
         };
         assert_eq!(t.total_views(), 3);
         assert_eq!(t.total_dismissed(), 1);

@@ -1,0 +1,127 @@
+//! Fault drills against the `BatchRunner` isolation boundary.
+//!
+//! These tests force faults on *batch worker threads*, so they must
+//! install a process-global fault plan (`hinn_fault::install`) rather
+//! than a thread-local one. Global plans are visible to every thread in
+//! the binary — which is exactly why these tests live in their own
+//! integration binary: every test here installs a plan, the install
+//! guard holds the global install lock, and the tests therefore
+//! serialize instead of leaking faults into each other.
+
+use hinn_core::{BatchRunner, HinnError, QueryReport, SearchConfig};
+use hinn_user::HeuristicUser;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// 6-D data, full-space cluster at 50 plus background (mirrors the
+/// `batch` unit-test workload).
+fn workload() -> Vec<Vec<f64>> {
+    let mut state = 0xC0FFEEu64;
+    let mut unif = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut pts: Vec<Vec<f64>> = Vec::new();
+    for _ in 0..30 {
+        pts.push((0..6).map(|_| 50.0 + (unif() - 0.5) * 2.0).collect());
+    }
+    for _ in 0..90 {
+        pts.push((0..6).map(|_| unif() * 100.0).collect());
+    }
+    pts
+}
+
+fn config() -> SearchConfig {
+    SearchConfig {
+        max_major_iterations: 1,
+        min_major_iterations: 1,
+        ..SearchConfig::default().with_support(10)
+    }
+}
+
+#[test]
+fn forced_panic_is_contained_and_retried() {
+    // `search.panic` fires once: the first session dies, the degraded
+    // retry completes. The panic must not escape `run`.
+    let pts = workload();
+    let queries = vec![pts[0].clone()];
+    let plan =
+        Arc::new(hinn_fault::FaultPlan::new().with("search.panic", hinn_fault::FaultMode::Once));
+    let reports = {
+        let _g = hinn_fault::install(plan.clone());
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+        let reports = BatchRunner::new(&pts, config())
+            .with_threads(1)
+            .run(&queries, || Box::new(HeuristicUser::default()));
+        std::panic::set_hook(prev_hook);
+        reports
+    };
+    assert_eq!(plan.fired("search.panic"), 1);
+    let r = &reports[0];
+    assert!(!r.is_failed(), "degraded retry must complete");
+    assert!(r.retried());
+    match r {
+        QueryReport::Completed { degradations, .. } => {
+            assert!(*degradations >= 1, "the retry is itself recorded")
+        }
+        QueryReport::Failed { .. } => unreachable!(),
+    }
+}
+
+#[test]
+fn forced_deadline_on_both_attempts_surfaces_as_failed() {
+    let pts = workload();
+    let queries = vec![pts[0].clone(), pts[5].clone()];
+    let plan = Arc::new(
+        hinn_fault::FaultPlan::new().with("search.deadline", hinn_fault::FaultMode::Always),
+    );
+    let reports = {
+        let _g = hinn_fault::install(plan.clone());
+        BatchRunner::new(&pts, config())
+            .with_threads(1)
+            .with_deadline(Duration::from_secs(3600))
+            .run(&queries, || Box::new(HeuristicUser::default()))
+    };
+    assert!(
+        plan.fired("search.deadline") >= 4,
+        "both attempts, both queries"
+    );
+    for r in &reports {
+        assert!(r.is_failed());
+        assert!(r.retried(), "deadline failures are retried once");
+        assert!(matches!(r.error(), Some(HinnError::Deadline { .. })));
+    }
+}
+
+#[test]
+fn forcing_every_point_at_once_cannot_panic_the_batch() {
+    // The CI smoke configuration: all six registered points armed on
+    // every hit. Each query either completes through the degradation
+    // ladder or comes back as a typed `Failed` — nothing unwinds out.
+    let pts = workload();
+    let queries: Vec<Vec<f64>> = (0..3).map(|i| pts[i * 5].clone()).collect();
+    let plan = Arc::new(hinn_fault::FaultPlan::forcing_all());
+    let reports = {
+        let _g = hinn_fault::install(plan.clone());
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // forced in-session panics
+        let reports = BatchRunner::new(&pts, config())
+            .with_threads(2)
+            .run(&queries, || Box::new(HeuristicUser::default()));
+        std::panic::set_hook(prev_hook);
+        reports
+    };
+    assert_eq!(reports.len(), queries.len());
+    assert!(plan.fired("search.panic") >= 1);
+    for r in &reports {
+        // Under forcing_all the in-session panic fires on every minor
+        // iteration of both attempts, so every query must surface as a
+        // contained, retried failure.
+        assert!(r.is_failed());
+        assert!(r.retried());
+        assert!(matches!(r.error(), Some(HinnError::SessionPanicked { .. })));
+    }
+}

@@ -1,0 +1,452 @@
+//! Deterministic, seeded fault injection for the `hinn` workspace — the
+//! robustness analogue of `hinn-obs`: a process-global facade whose entire
+//! cost, when nothing is installed, is one relaxed atomic load per
+//! instrumented point.
+//!
+//! The engine's degradation ladder (Jacobi non-convergence → axis-parallel
+//! projections, collapsed KDE grid → skipped view, deadline expiry → typed
+//! error, in-session panic → batch isolation) only earns its keep if every
+//! arm can be *forced* on demand and asserted on. Production code marks
+//! each failure arm with a named [`point`]:
+//!
+//! ```
+//! if hinn_fault::point("eigen.converge") {
+//!     // behave as if the Jacobi sweep stalled
+//! }
+//! ```
+//!
+//! With no plan installed (the default, and the only state production code
+//! ever runs in) `point` returns `false` after a single relaxed load.
+//! Tests install a [`FaultPlan`] scoped by an RAII [`InstallGuard`]:
+//!
+//! ```
+//! use hinn_fault::{FaultMode, FaultPlan};
+//! use std::sync::Arc;
+//!
+//! let plan = Arc::new(FaultPlan::new().with("eigen.converge", FaultMode::Always));
+//! {
+//!     let _guard = hinn_fault::install(plan.clone());
+//!     assert!(hinn_fault::point("eigen.converge"));
+//!     assert!(!hinn_fault::point("kde.grid")); // not in the plan
+//! }
+//! assert!(!hinn_fault::point("eigen.converge")); // uninstalled
+//! assert_eq!(plan.fired("eigen.converge"), 1);
+//! ```
+//!
+//! Determinism: firing decisions depend only on the plan and the per-point
+//! hit index — never on clocks, thread identity, or global randomness —
+//! and every registered point sits on the *sequential* control path of the
+//! search loop (not inside `hinn-par` chunk workers), so hit order and
+//! fire decisions are identical for every thread budget. The
+//! [`FaultMode::Sometimes`] mode uses a seeded hash of
+//! `(seed, point name, hit index)` for reproducible pseudo-random faults.
+//!
+//! Installation is serialized exactly like `hinn-obs`: the guard holds a
+//! global lock so concurrent tests queue rather than interleave plans.
+//! Because a *global* plan is visible to every thread in the process —
+//! including unrelated tests running concurrently in the same binary —
+//! tests whose faulted code runs entirely on the calling thread should
+//! prefer [`install_local`], which shadows the global plan on the
+//! installing thread only and is invisible everywhere else. Reserve
+//! [`install`] for multi-threaded fault drills (e.g. batch workers), and
+//! keep those in a test binary where *every* test installs a plan, so the
+//! install lock serializes them.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// Every fault point compiled into the workspace's hot paths, for tests
+/// that want to force "everything at once" without chasing call sites.
+pub const POINTS: [&str; 6] = [
+    "eigen.converge",
+    "covariance.degenerate",
+    "kde.bandwidth",
+    "kde.grid",
+    "search.panic",
+    "search.deadline",
+];
+
+/// When an armed fault point fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultMode {
+    /// Fire on every hit.
+    Always,
+    /// Fire on the first hit only (e.g. "first attempt fails, the batch
+    /// retry succeeds").
+    Once,
+    /// Fire on every `n`-th hit (1-based: `Nth(3)` fires on hits 3, 6, …).
+    /// `Nth(0)` never fires.
+    Nth(u64),
+    /// Fire pseudo-randomly with probability `p`, deterministically seeded:
+    /// the decision for hit `k` of point `name` is a pure function of
+    /// `(seed, name, k)`.
+    Sometimes {
+        /// Firing probability in `[0, 1]`.
+        p: f64,
+        /// Reproducibility seed.
+        seed: u64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Arm {
+    mode: Option<FaultMode>,
+    hits: AtomicU64,
+    fired: AtomicU64,
+}
+
+/// A set of armed fault points plus hit/fire accounting. Install with
+/// [`install`]; query the counters afterwards via [`FaultPlan::hits`] and
+/// [`FaultPlan::fired`].
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    arms: BTreeMap<&'static str, Arm>,
+    /// When set, every point fires regardless of per-point arms.
+    force_all: bool,
+}
+
+impl FaultPlan {
+    /// An empty plan: counts hits on the registered [`POINTS`] but fires
+    /// nothing until armed with [`FaultPlan::with`].
+    pub fn new() -> Self {
+        let mut plan = Self {
+            arms: BTreeMap::new(),
+            force_all: false,
+        };
+        for name in POINTS {
+            plan.arms.insert(name, Arm::default());
+        }
+        plan
+    }
+
+    /// A plan that fires *every* point on every hit (the CI smoke
+    /// configuration: prove that no combination of failure arms can panic
+    /// the batch driver).
+    pub fn forcing_all() -> Self {
+        let mut plan = Self::new();
+        plan.force_all = true;
+        plan
+    }
+
+    /// Arm `name` with `mode`. Unknown names are accepted (the plan is a
+    /// map, not a schema) so tests can arm points introduced later.
+    pub fn with(mut self, name: &'static str, mode: FaultMode) -> Self {
+        self.arms.entry(name).or_default().mode = Some(mode);
+        self
+    }
+
+    /// Build a plan from the `HINN_FAULTS` environment variable:
+    /// `"all"` arms everything ([`FaultPlan::forcing_all`]); otherwise a
+    /// comma-separated list of point names, each armed [`FaultMode::Always`].
+    /// Returns `None` when the variable is unset or empty.
+    pub fn from_env() -> Option<Self> {
+        let spec = std::env::var("HINN_FAULTS").ok()?;
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return None;
+        }
+        if spec == "all" {
+            return Some(Self::forcing_all());
+        }
+        let mut plan = Self::new();
+        for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            // Leak the name: env-armed points live for the process anyway,
+            // and arms are keyed by 'static strs to keep `point` free of
+            // owned-string hashing.
+            let name: &'static str = POINTS
+                .iter()
+                .find(|p| **p == name)
+                .copied()
+                .unwrap_or_else(|| Box::leak(name.to_owned().into_boxed_str()));
+            plan.arms.entry(name).or_default().mode = Some(FaultMode::Always);
+        }
+        Some(plan)
+    }
+
+    /// How many times `name` was consulted while this plan was installed.
+    pub fn hits(&self, name: &str) -> u64 {
+        self.arms
+            .get(name)
+            .map_or(0, |a| a.hits.load(Ordering::Relaxed))
+    }
+
+    /// How many times `name` actually fired.
+    pub fn fired(&self, name: &str) -> u64 {
+        self.arms
+            .get(name)
+            .map_or(0, |a| a.fired.load(Ordering::Relaxed))
+    }
+
+    /// Consult the plan for one hit of `name`.
+    fn consult(&self, name: &str) -> bool {
+        let Some(arm) = self.arms.get(name) else {
+            // Unregistered point with force_all: fire, but nothing to count.
+            return self.force_all;
+        };
+        let hit = arm.hits.fetch_add(1, Ordering::Relaxed) + 1;
+        let fire = self.force_all
+            || match arm.mode {
+                None => false,
+                Some(FaultMode::Always) => true,
+                Some(FaultMode::Once) => hit == 1,
+                Some(FaultMode::Nth(n)) => n != 0 && hit % n == 0,
+                Some(FaultMode::Sometimes { p, seed }) => {
+                    if p <= 0.0 {
+                        false
+                    } else if p >= 1.0 {
+                        true
+                    } else {
+                        // splitmix64 over (seed, fnv1a(name), hit).
+                        let mut x = seed ^ fnv1a(name) ^ hit.wrapping_mul(0x9E3779B97F4A7C15);
+                        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+                        x ^= x >> 31;
+                        // Top 53 bits → uniform in [0, 1).
+                        ((x >> 11) as f64) / (1u64 << 53) as f64 <= p
+                    }
+                }
+            };
+        if fire {
+            arm.fired.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Fast-path switch, exactly as in `hinn-obs`: the number of live plan
+/// installations (global + thread-local) in the process. Relaxed is safe —
+/// a stale read can only miss or no-op one consult around an install edge.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// The installed global plan. Only read when [`ACTIVE`] is non-zero.
+static PLAN: RwLock<Option<Arc<FaultPlan>>> = RwLock::new(None);
+
+/// Serializes global installations so overlapping tests queue, never
+/// interleave.
+static INSTALL_LOCK: Mutex<()> = Mutex::new(());
+
+thread_local! {
+    /// A per-thread plan that shadows the global one (see [`install_local`]).
+    static LOCAL: RefCell<Option<Arc<FaultPlan>>> = const { RefCell::new(None) };
+}
+
+/// Scoped installation of a process-global [`FaultPlan`]; dropping
+/// uninstalls it.
+#[must_use = "dropping the guard uninstalls the fault plan immediately"]
+pub struct InstallGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        *PLAN.write().unwrap_or_else(|e| e.into_inner()) = None;
+        ACTIVE.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Install `plan` as the process-global fault plan until the returned
+/// guard drops. Blocks while another global plan is installed. Every
+/// thread in the process sees the plan (unless shadowed by its own
+/// [`install_local`]) — in test binaries, only use this when the faulted
+/// code runs on threads the test does not own, and make sure every test
+/// in the binary installs a plan so the install lock serializes them.
+pub fn install(plan: Arc<FaultPlan>) -> InstallGuard {
+    let lock = INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    *PLAN.write().unwrap_or_else(|e| e.into_inner()) = Some(plan);
+    ACTIVE.fetch_add(1, Ordering::SeqCst);
+    InstallGuard { _lock: lock }
+}
+
+/// Scoped installation of a thread-local [`FaultPlan`]; dropping restores
+/// the previous thread state. The guard is `!Send`: it must drop on the
+/// installing thread.
+#[must_use = "dropping the guard uninstalls the fault plan immediately"]
+pub struct LocalGuard {
+    previous: Option<Arc<FaultPlan>>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for LocalGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        LOCAL.with(|slot| *slot.borrow_mut() = previous);
+        ACTIVE.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Install `plan` for the *calling thread only*: [`point`] consults it on
+/// this thread and ignores it everywhere else, so concurrently running
+/// tests in the same binary are untouched. This is the right tool for any
+/// fault whose point is consulted on the caller's thread (eigen, KDE,
+/// projection, deadline — everything except code that hands work to its
+/// own spawned threads). Nested installs shadow and restore like a stack.
+pub fn install_local(plan: Arc<FaultPlan>) -> LocalGuard {
+    let previous = LOCAL.with(|slot| slot.borrow_mut().replace(plan));
+    ACTIVE.fetch_add(1, Ordering::SeqCst);
+    LocalGuard {
+        previous,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// `true` iff any fault plan is currently installed (one relaxed load).
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed) > 0
+}
+
+/// The fault point marker: `true` iff the plan visible to this thread
+/// (thread-local if installed, else global) fires `name` on this hit.
+/// With no plan installed anywhere this is a single relaxed atomic load
+/// returning `false` — cheap enough for the hot paths it guards.
+#[inline]
+pub fn point(name: &str) -> bool {
+    if !enabled() {
+        return false;
+    }
+    point_slow(name)
+}
+
+#[cold]
+fn point_slow(name: &str) -> bool {
+    let local = LOCAL.with(|slot| slot.borrow().clone());
+    if let Some(plan) = local {
+        return plan.consult(name);
+    }
+    match PLAN.read() {
+        Ok(slot) => slot.as_ref().is_some_and(|p| p.consult(name)),
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        // May run concurrently with installing tests in this crate, so
+        // only assert the no-panic contract for an unknown point name.
+        let _ = point("test.nonexistent");
+    }
+
+    #[test]
+    fn modes_fire_as_specified() {
+        let plan = Arc::new(
+            FaultPlan::new()
+                .with("eigen.converge", FaultMode::Always)
+                .with("kde.grid", FaultMode::Once)
+                .with("kde.bandwidth", FaultMode::Nth(3)),
+        );
+        {
+            let _g = install(plan.clone());
+            for _ in 0..6 {
+                point("eigen.converge");
+                point("kde.grid");
+                point("kde.bandwidth");
+                point("search.panic"); // unarmed: hit-counted, never fires
+            }
+        }
+        assert_eq!(plan.hits("eigen.converge"), 6);
+        assert_eq!(plan.fired("eigen.converge"), 6);
+        assert_eq!(plan.fired("kde.grid"), 1);
+        assert_eq!(plan.fired("kde.bandwidth"), 2); // hits 3 and 6
+        assert_eq!(plan.hits("search.panic"), 6);
+        assert_eq!(plan.fired("search.panic"), 0);
+    }
+
+    #[test]
+    fn forcing_all_fires_everything() {
+        let plan = Arc::new(FaultPlan::forcing_all());
+        {
+            let _g = install(plan.clone());
+            for name in POINTS {
+                assert!(point(name), "{name} must fire under forcing_all");
+            }
+        }
+        for name in POINTS {
+            assert_eq!(plan.fired(name), 1);
+        }
+    }
+
+    #[test]
+    fn sometimes_is_deterministic_and_roughly_calibrated() {
+        let decisions = |seed: u64| -> Vec<bool> {
+            let plan = Arc::new(
+                FaultPlan::new().with("eigen.converge", FaultMode::Sometimes { p: 0.25, seed }),
+            );
+            let _g = install(plan);
+            (0..400).map(|_| point("eigen.converge")).collect()
+        };
+        let a = decisions(7);
+        let b = decisions(7);
+        assert_eq!(a, b, "same seed → same firing sequence");
+        let c = decisions(8);
+        assert_ne!(a, c, "different seed → different sequence");
+        let rate = a.iter().filter(|&&f| f).count() as f64 / a.len() as f64;
+        assert!((0.15..=0.35).contains(&rate), "rate {rate} far from 0.25");
+    }
+
+    #[test]
+    fn install_is_scoped() {
+        let plan = Arc::new(FaultPlan::forcing_all());
+        {
+            let _g = install(plan);
+            assert!(enabled());
+        }
+        assert!(!point("eigen.converge"));
+    }
+
+    #[test]
+    fn local_install_is_invisible_to_other_threads() {
+        let plan = Arc::new(FaultPlan::new().with("search.panic", FaultMode::Always));
+        let _g = install_local(plan.clone());
+        assert!(point("search.panic"));
+        // A sibling thread consulting the same point must not reach this
+        // plan (it may reach a concurrently-installed *global* plan from
+        // another test, so we only assert on our plan's counters).
+        std::thread::spawn(|| {
+            let _ = point("search.panic");
+        })
+        .join()
+        .unwrap();
+        assert_eq!(plan.hits("search.panic"), 1, "only the local consult");
+    }
+
+    #[test]
+    fn local_shadows_global_and_restores_on_drop() {
+        let global = Arc::new(FaultPlan::forcing_all());
+        let _g = install(global.clone());
+        let quiet = Arc::new(FaultPlan::new()); // arms nothing
+        {
+            let _l = install_local(quiet.clone());
+            assert!(!point("eigen.converge"), "local plan shadows global");
+        }
+        assert!(point("eigen.converge"), "global visible again after drop");
+        assert_eq!(quiet.hits("eigen.converge"), 1);
+        assert_eq!(global.fired("eigen.converge"), 1);
+    }
+
+    #[test]
+    fn nth_zero_never_fires() {
+        let plan = Arc::new(FaultPlan::new().with("kde.grid", FaultMode::Nth(0)));
+        {
+            let _g = install(plan.clone());
+            for _ in 0..5 {
+                assert!(!point("kde.grid"));
+            }
+        }
+        assert_eq!(plan.fired("kde.grid"), 0);
+    }
+}

@@ -136,7 +136,9 @@ pub fn query_contour(grid: &DensityGrid, tau: f64, query: [f64; 2]) -> Option<Co
                 let cy = c.iter().map(|p| p[1]).sum::<f64>() / n;
                 (cx - query[0]).powi(2) + (cy - query[1]).powi(2)
             };
-            d(a).partial_cmp(&d(b)).expect("NaN centroid")
+            // Squared distances are never -0.0; total order also absorbs a
+            // NaN centroid (degenerate contour) instead of panicking.
+            d(a).total_cmp(&d(b))
         })
 }
 

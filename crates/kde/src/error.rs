@@ -1,0 +1,48 @@
+//! Typed errors for the density-estimation layer.
+//!
+//! Mirrors the layering of `hinn_linalg::LinalgError`: this crate reports
+//! only what a KDE routine can observe about its own inputs; `hinn-core`
+//! folds these into its session-level error taxonomy and decides whether a
+//! failed view is skipped (degradation ladder) or fatal.
+
+use std::fmt;
+
+/// What a fallible KDE routine can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KdeError {
+    /// A visual profile was requested for zero projected points.
+    EmptyProjection,
+    /// The requested grid resolution is unusable (`n < 2`).
+    InvalidGrid {
+        /// The offending grid-points-per-axis value.
+        n: usize,
+    },
+    /// The evaluation grid could not be constructed over the data — the
+    /// projected coordinates contain non-finite values (or the
+    /// `kde.grid` fault point forced this arm).
+    CollapsedGrid {
+        /// Which check failed.
+        why: &'static str,
+    },
+    /// The query fell outside the constructed grid. The grid is built to
+    /// cover the query, so this indicates non-finite query coordinates.
+    QueryOffGrid,
+}
+
+impl fmt::Display for KdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KdeError::EmptyProjection => write!(f, "empty projection (no points)"),
+            KdeError::InvalidGrid { n } => {
+                write!(
+                    f,
+                    "invalid grid: need at least 2 grid points per axis, got {n}"
+                )
+            }
+            KdeError::CollapsedGrid { why } => write!(f, "collapsed grid: {why}"),
+            KdeError::QueryOffGrid => write!(f, "query falls outside the density grid"),
+        }
+    }
+}
+
+impl std::error::Error for KdeError {}

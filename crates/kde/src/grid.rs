@@ -54,6 +54,43 @@ impl GridSpec {
         Self { x0, y0, dx, dy, n }
     }
 
+    /// Fallible [`GridSpec::covering`]: typed errors instead of panics, and
+    /// a defense against non-finite coordinates (which would silently
+    /// produce a NaN-geometry grid). The `kde.grid` fault point (see
+    /// `hinn-fault`) deterministically forces the collapsed-grid arm.
+    /// On success the spec is bit-identical to [`GridSpec::covering`].
+    pub fn try_covering(
+        points: &[[f64; 2]],
+        extra: &[[f64; 2]],
+        margin: f64,
+        n: usize,
+    ) -> Result<Self, crate::error::KdeError> {
+        use crate::error::KdeError;
+        if n < 2 {
+            return Err(KdeError::InvalidGrid { n });
+        }
+        if points.is_empty() && extra.is_empty() {
+            return Err(KdeError::CollapsedGrid {
+                why: "no points to cover",
+            });
+        }
+        if hinn_fault::point("kde.grid") {
+            return Err(KdeError::CollapsedGrid {
+                why: "forced by fault point kde.grid",
+            });
+        }
+        let finite = points
+            .iter()
+            .chain(extra)
+            .all(|p| p[0].is_finite() && p[1].is_finite());
+        if !finite || !margin.is_finite() {
+            return Err(KdeError::CollapsedGrid {
+                why: "non-finite coordinates",
+            });
+        }
+        Ok(Self::covering(points, extra, margin, n))
+    }
+
     /// Coordinates of grid point `(ix, iy)`.
     #[inline]
     pub fn point(&self, ix: usize, iy: usize) -> [f64; 2] {
@@ -138,10 +175,13 @@ impl DensityGrid {
     }
 
     /// Empirical quantile (`q ∈ [0,1]`) of the grid-point densities.
+    /// NaN densities (impossible from this crate's estimators, possible
+    /// through [`DensityGrid::new`]) sort by IEEE total order instead of
+    /// panicking.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile: q must be in [0,1]");
         let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN density"));
+        sorted.sort_by(f64::total_cmp);
         let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
         sorted[idx]
     }

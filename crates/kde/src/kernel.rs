@@ -24,27 +24,42 @@ pub fn gaussian_kernel(u: f64, h: f64) -> f64 {
 /// Degenerate samples (σ ≈ 0 or tiny N) fall back to a small positive
 /// bandwidth scaled to the data range so the estimator stays well-defined.
 pub fn silverman_bandwidth(sample: &[f64]) -> f64 {
+    silverman_bandwidth_checked(sample).0
+}
+
+/// [`silverman_bandwidth`] with an explicit degradation flag: the second
+/// element is `true` iff the rule-of-thumb value was unusable (σ ≈ 0,
+/// empty sample) and the epsilon-floored fallback was substituted. The
+/// bandwidth value is bit-identical to [`silverman_bandwidth`].
+pub fn silverman_bandwidth_checked(sample: &[f64]) -> (f64, bool) {
     let n = sample.len();
     if n == 0 {
-        return 1.0;
+        return (1.0, true);
     }
     let sigma = hinn_linalg::stats::std_dev(sample);
     let h = 1.06 * sigma * (n as f64).powf(-0.2);
     if h > 1e-12 {
-        h
+        (h, false)
     } else {
-        // All-equal sample: any positive bandwidth yields a single spike.
-        let range = sample
-            .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-                (lo.min(v), hi.max(v))
-            });
-        let span = (range.1 - range.0).abs();
-        if span > 1e-12 {
-            0.05 * span
-        } else {
-            1e-3
-        }
+        (floor_bandwidth(sample), true)
+    }
+}
+
+/// The epsilon-floored fallback bandwidth for a (near-)degenerate sample:
+/// a small fraction of the data span, or an absolute floor when even the
+/// span has collapsed. Always positive and finite.
+fn floor_bandwidth(sample: &[f64]) -> f64 {
+    // All-equal sample: any positive bandwidth yields a single spike.
+    let range = sample
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let span = (range.1 - range.0).abs();
+    if span.is_finite() && span > 1e-12 {
+        0.05 * span
+    } else {
+        1e-3
     }
 }
 
@@ -69,6 +84,30 @@ impl Bandwidth2D {
             hx: silverman_bandwidth(&xs),
             hy: silverman_bandwidth(&ys),
         }
+    }
+
+    /// [`Bandwidth2D::silverman`] with an explicit degradation flag: the
+    /// second element is `true` iff either axis fell back to the
+    /// epsilon-floored bandwidth (zero spread along that axis). The
+    /// `kde.bandwidth` fault point (see `hinn-fault`) forces the floored
+    /// arm on both axes so callers can exercise their degradation path.
+    /// Unfaulted, the bandwidths are bit-identical to
+    /// [`Bandwidth2D::silverman`].
+    pub fn silverman_checked(points: &[[f64; 2]]) -> (Self, bool) {
+        let xs: Vec<f64> = points.iter().map(|p| p[0]).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p[1]).collect();
+        if hinn_fault::point("kde.bandwidth") {
+            return (
+                Self {
+                    hx: floor_bandwidth(&xs),
+                    hy: floor_bandwidth(&ys),
+                },
+                true,
+            );
+        }
+        let (hx, fx) = silverman_bandwidth_checked(&xs);
+        let (hy, fy) = silverman_bandwidth_checked(&ys);
+        (Self { hx, hy }, fx || fy)
     }
 
     /// Scale both bandwidths by `factor` (over/under-smoothing knob exposed
@@ -134,6 +173,40 @@ mod tests {
         assert!(silverman_bandwidth(&[3.0, 3.0, 3.0]) > 0.0);
         assert!(silverman_bandwidth(&[]) > 0.0);
         assert!(silverman_bandwidth(&[1.0]) > 0.0);
+    }
+
+    #[test]
+    fn checked_bandwidth_flags_the_floor_arm() {
+        let healthy = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let (h, floored) = silverman_bandwidth_checked(&healthy);
+        assert_eq!(h, silverman_bandwidth(&healthy), "values must agree");
+        assert!(!floored);
+
+        let (h, floored) = silverman_bandwidth_checked(&[3.0, 3.0, 3.0]);
+        assert!(h > 0.0);
+        assert!(floored, "zero-spread sample must flag the floor");
+        let (h, floored) = silverman_bandwidth_checked(&[]);
+        assert!(h > 0.0 && floored);
+    }
+
+    #[test]
+    fn forced_bandwidth_fault_floors_both_axes() {
+        let pts: Vec<[f64; 2]> = (0..50).map(|i| [i as f64, i as f64 * 2.0]).collect();
+        let (clean, floored) = Bandwidth2D::silverman_checked(&pts);
+        assert!(!floored);
+        assert_eq!(clean, Bandwidth2D::silverman(&pts));
+
+        let plan = std::sync::Arc::new(
+            hinn_fault::FaultPlan::new().with("kde.bandwidth", hinn_fault::FaultMode::Always),
+        );
+        let (forced, floored) = {
+            let _g = hinn_fault::install_local(plan.clone());
+            Bandwidth2D::silverman_checked(&pts)
+        };
+        assert_eq!(plan.fired("kde.bandwidth"), 1);
+        assert!(floored, "fault must force the floored arm");
+        assert!(forced.hx > 0.0 && forced.hy > 0.0);
+        assert_ne!(forced, clean);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 pub mod adaptive;
 pub mod connect;
 pub mod contour;
+pub mod error;
 pub mod estimate;
 pub mod grid;
 pub mod kernel;
@@ -38,9 +39,10 @@ pub use adaptive::{
 };
 pub use connect::{connected_cells, CornerRule};
 pub use contour::{extract_contours, query_contour};
+pub use error::KdeError;
 pub use estimate::{density_at, estimate_grid, estimate_grid_with};
 pub use grid::{DensityGrid, GridSpec};
 pub use hinn_par::Parallelism;
-pub use kernel::{gaussian_kernel, silverman_bandwidth, Bandwidth2D};
+pub use kernel::{gaussian_kernel, silverman_bandwidth, silverman_bandwidth_checked, Bandwidth2D};
 pub use marginal::MarginalProfile;
-pub use profile::VisualProfile;
+pub use profile::{ProfileNotes, VisualProfile};

@@ -7,6 +7,7 @@
 //! read off the same plot.
 
 use crate::connect::{connected_cells, points_in_mask, CellMask, CornerRule};
+use crate::error::KdeError;
 use crate::grid::{DensityGrid, GridSpec};
 use crate::kernel::Bandwidth2D;
 use crate::polygon::HalfPlane;
@@ -14,6 +15,16 @@ use crate::polygon::HalfPlane;
 /// Fraction of the data extent added as margin around the grid so that
 /// density tails are visible and the integral is close to 1.
 const GRID_MARGIN: f64 = 0.15;
+
+/// Degradations observed while building a [`VisualProfile`] — returned by
+/// the fallible builders so the caller can record (rather than silently
+/// absorb) a downgraded view.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProfileNotes {
+    /// At least one axis had zero spread (or the `kde.bandwidth` fault
+    /// fired) and received the epsilon-floored fallback bandwidth.
+    pub bandwidth_floored: bool,
+}
 
 /// A rendered 2-D density profile of one projection, centered on a query.
 #[derive(Clone, Debug)]
@@ -78,21 +89,45 @@ impl VisualProfile {
         grid_n: usize,
         bw_scale: f64,
     ) -> Self {
+        match Self::try_build_with(par, points, query, grid_n, bw_scale) {
+            Ok((profile, _)) => profile,
+            Err(e) => panic!("VisualProfile: {e}"),
+        }
+    }
+
+    /// Fallible [`VisualProfile::build_with`]: typed errors instead of
+    /// panics, plus [`ProfileNotes`] describing any degradation absorbed
+    /// along the way (epsilon-floored bandwidth on a zero-spread axis).
+    /// On success the profile is bit-identical to
+    /// [`VisualProfile::build_with`].
+    pub fn try_build_with(
+        par: hinn_par::Parallelism,
+        points: Vec<[f64; 2]>,
+        query: [f64; 2],
+        grid_n: usize,
+        bw_scale: f64,
+    ) -> Result<(Self, ProfileNotes), KdeError> {
         let _span = hinn_obs::span!("kde.profile");
-        assert!(!points.is_empty(), "VisualProfile: empty projection");
-        let bandwidth = Bandwidth2D::silverman(&points).scaled(bw_scale);
-        let spec = GridSpec::covering(&points, &[query], GRID_MARGIN, grid_n);
+        if points.is_empty() {
+            return Err(KdeError::EmptyProjection);
+        }
+        let (bandwidth, bandwidth_floored) = Bandwidth2D::silverman_checked(&points);
+        let bandwidth = bandwidth.scaled(bw_scale);
+        let spec = GridSpec::try_covering(&points, &[query], GRID_MARGIN, grid_n)?;
         let grid = crate::estimate::estimate_grid_with(par, &points, bandwidth, spec);
         let query_cell = spec
             .cell_of(query[0], query[1])
-            .expect("grid is constructed to cover the query");
-        Self {
-            points,
-            query,
-            grid,
-            bandwidth,
-            query_cell,
-        }
+            .ok_or(KdeError::QueryOffGrid)?;
+        Ok((
+            Self {
+                points,
+                query,
+                grid,
+                bandwidth,
+                query_cell,
+            },
+            ProfileNotes { bandwidth_floored },
+        ))
     }
 
     /// Like [`VisualProfile::build`], but with Silverman's adaptive kernel
@@ -133,22 +168,51 @@ impl VisualProfile {
         bw_scale: f64,
         alpha: f64,
     ) -> Self {
+        match Self::try_build_adaptive_with(par, points, query, grid_n, bw_scale, alpha) {
+            Ok((profile, _)) => profile,
+            Err(e) => panic!("VisualProfile: {e}"),
+        }
+    }
+
+    /// Fallible [`VisualProfile::build_adaptive_with`] — see
+    /// [`VisualProfile::try_build_with`] for the error/notes contract.
+    ///
+    /// # Panics
+    /// Still panics if `alpha ∉ [0, 1]` (a caller bug, not a data
+    /// condition; `SearchConfig::try_validate` rejects it upstream).
+    pub fn try_build_adaptive_with(
+        par: hinn_par::Parallelism,
+        points: Vec<[f64; 2]>,
+        query: [f64; 2],
+        grid_n: usize,
+        bw_scale: f64,
+        alpha: f64,
+    ) -> Result<(Self, ProfileNotes), KdeError> {
         let _span = hinn_obs::span!("kde.profile");
-        assert!(!points.is_empty(), "VisualProfile: empty projection");
-        let bandwidth = Bandwidth2D::silverman(&points).scaled(bw_scale);
+        if points.is_empty() {
+            return Err(KdeError::EmptyProjection);
+        }
+        let (bandwidth, bandwidth_floored) = Bandwidth2D::silverman_checked(&points);
+        let bandwidth = bandwidth.scaled(bw_scale);
+        // Validate the grid geometry before the adaptive pilot runs: the
+        // pilot builds its own internal grid over the same coordinates and
+        // would panic on non-finite input.
+        let spec = GridSpec::try_covering(&points, &[query], GRID_MARGIN, grid_n)?;
         let adaptive = crate::adaptive::adaptive_bandwidths_with(par, &points, bandwidth, alpha);
-        let spec = GridSpec::covering(&points, &[query], GRID_MARGIN, grid_n);
         let grid = crate::adaptive::estimate_grid_adaptive_with(par, &points, &adaptive, spec);
         let query_cell = spec
             .cell_of(query[0], query[1])
-            .expect("grid is constructed to cover the query");
-        Self {
-            points,
-            query,
-            grid,
-            bandwidth,
-            query_cell,
-        }
+            .ok_or(KdeError::QueryOffGrid)?;
+        Ok((
+            Self {
+                points,
+                query,
+                grid,
+                bandwidth,
+                query_cell,
+            },
+            ProfileNotes { bandwidth_floored },
+        ))
     }
 
     /// Density at the query location (bilinear on the grid).
@@ -381,5 +445,85 @@ mod tests {
     #[should_panic(expected = "empty projection")]
     fn empty_points_panics() {
         VisualProfile::build(Vec::new(), [0.0, 0.0], 10, 1.0);
+    }
+
+    #[test]
+    fn try_build_matches_build_bit_for_bit() {
+        let pts = two_blob_points();
+        let built = VisualProfile::build(pts.clone(), [0.0, 0.0], 40, 1.0);
+        let (tried, notes) = VisualProfile::try_build_with(
+            hinn_par::Parallelism::serial(),
+            pts,
+            [0.0, 0.0],
+            40,
+            1.0,
+        )
+        .unwrap();
+        assert!(!notes.bandwidth_floored);
+        assert_eq!(built.query_cell, tried.query_cell);
+        assert_eq!(built.bandwidth, tried.bandwidth);
+        let same_bits = built
+            .grid
+            .values()
+            .iter()
+            .zip(tried.grid.values())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same_bits, "try_build must not perturb the estimate");
+    }
+
+    #[test]
+    fn try_build_reports_typed_errors_and_degradations() {
+        assert_eq!(
+            VisualProfile::try_build_with(
+                hinn_par::Parallelism::serial(),
+                Vec::new(),
+                [0.0, 0.0],
+                10,
+                1.0
+            )
+            .unwrap_err(),
+            KdeError::EmptyProjection
+        );
+        // Non-finite geometry: collapsed grid, not a panic.
+        let err = VisualProfile::try_build_with(
+            hinn_par::Parallelism::serial(),
+            vec![[f64::NAN, 0.0], [1.0, 1.0]],
+            [0.0, 0.0],
+            10,
+            1.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, KdeError::CollapsedGrid { .. }));
+        // All-duplicate projection: succeeds with a floored bandwidth.
+        let (profile, notes) = VisualProfile::try_build_with(
+            hinn_par::Parallelism::serial(),
+            vec![[2.0, 2.0]; 12],
+            [2.0, 2.0],
+            10,
+            1.0,
+        )
+        .unwrap();
+        assert!(notes.bandwidth_floored);
+        assert!(profile.max_density() > 0.0);
+    }
+
+    #[test]
+    fn forced_grid_fault_collapses_the_build() {
+        let plan = std::sync::Arc::new(
+            hinn_fault::FaultPlan::new().with("kde.grid", hinn_fault::FaultMode::Always),
+        );
+        let err = {
+            let _g = hinn_fault::install_local(plan.clone());
+            VisualProfile::try_build_with(
+                hinn_par::Parallelism::serial(),
+                two_blob_points(),
+                [0.0, 0.0],
+                20,
+                1.0,
+            )
+            .unwrap_err()
+        };
+        assert_eq!(plan.fired("kde.grid"), 1);
+        assert!(matches!(err, KdeError::CollapsedGrid { .. }));
     }
 }

@@ -6,6 +6,7 @@
 //! Jacobi rotations are robust, simple, and accurate: every sweep annihilates
 //! each off-diagonal entry once, converging quadratically.
 
+use crate::error::LinalgError;
 use crate::matrix::Matrix;
 
 /// Result of a symmetric eigendecomposition: `A = V · diag(values) · Vᵀ`.
@@ -44,25 +45,76 @@ impl SymEigen {
 /// quadratic; well-conditioned `64 × 64` inputs finish in < 10 sweeps.
 const MAX_SWEEPS: usize = 64;
 
+/// Result of a *fallible* symmetric eigendecomposition: the decomposition
+/// itself plus how hard it was to get.
+#[derive(Clone, Debug)]
+pub struct EigenOutcome {
+    /// The (possibly best-effort) decomposition.
+    pub eigen: SymEigen,
+    /// `true` iff the off-diagonal mass fell below tolerance within the
+    /// sweep budget. When `false`, [`EigenOutcome::eigen`] is the state
+    /// after the last completed sweep — still an orthonormal similarity
+    /// transform of the input, just not fully diagonalized. Callers that
+    /// need exact principal directions should treat non-convergence as a
+    /// degradation (the search core falls back to axis-parallel
+    /// candidates).
+    pub converged: bool,
+    /// Full sweeps actually performed.
+    pub sweeps: usize,
+}
+
 /// Decompose a symmetric matrix with the cyclic Jacobi method.
 ///
 /// # Panics
-/// Panics if `a` is not square or not symmetric (tolerance scaled to the
-/// matrix magnitude).
+/// Panics if `a` is not square, not symmetric (tolerance scaled to the
+/// matrix magnitude), or contains non-finite entries.
 pub fn jacobi_eigen(a: &Matrix) -> SymEigen {
+    match try_jacobi_eigen(a) {
+        Ok(outcome) => outcome.eigen,
+        Err(e) => panic!("jacobi_eigen: {e}"),
+    }
+}
+
+/// Fallible [`jacobi_eigen`]: typed errors instead of panics, and
+/// non-convergence reported as data (the best sweep is returned) rather
+/// than hidden.
+///
+/// The `eigen.converge` fault point (see `hinn-fault`) caps the sweep
+/// budget at one, deterministically forcing the non-converged arm so tests
+/// can exercise the caller's degradation path.
+pub fn try_jacobi_eigen(a: &Matrix) -> Result<EigenOutcome, LinalgError> {
     let _span = hinn_obs::span!("linalg.eigen");
-    assert_eq!(a.rows(), a.cols(), "jacobi_eigen: matrix must be square");
-    let scale_tol = 1e-8 * (1.0 + a.max_abs());
-    assert!(
-        a.is_symmetric(scale_tol),
-        "jacobi_eigen: matrix must be symmetric"
-    );
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    // `Matrix::max_abs` folds with `f64::max`, which ignores NaN, so scan
+    // the entries directly.
+    let finite = (0..a.rows()).all(|i| (0..a.cols()).all(|j| a[(i, j)].is_finite()));
+    if !finite {
+        return Err(LinalgError::NonFinite {
+            context: "jacobi_eigen",
+        });
+    }
+    let max_abs = a.max_abs();
+    let scale_tol = 1e-8 * (1.0 + max_abs);
+    if !a.is_symmetric(scale_tol) {
+        return Err(LinalgError::NotSymmetric {
+            tolerance: scale_tol,
+        });
+    }
     let n = a.rows();
     if n == 0 {
-        return SymEigen {
-            values: Vec::new(),
-            vectors: Matrix::zeros(0, 0),
-        };
+        return Ok(EigenOutcome {
+            eigen: SymEigen {
+                values: Vec::new(),
+                vectors: Matrix::zeros(0, 0),
+            },
+            converged: true,
+            sweeps: 0,
+        });
     }
 
     let mut m = a.clone();
@@ -76,11 +128,18 @@ pub fn jacobi_eigen(a: &Matrix) -> SymEigen {
         }
         s
     };
-    let tol = 1e-22 * (1.0 + a.max_abs()).powi(2);
+    let tol = 1e-22 * (1.0 + max_abs).powi(2);
+
+    // Deterministic fault injection: forcing `eigen.converge` caps the
+    // sweep budget at one and reports non-convergence unconditionally (a
+    // near-diagonal input could otherwise still reach tolerance in one
+    // sweep, and callers' fallback arms must fire deterministically).
+    let faulted = hinn_fault::point("eigen.converge");
+    let sweep_budget = if faulted { 1 } else { MAX_SWEEPS };
 
     let mut sweeps = 0u64;
     let mut rotations = 0u64;
-    for _sweep in 0..MAX_SWEEPS {
+    for _sweep in 0..sweep_budget {
         if off(&m) <= tol {
             break;
         }
@@ -128,16 +187,26 @@ pub fn jacobi_eigen(a: &Matrix) -> SymEigen {
         }
     }
 
+    let converged = !faulted && off(&m) <= tol;
+
     if hinn_obs::enabled() {
         hinn_obs::counter("linalg.eigenpairs", n as u64);
         hinn_obs::counter("linalg.jacobi_sweeps", sweeps);
         hinn_obs::counter("linalg.jacobi_rotations", rotations);
     }
 
-    // Extract, then sort eigenpairs by descending eigenvalue.
+    // Extract, then sort eigenpairs by descending eigenvalue. NaN policy:
+    // non-NaN pairs compare exactly as `partial_cmp` (so ±0.0 ties keep
+    // their stable-sort order and results stay bit-identical); a NaN — not
+    // producible from the finiteness-checked input, but cheap to defend
+    // against — falls back to the IEEE total order instead of panicking.
     let mut order: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("NaN eigenvalue"));
+    order.sort_by(|&i, &j| {
+        diag[j]
+            .partial_cmp(&diag[i])
+            .unwrap_or_else(|| diag[j].total_cmp(&diag[i]))
+    });
 
     let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let mut vectors = Matrix::zeros(n, n);
@@ -146,7 +215,11 @@ pub fn jacobi_eigen(a: &Matrix) -> SymEigen {
             vectors[(i, new_j)] = v[(i, old_j)];
         }
     }
-    SymEigen { values, vectors }
+    Ok(EigenOutcome {
+        eigen: SymEigen { values, vectors },
+        converged,
+        sweeps: sweeps as usize,
+    })
 }
 
 #[cfg(test)]
@@ -241,6 +314,58 @@ mod tests {
     #[should_panic(expected = "symmetric")]
     fn asymmetric_panics() {
         jacobi_eigen(&Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]));
+    }
+
+    #[test]
+    fn try_variant_reports_convergence_and_errors() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let out = try_jacobi_eigen(&a).unwrap();
+        assert!(out.converged);
+        assert_close(out.eigen.values[0], 3.0, 1e-10);
+
+        let rect = Matrix::zeros(2, 3);
+        assert!(matches!(
+            try_jacobi_eigen(&rect),
+            Err(LinalgError::NotSquare { rows: 2, cols: 3 })
+        ));
+
+        let asym = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        assert!(matches!(
+            try_jacobi_eigen(&asym),
+            Err(LinalgError::NotSymmetric { .. })
+        ));
+
+        let nan = Matrix::from_rows(&[&[f64::NAN, 0.0], &[0.0, 1.0]]);
+        assert!(matches!(
+            try_jacobi_eigen(&nan),
+            Err(LinalgError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn forced_non_convergence_returns_best_sweep() {
+        let a = Matrix::from_rows(&[&[5.0, 2.0, 1.0], &[2.0, 6.0, 2.0], &[1.0, 2.0, 7.0]]);
+        let plan = std::sync::Arc::new(
+            hinn_fault::FaultPlan::new().with("eigen.converge", hinn_fault::FaultMode::Always),
+        );
+        let out = {
+            let _g = hinn_fault::install_local(plan.clone());
+            try_jacobi_eigen(&a).unwrap()
+        };
+        assert_eq!(plan.fired("eigen.converge"), 1);
+        assert!(!out.converged, "one sweep cannot diagonalize this matrix");
+        assert!(out.sweeps <= 1);
+        // Even the stalled result is an orthonormal transform: columns of V
+        // stay unit-norm and mutually orthogonal.
+        for i in 0..3 {
+            let vi = out.eigen.vector(i);
+            assert_close(norm(&vi), 1.0, 1e-10);
+            for j in (i + 1)..3 {
+                assert_close(dot(&vi, &out.eigen.vector(j)), 0.0, 1e-10);
+            }
+        }
+        // And the unfaulted run still converges.
+        assert!(try_jacobi_eigen(&a).unwrap().converged);
     }
 
     #[test]

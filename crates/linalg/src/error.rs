@@ -1,0 +1,48 @@
+//! Typed errors for the linear-algebra layer.
+//!
+//! The workspace's error story is layered to respect the dependency
+//! direction: this crate knows nothing about searches or sessions, so its
+//! errors describe only what a matrix routine can observe. `hinn-core`
+//! converts them into its session-level `HinnError` taxonomy.
+
+use std::fmt;
+
+/// What a fallible linear-algebra routine can report.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LinalgError {
+    /// The input matrix is not square.
+    NotSquare {
+        /// Row count of the offending matrix.
+        rows: usize,
+        /// Column count of the offending matrix.
+        cols: usize,
+    },
+    /// The input matrix is not symmetric within the scaled tolerance.
+    NotSymmetric {
+        /// The symmetry tolerance that was applied.
+        tolerance: f64,
+    },
+    /// The input contains NaN or infinite entries.
+    NonFinite {
+        /// Which routine observed the bad value.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square (got {rows}×{cols})")
+            }
+            LinalgError::NotSymmetric { tolerance } => {
+                write!(f, "matrix must be symmetric (tolerance {tolerance:.3e})")
+            }
+            LinalgError::NonFinite { context } => {
+                write!(f, "{context}: input contains non-finite values")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

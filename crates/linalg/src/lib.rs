@@ -19,12 +19,14 @@
 //! external BLAS/LAPACK is used.
 
 pub mod eigen;
+pub mod error;
 pub mod matrix;
 pub mod stats;
 pub mod subspace;
 pub mod vector;
 
-pub use eigen::{jacobi_eigen, SymEigen};
+pub use eigen::{jacobi_eigen, try_jacobi_eigen, EigenOutcome, SymEigen};
+pub use error::LinalgError;
 pub use hinn_par::Parallelism;
 pub use matrix::Matrix;
 pub use stats::{

@@ -31,6 +31,10 @@ impl DistanceStats {
         let mut max = f64::NEG_INFINITY;
         let mut sum = 0.0;
         for &d in distances {
+            // NaN policy: `f64::min`/`f64::max` ignore a NaN operand, so a
+            // poisoned distance can never capture min or max; it still
+            // poisons mean and std, which is the honest summary of a
+            // corrupted sample.
             min = min.min(d);
             max = max.max(d);
             sum += d;
@@ -86,6 +90,9 @@ impl DistanceStats {
 pub fn epsilon_instability(distances: &[f64], epsilon: f64) -> f64 {
     assert!(!distances.is_empty(), "epsilon_instability: no distances");
     assert!(epsilon >= 0.0, "epsilon_instability: negative epsilon");
+    // NaN policy: the `f64::min` fold ignores NaN distances, and a NaN
+    // never satisfies `d <= radius`, so poisoned entries are excluded
+    // from both the minimum and the count rather than panicking.
     let dmin = distances.iter().copied().fold(f64::INFINITY, f64::min);
     let radius = dmin * (1.0 + epsilon);
     distances.iter().filter(|&&d| d <= radius).count() as f64 / distances.len() as f64
@@ -186,6 +193,20 @@ mod tests {
             high > 5.0 * low.max(1.0 / 400.0),
             "instability must grow with d: {low} vs {high}"
         );
+    }
+
+    #[test]
+    fn poisoned_distances_are_ignored_by_the_extremes() {
+        // NaN policy: min/max folds skip NaN operands; mean/std honestly
+        // report the corruption; the instability count excludes NaN.
+        let s = DistanceStats::compute(&[1.0, f64::NAN, 4.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(s.mean.is_nan());
+        assert!(s.std.is_nan());
+        assert!((s.relative_contrast() - 3.0).abs() < 1e-12);
+        let inst = epsilon_instability(&[1.0, f64::NAN, 1.05], 0.1);
+        assert!((inst - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -80,7 +80,11 @@ pub fn detect_steep_drop(probabilities: &[f64], config: &DropConfig) -> DropVerd
         return DropVerdict::NotMeaningful { best_gap: 0.0 };
     }
     let mut sorted: Vec<f64> = probabilities.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("NaN probability"));
+    // Descending. Probabilities are non-negative, so `total_cmp` matches
+    // the old partial order; a poisoned (NaN) probability sorts to the
+    // top, where its NaN gaps and top-mean fail every threshold below —
+    // the verdict degrades to NotMeaningful instead of panicking.
+    sorted.sort_by(|a, b| b.total_cmp(a));
 
     let horizon =
         ((sorted.len() as f64 * config.max_fraction).ceil() as usize).clamp(1, sorted.len() - 1);
@@ -118,6 +122,23 @@ pub fn detect_steep_drop(probabilities: &[f64], config: &DropConfig) -> DropVerd
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn poisoned_probabilities_degrade_to_not_meaningful() {
+        // A NaN probability must not panic the diagnosis: it sorts to the
+        // top, its gaps and the top-mean go NaN, and every threshold
+        // comparison fails — the verdict is NotMeaningful with a finite
+        // reported gap.
+        let mut probs = vec![0.98, 0.95, f64::NAN, 0.93];
+        probs.extend(std::iter::repeat_n(0.1, 40));
+        match detect_steep_drop(&probs, &DropConfig::default()) {
+            DropVerdict::NotMeaningful { best_gap } => assert!(best_gap.is_finite()),
+            DropVerdict::Meaningful { .. } => panic!("NaN input cannot be meaningful"),
+        }
+        // Even an all-NaN input degrades instead of panicking.
+        let all_nan = vec![f64::NAN; 8];
+        assert!(!detect_steep_drop(&all_nan, &DropConfig::default()).is_meaningful());
+    }
 
     #[test]
     fn clean_cliff_detected() {

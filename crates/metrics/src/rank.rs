@@ -53,7 +53,10 @@ pub fn spearman_rho(a: &[f64], b: &[f64]) -> f64 {
 /// Average ranks (1-based, ties share the mean rank).
 fn ranks(x: &[f64]) -> Vec<f64> {
     let mut order: Vec<usize> = (0..x.len()).collect();
-    order.sort_by(|&i, &j| x[i].partial_cmp(&x[j]).expect("NaN value"));
+    // `total_cmp` so poisoned (NaN) scores rank deterministically as the
+    // largest values instead of panicking; the ranks themselves stay
+    // finite either way, so ρ remains well-defined.
+    order.sort_by(|&i, &j| x[i].total_cmp(&x[j]));
     let mut r = vec![0.0; x.len()];
     let mut i = 0;
     while i < order.len() {
@@ -99,7 +102,9 @@ pub fn top_k_overlap(a: &[f64], b: &[f64], k: usize) -> f64 {
     assert!(k >= 1 && k <= a.len(), "top_k_overlap: k out of range");
     let top = |x: &[f64]| -> std::collections::HashSet<usize> {
         let mut idx: Vec<usize> = (0..x.len()).collect();
-        idx.sort_by(|&i, &j| x[i].partial_cmp(&x[j]).expect("NaN value"));
+        // NaN scores order as the largest distances, so a poisoned entry
+        // is never counted among the k nearest (unless k spans everything).
+        idx.sort_by(|&i, &j| x[i].total_cmp(&x[j]));
         idx.into_iter().take(k).collect()
     };
     let ta = top(a);
@@ -158,6 +163,26 @@ mod tests {
         assert_eq!(top_k_overlap(&a, &a, 3), 1.0);
         // top-3 of a = {0,1,2}; of b = {4,3,2} → 1/3.
         assert!((top_k_overlap(&a, &b, 3) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisoned_scores_rank_deterministically() {
+        // NaN policy: a NaN score orders as the largest value. Spearman
+        // stays finite (ranks are positions, not values) and agrees with
+        // substituting +∞ for the NaN.
+        let a = [1.0, f64::NAN, 3.0, 2.0];
+        let a_inf = [1.0, f64::INFINITY, 3.0, 2.0];
+        let b = [1.0, 4.0, 3.0, 2.0];
+        let rho = spearman_rho(&a, &b);
+        assert!(rho.is_finite());
+        assert_eq!(rho, spearman_rho(&a_inf, &b));
+        // Kendall's τ: any pair involving the NaN is neither concordant
+        // nor discordant (an effective tie), never a panic.
+        assert!(kendall_tau(&a, &b).is_finite());
+        // top-k treats scores as distances, so a NaN entry is never among
+        // the k nearest.
+        let overlap = top_k_overlap(&[f64::NAN, 0.2, 0.3, 0.1], &[0.4, 0.2, 0.3, 0.1], 3);
+        assert_eq!(overlap, 1.0);
     }
 
     #[test]

@@ -67,22 +67,34 @@ fn main() {
     };
 
     for r in &reports {
-        println!(
-            "query {}: {:>4} neighbors, {} majors, {} views ({} dismissed) — {} \
-             [{:.1} ms on {} intra-query thread(s)]",
-            r.query_index,
-            r.neighbors.len(),
-            r.majors_run,
-            r.views.0,
-            r.views.1,
-            if r.diagnosis.is_meaningful() {
-                "meaningful"
-            } else {
-                "not meaningful"
-            },
-            r.wall.as_secs_f64() * 1e3,
-            r.intra_threads,
-        );
+        // The runner is a fault boundary: a query that failed both its
+        // attempts comes back as QueryReport::Failed with a typed error
+        // instead of panicking the batch.
+        match r.neighbors() {
+            Some(neighbors) => {
+                let (shown, dismissed) = r.views().unwrap_or((0, 0));
+                println!(
+                    "query {}: {:>4} neighbors, {} majors, {} views ({} dismissed) — {} \
+                     [{:.1} ms on {} intra-query thread(s)]",
+                    r.query_index(),
+                    neighbors.len(),
+                    r.majors_run().unwrap_or(0),
+                    shown,
+                    dismissed,
+                    match r.diagnosis() {
+                        Some(d) if d.is_meaningful() => "meaningful",
+                        _ => "not meaningful",
+                    },
+                    r.wall().as_secs_f64() * 1e3,
+                    r.intra_threads(),
+                );
+            }
+            None => println!(
+                "query {}: FAILED ({})",
+                r.query_index(),
+                r.error().map(|e| e.to_string()).unwrap_or_default()
+            ),
+        }
     }
 
     // Same queries under a serial budget: the answers must match exactly.
@@ -92,7 +104,7 @@ fn main() {
     let identical = serial
         .iter()
         .zip(&reports)
-        .all(|(a, b)| a.neighbors == b.neighbors && a.majors_run == b.majors_run);
+        .all(|(a, b)| a.neighbors() == b.neighbors() && a.majors_run() == b.majors_run());
     println!(
         "\nserial rerun identical: {}",
         if identical { "yes" } else { "NO — BUG" }

@@ -59,6 +59,7 @@
 pub use hinn_baselines as baselines;
 pub use hinn_core as core;
 pub use hinn_data as data;
+pub use hinn_fault as fault;
 pub use hinn_kde as kde;
 pub use hinn_linalg as linalg;
 pub use hinn_metrics as metrics;

@@ -1,0 +1,251 @@
+//! Workspace-level fault drills: force every registered fault arm and
+//! prove that each one either recovers through the degradation ladder or
+//! surfaces as the documented [`HinnError`] — never as a panic — and that
+//! with no faults injected the engine is bit-identical across thread
+//! budgets.
+//!
+//! Every test here installs a *process-global* fault plan, so the install
+//! guard's lock serializes the whole binary: faults cannot leak between
+//! tests. (The bit-identity test installs an *empty* plan for the same
+//! reason — it queues with the others instead of racing them.)
+
+use hinn::core::{
+    BatchRunner, DegradationKind, HinnError, InteractiveSearch, Parallelism, ProjectionMode,
+    SearchConfig, SearchOutcome,
+};
+use hinn::data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
+use hinn::fault::{FaultMode, FaultPlan};
+use hinn::user::HeuristicUser;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn workload() -> (Vec<Vec<f64>>, Vec<f64>) {
+    let spec = ProjectedClusterSpec::small_test();
+    let mut rng = StdRng::seed_from_u64(42);
+    let (data, _truth) = generate_projected_clusters_detailed(&spec, &mut rng);
+    let query = data.points[data.cluster_members(0)[0]].clone();
+    (data.points, query)
+}
+
+fn config(mode: ProjectionMode) -> SearchConfig {
+    SearchConfig {
+        max_major_iterations: 2,
+        min_major_iterations: 1,
+        projection_mode: mode,
+        ..SearchConfig::default().with_support(15)
+    }
+}
+
+fn session(points: &[Vec<f64>], query: &[f64], config: SearchConfig) -> SearchOutcome {
+    let mut user = HeuristicUser::default();
+    InteractiveSearch::try_new(config)
+        .expect("valid config")
+        .try_run(points, query, &mut user)
+        .expect("session must complete")
+}
+
+fn assert_bit_identical(a: &SearchOutcome, b: &SearchOutcome) {
+    assert_eq!(a.neighbors, b.neighbors);
+    assert_eq!(a.majors_run, b.majors_run);
+    assert_eq!(a.probabilities.len(), b.probabilities.len());
+    for (i, (pa, pb)) in a.probabilities.iter().zip(&b.probabilities).enumerate() {
+        assert_eq!(
+            pa.to_bits(),
+            pb.to_bits(),
+            "probability {i} differs: {pa} vs {pb}"
+        );
+    }
+}
+
+#[test]
+fn forced_eigen_fault_degrades_to_axis_parallel_bit_for_bit() {
+    // Ladder rung 1: Jacobi non-convergence drops the PCA candidates, so
+    // a fully-faulted Arbitrary session must equal an AxisParallel one
+    // down to the last bit, with the fallback recorded per view.
+    let (points, query) = workload();
+    let plan = Arc::new(FaultPlan::new().with("eigen.converge", FaultMode::Always));
+    let (faulted, reference) = {
+        let _g = hinn::fault::install(plan.clone());
+        (
+            session(&points, &query, config(ProjectionMode::Arbitrary)),
+            session(&points, &query, config(ProjectionMode::AxisParallel)),
+        )
+    };
+    assert!(plan.fired("eigen.converge") > 0);
+    assert_bit_identical(&faulted, &reference);
+    assert!(faulted.degradations().count(DegradationKind::EigenFallback) > 0);
+    assert_eq!(
+        reference
+            .degradations()
+            .count(DegradationKind::EigenFallback),
+        0,
+        "the axis-parallel reference never consults the eigensolver"
+    );
+}
+
+#[test]
+fn forced_degenerate_covariance_drops_the_pca_pool() {
+    // Ladder rung 2: a degenerate query-cluster covariance abandons the
+    // PCA pool entirely — same axis-parallel equivalence, different arm.
+    let (points, query) = workload();
+    let plan = Arc::new(FaultPlan::new().with("covariance.degenerate", FaultMode::Always));
+    let (faulted, reference) = {
+        let _g = hinn::fault::install(plan.clone());
+        (
+            session(&points, &query, config(ProjectionMode::Arbitrary)),
+            session(&points, &query, config(ProjectionMode::AxisParallel)),
+        )
+    };
+    assert!(plan.fired("covariance.degenerate") > 0);
+    assert_bit_identical(&faulted, &reference);
+    assert!(
+        faulted
+            .degradations()
+            .count(DegradationKind::DegenerateCovariance)
+            > 0
+    );
+}
+
+#[test]
+fn forced_bandwidth_collapse_floors_and_completes() {
+    // Ladder rung 3: zero-spread bandwidth is floored, the view still
+    // renders, and the floor is recorded — the session completes.
+    let (points, query) = workload();
+    let plan = Arc::new(FaultPlan::new().with("kde.bandwidth", FaultMode::Always));
+    let outcome = {
+        let _g = hinn::fault::install(plan.clone());
+        session(&points, &query, config(ProjectionMode::Arbitrary))
+    };
+    assert!(plan.fired("kde.bandwidth") > 0);
+    assert!(
+        outcome
+            .degradations()
+            .count(DegradationKind::BandwidthFloored)
+            > 0
+    );
+    assert_eq!(outcome.probabilities.len(), points.len());
+    assert!(!outcome.neighbors.is_empty());
+}
+
+#[test]
+fn forced_grid_collapse_skips_every_view_and_completes() {
+    // Ladder rung 4: an unusable visual profile skips the minor view
+    // instead of killing the session; with *every* view skipped the
+    // session still terminates with a structurally valid outcome.
+    let (points, query) = workload();
+    let plan = Arc::new(FaultPlan::new().with("kde.grid", FaultMode::Always));
+    let outcome = {
+        let _g = hinn::fault::install(plan.clone());
+        session(&points, &query, config(ProjectionMode::Arbitrary))
+    };
+    assert!(plan.fired("kde.grid") > 0);
+    let skipped = outcome
+        .degradations()
+        .count(DegradationKind::SkippedMinorView);
+    assert!(skipped > 0);
+    assert_eq!(
+        outcome.transcript.total_views(),
+        0,
+        "every view was skipped, none reached the user"
+    );
+    assert_eq!(outcome.probabilities.len(), points.len());
+}
+
+#[test]
+fn forced_deadline_surfaces_as_typed_error() {
+    let (points, query) = workload();
+    let plan = Arc::new(FaultPlan::new().with("search.deadline", FaultMode::Always));
+    let err = {
+        let _g = hinn::fault::install(plan.clone());
+        let cfg = config(ProjectionMode::Arbitrary).with_deadline(Duration::from_secs(3600));
+        let mut user = HeuristicUser::default();
+        InteractiveSearch::try_new(cfg)
+            .expect("valid config")
+            .try_run(&points, &query, &mut user)
+            .expect_err("forced deadline must abort the session")
+    };
+    assert!(plan.fired("search.deadline") >= 1);
+    match err {
+        HinnError::Deadline { phase, budget, .. } => {
+            assert_eq!(phase, "search.minor");
+            assert_eq!(budget, Duration::from_secs(3600));
+        }
+        other => panic!("expected Deadline, got {other:?}"),
+    }
+}
+
+#[test]
+fn no_panic_escapes_the_batch_runner_under_any_fault_mix() {
+    // The top of the ladder: with every registered point firing on every
+    // hit, each query must come back as a typed report — the forced
+    // in-session panics are caught at the batch boundary and retried.
+    let (points, _) = workload();
+    let queries: Vec<Vec<f64>> = (0..3).map(|i| points[i * 11].clone()).collect();
+    let plan = Arc::new(FaultPlan::forcing_all());
+    let reports = {
+        let _g = hinn::fault::install(plan.clone());
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the forced panics
+        let reports = BatchRunner::new(&points, config(ProjectionMode::Arbitrary))
+            .with_threads(2)
+            .run(&queries, || Box::new(HeuristicUser::default()));
+        std::panic::set_hook(prev_hook);
+        reports
+    };
+    assert_eq!(reports.len(), queries.len());
+    assert!(plan.fired("search.panic") >= queries.len() as u64);
+    for r in &reports {
+        assert!(r.is_failed());
+        assert!(r.retried(), "every failure gets its one degraded retry");
+        assert!(matches!(r.error(), Some(HinnError::SessionPanicked { .. })));
+    }
+}
+
+#[test]
+fn env_forced_smoke_runs_under_hinn_faults() {
+    // CI re-runs this binary with `HINN_FAULTS=all`: the plan is built
+    // from the environment (the production wiring) and the batch
+    // boundary must hold under it. Without the variable this is a no-op
+    // — the drills above force each arm explicitly.
+    let Some(plan) = FaultPlan::from_env() else {
+        return;
+    };
+    let plan = Arc::new(plan);
+    let (points, _) = workload();
+    let queries = vec![points[0].clone()];
+    let _g = hinn::fault::install(plan);
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let reports = BatchRunner::new(&points, config(ProjectionMode::Arbitrary))
+        .with_threads(1)
+        .run(&queries, || Box::new(HeuristicUser::default()));
+    std::panic::set_hook(prev_hook);
+    assert_eq!(reports.len(), 1, "a typed report, not a crash");
+}
+
+#[test]
+fn unfaulted_sessions_are_bit_identical_across_thread_budgets() {
+    // The acceptance bar for the whole refactor: with no faults armed,
+    // the fallible engine computes the same bits for every thread budget.
+    // An *empty* plan is installed so this test serializes with the
+    // drills above instead of observing their plans.
+    let (points, query) = workload();
+    let quiet = Arc::new(FaultPlan::new());
+    let _g = hinn::fault::install(quiet);
+    for mode in [ProjectionMode::Arbitrary, ProjectionMode::AxisParallel] {
+        let narrow = session(
+            &points,
+            &query,
+            config(mode).with_parallelism(Parallelism::fixed(1)),
+        );
+        let wide = session(
+            &points,
+            &query,
+            config(mode).with_parallelism(Parallelism::fixed(4)),
+        );
+        assert_bit_identical(&narrow, &wide);
+        assert!(narrow.degradations().is_empty(), "healthy run, no ladder");
+    }
+}
