@@ -119,6 +119,27 @@ impl VaFile {
         }
     }
 
+    /// The shared, memoized index over `points`: built at most once per
+    /// (dataset fingerprint, `bits`) process-wide and handed out as an
+    /// `Arc`, via the [`hinn_cache::DatasetArtifacts`] registry. Batch
+    /// harnesses that compare the interactive search against the VA-file
+    /// on the same dataset amortize the O(N·d log N) build this way.
+    ///
+    /// The build is a pure function of `(points, bits)` and the registry
+    /// is keyed by the content fingerprint of `points`, so the shared
+    /// index is bit-identical to a fresh [`VaFile::build`].
+    ///
+    /// # Panics
+    /// Panics exactly as [`VaFile::build`] does on invalid input.
+    pub fn shared(points: &[Vec<f64>], bits: u32) -> std::sync::Arc<Self> {
+        let arts = hinn_cache::DatasetArtifacts::for_points(points);
+        arts.store()
+            .get_or_insert("baselines.vafile", u64::from(bits), || {
+                Self::build(points.to_vec(), bits)
+            })
+            .unwrap_or_else(|| std::sync::Arc::new(Self::build(points.to_vec(), bits)))
+    }
+
     /// Number of indexed points.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -326,6 +347,27 @@ mod tests {
         (0..n)
             .map(|_| (0..d).map(|_| unif() * 100.0).collect())
             .collect()
+    }
+
+    #[test]
+    fn shared_index_is_memoized_per_bits_and_exact() {
+        let pts = random_points(200, 8, 11);
+        let a = VaFile::shared(&pts, 4);
+        let b = VaFile::shared(&pts, 4);
+        assert!(
+            std::sync::Arc::ptr_eq(&a, &b),
+            "same dataset + bits must share one index"
+        );
+        let other = VaFile::shared(&pts, 5);
+        assert!(
+            !std::sync::Arc::ptr_eq(&a, &other),
+            "different bits is a different artifact"
+        );
+        assert_eq!(other.bits(), 5);
+        // The shared index answers exactly like a fresh build.
+        let fresh = VaFile::build(pts.clone(), 4);
+        let q = &pts[17];
+        assert_eq!(a.knn(q, 9).0, fresh.knn(q, 9).0);
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! **Amortized batch serving** — repeated query batches against one
+//! dataset through the shared session cache.
+//!
+//! The serving scenario: a long-lived [`hinn_core::BatchRunner`] answers
+//! query batches against a dataset that does not change between batches.
+//! Its [`hinn_core::SessionCache`] persists across `run` calls, so the
+//! first round pays the full projection/KDE cost and every later round is
+//! served from memoized artifacts. This binary measures exactly that:
+//! one cold round, then `rounds - 1` identical warm rounds, and reports
+//! the per-round wall clock plus the cache counters.
+//!
+//! ```sh
+//! cargo run --release -p hinn-bench --bin serving_bench            # full
+//! cargo run --release -p hinn-bench --bin serving_bench -- --smoke # CI
+//! ```
+//!
+//! Output: `BENCH_serving.json` (override with `--out <path>`). In full
+//! mode the binary exits nonzero unless warm rounds are at least 2× as
+//! fast as the cold round — the PR's acceptance bar.
+
+use hinn_bench::banner;
+use hinn_core::{BatchRunner, CachePolicy, ProjectionMode, SearchConfig};
+use hinn_data::projected::{generate_projected_clusters, ProjectedClusterSpec};
+use hinn_obs::SessionRecorder;
+use hinn_user::{HeuristicUser, UserModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    smoke: bool,
+    out: String,
+    rounds: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_serving.json".to_string(),
+        rounds: 5,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            "--rounds" => {
+                args.rounds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--rounds needs a positive integer");
+            }
+            other => panic!("unknown flag {other:?} (known: --smoke, --out, --rounds)"),
+        }
+    }
+    assert!(
+        args.rounds >= 2,
+        "need at least one cold and one warm round"
+    );
+    args
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    banner("Batch serving: repeated query rounds on a shared session cache");
+
+    // Clustered dataset sized for the mode; the queries are cluster
+    // members, re-submitted identically every round (the repeated-query
+    // serving pattern the cache is built for).
+    let (n, d, n_queries) = if args.smoke {
+        (600, 6, 3)
+    } else {
+        (4000, 12, 8)
+    };
+    let spec = ProjectedClusterSpec {
+        n_points: n,
+        dim: d,
+        n_clusters: 4,
+        cluster_dim: (d / 3).max(2),
+        ..ProjectedClusterSpec::case1()
+    };
+    let mut rng = StdRng::seed_from_u64(17);
+    let data = generate_projected_clusters(&spec, &mut rng);
+    let queries: Vec<Vec<f64>> = (0..n_queries)
+        .map(|q| data.points[data.cluster_members(q % 4)[q]].clone())
+        .collect();
+
+    // The default capacities are sized for one interactive session (~a
+    // dozen views); a serving deployment sizes the shared cache to its
+    // batch. 4096 entries hold every artifact of this workload, so warm
+    // rounds measure pure cache service with zero evictions.
+    let config = SearchConfig {
+        max_major_iterations: 2,
+        min_major_iterations: 1,
+        ..SearchConfig::default()
+            .with_support(20)
+            .with_mode(ProjectionMode::AxisParallel)
+            .with_cache_policy(CachePolicy::with_uniform_capacity(4096))
+    };
+
+    // One recorder around the whole run so the cache counters cover every
+    // round; one runner so its session cache persists across rounds.
+    let recorder = Arc::new(SessionRecorder::new());
+    let _guard = hinn_obs::install(recorder.clone());
+    let runner = BatchRunner::new(&data.points, config);
+    let make_user = || Box::new(HeuristicUser::default()) as Box<dyn UserModel>;
+
+    let mut round_ms = Vec::with_capacity(args.rounds);
+    for round in 0..args.rounds {
+        let start = Instant::now();
+        let reports = runner.run(&queries, make_user);
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        assert!(
+            reports.iter().all(|r| !r.is_failed()),
+            "round {round}: a query failed"
+        );
+        round_ms.push(ms);
+        println!(
+            "round {round:>2} ({}): {ms:>9.1} ms for {} queries",
+            if round == 0 { "cold" } else { "warm" },
+            queries.len()
+        );
+    }
+
+    let cold_ms = round_ms[0];
+    let warm: &[f64] = &round_ms[1..];
+    let warm_mean_ms = warm.iter().sum::<f64>() / warm.len() as f64;
+    let speedup = cold_ms / warm_mean_ms;
+    let report = recorder.report();
+    let cache = report.cache_stats();
+    println!(
+        "\ncold {cold_ms:.1} ms, warm mean {warm_mean_ms:.1} ms → {speedup:.2}× speedup; \
+         cache: {} hits / {} lookups, {} evictions",
+        cache.hits,
+        cache.lookups(),
+        cache.evictions
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if args.smoke { "smoke" } else { "full" }
+    ));
+    json.push_str(&format!("  \"n_points\": {n},\n  \"dim\": {d},\n"));
+    json.push_str(&format!(
+        "  \"rounds\": {},\n  \"queries_per_round\": {},\n",
+        args.rounds,
+        queries.len()
+    ));
+    json.push_str(&format!("  \"cold_ms\": {},\n", json_f64(cold_ms)));
+    json.push_str("  \"warm_ms\": [");
+    for (i, ms) in warm.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        json.push_str(&json_f64(*ms));
+    }
+    json.push_str("],\n");
+    json.push_str(&format!(
+        "  \"warm_mean_ms\": {},\n",
+        json_f64(warm_mean_ms)
+    ));
+    json.push_str(&format!("  \"speedup\": {},\n", json_f64(speedup)));
+    json.push_str(&format!(
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}}\n",
+        cache.hits, cache.misses, cache.evictions
+    ));
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json).expect("write benchmark JSON");
+    println!("wrote {}", args.out);
+
+    // Smoke mode (CI) only proves the path runs end to end; the timing
+    // bar is enforced in full mode on a real workload.
+    if !args.smoke {
+        assert!(
+            speedup >= 2.0,
+            "acceptance bar: warm rounds must be ≥2× faster than the cold \
+             round (got {speedup:.2}×)"
+        );
+        println!("acceptance bar met: {speedup:.2}× ≥ 2×");
+    }
+}

@@ -1,0 +1,250 @@
+//! Per-dataset derived artifacts, computed once and shared.
+//!
+//! A [`DatasetArtifacts`] is the cache home for everything derivable from
+//! one immutable point set: global mean and covariance, per-direction
+//! variances, scaling statistics, the VA-file of the baseline filter.
+//! The store is type-erased ([`ArtifactStore`]) so downstream crates
+//! (`hinn-core`, `hinn-baselines`) can park their own artifact types here
+//! without this crate depending on them — keys are a static name plus a
+//! `u64` parameter (e.g. `("baselines.vafile", bits)`).
+//!
+//! [`DatasetArtifacts::for_points`] routes through a small process-global
+//! registry keyed by the dataset's content fingerprint, so *repeated
+//! sessions on the same dataset* — the batch-serving steady state — share
+//! one `Arc` and therefore one copy of every artifact.
+
+use crate::fingerprint::Fingerprint;
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+type StoredArtifact = Arc<dyn Any + Send + Sync>;
+
+/// A name-keyed store of `Arc`-shared artifacts (see module docs).
+///
+/// Artifacts are insert-once: the first computation for a key is kept and
+/// every later request shares it. Probes emit `cache.hit`/`cache.miss`.
+#[derive(Default)]
+pub struct ArtifactStore {
+    inner: Mutex<BTreeMap<(&'static str, u64), StoredArtifact>>,
+}
+
+impl ArtifactStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored artifacts.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<(&'static str, u64), StoredArtifact>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The artifact under `(name, param)`, computing and storing it with
+    /// `build` on first request. `build` runs outside the lock; if two
+    /// threads race, the first insertion wins (both computed the same
+    /// value — artifacts are pure functions of the dataset and the key).
+    ///
+    /// Returns `None` only if the stored artifact under this key has a
+    /// different type than `T` — a programming error (two call sites
+    /// sharing a name but not a type); callers treat it as a miss that
+    /// cannot be stored.
+    pub fn get_or_insert<T, F>(&self, name: &'static str, param: u64, build: F) -> Option<Arc<T>>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        if let Some(stored) = self.lock().get(&(name, param)).cloned() {
+            hinn_obs::counter("cache.hit", 1);
+            return stored.downcast::<T>().ok();
+        }
+        hinn_obs::counter("cache.miss", 1);
+        let value = Arc::new(build());
+        let mut inner = self.lock();
+        let slot = inner
+            .entry((name, param))
+            .or_insert_with(|| value.clone() as StoredArtifact);
+        slot.clone().downcast::<T>().ok()
+    }
+}
+
+impl std::fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let keys: Vec<_> = self.lock().keys().cloned().collect();
+        f.debug_struct("ArtifactStore")
+            .field("keys", &keys)
+            .finish()
+    }
+}
+
+/// Everything derived from one immutable dataset (see module docs).
+#[derive(Debug)]
+pub struct DatasetArtifacts {
+    fingerprint: Fingerprint,
+    n_points: usize,
+    dims: usize,
+    store: ArtifactStore,
+}
+
+/// Bounded process-global registry of datasets recently served.
+const REGISTRY_CAPACITY: usize = 8;
+static REGISTRY: Mutex<Vec<(u128, Arc<DatasetArtifacts>, u64)>> = Mutex::new(Vec::new());
+static REGISTRY_TICK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl DatasetArtifacts {
+    /// Compute the artifacts shell for `points` (fingerprint + empty
+    /// store). Prefer [`DatasetArtifacts::for_points`], which shares the
+    /// shell across sessions.
+    pub fn compute(points: &[Vec<f64>]) -> Self {
+        Self {
+            fingerprint: Fingerprint::of_points(points),
+            n_points: points.len(),
+            dims: points.first().map(|p| p.len()).unwrap_or(0),
+            store: ArtifactStore::new(),
+        }
+    }
+
+    /// The shared artifacts of `points`: hashes the dataset (`O(n·d)`) and
+    /// returns the registry's `Arc` for that fingerprint, creating (and,
+    /// beyond [`REGISTRY_CAPACITY`] datasets, evicting least-recently
+    /// used) as needed.
+    pub fn for_points(points: &[Vec<f64>]) -> Arc<Self> {
+        let fp = Fingerprint::of_points(points);
+        let tick = REGISTRY_TICK.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = reg.iter_mut().find(|(k, _, _)| *k == fp.0) {
+            entry.2 = tick;
+            hinn_obs::counter("cache.hit", 1);
+            return entry.1.clone();
+        }
+        hinn_obs::counter("cache.miss", 1);
+        if reg.len() >= REGISTRY_CAPACITY {
+            if let Some(pos) = reg
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, t))| *t)
+                .map(|(i, _)| i)
+            {
+                reg.swap_remove(pos);
+                hinn_obs::counter("cache.evict", 1);
+            }
+        }
+        let arts = Arc::new(Self {
+            fingerprint: fp,
+            n_points: points.len(),
+            dims: points.first().map(|p| p.len()).unwrap_or(0),
+            store: ArtifactStore::new(),
+        });
+        reg.push((fp.0, arts.clone(), tick));
+        arts
+    }
+
+    /// The dataset's content fingerprint.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    /// Number of points in the dataset.
+    pub fn n_points(&self) -> usize {
+        self.n_points
+    }
+
+    /// Dimensionality of the dataset.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The artifact store.
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(seed: f64) -> Vec<Vec<f64>> {
+        (0..10)
+            .map(|i| vec![seed + i as f64, seed * 2.0 - i as f64])
+            .collect()
+    }
+
+    #[test]
+    fn store_computes_once_per_key() {
+        let _x = crate::testlock::exclusive();
+        let store = ArtifactStore::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v: Arc<Vec<f64>> = store
+                .get_or_insert("test.mean", 0, || {
+                    calls += 1;
+                    vec![1.0, 2.0]
+                })
+                .expect("consistent type");
+            assert_eq!(*v, vec![1.0, 2.0]);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(store.len(), 1);
+        // A different param is a different artifact.
+        let _: Option<Arc<Vec<f64>>> = store.get_or_insert("test.mean", 1, || vec![9.0]);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn store_type_mismatch_is_none_not_panic() {
+        let _x = crate::testlock::exclusive();
+        let store = ArtifactStore::new();
+        let _: Option<Arc<u64>> = store.get_or_insert("test.poly", 0, || 5u64);
+        let wrong: Option<Arc<String>> = store.get_or_insert("test.poly", 0, || "x".to_string());
+        assert!(wrong.is_none(), "type mismatch must surface as None");
+    }
+
+    #[test]
+    fn same_dataset_shares_one_arc() {
+        let _x = crate::testlock::exclusive();
+        let a = DatasetArtifacts::for_points(&pts(1.0));
+        let b = DatasetArtifacts::for_points(&pts(1.0));
+        assert!(Arc::ptr_eq(&a, &b), "registry must share the shell");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.n_points(), 10);
+        assert_eq!(a.dims(), 2);
+        let c = DatasetArtifacts::for_points(&pts(2.0));
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn artifacts_persist_across_sessions_on_one_dataset() {
+        let _x = crate::testlock::exclusive();
+        let data = pts(3.5);
+        let mut calls = 0;
+        for _ in 0..3 {
+            // A fresh `for_points` per "session" still finds the artifact.
+            let arts = DatasetArtifacts::for_points(&data);
+            let _: Option<Arc<f64>> = arts.store().get_or_insert("test.stat", 7, || {
+                calls += 1;
+                42.0
+            });
+        }
+        assert_eq!(calls, 1, "artifact computed once across sessions");
+    }
+
+    #[test]
+    fn registry_is_bounded() {
+        let _x = crate::testlock::exclusive();
+        for i in 0..(2 * REGISTRY_CAPACITY) {
+            let _ = DatasetArtifacts::for_points(&pts(100.0 + i as f64));
+        }
+        let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(reg.len() <= REGISTRY_CAPACITY);
+    }
+}

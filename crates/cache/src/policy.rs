@@ -1,0 +1,85 @@
+//! Capacity policy for the engine's session-level caches.
+
+/// How much each session-level cache may hold. A capacity of 0 disables
+/// that cache (compute-always); [`CachePolicy::disabled`] turns every
+/// cache off, which is the reference configuration the equivalence tests
+/// compare warm runs against.
+///
+/// Capacities bound *entries*, not bytes. The big-ticket entries are the
+/// per-subspace projected coordinates (`n × l` floats each), which is why
+/// their default capacity is the smallest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CachePolicy {
+    /// Per-view projection results (the output of the Fig. 3 halving
+    /// pipeline, including its degradation events).
+    pub projection_capacity: usize,
+    /// Rendered KDE visual profiles (grid + bandwidth + query cell).
+    pub profile_capacity: usize,
+    /// Per-direction data variances `γᵢ` (the denominators of the
+    /// `λᵢ/γᵢ` grading).
+    pub gamma_capacity: usize,
+    /// Whole-data coordinates projected into a search subspace.
+    pub coords_capacity: usize,
+}
+
+impl Default for CachePolicy {
+    fn default() -> Self {
+        Self {
+            projection_capacity: 64,
+            profile_capacity: 64,
+            gamma_capacity: 512,
+            coords_capacity: 4,
+        }
+    }
+}
+
+impl CachePolicy {
+    /// Every cache off: the engine recomputes everything, byte-for-byte
+    /// the pre-cache behavior.
+    pub fn disabled() -> Self {
+        Self {
+            projection_capacity: 0,
+            profile_capacity: 0,
+            gamma_capacity: 0,
+            coords_capacity: 0,
+        }
+    }
+
+    /// Is every cache off?
+    pub fn is_disabled(&self) -> bool {
+        self.projection_capacity == 0
+            && self.profile_capacity == 0
+            && self.gamma_capacity == 0
+            && self.coords_capacity == 0
+    }
+
+    /// A uniform small policy, handy for eviction-heavy tests.
+    pub fn with_uniform_capacity(capacity: usize) -> Self {
+        Self {
+            projection_capacity: capacity,
+            profile_capacity: capacity,
+            gamma_capacity: capacity,
+            coords_capacity: capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_enabled() {
+        assert!(!CachePolicy::default().is_disabled());
+    }
+
+    #[test]
+    fn disabled_is_disabled() {
+        assert!(CachePolicy::disabled().is_disabled());
+        assert_eq!(
+            CachePolicy::with_uniform_capacity(0),
+            CachePolicy::disabled()
+        );
+        assert!(!CachePolicy::with_uniform_capacity(1).is_disabled());
+    }
+}

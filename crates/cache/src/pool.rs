@@ -1,0 +1,123 @@
+//! Thread-local reuse of `f64` scratch buffers.
+//!
+//! The KDE hot loop allocates the same shapes over and over — a `p × p`
+//! partial grid and two length-`p` kernel scratch vectors per chunk of
+//! data points, for every minor iteration of every query. [`PooledF64`]
+//! keeps returned buffers on a small per-thread free list so steady-state
+//! serving stops hitting the allocator.
+//!
+//! Determinism: [`PooledF64::take_zeroed`] hands out buffers whose every
+//! element is `0.0` — exactly what `vec![0.0; len]` yields — so pooled and
+//! fresh buffers are indistinguishable to the computation. The pool is
+//! thread-local, so there is no cross-thread coupling to schedule against.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+/// Per-thread free list size; excess buffers drop back to the allocator.
+const MAX_POOLED: usize = 16;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An owned `f64` buffer drawn from (and returned to) the calling
+/// thread's pool. Dereferences to `[f64]`.
+#[derive(Debug)]
+pub struct PooledF64 {
+    buf: Vec<f64>,
+}
+
+impl PooledF64 {
+    /// A buffer of `len` zeros — bit-identical to `vec![0.0; len]`.
+    pub fn take_zeroed(len: usize) -> Self {
+        let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0.0);
+        Self { buf }
+    }
+
+    /// The buffer length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Deref for PooledF64 {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        &self.buf
+    }
+}
+
+impl DerefMut for PooledF64 {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledF64 {
+    fn drop(&mut self) {
+        if self.buf.capacity() == 0 {
+            return;
+        }
+        let buf = std::mem::take(&mut self.buf);
+        POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < MAX_POOLED {
+                pool.push(buf);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_start_zeroed() {
+        {
+            let mut b = PooledF64::take_zeroed(8);
+            for v in b.iter_mut() {
+                *v = 7.5;
+            }
+        } // returned to the pool dirty
+        let b = PooledF64::take_zeroed(8);
+        assert!(b.iter().all(|&v| v == 0.0), "reused buffer must be zeroed");
+        assert_eq!(b.len(), 8);
+    }
+
+    #[test]
+    fn resize_across_lengths_is_safe() {
+        drop(PooledF64::take_zeroed(4));
+        let big = PooledF64::take_zeroed(32);
+        assert_eq!(big.len(), 32);
+        assert!(big.iter().all(|&v| v == 0.0));
+        drop(big);
+        let small = PooledF64::take_zeroed(2);
+        assert_eq!(small.len(), 2);
+    }
+
+    #[test]
+    fn reuses_the_same_allocation() {
+        // Warm the pool, then check the capacity survives the round trip.
+        drop(PooledF64::take_zeroed(100));
+        let b = PooledF64::take_zeroed(10);
+        assert!(b.buf.capacity() >= 100, "allocation was reused");
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let held: Vec<PooledF64> = (0..2 * MAX_POOLED)
+            .map(|_| PooledF64::take_zeroed(4))
+            .collect();
+        drop(held);
+        POOL.with(|p| assert!(p.borrow().len() <= MAX_POOLED));
+    }
+}

@@ -1,0 +1,112 @@
+//! Typed accessors over the shared per-dataset artifact store.
+//!
+//! [`hinn_cache::DatasetArtifacts`] is a type-erased store; this module
+//! gives the workspace's global dataset statistics — mean vector, full
+//! covariance, per-coordinate variances (the `γᵢ` denominators of the
+//! variance-ratio grading along the original axes) — well-known keys and
+//! concrete types, so every consumer (benchmark harnesses, baselines,
+//! reports) computes them once per dataset and shares the `Arc`.
+//!
+//! All statistics go through the `_with` entry points of
+//! `hinn_linalg::stats`, which are bit-identical for every thread budget;
+//! a cached value is therefore the exact value any caller would compute.
+
+use hinn_cache::DatasetArtifacts;
+use hinn_linalg::{Matrix, Parallelism};
+use std::sync::Arc;
+
+/// The shared artifacts shell of `points` (process-global registry keyed
+/// by content fingerprint — see [`DatasetArtifacts::for_points`]).
+pub fn dataset_artifacts(points: &[Vec<f64>]) -> Arc<DatasetArtifacts> {
+    DatasetArtifacts::for_points(points)
+}
+
+/// The dataset's global mean vector, computed once and shared.
+pub fn global_mean(
+    arts: &DatasetArtifacts,
+    par: Parallelism,
+    points: &[Vec<f64>],
+) -> Arc<Vec<f64>> {
+    arts.store()
+        .get_or_insert("core.global_mean", 0, || {
+            hinn_linalg::stats::mean_vector_with(par, points)
+        })
+        .unwrap_or_else(|| Arc::new(hinn_linalg::stats::mean_vector_with(par, points)))
+}
+
+/// The dataset's global covariance matrix, computed once and shared.
+pub fn global_covariance(
+    arts: &DatasetArtifacts,
+    par: Parallelism,
+    points: &[Vec<f64>],
+) -> Arc<Matrix> {
+    arts.store()
+        .get_or_insert("core.global_covariance", 0, || {
+            hinn_linalg::covariance_matrix_with(par, points)
+        })
+        .unwrap_or_else(|| Arc::new(hinn_linalg::covariance_matrix_with(par, points)))
+}
+
+/// The dataset's per-coordinate variances (the `γᵢ` denominators along
+/// the original attributes), computed once and shared.
+pub fn global_coordinate_variances(
+    arts: &DatasetArtifacts,
+    par: Parallelism,
+    points: &[Vec<f64>],
+) -> Arc<Vec<f64>> {
+    arts.store()
+        .get_or_insert("core.coordinate_variances", 0, || {
+            hinn_linalg::stats::coordinate_variances_with(par, points)
+        })
+        .unwrap_or_else(|| Arc::new(hinn_linalg::stats::coordinate_variances_with(par, points)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Vec<Vec<f64>> {
+        (0..20)
+            .map(|i| vec![i as f64, 2.0 * i as f64 + 1.0, 5.0])
+            .collect()
+    }
+
+    #[test]
+    fn stats_match_direct_computation_and_share_storage() {
+        let data = pts();
+        let par = Parallelism::serial();
+        let arts = dataset_artifacts(&data);
+        let mean = global_mean(&arts, par, &data);
+        let direct = hinn_linalg::stats::mean_vector(&data);
+        for (a, b) in mean.iter().zip(&direct) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // A second request (even at another thread budget) shares the Arc.
+        let again = global_mean(&arts, Parallelism::fixed(4), &data);
+        assert!(Arc::ptr_eq(&mean, &again));
+
+        let var = global_coordinate_variances(&arts, par, &data);
+        let direct = hinn_linalg::stats::coordinate_variances(&data);
+        for (a, b) in var.iter().zip(&direct) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(var[2], 0.0, "constant coordinate has zero variance");
+
+        let cov = global_covariance(&arts, par, &data);
+        let direct = hinn_linalg::covariance_matrix(&data);
+        assert_eq!(cov.rows(), direct.rows());
+        for (a, b) in cov.as_slice().iter().zip(direct.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn repeated_sessions_reuse_one_shell() {
+        let data = pts();
+        let a = dataset_artifacts(&data);
+        let b = dataset_artifacts(&data);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.n_points(), 20);
+        assert_eq!(a.dims(), 3);
+    }
+}

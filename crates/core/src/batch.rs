@@ -15,6 +15,7 @@
 //! fails, surfaces as [`QueryReport::Failed`] carrying the typed
 //! [`HinnError`] instead of a panic.
 
+use crate::cache::SessionCache;
 use crate::config::{BandwidthMode, ProjectionMode, SearchConfig};
 use crate::degrade::{DegradationEvent, DegradationKind};
 use crate::diagnosis::SearchDiagnosis;
@@ -22,6 +23,7 @@ use crate::error::HinnError;
 use crate::search::{InteractiveSearch, SearchOutcome};
 use hinn_par::Parallelism;
 use hinn_user::UserModel;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Result of one query in a batch: either a completed session or a typed
@@ -177,19 +179,39 @@ pub struct BatchRunner<'a> {
     points: &'a [Vec<f64>],
     config: SearchConfig,
     budget: Parallelism,
+    cache: Arc<SessionCache>,
 }
 
 impl<'a> BatchRunner<'a> {
     /// Create a runner over `points` with the shared `config`. The thread
-    /// budget defaults to the config's [`SearchConfig::parallelism`].
+    /// budget defaults to the config's [`SearchConfig::parallelism`]. One
+    /// [`SessionCache`] (sized by [`SearchConfig::cache`]) is shared by
+    /// every session of the batch, including degraded retries — repeated
+    /// or similar queries reuse each other's projections and profiles.
     pub fn new(points: &'a [Vec<f64>], config: SearchConfig) -> Self {
         config.validate();
         let budget = config.parallelism;
+        let cache = Arc::new(SessionCache::new(config.cache));
         Self {
             points,
             config,
             budget,
+            cache,
         }
+    }
+
+    /// The cache shared across the batch's sessions (e.g. to pre-warm it,
+    /// inspect residency, or share it with a second runner).
+    pub fn session_cache(&self) -> &Arc<SessionCache> {
+        &self.cache
+    }
+
+    /// Share an existing session cache (its policy supersedes
+    /// [`SearchConfig::cache`]) — e.g. one cache across several batches
+    /// over the same dataset.
+    pub fn with_session_cache(mut self, cache: Arc<SessionCache>) -> Self {
+        self.cache = cache;
+        self
     }
 
     /// Cap the worker-thread count (default: the config's parallelism).
@@ -256,7 +278,13 @@ impl<'a> BatchRunner<'a> {
                         break;
                     }
                     let t0 = std::time::Instant::now();
-                    let first = run_guarded(&session_config, self.points, &queries[i], &make_user);
+                    let first = run_guarded(
+                        &session_config,
+                        &self.cache,
+                        self.points,
+                        &queries[i],
+                        &make_user,
+                    );
                     let report = match first {
                         Ok(outcome) => QueryReport::from_outcome(
                             i,
@@ -279,6 +307,7 @@ impl<'a> BatchRunner<'a> {
                             hinn_obs::counter("batch.retries", 1);
                             match run_guarded(
                                 &degraded_config,
+                                &self.cache,
                                 self.points,
                                 &queries[i],
                                 &make_user,
@@ -342,6 +371,7 @@ impl<'a> BatchRunner<'a> {
 /// [`HinnError::SessionPanicked`] instead of unwinding into the batch.
 fn run_guarded<F>(
     config: &SearchConfig,
+    cache: &Arc<SessionCache>,
     points: &[Vec<f64>],
     query: &[f64],
     make_user: &F,
@@ -350,7 +380,7 @@ where
     F: Fn() -> Box<dyn UserModel> + Sync,
 {
     let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let engine = InteractiveSearch::try_new(config.clone())?;
+        let engine = InteractiveSearch::try_new(config.clone())?.with_session_cache(cache.clone());
         let mut user = make_user();
         engine.try_run(points, query, user.as_mut())
     }));

@@ -29,7 +29,9 @@
 // aborts use an explicit `panic!` with a message. Tests are exempt.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod artifacts;
 pub mod batch;
+pub mod cache;
 pub mod config;
 pub mod counts;
 pub mod degrade;
@@ -43,11 +45,13 @@ pub mod search;
 pub mod transcript;
 
 pub use batch::{BatchRunner, QueryReport};
+pub use cache::SessionCache;
 pub use config::{BandwidthMode, ProjectionMode, SearchConfig};
 pub use degrade::{DegradationEvent, DegradationKind, DegradationLog};
 pub use diagnosis::SearchDiagnosis;
 pub use error::HinnError;
 pub use explain::{explain_neighbor, explanation_text, NeighborExplanation};
+pub use hinn_cache::CachePolicy;
 pub use hinn_par::Parallelism;
 pub use search::{InteractiveSearch, SearchOutcome};
 pub use transcript::{MinorPhases, MinorRecord, Transcript};

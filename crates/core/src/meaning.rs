@@ -47,11 +47,27 @@ pub fn null_moments(counts: &PreferenceCounts, n_current: usize) -> NullMoments 
 }
 
 /// The meaningfulness coefficient `M(j)` (Eq. 6) for a point with weighted
-/// count `v`. Returns 0 when the variance is degenerate (every view picked
-/// nothing or everything — no discrimination is possible).
+/// count `v`.
+///
+/// When `var(Y_j) = 0` the null distribution is a point mass at `E[Y_j]`
+/// (every view picked nothing or everything): a count above the
+/// expectation is then *infinitely* surprising under the null, a count
+/// below it infinitely unsurprising, and a count at the expectation
+/// carries no signal. The coefficient is `+∞`, `−∞`, or `0` accordingly,
+/// which [`meaningfulness_probability`] maps to `P(j)` exactly 1 or 0 —
+/// no NaN from `0/0` can leak into the cross-iteration average. (An
+/// earlier guard returned 0 for any variance below `1e-15`, silently
+/// zeroing sessions with tiny but genuine view weights.)
 pub fn meaningfulness_coefficient(v: f64, moments: NullMoments) -> f64 {
-    if moments.variance <= 1e-15 {
-        0.0
+    if moments.variance <= 0.0 {
+        let deviation = v - moments.expected;
+        if deviation > 0.0 {
+            f64::INFINITY
+        } else if deviation < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            0.0
+        }
     } else {
         (v - moments.expected) / moments.variance.sqrt()
     }
@@ -129,12 +145,67 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_variance_yields_zero() {
+    fn degenerate_variance_at_expectation_yields_zero() {
         let mut c = PreferenceCounts::new(5);
         c.record_discard(1.0); // n=0 → contributes nothing
         let m = null_moments(&c, 5);
         assert_eq!(m.variance, 0.0);
-        assert_eq!(meaningfulness_coefficient(3.0, m), 0.0);
+        assert_eq!(m.expected, 0.0);
+        // Count at the (degenerate) expectation: no signal, P = 0 exactly.
+        assert_eq!(meaningfulness_coefficient(0.0, m), 0.0);
+        let probs = iteration_probabilities(&c, &(0..5).collect::<Vec<_>>());
+        assert!(probs.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn zero_variance_above_expectation_yields_exactly_one() {
+        // Regression (Eq. 6 edge case): a count above E[Y] under a
+        // zero-variance null must give P = 1 exactly — not NaN from 0/0,
+        // and not 0 from a blanket degenerate-variance guard.
+        let m = NullMoments {
+            expected: 1.0,
+            variance: 0.0,
+        };
+        let coeff = meaningfulness_coefficient(3.0, m);
+        assert_eq!(coeff, f64::INFINITY);
+        assert_eq!(meaningfulness_probability(coeff), 1.0);
+    }
+
+    #[test]
+    fn zero_variance_below_expectation_yields_exactly_zero() {
+        // The mirror edge case: below the expectation the coefficient is
+        // −∞ and the probability clamps to 0 exactly.
+        let m = NullMoments {
+            expected: 2.0,
+            variance: 0.0,
+        };
+        let coeff = meaningfulness_coefficient(0.5, m);
+        assert_eq!(coeff, f64::NEG_INFINITY);
+        assert_eq!(meaningfulness_probability(coeff), 0.0);
+        // And no NaN leaks through the full per-iteration path: every view
+        // picks everything → p = 1, variance 0, every count at E[Y].
+        let mut c = PreferenceCounts::new(3);
+        c.record_view(&[0, 1, 2], 1.0);
+        c.record_view(&[0, 1, 2], 1.0);
+        let probs = iteration_probabilities(&c, &[0, 1, 2]);
+        assert!(probs.iter().all(|p| !p.is_nan()));
+        assert!(probs.iter().all(|&p| p == 0.0), "no discrimination → 0");
+    }
+
+    #[test]
+    fn tiny_positive_variance_is_not_flattened_to_zero() {
+        // Regression: the old `<= 1e-15` guard zeroed sessions whose view
+        // weights were tiny but genuine (w ≈ 1e-8 → var ≈ 1e-17).
+        let w = 1e-8;
+        let mut c = PreferenceCounts::new(10);
+        c.record_view(&[0, 1], w);
+        let m = null_moments(&c, 10);
+        assert!(m.variance > 0.0 && m.variance < 1e-15);
+        let coeff = meaningfulness_coefficient(w, m);
+        assert!(
+            coeff.is_finite() && coeff > 0.0,
+            "picked point must score above the null: {coeff}"
+        );
     }
 
     #[test]

@@ -16,11 +16,13 @@
 //! candidates, and directions with zero *data* variance are dropped
 //! rather than ranked against a floored denominator.
 
+use crate::cache::{ProjectionCacheCtx, SessionCache};
 use crate::config::ProjectionMode;
 use crate::degrade::{DegradationEvent, DegradationKind};
 use crate::error::HinnError;
 use hinn_linalg::{covariance_matrix, try_jacobi_eigen, Matrix, Parallelism, Subspace};
 use hinn_par::fill_chunks;
+use std::sync::Arc;
 
 /// Result of one projection search: the 2-D projection to show the user and
 /// the complementary subspace that the remaining minor iterations must use.
@@ -141,6 +143,33 @@ pub fn try_query_cluster_subspace_mode_with(
     mode: ProjectionMode,
     events: &mut Vec<DegradationEvent>,
 ) -> Result<(Subspace, Vec<f64>), HinnError> {
+    try_query_cluster_subspace_mode_ctx(
+        par,
+        current,
+        cluster_coords,
+        data_coords,
+        l,
+        mode,
+        events,
+        None,
+    )
+}
+
+/// [`try_query_cluster_subspace_mode_with`] with an optional session-cache
+/// context: the data variance `γ` along each candidate direction — a pure
+/// function of (alive set, subspace, direction) — is memoized across the
+/// pipeline's support restarts and across repeated sessions.
+#[allow(clippy::too_many_arguments)]
+fn try_query_cluster_subspace_mode_ctx(
+    par: Parallelism,
+    current: &Subspace,
+    cluster_coords: &[Vec<f64>],
+    data_coords: &[Vec<f64>],
+    l: usize,
+    mode: ProjectionMode,
+    events: &mut Vec<DegradationEvent>,
+    ctx: Option<&ProjectionCacheCtx<'_>>,
+) -> Result<(Subspace, Vec<f64>), HinnError> {
     let _span = hinn_obs::span!("projection.subspace");
     let m = current.dim();
     if l < 1 || l > m {
@@ -250,7 +279,17 @@ pub fn try_query_cluster_subspace_mode_with(
     let mut scored: Vec<(f64, usize)> = Vec::with_capacity(candidates.len());
     let mut dropped = 0usize;
     for (i, (dir, lambda)) in candidates.iter().enumerate() {
-        let gamma = hinn_linalg::stats::variance_along_with(par, data_coords, dir);
+        let gamma = match ctx {
+            // Memoized exact output: the cached value is the bit pattern
+            // the scan below would produce, keyed by the full input.
+            Some(c) => *c
+                .cache
+                .gamma
+                .get_or_insert_with(SessionCache::gamma_key(c.alive_fp, current, dir), || {
+                    hinn_linalg::stats::variance_along_with(par, data_coords, dir)
+                }),
+            None => hinn_linalg::stats::variance_along_with(par, data_coords, dir),
+        };
         if gamma < 1e-12 {
             dropped += 1;
             continue;
@@ -344,6 +383,22 @@ pub fn try_find_query_centered_projection_with(
     support: usize,
     mode: ProjectionMode,
 ) -> Result<(ProjectionResult, Vec<DegradationEvent>), HinnError> {
+    try_find_query_centered_projection_ctx(par, points, query, current, support, mode, None)
+}
+
+/// [`try_find_query_centered_projection_with`] with an optional
+/// session-cache context for the per-subspace coordinate and `γ`-variance
+/// memoization (see [`crate::SessionCache`]). `ctx = None` is the
+/// compute-always path; results are bit-identical either way.
+pub(crate) fn try_find_query_centered_projection_ctx(
+    par: Parallelism,
+    points: &[Vec<f64>],
+    query: &[f64],
+    current: &Subspace,
+    support: usize,
+    mode: ProjectionMode,
+    ctx: Option<&ProjectionCacheCtx<'_>>,
+) -> Result<(ProjectionResult, Vec<DegradationEvent>), HinnError> {
     let _span = hinn_obs::span!("projection.find");
     if current.dim() < 2 {
         return Err(HinnError::InvalidInput {
@@ -375,7 +430,7 @@ pub fn try_find_query_centered_projection_with(
     let mut best: Option<(f64, ProjectionResult, Vec<DegradationEvent>)> = None;
     for s in candidates {
         let (result, events) =
-            try_find_projection_with_support(par, points, query, current, s, mode)?;
+            try_find_projection_with_support(par, points, query, current, s, mode, ctx)?;
         let score = if result.variance_ratios.is_empty() {
             f64::INFINITY
         } else {
@@ -397,6 +452,7 @@ pub fn try_find_query_centered_projection_with(
 }
 
 /// One run of the Fig. 3 halving pipeline at a fixed support.
+#[allow(clippy::too_many_arguments)] // internal; mirrors the pipeline input
 fn try_find_projection_with_support(
     par: Parallelism,
     points: &[Vec<f64>],
@@ -404,6 +460,7 @@ fn try_find_projection_with_support(
     current: &Subspace,
     support: usize,
     mode: ProjectionMode,
+    ctx: Option<&ProjectionCacheCtx<'_>>,
 ) -> Result<(ProjectionResult, Vec<DegradationEvent>), HinnError> {
     let mut events = Vec::new();
     let mut ep = current.clone();
@@ -411,8 +468,18 @@ fn try_find_projection_with_support(
     let mut ratios = Vec::new();
     while lp > 2 {
         let next_l = (lp / 2).max(2);
-        // Coordinates of data and query inside the current E_p.
-        let data_coords = ep.project_all_with(par, points);
+        // Coordinates of data and query inside the current E_p. Memoized
+        // per (alive set, subspace): the three support restarts share one
+        // round-1 scan, and warm sessions skip the projection entirely.
+        let data_coords: Arc<Vec<Vec<f64>>> = match ctx {
+            Some(c) => c
+                .cache
+                .coords
+                .get_or_insert_with(SessionCache::coords_key(c.alive_fp, &ep), || {
+                    ep.project_all_with(par, points)
+                }),
+            None => Arc::new(ep.project_all_with(par, points)),
+        };
         let q_coords = ep.project(query);
         // The s nearest points to the query within E_p (the tentative
         // query cluster N_p).
@@ -437,7 +504,7 @@ fn try_find_projection_with_support(
             .map(|&(_, i)| data_coords[i].clone())
             .collect();
 
-        let (next, r) = try_query_cluster_subspace_mode_with(
+        let (next, r) = try_query_cluster_subspace_mode_ctx(
             par,
             &ep,
             &cluster_coords,
@@ -445,6 +512,7 @@ fn try_find_projection_with_support(
             next_l,
             mode,
             &mut events,
+            ctx,
         )?;
         // Numerical degeneracies can shrink the basis; bail out with what
         // we have rather than loop forever.

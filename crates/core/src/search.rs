@@ -1,23 +1,27 @@
 //! The interactive search driver (Fig. 2 of the paper).
 
+use crate::cache::{ProjectionCacheCtx, SessionCache};
 use crate::config::{BandwidthMode, SearchConfig};
 use crate::counts::PreferenceCounts;
 use crate::degrade::{DegradationEvent, DegradationKind, DegradationLog};
 use crate::diagnosis::SearchDiagnosis;
 use crate::error::HinnError;
 use crate::meaning::iteration_probabilities;
-use crate::projection::try_find_query_centered_projection_with;
+use crate::projection::{try_find_query_centered_projection_ctx, ProjectionResult};
 use crate::transcript::{MajorRecord, MinorPhases, MinorRecord, Transcript};
-use hinn_kde::VisualProfile;
+use hinn_cache::Fingerprint;
+use hinn_kde::{ProfileNotes, VisualProfile};
 use hinn_linalg::Subspace;
 use hinn_metrics::drop::DropConfig;
 use hinn_user::{UserModel, UserResponse, ViewContext};
+use std::sync::Arc;
 
 /// The packaged interactive nearest-neighbor search system.
 #[derive(Clone, Debug)]
 pub struct InteractiveSearch {
     config: SearchConfig,
     drop_config: DropConfig,
+    cache: Arc<SessionCache>,
 }
 
 /// Everything a completed session produced.
@@ -88,9 +92,11 @@ impl InteractiveSearch {
     /// Fallible [`InteractiveSearch::new`].
     pub fn try_new(config: SearchConfig) -> Result<Self, HinnError> {
         config.try_validate()?;
+        let cache = Arc::new(SessionCache::new(config.cache));
         Ok(Self {
             config,
             drop_config: DropConfig::default(),
+            cache,
         })
     }
 
@@ -98,6 +104,20 @@ impl InteractiveSearch {
     pub fn with_drop_config(mut self, drop_config: DropConfig) -> Self {
         self.drop_config = drop_config;
         self
+    }
+
+    /// Replace the engine's session cache with a shared one (its policy
+    /// supersedes [`SearchConfig::cache`]). [`crate::BatchRunner`] uses
+    /// this to amortize artifacts across every session of a batch; tests
+    /// use it to pre-warm an engine.
+    pub fn with_session_cache(mut self, cache: Arc<SessionCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The engine's session cache.
+    pub fn session_cache(&self) -> &Arc<SessionCache> {
+        &self.cache
     }
 
     /// Run the full interactive session of Fig. 2 against `user`.
@@ -181,6 +201,9 @@ impl InteractiveSearch {
         // default path stays clock-free outside instrumentation, which the
         // obs-invariance suite relies on.
         let session_start = self.config.deadline.map(|_| std::time::Instant::now());
+        // Content fingerprint for the session caches, skipped entirely
+        // when every cache is off so that path stays hash-free.
+        let dataset_fp = (!self.cache.is_disabled()).then(|| Fingerprint::of_points(points));
 
         let mut alive: Vec<usize> = (0..n).collect();
         let mut p_sum = vec![0.0f64; n];
@@ -196,6 +219,10 @@ impl InteractiveSearch {
             // Candidate-set size entering this major iteration.
             hinn_obs::observe("search.candidates", alive.len() as f64);
             let alive_points: Vec<Vec<f64>> = alive.iter().map(|&i| points[i].clone()).collect();
+            // Every cache key below derives from this fingerprint, so a
+            // stale entry is unreachable by construction: shrinking the
+            // alive set changes the key instead of invalidating anything.
+            let alive_fp = dataset_fp.map(|fp| SessionCache::alive_key(fp, &alive));
             let mut counts = PreferenceCounts::new(n);
             let mut ec = Subspace::full(d);
             let mut major_rec = MajorRecord {
@@ -233,42 +260,99 @@ impl InteractiveSearch {
                 // exist on both paths).
                 let timing = hinn_obs::enabled();
                 let t_start = timing.then(std::time::Instant::now);
-                let (proj, proj_events) = try_find_query_centered_projection_with(
-                    par,
-                    &alive_points,
-                    query,
-                    &ec,
-                    s_eff,
-                    self.config.projection_mode,
-                )?;
-                transcript.degradations.absorb(proj_events, major, minor);
-                let mut pts2d: Vec<[f64; 2]> = vec![[0.0; 2]; alive_points.len()];
-                hinn_par::fill_chunks(par, &mut pts2d, |start, slice| {
-                    for (off, slot) in slice.iter_mut().enumerate() {
-                        let c = proj.projection.project(&alive_points[start + off]);
-                        *slot = [c[0], c[1]];
+                // L1: the whole Fig. 3 projection search, memoized with
+                // its degradation events (replayed on a hit so warm
+                // transcripts match cold ones). Errors are never cached.
+                let proj_pair: Arc<(ProjectionResult, Vec<DegradationEvent>)> = match alive_fp {
+                    Some(afp) => {
+                        let cache_ctx = ProjectionCacheCtx {
+                            alive_fp: afp,
+                            cache: &self.cache,
+                        };
+                        let key = SessionCache::projection_key(
+                            afp,
+                            query,
+                            &ec,
+                            s_eff,
+                            self.config.projection_mode,
+                        );
+                        self.cache.projection.get_or_try_insert_with(key, || {
+                            try_find_query_centered_projection_ctx(
+                                par,
+                                &alive_points,
+                                query,
+                                &ec,
+                                s_eff,
+                                self.config.projection_mode,
+                                Some(&cache_ctx),
+                            )
+                        })?
                     }
-                });
-                let qc = proj.projection.project(query);
-                let t_proj = timing.then(std::time::Instant::now);
-                let built = match self.config.bandwidth_mode {
-                    BandwidthMode::Fixed => VisualProfile::try_build_with(
+                    None => Arc::new(try_find_query_centered_projection_ctx(
                         par,
-                        pts2d,
-                        [qc[0], qc[1]],
-                        self.config.grid_n,
-                        self.config.bandwidth_scale,
-                    ),
-                    BandwidthMode::Adaptive { alpha } => VisualProfile::try_build_adaptive_with(
-                        par,
-                        pts2d,
-                        [qc[0], qc[1]],
-                        self.config.grid_n,
-                        self.config.bandwidth_scale,
-                        alpha,
-                    ),
+                        &alive_points,
+                        query,
+                        &ec,
+                        s_eff,
+                        self.config.projection_mode,
+                        None,
+                    )?),
                 };
-                let (profile, notes) = match built {
+                let proj = &proj_pair.0;
+                transcript
+                    .degradations
+                    .absorb(proj_pair.1.clone(), major, minor);
+                let t_proj = timing.then(std::time::Instant::now);
+                // L2: projected 2-D coordinates plus the grid KDE. The
+                // projection step above is part of the memoized value, so
+                // a hit skips both the O(n·d) projection and the O(n·p²)
+                // density estimation.
+                let build_profile = || {
+                    let mut pts2d: Vec<[f64; 2]> = vec![[0.0; 2]; alive_points.len()];
+                    hinn_par::fill_chunks(par, &mut pts2d, |start, slice| {
+                        for (off, slot) in slice.iter_mut().enumerate() {
+                            let c = proj.projection.project(&alive_points[start + off]);
+                            *slot = [c[0], c[1]];
+                        }
+                    });
+                    let qc = proj.projection.project(query);
+                    match self.config.bandwidth_mode {
+                        BandwidthMode::Fixed => VisualProfile::try_build_with(
+                            par,
+                            pts2d,
+                            [qc[0], qc[1]],
+                            self.config.grid_n,
+                            self.config.bandwidth_scale,
+                        ),
+                        BandwidthMode::Adaptive { alpha } => {
+                            VisualProfile::try_build_adaptive_with(
+                                par,
+                                pts2d,
+                                [qc[0], qc[1]],
+                                self.config.grid_n,
+                                self.config.bandwidth_scale,
+                                alpha,
+                            )
+                        }
+                    }
+                };
+                let built: Result<Arc<(VisualProfile, ProfileNotes)>, _> = match alive_fp {
+                    Some(afp) => {
+                        let key = SessionCache::profile_key(
+                            afp,
+                            query,
+                            &proj.projection,
+                            self.config.grid_n,
+                            self.config.bandwidth_scale,
+                            self.config.bandwidth_mode,
+                        );
+                        self.cache
+                            .profile
+                            .get_or_try_insert_with(key, build_profile)
+                    }
+                    None => build_profile().map(Arc::new),
+                };
+                let profile_pair = match built {
                     Ok(p) => p,
                     Err(e) => {
                         // An unusable view is skipped, not fatal: record
@@ -281,11 +365,12 @@ impl InteractiveSearch {
                             kind: DegradationKind::SkippedMinorView,
                             detail: format!("visual profile unavailable ({e}); view skipped"),
                         });
-                        ec = proj.remainder;
+                        ec = proj.remainder.clone();
                         continue;
                     }
                 };
-                if notes.bandwidth_floored {
+                let profile = &profile_pair.0;
+                if profile_pair.1.bandwidth_floored {
                     transcript.degradations.push(DegradationEvent {
                         major: Some(major),
                         minor: Some(minor),
@@ -300,7 +385,7 @@ impl InteractiveSearch {
                     original_ids: alive.clone(),
                     total_n: n,
                 };
-                let response = user.respond(&profile, &ctx);
+                let response = user.respond(profile, &ctx);
                 let picked_rows: Vec<usize> = match &response {
                     UserResponse::Threshold(tau) => profile.select(*tau, self.config.corner_rule),
                     UserResponse::Polygon(lines) => profile.select_polygon(lines),
@@ -339,13 +424,13 @@ impl InteractiveSearch {
                     n_picked: picked_rows.len(),
                     query_peak_ratio,
                     profile: if self.config.record_profiles {
-                        Some(profile)
+                        Some(profile_pair.0.clone())
                     } else {
                         None
                     },
                     phases,
                 });
-                ec = proj.remainder;
+                ec = proj.remainder.clone();
             }
 
             // Fig. 8: convert counts to per-iteration probabilities.

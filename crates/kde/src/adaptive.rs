@@ -145,7 +145,7 @@ pub fn estimate_grid_adaptive_with(
         |r| accumulate_adaptive_chunk(&points[r.clone()], &bw.factors[r], bw.base, spec),
         vec![0.0; n * n],
         |mut acc, part| {
-            for (a, b) in acc.iter_mut().zip(&part) {
+            for (a, b) in acc.iter_mut().zip(part.iter()) {
                 *a += b;
             }
             acc
@@ -157,19 +157,20 @@ pub fn estimate_grid_adaptive_with(
     DensityGrid::new(spec, values)
 }
 
-/// Un-normalized adaptive kernel-sum grid of one chunk of points.
+/// Un-normalized adaptive kernel-sum grid of one chunk of points. Partial
+/// grid and kernel scratch come from the thread-local pool, zeroed.
 #[allow(clippy::needless_range_loop)] // index loops mirror the grid math
 fn accumulate_adaptive_chunk(
     points: &[[f64; 2]],
     factors: &[f64],
     base: Bandwidth2D,
     spec: GridSpec,
-) -> Vec<f64> {
+) -> hinn_cache::PooledF64 {
     let n = spec.n;
-    let mut values = vec![0.0; n * n];
+    let mut values = hinn_cache::PooledF64::take_zeroed(n * n);
     let trunc = 6.0;
-    let mut kx = vec![0.0; n];
-    let mut ky = vec![0.0; n];
+    let mut kx = hinn_cache::PooledF64::take_zeroed(n);
+    let mut ky = hinn_cache::PooledF64::take_zeroed(n);
     for (p, &lambda) in points.iter().zip(factors) {
         let hx = base.hx * lambda;
         let hy = base.hy * lambda;

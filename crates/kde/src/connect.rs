@@ -304,4 +304,131 @@ mod tests {
         let g = two_island_grid();
         connected_cells(&g, 1.0, (9, 0), CornerRule::AnyOne);
     }
+
+    /// 6×6 grid points (5×5 cells) with a dense band hugging the grid's
+    /// right edge: grid points (4..=5, 1..=4) are dense, everything else
+    /// is zero. The cluster *touches the border* of the grid.
+    fn edge_hugging_grid() -> DensityGrid {
+        let spec = GridSpec {
+            x0: 0.0,
+            y0: 0.0,
+            dx: 1.0,
+            dy: 1.0,
+            n: 6,
+        };
+        let mut v = vec![0.0; 36];
+        for iy in 1..=4usize {
+            for ix in 4..=5usize {
+                v[iy * 6 + ix] = 10.0;
+            }
+        }
+        DensityGrid::new(spec, v)
+    }
+
+    #[test]
+    fn border_cells_apply_the_same_corner_rule() {
+        // Regression (Def. 2.2 edge case): rectangles in the grid's last
+        // column/row must qualify by the identical ≥3-corners rule, not be
+        // skipped or auto-included because they touch the boundary. The
+        // rightmost cell column (cx = 4) of this grid has all 4 corners on
+        // dense grid points for cy ∈ {1..=3}, so a BFS started there must
+        // include them — and must NOT walk past the border.
+        let g = edge_hugging_grid();
+        let mask = connected_cells(&g, 1.0, (4, 2), CornerRule::AtLeastThree);
+        // Interior of the dense band, flush against the border:
+        assert!(mask.contains(4, 1));
+        assert!(mask.contains(4, 2));
+        assert!(mask.contains(4, 3));
+        // Fringe cells above/below the band have exactly 2 dense corners
+        // ((4,1)&(5,1) or (4,4)&(5,4)) → excluded under ≥3.
+        assert!(!mask.contains(4, 0));
+        assert!(!mask.contains(4, 4));
+        // Cells one column inland (cx = 3) also have exactly 2 dense
+        // corners (the two on the ix = 4 grid line) → excluded.
+        assert!(!mask.contains(3, 2));
+        assert_eq!(mask.count(), 3);
+        // Under ≥2 the fringe joins, still without leaving the grid.
+        let loose = connected_cells(&g, 1.0, (4, 2), CornerRule::AtLeastTwo);
+        assert!(loose.contains(4, 0) && loose.contains(4, 4));
+        assert!(loose.contains(3, 2));
+        assert!(loose.count() > mask.count());
+    }
+
+    /// Reference implementation: qualify every cell independently, then
+    /// flood-fill with a plain visited set — no shared code with
+    /// `connected_cells`.
+    fn reference_connected(
+        grid: &DensityGrid,
+        tau: f64,
+        query: (usize, usize),
+        rule: CornerRule,
+    ) -> Vec<(usize, usize)> {
+        let m = grid.spec.cells_per_axis();
+        let dense: Vec<bool> = (0..m * m)
+            .map(|i| {
+                let (cx, cy) = (i % m, i / m);
+                let c = grid.cell_corners(cx, cy);
+                rule.qualifies(c, tau)
+            })
+            .collect();
+        let mut member = vec![false; m * m];
+        if dense[query.1 * m + query.0] {
+            member[query.1 * m + query.0] = true;
+            // Iterate to fixpoint: a cell joins if dense and side-adjacent
+            // to a member. O((m²)²) but trivially correct.
+            loop {
+                let mut changed = false;
+                for cy in 0..m {
+                    for cx in 0..m {
+                        if member[cy * m + cx] || !dense[cy * m + cx] {
+                            continue;
+                        }
+                        let near = (cx > 0 && member[cy * m + cx - 1])
+                            || (cx + 1 < m && member[cy * m + cx + 1])
+                            || (cy > 0 && member[(cy - 1) * m + cx])
+                            || (cy + 1 < m && member[(cy + 1) * m + cx]);
+                        if near {
+                            member[cy * m + cx] = true;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        (0..m * m)
+            .filter(|&i| member[i])
+            .map(|i| (i % m, i / m))
+            .collect()
+    }
+
+    #[test]
+    fn bfs_matches_independent_reference_flood_fill() {
+        let rules = [
+            CornerRule::AtLeastThree,
+            CornerRule::AllFour,
+            CornerRule::AnyOne,
+            CornerRule::AtLeastTwo,
+        ];
+        for g in [two_island_grid(), edge_hugging_grid()] {
+            let m = g.spec.cells_per_axis();
+            for rule in rules {
+                for tau in [0.0, 1.0, 9.0] {
+                    for qy in 0..m {
+                        for qx in 0..m {
+                            let mask = connected_cells(&g, tau, (qx, qy), rule);
+                            let want = reference_connected(&g, tau, (qx, qy), rule);
+                            let got: Vec<_> = mask.iter_cells().collect();
+                            assert_eq!(
+                                got, want,
+                                "mismatch at q=({qx},{qy}) τ={tau} rule={rule:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
 }

@@ -26,7 +26,9 @@ pub fn estimate_grid(points: &[[f64; 2]], bw: Bandwidth2D, spec: GridSpec) -> De
 /// data points accumulates its own partial `p × p` grid; the partial grids
 /// merge elementwise in chunk order, so the result is bit-identical for
 /// every budget. Transient memory is `O(⌈N/CHUNK⌉ · p²)` during a parallel
-/// run (one partial grid per chunk).
+/// run (one partial grid per chunk); partial grids and kernel scratch are
+/// drawn from the thread-local [`hinn_cache::pool`], so steady-state
+/// serving does not allocate here.
 pub fn estimate_grid_with(
     par: Parallelism,
     points: &[[f64; 2]],
@@ -49,7 +51,7 @@ pub fn estimate_grid_with(
         |r| accumulate_grid_chunk(&points[r], bw, spec),
         vec![0.0; n * n],
         |mut acc, part| {
-            for (a, b) in acc.iter_mut().zip(&part) {
+            for (a, b) in acc.iter_mut().zip(part.iter()) {
                 *a += b;
             }
             acc
@@ -61,13 +63,19 @@ pub fn estimate_grid_with(
     DensityGrid::new(spec, values)
 }
 
-/// Un-normalized kernel-sum grid of one chunk of points.
+/// Un-normalized kernel-sum grid of one chunk of points. The returned
+/// buffer (and the kernel scratch) comes from the thread-local pool; it
+/// starts all-zero, exactly like a fresh allocation.
 #[allow(clippy::needless_range_loop)] // index loops mirror the grid math
-fn accumulate_grid_chunk(points: &[[f64; 2]], bw: Bandwidth2D, spec: GridSpec) -> Vec<f64> {
+fn accumulate_grid_chunk(
+    points: &[[f64; 2]],
+    bw: Bandwidth2D,
+    spec: GridSpec,
+) -> hinn_cache::PooledF64 {
     let n = spec.n;
-    let mut values = vec![0.0; n * n];
-    let mut kx = vec![0.0; n];
-    let mut ky = vec![0.0; n];
+    let mut values = hinn_cache::PooledF64::take_zeroed(n * n);
+    let mut kx = hinn_cache::PooledF64::take_zeroed(n);
+    let mut ky = hinn_cache::PooledF64::take_zeroed(n);
     for p in points {
         // Index range of grid points within the truncated support.
         let (x_lo, x_hi) = support_range(p[0], bw.hx, spec.x0, spec.dx, n);
@@ -97,15 +105,18 @@ fn accumulate_grid_chunk(points: &[[f64; 2]], bw: Bandwidth2D, spec: GridSpec) -
 /// Inclusive index range `[lo, hi]` of grid coordinates within the truncated
 /// kernel support around `center`; may be empty (`lo > hi`).
 fn support_range(center: f64, h: f64, origin: f64, step: f64, n: usize) -> (usize, usize) {
-    let lo = ((center - TRUNC_SIGMAS * h - origin) / step)
-        .ceil()
-        .max(0.0) as usize;
+    let lo_f = ((center - TRUNC_SIGMAS * h - origin) / step).ceil();
     let hi_f = ((center + TRUNC_SIGMAS * h - origin) / step).floor();
-    if hi_f < 0.0 {
+    // A support entirely off either side of the grid contributes nothing.
+    // (An earlier version clamped `lo` onto the last grid index, so a
+    // point beyond the grid's right edge deposited a spurious kernel
+    // column on the border — invisible only when the kernel underflowed.)
+    if hi_f < 0.0 || lo_f > (n - 1) as f64 {
         return (1, 0);
     }
+    let lo = lo_f.max(0.0) as usize;
     let hi = (hi_f as usize).min(n - 1);
-    (lo.min(n - 1), hi)
+    (lo, hi)
 }
 
 /// Exact KDE value at one arbitrary location (no truncation).
@@ -212,6 +223,41 @@ mod tests {
         };
         let g = estimate_grid(&[[1000.0, 1000.0]], bw(0.5), spec);
         assert!(g.max() < 1e-12);
+    }
+
+    #[test]
+    fn point_just_beyond_the_grid_contributes_exactly_nothing() {
+        // Regression: a point whose truncated support lies entirely beyond
+        // the grid's right (or top) edge used to deposit a spurious kernel
+        // column on the border grid line, because the support's low index
+        // was clamped onto the grid instead of skipping the point. The
+        // old `far_away_point_contributes_nothing` test missed it only
+        // because at 1000 units the kernel underflows; at ~7 bandwidths
+        // the spurious contribution would be ≈ 1e-10 — visible.
+        let spec = GridSpec {
+            x0: 0.0,
+            y0: 0.0,
+            dx: 0.1,
+            dy: 0.1,
+            n: 11,
+        };
+        for p in [
+            [7.5, 0.5],  // right of the grid
+            [0.5, 7.5],  // above the grid
+            [-7.0, 0.5], // left of the grid
+            [0.5, -7.0], // below the grid
+            [7.5, 7.5],  // beyond the corner
+        ] {
+            let g = estimate_grid(&[p], bw(1.0), spec);
+            assert_eq!(
+                g.max(),
+                0.0,
+                "off-grid point {p:?} must contribute exactly nothing"
+            );
+        }
+        // A point whose support straddles the border still contributes.
+        let g = estimate_grid(&[[1.2, 0.5]], bw(1.0), spec);
+        assert!(g.max() > 0.0);
     }
 
     #[test]

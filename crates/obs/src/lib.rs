@@ -58,7 +58,7 @@
 pub mod report;
 pub mod session;
 
-pub use report::{Histogram, SpanNode, TelemetryReport};
+pub use report::{CacheStats, Histogram, SpanNode, TelemetryReport};
 pub use session::SessionRecorder;
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -82,6 +82,35 @@ pub struct SpanNode {
     pub children: Vec<SpanNode>,
 }
 
+/// Aggregate effectiveness of the session-level memoization caches,
+/// derived from the `cache.hit` / `cache.miss` / `cache.evict` counters
+/// that `hinn-cache` emits. All zero when no cache was active.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the compute closure.
+    pub misses: u64,
+    /// Entries evicted by the LRU capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / (self.hits + self.misses) as f64
+        }
+    }
+}
+
 /// A deterministic snapshot of one session's telemetry (see module docs).
 #[derive(Clone, Debug, Default)]
 pub struct TelemetryReport {
@@ -122,6 +151,15 @@ impl TelemetryReport {
     /// The counter's value, 0 when absent.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The session's cache effectiveness (see [`CacheStats`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counter("cache.hit"),
+            misses: self.counter("cache.miss"),
+            evictions: self.counter("cache.evict"),
+        }
     }
 
     /// Find a span node by its full `/`-joined path.
@@ -235,6 +273,17 @@ impl TelemetryReport {
             }
         }
         walk(&mut out, &self.spans, 0);
+        let cache = self.cache_stats();
+        if cache.lookups() > 0 {
+            let _ = writeln!(
+                out,
+                "cache: {} hits / {} lookups ({:.1}% hit rate), {} evictions",
+                cache.hits,
+                cache.lookups(),
+                100.0 * cache.hit_rate(),
+                cache.evictions
+            );
+        }
         if !self.counters.is_empty() {
             let _ = writeln!(out, "counters:");
             for (name, v) in &self.counters {
@@ -413,6 +462,40 @@ mod tests {
         h.push(3.0);
         hists.insert("sizes".to_string(), h);
         TelemetryReport::assemble(spans, counters, gauges, hists)
+    }
+
+    #[test]
+    fn cache_stats_derive_from_counters_and_render() {
+        let empty = sample();
+        assert_eq!(empty.cache_stats(), CacheStats::default());
+        assert_eq!(empty.cache_stats().hit_rate(), 0.0);
+        assert!(
+            !empty.to_text().contains("cache:"),
+            "no cache section without cache counters"
+        );
+
+        let mut counters = BTreeMap::new();
+        counters.insert("cache.hit".to_string(), 6u64);
+        counters.insert("cache.miss".to_string(), 2u64);
+        counters.insert("cache.evict".to_string(), 1u64);
+        let r =
+            TelemetryReport::assemble(BTreeMap::new(), counters, BTreeMap::new(), BTreeMap::new());
+        let stats = r.cache_stats();
+        assert_eq!(
+            stats,
+            CacheStats {
+                hits: 6,
+                misses: 2,
+                evictions: 1
+            }
+        );
+        assert_eq!(stats.lookups(), 8);
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        let text = r.to_text();
+        assert!(
+            text.contains("cache: 6 hits / 8 lookups (75.0% hit rate), 1 evictions"),
+            "unexpected rendering: {text}"
+        );
     }
 
     #[test]

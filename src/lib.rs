@@ -32,6 +32,9 @@
 //! * [`metrics`] — precision/recall, accuracy, relative contrast and
 //!   ε-instability, rank agreement, steep-drop (natural neighbor count)
 //!   analysis.
+//! * [`cache`] — shared per-dataset artifacts, deterministic LRU caches,
+//!   and buffer pools behind the batch-serving fast path; warm and cold
+//!   runs stay bit-identical.
 //! * [`core`] — the interactive search system itself (Figs. 2–8 of the
 //!   paper): graded query-centered projections, visual profiles, preference
 //!   counts, meaningfulness quantification, meaninglessness diagnosis,
@@ -57,6 +60,7 @@
 //! ```
 
 pub use hinn_baselines as baselines;
+pub use hinn_cache as cache;
 pub use hinn_core as core;
 pub use hinn_data as data;
 pub use hinn_fault as fault;

@@ -1,0 +1,294 @@
+//! Cache equivalence: the session-level memoization caches must never
+//! change a single bit of any search result.
+//!
+//! The caches (`hinn-cache` via `hinn_core::SessionCache`) memoize exact
+//! outputs of pure functions keyed by the full input bits, so a hit
+//! returns the same bytes a fresh computation would produce. These tests
+//! pin that contract at the integration level, comparing complete
+//! sessions via `f64::to_bits`:
+//!
+//! - **disabled vs cold vs warm**: a run with caching off, a first run on
+//!   a fresh cache, and repeated runs on the warmed cache all agree, for
+//!   every thread budget in {1, 4} and LRU capacities {0, 2, default}
+//!   (capacity 0 exercises the silent-bypass path, capacity 2 forces
+//!   evictions mid-session);
+//! - **telemetry determinism**: traced runs at different thread budgets
+//!   produce identical counter maps — including the `cache.hit` /
+//!   `cache.miss` / `cache.evict` counters, because cache probes happen
+//!   on the driver thread in deterministic order;
+//! - **cache activity**: warm runs actually hit, disabled runs never
+//!   touch the cache, and a tiny capacity actually evicts.
+
+use hinn::core::{
+    CachePolicy, InteractiveSearch, Parallelism, SearchConfig, SearchOutcome, SessionCache,
+};
+use hinn::obs::TelemetryReport;
+use hinn::par::SERIAL_CUTOFF;
+use hinn::user::{ScriptedUser, UserResponse};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Thread budgets under test (pinned, independent of the environment).
+const BUDGETS: [usize; 2] = [1, 4];
+
+/// Serialize the tests in this binary: the `hinn-obs` facade is a global,
+/// and the traced runs here must not overlap each other's counters.
+fn exclusive() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Deterministic xorshift point cloud (same generator as the PR 1 and
+/// PR 2 equivalence harnesses).
+fn cloud(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed | 1;
+    let mut unif = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| (0..d).map(|_| unif() * 100.0 - 50.0).collect())
+        .collect()
+}
+
+fn bits_of(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Fixed response script: the user's behavior is pinned, so any
+/// divergence must come from the caching layer.
+fn script() -> ScriptedUser {
+    ScriptedUser::new([
+        UserResponse::Threshold(1e-7),
+        UserResponse::Discard,
+        UserResponse::Threshold(5e-7),
+    ])
+    .with_fallback(UserResponse::Threshold(1e-7))
+}
+
+fn config(par: Parallelism) -> SearchConfig {
+    // Default Arbitrary projection mode so the PCA/eigen path (and its
+    // projection/coords/gamma cache keys) is exercised too.
+    SearchConfig {
+        max_major_iterations: 2,
+        min_major_iterations: 1,
+        ..SearchConfig::default()
+            .with_support(25)
+            .with_parallelism(par)
+    }
+}
+
+fn workload() -> Vec<Vec<f64>> {
+    cloud(SERIAL_CUTOFF + 130, 6, 0xCAC4E)
+}
+
+/// Run once on `engine`'s own (possibly shared) cache, untraced.
+fn run_with(engine: &InteractiveSearch, points: &[Vec<f64>]) -> SearchOutcome {
+    let mut user = script();
+    engine.run(points, &points[0], &mut user)
+}
+
+fn run_traced_with(
+    engine: &InteractiveSearch,
+    points: &[Vec<f64>],
+) -> (SearchOutcome, TelemetryReport) {
+    let mut user = script();
+    engine.run_traced(points, &points[0], &mut user)
+}
+
+/// Bit-level outcome comparison (the same discipline as the PR 1/PR 2
+/// equivalence suites): neighbor sets, probabilities, and the numeric
+/// transcript fields all compared via `to_bits`.
+fn assert_outcomes_bit_identical(a: &SearchOutcome, b: &SearchOutcome, label: &str) {
+    assert_eq!(a.neighbors, b.neighbors, "{label}: neighbor sets differ");
+    assert_eq!(a.majors_run, b.majors_run, "{label}: majors_run differs");
+    assert_eq!(
+        bits_of(&a.probabilities),
+        bits_of(&b.probabilities),
+        "{label}: probabilities not bit-identical"
+    );
+    assert_eq!(
+        a.transcript.majors.len(),
+        b.transcript.majors.len(),
+        "{label}: major count differs"
+    );
+    for (ma, mb) in a.transcript.majors.iter().zip(&b.transcript.majors) {
+        assert_eq!(ma.n_points_before, mb.n_points_before, "{label}");
+        assert_eq!(ma.n_points_after, mb.n_points_after, "{label}");
+        assert_eq!(
+            ma.overlap_with_previous, mb.overlap_with_previous,
+            "{label}"
+        );
+        assert_eq!(ma.minors.len(), mb.minors.len(), "{label}: minor count");
+        for (ra, rb) in ma.minors.iter().zip(&mb.minors) {
+            assert_eq!(ra.n_picked, rb.n_picked, "{label}: n_picked differs");
+            assert_eq!(ra.response, rb.response, "{label}: response differs");
+            assert_eq!(
+                ra.query_peak_ratio.to_bits(),
+                rb.query_peak_ratio.to_bits(),
+                "{label}: query_peak_ratio not bit-identical"
+            );
+            assert_eq!(
+                bits_of(&ra.variance_ratios),
+                bits_of(&rb.variance_ratios),
+                "{label}: variance_ratios not bit-identical"
+            );
+        }
+    }
+    // Degradation events replay identically from a projection cache hit.
+    let da: Vec<_> = a
+        .transcript
+        .degradations
+        .iter()
+        .map(|e| format!("{e:?}"))
+        .collect();
+    let db: Vec<_> = b
+        .transcript
+        .degradations
+        .iter()
+        .map(|e| format!("{e:?}"))
+        .collect();
+    assert_eq!(da, db, "{label}: degradation logs differ");
+}
+
+/// The tentpole acceptance claim: disabled vs cold vs warm (twice), for
+/// every thread budget × LRU capacity, bit-for-bit identical sessions.
+#[test]
+fn cold_warm_and_disabled_sessions_bit_identical() {
+    let _guard = exclusive();
+    let points = workload();
+    for t in BUDGETS {
+        let par = Parallelism::fixed(t);
+        let baseline = run_with(
+            &InteractiveSearch::new(config(par).without_cache()),
+            &points,
+        );
+        for (cap_label, policy) in [
+            ("capacity 0", CachePolicy::with_uniform_capacity(0)),
+            ("capacity 2", CachePolicy::with_uniform_capacity(2)),
+            ("default capacity", CachePolicy::default()),
+        ] {
+            let engine = InteractiveSearch::new(config(par).with_cache_policy(policy));
+            let cold = run_with(&engine, &points);
+            assert_outcomes_bit_identical(
+                &baseline,
+                &cold,
+                &format!("{t} threads, {cap_label}, cold"),
+            );
+            // Two more sessions on the now-warm shared cache.
+            for round in 1..=2 {
+                let warm = run_with(&engine, &points);
+                assert_outcomes_bit_identical(
+                    &baseline,
+                    &warm,
+                    &format!("{t} threads, {cap_label}, warm round {round}"),
+                );
+            }
+        }
+    }
+}
+
+/// A pre-warmed cache handed to a *different* engine (the batch-serving
+/// topology: one cache, many sessions) changes nothing either.
+#[test]
+fn shared_cache_across_engines_is_transparent() {
+    let _guard = exclusive();
+    let points = workload();
+    let par = Parallelism::fixed(4);
+    let baseline = run_with(&InteractiveSearch::new(config(par)), &points);
+
+    let warmer = InteractiveSearch::new(config(par));
+    let _ = run_with(&warmer, &points);
+    let shared: Arc<SessionCache> = warmer.session_cache().clone();
+    assert!(!shared.is_empty(), "warm-up must have populated the cache");
+
+    let served = InteractiveSearch::new(config(par)).with_session_cache(shared);
+    let warm = run_with(&served, &points);
+    assert_outcomes_bit_identical(&baseline, &warm, "pre-warmed cache, fresh engine");
+}
+
+/// Traced sessions at different thread budgets produce *identical*
+/// counter maps — the `cache.*` counters included, because every cache
+/// probe happens on the driver thread in deterministic order.
+#[test]
+fn telemetry_counters_identical_across_budgets_including_cache() {
+    let _guard = exclusive();
+    let points = workload();
+    let mut reference: Option<(TelemetryReport, TelemetryReport)> = None;
+    for t in BUDGETS {
+        let engine = InteractiveSearch::new(config(Parallelism::fixed(t)));
+        let (_, cold) = run_traced_with(&engine, &points);
+        let (_, warm) = run_traced_with(&engine, &points);
+        match &reference {
+            None => reference = Some((cold, warm)),
+            Some((ref_cold, ref_warm)) => {
+                // The `par.*` counters describe the scheduler (chunk and
+                // worker bookkeeping) and legitimately vary with the
+                // budget; every algorithmic counter — `cache.*` included —
+                // must agree exactly.
+                for (label, got, want) in [("cold", &cold, ref_cold), ("warm", &warm, ref_warm)] {
+                    let strip = |r: &TelemetryReport| {
+                        let mut c = r.counters.clone();
+                        c.retain(|name, _| !name.starts_with("par."));
+                        c
+                    };
+                    assert_eq!(
+                        strip(got),
+                        strip(want),
+                        "{label} counters differ between budgets 1 and {t}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Cache activity is observable and matches the warmth of the run:
+/// disabled runs never touch the cache, warm runs hit more than cold
+/// ones, and a tiny capacity evicts.
+#[test]
+fn cache_counters_reflect_run_warmth() {
+    let _guard = exclusive();
+    let points = workload();
+    let par = Parallelism::fixed(4);
+
+    let disabled = InteractiveSearch::new(config(par).without_cache());
+    let (_, off) = run_traced_with(&disabled, &points);
+    assert_eq!(
+        off.cache_stats().lookups(),
+        0,
+        "disabled run probed the cache"
+    );
+    assert_eq!(off.counter("cache.evict"), 0);
+
+    let engine = InteractiveSearch::new(config(par));
+    let (_, cold) = run_traced_with(&engine, &points);
+    // Even a cold session shares work: the support restarts of every
+    // minor iteration reuse the coords/γ caches populated moments before.
+    assert!(cold.cache_stats().misses > 0, "cold run never missed?");
+    let (_, warm) = run_traced_with(&engine, &points);
+    // The warm session is served entirely from the cache: each minor
+    // iteration's projection probe hits, so the nested coords/γ/profile
+    // computations (and their probes) never run — hits > 0, misses == 0.
+    assert!(warm.cache_stats().hits > 0, "warm run never hit the cache");
+    assert_eq!(
+        warm.cache_stats().misses,
+        0,
+        "warm run recomputed something (cold {:?}, warm {:?})",
+        cold.cache_stats(),
+        warm.cache_stats()
+    );
+
+    let tiny = InteractiveSearch::new(
+        config(par).with_cache_policy(CachePolicy::with_uniform_capacity(2)),
+    );
+    let (_, squeezed) = run_traced_with(&tiny, &points);
+    assert!(
+        squeezed.counter("cache.evict") > 0,
+        "capacity 2 should evict on this workload:\n{}",
+        squeezed.to_text()
+    );
+}

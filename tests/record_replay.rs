@@ -1,5 +1,10 @@
 //! Integration test: a recorded interactive session replays to the exact
 //! same outcome — the audit/regression feature of `hinn::user::recording`.
+//!
+//! Also pins that the session-level memoization caches are transparent to
+//! the audit trail: replaying a recorded session against a **pre-warmed**
+//! cache (the batch-serving topology) yields the same outcome and a
+//! byte-identical re-recorded session file.
 
 use hinn::core::{InteractiveSearch, ProjectionMode, SearchConfig};
 use hinn::data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
@@ -50,4 +55,57 @@ fn recorded_session_replays_identically() {
         assert_eq!(a.n_picked, b.n_picked);
         assert_eq!(a.response, b.response);
     }
+}
+
+#[test]
+fn replay_against_prewarmed_cache_is_byte_stable() {
+    let spec = ProjectedClusterSpec {
+        n_points: 600,
+        dim: 8,
+        n_clusters: 2,
+        cluster_dim: 4,
+        ..ProjectedClusterSpec::small_test()
+    };
+    let mut rng = StdRng::seed_from_u64(21);
+    let (data, _truth) = generate_projected_clusters_detailed(&spec, &mut rng);
+    let query = data.points[data.cluster_members(0)[0]].clone();
+    let config = SearchConfig::default()
+        .with_support(15)
+        .with_mode(ProjectionMode::AxisParallel);
+
+    // Record a live session on a cold engine (caching on by default).
+    let engine = InteractiveSearch::new(config.clone());
+    let mut recorder = RecordingUser::new(HeuristicUser::default());
+    let live = engine.run(&data.points, &query, &mut recorder);
+    let (_, log) = recorder.into_parts();
+    let text = session_to_string(&log);
+
+    // Replay the recorded session on a *fresh* engine sharing the warmed
+    // cache, re-recording as we go. The cache must neither change the
+    // outcome nor perturb a single byte of the audit trail.
+    let replay = session_from_string(&text).expect("parse recorded session");
+    let served = InteractiveSearch::new(config).with_session_cache(engine.session_cache().clone());
+    let mut re_recorder = RecordingUser::new(replay);
+    let replayed = served.run(&data.points, &query, &mut re_recorder);
+    let (_, re_log) = re_recorder.into_parts();
+
+    assert_eq!(replayed.neighbors, live.neighbors);
+    assert_eq!(
+        live.probabilities
+            .iter()
+            .map(|p| p.to_bits())
+            .collect::<Vec<_>>(),
+        replayed
+            .probabilities
+            .iter()
+            .map(|p| p.to_bits())
+            .collect::<Vec<_>>(),
+        "probabilities not bit-identical under the warmed cache"
+    );
+    assert_eq!(replayed.majors_run, live.majors_run);
+    assert_eq!(
+        session_to_string(&re_log),
+        text,
+        "re-recorded session file must be byte-identical under the cache"
+    );
 }
