@@ -32,11 +32,15 @@ fn bench_full_session(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut user = HeuristicUser::default();
-                InteractiveSearch::new(config.clone()).run(
-                    black_box(&data.points),
-                    black_box(&query),
-                    &mut user,
-                )
+                InteractiveSearch::new(config.clone())
+                    .run_with(
+                        black_box(&data.points),
+                        black_box(&query),
+                        &mut user,
+                        hinn_core::RunOptions::default(),
+                    )
+                    .expect("interactive session")
+                    .into_outcome()
             })
         });
     }

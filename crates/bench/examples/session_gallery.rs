@@ -31,7 +31,15 @@ fn main() {
             .with_mode(ProjectionMode::AxisParallel)
     };
     let mut user = RecordingUser::new(HeuristicUser::default());
-    let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+    let outcome = InteractiveSearch::new(config)
+        .run_with(
+            &data.points,
+            &query,
+            &mut user,
+            hinn_core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
 
     let dir = artifact_dir("session_gallery");
     let files = save_session_gallery(&outcome, &dir).expect("write gallery");

@@ -51,11 +51,15 @@ fn evaluate(
             .filter(|&i| data.labels[i] == data.labels[q])
             .collect();
         let mut user = make_user();
-        let outcome = InteractiveSearch::new(config.clone()).run(
-            &data.points,
-            &data.points[q],
-            user.as_mut(),
-        );
+        let outcome = InteractiveSearch::new(config.clone())
+            .run_with(
+                &data.points,
+                &data.points[q],
+                user.as_mut(),
+                hinn_core::RunOptions::default(),
+            )
+            .expect("interactive session")
+            .into_outcome();
         let set = match outcome.diagnosis {
             SearchDiagnosis::Meaningful { .. } => {
                 found += 1;

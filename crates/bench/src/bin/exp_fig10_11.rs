@@ -41,7 +41,15 @@ fn main() {
             .with_mode(ProjectionMode::AxisParallel)
     };
     let mut user = HeuristicUser::default();
-    let outcome = InteractiveSearch::new(config).run(&data.points, &data.points[q], &mut user);
+    let outcome = InteractiveSearch::new(config)
+        .run_with(
+            &data.points,
+            &data.points[q],
+            &mut user,
+            hinn_core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
     let minors = &outcome.transcript.majors[0].minors;
     assert!(minors.len() >= 2, "need at least two minor iterations");
 

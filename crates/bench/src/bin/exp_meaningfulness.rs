@@ -40,7 +40,14 @@ fn main() {
             .with_support(25)
             .with_mode(ProjectionMode::AxisParallel),
     )
-    .run(&data.points, &data.points[q], &mut user);
+    .run_with(
+        &data.points,
+        &data.points[q],
+        &mut user,
+        hinn_core::RunOptions::default(),
+    )
+    .expect("interactive session")
+    .into_outcome();
     let clustered_curve = sorted_probs(&outcome.probabilities);
     report(
         "Synthetic 1 (clustered)",
@@ -58,7 +65,14 @@ fn main() {
             .with_support(25)
             .with_mode(ProjectionMode::AxisParallel),
     )
-    .run(&uniform.points, &uq, &mut user2);
+    .run_with(
+        &uniform.points,
+        &uq,
+        &mut user2,
+        hinn_core::RunOptions::default(),
+    )
+    .expect("interactive session")
+    .into_outcome();
     let uniform_curve = sorted_probs(&outcome_u.probabilities);
     report("Uniform", &outcome_u.diagnosis, 0, &uniform_curve);
 

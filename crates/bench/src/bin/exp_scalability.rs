@@ -60,8 +60,15 @@ fn main() {
         let ms = time(
             || {
                 let mut user = HeuristicUser::default();
-                let outcome =
-                    InteractiveSearch::new(config.clone()).run(&data.points, &query, &mut user);
+                let outcome = InteractiveSearch::new(config.clone())
+                    .run_with(
+                        &data.points,
+                        &query,
+                        &mut user,
+                        hinn_core::RunOptions::default(),
+                    )
+                    .expect("interactive session")
+                    .into_outcome();
                 views = outcome.transcript.total_views();
             },
             3,

@@ -58,8 +58,15 @@ fn main() {
             let config = SearchConfig::default()
                 .with_support(support)
                 .with_mode(mode);
-            let outcome =
-                InteractiveSearch::new(config).run(&data.points, &data.points[q], &mut user);
+            let outcome = InteractiveSearch::new(config)
+                .run_with(
+                    &data.points,
+                    &data.points[q],
+                    &mut user,
+                    hinn_core::RunOptions::default(),
+                )
+                .expect("interactive session")
+                .into_outcome();
             let (set, k) = match outcome.diagnosis {
                 SearchDiagnosis::Meaningful { natural_k, .. } => (
                     outcome.natural_neighbors().expect("meaningful"),

@@ -81,11 +81,15 @@ fn main() {
 
         let interactive: Vec<(usize, Option<usize>)> = parallel_map(&queries, |&q| {
             let mut user = HeuristicUser::default();
-            let outcome = InteractiveSearch::new(SearchConfig::default().with_support(20)).run(
-                &data.points,
-                &data.points[q],
-                &mut user,
-            );
+            let outcome = InteractiveSearch::new(SearchConfig::default().with_support(20))
+                .run_with(
+                    &data.points,
+                    &data.points[q],
+                    &mut user,
+                    hinn_core::RunOptions::default(),
+                )
+                .expect("interactive session")
+                .into_outcome();
             let set = outcome
                 .natural_neighbors()
                 .unwrap_or_else(|| outcome.neighbors.clone());

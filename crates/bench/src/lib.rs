@@ -193,7 +193,15 @@ mod tests {
             ..SearchConfig::default().with_support(10)
         };
         let mut user = hinn_user::HeuristicUser::default();
-        let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+        let outcome = InteractiveSearch::new(config)
+            .run_with(
+                &data.points,
+                &query,
+                &mut user,
+                hinn_core::RunOptions::default(),
+            )
+            .expect("interactive session")
+            .into_outcome();
         let dir = artifact_dir("selftest_gallery");
         let files = save_session_gallery(&outcome, &dir).expect("gallery");
         // One SVG per view + the report.

@@ -144,6 +144,18 @@ impl<V> LruCache<V> {
         value
     }
 
+    /// Remove `key`'s entry, returning it if it was resident. Unlike
+    /// eviction this is a caller-initiated *ownership transfer* — used by
+    /// stores whose values are checked out and re-inserted under the same
+    /// key (e.g. suspended-session snapshots) — so it emits no
+    /// `cache.evict` and bumps no probe counters.
+    pub fn remove(&self, key: Fingerprint) -> Option<Arc<V>> {
+        if self.is_disabled() {
+            return None;
+        }
+        self.lock().map.remove(&key.0).map(|slot| slot.value)
+    }
+
     /// The memoization workhorse: return the resident value for `key`, or
     /// compute it with `build` (outside the lock) and insert it. Disabled
     /// caches just call `build`.
@@ -212,6 +224,20 @@ mod tests {
         assert!(c.get(fp(2)).is_none(), "LRU entry evicted");
         assert!(c.get(fp(1)).is_some());
         assert!(c.get(fp(3)).is_some());
+    }
+
+    #[test]
+    fn remove_transfers_ownership_out() {
+        let _x = crate::testlock::exclusive();
+        let c: LruCache<u64> = LruCache::new(2);
+        c.insert(fp(1), 10);
+        let taken = c.remove(fp(1));
+        assert_eq!(taken.as_deref(), Some(&10));
+        assert!(c.remove(fp(1)).is_none(), "second remove finds nothing");
+        // The slot is genuinely free again: a re-insert under the same key
+        // stores the *new* value (insert keeps existing entries otherwise).
+        let v = c.insert(fp(1), 11);
+        assert_eq!(*v, 11);
     }
 
     #[test]

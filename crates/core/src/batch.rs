@@ -20,7 +20,7 @@ use crate::config::{BandwidthMode, ProjectionMode, SearchConfig};
 use crate::degrade::{DegradationEvent, DegradationKind};
 use crate::diagnosis::SearchDiagnosis;
 use crate::error::HinnError;
-use crate::search::{InteractiveSearch, SearchOutcome};
+use crate::search::{InteractiveSearch, RunOptions, RunOutput, SearchOutcome};
 use hinn_par::Parallelism;
 use hinn_user::UserModel;
 use std::sync::Arc;
@@ -382,7 +382,9 @@ where
     let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let engine = InteractiveSearch::try_new(config.clone())?.with_session_cache(cache.clone());
         let mut user = make_user();
-        engine.try_run(points, query, user.as_mut())
+        engine
+            .run_with(points, query, user.as_mut(), RunOptions::default())
+            .map(RunOutput::into_outcome)
     }));
     match attempt {
         Ok(result) => result,

@@ -23,6 +23,15 @@ impl PreferenceCounts {
         }
     }
 
+    /// Rebuild counts from their serialized parts (`v(·)` per original id
+    /// and `(n_i, w_i)` per view) — the inverse of [`Self::counts`] /
+    /// [`Self::views`], used by session-snapshot restore. The parts are
+    /// stored verbatim, so a restored value is bit-identical to the one
+    /// that was serialized.
+    pub fn from_parts(v: Vec<f64>, picks: Vec<(usize, f64)>) -> Self {
+        Self { v, picks }
+    }
+
     /// Record one projection's user picks: `original_ids` of the selected
     /// points and the projection weight `w`.
     ///

@@ -1,0 +1,1272 @@
+//! The sans-io session engine: the interactive loop of Fig. 2 as an
+//! explicit state machine.
+//!
+//! [`crate::InteractiveSearch::run_with`] and its legacy wrappers drive the
+//! paper's protocol through a *blocking callback*: the engine calls
+//! `user.respond(...)` and waits. That shape cannot serve a real frontend —
+//! a web UI or RPC handler must own the event loop, hold thousands of
+//! half-finished sessions, and answer each user on *their* schedule. The
+//! [`SessionEngine`] inverts the control flow:
+//!
+//! ```text
+//!   start ──► Step::NeedResponse(view) ──► caller shows the view
+//!     ▲                                        │
+//!     │                                        ▼
+//!   submit(UserResponse) ◄──────────── user picks a separator
+//!     │
+//!     ├─► Step::NeedResponse(next view)   (loop)
+//!     └─► Step::Done(SearchOutcome)
+//! ```
+//!
+//! Between `NeedResponse` and the next `submit` the engine is *suspended*:
+//! it holds no locks, runs no threads, reads no clocks, and can be moved
+//! across threads, [snapshotted](SessionEngine::snapshot) to a text blob,
+//! and [resumed](SessionEngine::resume) in another process. The engine
+//! never blocks and never calls the user — those are the two invariants
+//! everything in `hinn-serve` is built on.
+//!
+//! # Equivalence to the callback loop
+//!
+//! The engine's state transitions are a line-for-line restructuring of the
+//! pre-existing `try_run` loop; `run_with` is now a thin driver over it,
+//! so the golden-session, parallel-equivalence, cache-equivalence, and
+//! obs-invariance suites all pin the engine to the callback-era outputs
+//! bit for bit.
+//!
+//! # Deadlines
+//!
+//! A configured [`crate::SearchConfig::deadline`] bounds the session's
+//! *compute* time, accumulated across `start`/`submit` segments (and
+//! preserved through snapshot/resume). Time the user spends thinking while
+//! the engine is suspended is free — the natural semantics for a served
+//! session. Checks happen cooperatively at minor-iteration boundaries, as
+//! before.
+
+use crate::cache::{ProjectionCacheCtx, SessionCache};
+use crate::config::{BandwidthMode, SearchConfig};
+use crate::counts::PreferenceCounts;
+use crate::degrade::{DegradationEvent, DegradationKind, DegradationLog};
+use crate::diagnosis::SearchDiagnosis;
+use crate::error::HinnError;
+use crate::meaning::iteration_probabilities;
+use crate::projection::{try_find_query_centered_projection_ctx, ProjectionResult};
+use crate::search::SearchOutcome;
+use crate::snapshot::{self, EngineState, SessionSnapshot};
+use crate::transcript::{MajorRecord, MinorPhases, MinorRecord, Transcript};
+use hinn_cache::{Fingerprint, Fnv128};
+use hinn_kde::{ProfileNotes, VisualProfile};
+use hinn_linalg::Subspace;
+use hinn_metrics::drop::DropConfig;
+use hinn_user::{UserResponse, ViewContext};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What the engine asks of its caller next.
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// A view is ready; show it to the user and [`SessionEngine::submit`]
+    /// their response.
+    NeedResponse(ViewRequest),
+    /// The session finished; the engine is spent.
+    Done(Box<SearchOutcome>),
+}
+
+impl Step {
+    /// The pending view of a `NeedResponse` step.
+    pub fn view(&self) -> Option<&ViewRequest> {
+        match self {
+            Self::NeedResponse(v) => Some(v),
+            Self::Done(_) => None,
+        }
+    }
+
+    /// Is the session finished?
+    pub fn is_done(&self) -> bool {
+        matches!(self, Self::Done(_))
+    }
+
+    /// Consume a `Done` step into its outcome.
+    pub fn into_outcome(self) -> Option<SearchOutcome> {
+        match self {
+            Self::NeedResponse(_) => None,
+            Self::Done(o) => Some(*o),
+        }
+    }
+}
+
+/// One view awaiting the user's separator: the rendered density profile
+/// plus the iteration context (which rows map to which original points).
+#[derive(Clone, Debug)]
+pub struct ViewRequest {
+    profile: Arc<(VisualProfile, ProfileNotes)>,
+    context: ViewContext,
+}
+
+impl ViewRequest {
+    /// The visual density profile to show.
+    pub fn profile(&self) -> &VisualProfile {
+        &self.profile.0
+    }
+
+    /// Iteration context of the view.
+    pub fn context(&self) -> &ViewContext {
+        &self.context
+    }
+}
+
+/// The data set a session runs against: borrowed for the classic
+/// run-to-completion drivers, `Arc`-shared for suspended serving sessions
+/// that must outlive any caller frame.
+pub(crate) enum PointStore<'a> {
+    Borrowed(&'a [Vec<f64>]),
+    Shared(Arc<Vec<Vec<f64>>>),
+}
+
+impl PointStore<'_> {
+    fn as_slice(&self) -> &[Vec<f64>] {
+        match self {
+            PointStore::Borrowed(p) => p,
+            PointStore::Shared(p) => p.as_slice(),
+        }
+    }
+}
+
+/// A [`SessionEngine`] that owns (shares) its data set and can therefore
+/// be stored, moved across threads, and suspended indefinitely.
+pub type OwnedSessionEngine = SessionEngine<'static>;
+
+/// In-flight state of one major iteration.
+struct MajorCtx {
+    alive_points: Vec<Vec<f64>>,
+    alive_fp: Option<Fingerprint>,
+    counts: PreferenceCounts,
+    ec: Subspace,
+    major_rec: MajorRecord,
+    /// Index of the next minor iteration to compute (or of the pending
+    /// view while suspended).
+    minor: usize,
+}
+
+/// A computed view waiting for its response.
+struct PendingView {
+    request: ViewRequest,
+    proj: Arc<(ProjectionResult, Vec<DegradationEvent>)>,
+    /// Projection/profile wall times, present iff a recorder was installed
+    /// when the view was computed. `t_profile` anchors `select_ns`, which
+    /// therefore includes the user's think time — exactly the callback
+    /// loop's semantics.
+    projection_ns: u64,
+    profile_ns: u64,
+    t_profile: Option<Instant>,
+}
+
+enum EngineStatus {
+    Active,
+    Finished,
+    Failed,
+}
+
+/// The interactive search loop with the user inverted out of it (see
+/// module docs).
+pub struct SessionEngine<'a> {
+    config: SearchConfig,
+    drop_config: DropConfig,
+    cache: Arc<SessionCache>,
+    points: PointStore<'a>,
+    query: Vec<f64>,
+    // Derived once at start.
+    n: usize,
+    d: usize,
+    s_eff: usize,
+    n_minors: usize,
+    dataset_fp: Option<Fingerprint>,
+    /// Compute time accumulated across segments (tracked only when a
+    /// deadline is configured; the default path stays clock-free).
+    pub(crate) spent: Duration,
+    // Session-loop state (the snapshot surface).
+    pub(crate) alive: Vec<usize>,
+    pub(crate) p_sum: Vec<f64>,
+    pub(crate) transcript: Transcript,
+    pub(crate) majors_run: usize,
+    pub(crate) prev_top: Option<Vec<usize>>,
+    /// Index of the current (or next) major iteration.
+    pub(crate) major: usize,
+    /// Termination-by-stability latch.
+    pub(crate) stopped: bool,
+    cur: Option<MajorCtx>,
+    pending: Option<PendingView>,
+    status: EngineStatus,
+}
+
+impl<'a> SessionEngine<'a> {
+    /// Start a session over borrowed `points` with its own fresh cache.
+    /// Returns the engine together with its first [`Step`].
+    pub fn start(
+        config: SearchConfig,
+        points: &'a [Vec<f64>],
+        query: &[f64],
+    ) -> Result<(Self, Step), HinnError> {
+        config.try_validate()?;
+        let cache = Arc::new(SessionCache::new(config.cache));
+        Self::start_inner(
+            config,
+            DropConfig::default(),
+            cache,
+            PointStore::Borrowed(points),
+            query,
+        )
+    }
+
+    /// Start a session that *shares* its data set and cache — the serving
+    /// form: the engine is `'static` and can be suspended in a session
+    /// table while other sessions of the same data set reuse the cache.
+    pub fn start_shared(
+        config: SearchConfig,
+        points: Arc<Vec<Vec<f64>>>,
+        query: &[f64],
+        cache: Arc<SessionCache>,
+    ) -> Result<(OwnedSessionEngine, Step), HinnError> {
+        config.try_validate()?;
+        SessionEngine::start_inner(
+            config,
+            DropConfig::default(),
+            cache,
+            PointStore::Shared(points),
+            query,
+        )
+    }
+
+    pub(crate) fn start_inner(
+        config: SearchConfig,
+        drop_config: DropConfig,
+        cache: Arc<SessionCache>,
+        points: PointStore<'a>,
+        query: &[f64],
+    ) -> Result<(Self, Step), HinnError> {
+        // No session span here: `drive` opens one per segment, and nesting
+        // a second would corrupt the span-path schema.
+        validate_inputs(points.as_slice(), query)?;
+        let pts = points.as_slice();
+        let n = pts.len();
+        let d = pts[0].len();
+        let s_eff = config.effective_support(d).min(n);
+        let n_minors = (d / 2).max(1);
+        if hinn_obs::enabled() {
+            hinn_obs::gauge("search.points", n as f64);
+            hinn_obs::gauge("search.dims", d as f64);
+            hinn_obs::gauge("search.threads", config.parallelism.threads() as f64);
+        }
+        // Content fingerprint for the session caches, skipped entirely
+        // when every cache is off so that path stays hash-free.
+        let dataset_fp = (!cache.is_disabled()).then(|| Fingerprint::of_points(pts));
+        let mut engine = SessionEngine {
+            config,
+            drop_config,
+            cache,
+            points,
+            query: query.to_vec(),
+            n,
+            d,
+            s_eff,
+            n_minors,
+            dataset_fp,
+            spent: Duration::ZERO,
+            alive: (0..n).collect(),
+            p_sum: vec![0.0; n],
+            transcript: Transcript::default(),
+            majors_run: 0,
+            prev_top: None,
+            major: 0,
+            stopped: false,
+            cur: None,
+            pending: None,
+            status: EngineStatus::Active,
+        };
+        let step = engine.drive(None)?;
+        Ok((engine, step))
+    }
+
+    /// Override the steep-drop detector configuration (before any
+    /// response has been submitted).
+    pub fn with_drop_config(mut self, drop_config: DropConfig) -> Self {
+        self.drop_config = drop_config;
+        self
+    }
+
+    /// Submit the user's response to the pending view and run the engine
+    /// forward to the next suspension point (or completion).
+    ///
+    /// # Errors
+    /// [`HinnError::InvalidInput`] when no view is pending (the session
+    /// already finished or failed); [`HinnError::Deadline`] when the
+    /// compute budget expires; any projection-pipeline error the
+    /// degradation ladder could not absorb. After an error the engine is
+    /// spent: further submits report `InvalidInput`.
+    pub fn submit(&mut self, response: UserResponse) -> Result<Step, HinnError> {
+        if !matches!(self.status, EngineStatus::Active) || self.pending.is_none() {
+            return Err(HinnError::InvalidInput {
+                phase: "engine.submit",
+                message: "SessionEngine: no view awaiting a response".into(),
+            });
+        }
+        self.drive(Some(response))
+    }
+
+    /// The view currently awaiting a response (`None` once the session
+    /// finished or failed).
+    pub fn pending_view(&self) -> Option<&ViewRequest> {
+        self.pending.as_ref().map(|p| &p.request)
+    }
+
+    /// Is the engine still suspended, waiting for a response?
+    pub fn is_suspended(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// `(major, minor)` cursor of the pending view (or of the next view
+    /// to compute).
+    pub fn cursor(&self) -> (usize, usize) {
+        (self.major, self.cur.as_ref().map_or(0, |c| c.minor))
+    }
+
+    /// Major iterations completed so far.
+    pub fn majors_run(&self) -> usize {
+        self.majors_run
+    }
+
+    /// Candidate points still alive.
+    pub fn alive_len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Compute time consumed so far (tracked only when a deadline is
+    /// configured; [`Duration::ZERO`] otherwise).
+    pub fn spent_compute(&self) -> Duration {
+        self.spent
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// The session's cache (shared with whoever started the engine).
+    pub fn session_cache(&self) -> &Arc<SessionCache> {
+        &self.cache
+    }
+
+    /// Serialize the suspended session to a [`SessionSnapshot`] (see
+    /// [`crate::snapshot`] for the format and what it guarantees). The
+    /// pending view is *not* serialized — resume recomputes it, and
+    /// determinism makes the recomputation bit-identical.
+    ///
+    /// # Errors
+    /// [`HinnError::InvalidInput`] when the engine is not suspended (there
+    /// is nothing between-views to capture) or when
+    /// [`SearchConfig::record_profiles`] is set (recorded profiles are
+    /// multi-megabyte render artifacts the text format refuses to carry).
+    pub fn snapshot(&self) -> Result<SessionSnapshot, HinnError> {
+        let snapshot_err = |message: String| HinnError::InvalidInput {
+            phase: "session.snapshot",
+            message,
+        };
+        if self.config.record_profiles {
+            return Err(snapshot_err(
+                "SessionEngine::snapshot: record_profiles sessions cannot be snapshotted"
+                    .to_string(),
+            ));
+        }
+        let cur = match (&self.cur, &self.pending) {
+            (Some(cur), Some(_)) => cur,
+            _ => {
+                return Err(snapshot_err(
+                    "SessionEngine::snapshot: engine is not suspended at a view".to_string(),
+                ))
+            }
+        };
+        let state = EngineState {
+            n: self.n,
+            d: self.d,
+            config_fp: config_fingerprint(&self.config),
+            query: self.query.clone(),
+            dataset_fp: self.dataset_fp,
+            spent_ns: self.spent.as_nanos() as u64,
+            major: self.major,
+            minor: cur.minor,
+            majors_run: self.majors_run,
+            stopped: self.stopped,
+            alive: self.alive.clone(),
+            p_sum: self.p_sum.clone(),
+            prev_top: self.prev_top.clone(),
+            counts_v: cur.counts.counts().to_vec(),
+            counts_picks: cur.counts.views().to_vec(),
+            ec: cur.ec.clone(),
+            major_n_before: cur.major_rec.n_points_before,
+            major_minors: cur.major_rec.minors.clone(),
+            transcript_majors: self.transcript.majors.clone(),
+            degradations: self.transcript.degradations.events.clone(),
+        };
+        Ok(snapshot::render(&state))
+    }
+
+    /// Resume a snapshotted session over borrowed `points` with a fresh
+    /// cache. Returns the engine re-suspended at the same view it was
+    /// snapshotted at (recomputed, bit-identically).
+    ///
+    /// `config` must match the loop-relevant knobs of the session that was
+    /// snapshotted (guarded by a fingerprint); thread budget, cache
+    /// policy, and deadline may differ — none of them change results.
+    pub fn resume(
+        config: SearchConfig,
+        points: &'a [Vec<f64>],
+        snapshot: &SessionSnapshot,
+    ) -> Result<(Self, Step), HinnError> {
+        config.try_validate()?;
+        let cache = Arc::new(SessionCache::new(config.cache));
+        Self::resume_inner(
+            config,
+            DropConfig::default(),
+            cache,
+            PointStore::Borrowed(points),
+            snapshot,
+        )
+    }
+
+    /// [`SessionEngine::resume`] in the serving form: shared data set and
+    /// cache, `'static` engine (see [`SessionEngine::start_shared`]).
+    pub fn resume_shared(
+        config: SearchConfig,
+        points: Arc<Vec<Vec<f64>>>,
+        snapshot: &SessionSnapshot,
+        cache: Arc<SessionCache>,
+    ) -> Result<(OwnedSessionEngine, Step), HinnError> {
+        config.try_validate()?;
+        SessionEngine::resume_inner(
+            config,
+            DropConfig::default(),
+            cache,
+            PointStore::Shared(points),
+            snapshot,
+        )
+    }
+
+    pub(crate) fn resume_inner(
+        config: SearchConfig,
+        drop_config: DropConfig,
+        cache: Arc<SessionCache>,
+        points: PointStore<'a>,
+        snap: &SessionSnapshot,
+    ) -> Result<(Self, Step), HinnError> {
+        let resume_err = |message: String| HinnError::InvalidInput {
+            phase: "session.resume",
+            message: format!("SessionEngine::resume: {message}"),
+        };
+        let state = snapshot::parse(snap).map_err(&resume_err)?;
+        validate_inputs(points.as_slice(), &state.query)?;
+        let pts = points.as_slice();
+        let n = pts.len();
+        let d = pts[0].len();
+        if n != state.n || d != state.d {
+            return Err(resume_err(format!(
+                "data set shape {n}x{d} does not match snapshot {}x{}",
+                state.n, state.d
+            )));
+        }
+        if config_fingerprint(&config) != state.config_fp {
+            return Err(resume_err(
+                "configuration differs from the snapshotted session's".to_string(),
+            ));
+        }
+        let dataset_fp = (!cache.is_disabled()).then(|| Fingerprint::of_points(pts));
+        if let (Some(now), Some(then)) = (dataset_fp, state.dataset_fp) {
+            if now != then {
+                return Err(resume_err(
+                    "data set content differs from the snapshotted session's".to_string(),
+                ));
+            }
+        }
+        let s_eff = config.effective_support(d).min(n);
+        let n_minors = (d / 2).max(1);
+        if state.alive.len() < 2 || state.alive.iter().any(|&i| i >= n) {
+            return Err(resume_err("alive set is out of range".to_string()));
+        }
+        if state.p_sum.len() != n || state.counts_v.len() != n {
+            return Err(resume_err(
+                "per-point vectors have the wrong length".to_string(),
+            ));
+        }
+        if state.minor >= n_minors
+            || state.major >= config.max_major_iterations
+            || state.ec.ambient_dim() != d
+        {
+            return Err(resume_err(
+                "cursor is outside the session's bounds".to_string(),
+            ));
+        }
+        let alive_points: Vec<Vec<f64>> = state.alive.iter().map(|&i| pts[i].clone()).collect();
+        let alive_fp = dataset_fp.map(|fp| SessionCache::alive_key(fp, &state.alive));
+        let mut engine = SessionEngine {
+            config,
+            drop_config,
+            cache,
+            points,
+            query: state.query,
+            n,
+            d,
+            s_eff,
+            n_minors,
+            dataset_fp,
+            spent: Duration::from_nanos(state.spent_ns),
+            alive: state.alive,
+            p_sum: state.p_sum,
+            transcript: Transcript {
+                majors: state.transcript_majors,
+                degradations: DegradationLog {
+                    events: state.degradations,
+                },
+            },
+            majors_run: state.majors_run,
+            prev_top: state.prev_top,
+            major: state.major,
+            stopped: state.stopped,
+            cur: Some(MajorCtx {
+                alive_points,
+                alive_fp,
+                counts: PreferenceCounts::from_parts(state.counts_v, state.counts_picks),
+                ec: state.ec,
+                major_rec: MajorRecord {
+                    minors: state.major_minors,
+                    n_points_before: state.major_n_before,
+                    ..MajorRecord::default()
+                },
+                minor: state.minor,
+            }),
+            pending: None,
+            status: EngineStatus::Active,
+        };
+        // Recompute the view that was pending at suspension time: a pure
+        // function of the restored state, so it comes out bit-identical.
+        let step = engine.drive(None)?;
+        Ok((engine, step))
+    }
+
+    /// One driver segment: apply a response if one was submitted, then run
+    /// until the next suspension point, completion, or error. All compute
+    /// of the session happens inside these segments.
+    fn drive(&mut self, response: Option<UserResponse>) -> Result<Step, HinnError> {
+        let _session_span = hinn_obs::span!("search.session");
+        // The segment clock exists only when a deadline is configured: the
+        // default path stays clock-free outside instrumentation, which the
+        // obs-invariance suite relies on.
+        let seg_start = self.config.deadline.map(|_| Instant::now());
+        let out = self.drive_inner(response, seg_start);
+        if let Some(t0) = seg_start {
+            self.spent += t0.elapsed();
+        }
+        match &out {
+            Ok(Step::Done(_)) => self.status = EngineStatus::Finished,
+            Ok(Step::NeedResponse(_)) => {}
+            Err(_) => self.status = EngineStatus::Failed,
+        }
+        out
+    }
+
+    fn drive_inner(
+        &mut self,
+        response: Option<UserResponse>,
+        seg_start: Option<Instant>,
+    ) -> Result<Step, HinnError> {
+        if let Some(r) = response {
+            // The apply half of the suspended minor iteration runs under
+            // the same span path as its compute half, so density
+            // connection (`kde.connect`) keeps its place in the span tree.
+            let _major_span = hinn_obs::span!("search.major");
+            let _minor_span = hinn_obs::span!("search.minor");
+            self.apply_response(r);
+        }
+        loop {
+            if self.cur.is_some() {
+                let _major_span = hinn_obs::span!("search.major");
+                if let Some(request) = self.compute_minors(seg_start)? {
+                    return Ok(Step::NeedResponse(request));
+                }
+                // Minor loop exhausted: close out the major iteration
+                // (still inside the major span — `meaning.update` nests
+                // under it, as in the callback loop).
+                self.finish_major();
+            } else if self.stopped
+                || self.major >= self.config.max_major_iterations
+                || self.alive.len() < 2
+            {
+                return Ok(Step::Done(Box::new(self.finish_session())));
+            } else {
+                self.begin_major();
+            }
+        }
+    }
+
+    /// Set up the next major iteration (Fig. 2's outer loop head).
+    fn begin_major(&mut self) {
+        let _major_span = hinn_obs::span!("search.major");
+        // Candidate-set size entering this major iteration.
+        hinn_obs::observe("search.candidates", self.alive.len() as f64);
+        let pts = self.points.as_slice();
+        let alive_points: Vec<Vec<f64>> = self.alive.iter().map(|&i| pts[i].clone()).collect();
+        // Every cache key below derives from this fingerprint, so a stale
+        // entry is unreachable by construction: shrinking the alive set
+        // changes the key instead of invalidating anything.
+        let alive_fp = self
+            .dataset_fp
+            .map(|fp| SessionCache::alive_key(fp, &self.alive));
+        self.cur = Some(MajorCtx {
+            alive_points,
+            alive_fp,
+            counts: PreferenceCounts::new(self.n),
+            ec: Subspace::full(self.d),
+            major_rec: MajorRecord {
+                n_points_before: self.alive.len(),
+                ..MajorRecord::default()
+            },
+            minor: 0,
+        });
+    }
+
+    /// Run minor iterations of the current major until one suspends
+    /// (`Some(view)`) or the minor loop is exhausted (`None`).
+    fn compute_minors(
+        &mut self,
+        seg_start: Option<Instant>,
+    ) -> Result<Option<ViewRequest>, HinnError> {
+        loop {
+            {
+                let cur = match &self.cur {
+                    Some(c) => c,
+                    None => return Ok(None),
+                };
+                if cur.minor >= self.n_minors || cur.ec.dim() < 2 {
+                    return Ok(None);
+                }
+            }
+            // Deterministic fault point: a forced in-session panic, for
+            // proving that the batch boundary contains it.
+            if hinn_fault::point("search.panic") {
+                panic!("forced in-session panic (fault point search.panic)");
+            }
+            // Cooperative deadline check at the view boundary — the
+            // overshoot is at most one view's work. The fault point is
+            // consulted first so forced expiry fires deterministically
+            // regardless of machine speed.
+            if let Some(budget) = self.config.deadline {
+                let elapsed = self.spent + seg_start.map(|t| t.elapsed()).unwrap_or_default();
+                if hinn_fault::point("search.deadline") || elapsed > budget {
+                    return Err(HinnError::Deadline {
+                        phase: "search.minor",
+                        elapsed,
+                        budget,
+                    });
+                }
+            }
+            let _minor_span = hinn_obs::span!("search.minor");
+            if let Some(request) = self.compute_view()? {
+                return Ok(Some(request));
+            }
+            // View skipped (SkippedMinorView rung): the minor index was
+            // consumed; try the next one in the remaining subspace.
+        }
+    }
+
+    /// Compute one view (Figs. 3–5). Returns the suspension request, or
+    /// `None` when the view was skipped via the degradation ladder.
+    fn compute_view(&mut self) -> Result<Option<ViewRequest>, HinnError> {
+        let par = self.config.parallelism;
+        let cur = match self.cur.as_mut() {
+            Some(c) => c,
+            None => return Ok(None),
+        };
+        let minor = cur.minor;
+        let major = self.major;
+        // Phase wall-clocks for the transcript; only read while a recorder
+        // is installed so the disabled path stays free of clock calls (and
+        // the invariance tests compare fields that exist on both paths).
+        let timing = hinn_obs::enabled();
+        let t_start = timing.then(Instant::now);
+        // L1: the whole Fig. 3 projection search, memoized with its
+        // degradation events (replayed on a hit so warm transcripts match
+        // cold ones). Errors are never cached.
+        let proj_pair: Arc<(ProjectionResult, Vec<DegradationEvent>)> = match cur.alive_fp {
+            Some(afp) => {
+                let cache_ctx = ProjectionCacheCtx {
+                    alive_fp: afp,
+                    cache: &self.cache,
+                };
+                let key = SessionCache::projection_key(
+                    afp,
+                    &self.query,
+                    &cur.ec,
+                    self.s_eff,
+                    self.config.projection_mode,
+                );
+                self.cache.projection.get_or_try_insert_with(key, || {
+                    try_find_query_centered_projection_ctx(
+                        par,
+                        &cur.alive_points,
+                        &self.query,
+                        &cur.ec,
+                        self.s_eff,
+                        self.config.projection_mode,
+                        Some(&cache_ctx),
+                    )
+                })?
+            }
+            None => Arc::new(try_find_query_centered_projection_ctx(
+                par,
+                &cur.alive_points,
+                &self.query,
+                &cur.ec,
+                self.s_eff,
+                self.config.projection_mode,
+                None,
+            )?),
+        };
+        let proj = &proj_pair.0;
+        self.transcript
+            .degradations
+            .absorb(proj_pair.1.clone(), major, minor);
+        let t_proj = timing.then(Instant::now);
+        // L2: projected 2-D coordinates plus the grid KDE. The projection
+        // step above is part of the memoized value, so a hit skips both
+        // the O(n·d) projection and the O(n·p²) density estimation.
+        let build_profile = || {
+            let mut pts2d: Vec<[f64; 2]> = vec![[0.0; 2]; cur.alive_points.len()];
+            hinn_par::fill_chunks(par, &mut pts2d, |start, slice| {
+                for (off, slot) in slice.iter_mut().enumerate() {
+                    let c = proj.projection.project(&cur.alive_points[start + off]);
+                    *slot = [c[0], c[1]];
+                }
+            });
+            let qc = proj.projection.project(&self.query);
+            match self.config.bandwidth_mode {
+                BandwidthMode::Fixed => VisualProfile::try_build_with(
+                    par,
+                    pts2d,
+                    [qc[0], qc[1]],
+                    self.config.grid_n,
+                    self.config.bandwidth_scale,
+                ),
+                BandwidthMode::Adaptive { alpha } => VisualProfile::try_build_adaptive_with(
+                    par,
+                    pts2d,
+                    [qc[0], qc[1]],
+                    self.config.grid_n,
+                    self.config.bandwidth_scale,
+                    alpha,
+                ),
+            }
+        };
+        let built: Result<Arc<(VisualProfile, ProfileNotes)>, _> = match cur.alive_fp {
+            Some(afp) => {
+                let key = SessionCache::profile_key(
+                    afp,
+                    &self.query,
+                    &proj.projection,
+                    self.config.grid_n,
+                    self.config.bandwidth_scale,
+                    self.config.bandwidth_mode,
+                );
+                self.cache
+                    .profile
+                    .get_or_try_insert_with(key, build_profile)
+            }
+            None => build_profile().map(Arc::new),
+        };
+        let profile_pair = match built {
+            Ok(p) => p,
+            Err(e) => {
+                // An unusable view is skipped, not fatal: record the skip
+                // and continue the session in the remaining subspace
+                // (ladder rung: SkippedMinorView).
+                self.transcript.degradations.push(DegradationEvent {
+                    major: Some(major),
+                    minor: Some(minor),
+                    kind: DegradationKind::SkippedMinorView,
+                    detail: format!("visual profile unavailable ({e}); view skipped"),
+                });
+                cur.ec = proj.remainder.clone();
+                cur.minor += 1;
+                return Ok(None);
+            }
+        };
+        if profile_pair.1.bandwidth_floored {
+            self.transcript.degradations.push(DegradationEvent {
+                major: Some(major),
+                minor: Some(minor),
+                kind: DegradationKind::BandwidthFloored,
+                detail: "zero-spread projection; KDE bandwidth floored".into(),
+            });
+        }
+        let t_profile = timing.then(Instant::now);
+        let context = ViewContext {
+            major,
+            minor,
+            original_ids: self.alive.clone(),
+            total_n: self.n,
+        };
+        let (projection_ns, profile_ns) = match (t_start, t_proj, t_profile) {
+            (Some(a), Some(b), Some(c)) => ((b - a).as_nanos() as u64, (c - b).as_nanos() as u64),
+            _ => (0, 0),
+        };
+        let request = ViewRequest {
+            profile: profile_pair.clone(),
+            context,
+        };
+        self.pending = Some(PendingView {
+            request: request.clone(),
+            proj: proj_pair,
+            projection_ns,
+            profile_ns,
+            t_profile,
+        });
+        Ok(Some(request))
+    }
+
+    /// Fold the user's response into the session (Figs. 6–7): selection,
+    /// preference counts, transcript record, subspace advance.
+    fn apply_response(&mut self, response: UserResponse) {
+        let pending = match self.pending.take() {
+            Some(p) => p,
+            None => return,
+        };
+        let cur = match self.cur.as_mut() {
+            Some(c) => c,
+            None => return,
+        };
+        let profile = &pending.request.profile.0;
+        let minor = pending.request.context.minor;
+        let major = pending.request.context.major;
+        let picked_rows: Vec<usize> = match &response {
+            UserResponse::Threshold(tau) => profile.select(*tau, self.config.corner_rule),
+            UserResponse::Polygon(lines) => profile.select_polygon(lines),
+            UserResponse::Discard => Vec::new(),
+        };
+        let w = self.config.weight(minor);
+        if picked_rows.is_empty() {
+            cur.counts.record_discard(w);
+        } else {
+            let picked_ids: Vec<usize> = picked_rows.iter().map(|&r| self.alive[r]).collect();
+            cur.counts.record_view(&picked_ids, w);
+        }
+        let query_peak_ratio = if profile.max_density() > 0.0 {
+            profile.query_density() / profile.max_density()
+        } else {
+            0.0
+        };
+        let phases = pending.t_profile.map(|c| MinorPhases {
+            projection_ns: pending.projection_ns,
+            profile_ns: pending.profile_ns,
+            select_ns: c.elapsed().as_nanos() as u64,
+        });
+        if let Some(p) = &phases {
+            hinn_obs::observe("search.picked", picked_rows.len() as f64);
+            hinn_obs::observe("search.minor_ms", p.total_ns() as f64 / 1e6);
+        }
+        cur.major_rec.minors.push(MinorRecord {
+            major,
+            minor,
+            projection: pending.proj.0.projection.clone(),
+            variance_ratios: pending.proj.0.variance_ratios.clone(),
+            response,
+            n_picked: picked_rows.len(),
+            query_peak_ratio,
+            profile: if self.config.record_profiles {
+                Some(profile.clone())
+            } else {
+                None
+            },
+            phases,
+        });
+        cur.ec = pending.proj.0.remainder.clone();
+        cur.minor += 1;
+    }
+
+    /// Close out the current major iteration (Figs. 2 & 8): probabilities,
+    /// stability check, survivor filter.
+    fn finish_major(&mut self) {
+        let mut cur = match self.cur.take() {
+            Some(c) => c,
+            None => return,
+        };
+        // Fig. 8: convert counts to per-iteration probabilities.
+        let probs = iteration_probabilities(&cur.counts, &self.alive);
+        for (k, &id) in self.alive.iter().enumerate() {
+            self.p_sum[id] += probs[k];
+        }
+        self.majors_run += 1;
+
+        // Termination check on the stability of the top-s set.
+        let current_probs: Vec<f64> = self
+            .p_sum
+            .iter()
+            .map(|p| p / self.majors_run as f64)
+            .collect();
+        let top = rank_neighbors(
+            &current_probs,
+            self.points.as_slice(),
+            &self.query,
+            self.s_eff,
+        );
+        let overlap = self.prev_top.as_ref().map(|prev| {
+            let prev_set: std::collections::HashSet<usize> = prev.iter().copied().collect();
+            top.iter().filter(|i| prev_set.contains(i)).count() as f64 / self.s_eff.max(1) as f64
+        });
+        cur.major_rec.overlap_with_previous = overlap;
+
+        // Fig. 2: drop points never picked this iteration.
+        let survivors = cur.counts.survivors(&self.alive);
+        if survivors.len() >= 2 {
+            self.alive = survivors;
+        }
+        cur.major_rec.n_points_after = self.alive.len();
+        self.transcript.majors.push(cur.major_rec);
+        self.prev_top = Some(top);
+
+        let stable = overlap
+            .map(|o| o >= self.config.overlap_threshold)
+            .unwrap_or(false);
+        if self.majors_run >= self.config.min_major_iterations && stable {
+            self.stopped = true;
+        }
+        self.major += 1;
+    }
+
+    /// Final probabilities, ranking and diagnosis (§4.1–4.2).
+    fn finish_session(&mut self) -> SearchOutcome {
+        let probabilities: Vec<f64> = if self.majors_run > 0 {
+            self.p_sum
+                .iter()
+                .map(|p| p / self.majors_run as f64)
+                .collect()
+        } else {
+            std::mem::take(&mut self.p_sum)
+        };
+        let neighbors = rank_neighbors(
+            &probabilities,
+            self.points.as_slice(),
+            &self.query,
+            self.s_eff,
+        );
+        let transcript = std::mem::take(&mut self.transcript);
+        let diagnosis = SearchDiagnosis::derive(&probabilities, &transcript, &self.drop_config);
+        SearchOutcome {
+            neighbors,
+            probabilities,
+            transcript,
+            diagnosis,
+            majors_run: self.majors_run,
+            effective_support: self.s_eff,
+        }
+    }
+}
+
+/// Input validation shared by every entry point (identical messages to the
+/// legacy `try_run` so `should_panic` callers keep matching).
+fn validate_inputs(points: &[Vec<f64>], query: &[f64]) -> Result<(), HinnError> {
+    let invalid = |message: String| {
+        Err(HinnError::InvalidInput {
+            phase: "search.validate",
+            message,
+        })
+    };
+    if points.is_empty() {
+        return invalid("InteractiveSearch: empty data set".into());
+    }
+    let d = points[0].len();
+    if d < 2 {
+        return invalid("InteractiveSearch: need at least 2 dimensions".into());
+    }
+    if query.len() != d {
+        return invalid(format!(
+            "InteractiveSearch: query dimensionality {} does not match data dimensionality {d}",
+            query.len()
+        ));
+    }
+    if !query.iter().all(|v| v.is_finite()) {
+        return invalid("InteractiveSearch: query contains non-finite coordinates".into());
+    }
+    for (i, p) in points.iter().enumerate() {
+        if p.len() != d {
+            return invalid(format!(
+                "InteractiveSearch: ragged point {i} (length {}, expected {d})",
+                p.len()
+            ));
+        }
+        if !p.iter().all(|v| v.is_finite()) {
+            return invalid(format!(
+                "InteractiveSearch: point {i} contains non-finite coordinates"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Fingerprint of the loop-relevant configuration knobs — the ones that
+/// change what a session computes, used to guard snapshot resume. Thread
+/// budget, cache policy, and deadline are deliberately excluded: results
+/// are invariant to all three, so a session may be resumed under a
+/// different budget, cache, or remaining time allowance.
+fn config_fingerprint(config: &SearchConfig) -> Fingerprint {
+    let mut h = Fnv128::new();
+    h.write_usize(config.support);
+    h.write_usize(config.grid_n);
+    h.write_f64(config.bandwidth_scale);
+    h.write_str(&format!("{:?}", config.bandwidth_mode));
+    h.write_str(&format!("{:?}", config.projection_mode));
+    h.write_str(&format!("{:?}", config.corner_rule));
+    h.write_f64(config.overlap_threshold);
+    h.write_usize(config.min_major_iterations);
+    h.write_usize(config.max_major_iterations);
+    h.write_f64s(&config.projection_weights);
+    h.write_u8(u8::from(config.record_profiles));
+    h.finish()
+}
+
+/// Rank original indices by probability (descending), breaking ties by
+/// full-space Euclidean distance to the query (ascending), then index.
+/// Probabilities and squared distances are non-negative, so `total_cmp`
+/// coincides with the old partial order while staying total on poisoned
+/// (NaN) values.
+pub(crate) fn rank_neighbors(
+    probabilities: &[f64],
+    points: &[Vec<f64>],
+    query: &[f64],
+    k: usize,
+) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..probabilities.len()).collect();
+    order.sort_by(|&a, &b| {
+        probabilities[b]
+            .total_cmp(&probabilities[a])
+            .then_with(|| {
+                let da = hinn_linalg::vector::dist_sq(&points[a], query);
+                let db = hinn_linalg::vector::dist_sq(&points[b], query);
+                da.total_cmp(&db)
+            })
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProjectionMode;
+    use hinn_user::{HeuristicUser, UserModel};
+
+    fn planted() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut state = 0xDA3E39CB94B95BDBu64;
+        let mut unif = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut pts = Vec::new();
+        for _ in 0..30 {
+            let mut p: Vec<f64> = (0..8).map(|_| unif() * 100.0).collect();
+            for coord in p.iter_mut().take(3) {
+                *coord = 50.0 + (unif() - 0.5) * 3.0;
+            }
+            pts.push(p);
+        }
+        for _ in 0..170 {
+            pts.push((0..8).map(|_| unif() * 100.0).collect());
+        }
+        (pts, vec![50.0; 8])
+    }
+
+    fn config() -> SearchConfig {
+        SearchConfig::default()
+            .with_support(30)
+            .with_mode(ProjectionMode::AxisParallel)
+    }
+
+    /// Drive an engine to completion with a user model (the inverted
+    /// control flow done by hand).
+    fn drive_to_done(
+        mut engine: SessionEngine<'_>,
+        mut step: Step,
+        user: &mut dyn UserModel,
+    ) -> SearchOutcome {
+        loop {
+            match step {
+                Step::Done(outcome) => return *outcome,
+                Step::NeedResponse(req) => {
+                    let r = user.respond(req.profile(), req.context());
+                    step = engine.submit(r).expect("engine.submit");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_callback_loop_bit_for_bit() {
+        let (pts, q) = planted();
+        let mut user = HeuristicUser::default();
+        let callback = crate::InteractiveSearch::new(config())
+            .run_with(&pts, &q, &mut user, crate::search::RunOptions::default())
+            .expect("callback loop")
+            .outcome;
+        let (engine, step) = SessionEngine::start(config(), &pts, &q).expect("start");
+        let outcome = drive_to_done(engine, step, &mut HeuristicUser::default());
+        assert_eq!(outcome.neighbors, callback.neighbors);
+        assert_eq!(outcome.majors_run, callback.majors_run);
+        for (a, b) in outcome.probabilities.iter().zip(&callback.probabilities) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn submit_after_done_is_a_typed_error() {
+        let (pts, q) = planted();
+        let (mut engine, step) = SessionEngine::start(config(), &pts, &q).expect("start");
+        let mut step = step;
+        loop {
+            match step {
+                Step::Done(_) => break,
+                Step::NeedResponse(req) => {
+                    let r = HeuristicUser::default().respond(req.profile(), req.context());
+                    step = engine.submit(r).expect("submit");
+                }
+            }
+        }
+        assert!(!engine.is_suspended());
+        let err = engine
+            .submit(UserResponse::Discard)
+            .expect_err("spent engine");
+        assert!(err.is_invalid_input());
+    }
+
+    #[test]
+    fn start_validates_inputs_like_the_legacy_loop() {
+        let err = SessionEngine::start(SearchConfig::default(), &[], &[0.0, 0.0])
+            .err()
+            .expect("empty data");
+        assert!(err.to_string().contains("empty data set"));
+        let err = SessionEngine::start(
+            SearchConfig::default(),
+            &[vec![0.0, 0.0], vec![1.0, 1.0, 2.0]],
+            &[0.0, 0.0],
+        )
+        .err()
+        .expect("ragged point");
+        assert!(err.to_string().contains("ragged point 1"));
+    }
+
+    #[test]
+    fn pending_view_and_cursor_expose_the_suspension() {
+        let (pts, q) = planted();
+        let (engine, step) = SessionEngine::start(config(), &pts, &q).expect("start");
+        let view = step.view().expect("first view");
+        assert_eq!(view.context().major, 0);
+        assert_eq!(view.context().minor, 0);
+        assert_eq!(view.context().total_n, pts.len());
+        assert!(engine.is_suspended());
+        assert_eq!(engine.cursor(), (0, 0));
+        assert_eq!(engine.alive_len(), pts.len());
+        assert_eq!(engine.majors_run(), 0);
+        let from_engine = engine.pending_view().expect("pending");
+        assert_eq!(from_engine.context().minor, view.context().minor);
+    }
+
+    #[test]
+    fn snapshot_resume_midway_is_bit_identical() {
+        let (pts, q) = planted();
+        // Uninterrupted reference run.
+        let (engine, step) = SessionEngine::start(config(), &pts, &q).expect("start");
+        let reference = drive_to_done(engine, step, &mut HeuristicUser::default());
+
+        // Same session, suspended after 3 responses, serialized, resumed
+        // in a fresh engine, finished.
+        let mut user = HeuristicUser::default();
+        let (mut engine, mut step) = SessionEngine::start(config(), &pts, &q).expect("start");
+        for _ in 0..3 {
+            let req = step.view().expect("view available").clone();
+            let r = user.respond(req.profile(), req.context());
+            step = engine.submit(r).expect("submit");
+        }
+        let snap = engine.snapshot().expect("suspended engine snapshots");
+        drop(engine);
+        let (resumed, step2) = SessionEngine::resume(config(), &pts, &snap).expect("resume");
+        // The recomputed pending view matches where we left off.
+        assert_eq!(
+            step2.view().expect("resumed at a view").context().minor,
+            step.view().expect("original pending view").context().minor
+        );
+        let outcome = drive_to_done(resumed, step2, &mut user);
+        assert_eq!(outcome.neighbors, reference.neighbors);
+        assert_eq!(outcome.majors_run, reference.majors_run);
+        for (a, b) in outcome.probabilities.iter().zip(&reference.probabilities) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config_and_data() {
+        let (pts, q) = planted();
+        let (engine, _step) = SessionEngine::start(config(), &pts, &q).expect("start");
+        let snap = engine.snapshot().expect("snapshot");
+        // Different loop-relevant knob → fingerprint mismatch.
+        let err = SessionEngine::resume(config().with_support(31), &pts, &snap)
+            .err()
+            .expect("different support");
+        assert!(err.to_string().contains("configuration differs"), "{err}");
+        // Different data content → dataset fingerprint mismatch.
+        let mut other = pts.clone();
+        other[0][0] += 1.0;
+        let err = SessionEngine::resume(config(), &other, &snap)
+            .err()
+            .expect("different data");
+        assert!(err.to_string().contains("content differs"), "{err}");
+        // Different shape.
+        let err = SessionEngine::resume(config(), &pts[..100], &snap)
+            .err()
+            .expect("different shape");
+        assert!(err.to_string().contains("shape"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_requires_a_suspended_engine() {
+        let (pts, q) = planted();
+        let (mut engine, mut step) = SessionEngine::start(config(), &pts, &q).expect("start");
+        let mut user = HeuristicUser::default();
+        while let Step::NeedResponse(req) = step {
+            let r = user.respond(req.profile(), req.context());
+            step = engine.submit(r).expect("submit");
+        }
+        let err = engine.snapshot().expect_err("finished engine");
+        assert!(err.to_string().contains("not suspended"), "{err}");
+        // record_profiles sessions refuse to snapshot.
+        let cfg = SearchConfig {
+            record_profiles: true,
+            ..config()
+        };
+        let (engine, _step) = SessionEngine::start(cfg, &pts, &q).expect("start");
+        let err = engine.snapshot().expect_err("record_profiles");
+        assert!(err.to_string().contains("record_profiles"), "{err}");
+    }
+
+    #[test]
+    fn shared_engine_is_static_and_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let (pts, q) = planted();
+        let cache = Arc::new(SessionCache::new(hinn_cache::CachePolicy::default()));
+        let (engine, step) =
+            SessionEngine::start_shared(config(), Arc::new(pts), &q, cache).expect("start");
+        assert_send(&engine);
+        // Move the suspended engine to another thread and finish there.
+        let handle = std::thread::spawn(move || {
+            let mut user = HeuristicUser::default();
+            drive_to_done(engine, step, &mut user).majors_run
+        });
+        assert!(handle.join().expect("thread") >= 1);
+    }
+}

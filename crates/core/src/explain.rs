@@ -204,7 +204,15 @@ mod tests {
                 .with_mode(ProjectionMode::AxisParallel)
         };
         let mut user = HeuristicUser::default();
-        let outcome = InteractiveSearch::new(config).run(&pts, &query, &mut user);
+        let outcome = InteractiveSearch::new(config)
+            .run_with(
+                &pts,
+                &query,
+                &mut user,
+                crate::search::RunOptions::default(),
+            )
+            .expect("explain fixture session")
+            .into_outcome();
         (pts, query, outcome)
     }
 

@@ -36,12 +36,14 @@ pub mod config;
 pub mod counts;
 pub mod degrade;
 pub mod diagnosis;
+pub mod engine;
 pub mod error;
 pub mod explain;
 pub mod meaning;
 pub mod projection;
 pub mod report;
 pub mod search;
+pub mod snapshot;
 pub mod transcript;
 
 pub use batch::{BatchRunner, QueryReport};
@@ -49,9 +51,11 @@ pub use cache::SessionCache;
 pub use config::{BandwidthMode, ProjectionMode, SearchConfig};
 pub use degrade::{DegradationEvent, DegradationKind, DegradationLog};
 pub use diagnosis::SearchDiagnosis;
+pub use engine::{OwnedSessionEngine, SessionEngine, Step, ViewRequest};
 pub use error::HinnError;
 pub use explain::{explain_neighbor, explanation_text, NeighborExplanation};
 pub use hinn_cache::CachePolicy;
 pub use hinn_par::Parallelism;
-pub use search::{InteractiveSearch, SearchOutcome};
+pub use search::{InteractiveSearch, RunOptions, RunOutput, SearchOutcome};
+pub use snapshot::SessionSnapshot;
 pub use transcript::{MinorPhases, MinorRecord, Transcript};

@@ -141,7 +141,15 @@ mod tests {
             min_major_iterations: 1,
             ..SearchConfig::default().with_support(5)
         };
-        InteractiveSearch::new(config).run(&points, &points[0].clone(), &mut user)
+        InteractiveSearch::new(config)
+            .run_with(
+                &points,
+                &points[0].clone(),
+                &mut user,
+                crate::search::RunOptions::default(),
+            )
+            .expect("report fixture session")
+            .into_outcome()
     }
 
     #[test]

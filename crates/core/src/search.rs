@@ -1,20 +1,23 @@
 //! The interactive search driver (Fig. 2 of the paper).
+//!
+//! Since the sans-io refactor the iteration loop itself lives in
+//! [`crate::engine::SessionEngine`]; this module keeps the packaged
+//! run-to-completion API: [`InteractiveSearch::run_with`] drives the
+//! engine against a [`UserModel`] callback, and the four legacy entry
+//! points (`run`, `try_run`, `run_traced`, `try_run_traced`) are thin
+//! deprecated wrappers over it.
 
-use crate::cache::{ProjectionCacheCtx, SessionCache};
-use crate::config::{BandwidthMode, SearchConfig};
-use crate::counts::PreferenceCounts;
-use crate::degrade::{DegradationEvent, DegradationKind, DegradationLog};
+use crate::cache::SessionCache;
+use crate::config::SearchConfig;
+use crate::degrade::DegradationLog;
 use crate::diagnosis::SearchDiagnosis;
+use crate::engine::{PointStore, SessionEngine, Step};
 use crate::error::HinnError;
-use crate::meaning::iteration_probabilities;
-use crate::projection::{try_find_query_centered_projection_ctx, ProjectionResult};
-use crate::transcript::{MajorRecord, MinorPhases, MinorRecord, Transcript};
-use hinn_cache::Fingerprint;
-use hinn_kde::{ProfileNotes, VisualProfile};
-use hinn_linalg::Subspace;
+use crate::transcript::Transcript;
 use hinn_metrics::drop::DropConfig;
-use hinn_user::{UserModel, UserResponse, ViewContext};
+use hinn_user::{UserModel, UserResponse};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The packaged interactive nearest-neighbor search system.
 #[derive(Clone, Debug)]
@@ -75,6 +78,73 @@ impl SearchOutcome {
     }
 }
 
+/// Options for one [`InteractiveSearch::run_with`] session — the unified
+/// replacement for the old `run`/`try_run`/`run_traced`/`try_run_traced`
+/// quartet.
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Compute budget for the session; overrides
+    /// [`SearchConfig::deadline`] when set. Expiry surfaces as
+    /// [`HinnError::Deadline`].
+    pub deadline: Option<Duration>,
+    /// Install a scoped [`hinn_obs::SessionRecorder`] for the session's
+    /// duration and return its merged report in
+    /// [`RunOutput::telemetry`]. The outcome is bit-identical either way
+    /// (`tests/obs_invariance.rs` proves it).
+    pub trace: bool,
+    /// Collect the user's responses in [`RunOutput::responses`], in view
+    /// order — the session log that `hinn::user::session_to_string`
+    /// serializes.
+    pub record_responses: bool,
+}
+
+impl RunOptions {
+    /// Options with tracing enabled (the old `run_traced` shape).
+    pub fn traced() -> Self {
+        Self {
+            trace: true,
+            ..Self::default()
+        }
+    }
+
+    /// Enable telemetry tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Set the session's compute budget.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Collect the user's responses.
+    pub fn with_recorded_responses(mut self) -> Self {
+        self.record_responses = true;
+        self
+    }
+}
+
+/// What one [`InteractiveSearch::run_with`] session returned.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// The session's outcome.
+    pub outcome: SearchOutcome,
+    /// Merged telemetry report, present iff [`RunOptions::trace`] was set.
+    pub telemetry: Option<hinn_obs::TelemetryReport>,
+    /// The user's responses in view order, present iff
+    /// [`RunOptions::record_responses`] was set.
+    pub responses: Option<Vec<UserResponse>>,
+}
+
+impl RunOutput {
+    /// Discard the extras and keep the outcome.
+    pub fn into_outcome(self) -> SearchOutcome {
+        self.outcome
+    }
+}
+
 impl InteractiveSearch {
     /// Create a search engine with the given configuration.
     ///
@@ -120,19 +190,96 @@ impl InteractiveSearch {
         &self.cache
     }
 
+    /// Run the full interactive session of Fig. 2 against `user` — the
+    /// single entry point the legacy `run*` quartet collapsed into.
+    ///
+    /// Internally this is a driver loop over
+    /// [`SessionEngine`](crate::SessionEngine): start, show each
+    /// [`Step::NeedResponse`] view to the callback, submit, repeat until
+    /// [`Step::Done`]. The loop adds nothing of its own, so the outcome is
+    /// bit-identical to the engine driven by hand (or suspended and
+    /// resumed along the way).
+    ///
+    /// # Errors
+    /// Invalid input comes back as [`HinnError::InvalidInput`] and an
+    /// expired deadline as [`HinnError::Deadline`]. Numerical pathologies
+    /// mid-session do not error: they walk the degradation ladder and are
+    /// recorded in [`Transcript::degradations`].
+    pub fn run_with(
+        &self,
+        points: &[Vec<f64>],
+        query: &[f64],
+        user: &mut dyn UserModel,
+        options: RunOptions,
+    ) -> Result<RunOutput, HinnError> {
+        let mut config = self.config.clone();
+        if options.deadline.is_some() {
+            config.deadline = options.deadline;
+        }
+        let recorder = options
+            .trace
+            .then(|| Arc::new(hinn_obs::SessionRecorder::new()));
+        let mut responses = options.record_responses.then(Vec::new);
+        let outcome = {
+            let _guard = recorder.clone().map(|r| hinn_obs::install(r));
+            let (mut engine, mut step) = SessionEngine::start_inner(
+                config,
+                self.drop_config,
+                self.cache.clone(),
+                PointStore::Borrowed(points),
+                query,
+            )?;
+            loop {
+                match step {
+                    Step::Done(outcome) => break *outcome,
+                    Step::NeedResponse(req) => {
+                        let response = user.respond(req.profile(), req.context());
+                        if let Some(log) = responses.as_mut() {
+                            log.push(response.clone());
+                        }
+                        step = engine.submit(response)?;
+                    }
+                }
+            }
+        };
+        Ok(RunOutput {
+            outcome,
+            telemetry: recorder.map(|r| r.report()),
+            responses,
+        })
+    }
+
+    /// Start a suspendable session over `points` sharing this engine's
+    /// cache and drop configuration — the inverted-control-flow form of
+    /// [`run_with`](Self::run_with) (see [`SessionEngine`]).
+    pub fn start_session<'a>(
+        &self,
+        points: &'a [Vec<f64>],
+        query: &[f64],
+    ) -> Result<(SessionEngine<'a>, Step), HinnError> {
+        SessionEngine::start_inner(
+            self.config.clone(),
+            self.drop_config,
+            self.cache.clone(),
+            PointStore::Borrowed(points),
+            query,
+        )
+    }
+
     /// Run the full interactive session of Fig. 2 against `user`.
     ///
     /// # Panics
     /// Panics if `points` is empty, dimensionalities disagree, or `d < 2`;
     /// [`InteractiveSearch::try_run`] is the non-panicking form.
+    #[deprecated(note = "use `run_with(points, query, user, RunOptions::default())`")]
     pub fn run(
         &self,
         points: &[Vec<f64>],
         query: &[f64],
         user: &mut dyn UserModel,
     ) -> SearchOutcome {
-        match self.try_run(points, query, user) {
-            Ok(outcome) => outcome,
+        match self.run_with(points, query, user, RunOptions::default()) {
+            Ok(out) => out.outcome,
             Err(e) => panic!("{e}"),
         }
     }
@@ -140,407 +287,59 @@ impl InteractiveSearch {
     /// Fallible [`InteractiveSearch::run`]: invalid input comes back as
     /// [`HinnError::InvalidInput`] and a configured
     /// [`SearchConfig::deadline`] as [`HinnError::Deadline`], instead of a
-    /// panic. On healthy input the outcome is bit-identical to
-    /// [`run`](InteractiveSearch::run) (which is a thin wrapper over this
-    /// method). Numerical pathologies mid-session do not error: they walk
-    /// the degradation ladder and are recorded in
-    /// [`Transcript::degradations`].
+    /// panic.
+    #[deprecated(note = "use `run_with(points, query, user, RunOptions::default())`")]
     pub fn try_run(
         &self,
         points: &[Vec<f64>],
         query: &[f64],
         user: &mut dyn UserModel,
     ) -> Result<SearchOutcome, HinnError> {
-        let _session_span = hinn_obs::span!("search.session");
-        let invalid = |message: String| {
-            Err(HinnError::InvalidInput {
-                phase: "search.validate",
-                message,
-            })
-        };
-        if points.is_empty() {
-            return invalid("InteractiveSearch: empty data set".into());
-        }
-        let d = points[0].len();
-        if d < 2 {
-            return invalid("InteractiveSearch: need at least 2 dimensions".into());
-        }
-        if query.len() != d {
-            return invalid(format!(
-                "InteractiveSearch: query dimensionality {} does not match data dimensionality {d}",
-                query.len()
-            ));
-        }
-        if !query.iter().all(|v| v.is_finite()) {
-            return invalid("InteractiveSearch: query contains non-finite coordinates".into());
-        }
-        for (i, p) in points.iter().enumerate() {
-            if p.len() != d {
-                return invalid(format!(
-                    "InteractiveSearch: ragged point {i} (length {}, expected {d})",
-                    p.len()
-                ));
-            }
-            if !p.iter().all(|v| v.is_finite()) {
-                return invalid(format!(
-                    "InteractiveSearch: point {i} contains non-finite coordinates"
-                ));
-            }
-        }
-
-        let n = points.len();
-        let s_eff = self.config.effective_support(d).min(n);
-        let n_minors = (d / 2).max(1);
-        let par = self.config.parallelism;
-        if hinn_obs::enabled() {
-            hinn_obs::gauge("search.points", n as f64);
-            hinn_obs::gauge("search.dims", d as f64);
-            hinn_obs::gauge("search.threads", par.threads() as f64);
-        }
-        // The session clock exists only when a deadline is configured: the
-        // default path stays clock-free outside instrumentation, which the
-        // obs-invariance suite relies on.
-        let session_start = self.config.deadline.map(|_| std::time::Instant::now());
-        // Content fingerprint for the session caches, skipped entirely
-        // when every cache is off so that path stays hash-free.
-        let dataset_fp = (!self.cache.is_disabled()).then(|| Fingerprint::of_points(points));
-
-        let mut alive: Vec<usize> = (0..n).collect();
-        let mut p_sum = vec![0.0f64; n];
-        let mut transcript = Transcript::default();
-        let mut majors_run = 0usize;
-        let mut prev_top: Option<Vec<usize>> = None;
-
-        for major in 0..self.config.max_major_iterations {
-            if alive.len() < 2 {
-                break;
-            }
-            let _major_span = hinn_obs::span!("search.major");
-            // Candidate-set size entering this major iteration.
-            hinn_obs::observe("search.candidates", alive.len() as f64);
-            let alive_points: Vec<Vec<f64>> = alive.iter().map(|&i| points[i].clone()).collect();
-            // Every cache key below derives from this fingerprint, so a
-            // stale entry is unreachable by construction: shrinking the
-            // alive set changes the key instead of invalidating anything.
-            let alive_fp = dataset_fp.map(|fp| SessionCache::alive_key(fp, &alive));
-            let mut counts = PreferenceCounts::new(n);
-            let mut ec = Subspace::full(d);
-            let mut major_rec = MajorRecord {
-                n_points_before: alive.len(),
-                ..MajorRecord::default()
-            };
-
-            for minor in 0..n_minors {
-                if ec.dim() < 2 {
-                    break;
-                }
-                // Deterministic fault point: a forced in-session panic,
-                // for proving that the batch boundary contains it.
-                if hinn_fault::point("search.panic") {
-                    panic!("forced in-session panic (fault point search.panic)");
-                }
-                // Cooperative deadline check at the view boundary — the
-                // overshoot is at most one view's work. The fault point is
-                // consulted first so forced expiry fires deterministically
-                // regardless of machine speed.
-                if let Some(budget) = self.config.deadline {
-                    let elapsed = session_start.map(|t| t.elapsed()).unwrap_or_default();
-                    if hinn_fault::point("search.deadline") || elapsed > budget {
-                        return Err(HinnError::Deadline {
-                            phase: "search.minor",
-                            elapsed,
-                            budget,
-                        });
-                    }
-                }
-                let _minor_span = hinn_obs::span!("search.minor");
-                // Phase wall-clocks for the transcript; only read while a
-                // recorder is installed so the disabled path stays free of
-                // clock calls (and the invariance tests compare fields that
-                // exist on both paths).
-                let timing = hinn_obs::enabled();
-                let t_start = timing.then(std::time::Instant::now);
-                // L1: the whole Fig. 3 projection search, memoized with
-                // its degradation events (replayed on a hit so warm
-                // transcripts match cold ones). Errors are never cached.
-                let proj_pair: Arc<(ProjectionResult, Vec<DegradationEvent>)> = match alive_fp {
-                    Some(afp) => {
-                        let cache_ctx = ProjectionCacheCtx {
-                            alive_fp: afp,
-                            cache: &self.cache,
-                        };
-                        let key = SessionCache::projection_key(
-                            afp,
-                            query,
-                            &ec,
-                            s_eff,
-                            self.config.projection_mode,
-                        );
-                        self.cache.projection.get_or_try_insert_with(key, || {
-                            try_find_query_centered_projection_ctx(
-                                par,
-                                &alive_points,
-                                query,
-                                &ec,
-                                s_eff,
-                                self.config.projection_mode,
-                                Some(&cache_ctx),
-                            )
-                        })?
-                    }
-                    None => Arc::new(try_find_query_centered_projection_ctx(
-                        par,
-                        &alive_points,
-                        query,
-                        &ec,
-                        s_eff,
-                        self.config.projection_mode,
-                        None,
-                    )?),
-                };
-                let proj = &proj_pair.0;
-                transcript
-                    .degradations
-                    .absorb(proj_pair.1.clone(), major, minor);
-                let t_proj = timing.then(std::time::Instant::now);
-                // L2: projected 2-D coordinates plus the grid KDE. The
-                // projection step above is part of the memoized value, so
-                // a hit skips both the O(n·d) projection and the O(n·p²)
-                // density estimation.
-                let build_profile = || {
-                    let mut pts2d: Vec<[f64; 2]> = vec![[0.0; 2]; alive_points.len()];
-                    hinn_par::fill_chunks(par, &mut pts2d, |start, slice| {
-                        for (off, slot) in slice.iter_mut().enumerate() {
-                            let c = proj.projection.project(&alive_points[start + off]);
-                            *slot = [c[0], c[1]];
-                        }
-                    });
-                    let qc = proj.projection.project(query);
-                    match self.config.bandwidth_mode {
-                        BandwidthMode::Fixed => VisualProfile::try_build_with(
-                            par,
-                            pts2d,
-                            [qc[0], qc[1]],
-                            self.config.grid_n,
-                            self.config.bandwidth_scale,
-                        ),
-                        BandwidthMode::Adaptive { alpha } => {
-                            VisualProfile::try_build_adaptive_with(
-                                par,
-                                pts2d,
-                                [qc[0], qc[1]],
-                                self.config.grid_n,
-                                self.config.bandwidth_scale,
-                                alpha,
-                            )
-                        }
-                    }
-                };
-                let built: Result<Arc<(VisualProfile, ProfileNotes)>, _> = match alive_fp {
-                    Some(afp) => {
-                        let key = SessionCache::profile_key(
-                            afp,
-                            query,
-                            &proj.projection,
-                            self.config.grid_n,
-                            self.config.bandwidth_scale,
-                            self.config.bandwidth_mode,
-                        );
-                        self.cache
-                            .profile
-                            .get_or_try_insert_with(key, build_profile)
-                    }
-                    None => build_profile().map(Arc::new),
-                };
-                let profile_pair = match built {
-                    Ok(p) => p,
-                    Err(e) => {
-                        // An unusable view is skipped, not fatal: record
-                        // the skip and continue the session in the
-                        // remaining subspace (ladder rung:
-                        // SkippedMinorView).
-                        transcript.degradations.push(DegradationEvent {
-                            major: Some(major),
-                            minor: Some(minor),
-                            kind: DegradationKind::SkippedMinorView,
-                            detail: format!("visual profile unavailable ({e}); view skipped"),
-                        });
-                        ec = proj.remainder.clone();
-                        continue;
-                    }
-                };
-                let profile = &profile_pair.0;
-                if profile_pair.1.bandwidth_floored {
-                    transcript.degradations.push(DegradationEvent {
-                        major: Some(major),
-                        minor: Some(minor),
-                        kind: DegradationKind::BandwidthFloored,
-                        detail: "zero-spread projection; KDE bandwidth floored".into(),
-                    });
-                }
-                let t_profile = timing.then(std::time::Instant::now);
-                let ctx = ViewContext {
-                    major,
-                    minor,
-                    original_ids: alive.clone(),
-                    total_n: n,
-                };
-                let response = user.respond(profile, &ctx);
-                let picked_rows: Vec<usize> = match &response {
-                    UserResponse::Threshold(tau) => profile.select(*tau, self.config.corner_rule),
-                    UserResponse::Polygon(lines) => profile.select_polygon(lines),
-                    UserResponse::Discard => Vec::new(),
-                };
-                let w = self.config.weight(minor);
-                if picked_rows.is_empty() {
-                    counts.record_discard(w);
-                } else {
-                    let picked_ids: Vec<usize> = picked_rows.iter().map(|&r| alive[r]).collect();
-                    counts.record_view(&picked_ids, w);
-                }
-                let query_peak_ratio = if profile.max_density() > 0.0 {
-                    profile.query_density() / profile.max_density()
-                } else {
-                    0.0
-                };
-                let phases = match (t_start, t_proj, t_profile) {
-                    (Some(a), Some(b), Some(c)) => Some(MinorPhases {
-                        projection_ns: (b - a).as_nanos() as u64,
-                        profile_ns: (c - b).as_nanos() as u64,
-                        select_ns: c.elapsed().as_nanos() as u64,
-                    }),
-                    _ => None,
-                };
-                if let Some(p) = &phases {
-                    hinn_obs::observe("search.picked", picked_rows.len() as f64);
-                    hinn_obs::observe("search.minor_ms", p.total_ns() as f64 / 1e6);
-                }
-                major_rec.minors.push(MinorRecord {
-                    major,
-                    minor,
-                    projection: proj.projection.clone(),
-                    variance_ratios: proj.variance_ratios.clone(),
-                    response,
-                    n_picked: picked_rows.len(),
-                    query_peak_ratio,
-                    profile: if self.config.record_profiles {
-                        Some(profile_pair.0.clone())
-                    } else {
-                        None
-                    },
-                    phases,
-                });
-                ec = proj.remainder.clone();
-            }
-
-            // Fig. 8: convert counts to per-iteration probabilities.
-            let probs = iteration_probabilities(&counts, &alive);
-            for (k, &id) in alive.iter().enumerate() {
-                p_sum[id] += probs[k];
-            }
-            majors_run += 1;
-
-            // Termination check on the stability of the top-s set.
-            let current_probs: Vec<f64> = p_sum.iter().map(|p| p / majors_run as f64).collect();
-            let top = rank_neighbors(&current_probs, points, query, s_eff);
-            let overlap = prev_top.as_ref().map(|prev| {
-                let prev_set: std::collections::HashSet<usize> = prev.iter().copied().collect();
-                top.iter().filter(|i| prev_set.contains(i)).count() as f64 / s_eff.max(1) as f64
-            });
-            major_rec.overlap_with_previous = overlap;
-
-            // Fig. 2: drop points never picked this iteration.
-            let survivors = counts.survivors(&alive);
-            if survivors.len() >= 2 {
-                alive = survivors;
-            }
-            major_rec.n_points_after = alive.len();
-            transcript.majors.push(major_rec);
-            prev_top = Some(top);
-
-            let stable = overlap
-                .map(|o| o >= self.config.overlap_threshold)
-                .unwrap_or(false);
-            if majors_run >= self.config.min_major_iterations && stable {
-                break;
-            }
-        }
-
-        let probabilities: Vec<f64> = if majors_run > 0 {
-            p_sum.iter().map(|p| p / majors_run as f64).collect()
-        } else {
-            p_sum
-        };
-        let neighbors = rank_neighbors(&probabilities, points, query, s_eff);
-        let diagnosis = SearchDiagnosis::derive(&probabilities, &transcript, &self.drop_config);
-        Ok(SearchOutcome {
-            neighbors,
-            probabilities,
-            transcript,
-            diagnosis,
-            majors_run,
-            effective_support: s_eff,
-        })
+        self.run_with(points, query, user, RunOptions::default())
+            .map(RunOutput::into_outcome)
     }
 
     /// [`InteractiveSearch::run`] with a scoped [`hinn_obs::SessionRecorder`]
     /// installed for the session's duration; returns the outcome together
-    /// with the merged telemetry report. The outcome is bit-identical to a
-    /// plain [`run`](InteractiveSearch::run) — instrumentation only reads
-    /// clocks and bumps counters (`tests/obs_invariance.rs` proves it).
+    /// with the merged telemetry report.
+    ///
+    /// # Panics
+    /// Panics on invalid input, like [`run`](InteractiveSearch::run).
+    #[deprecated(note = "use `run_with(points, query, user, RunOptions::traced())`")]
     pub fn run_traced(
         &self,
         points: &[Vec<f64>],
         query: &[f64],
         user: &mut dyn UserModel,
     ) -> (SearchOutcome, hinn_obs::TelemetryReport) {
-        match self.try_run_traced(points, query, user) {
-            Ok(pair) => pair,
+        match self.run_with(points, query, user, RunOptions::traced()) {
+            Ok(RunOutput {
+                outcome,
+                telemetry: Some(report),
+                ..
+            }) => (outcome, report),
+            Ok(_) => unreachable!("traced run always yields telemetry"),
             Err(e) => panic!("{e}"),
         }
     }
 
     /// Fallible [`InteractiveSearch::run_traced`]. The telemetry report of
     /// a failed session is dropped with the session.
+    #[deprecated(note = "use `run_with(points, query, user, RunOptions::traced())`")]
     pub fn try_run_traced(
         &self,
         points: &[Vec<f64>],
         query: &[f64],
         user: &mut dyn UserModel,
     ) -> Result<(SearchOutcome, hinn_obs::TelemetryReport), HinnError> {
-        let recorder = std::sync::Arc::new(hinn_obs::SessionRecorder::new());
-        let outcome = {
-            let _guard = hinn_obs::install(recorder.clone());
-            self.try_run(points, query, user)?
-        };
-        Ok((outcome, recorder.report()))
+        let RunOutput {
+            outcome, telemetry, ..
+        } = self.run_with(points, query, user, RunOptions::traced())?;
+        match telemetry {
+            Some(report) => Ok((outcome, report)),
+            None => unreachable!("traced run always yields telemetry"),
+        }
     }
-}
-
-/// Rank original indices by probability (descending), breaking ties by
-/// full-space Euclidean distance to the query (ascending), then index.
-/// Probabilities and squared distances are non-negative, so `total_cmp`
-/// coincides with the old partial order while staying total on poisoned
-/// (NaN) values.
-fn rank_neighbors(
-    probabilities: &[f64],
-    points: &[Vec<f64>],
-    query: &[f64],
-    k: usize,
-) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..probabilities.len()).collect();
-    order.sort_by(|&a, &b| {
-        probabilities[b]
-            .total_cmp(&probabilities[a])
-            .then_with(|| {
-                let da = hinn_linalg::vector::dist_sq(&points[a], query);
-                let db = hinn_linalg::vector::dist_sq(&points[b], query);
-                da.total_cmp(&db)
-            })
-            .then(a.cmp(&b))
-    });
-    order.truncate(k);
-    order
 }
 
 #[cfg(test)]
@@ -548,6 +347,18 @@ mod tests {
     use super::*;
     use crate::config::ProjectionMode;
     use hinn_user::{HeuristicUser, ScriptedUser};
+
+    fn run_default(
+        engine: &InteractiveSearch,
+        pts: &[Vec<f64>],
+        q: &[f64],
+        user: &mut dyn hinn_user::UserModel,
+    ) -> SearchOutcome {
+        engine
+            .run_with(pts, q, user, RunOptions::default())
+            .expect("healthy input")
+            .outcome
+    }
 
     /// 8-D data: a 30-point cluster tight in dims (0,1,2) around 50, with
     /// the query at its center; 170 uniform background points.
@@ -580,7 +391,7 @@ mod tests {
             .with_support(30)
             .with_mode(ProjectionMode::AxisParallel);
         let mut user = HeuristicUser::default();
-        let outcome = InteractiveSearch::new(config).run(&pts, &q, &mut user);
+        let outcome = run_default(&InteractiveSearch::new(config), &pts, &q, &mut user);
         assert!(outcome.majors_run >= 2);
         let hits = outcome
             .neighbors
@@ -616,7 +427,7 @@ mod tests {
             ..SearchConfig::default()
         };
         let mut user = ScriptedUser::new([]); // discards everything
-        let outcome = InteractiveSearch::new(config).run(&pts, &q, &mut user);
+        let outcome = run_default(&InteractiveSearch::new(config), &pts, &q, &mut user);
         assert!(!outcome.diagnosis.is_meaningful());
         assert!(outcome.probabilities.iter().all(|&p| p == 0.0));
         assert!(outcome.natural_neighbors().is_none());
@@ -626,8 +437,12 @@ mod tests {
     fn probabilities_are_valid_and_aligned() {
         let (pts, q, _) = planted();
         let mut user = HeuristicUser::default();
-        let outcome = InteractiveSearch::new(SearchConfig::default().with_support(20))
-            .run(&pts, &q, &mut user);
+        let outcome = run_default(
+            &InteractiveSearch::new(SearchConfig::default().with_support(20)),
+            &pts,
+            &q,
+            &mut user,
+        );
         assert_eq!(outcome.probabilities.len(), pts.len());
         for p in &outcome.probabilities {
             assert!((0.0..=1.0).contains(p), "probability out of range: {p}");
@@ -645,7 +460,7 @@ mod tests {
             ..SearchConfig::default()
         };
         let mut user = HeuristicUser::default();
-        let outcome = InteractiveSearch::new(config).run(&pts, &q, &mut user);
+        let outcome = run_default(&InteractiveSearch::new(config), &pts, &q, &mut user);
         // 8 dims → 4 minors per major.
         assert_eq!(outcome.transcript.majors[0].minors.len(), 4);
         for rec in outcome.transcript.iter_minors() {
@@ -658,8 +473,12 @@ mod tests {
     fn effective_support_clamps_to_dimensionality() {
         let (pts, q, _) = planted();
         let mut user = HeuristicUser::default();
-        let outcome = InteractiveSearch::new(SearchConfig::default().with_support(3))
-            .run(&pts, &q, &mut user);
+        let outcome = run_default(
+            &InteractiveSearch::new(SearchConfig::default().with_support(3)),
+            &pts,
+            &q,
+            &mut user,
+        );
         assert_eq!(outcome.effective_support, 8, "support must be ≥ d");
     }
 
@@ -667,8 +486,12 @@ mod tests {
     fn natural_neighbors_sorted_by_probability() {
         let (pts, q, _) = planted();
         let mut user = HeuristicUser::default();
-        let outcome = InteractiveSearch::new(SearchConfig::default().with_support(30))
-            .run(&pts, &q, &mut user);
+        let outcome = run_default(
+            &InteractiveSearch::new(SearchConfig::default().with_support(30)),
+            &pts,
+            &q,
+            &mut user,
+        );
         if let Some(natural) = outcome.natural_neighbors() {
             for w in natural.windows(2) {
                 assert!(outcome.probabilities[w[0]] >= outcome.probabilities[w[1]]);
@@ -699,29 +522,31 @@ mod tests {
     }
 
     #[test]
-    fn try_run_reports_invalid_input_instead_of_panicking() {
+    fn run_with_reports_invalid_input_instead_of_panicking() {
         let mut user = ScriptedUser::new([]);
         let engine = InteractiveSearch::new(SearchConfig::default());
         let err = engine
-            .try_run(&[], &[0.0, 0.0], &mut user)
+            .run_with(&[], &[0.0, 0.0], &mut user, RunOptions::default())
             .expect_err("empty data");
         assert!(err.is_invalid_input());
         assert!(err.to_string().contains("empty data set"));
 
         let err = engine
-            .try_run(
+            .run_with(
                 &[vec![0.0, 0.0], vec![1.0, f64::NAN]],
                 &[0.0, 0.0],
                 &mut user,
+                RunOptions::default(),
             )
             .expect_err("non-finite point");
         assert!(err.to_string().contains("point 1"));
 
         let err = engine
-            .try_run(
+            .run_with(
                 &[vec![0.0, 0.0], vec![1.0, 1.0, 2.0]],
                 &[0.0, 0.0],
                 &mut user,
+                RunOptions::default(),
             )
             .expect_err("ragged point");
         assert!(err.to_string().contains("ragged point 1"));
@@ -734,19 +559,93 @@ mod tests {
     }
 
     #[test]
-    fn try_run_matches_run_bit_for_bit() {
+    #[allow(deprecated)]
+    fn legacy_wrappers_match_run_with_bit_for_bit() {
+        // The four deprecated entry points are documented as thin wrappers;
+        // hold them to it.
         let (pts, q, _) = planted();
         let config = SearchConfig::default().with_support(20);
         let outcome =
             InteractiveSearch::new(config.clone()).run(&pts, &q, &mut HeuristicUser::default());
-        let tried = InteractiveSearch::new(config)
+        let tried = InteractiveSearch::new(config.clone())
             .try_run(&pts, &q, &mut HeuristicUser::default())
             .expect("healthy data");
-        assert_eq!(outcome.neighbors, tried.neighbors);
-        for (a, b) in outcome.probabilities.iter().zip(&tried.probabilities) {
-            assert_eq!(a.to_bits(), b.to_bits());
+        let unified = InteractiveSearch::new(config)
+            .run_with(
+                &pts,
+                &q,
+                &mut HeuristicUser::default(),
+                RunOptions::default(),
+            )
+            .expect("healthy data")
+            .outcome;
+        assert_eq!(outcome.neighbors, unified.neighbors);
+        assert_eq!(tried.neighbors, unified.neighbors);
+        for ((a, b), c) in outcome
+            .probabilities
+            .iter()
+            .zip(&tried.probabilities)
+            .zip(&unified.probabilities)
+        {
+            assert_eq!(a.to_bits(), c.to_bits());
+            assert_eq!(b.to_bits(), c.to_bits());
         }
-        assert!(tried.degradations().is_empty());
+        assert!(unified.degradations().is_empty());
+    }
+
+    #[test]
+    fn run_options_surface_telemetry_and_responses() {
+        let (pts, q, _) = planted();
+        let config = SearchConfig::default().with_support(20);
+        let out = InteractiveSearch::new(config)
+            .run_with(
+                &pts,
+                &q,
+                &mut HeuristicUser::default(),
+                RunOptions::traced().with_recorded_responses(),
+            )
+            .expect("healthy data");
+        let report = out.telemetry.expect("traced run yields telemetry");
+        assert!(report
+            .schema()
+            .lines()
+            .any(|l| l.contains("search.session")));
+        let responses = out.responses.expect("responses were recorded");
+        assert_eq!(responses.len(), out.outcome.transcript.total_views());
+        // Untraced runs carry neither.
+        let bare = InteractiveSearch::new(SearchConfig::default().with_support(20))
+            .run_with(
+                &pts,
+                &q,
+                &mut HeuristicUser::default(),
+                RunOptions::default(),
+            )
+            .expect("healthy data");
+        assert!(bare.telemetry.is_none());
+        assert!(bare.responses.is_none());
+    }
+
+    #[test]
+    fn run_options_deadline_overrides_config() {
+        let (pts, q, _) = planted();
+        // A deadline the fault point forces to expire, passed through
+        // options rather than the config.
+        let plan = std::sync::Arc::new(
+            hinn_fault::FaultPlan::new().with("search.deadline", hinn_fault::FaultMode::Always),
+        );
+        let err = {
+            let _g = hinn_fault::install_local(plan.clone());
+            InteractiveSearch::new(SearchConfig::default().with_support(20))
+                .run_with(
+                    &pts,
+                    &q,
+                    &mut HeuristicUser::default(),
+                    RunOptions::default().with_deadline(std::time::Duration::from_secs(3600)),
+                )
+                .expect_err("forced deadline")
+        };
+        assert_eq!(plan.fired("search.deadline"), 1);
+        assert!(matches!(err, HinnError::Deadline { .. }));
     }
 
     #[test]
@@ -764,7 +663,12 @@ mod tests {
         let err = {
             let _g = hinn_fault::install_local(plan.clone());
             InteractiveSearch::new(config)
-                .try_run(&pts, &q, &mut HeuristicUser::default())
+                .run_with(
+                    &pts,
+                    &q,
+                    &mut HeuristicUser::default(),
+                    RunOptions::default(),
+                )
                 .expect_err("forced deadline")
         };
         assert_eq!(plan.fired("search.deadline"), 1);
@@ -781,14 +685,21 @@ mod tests {
         let outcome = {
             let _g = hinn_fault::install_local(plan.clone());
             InteractiveSearch::new(SearchConfig::default().with_support(20))
-                .try_run(&pts, &q, &mut HeuristicUser::default())
+                .run_with(
+                    &pts,
+                    &q,
+                    &mut HeuristicUser::default(),
+                    RunOptions::default(),
+                )
                 .expect("no deadline configured")
+                .outcome
         };
         assert_eq!(plan.hits("search.deadline"), 0, "clock-free path");
         assert!(outcome.majors_run >= 1);
     }
 
     #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "query dimensionality")]
     fn query_dim_mismatch_panics() {
         let mut user = ScriptedUser::new([]);
@@ -800,6 +711,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "empty data set")]
     fn empty_data_panics() {
         let mut user = ScriptedUser::new([]);

@@ -48,7 +48,7 @@ proptest! {
             ..SearchConfig::default().with_support(support)
         };
         let mut user = ScriptedUser::new(responses);
-        let outcome = InteractiveSearch::new(config).run(&points, &query, &mut user);
+        let outcome = InteractiveSearch::new(config).run_with(&points, &query, &mut user, hinn_core::RunOptions::default()).expect("interactive session").into_outcome();
 
         // Structural invariants that must hold for ANY input.
         prop_assert_eq!(outcome.probabilities.len(), points.len());

@@ -62,7 +62,9 @@ fn weights_change_the_probabilities() {
         };
         let mut user = HeuristicUser::default();
         InteractiveSearch::new(config)
-            .run(&pts, &query, &mut user)
+            .run_with(&pts, &query, &mut user, hinn_core::RunOptions::default())
+            .expect("interactive session")
+            .into_outcome()
             .probabilities
     };
     let uniform = run(Vec::new());
@@ -88,7 +90,10 @@ fn termination_stops_at_min_major_when_ranking_is_stable() {
             .with_mode(ProjectionMode::AxisParallel)
     };
     let mut user = HeuristicUser::default();
-    let outcome = InteractiveSearch::new(config).run(&pts, &query, &mut user);
+    let outcome = InteractiveSearch::new(config)
+        .run_with(&pts, &query, &mut user, hinn_core::RunOptions::default())
+        .expect("interactive session")
+        .into_outcome();
     assert!(
         outcome.majors_run < 6,
         "a stable session must terminate early, ran {}",
@@ -117,7 +122,10 @@ fn max_major_is_a_hard_cap_when_overlap_never_stabilizes() {
         }
     });
     let mut user = ScriptedUser::new(responses);
-    let outcome = InteractiveSearch::new(config).run(&pts, &query, &mut user);
+    let outcome = InteractiveSearch::new(config)
+        .run_with(&pts, &query, &mut user, hinn_core::RunOptions::default())
+        .expect("interactive session")
+        .into_outcome();
     assert!(outcome.majors_run <= 3);
 }
 
@@ -132,7 +140,15 @@ fn two_dimensional_data_runs_a_single_minor_iteration() {
         ..SearchConfig::default().with_support(5)
     };
     let mut user = HeuristicUser::default();
-    let outcome = InteractiveSearch::new(config).run(&pts, &[3.0, 3.0], &mut user);
+    let outcome = InteractiveSearch::new(config)
+        .run_with(
+            &pts,
+            &[3.0, 3.0],
+            &mut user,
+            hinn_core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
     assert_eq!(
         outcome.transcript.majors[0].minors.len(),
         1,
@@ -154,7 +170,10 @@ fn duplicate_points_are_handled() {
     };
     let mut user = HeuristicUser::default();
     // Must not panic; NaN-free probabilities.
-    let outcome = InteractiveSearch::new(config).run(&pts, &[5.0; 4], &mut user);
+    let outcome = InteractiveSearch::new(config)
+        .run_with(&pts, &[5.0; 4], &mut user, hinn_core::RunOptions::default())
+        .expect("interactive session")
+        .into_outcome();
     assert!(outcome.probabilities.iter().all(|p| p.is_finite()));
 }
 
@@ -169,7 +188,15 @@ fn odd_dimensionality_gets_floor_of_d_over_2_views() {
         ..SearchConfig::default().with_support(8)
     };
     let mut user = HeuristicUser::default();
-    let outcome = InteractiveSearch::new(config).run(&pts5, &[50.0; 5], &mut user);
+    let outcome = InteractiveSearch::new(config)
+        .run_with(
+            &pts5,
+            &[50.0; 5],
+            &mut user,
+            hinn_core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
     // d = 5 → floor(5/2) = 2 views.
     assert_eq!(outcome.transcript.majors[0].minors.len(), 2);
 }
@@ -179,11 +206,15 @@ fn odd_dimensionality_gets_floor_of_d_over_2_views() {
 fn nan_data_fails_fast() {
     let pts = vec![vec![0.0, 1.0], vec![f64::NAN, 2.0]];
     let mut user = HeuristicUser::default();
-    let _ = InteractiveSearch::new(SearchConfig::default().with_support(1)).run(
-        &pts,
-        &[0.0, 0.0],
-        &mut user,
-    );
+    let _ = InteractiveSearch::new(SearchConfig::default().with_support(1))
+        .run_with(
+            &pts,
+            &[0.0, 0.0],
+            &mut user,
+            hinn_core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
 }
 
 #[test]
@@ -191,9 +222,13 @@ fn nan_data_fails_fast() {
 fn ragged_data_fails_fast() {
     let pts = vec![vec![0.0, 1.0], vec![1.0]];
     let mut user = HeuristicUser::default();
-    let _ = InteractiveSearch::new(SearchConfig::default().with_support(1)).run(
-        &pts,
-        &[0.0, 0.0],
-        &mut user,
-    );
+    let _ = InteractiveSearch::new(SearchConfig::default().with_support(1))
+        .run_with(
+            &pts,
+            &[0.0, 0.0],
+            &mut user,
+            hinn_core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
 }

@@ -77,6 +77,23 @@ impl Subspace {
         s
     }
 
+    /// Rebuild a subspace from rows that are *already* orthonormal, storing
+    /// them verbatim — no re-orthogonalization, so a serialized basis
+    /// restores bit-identically (Gram–Schmidt through
+    /// [`Subspace::from_vectors`] would perturb the low-order bits).
+    /// Returns `None` when any row's length differs from `ambient_dim` or
+    /// the rows are not orthonormal within `1e-9`.
+    pub fn try_from_orthonormal_rows(ambient_dim: usize, rows: Vec<Vec<f64>>) -> Option<Self> {
+        if rows.iter().any(|r| r.len() != ambient_dim) {
+            return None;
+        }
+        let s = Self {
+            ambient_dim,
+            basis: rows,
+        };
+        s.is_orthonormal(1e-9).then_some(s)
+    }
+
     /// Attempt to extend the basis with (the component of) `v` orthogonal to
     /// the current span. Returns `true` if the dimension grew.
     ///

@@ -1,0 +1,41 @@
+//! Multi-tenant serving over suspendable search sessions.
+//!
+//! One process serves *many* interactive search sessions against a shared
+//! data set. Each session is a [`hinn_core::SessionEngine`] — a sans-io
+//! state machine that computes up to its next view and suspends — so a
+//! serving process never dedicates a thread to a user who is looking at a
+//! plot. The [`SessionManager`] keeps sessions in two tiers:
+//!
+//! * **hot** — a bounded number of resident engines, ready to take the
+//!   next response with no restore cost;
+//! * **warm** — an LRU of [`hinn_core::SessionSnapshot`]s: evicted
+//!   sessions serialized to a few kilobytes of text, restored (and their
+//!   pending view recomputed, bit-identically) on the next submit.
+//!
+//! The tiers make the resident footprint *bounded and configurable*:
+//! thousands of concurrently open sessions cost thousands of snapshots,
+//! not thousands of live engines. A session falling off the warm tier is
+//! discovered lazily at its next submit and reported as
+//! [`ServeError::SessionEvicted`] — the serving analogue of a timed-out
+//! login session.
+//!
+//! Determinism carries over from the engine: a session's transcript and
+//! outcome are bit-identical whether it stayed hot throughout, bounced
+//! through the warm tier arbitrarily often, or ran on a different thread
+//! budget (`tests/serve_soak.rs` drives hundreds of interleaved sessions
+//! through forced evictions and checks exactly this).
+//!
+//! Telemetry (all no-ops unless a `hinn-obs` recorder is installed):
+//! counters `session.opened`, `session.finished`, `session.evicted`,
+//! `session.resumed`, `session.dropped`, `session.denied`; gauges
+//! `session.hot`, `session.warm`; spans `session.open` / `session.step`
+//! around the compute segments.
+
+mod manager;
+
+pub use manager::{ServeConfig, ServeError, SessionId, SessionManager};
+
+// The serving layer speaks the engine's vocabulary; re-export the types a
+// caller needs so `hinn_serve` works standalone.
+pub use hinn_core::{SearchOutcome, Step, ViewRequest};
+pub use hinn_user::UserResponse;

@@ -1,0 +1,737 @@
+//! The session table: admission, two-tier residency, lazy eviction.
+
+use hinn_cache::{Fingerprint, LruCache};
+use hinn_core::{
+    HinnError, OwnedSessionEngine, SearchConfig, SessionCache, SessionEngine, SessionSnapshot, Step,
+};
+use hinn_user::UserResponse;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Opaque handle to one open session. Ids are assigned sequentially and
+/// never reused within a manager's lifetime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// The raw id (stable, useful for logging).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The warm-tier key for this session.
+    fn key(self) -> Fingerprint {
+        Fingerprint(self.0 as u128)
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// Serving-layer configuration. `search` configures every session's
+/// engine; the rest bounds the manager itself.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// The per-session search configuration.
+    pub search: SearchConfig,
+    /// Maximum *hot* (fully resident) engines. Opening or resuming past
+    /// this bound evicts the least-recently-used hot session to the warm
+    /// tier. Must be at least 1.
+    pub max_resident: usize,
+    /// Capacity of the warm snapshot LRU. A session whose snapshot falls
+    /// off this tier is lost ([`ServeError::SessionEvicted`] at its next
+    /// submit). Capacity 0 disables the warm tier entirely: every hot
+    /// eviction loses the session.
+    pub warm_capacity: usize,
+    /// Maximum concurrently *open* (hot + warm) sessions; further opens
+    /// are refused with [`ServeError::AdmissionDenied`].
+    pub max_sessions: usize,
+    /// Per-session compute budget. The engine meters compute segments
+    /// only — wall-clock time a session spends suspended (user think
+    /// time, warm-tier residence) is free. Expiry surfaces as
+    /// [`ServeError::Engine`] wrapping [`HinnError::Deadline`].
+    pub session_deadline: Option<Duration>,
+}
+
+impl ServeConfig {
+    /// Serving defaults around `search`: 64 hot engines, 4096 warm
+    /// snapshots, 8192 open sessions, no deadline.
+    pub fn new(search: SearchConfig) -> Self {
+        Self {
+            search,
+            max_resident: 64,
+            warm_capacity: 4096,
+            max_sessions: 8192,
+            session_deadline: None,
+        }
+    }
+
+    /// Bound the hot tier.
+    pub fn with_max_resident(mut self, n: usize) -> Self {
+        self.max_resident = n;
+        self
+    }
+
+    /// Bound the warm tier.
+    pub fn with_warm_capacity(mut self, n: usize) -> Self {
+        self.warm_capacity = n;
+        self
+    }
+
+    /// Bound admission.
+    pub fn with_max_sessions(mut self, n: usize) -> Self {
+        self.max_sessions = n;
+        self
+    }
+
+    /// Give every session a compute budget.
+    pub fn with_session_deadline(mut self, d: Duration) -> Self {
+        self.session_deadline = Some(d);
+        self
+    }
+}
+
+/// Everything that can go wrong at the serving layer, strictly separated
+/// from engine errors (which pass through as [`ServeError::Engine`]).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The manager is at `max_sessions`; retry after some session closes.
+    AdmissionDenied {
+        /// Sessions currently open.
+        live: usize,
+        /// The configured bound.
+        max: usize,
+    },
+    /// No session with this id was ever opened (or it was closed).
+    UnknownSession(SessionId),
+    /// The session's snapshot fell off the warm tier; its state is gone.
+    SessionEvicted(SessionId),
+    /// The session already produced its outcome (or failed terminally).
+    SessionFinished(SessionId),
+    /// The engine failed (deadline, degradation-ladder exhaustion, …).
+    /// The session is spent.
+    Engine(HinnError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::AdmissionDenied { live, max } => {
+                write!(f, "admission denied: {live} open sessions (max {max})")
+            }
+            Self::UnknownSession(id) => write!(f, "unknown {id}"),
+            Self::SessionEvicted(id) => {
+                write!(f, "{id} was evicted from the warm tier; its state is gone")
+            }
+            Self::SessionFinished(id) => write!(f, "{id} already finished"),
+            Self::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HinnError> for ServeError {
+    fn from(e: HinnError) -> Self {
+        Self::Engine(e)
+    }
+}
+
+/// Where a session's state lives right now.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Lifecycle {
+    /// Resident engine in the hot tier.
+    Hot,
+    /// Serialized snapshot in the warm tier (or already aged out of it —
+    /// discovered lazily at the next submit).
+    Warm,
+    /// Outcome delivered (or the engine failed); tombstone.
+    Finished,
+    /// Warm-tier loss discovered; tombstone.
+    Evicted,
+}
+
+/// A resident engine. The per-session mutex serializes submits to one
+/// session while letting other sessions compute concurrently.
+struct HotSlot {
+    engine: OwnedSessionEngine,
+}
+
+/// Manager maps, all behind one short-hold mutex. Engine compute never
+/// runs under this lock except the eviction/restore snapshot work, which
+/// is small compared to a view computation.
+struct Inner {
+    next_id: u64,
+    tick: u64,
+    hot: HashMap<u64, Arc<Mutex<HotSlot>>>,
+    /// Recency of hot sessions (manager-lock-protected so eviction never
+    /// has to lock a slot just to read its age).
+    last_used: HashMap<u64, u64>,
+    lifecycle: HashMap<u64, Lifecycle>,
+}
+
+impl Inner {
+    fn live(&self) -> usize {
+        self.lifecycle
+            .values()
+            .filter(|s| matches!(s, Lifecycle::Hot | Lifecycle::Warm))
+            .count()
+    }
+}
+
+/// A bounded table of suspended interactive-search sessions over one
+/// shared data set (see the crate docs for the tiering model).
+///
+/// All methods take `&self`; the manager is `Send + Sync` and meant to be
+/// shared across serving threads. Submits to *different* sessions compute
+/// concurrently; submits to the same session serialize.
+pub struct SessionManager {
+    config: ServeConfig,
+    points: Arc<Vec<Vec<f64>>>,
+    /// One cache shared by every session: same data set, same pure
+    /// stages, so sessions warm each other exactly like batch queries do.
+    cache: Arc<SessionCache>,
+    warm: LruCache<SessionSnapshot>,
+    inner: Mutex<Inner>,
+}
+
+impl SessionManager {
+    /// A manager serving sessions over `points`.
+    ///
+    /// # Errors
+    /// [`HinnError::InvalidInput`] when the search configuration is
+    /// invalid or sets `record_profiles` (profile-recording sessions
+    /// cannot be snapshotted, so they cannot be evicted — refuse up front
+    /// rather than fail at the first eviction), or when `max_resident`
+    /// is 0.
+    pub fn new(config: ServeConfig, points: Arc<Vec<Vec<f64>>>) -> Result<Self, HinnError> {
+        config.search.try_validate()?;
+        let invalid = |message: &str| HinnError::InvalidInput {
+            phase: "serve.config",
+            message: message.to_string(),
+        };
+        if config.search.record_profiles {
+            return Err(invalid(
+                "SessionManager: record_profiles sessions cannot be evicted (snapshots refuse \
+                 multi-megabyte profile artifacts); serve them with InteractiveSearch instead",
+            ));
+        }
+        if config.max_resident == 0 {
+            return Err(invalid("SessionManager: max_resident must be at least 1"));
+        }
+        let cache = Arc::new(SessionCache::new(config.search.cache));
+        let warm = LruCache::new(config.warm_capacity);
+        Ok(Self {
+            config,
+            points,
+            cache,
+            warm,
+            inner: Mutex::new(Inner {
+                next_id: 1,
+                tick: 0,
+                hot: HashMap::new(),
+                last_used: HashMap::new(),
+                lifecycle: HashMap::new(),
+            }),
+        })
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The shared per-data-set cache (useful for pre-warming).
+    pub fn session_cache(&self) -> &Arc<SessionCache> {
+        &self.cache
+    }
+
+    /// Resident hot engines right now.
+    pub fn hot_len(&self) -> usize {
+        self.lock().hot.len()
+    }
+
+    /// Snapshots resident in the warm tier right now.
+    pub fn warm_len(&self) -> usize {
+        self.warm.len()
+    }
+
+    /// Open (hot + warm) sessions right now.
+    pub fn live_sessions(&self) -> usize {
+        self.lock().live()
+    }
+
+    /// Open a new session for `query`. Returns the session's id and its
+    /// first [`Step`] — almost always `NeedResponse` carrying the first
+    /// view; degenerate data can finish immediately, in which case the
+    /// session is already closed.
+    ///
+    /// # Errors
+    /// [`ServeError::AdmissionDenied`] at the session bound;
+    /// [`ServeError::Engine`] when the engine rejects the input.
+    pub fn open(&self, query: &[f64]) -> Result<(SessionId, Step), ServeError> {
+        let _span = hinn_obs::span("session.open");
+        {
+            let inner = self.lock();
+            let live = inner.live();
+            if live >= self.config.max_sessions {
+                hinn_obs::counter("session.denied", 1);
+                return Err(ServeError::AdmissionDenied {
+                    live,
+                    max: self.config.max_sessions,
+                });
+            }
+        }
+        // The first compute segment runs outside the manager lock — other
+        // sessions keep serving. Concurrent opens can transiently overshoot
+        // admission by the number of in-flight opens; the recheck at
+        // insertion keeps the *open-session* bound exact.
+        let mut search = self.config.search.clone();
+        if self.config.session_deadline.is_some() {
+            search.deadline = self.config.session_deadline;
+        }
+        let (engine, step) =
+            SessionEngine::start_shared(search, self.points.clone(), query, self.cache.clone())?;
+        let mut inner = self.lock();
+        let live = inner.live();
+        if live >= self.config.max_sessions {
+            hinn_obs::counter("session.denied", 1);
+            return Err(ServeError::AdmissionDenied {
+                live,
+                max: self.config.max_sessions,
+            });
+        }
+        let id = SessionId(inner.next_id);
+        inner.next_id += 1;
+        hinn_obs::counter("session.opened", 1);
+        if step.is_done() {
+            inner.lifecycle.insert(id.0, Lifecycle::Finished);
+            hinn_obs::counter("session.finished", 1);
+            return Ok((id, step));
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.lifecycle.insert(id.0, Lifecycle::Hot);
+        inner.last_used.insert(id.0, tick);
+        inner
+            .hot
+            .insert(id.0, Arc::new(Mutex::new(HotSlot { engine })));
+        self.enforce_hot_cap(&mut inner);
+        self.publish_gauges(&inner);
+        Ok((id, step))
+    }
+
+    /// Submit `response` to session `id`'s pending view and run its
+    /// engine to the next suspension point (or to completion, after which
+    /// the session is closed and further submits report
+    /// [`ServeError::SessionFinished`]). A warm session is transparently
+    /// restored first — `session.resumed` counts how often.
+    pub fn submit(&self, id: SessionId, response: UserResponse) -> Result<Step, ServeError> {
+        let _span = hinn_obs::span("session.step");
+        let slot = self.checkout(id)?;
+        // Engine compute runs under the per-session lock only.
+        let mut guard = lock_slot(&slot);
+        match guard.engine.submit(response) {
+            Ok(step) => {
+                if step.is_done() {
+                    drop(guard);
+                    self.retire(id, Lifecycle::Finished);
+                    hinn_obs::counter("session.finished", 1);
+                }
+                Ok(step)
+            }
+            Err(e) => {
+                drop(guard);
+                self.retire(id, Lifecycle::Finished);
+                Err(ServeError::Engine(e))
+            }
+        }
+    }
+
+    /// The suspended view of session `id`, restoring it from the warm
+    /// tier if needed — what a serving frontend re-renders when a user
+    /// reconnects.
+    pub fn pending_view(&self, id: SessionId) -> Result<hinn_core::ViewRequest, ServeError> {
+        let slot = self.checkout(id)?;
+        let guard = lock_slot(&slot);
+        match guard.engine.pending_view() {
+            Some(view) => Ok(view.clone()),
+            // Unreachable in practice: hot engines are suspended by
+            // construction. Report rather than panic.
+            None => Err(ServeError::SessionFinished(id)),
+        }
+    }
+
+    /// Force session `id` out of the hot tier into the warm tier (a
+    /// serving frontend would call this on disconnect). No-op when the
+    /// session is already warm.
+    pub fn suspend(&self, id: SessionId) -> Result<(), ServeError> {
+        let mut inner = self.lock();
+        match inner.lifecycle.get(&id.0) {
+            None => Err(ServeError::UnknownSession(id)),
+            Some(Lifecycle::Finished) => Err(ServeError::SessionFinished(id)),
+            Some(Lifecycle::Evicted) => Err(ServeError::SessionEvicted(id)),
+            Some(Lifecycle::Warm) => Ok(()),
+            Some(Lifecycle::Hot) => {
+                self.evict_one(&mut inner, id.0);
+                self.publish_gauges(&inner);
+                Ok(())
+            }
+        }
+    }
+
+    /// Close session `id`, dropping whatever state it still has. Closing
+    /// an unknown id is an error; closing a finished or evicted session
+    /// just clears the tombstone.
+    pub fn close(&self, id: SessionId) -> Result<(), ServeError> {
+        let mut inner = self.lock();
+        if inner.lifecycle.remove(&id.0).is_none() {
+            return Err(ServeError::UnknownSession(id));
+        }
+        inner.hot.remove(&id.0);
+        inner.last_used.remove(&id.0);
+        self.warm.remove(id.key());
+        self.publish_gauges(&inner);
+        Ok(())
+    }
+
+    /// Locate `id`'s engine, restoring it from the warm tier if needed.
+    fn checkout(&self, id: SessionId) -> Result<Arc<Mutex<HotSlot>>, ServeError> {
+        let mut inner = self.lock();
+        match inner.lifecycle.get(&id.0) {
+            None => return Err(ServeError::UnknownSession(id)),
+            Some(Lifecycle::Finished) => return Err(ServeError::SessionFinished(id)),
+            Some(Lifecycle::Evicted) => return Err(ServeError::SessionEvicted(id)),
+            Some(Lifecycle::Hot) => {
+                inner.tick += 1;
+                let tick = inner.tick;
+                inner.last_used.insert(id.0, tick);
+                if let Some(slot) = inner.hot.get(&id.0) {
+                    return Ok(slot.clone());
+                }
+                // Lifecycle said Hot but the slot is gone — a close raced
+                // us. Treat as unknown.
+                return Err(ServeError::UnknownSession(id));
+            }
+            Some(Lifecycle::Warm) => {}
+        }
+        // Warm → hot. `remove` is the atomic claim: concurrent submits to
+        // the same warm session cannot both restore it (we hold the
+        // manager lock throughout; the restore recomputes exactly one
+        // pending view, which is small next to a full view computation).
+        let snap = match self.warm.remove(id.key()) {
+            Some(snap) => snap,
+            None => {
+                // The snapshot aged out of the LRU: the lazy discovery of
+                // an earlier capacity overflow.
+                inner.lifecycle.insert(id.0, Lifecycle::Evicted);
+                hinn_obs::counter("session.dropped", 1);
+                self.publish_gauges(&inner);
+                return Err(ServeError::SessionEvicted(id));
+            }
+        };
+        let mut search = self.config.search.clone();
+        if self.config.session_deadline.is_some() {
+            search.deadline = self.config.session_deadline;
+        }
+        let (engine, _step) =
+            SessionEngine::resume_shared(search, self.points.clone(), &snap, self.cache.clone())
+                .map_err(|e| {
+                    // The snapshot came from this manager, so a resume failure is
+                    // an engine-level problem (e.g. deadline during the restore
+                    // segment). The session is spent either way.
+                    inner.lifecycle.insert(id.0, Lifecycle::Finished);
+                    ServeError::Engine(e)
+                })?;
+        hinn_obs::counter("session.resumed", 1);
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.lifecycle.insert(id.0, Lifecycle::Hot);
+        inner.last_used.insert(id.0, tick);
+        let slot = Arc::new(Mutex::new(HotSlot { engine }));
+        inner.hot.insert(id.0, slot.clone());
+        self.enforce_hot_cap(&mut inner);
+        self.publish_gauges(&inner);
+        Ok(slot)
+    }
+
+    /// Evict least-recently-used hot sessions until the hot tier fits
+    /// `max_resident`. Sessions with a submit in flight (slot locked) and
+    /// engines that just finished are skipped — their owning thread
+    /// retires them.
+    fn enforce_hot_cap(&self, inner: &mut Inner) {
+        while inner.hot.len() > self.config.max_resident {
+            let mut order: Vec<(u64, u64)> = inner
+                .hot
+                .keys()
+                .map(|&sid| (inner.last_used.get(&sid).copied().unwrap_or(0), sid))
+                .collect();
+            order.sort_unstable();
+            let before = inner.hot.len();
+            for (_, sid) in order {
+                if self.evict_one(inner, sid) {
+                    break;
+                }
+            }
+            if inner.hot.len() == before {
+                // Every candidate is busy; the cap is transiently
+                // exceeded and the next mutation re-runs enforcement.
+                break;
+            }
+        }
+    }
+
+    /// Snapshot one hot session into the warm tier. Returns `false` when
+    /// the slot is busy or not suspendable right now.
+    fn evict_one(&self, inner: &mut Inner, sid: u64) -> bool {
+        let Some(slot) = inner.hot.get(&sid) else {
+            return false;
+        };
+        let Ok(guard) = slot.try_lock() else {
+            return false;
+        };
+        let Ok(snap) = guard.engine.snapshot() else {
+            return false;
+        };
+        drop(guard);
+        self.warm.insert(Fingerprint(sid as u128), snap);
+        inner.hot.remove(&sid);
+        inner.last_used.remove(&sid);
+        inner.lifecycle.insert(sid, Lifecycle::Warm);
+        hinn_obs::counter("session.evicted", 1);
+        true
+    }
+
+    /// Drop a session's residency and tombstone it.
+    fn retire(&self, id: SessionId, state: Lifecycle) {
+        let mut inner = self.lock();
+        inner.hot.remove(&id.0);
+        inner.last_used.remove(&id.0);
+        inner.lifecycle.insert(id.0, state);
+        self.publish_gauges(&inner);
+    }
+
+    fn publish_gauges(&self, inner: &Inner) {
+        if hinn_obs::enabled() {
+            hinn_obs::gauge("session.hot", inner.hot.len() as f64);
+            hinn_obs::gauge("session.warm", self.warm.len() as f64);
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // No partial mutation spans an unwind point; recover poisoning.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+fn lock_slot(slot: &Arc<Mutex<HotSlot>>) -> MutexGuard<'_, HotSlot> {
+    slot.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hinn_core::SearchOutcome;
+    use hinn_user::{HeuristicUser, UserModel};
+
+    /// 8-D planted cluster, same construction as the engine's fixture.
+    fn planted() -> Vec<Vec<f64>> {
+        let mut state = 0xDA3E39CB94B95BDBu64;
+        let mut unif = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let d = 8;
+        let mut pts: Vec<Vec<f64>> = Vec::new();
+        for _ in 0..30 {
+            pts.push((0..d).map(|_| 50.0 + (unif() - 0.5) * 2.0).collect());
+        }
+        for _ in 0..170 {
+            pts.push((0..d).map(|_| unif() * 100.0).collect());
+        }
+        pts
+    }
+
+    fn config() -> ServeConfig {
+        ServeConfig::new(SearchConfig {
+            max_major_iterations: 2,
+            min_major_iterations: 1,
+            ..SearchConfig::default().with_support(20)
+        })
+    }
+
+    fn drive_to_done(m: &SessionManager, id: SessionId, mut step: Step) -> SearchOutcome {
+        let mut user = HeuristicUser::default();
+        loop {
+            match step {
+                Step::Done(outcome) => return *outcome,
+                Step::NeedResponse(req) => {
+                    let r = user.respond(req.profile(), req.context());
+                    step = m.submit(id, r).expect("submit");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_session_end_to_end() {
+        let pts = Arc::new(planted());
+        let q = vec![50.0; 8];
+        let m = SessionManager::new(config(), pts).expect("manager");
+        let (id, step) = m.open(&q).expect("open");
+        assert_eq!(m.live_sessions(), 1);
+        let outcome = drive_to_done(&m, id, step);
+        assert!(!outcome.neighbors.is_empty());
+        assert_eq!(m.live_sessions(), 0, "finished session left the table");
+        let err = m.submit(id, UserResponse::Discard).expect_err("spent");
+        assert!(
+            matches!(err, ServeError::SessionFinished(e) if e == id),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn hot_cap_evicts_to_warm_and_resumes_transparently() {
+        let pts = Arc::new(planted());
+        let q = vec![50.0; 8];
+        let m = SessionManager::new(config().with_max_resident(2), pts).expect("manager");
+        let (a, _) = m.open(&q).expect("a");
+        let (b, _) = m.open(&q).expect("b");
+        let (c, _) = m.open(&q).expect("c");
+        // Opening c pushed the LRU session (a) to the warm tier.
+        assert_eq!(m.hot_len(), 2);
+        assert_eq!(m.warm_len(), 1);
+        assert_eq!(m.live_sessions(), 3);
+        // Submitting to a restores it — and evicts the then-LRU b.
+        let step = m.submit(a, UserResponse::Discard).expect("restore a");
+        assert!(!step.is_done());
+        assert_eq!(m.hot_len(), 2);
+        assert_eq!(m.warm_len(), 1);
+        let _ = (b, c);
+    }
+
+    #[test]
+    fn warm_overflow_is_reported_as_eviction() {
+        let pts = Arc::new(planted());
+        let q = vec![50.0; 8];
+        let m = SessionManager::new(config().with_max_resident(1).with_warm_capacity(1), pts)
+            .expect("manager");
+        let (a, _) = m.open(&q).expect("a");
+        let (b, _) = m.open(&q).expect("b"); // a → warm
+        let (_c, _) = m.open(&q).expect("c"); // b → warm, a's snapshot dropped
+        let err = m.submit(a, UserResponse::Discard).expect_err("a is gone");
+        assert!(
+            matches!(err, ServeError::SessionEvicted(e) if e == a),
+            "{err}"
+        );
+        // The loss is latched: a second submit reports the same thing.
+        let err = m.submit(a, UserResponse::Discard).expect_err("latched");
+        assert!(
+            matches!(err, ServeError::SessionEvicted(e) if e == a),
+            "{err}"
+        );
+        // b is still restorable.
+        assert!(m.submit(b, UserResponse::Discard).is_ok());
+    }
+
+    #[test]
+    fn admission_control_refuses_past_the_bound() {
+        let pts = Arc::new(planted());
+        let q = vec![50.0; 8];
+        let m = SessionManager::new(config().with_max_sessions(2), pts).expect("manager");
+        let (a, _) = m.open(&q).expect("a");
+        let _ = m.open(&q).expect("b");
+        let err = m.open(&q).expect_err("denied");
+        assert!(
+            matches!(err, ServeError::AdmissionDenied { live: 2, max: 2 }),
+            "{err}"
+        );
+        // Closing a session frees a slot.
+        m.close(a).expect("close");
+        assert!(m.open(&q).is_ok());
+    }
+
+    #[test]
+    fn unknown_and_closed_sessions_are_typed_errors() {
+        let pts = Arc::new(planted());
+        let m = SessionManager::new(config(), pts).expect("manager");
+        let ghost = SessionId(99);
+        assert!(matches!(
+            m.submit(ghost, UserResponse::Discard).expect_err("ghost"),
+            ServeError::UnknownSession(_)
+        ));
+        assert!(matches!(
+            m.close(ghost).expect_err("ghost close"),
+            ServeError::UnknownSession(_)
+        ));
+        let (id, _) = m.open(&[50.0; 8]).expect("open");
+        m.close(id).expect("close");
+        assert!(matches!(
+            m.submit(id, UserResponse::Discard).expect_err("closed"),
+            ServeError::UnknownSession(_)
+        ));
+    }
+
+    #[test]
+    fn record_profiles_and_zero_residency_are_refused_up_front() {
+        let pts = Arc::new(planted());
+        let bad = ServeConfig::new(SearchConfig {
+            record_profiles: true,
+            ..SearchConfig::default()
+        });
+        let err = SessionManager::new(bad, pts.clone())
+            .err()
+            .expect("refused");
+        assert!(err.to_string().contains("record_profiles"), "{err}");
+        let err = SessionManager::new(config().with_max_resident(0), pts)
+            .err()
+            .expect("refused");
+        assert!(err.to_string().contains("max_resident"), "{err}");
+    }
+
+    #[test]
+    fn suspend_then_pending_view_round_trips() {
+        let pts = Arc::new(planted());
+        let q = vec![50.0; 8];
+        let m = SessionManager::new(config(), pts).expect("manager");
+        let (id, step) = m.open(&q).expect("open");
+        let before = step.view().expect("first view").clone();
+        m.suspend(id).expect("suspend");
+        assert_eq!(m.hot_len(), 0);
+        assert_eq!(m.warm_len(), 1);
+        // Reconnect: the restored pending view is the same view.
+        let after = m.pending_view(id).expect("pending");
+        assert_eq!(before.context().major, after.context().major);
+        assert_eq!(before.context().minor, after.context().minor);
+        assert_eq!(before.context().original_ids, after.context().original_ids);
+        let (bp, ap) = (before.profile(), after.profile());
+        assert_eq!(
+            bp.query_density().to_bits(),
+            ap.query_density().to_bits(),
+            "restored view is bit-identical"
+        );
+        assert_eq!(bp.max_density().to_bits(), ap.max_density().to_bits());
+        // Suspending a warm session is a no-op.
+        m.suspend(id).expect("idempotent");
+    }
+
+    #[test]
+    fn manager_is_send_and_sync() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<SessionManager>();
+    }
+}

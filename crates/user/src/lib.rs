@@ -46,7 +46,10 @@ pub use heuristic::{HeuristicUser, HeuristicUserConfig};
 pub use noisy::NoisyUser;
 pub use oracle::OracleUser;
 pub use polygon_user::PolygonUser;
-pub use recording::{session_from_string, session_to_string, RecordingUser};
+pub use recording::{
+    response_from_line, response_to_line, session_from_string, session_to_string, RecordingUser,
+    SESSION_WIRE_HEADER,
+};
 pub use scripted::ScriptedUser;
 pub use terminal::TerminalUser;
 

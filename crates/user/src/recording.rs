@@ -7,11 +7,25 @@
 //! the log serializes to a simple line format and loads back into a
 //! [`ScriptedUser`] that reproduces the session exactly (the search loop is
 //! deterministic given the same data and responses).
+//!
+//! ## Wire format (`hinn-session v1`)
+//!
+//! A serialized session is line-oriented text: a [`SESSION_WIRE_HEADER`]
+//! line, then one response per line. Readers are *forward tolerant* within
+//! the major version: unknown lines starting with `x-` and unknown
+//! trailing `key=value` fields on a response line are skipped, so a v1
+//! reader replays sessions written by a later v1.x writer that annotates
+//! responses. Files with no header at all (recordings from before the
+//! format was versioned) are accepted unchanged; a header with any other
+//! major version is refused.
 
 use crate::{ScriptedUser, UserModel, UserResponse, ViewContext};
 use hinn_kde::polygon::HalfPlane;
 use hinn_kde::VisualProfile;
 use std::io;
+
+/// First line of a serialized session (see the module docs).
+pub const SESSION_WIRE_HEADER: &str = "hinn-session v1";
 
 /// Wraps a user model and records every response it gives.
 pub struct RecordingUser<U> {
@@ -73,10 +87,14 @@ pub fn response_to_line(r: &UserResponse) -> String {
 
 /// Parse one line written by [`response_to_line`].
 ///
+/// Forward tolerance: trailing whitespace-separated `key=value` fields
+/// (which no v1 writer emits, but a later v1.x writer may) are ignored.
+///
 /// # Errors
 /// `InvalidData` on any malformed line.
 pub fn response_from_line(line: &str) -> io::Result<UserResponse> {
-    let line = line.trim();
+    let line = strip_extension_fields(line.trim());
+    let line = line.as_str();
     if line == "discard" {
         return Ok(UserResponse::Discard);
     }
@@ -114,9 +132,20 @@ pub fn response_from_line(line: &str) -> io::Result<UserResponse> {
     Err(bad(format!("unrecognized response line {line:?}")))
 }
 
-/// Serialize a whole session log (one response per line).
+/// Keep a response line's leading payload, dropping trailing `key=value`
+/// extension fields a newer v1.x writer may have appended.
+fn strip_extension_fields(line: &str) -> String {
+    line.split_whitespace()
+        .take_while(|tok| !tok.contains('='))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Serialize a whole session log: the [`SESSION_WIRE_HEADER`], then one
+/// response per line.
 pub fn session_to_string(log: &[UserResponse]) -> String {
-    let mut out = String::new();
+    let mut out = String::from(SESSION_WIRE_HEADER);
+    out.push('\n');
     for r in log {
         out.push_str(&response_to_line(r));
         out.push('\n');
@@ -124,14 +153,33 @@ pub fn session_to_string(log: &[UserResponse]) -> String {
     out
 }
 
-/// Parse a session log into a replaying [`ScriptedUser`].
+/// Parse a session log into a replaying [`ScriptedUser`]. Headerless
+/// (pre-versioning) recordings are accepted; `x-`-prefixed extension
+/// lines are skipped (see the module docs).
 ///
 /// # Errors
-/// `InvalidData` on any malformed line.
+/// `InvalidData` on any malformed line or unsupported format version.
 pub fn session_from_string(content: &str) -> io::Result<ScriptedUser> {
     let mut responses = Vec::new();
+    let mut first_content = true;
     for line in content.lines() {
-        if line.trim().is_empty() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if first_content {
+            first_content = false;
+            if let Some(version) = line.strip_prefix("hinn-session ") {
+                if version.trim() != "v1" {
+                    return Err(bad(format!(
+                        "unsupported session format version {version:?} (this reader speaks v1)"
+                    )));
+                }
+                continue;
+            }
+            // No header: a legacy recording; fall through and parse it.
+        }
+        if line.starts_with("x-") {
             continue;
         }
         responses.push(response_from_line(line)?);
@@ -212,6 +260,66 @@ mod tests {
         assert_eq!(rec.log()[0], r1);
         assert_eq!(rec.log()[1], r2);
         assert!(rec.name().starts_with("recording("));
+    }
+
+    #[test]
+    fn session_text_is_versioned() {
+        let text = session_to_string(&[UserResponse::Discard]);
+        assert_eq!(text, "hinn-session v1\ndiscard\n");
+        assert!(session_from_string(&text).is_ok());
+    }
+
+    #[test]
+    fn headerless_legacy_recordings_still_parse() {
+        let mut replay = session_from_string("threshold 0.5\ndiscard\n").unwrap();
+        let profile = VisualProfile::build(vec![[0.0, 0.0], [1.0, 1.0]], [0.0, 0.0], 5, 1.0);
+        let ctx = ViewContext {
+            major: 0,
+            minor: 0,
+            original_ids: vec![0, 1],
+            total_n: 2,
+        };
+        assert_eq!(replay.respond(&profile, &ctx), UserResponse::Threshold(0.5));
+        assert_eq!(replay.respond(&profile, &ctx), UserResponse::Discard);
+    }
+
+    #[test]
+    fn future_major_versions_are_refused() {
+        let err = session_from_string("hinn-session v2\ndiscard\n").unwrap_err();
+        assert!(err.to_string().contains("unsupported"), "{err}");
+    }
+
+    #[test]
+    fn unknown_extensions_are_tolerated() {
+        // A v1.x writer that annotates sessions: extension lines and
+        // trailing key=value fields must not break replay.
+        let text = "hinn-session v1\n\
+                    x-recorded-by hinn 9.9\n\
+                    threshold 0.25 note=weak-cluster\n\
+                    x-view-wall-ms 1200\n\
+                    discard reason=noise\n";
+        let mut user = session_from_string(text).unwrap();
+        assert_eq!(user.remaining(), 2);
+        let profile = VisualProfile::build(vec![[0.0, 0.0], [1.0, 1.0]], [0.0, 0.0], 5, 1.0);
+        let ctx = ViewContext {
+            major: 0,
+            minor: 0,
+            original_ids: vec![0, 1],
+            total_n: 2,
+        };
+        assert_eq!(
+            replayed(&mut user, &profile, &ctx),
+            UserResponse::Threshold(0.25)
+        );
+        assert_eq!(replayed(&mut user, &profile, &ctx), UserResponse::Discard);
+    }
+
+    fn replayed(
+        user: &mut ScriptedUser,
+        profile: &VisualProfile,
+        ctx: &ViewContext,
+    ) -> UserResponse {
+        user.respond(profile, ctx)
     }
 
     #[test]

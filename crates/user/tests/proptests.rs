@@ -1,9 +1,11 @@
 //! Property-based robustness tests: user models must produce *valid*
 //! responses on arbitrary views and never panic.
 
+use hinn_kde::polygon::HalfPlane;
 use hinn_kde::VisualProfile;
 use hinn_user::{
-    HeuristicUser, NoisyUser, PolygonUser, ScriptedUser, UserModel, UserResponse, ViewContext,
+    response_from_line, response_to_line, session_from_string, session_to_string, HeuristicUser,
+    NoisyUser, PolygonUser, ScriptedUser, UserModel, UserResponse, ViewContext,
 };
 use proptest::prelude::*;
 
@@ -17,6 +19,33 @@ fn arbitrary_profile() -> impl Strategy<Value = VisualProfile> {
         .prop_map(|(pts, qx, qy, grid_n)| {
             let points: Vec<[f64; 2]> = pts.into_iter().map(|(x, y)| [x, y]).collect();
             VisualProfile::build(points, [qx, qy], grid_n, 0.5)
+        })
+}
+
+/// Arbitrary valid responses across all three variants, with thresholds
+/// exercising awkward magnitudes (shortest-roundtrip `{:?}` printing must
+/// bring every finite f64 back bit-exactly).
+fn arbitrary_response() -> impl Strategy<Value = UserResponse> {
+    (
+        0usize..3,
+        -1.0e12..1.0e12f64,
+        proptest::collection::vec(
+            (-100.0..100.0f64, -100.0..100.0f64, -1000.0..1000.0f64),
+            1..5,
+        ),
+    )
+        .prop_map(|(variant, tau, lines)| match variant {
+            0 => UserResponse::Discard,
+            1 => UserResponse::Threshold(tau.abs() * 1e-9 + 1e-12),
+            _ => UserResponse::Polygon(
+                lines
+                    .into_iter()
+                    .map(|(a, b, c)| {
+                        // Keep |a|+|b| above the parser's degeneracy floor.
+                        HalfPlane::new(if a.abs() < 1e-3 { 1.0 } else { a }, b, c)
+                    })
+                    .collect(),
+            ),
         })
 }
 
@@ -86,6 +115,29 @@ proptest! {
         let ra = a.respond(&profile, &ctx_for(&profile));
         let rb = b.respond(&profile, &ctx_for(&profile));
         prop_assert_eq!(ra, rb);
+    }
+
+    /// The `hinn-session v1` wire format round-trips any session log
+    /// exactly: line-level and session-level serialization agree, and a
+    /// replaying user reproduces the recorded responses bit-for-bit.
+    #[test]
+    fn wire_format_roundtrips_any_session(
+        log in proptest::collection::vec(arbitrary_response(), 0..12),
+        profile in arbitrary_profile(),
+    ) {
+        for r in &log {
+            let back = response_from_line(&response_to_line(r)).expect("line parse");
+            prop_assert_eq!(&back, r);
+        }
+        let text = session_to_string(&log);
+        prop_assert!(text.starts_with("hinn-session v1\n"), "header missing: {}", text);
+        let mut replay = session_from_string(&text).expect("session parse");
+        let ctx = ctx_for(&profile);
+        for want in &log {
+            prop_assert_eq!(&replay.respond(&profile, &ctx), want);
+        }
+        // Serializing the replayed session reproduces the text byte-for-byte.
+        prop_assert_eq!(session_to_string(&log), text);
     }
 
     #[test]

@@ -64,7 +64,9 @@ fn main() {
 
         let mut user = HeuristicUser::default();
         let outcome = InteractiveSearch::new(SearchConfig::default().with_support(40))
-            .run(data, query, &mut user);
+            .run_with(data, query, &mut user, hinn::core::RunOptions::default())
+            .expect("interactive session")
+            .into_outcome();
         println!(
             "session: {} views, {} dismissed, {} major iterations",
             outcome.transcript.total_views(),

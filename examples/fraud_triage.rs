@@ -67,11 +67,15 @@ fn main() {
 
     // The interactive triage session.
     let mut analyst = HeuristicUser::default();
-    let outcome = InteractiveSearch::new(SearchConfig::default().with_support(40)).run(
-        &transactions,
-        &seed_case,
-        &mut analyst,
-    );
+    let outcome = InteractiveSearch::new(SearchConfig::default().with_support(40))
+        .run_with(
+            &transactions,
+            &seed_case,
+            &mut analyst,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
 
     match &outcome.diagnosis {
         SearchDiagnosis::Meaningful { natural_k, .. } => {

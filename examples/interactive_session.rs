@@ -58,7 +58,15 @@ fn main() {
         grid_n: 36, // coarse enough to fit a terminal
         ..SearchConfig::default().with_support(40)
     };
-    let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+    let outcome = InteractiveSearch::new(config)
+        .run_with(
+            &data.points,
+            &query,
+            &mut user,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
 
     println!("\n================ session result ================");
     match &outcome.diagnosis {

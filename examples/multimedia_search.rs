@@ -84,11 +84,15 @@ fn main() {
 
     // --- The interactive system.
     let mut user = HeuristicUser::default();
-    let outcome = InteractiveSearch::new(SearchConfig::default().with_support(k)).run(
-        &library.points,
-        &query,
-        &mut user,
-    );
+    let outcome = InteractiveSearch::new(SearchConfig::default().with_support(k))
+        .run_with(
+            &library.points,
+            &query,
+            &mut user,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
     report("interactive (this paper)", &outcome.neighbors, &relevant);
 
     if let Some(natural) = outcome.natural_neighbors() {

@@ -42,7 +42,15 @@ fn main() {
         .with_support(40)
         .with_mode(ProjectionMode::AxisParallel)
         .recording_profiles();
-    let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+    let outcome = InteractiveSearch::new(config)
+        .run_with(
+            &data.points,
+            &query,
+            &mut user,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
 
     println!(
         "\nsession: {} major iterations, {} views shown, {} dismissed",

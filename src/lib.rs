@@ -39,13 +39,15 @@
 //!   paper): graded query-centered projections, visual profiles, preference
 //!   counts, meaningfulness quantification, meaninglessness diagnosis,
 //!   batch evaluation, per-neighbor explanations, and session reports.
+//! * [`serve`] — the multi-tenant serving layer: a bounded table of
+//!   suspended sans-io session engines with snapshot-based eviction,
+//!   transparent restore, and admission control.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use hinn::core::{InteractiveSearch, SearchConfig};
+//! use hinn::prelude::*;
 //! use hinn::data::projected::{ProjectedClusterSpec, generate_projected_clusters};
-//! use hinn::user::HeuristicUser;
 //! use rand::SeedableRng;
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
@@ -55,7 +57,10 @@
 //!
 //! let config = SearchConfig::default().with_support(20);
 //! let mut user = HeuristicUser::default();
-//! let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+//! let outcome = InteractiveSearch::new(config)
+//!     .run_with(&data.points, &query, &mut user, RunOptions::default())
+//!     .expect("session")
+//!     .into_outcome();
 //! assert!(!outcome.neighbors.is_empty());
 //! ```
 
@@ -69,5 +74,24 @@ pub use hinn_linalg as linalg;
 pub use hinn_metrics as metrics;
 pub use hinn_obs as obs;
 pub use hinn_par as par;
+pub use hinn_serve as serve;
 pub use hinn_user as user;
 pub use hinn_viz as viz;
+
+/// The types nearly every `hinn` program touches, importable in one line:
+/// configure a search ([`SearchConfig`]), run it against a user model
+/// ([`InteractiveSearch::run_with`] / [`HeuristicUser`]), drive it
+/// step-by-step ([`SessionEngine`] / [`Step`] / [`UserResponse`]), or
+/// serve many sessions at once ([`SessionManager`] / [`ServeConfig`]).
+///
+/// ```
+/// use hinn::prelude::*;
+/// ```
+pub mod prelude {
+    pub use hinn_core::{
+        HinnError, InteractiveSearch, RunOptions, RunOutput, SearchConfig, SearchOutcome,
+        SessionEngine, SessionSnapshot, Step,
+    };
+    pub use hinn_serve::{ServeConfig, ServeError, SessionId, SessionManager};
+    pub use hinn_user::{HeuristicUser, ScriptedUser, UserModel, UserResponse};
+}

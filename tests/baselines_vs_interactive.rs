@@ -43,7 +43,14 @@ fn interactive_beats_full_dimensional_l2_on_subspace_clusters() {
             .with_support(25)
             .with_mode(ProjectionMode::AxisParallel),
     )
-    .run(&data.points, &query, &mut user);
+    .run_with(
+        &data.points,
+        &query,
+        &mut user,
+        hinn::core::RunOptions::default(),
+    )
+    .expect("interactive session")
+    .into_outcome();
     let set = outcome
         .natural_neighbors()
         .unwrap_or_else(|| outcome.neighbors.clone());
@@ -103,7 +110,15 @@ fn contrast_is_restored_inside_the_discovered_projection() {
             .with_support(25)
             .with_mode(ProjectionMode::AxisParallel)
     };
-    let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+    let outcome = InteractiveSearch::new(config)
+        .run_with(
+            &data.points,
+            &query,
+            &mut user,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
     // Contrast in the first (best-graded) projection, restricted to the
     // query cluster vs everything: distance from the query to all points in
     // the 2-d view.

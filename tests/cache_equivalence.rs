@@ -88,7 +88,15 @@ fn workload() -> Vec<Vec<f64>> {
 /// Run once on `engine`'s own (possibly shared) cache, untraced.
 fn run_with(engine: &InteractiveSearch, points: &[Vec<f64>]) -> SearchOutcome {
     let mut user = script();
-    engine.run(points, &points[0], &mut user)
+    engine
+        .run_with(
+            points,
+            &points[0],
+            &mut user,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome()
 }
 
 fn run_traced_with(
@@ -96,7 +104,16 @@ fn run_traced_with(
     points: &[Vec<f64>],
 ) -> (SearchOutcome, TelemetryReport) {
     let mut user = script();
-    engine.run_traced(points, &points[0], &mut user)
+    let out = engine
+        .run_with(
+            points,
+            &points[0],
+            &mut user,
+            hinn::core::RunOptions::traced(),
+        )
+        .expect("interactive session");
+    let telemetry = out.telemetry.clone().expect("traced run yields telemetry");
+    (out.into_outcome(), telemetry)
 }
 
 /// Bit-level outcome comparison (the same discipline as the PR 1/PR 2

@@ -25,7 +25,14 @@ fn run_once(seed: u64) -> (Vec<usize>, Vec<f64>) {
             .with_support(15)
             .with_mode(ProjectionMode::AxisParallel),
     )
-    .run(&data.points, &query, &mut user);
+    .run_with(
+        &data.points,
+        &query,
+        &mut user,
+        hinn::core::RunOptions::default(),
+    )
+    .expect("interactive session")
+    .into_outcome();
     (outcome.neighbors, outcome.probabilities)
 }
 
@@ -73,8 +80,24 @@ fn dataset_roundtrips_through_csv_and_search_agrees() {
         ..SearchConfig::default().with_support(10)
     };
     let mut u1 = HeuristicUser::default();
-    let r1 = InteractiveSearch::new(config.clone()).run(&data.points, &query, &mut u1);
+    let r1 = InteractiveSearch::new(config.clone())
+        .run_with(
+            &data.points,
+            &query,
+            &mut u1,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
     let mut u2 = HeuristicUser::default();
-    let r2 = InteractiveSearch::new(config).run(&loaded.points, &query, &mut u2);
+    let r2 = InteractiveSearch::new(config)
+        .run_with(
+            &loaded.points,
+            &query,
+            &mut u2,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
     assert_eq!(r1.neighbors, r2.neighbors);
 }

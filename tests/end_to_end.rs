@@ -35,7 +35,14 @@ fn heuristic_session_recovers_planted_cluster() {
             .with_support(20)
             .with_mode(ProjectionMode::AxisParallel),
     )
-    .run(&data.points, &query, &mut user);
+    .run_with(
+        &data.points,
+        &query,
+        &mut user,
+        hinn::core::RunOptions::default(),
+    )
+    .expect("interactive session")
+    .into_outcome();
 
     let set = outcome
         .natural_neighbors()
@@ -68,11 +75,15 @@ fn uniform_data_is_diagnosed_not_meaningful() {
     let query: Vec<f64> = (0..12).map(|_| rng.gen_range(20.0..80.0)).collect();
 
     let mut user = HeuristicUser::default();
-    let outcome = InteractiveSearch::new(SearchConfig::default().with_support(15)).run(
-        &data.points,
-        &query,
-        &mut user,
-    );
+    let outcome = InteractiveSearch::new(SearchConfig::default().with_support(15))
+        .run_with(
+            &data.points,
+            &query,
+            &mut user,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
     assert!(
         !outcome.diagnosis.is_meaningful(),
         "uniform data must not be meaningful: {:?}",
@@ -99,7 +110,15 @@ fn oracle_user_is_an_upper_bound_for_the_heuristic() {
         .with_mode(ProjectionMode::AxisParallel);
 
     let run = |user: &mut dyn hinn::user::UserModel| {
-        let outcome = InteractiveSearch::new(config.clone()).run(&data.points, &query, user);
+        let outcome = InteractiveSearch::new(config.clone())
+            .run_with(
+                &data.points,
+                &query,
+                user,
+                hinn::core::RunOptions::default(),
+            )
+            .expect("interactive session")
+            .into_outcome();
         let set = outcome
             .natural_neighbors()
             .unwrap_or_else(|| outcome.neighbors.clone());
@@ -127,7 +146,15 @@ fn scripted_all_discard_returns_not_meaningful_and_zero_probabilities() {
         min_major_iterations: 1,
         ..SearchConfig::default().with_support(15)
     };
-    let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+    let outcome = InteractiveSearch::new(config)
+        .run_with(
+            &data.points,
+            &query,
+            &mut user,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
     assert!(!outcome.diagnosis.is_meaningful());
     assert!(outcome.probabilities.iter().all(|&p| p == 0.0));
     // Fallback ranking still returns the requested number of neighbors.
@@ -149,7 +176,15 @@ fn polygon_responses_flow_through_the_search() {
         min_major_iterations: 1,
         ..SearchConfig::default().with_support(15)
     };
-    let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+    let outcome = InteractiveSearch::new(config)
+        .run_with(
+            &data.points,
+            &query,
+            &mut user,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
     // Picking everything every time gives every point the same count; the
     // variance of the null is 0 → probabilities all zero → not meaningful.
     assert!(!outcome.diagnosis.is_meaningful());
@@ -175,7 +210,14 @@ fn arbitrary_mode_handles_oblique_clusters() {
             .with_support(80)
             .with_mode(ProjectionMode::Arbitrary),
     )
-    .run(&data.points, &query, &mut user);
+    .run_with(
+        &data.points,
+        &query,
+        &mut user,
+        hinn::core::RunOptions::default(),
+    )
+    .expect("interactive session")
+    .into_outcome();
     let set = outcome
         .natural_neighbors()
         .unwrap_or_else(|| outcome.neighbors.clone());
@@ -199,7 +241,15 @@ fn transcript_is_complete_and_consistent() {
         ..SearchConfig::default().with_support(15)
     };
     let mut user = HeuristicUser::default();
-    let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+    let outcome = InteractiveSearch::new(config)
+        .run_with(
+            &data.points,
+            &query,
+            &mut user,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
 
     assert_eq!(outcome.transcript.majors.len(), outcome.majors_run);
     for (mi, major) in outcome.transcript.majors.iter().enumerate() {

@@ -42,7 +42,8 @@ fn session(points: &[Vec<f64>], query: &[f64], config: SearchConfig) -> SearchOu
     let mut user = HeuristicUser::default();
     InteractiveSearch::try_new(config)
         .expect("valid config")
-        .try_run(points, query, &mut user)
+        .run_with(points, query, &mut user, hinn::core::RunOptions::default())
+        .map(hinn::core::RunOutput::into_outcome)
         .expect("session must complete")
 }
 
@@ -163,7 +164,13 @@ fn forced_deadline_surfaces_as_typed_error() {
         let mut user = HeuristicUser::default();
         InteractiveSearch::try_new(cfg)
             .expect("valid config")
-            .try_run(&points, &query, &mut user)
+            .run_with(
+                &points,
+                &query,
+                &mut user,
+                hinn::core::RunOptions::default(),
+            )
+            .map(hinn::core::RunOutput::into_outcome)
             .expect_err("forced deadline must abort the session")
     };
     assert!(plan.fired("search.deadline") >= 1);

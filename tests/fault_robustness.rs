@@ -106,7 +106,9 @@ fn try_session(
             .with_parallelism(Parallelism::fixed(threads))
     };
     let mut user = ScriptedUser::new(rsp.to_vec());
-    InteractiveSearch::try_new(config)?.try_run(points, query, &mut user)
+    InteractiveSearch::try_new(config)?
+        .run_with(points, query, &mut user, hinn::core::RunOptions::default())
+        .map(hinn::core::RunOutput::into_outcome)
 }
 
 proptest! {
@@ -178,7 +180,13 @@ fn expired_wall_clock_deadline_is_a_typed_error() {
     let mut user = ScriptedUser::new(responses(7, 12));
     let err = InteractiveSearch::try_new(config)
         .expect("valid config")
-        .try_run(&points, &query, &mut user)
+        .run_with(
+            &points,
+            &query,
+            &mut user,
+            hinn::core::RunOptions::default(),
+        )
+        .map(hinn::core::RunOutput::into_outcome)
         .expect_err("a 1 ns deadline cannot be met");
     match err {
         HinnError::Deadline {

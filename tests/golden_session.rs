@@ -47,7 +47,15 @@ fn render_session() -> String {
         .with_support(20)
         .with_mode(ProjectionMode::AxisParallel);
     let mut user = HeuristicUser::default();
-    let outcome = InteractiveSearch::new(config).run(&data.points, &query, &mut user);
+    let outcome = InteractiveSearch::new(config)
+        .run_with(
+            &data.points,
+            &query,
+            &mut user,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
 
     let mut out = String::new();
     let _ = writeln!(out, "scenario: projected-clusters n=600 d=8 seed=1");

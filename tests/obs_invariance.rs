@@ -90,12 +90,29 @@ fn workload() -> Vec<Vec<f64>> {
 
 fn run_plain(par: Parallelism, points: &[Vec<f64>]) -> SearchOutcome {
     let mut user = script();
-    InteractiveSearch::new(config(par)).run(points, &points[0], &mut user)
+    InteractiveSearch::new(config(par))
+        .run_with(
+            points,
+            &points[0],
+            &mut user,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome()
 }
 
 fn run_traced(par: Parallelism, points: &[Vec<f64>]) -> (SearchOutcome, TelemetryReport) {
     let mut user = script();
-    InteractiveSearch::new(config(par)).run_traced(points, &points[0], &mut user)
+    let out = InteractiveSearch::new(config(par))
+        .run_with(
+            points,
+            &points[0],
+            &mut user,
+            hinn::core::RunOptions::traced(),
+        )
+        .expect("interactive session");
+    let telemetry = out.telemetry.clone().expect("traced run yields telemetry");
+    (out.into_outcome(), telemetry)
 }
 
 fn assert_outcomes_bit_identical(a: &SearchOutcome, b: &SearchOutcome, label: &str) {

@@ -127,7 +127,10 @@ fn session(par: Parallelism, points: &[Vec<f64>], user: &mut dyn UserModel) -> S
             .with_support(25)
             .with_parallelism(par)
     };
-    InteractiveSearch::new(config).run(points, &points[0], user)
+    InteractiveSearch::new(config)
+        .run_with(points, &points[0], user, hinn::core::RunOptions::default())
+        .expect("interactive session")
+        .into_outcome()
 }
 
 fn assert_outcomes_bit_identical(a: &SearchOutcome, b: &SearchOutcome, label: &str) {

@@ -30,14 +30,30 @@ fn recorded_session_replays_identically() {
 
     // Live session with a recorder around the simulated human.
     let mut recorder = RecordingUser::new(HeuristicUser::default());
-    let live = InteractiveSearch::new(config.clone()).run(&data.points, &query, &mut recorder);
+    let live = InteractiveSearch::new(config.clone())
+        .run_with(
+            &data.points,
+            &query,
+            &mut recorder,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
     let (_, log) = recorder.into_parts();
     assert_eq!(log.len(), live.transcript.total_views());
 
     // Serialize → parse → replay.
     let text = session_to_string(&log);
     let mut replay = session_from_string(&text).expect("parse recorded session");
-    let replayed = InteractiveSearch::new(config).run(&data.points, &query, &mut replay);
+    let replayed = InteractiveSearch::new(config)
+        .run_with(
+            &data.points,
+            &query,
+            &mut replay,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
 
     assert_eq!(replayed.neighbors, live.neighbors);
     assert_eq!(replayed.probabilities, live.probabilities);
@@ -76,7 +92,15 @@ fn replay_against_prewarmed_cache_is_byte_stable() {
     // Record a live session on a cold engine (caching on by default).
     let engine = InteractiveSearch::new(config.clone());
     let mut recorder = RecordingUser::new(HeuristicUser::default());
-    let live = engine.run(&data.points, &query, &mut recorder);
+    let live = engine
+        .run_with(
+            &data.points,
+            &query,
+            &mut recorder,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
     let (_, log) = recorder.into_parts();
     let text = session_to_string(&log);
 
@@ -86,7 +110,15 @@ fn replay_against_prewarmed_cache_is_byte_stable() {
     let replay = session_from_string(&text).expect("parse recorded session");
     let served = InteractiveSearch::new(config).with_session_cache(engine.session_cache().clone());
     let mut re_recorder = RecordingUser::new(replay);
-    let replayed = served.run(&data.points, &query, &mut re_recorder);
+    let replayed = served
+        .run_with(
+            &data.points,
+            &query,
+            &mut re_recorder,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
     let (_, re_log) = re_recorder.into_parts();
 
     assert_eq!(replayed.neighbors, live.neighbors);

@@ -1,0 +1,177 @@
+//! Suspend/resume equivalence: a session that is snapshotted to text and
+//! restored — at *every* suspension point, onto different thread budgets
+//! and cache policies — finishes with a byte-identical transcript and
+//! outcome to the session that was never interrupted.
+//!
+//! This is the serving layer's core correctness claim: eviction to the
+//! warm tier and transparent restore are invisible to results. The engine
+//! makes it checkable because the snapshot carries *all* loop state and
+//! the pending view is a pure function of that state.
+
+use hinn::core::{Parallelism, SearchConfig, SearchOutcome, SessionEngine, SessionSnapshot, Step};
+use hinn::par::SERIAL_CUTOFF;
+use hinn::user::{HeuristicUser, UserModel};
+
+/// Deterministic xorshift point cloud sized so worker threads really
+/// spawn (above `SERIAL_CUTOFF` the parallel paths stop running inline).
+fn cloud(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed | 1;
+    let mut unif = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| (0..d).map(|_| unif() * 100.0 - 50.0).collect())
+        .collect()
+}
+
+fn config(par: Parallelism) -> SearchConfig {
+    SearchConfig {
+        max_major_iterations: 2,
+        min_major_iterations: 1,
+        ..SearchConfig::default()
+            .with_support(25)
+            .with_parallelism(par)
+    }
+}
+
+/// Render everything response-visible about a transcript, bit-exactly
+/// (`{:?}` on an f64 prints its shortest round-trip form, so equal text
+/// means equal bits).
+fn transcript_text(o: &SearchOutcome) -> String {
+    let mut out = String::new();
+    for (mi, major) in o.transcript.majors.iter().enumerate() {
+        out.push_str(&format!(
+            "major {mi}: {} -> {} overlap {:?}\n",
+            major.n_points_before, major.n_points_after, major.overlap_with_previous
+        ));
+        for r in &major.minors {
+            out.push_str(&format!(
+                "  minor {}.{} response {:?} picked {} qpr {:?} ratios {:?}\n",
+                r.major, r.minor, r.response, r.n_picked, r.query_peak_ratio, r.variance_ratios
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "neighbors {:?}\nprobabilities {:?}\nmajors_run {}\n",
+        o.neighbors, o.probabilities, o.majors_run
+    ));
+    out
+}
+
+/// Run a session to completion with no interruption.
+fn uninterrupted(points: &[Vec<f64>], query: &[f64], par: Parallelism) -> SearchOutcome {
+    let (mut engine, mut step) = SessionEngine::start(config(par), points, query).expect("start");
+    let mut user = HeuristicUser::default();
+    loop {
+        match step {
+            Step::Done(outcome) => return *outcome,
+            Step::NeedResponse(req) => {
+                let r = user.respond(req.profile(), req.context());
+                step = engine.submit(r).expect("submit");
+            }
+        }
+    }
+}
+
+/// Run the same session, but at every suspension point serialize the
+/// engine to text, drop it, and resume from the parsed text under
+/// `resume_par` — exercising snapshot/restore at every view and proving
+/// thread budget and cache policy are resume-time free choices.
+fn interrupted_at_every_view(
+    points: &[Vec<f64>],
+    query: &[f64],
+    start_par: Parallelism,
+    resume_par: Parallelism,
+) -> (SearchOutcome, usize) {
+    let (mut engine, mut step) =
+        SessionEngine::start(config(start_par), points, query).expect("start");
+    let mut user = HeuristicUser::default();
+    let mut resumes = 0;
+    loop {
+        match step {
+            Step::Done(outcome) => return (*outcome, resumes),
+            Step::NeedResponse(req) => {
+                // Suspend: serialize, destroy the engine, round-trip the
+                // text, restore on a different budget with caching off.
+                let text = engine.snapshot().expect("snapshot").to_string();
+                drop(engine);
+                let snap = SessionSnapshot::from_text(text).expect("parse snapshot");
+                let restored =
+                    SessionEngine::resume(config(resume_par).without_cache(), points, &snap)
+                        .expect("resume");
+                engine = restored.0;
+                resumes += 1;
+                // The recomputed pending view must be the very view we
+                // were answering.
+                let again = match &restored.1 {
+                    Step::NeedResponse(r) => r,
+                    Step::Done(_) => panic!("resume finished a suspended session"),
+                };
+                assert_eq!(req.context().major, again.context().major);
+                assert_eq!(req.context().minor, again.context().minor);
+                assert_eq!(req.context().original_ids, again.context().original_ids);
+                let r = user.respond(again.profile(), again.context());
+                step = engine.submit(r).expect("submit");
+            }
+        }
+    }
+}
+
+#[test]
+fn resume_at_every_view_is_byte_identical_across_budgets() {
+    let points = cloud(SERIAL_CUTOFF + 42, 6, 0x5EED);
+    let query = points[0].clone();
+    let reference = uninterrupted(&points, &query, Parallelism::fixed(1));
+    let want = transcript_text(&reference);
+    for (start_t, resume_t) in [(1, 4), (4, 1), (4, 4)] {
+        let (outcome, resumes) = interrupted_at_every_view(
+            &points,
+            &query,
+            Parallelism::fixed(start_t),
+            Parallelism::fixed(resume_t),
+        );
+        assert!(resumes > 0, "the session never suspended");
+        assert_eq!(
+            transcript_text(&outcome),
+            want,
+            "transcript diverged (start {start_t} threads, resume {resume_t} threads, \
+             {resumes} resumes)"
+        );
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&reference.probabilities),
+            bits(&outcome.probabilities),
+            "probabilities not bit-identical (start {start_t}, resume {resume_t})"
+        );
+        assert_eq!(reference.neighbors, outcome.neighbors);
+    }
+}
+
+#[test]
+fn snapshots_of_identical_sessions_are_identical_text() {
+    let points = cloud(SERIAL_CUTOFF + 42, 6, 0x5EED);
+    let query = points[0].clone();
+    let snap = |threads: usize| {
+        let (mut engine, mut step) =
+            SessionEngine::start(config(Parallelism::fixed(threads)), &points, &query)
+                .expect("start");
+        let mut user = HeuristicUser::default();
+        // Advance three views in, then serialize.
+        for _ in 0..3 {
+            let req = match &step {
+                Step::NeedResponse(req) => req.clone(),
+                Step::Done(_) => panic!("session too short for the fixture"),
+            };
+            let r = user.respond(req.profile(), req.context());
+            step = engine.submit(r).expect("submit");
+        }
+        engine.snapshot().expect("snapshot").to_string()
+    };
+    // Same session, different thread budgets: the serialized state is the
+    // same text, byte for byte (parallelism is excluded from the config
+    // fingerprint precisely because it cannot affect state).
+    assert_eq!(snap(1), snap(4));
+}

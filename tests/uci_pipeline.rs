@@ -35,11 +35,15 @@ fn interactive_classification_works_on_uci_like_data() {
     let queries = [0usize, 30, 60, 130, 170];
     for &q in &queries {
         let mut user = HeuristicUser::default();
-        let outcome = InteractiveSearch::new(SearchConfig::default().with_support(15)).run(
-            &ds.points,
-            &ds.points[q],
-            &mut user,
-        );
+        let outcome = InteractiveSearch::new(SearchConfig::default().with_support(15))
+            .run_with(
+                &ds.points,
+                &ds.points[q],
+                &mut user,
+                hinn::core::RunOptions::default(),
+            )
+            .expect("interactive session")
+            .into_outcome();
         let set = outcome
             .natural_neighbors()
             .unwrap_or_else(|| outcome.neighbors.clone());
@@ -82,7 +86,14 @@ fn scaling_preserves_search_structure() {
             ..SearchConfig::default().with_support(15)
         };
         InteractiveSearch::new(config)
-            .run(&data.points, query, &mut user)
+            .run_with(
+                &data.points,
+                query,
+                &mut user,
+                hinn::core::RunOptions::default(),
+            )
+            .expect("interactive session")
+            .into_outcome()
             .neighbors
     };
     let original = run(&ds, &ds.points[q].clone());
@@ -149,6 +160,14 @@ fn real_ionosphere_format_feeds_the_search() {
         min_major_iterations: 1,
         ..SearchConfig::default().with_support(10)
     };
-    let outcome = InteractiveSearch::new(config).run(&ds.points, &ds.points[q].clone(), &mut user);
+    let outcome = InteractiveSearch::new(config)
+        .run_with(
+            &ds.points,
+            &ds.points[q].clone(),
+            &mut user,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome();
     assert_eq!(outcome.probabilities.len(), 60);
 }
