@@ -158,6 +158,12 @@ struct PendingView {
     projection_ns: u64,
     profile_ns: u64,
     t_profile: Option<Instant>,
+    /// Degradation-log length just before this view's own events were
+    /// recorded. Snapshots serialize only events before this mark:
+    /// resume recomputes the pending view and re-emits its events, so
+    /// serializing them too would duplicate them on every evict/restore
+    /// cycle.
+    degr_mark: usize,
 }
 
 enum EngineStatus {
@@ -376,8 +382,8 @@ impl<'a> SessionEngine<'a> {
                     .to_string(),
             ));
         }
-        let cur = match (&self.cur, &self.pending) {
-            (Some(cur), Some(_)) => cur,
+        let (cur, pending) = match (&self.cur, &self.pending) {
+            (Some(cur), Some(pending)) => (cur, pending),
             _ => {
                 return Err(snapshot_err(
                     "SessionEngine::snapshot: engine is not suspended at a view".to_string(),
@@ -404,7 +410,10 @@ impl<'a> SessionEngine<'a> {
             major_n_before: cur.major_rec.n_points_before,
             major_minors: cur.major_rec.minors.clone(),
             transcript_majors: self.transcript.majors.clone(),
-            degradations: self.transcript.degradations.events.clone(),
+            // Only events from *before* the pending view: resume recomputes
+            // that view bit-identically, re-emitting its events, so carrying
+            // them in the snapshot would duplicate them on every restore.
+            degradations: self.transcript.degradations.events[..pending.degr_mark].to_vec(),
         };
         Ok(snapshot::render(&state))
     }
@@ -505,6 +514,7 @@ impl<'a> SessionEngine<'a> {
         }
         let alive_points: Vec<Vec<f64>> = state.alive.iter().map(|&i| pts[i].clone()).collect();
         let alive_fp = dataset_fp.map(|fp| SessionCache::alive_key(fp, &state.alive));
+        let spent_at_snapshot = Duration::from_nanos(state.spent_ns);
         let mut engine = SessionEngine {
             config,
             drop_config,
@@ -516,7 +526,7 @@ impl<'a> SessionEngine<'a> {
             s_eff,
             n_minors,
             dataset_fp,
-            spent: Duration::from_nanos(state.spent_ns),
+            spent: spent_at_snapshot,
             alive: state.alive,
             p_sum: state.p_sum,
             transcript: Transcript {
@@ -547,6 +557,12 @@ impl<'a> SessionEngine<'a> {
         // Recompute the view that was pending at suspension time: a pure
         // function of the restored state, so it comes out bit-identical.
         let step = engine.drive(None)?;
+        // The recomputation re-does work the original session already paid
+        // for (the view's compute was metered before the snapshot), so it
+        // must not be charged again: a session bounced between residency
+        // tiers would otherwise burn its deadline budget on eviction
+        // pressure alone, without any user-visible progress.
+        engine.spent = spent_at_snapshot;
         Ok((engine, step))
     }
 
@@ -729,6 +745,7 @@ impl<'a> SessionEngine<'a> {
             )?),
         };
         let proj = &proj_pair.0;
+        let degr_mark = self.transcript.degradations.len();
         self.transcript
             .degradations
             .absorb(proj_pair.1.clone(), major, minor);
@@ -825,6 +842,7 @@ impl<'a> SessionEngine<'a> {
             projection_ns,
             profile_ns,
             t_profile,
+            degr_mark,
         });
         Ok(Some(request))
     }
@@ -1206,6 +1224,90 @@ mod tests {
         assert_eq!(outcome.majors_run, reference.majors_run);
         for (a, b) in outcome.probabilities.iter().zip(&reference.probabilities) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn snapshot_resume_does_not_duplicate_degradation_events() {
+        // Planted data plus one constant coordinate: with axis-parallel
+        // candidates the zero-variance axis is dropped — and recorded —
+        // on every single view, unlike the healthy planted fixture.
+        let (mut pts, mut q) = planted();
+        for p in pts.iter_mut() {
+            p.push(7.5);
+        }
+        q.push(7.5);
+        let cfg = SearchConfig {
+            max_major_iterations: 2,
+            min_major_iterations: 1,
+            ..config()
+        };
+        let (engine, step) = SessionEngine::start(cfg.clone(), &pts, &q).expect("start");
+        let reference = drive_to_done(engine, step, &mut HeuristicUser::default());
+        assert!(
+            !reference.transcript.degradations.is_empty(),
+            "fixture must exercise the degradation ladder"
+        );
+
+        // The same session, snapshotted and resumed at *every* suspension
+        // point — each cycle recomputes the pending view, which re-emits
+        // that view's degradation events; they must not also come back in
+        // via the snapshot.
+        let mut user = HeuristicUser::default();
+        let (mut engine, mut step) = SessionEngine::start(cfg.clone(), &pts, &q).expect("start");
+        while let Step::NeedResponse(req) = step {
+            let snap = engine.snapshot().expect("snapshot");
+            let (resumed, _) = SessionEngine::resume(cfg.clone(), &pts, &snap).expect("resume");
+            engine = resumed;
+            let r = user.respond(req.profile(), req.context());
+            step = engine.submit(r).expect("submit");
+        }
+        let outcome = step.into_outcome().expect("done");
+        let (a, b) = (
+            &reference.transcript.degradations.events,
+            &outcome.transcript.degradations.events,
+        );
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "degradation events duplicated across snapshot/resume"
+        );
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!((x.major, x.minor), (y.major, y.minor));
+            assert_eq!(x.detail, y.detail);
+        }
+        for (x, y) in outcome.probabilities.iter().zip(&reference.probabilities) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn resume_does_not_recharge_the_restored_views_compute() {
+        let (pts, q) = planted();
+        let cfg = SearchConfig {
+            deadline: Some(Duration::from_secs(3600)),
+            ..config()
+        };
+        let (mut engine, step) = SessionEngine::start(cfg.clone(), &pts, &q).expect("start");
+        let mut user = HeuristicUser::default();
+        let req = step.view().expect("view").clone();
+        let r = user.respond(req.profile(), req.context());
+        engine.submit(r).expect("submit");
+        let spent = engine.spent_compute();
+        assert!(spent > Duration::ZERO, "deadline sessions meter compute");
+        // Bounce the session through snapshot/resume repeatedly: the spent
+        // figure must stay exactly what the snapshot recorded, or eviction
+        // pressure alone could drain a served session's budget.
+        let mut snap = engine.snapshot().expect("snapshot");
+        for _ in 0..3 {
+            let (resumed, _step) = SessionEngine::resume(cfg.clone(), &pts, &snap).expect("resume");
+            assert_eq!(
+                resumed.spent_compute(),
+                spent,
+                "restore recomputation was charged against the deadline"
+            );
+            snap = resumed.snapshot().expect("re-snapshot");
         }
     }
 

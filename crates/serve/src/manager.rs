@@ -53,7 +53,10 @@ pub struct ServeConfig {
     pub max_sessions: usize,
     /// Per-session compute budget. The engine meters compute segments
     /// only — wall-clock time a session spends suspended (user think
-    /// time, warm-tier residence) is free. Expiry surfaces as
+    /// time, warm-tier residence) is free, and so is the view
+    /// recomputation a warm-tier restore performs (the original
+    /// computation was already charged before the snapshot, so eviction
+    /// pressure cannot drain a session's budget). Expiry surfaces as
     /// [`ServeError::Engine`] wrapping [`HinnError::Deadline`].
     pub session_deadline: Option<Duration>,
 }
@@ -169,6 +172,38 @@ struct HotSlot {
     engine: OwnedSessionEngine,
 }
 
+/// A checked-out hot slot. While the lease is alive the session is
+/// *pinned*: eviction passes skip it entirely. Without the pin there is a
+/// window between [`SessionManager::checkout`] releasing the manager lock
+/// and the caller locking the slot in which `evict_one` could `try_lock`
+/// the idle slot, snapshot its *pre-response* state to the warm tier, and
+/// drop it from the hot map — the submit would then advance an orphaned
+/// engine whose progress is never persisted, and the next submit would
+/// replay the stale snapshot.
+struct SlotLease<'m> {
+    manager: &'m SessionManager,
+    id: u64,
+    slot: Arc<Mutex<HotSlot>>,
+}
+
+impl SlotLease<'_> {
+    fn lock(&self) -> MutexGuard<'_, HotSlot> {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Drop for SlotLease<'_> {
+    fn drop(&mut self) {
+        let mut inner = self.manager.lock();
+        if let Some(n) = inner.pinned.get_mut(&self.id) {
+            *n -= 1;
+            if *n == 0 {
+                inner.pinned.remove(&self.id);
+            }
+        }
+    }
+}
+
 /// Manager maps, all behind one short-hold mutex. Engine compute never
 /// runs under this lock except the eviction/restore snapshot work, which
 /// is small compared to a view computation.
@@ -180,6 +215,11 @@ struct Inner {
     /// has to lock a slot just to read its age).
     last_used: HashMap<u64, u64>,
     lifecycle: HashMap<u64, Lifecycle>,
+    /// Sessions with a live [`SlotLease`] (value = lease count), which
+    /// eviction must skip. A plain `try_lock` probe is not enough: a
+    /// checked-out slot is unlocked until its caller gets around to
+    /// locking it.
+    pinned: HashMap<u64, usize>,
 }
 
 impl Inner {
@@ -244,6 +284,7 @@ impl SessionManager {
                 hot: HashMap::new(),
                 last_used: HashMap::new(),
                 lifecycle: HashMap::new(),
+                pinned: HashMap::new(),
             }),
         })
     }
@@ -340,9 +381,11 @@ impl SessionManager {
     /// restored first — `session.resumed` counts how often.
     pub fn submit(&self, id: SessionId, response: UserResponse) -> Result<Step, ServeError> {
         let _span = hinn_obs::span("session.step");
-        let slot = self.checkout(id)?;
-        // Engine compute runs under the per-session lock only.
-        let mut guard = lock_slot(&slot);
+        let lease = self.checkout(id)?;
+        // Engine compute runs under the per-session lock only; the lease
+        // keeps eviction away from this session until the new state is
+        // safely in the slot (or the session is retired).
+        let mut guard = lease.lock();
         match guard.engine.submit(response) {
             Ok(step) => {
                 if step.is_done() {
@@ -364,8 +407,8 @@ impl SessionManager {
     /// tier if needed — what a serving frontend re-renders when a user
     /// reconnects.
     pub fn pending_view(&self, id: SessionId) -> Result<hinn_core::ViewRequest, ServeError> {
-        let slot = self.checkout(id)?;
-        let guard = lock_slot(&slot);
+        let lease = self.checkout(id)?;
+        let guard = lease.lock();
         match guard.engine.pending_view() {
             Some(view) => Ok(view.clone()),
             // Unreachable in practice: hot engines are suspended by
@@ -408,7 +451,11 @@ impl SessionManager {
     }
 
     /// Locate `id`'s engine, restoring it from the warm tier if needed.
-    fn checkout(&self, id: SessionId) -> Result<Arc<Mutex<HotSlot>>, ServeError> {
+    /// The returned lease pins the session against eviction; it is claimed
+    /// under the same manager-lock critical section that reads the hot
+    /// map, so there is no window for `evict_one` to snapshot a slot its
+    /// caller is about to mutate.
+    fn checkout(&self, id: SessionId) -> Result<SlotLease<'_>, ServeError> {
         let mut inner = self.lock();
         match inner.lifecycle.get(&id.0) {
             None => return Err(ServeError::UnknownSession(id)),
@@ -419,7 +466,8 @@ impl SessionManager {
                 let tick = inner.tick;
                 inner.last_used.insert(id.0, tick);
                 if let Some(slot) = inner.hot.get(&id.0) {
-                    return Ok(slot.clone());
+                    let slot = slot.clone();
+                    return Ok(self.pin(&mut inner, id.0, slot));
                 }
                 // Lifecycle said Hot but the slot is gone — a close raced
                 // us. Treat as unknown.
@@ -462,9 +510,22 @@ impl SessionManager {
         inner.last_used.insert(id.0, tick);
         let slot = Arc::new(Mutex::new(HotSlot { engine }));
         inner.hot.insert(id.0, slot.clone());
+        // Pin before enforcing the cap: the session we just restored must
+        // not be the one the cap enforcement pushes straight back out.
+        let lease = self.pin(&mut inner, id.0, slot);
         self.enforce_hot_cap(&mut inner);
         self.publish_gauges(&inner);
-        Ok(slot)
+        Ok(lease)
+    }
+
+    /// Claim a lease on `sid` (caller holds the manager lock).
+    fn pin<'m>(&'m self, inner: &mut Inner, sid: u64, slot: Arc<Mutex<HotSlot>>) -> SlotLease<'m> {
+        *inner.pinned.entry(sid).or_insert(0) += 1;
+        SlotLease {
+            manager: self,
+            id: sid,
+            slot,
+        }
     }
 
     /// Evict least-recently-used hot sessions until the hot tier fits
@@ -494,8 +555,14 @@ impl SessionManager {
     }
 
     /// Snapshot one hot session into the warm tier. Returns `false` when
-    /// the slot is busy or not suspendable right now.
+    /// the slot is checked out, busy, or not suspendable right now.
     fn evict_one(&self, inner: &mut Inner, sid: u64) -> bool {
+        if inner.pinned.contains_key(&sid) {
+            // A checkout is in flight: its slot may be mutated the moment
+            // we release the manager lock, so any snapshot taken here
+            // could persist pre-response state. Skip it.
+            return false;
+        }
         let Some(slot) = inner.hot.get(&sid) else {
             return false;
         };
@@ -514,11 +581,14 @@ impl SessionManager {
         true
     }
 
-    /// Drop a session's residency and tombstone it.
+    /// Drop a session's residency and tombstone it. The warm tier is
+    /// purged too: a tombstoned session must not leave a resurrectable
+    /// snapshot occupying warm-LRU capacity until an explicit `close`.
     fn retire(&self, id: SessionId, state: Lifecycle) {
         let mut inner = self.lock();
         inner.hot.remove(&id.0);
         inner.last_used.remove(&id.0);
+        self.warm.remove(id.key());
         inner.lifecycle.insert(id.0, state);
         self.publish_gauges(&inner);
     }
@@ -534,10 +604,6 @@ impl SessionManager {
         // No partial mutation spans an unwind point; recover poisoning.
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
-}
-
-fn lock_slot(slot: &Arc<Mutex<HotSlot>>) -> MutexGuard<'_, HotSlot> {
-    slot.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]
@@ -727,6 +793,58 @@ mod tests {
         assert_eq!(bp.max_density().to_bits(), ap.max_density().to_bits());
         // Suspending a warm session is a no-op.
         m.suspend(id).expect("idempotent");
+    }
+
+    #[test]
+    fn concurrent_submits_survive_eviction_churn() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let pts = Arc::new(planted());
+        let q = vec![50.0; 8];
+        // Serial reference outcome (all sessions share the same query).
+        let reference = {
+            let m = SessionManager::new(config(), pts.clone()).expect("manager");
+            let (id, step) = m.open(&q).expect("open");
+            drive_to_done(&m, id, step)
+        };
+        // 8 worker sessions over a 2-slot hot tier while a churn thread
+        // hammers suspend(), aiming for the window between checkout and
+        // the slot lock: a submit landing on an engine the evictor just
+        // snapshotted would lose the response and replay stale state.
+        let m = Arc::new(SessionManager::new(config().with_max_resident(2), pts).expect("manager"));
+        let stop = Arc::new(AtomicBool::new(false));
+        let churn = {
+            let m = m.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for raw in 1..=8u64 {
+                        let _ = m.suspend(SessionId(raw));
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let workers: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let (id, step) = m.open(&q).expect("open");
+                    drive_to_done(&m, id, step)
+                })
+            })
+            .collect();
+        for w in workers {
+            let outcome = w.join().expect("worker");
+            assert_eq!(outcome.neighbors, reference.neighbors);
+            for (a, b) in outcome.probabilities.iter().zip(&reference.probabilities) {
+                assert_eq!(a.to_bits(), b.to_bits(), "a submit was lost to eviction");
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        churn.join().expect("churn");
+        assert_eq!(m.live_sessions(), 0, "all sessions finished");
+        assert_eq!(m.warm_len(), 0, "retired sessions left warm snapshots");
     }
 
     #[test]

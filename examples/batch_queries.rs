@@ -20,10 +20,9 @@
 //! cargo run --release --example batch_queries
 //! ```
 
-use hinn::core::{BatchRunner, Parallelism, SearchConfig};
 use hinn::data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
 use hinn::obs::SessionRecorder;
-use hinn::user::HeuristicUser;
+use hinn::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;

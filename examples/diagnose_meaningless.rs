@@ -10,11 +10,10 @@
 //! cargo run --release --example diagnose_meaningless
 //! ```
 
-use hinn::core::{InteractiveSearch, SearchConfig, SearchDiagnosis};
 use hinn::data::projected::randn;
 use hinn::data::uniform::uniform_hypercube;
 use hinn::metrics::contrast::{epsilon_instability, DistanceStats};
-use hinn::user::HeuristicUser;
+use hinn::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -13,9 +13,8 @@
 //! ```
 
 use hinn::baselines::{knn_indices, Metric};
-use hinn::core::{InteractiveSearch, SearchConfig, SearchDiagnosis};
 use hinn::data::projected::randn;
-use hinn::user::HeuristicUser;
+use hinn::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -17,9 +17,8 @@
 //! selection small. Dismiss views where `Q` floats in darkness (Fig. 1(b))
 //! or the whole map glows evenly (Fig. 1(c)).
 
-use hinn::core::{InteractiveSearch, SearchConfig, SearchDiagnosis};
 use hinn::data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
-use hinn::user::TerminalUser;
+use hinn::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::BufReader;

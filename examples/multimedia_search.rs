@@ -17,10 +17,9 @@
 //! ```
 
 use hinn::baselines::{knn_indices, projected_knn, Metric, ProjectedNnConfig};
-use hinn::core::{InteractiveSearch, SearchConfig};
 use hinn::data::uci::{class_subspace_dataset_detailed, ClassSpec};
 use hinn::metrics::PrecisionRecall;
-use hinn::user::HeuristicUser;
+use hinn::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -6,9 +6,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use hinn::core::{InteractiveSearch, ProjectionMode, SearchConfig};
 use hinn::data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
-use hinn::user::HeuristicUser;
+use hinn::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -89,9 +89,12 @@ pub use hinn_viz as viz;
 /// ```
 pub mod prelude {
     pub use hinn_core::{
-        HinnError, InteractiveSearch, RunOptions, RunOutput, SearchConfig, SearchOutcome,
-        SessionEngine, SessionSnapshot, Step,
+        BatchRunner, HinnError, InteractiveSearch, Parallelism, ProjectionMode, RunOptions,
+        RunOutput, SearchConfig, SearchDiagnosis, SearchOutcome, SessionEngine, SessionSnapshot,
+        Step, ViewRequest,
     };
     pub use hinn_serve::{ServeConfig, ServeError, SessionId, SessionManager};
-    pub use hinn_user::{HeuristicUser, ScriptedUser, UserModel, UserResponse};
+    pub use hinn_user::{
+        HeuristicUser, ScriptedUser, TerminalUser, UserModel, UserResponse, ViewContext,
+    };
 }
