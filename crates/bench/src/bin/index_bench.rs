@@ -1,0 +1,200 @@
+//! **Candidate generation: HNSW vs exhaustive linear scan.**
+//!
+//! Builds the deterministic [`hinn_index::Hnsw`] graph over a seeded
+//! Gaussian-mixture dataset, then answers the same queries twice — once
+//! with a serial exhaustive scan (the exact baseline) and once through
+//! the graph — and reports per-query latency, the speedup, and recall@10
+//! of the approximate lists against the exact ones.
+//!
+//! ```sh
+//! cargo run --release -p hinn-bench --bin index_bench            # full, N=1M
+//! cargo run --release -p hinn-bench --bin index_bench -- --smoke # CI, N=20k
+//! ```
+//!
+//! Output: `BENCH_index.json` (override with `--out <path>`). In full
+//! mode the binary exits nonzero unless HNSW search is at least 5× as
+//! fast as the linear scan *and* mean recall@10 is at least 0.9 — the
+//! PR's acceptance bar.
+
+use hinn_bench::banner;
+use hinn_index::{recall::recall_at_k, Hnsw, HnswParams};
+use std::time::Instant;
+
+struct Args {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_index.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            other => panic!("unknown flag {other:?} (known: --smoke, --out)"),
+        }
+    }
+    args
+}
+
+/// xorshift64* — the same tiny generator the integration-test fixtures
+/// use, so bench datasets are reproducible without any RNG dependency.
+fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed.max(1);
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Seeded Gaussian mixture: `n_clusters` centers in `[0, 100)^d`, points
+/// scattered around them with per-axis deviation `sigma` (Box–Muller).
+fn gaussian_mixture(n: usize, d: usize, n_clusters: usize, sigma: f64, seed: u64) -> Vec<Vec<f64>> {
+    let mut next = xorshift(seed);
+    let mut unif = move || (next() >> 11) as f64 / (1u64 << 53) as f64;
+    let centers: Vec<Vec<f64>> = (0..n_clusters)
+        .map(|_| (0..d).map(|_| unif() * 100.0).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = &centers[i % n_clusters];
+            (0..d)
+                .map(|j| {
+                    let u1 = 1.0 - unif();
+                    let u2 = unif();
+                    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    c[j] + sigma * z
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Exact serial kNN over the whole dataset — the baseline both sides of
+/// the comparison are judged against.
+fn linear_top_k(points: &[Vec<f64>], query: &[f64], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        dist_sq(&points[a], query)
+            .total_cmp(&dist_sq(&points[b], query))
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    banner("Candidate generation: deterministic HNSW vs exhaustive linear scan");
+
+    const K: usize = 10;
+    let (n, d, n_queries) = if args.smoke {
+        (20_000, 16, 20)
+    } else {
+        (1_000_000, 16, 50)
+    };
+    println!("dataset: gaussian mixture, n={n} d={d}, {n_queries} queries, k={K}");
+    let t0 = Instant::now();
+    let points = gaussian_mixture(n, d, 16, 6.0, 0xBE2C_0001);
+    println!("generated in {:.1} s", t0.elapsed().as_secs_f64());
+
+    // Query points spread across the dataset (and therefore the clusters).
+    let stride = (n / n_queries).max(1);
+    let queries: Vec<&Vec<f64>> = (0..n_queries).map(|q| &points[q * stride]).collect();
+
+    let params = HnswParams::default().with_ef_search(120);
+    let t0 = Instant::now();
+    let graph = Hnsw::build(points.clone(), params);
+    let build_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    println!(
+        "hnsw build: {:.1} s (m={}, ef_construction={})",
+        build_ms / 1000.0,
+        params.m,
+        params.ef_construction
+    );
+
+    // Exact pass: serial exhaustive scan, timed per query.
+    let t0 = Instant::now();
+    let exact: Vec<Vec<usize>> = queries
+        .iter()
+        .map(|q| linear_top_k(&points, q, K))
+        .collect();
+    let linear_ms = t0.elapsed().as_secs_f64() * 1000.0 / n_queries as f64;
+
+    // Approximate pass: same queries through the graph.
+    let t0 = Instant::now();
+    let approx: Vec<Vec<usize>> = queries.iter().map(|q| graph.knn(q, K)).collect();
+    let hnsw_ms = t0.elapsed().as_secs_f64() * 1000.0 / n_queries as f64;
+
+    let speedup = linear_ms / hnsw_ms;
+    let recall = exact
+        .iter()
+        .zip(&approx)
+        .map(|(e, a)| recall_at_k(e, a, K))
+        .sum::<f64>()
+        / n_queries as f64;
+    println!(
+        "linear {linear_ms:.3} ms/query, hnsw {hnsw_ms:.3} ms/query → {speedup:.1}× speedup; \
+         recall@{K} {recall:.3}"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if args.smoke { "smoke" } else { "full" }
+    ));
+    json.push_str(&format!("  \"n_points\": {n},\n  \"dim\": {d},\n"));
+    json.push_str(&format!("  \"n_queries\": {n_queries},\n  \"k\": {K},\n"));
+    json.push_str(&format!(
+        "  \"params\": {{\"m\": {}, \"max_m0\": {}, \"ef_construction\": {}, \"ef_search\": {}, \"seed\": {}}},\n",
+        params.m, params.max_m0, params.ef_construction, params.ef_search, params.seed
+    ));
+    json.push_str(&format!("  \"build_ms\": {},\n", json_f64(build_ms)));
+    json.push_str(&format!(
+        "  \"linear_ms_per_query\": {},\n",
+        json_f64(linear_ms)
+    ));
+    json.push_str(&format!(
+        "  \"hnsw_ms_per_query\": {},\n",
+        json_f64(hnsw_ms)
+    ));
+    json.push_str(&format!("  \"speedup\": {},\n", json_f64(speedup)));
+    json.push_str(&format!("  \"recall_at_k\": {}\n", json_f64(recall)));
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json).expect("write benchmark JSON");
+    println!("wrote {}", args.out);
+
+    // Smoke mode (CI) only proves the path runs end to end; the bars are
+    // enforced in full mode on the 1M-point workload.
+    if !args.smoke {
+        assert!(
+            speedup >= 5.0,
+            "acceptance bar: hnsw search must be ≥5× faster than the linear \
+             scan (got {speedup:.1}×)"
+        );
+        assert!(
+            recall >= 0.9,
+            "acceptance bar: recall@{K} must be ≥0.9 (got {recall:.3})"
+        );
+        println!("acceptance bars met: {speedup:.1}× ≥ 5×, recall {recall:.3} ≥ 0.9");
+    }
+}

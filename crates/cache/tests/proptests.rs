@@ -1,0 +1,189 @@
+//! Model-based property tests of [`hinn_cache::LruCache`] (ISSUE 6
+//! satellite 3).
+//!
+//! PR 5's session manager leans on three `LruCache` behaviors that were
+//! until now only exercised indirectly through `serve_soak`: `remove` is
+//! an ownership *transfer* (the slot is genuinely free afterwards),
+//! eviction follows the tick order exactly (least-recently-used first,
+//! key-ordered on ties), and capacity 0 disables storage entirely. These
+//! tests replay arbitrary operation sequences against a transparent
+//! reference model and require the cache to agree with it at every step.
+
+use hinn_cache::{Fingerprint, LruCache};
+use proptest::prelude::*;
+
+/// The reference model: a plain vector of `(key, value, last_used)`
+/// entries plus the same tick counter the implementation keeps.
+#[derive(Default)]
+struct Model {
+    entries: Vec<(u128, u64, u64)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl Model {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    fn position(&self, key: u128) -> Option<usize> {
+        self.entries.iter().position(|&(k, _, _)| k == key)
+    }
+
+    /// Mirror of `LruCache::get`: bump tick, bump recency on hit.
+    fn get(&mut self, key: u128) -> Option<u64> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        match self.position(key) {
+            Some(i) => {
+                self.entries[i].2 = tick;
+                Some(self.entries[i].1)
+            }
+            None => None,
+        }
+    }
+
+    /// Mirror of `LruCache::insert`: first insertion wins; a full cache
+    /// evicts the entry with the smallest `(last_used, key)`.
+    fn insert(&mut self, key: u128, value: u64) -> u64 {
+        if self.capacity == 0 {
+            return value;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(i) = self.position(key) {
+            self.entries[i].2 = tick;
+            return self.entries[i].1;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(k, _, t))| (t, k))
+                .map(|(i, _)| i)
+            {
+                self.entries.remove(victim);
+            }
+        }
+        self.entries.push((key, value, tick));
+        value
+    }
+
+    /// Mirror of `LruCache::remove`: ownership transfer, no tick bump.
+    fn remove(&mut self, key: u128) -> Option<u64> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.position(key).map(|i| self.entries.remove(i).1)
+    }
+}
+
+/// One scripted operation: `(kind, key, value)`.
+type Op = (u32, u64, u64);
+
+fn apply(cache: &LruCache<u64>, model: &mut Model, op: Op) {
+    let (kind, key, value) = op;
+    let fp = Fingerprint(key as u128);
+    match kind % 4 {
+        0 => {
+            let got = cache.get(fp).map(|v| *v);
+            assert_eq!(got, model.get(key as u128), "get({key}) diverged");
+        }
+        1 => {
+            let got = *cache.insert(fp, value);
+            assert_eq!(got, model.insert(key as u128, value), "insert({key})");
+        }
+        2 => {
+            let got = cache.remove(fp).map(|v| *v);
+            assert_eq!(got, model.remove(key as u128), "remove({key}) diverged");
+        }
+        _ => {
+            // get_or_insert_with is exactly get-then-insert-on-miss.
+            let got = *cache.get_or_insert_with(fp, || value);
+            let expect = match model.get(key as u128) {
+                Some(v) => v,
+                None => model.insert(key as u128, value),
+            };
+            assert_eq!(got, expect, "get_or_insert({key}) diverged");
+        }
+    }
+    // Step invariants: same residency, bounded occupancy.
+    assert_eq!(cache.len(), model.entries.len(), "len diverged");
+    assert!(cache.len() <= cache.capacity(), "capacity exceeded");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The cache agrees with the reference model on every operation of an
+    /// arbitrary script, over a small key space (to force collisions,
+    /// re-inserts, and evictions) and capacities 1..=5.
+    #[test]
+    fn cache_matches_reference_model(
+        capacity in 1..6usize,
+        ops in proptest::collection::vec((0..4u32, 0..9u64, 0..1000u64), 1..120),
+    ) {
+        let cache: LruCache<u64> = LruCache::new(capacity);
+        let mut model = Model::new(capacity);
+        for op in ops {
+            apply(&cache, &mut model, op);
+        }
+    }
+
+    /// Capacity 0 stores nothing, returns nothing, and always recomputes.
+    #[test]
+    fn capacity_zero_never_stores(
+        ops in proptest::collection::vec((0..4u32, 0..9u64, 0..1000u64), 1..60),
+    ) {
+        let cache: LruCache<u64> = LruCache::new(0);
+        let mut model = Model::new(0);
+        prop_assert!(cache.is_disabled());
+        for op in ops {
+            apply(&cache, &mut model, op);
+            prop_assert_eq!(cache.len(), 0);
+        }
+    }
+
+    /// `remove` frees the slot for real: a later insert under the same key
+    /// stores the *new* value (a mere eviction-count bump would keep the
+    /// stale one), and the removed value survives as a plain `Arc`.
+    #[test]
+    fn remove_is_an_ownership_transfer(
+        key in 0..9u64,
+        first in 0..1000u64,
+        second in 1000..2000u64,
+    ) {
+        let cache: LruCache<u64> = LruCache::new(3);
+        cache.insert(Fingerprint(key as u128), first);
+        let taken = cache.remove(Fingerprint(key as u128));
+        prop_assert_eq!(taken.as_deref(), Some(&first));
+        prop_assert_eq!(cache.remove(Fingerprint(key as u128)), None);
+        let resident = cache.insert(Fingerprint(key as u128), second);
+        prop_assert_eq!(*resident, second, "slot must be genuinely free");
+    }
+}
+
+/// Deterministic tick-order eviction, pinned without the model: touch
+/// order dictates the victim exactly.
+#[test]
+fn eviction_follows_touch_order_exactly() {
+    let cache: LruCache<u64> = LruCache::new(3);
+    for k in 0..3u128 {
+        cache.insert(Fingerprint(k), k as u64);
+    }
+    // Touch 0 and 2; 1 becomes the LRU entry.
+    assert!(cache.get(Fingerprint(0)).is_some());
+    assert!(cache.get(Fingerprint(2)).is_some());
+    cache.insert(Fingerprint(9), 9);
+    assert!(cache.get(Fingerprint(1)).is_none(), "LRU victim was 1");
+    for k in [0u128, 2, 9] {
+        assert!(cache.get(Fingerprint(k)).is_some(), "{k} must survive");
+    }
+}

@@ -1,0 +1,258 @@
+//! Pluggable candidate generation for the interactive loop.
+//!
+//! The paper's protocol ranks and prunes a *candidate* set; nothing in the
+//! loop requires that set to start as the whole dataset. A
+//! [`CandidateSource`] chooses how the session's initial alive set is
+//! seeded: the full dataset (the paper's literal setting and the
+//! default), an exact top-`budget` prefilter (linear scan or VA-file), or
+//! the sublinear HNSW graph of `hinn-index`.
+//!
+//! Every source is deterministic for a fixed configuration: the exact
+//! sources by the workspace's `(distance, id)` total order, the HNSW
+//! source by the seeded-graph contract of `hinn-index` (fixed seed ⇒
+//! identical graph ⇒ identical candidates, across thread budgets and
+//! processes). The VA-file and HNSW sources route their index through
+//! [`hinn_cache::DatasetArtifacts`], so repeated sessions on one dataset
+//! share a single build.
+
+use crate::error::HinnError;
+use hinn_baselines::{knn_indices_with, Metric, VaFile};
+use hinn_index::{Hnsw, HnswParams};
+use hinn_par::Parallelism;
+
+/// How a session seeds its initial candidate (alive) set. See the module
+/// docs; configured via
+/// [`SearchConfig::with_candidate_source`](crate::SearchConfig::with_candidate_source).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum CandidateSource {
+    /// Every point is a candidate (the paper's setting; the default).
+    #[default]
+    Full,
+    /// Exact top-`budget` by Euclidean distance, via a full linear scan.
+    /// Same answers as [`CandidateSource::Full`] would rank first, at
+    /// O(N·d) seed cost — the reference the recall harness measures
+    /// approximate sources against.
+    Linear {
+        /// Number of candidates to keep.
+        budget: usize,
+    },
+    /// Exact top-`budget` via the VA-file filter-and-refine index
+    /// (`hinn-baselines`), shared across sessions per dataset.
+    VaFile {
+        /// Quantization bits per dimension (1..=8).
+        bits: u32,
+        /// Number of candidates to keep.
+        budget: usize,
+    },
+    /// Approximate top-`budget` via the deterministic HNSW graph
+    /// (`hinn-index`), shared across sessions per (dataset, build params).
+    Hnsw {
+        /// Graph build/search parameters.
+        params: HnswParams,
+        /// Number of candidates to keep.
+        budget: usize,
+    },
+}
+
+impl CandidateSource {
+    /// An HNSW source with default build parameters.
+    pub fn hnsw(budget: usize) -> Self {
+        Self::Hnsw {
+            params: HnswParams::default(),
+            budget,
+        }
+    }
+
+    /// Is this the full-dataset (identity) source?
+    pub fn is_full(&self) -> bool {
+        matches!(self, Self::Full)
+    }
+
+    /// The configured candidate budget (`None` for [`CandidateSource::Full`]).
+    pub fn budget(&self) -> Option<usize> {
+        match self {
+            Self::Full => None,
+            Self::Linear { budget } | Self::VaFile { budget, .. } | Self::Hnsw { budget, .. } => {
+                Some(*budget)
+            }
+        }
+    }
+
+    /// Validate the source's parameters (budget ≥ 2 so a seeded session
+    /// can rank something; VA-file bits and HNSW params in range).
+    pub fn try_validate(&self) -> Result<(), HinnError> {
+        let fail = |message: String| {
+            Err(HinnError::InvalidInput {
+                phase: "config.validate",
+                message,
+            })
+        };
+        if let Some(budget) = self.budget() {
+            if budget < 2 {
+                return fail(format!(
+                    "CandidateSource: budget must be at least 2, got {budget}"
+                ));
+            }
+        }
+        match self {
+            Self::VaFile { bits, .. } if !(1..=8).contains(bits) => fail(format!(
+                "CandidateSource: VA-file bits must be in 1..=8, got {bits}"
+            )),
+            Self::Hnsw { params, .. } => match params.try_validate() {
+                Ok(()) => Ok(()),
+                Err(e) => fail(format!("CandidateSource: {e}")),
+            },
+            _ => Ok(()),
+        }
+    }
+
+    /// The top-`k` candidate ids for `query`, closest first. For the exact
+    /// sources this is the true Euclidean k-NN answer; for HNSW it is the
+    /// graph's approximation (measured by the recall harness). `Full`
+    /// degenerates to the linear scan — it has no budget of its own, so
+    /// `top_k` *is* the exact baseline.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch or (first call per dataset)
+    /// invalid index-build input, exactly as the underlying index does.
+    pub fn top_k(
+        &self,
+        par: Parallelism,
+        points: &[Vec<f64>],
+        query: &[f64],
+        k: usize,
+    ) -> Vec<usize> {
+        match self {
+            Self::Full | Self::Linear { .. } => knn_indices_with(par, points, query, k, Metric::L2),
+            Self::VaFile { bits, .. } => VaFile::shared(points, *bits).knn_with(par, query, k).0,
+            Self::Hnsw { params, .. } => Hnsw::shared(points, *params).knn(query, k),
+        }
+    }
+
+    /// The initial alive set of a session: every id for `Full`, else the
+    /// source's top-`budget` ids — clamped up to the effective support
+    /// `s_eff` (a candidate set smaller than the support would starve the
+    /// ranking) and down to `n` — returned sorted ascending, the order the
+    /// engine's alive set always maintains.
+    pub(crate) fn seed_alive(
+        &self,
+        par: Parallelism,
+        points: &[Vec<f64>],
+        query: &[f64],
+        s_eff: usize,
+    ) -> Vec<usize> {
+        match self {
+            Self::Full => (0..points.len()).collect(),
+            _ => {
+                let budget = self
+                    .budget()
+                    .unwrap_or(points.len())
+                    .max(s_eff)
+                    .min(points.len());
+                let mut ids = self.top_k(par, points, query, budget);
+                ids.sort_unstable();
+                ids
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut state = seed | 1;
+        let mut unif = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| (0..d).map(|_| unif() * 100.0 - 50.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn default_is_full() {
+        assert!(CandidateSource::default().is_full());
+        assert_eq!(CandidateSource::default().budget(), None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_budgets_and_params() {
+        assert!(CandidateSource::Full.try_validate().is_ok());
+        assert!(CandidateSource::Linear { budget: 2 }.try_validate().is_ok());
+        assert!(CandidateSource::Linear { budget: 1 }
+            .try_validate()
+            .is_err());
+        assert!(CandidateSource::VaFile {
+            bits: 0,
+            budget: 50
+        }
+        .try_validate()
+        .is_err());
+        assert!(CandidateSource::VaFile {
+            bits: 4,
+            budget: 50
+        }
+        .try_validate()
+        .is_ok());
+        let bad = CandidateSource::Hnsw {
+            params: HnswParams::default().with_m(1),
+            budget: 50,
+        };
+        assert!(bad.try_validate().is_err());
+        assert!(CandidateSource::hnsw(50).try_validate().is_ok());
+    }
+
+    #[test]
+    fn exact_sources_agree_on_top_k() {
+        let pts = cloud(300, 6, 0x11);
+        let q = pts[7].clone();
+        let par = Parallelism::serial();
+        let full = CandidateSource::Full.top_k(par, &pts, &q, 25);
+        let lin = CandidateSource::Linear { budget: 25 }.top_k(par, &pts, &q, 25);
+        let va = CandidateSource::VaFile {
+            bits: 4,
+            budget: 25,
+        }
+        .top_k(par, &pts, &q, 25);
+        assert_eq!(full, lin);
+        assert_eq!(full, va);
+        assert_eq!(full[0], 7, "self-query returns self first");
+    }
+
+    #[test]
+    fn seed_alive_full_is_identity() {
+        let pts = cloud(40, 4, 0x22);
+        let alive = CandidateSource::Full.seed_alive(Parallelism::serial(), &pts, &pts[0], 20);
+        assert_eq!(alive, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seed_alive_is_sorted_and_clamped() {
+        let pts = cloud(200, 5, 0x33);
+        let q = pts[0].clone();
+        let par = Parallelism::serial();
+        // Budget below s_eff clamps up; above n clamps down.
+        let small = CandidateSource::Linear { budget: 3 }.seed_alive(par, &pts, &q, 30);
+        assert_eq!(small.len(), 30);
+        assert!(small.windows(2).all(|w| w[0] < w[1]), "sorted unique ids");
+        assert!(small.contains(&0), "the query's own point survives");
+        let big = CandidateSource::Linear { budget: 10_000 }.seed_alive(par, &pts, &q, 30);
+        assert_eq!(big, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hnsw_seed_alive_is_deterministic() {
+        let pts = cloud(400, 8, 0x44);
+        let q = pts[11].clone();
+        let src = CandidateSource::hnsw(60);
+        let a = src.seed_alive(Parallelism::serial(), &pts, &q, 20);
+        let b = src.seed_alive(Parallelism::fixed(7), &pts, &q, 20);
+        assert_eq!(a, b, "HNSW seeding must ignore the thread budget");
+        assert_eq!(a.len(), 60);
+    }
+}

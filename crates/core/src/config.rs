@@ -1,5 +1,6 @@
 //! Configuration of the interactive search loop.
 
+use crate::candidates::CandidateSource;
 use crate::error::HinnError;
 use hinn_cache::CachePolicy;
 use hinn_kde::CornerRule;
@@ -88,6 +89,11 @@ pub struct SearchConfig {
     /// are warm, cold, or disabled ([`CachePolicy::disabled`]) — the
     /// policy only trades memory for repeated-query wall-clock.
     pub cache: CachePolicy,
+    /// How the session's initial candidate set is seeded (see
+    /// [`CandidateSource`]). [`CandidateSource::Full`] — every point, the
+    /// paper's literal protocol — is the default; the prefiltering sources
+    /// bound the per-session working set for million-point datasets.
+    pub candidates: CandidateSource,
 }
 
 impl Default for SearchConfig {
@@ -107,6 +113,7 @@ impl Default for SearchConfig {
             parallelism: Parallelism::default(),
             deadline: None,
             cache: CachePolicy::default(),
+            candidates: CandidateSource::Full,
         }
     }
 }
@@ -153,6 +160,12 @@ impl SearchConfig {
     /// Turn every session cache off (the compute-always reference path).
     pub fn without_cache(self) -> Self {
         self.with_cache_policy(CachePolicy::disabled())
+    }
+
+    /// Set the candidate source (see [`SearchConfig::candidates`]).
+    pub fn with_candidate_source(mut self, candidates: CandidateSource) -> Self {
+        self.candidates = candidates;
+        self
     }
 
     /// The effective support for data of dimensionality `d`
@@ -214,6 +227,7 @@ impl SearchConfig {
                 return fail("SearchConfig: deadline must be non-zero");
             }
         }
+        self.candidates.try_validate()?;
         Ok(())
     }
 }

@@ -265,6 +265,14 @@ impl<'a> SessionEngine<'a> {
         // Content fingerprint for the session caches, skipped entirely
         // when every cache is off so that path stays hash-free.
         let dataset_fp = (!cache.is_disabled()).then(|| Fingerprint::of_points(pts));
+        // Seed the candidate set: the full id range under the default
+        // source (bit-for-bit the pre-candidate-source behavior), else the
+        // source's top-`budget` ids. Runs before the first view so the
+        // whole session — ranking, pruning, termination — operates on the
+        // seeded subset.
+        let alive = config
+            .candidates
+            .seed_alive(config.parallelism, pts, query, s_eff);
         let mut engine = SessionEngine {
             config,
             drop_config,
@@ -277,7 +285,7 @@ impl<'a> SessionEngine<'a> {
             n_minors,
             dataset_fp,
             spent: Duration::ZERO,
-            alive: (0..n).collect(),
+            alive,
             p_sum: vec![0.0; n],
             transcript: Transcript::default(),
             majors_run: 0,
@@ -1044,6 +1052,9 @@ fn config_fingerprint(config: &SearchConfig) -> Fingerprint {
     h.write_usize(config.max_major_iterations);
     h.write_f64s(&config.projection_weights);
     h.write_u8(u8::from(config.record_profiles));
+    // The candidate source changes which points a session ever considers;
+    // its `Debug` form is exact (integer fields only).
+    h.write_str(&format!("{:?}", config.candidates));
     h.finish()
 }
 

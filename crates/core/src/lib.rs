@@ -32,6 +32,7 @@
 pub mod artifacts;
 pub mod batch;
 pub mod cache;
+pub mod candidates;
 pub mod config;
 pub mod counts;
 pub mod degrade;
@@ -48,6 +49,7 @@ pub mod transcript;
 
 pub use batch::{BatchRunner, QueryReport};
 pub use cache::SessionCache;
+pub use candidates::CandidateSource;
 pub use config::{BandwidthMode, ProjectionMode, SearchConfig};
 pub use degrade::{DegradationEvent, DegradationKind, DegradationLog};
 pub use diagnosis::SearchDiagnosis;

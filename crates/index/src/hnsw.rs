@@ -1,0 +1,753 @@
+//! The HNSW graph: seeded build, deterministic search (see crate docs).
+
+use hinn_cache::{Fingerprint, Fnv128};
+use std::cell::RefCell;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Hard cap on graph levels: with `m_L = 1/ln m ≤ 1/ln 2 ≈ 1.44`, level 32
+/// needs `u < e^{-32/1.44} ≈ 2⁻³²` — beyond any practical dataset size.
+const MAX_LEVEL: usize = 32;
+
+/// Build and search parameters of an [`Hnsw`] graph.
+///
+/// All fields are integers on purpose: the parameter set is hashed (into
+/// the artifact-registry key and the engine's config fingerprint) via its
+/// `Debug` rendering, which is exact for integers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct HnswParams {
+    /// Max links per node on layers above 0 (the paper's `M`).
+    pub m: usize,
+    /// Max links per node on layer 0 (the paper's `M_max0`, typically `2M`).
+    pub max_m0: usize,
+    /// Dynamic-list width during construction (`efConstruction`).
+    pub ef_construction: usize,
+    /// Default dynamic-list width during search (`ef`); raised to `k` when
+    /// a query asks for more neighbors than this.
+    pub ef_search: usize,
+    /// Seed for the per-point level hash. Same seed ⇒ same graph.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        Self {
+            m: 16,
+            max_m0: 32,
+            ef_construction: 100,
+            ef_search: 64,
+            seed: 0x5EED_1DE5,
+        }
+    }
+}
+
+impl HnswParams {
+    /// Set `m` (and `max_m0 = 2m`, the standard coupling).
+    pub fn with_m(mut self, m: usize) -> Self {
+        self.m = m;
+        self.max_m0 = 2 * m;
+        self
+    }
+
+    /// Set the construction list width.
+    pub fn with_ef_construction(mut self, ef: usize) -> Self {
+        self.ef_construction = ef;
+        self
+    }
+
+    /// Set the default search list width.
+    pub fn with_ef_search(mut self, ef: usize) -> Self {
+        self.ef_search = ef;
+        self
+    }
+
+    /// Set the level-hash seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate the parameter ranges (`m ≥ 2`, `max_m0 ≥ m`, `ef_* ≥ 1`).
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.m < 2 {
+            return Err(format!("hnsw: m must be >= 2, got {}", self.m));
+        }
+        if self.max_m0 < self.m {
+            return Err(format!(
+                "hnsw: max_m0 ({}) must be >= m ({})",
+                self.max_m0, self.m
+            ));
+        }
+        if self.ef_construction == 0 || self.ef_search == 0 {
+            return Err("hnsw: ef_construction and ef_search must be >= 1".to_string());
+        }
+        Ok(())
+    }
+
+    /// Level-sampling factor `m_L = 1/ln m` (Malkov & Yashunin §4.1).
+    fn m_l(&self) -> f64 {
+        1.0 / (self.m as f64).ln()
+    }
+
+    /// The artifact-registry key parameter: a 64-bit fold of every field,
+    /// so distinct parameter sets get distinct `("index.hnsw", key)` slots.
+    pub fn key(&self) -> u64 {
+        let mut h = Fnv128::new();
+        h.write_usize(self.m);
+        h.write_usize(self.max_m0);
+        h.write_usize(self.ef_construction);
+        // `ef_search` is a *query*-time knob: excluded, so tuning it does
+        // not rebuild (or re-register) the graph.
+        h.write_u64(self.seed);
+        let fp = h.finish().0;
+        (fp as u64) ^ ((fp >> 64) as u64)
+    }
+
+    /// The level of point `id`: hash the seed with the id (splitmix64) to a
+    /// uniform in (0, 1], then invert the geometric-ish CDF. Independent of
+    /// insertion order and of every other point.
+    fn level_of(&self, id: usize) -> usize {
+        let mut x = self
+            .seed
+            .wrapping_add((id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // splitmix64 finalizer.
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        // Map to (0, 1]: (x + 1) / 2^64 over the top 53 bits.
+        let u = ((x >> 11) + 1) as f64 / (1u64 << 53) as f64;
+        let level = (-u.ln() * self.m_l()).floor();
+        (level as usize).min(MAX_LEVEL)
+    }
+}
+
+/// Work counters of one graph search.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HnswStats {
+    /// Nodes whose adjacency list was expanded.
+    pub hops: usize,
+    /// Exact distance computations performed.
+    pub dist_evals: usize,
+}
+
+/// A `(distance², id)` pair with the workspace's total deterministic
+/// order: distance by `total_cmp`, ties by point id. `BinaryHeap<Entry>`
+/// is a max-heap whose root is the *worst* candidate (largest distance,
+/// then largest id), which is exactly what the result list evicts first.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Entry {
+    dist: f64,
+    id: u32,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Epoch-stamped visited set: `O(1)` clear between searches instead of an
+/// `O(N)` memset, which matters during construction (N searches per
+/// build). Stamps live in a plain `Vec<u32>`; bumping the epoch
+/// invalidates every stamp at once.
+struct Visited {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl Visited {
+    fn new(n: usize) -> Self {
+        Self {
+            stamp: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Start a new search; all nodes become unvisited.
+    fn next_epoch(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Mark `i` visited; `true` iff it was not already.
+    fn insert(&mut self, i: u32) -> bool {
+        let slot = &mut self.stamp[i as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread search scratch, reused across queries (and resized when
+    /// a differently-sized graph is searched on the same thread).
+    static SCRATCH: RefCell<Visited> = RefCell::new(Visited::new(0));
+}
+
+/// A hierarchical navigable small world graph over an owned copy of the
+/// dataset. See the crate docs for the determinism contract.
+#[derive(Clone, Debug)]
+pub struct Hnsw {
+    params: HnswParams,
+    dim: usize,
+    points: Vec<Vec<f64>>,
+    /// Points with a NaN coordinate: excluded from the graph entirely —
+    /// never linked, never an entry point, never returned (the same policy
+    /// as the VA-file's poisoned bitmap).
+    poisoned: Vec<bool>,
+    /// Level of each node (meaningful only for non-poisoned nodes).
+    levels: Vec<u32>,
+    /// `links[id][layer]` = neighbor ids of `id` on `layer` (0..=level).
+    links: Vec<Vec<Vec<u32>>>,
+    /// Entry node (highest level, lowest id among those); `None` iff every
+    /// point is poisoned.
+    entry: Option<u32>,
+    max_level: usize,
+}
+
+impl Hnsw {
+    /// Build the graph over `points`. Pure function of `(points, params)`:
+    /// repeat builds are bit-identical (see [`Hnsw::digest`]).
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, rows are ragged, or `params` fail
+    /// [`HnswParams::try_validate`].
+    pub fn build(points: Vec<Vec<f64>>, params: HnswParams) -> Self {
+        assert!(!points.is_empty(), "Hnsw: empty point set");
+        if let Err(e) = params.try_validate() {
+            panic!("Hnsw: invalid params: {e}");
+        }
+        let dim = points[0].len();
+        assert!(dim > 0, "Hnsw: zero-dimensional points");
+        assert!(
+            points.iter().all(|p| p.len() == dim),
+            "Hnsw: ragged point set"
+        );
+
+        let _span = hinn_obs::span!("index.build");
+        let t0 = hinn_obs::enabled().then(std::time::Instant::now);
+
+        let n = points.len();
+        let poisoned: Vec<bool> = points
+            .iter()
+            .map(|p| p.iter().any(|v| v.is_nan()))
+            .collect();
+        let levels: Vec<u32> = (0..n).map(|id| params.level_of(id) as u32).collect();
+        let mut graph = Self {
+            params,
+            dim,
+            points,
+            poisoned,
+            levels,
+            links: (0..n).map(|_| Vec::new()).collect(),
+            entry: None,
+            max_level: 0,
+        };
+        let mut visited = Visited::new(n);
+        let mut stats = HnswStats::default();
+        // Strict id order: combined with hash-derived levels this makes
+        // the graph independent of any external concurrency.
+        for id in 0..n as u32 {
+            if !graph.poisoned[id as usize] {
+                graph.insert(id, &mut visited, &mut stats);
+            }
+        }
+
+        hinn_obs::counter("index.dist_evals", stats.dist_evals as u64);
+        if let Some(t0) = t0 {
+            hinn_obs::observe("index.build_ms", t0.elapsed().as_secs_f64() * 1e3);
+        }
+        graph
+    }
+
+    /// The shared, memoized graph over `points`: built at most once per
+    /// (dataset fingerprint, build-params key) process-wide and handed out
+    /// as an `Arc` via the [`hinn_cache::DatasetArtifacts`] registry —
+    /// repeated sessions on one dataset amortize the O(N·ef·d) build.
+    ///
+    /// The build is a pure function of `(points, params)` and the registry
+    /// key is the content fingerprint of `points`, so the shared graph is
+    /// bit-identical to a fresh [`Hnsw::build`].
+    ///
+    /// # Panics
+    /// Panics exactly as [`Hnsw::build`] does on invalid input.
+    pub fn shared(points: &[Vec<f64>], params: HnswParams) -> Arc<Self> {
+        let arts = hinn_cache::DatasetArtifacts::for_points(points);
+        arts.store()
+            .get_or_insert("index.hnsw", params.key(), || {
+                Self::build(points.to_vec(), params)
+            })
+            .unwrap_or_else(|| Arc::new(Self::build(points.to_vec(), params)))
+    }
+
+    /// Number of indexed points (poisoned ones included in the count).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` iff the index is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The build/search parameters.
+    pub fn params(&self) -> HnswParams {
+        self.params
+    }
+
+    /// Highest populated layer.
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+
+    /// Approximate Euclidean k-NN: neighbor ids, closest first. The
+    /// dynamic list width is `max(ef_search, k)`.
+    ///
+    /// # Panics
+    /// Panics on query dimensionality mismatch.
+    pub fn knn(&self, query: &[f64], k: usize) -> Vec<usize> {
+        self.knn_with_stats(query, k).0
+    }
+
+    /// [`Hnsw::knn`] plus the work counters of the walk.
+    ///
+    /// # Panics
+    /// Panics on query dimensionality mismatch.
+    pub fn knn_with_stats(&self, query: &[f64], k: usize) -> (Vec<usize>, HnswStats) {
+        assert_eq!(query.len(), self.dim, "Hnsw: query dimensionality");
+        let mut stats = HnswStats::default();
+        let Some(entry) = self.entry else {
+            return (Vec::new(), stats);
+        };
+        if k == 0 {
+            return (Vec::new(), stats);
+        }
+        let _span = hinn_obs::span!("index.search");
+        let ef = self.params.ef_search.max(k);
+
+        let ids = SCRATCH.with(|cell| {
+            let mut visited = cell.borrow_mut();
+            if visited.stamp.len() != self.points.len() {
+                *visited = Visited::new(self.points.len());
+            }
+            // Greedy descent through the upper layers to a local minimum.
+            let mut ep = Entry {
+                dist: dist_sq(&self.points[entry as usize], query),
+                id: entry,
+            };
+            stats.dist_evals += 1;
+            for layer in (1..=self.max_level).rev() {
+                ep = self.greedy_step(query, ep, layer, &mut stats);
+            }
+            // Beam search on layer 0.
+            let found = self.search_layer(query, &[ep], 0, ef, &mut visited, &mut stats);
+            found.into_iter().take(k).map(|e| e.id as usize).collect()
+        });
+
+        hinn_obs::counter("index.hops", stats.hops as u64);
+        hinn_obs::counter("index.dist_evals", stats.dist_evals as u64);
+        (ids, stats)
+    }
+
+    /// A 128-bit digest of the entire graph structure (levels, adjacency,
+    /// entry point) — two graphs with equal digests are structurally
+    /// identical. The equivalence tests compare digests across processes.
+    pub fn digest(&self) -> Fingerprint {
+        let mut h = Fnv128::new();
+        h.write_usize(self.points.len());
+        h.write_usize(self.dim);
+        h.write_u64(self.entry.map(|e| e as u64 + 1).unwrap_or(0));
+        h.write_usize(self.max_level);
+        for (id, layers) in self.links.iter().enumerate() {
+            h.write_usize(self.levels[id] as usize);
+            h.write_u8(u8::from(self.poisoned[id]));
+            h.write_usize(layers.len());
+            for layer in layers {
+                h.write_usize(layer.len());
+                for &nb in layer {
+                    h.write_u64(nb as u64);
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// One greedy descent step: repeatedly move to the closest neighbor on
+    /// `layer` until no neighbor improves on `(dist, id)`.
+    fn greedy_step(
+        &self,
+        query: &[f64],
+        mut ep: Entry,
+        layer: usize,
+        stats: &mut HnswStats,
+    ) -> Entry {
+        loop {
+            let mut improved = false;
+            if let Some(nbs) = self.links[ep.id as usize].get(layer) {
+                stats.hops += 1;
+                for &u in nbs {
+                    let cand = Entry {
+                        dist: dist_sq(&self.points[u as usize], query),
+                        id: u,
+                    };
+                    stats.dist_evals += 1;
+                    if cand < ep {
+                        ep = cand;
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                return ep;
+            }
+        }
+    }
+
+    /// The ef-bounded beam search of Malkov & Yashunin Alg. 2, returning
+    /// up to `ef` entries sorted closest-first. Deterministic: both heaps
+    /// order by the total `(dist, id)` comparison.
+    fn search_layer(
+        &self,
+        query: &[f64],
+        entries: &[Entry],
+        layer: usize,
+        ef: usize,
+        visited: &mut Visited,
+        stats: &mut HnswStats,
+    ) -> Vec<Entry> {
+        visited.next_epoch();
+        let mut results: BinaryHeap<Entry> = BinaryHeap::new(); // worst on top
+        let mut frontier: BinaryHeap<Reverse<Entry>> = BinaryHeap::new(); // best on top
+        for &e in entries {
+            if visited.insert(e.id) {
+                results.push(e);
+                frontier.push(Reverse(e));
+            }
+        }
+        while results.len() > ef {
+            results.pop();
+        }
+        while let Some(Reverse(cand)) = frontier.pop() {
+            if results.len() >= ef {
+                if let Some(&worst) = results.peek() {
+                    if cand > worst {
+                        break;
+                    }
+                }
+            }
+            stats.hops += 1;
+            if let Some(nbs) = self.links[cand.id as usize].get(layer) {
+                for &u in nbs {
+                    if !visited.insert(u) {
+                        continue;
+                    }
+                    let e = Entry {
+                        dist: dist_sq(&self.points[u as usize], query),
+                        id: u,
+                    };
+                    stats.dist_evals += 1;
+                    if results.len() < ef {
+                        results.push(e);
+                        frontier.push(Reverse(e));
+                    } else if let Some(&worst) = results.peek() {
+                        if e < worst {
+                            results.pop();
+                            results.push(e);
+                            frontier.push(Reverse(e));
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = results.into_vec();
+        out.sort_unstable();
+        out
+    }
+
+    /// Insert node `id` (Malkov & Yashunin Alg. 1): descend to the node's
+    /// level, then connect to the `m` closest found on each layer down to
+    /// 0, pruning any neighbor list that overflows its cap back to the cap
+    /// closest.
+    fn insert(&mut self, id: u32, visited: &mut Visited, stats: &mut HnswStats) {
+        let level = self.levels[id as usize] as usize;
+        self.links[id as usize] = vec![Vec::new(); level + 1];
+        let q = self.points[id as usize].clone();
+        let Some(entry) = self.entry else {
+            self.entry = Some(id);
+            self.max_level = level;
+            return;
+        };
+
+        let mut ep = Entry {
+            dist: dist_sq(&self.points[entry as usize], &q),
+            id: entry,
+        };
+        stats.dist_evals += 1;
+        for layer in ((level + 1)..=self.max_level).rev() {
+            ep = self.greedy_step(&q, ep, layer, stats);
+        }
+
+        let ef = self.params.ef_construction;
+        let mut entries = vec![ep];
+        for layer in (0..=level.min(self.max_level)).rev() {
+            let found = self.search_layer(&q, &entries, layer, ef, visited, stats);
+            let cap = if layer == 0 {
+                self.params.max_m0
+            } else {
+                self.params.m
+            };
+            let selected: Vec<u32> = found.iter().take(self.params.m).map(|e| e.id).collect();
+            self.links[id as usize][layer] = selected.clone();
+            for &u in &selected {
+                let list = &mut self.links[u as usize][layer];
+                list.push(id);
+                if list.len() > cap {
+                    self.prune(u, layer, cap, stats);
+                }
+            }
+            entries = found;
+        }
+
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = Some(id);
+        }
+    }
+
+    /// Shrink `node`'s neighbor list on `layer` to its `cap` closest (by
+    /// the total `(dist, id)` order, measured from `node`'s own point).
+    fn prune(&mut self, node: u32, layer: usize, cap: usize, stats: &mut HnswStats) {
+        let p = &self.points[node as usize];
+        let mut scored: Vec<Entry> = self.links[node as usize][layer]
+            .iter()
+            .map(|&u| {
+                stats.dist_evals += 1;
+                Entry {
+                    dist: dist_sq(&self.points[u as usize], p),
+                    id: u,
+                }
+            })
+            .collect();
+        scored.sort_unstable();
+        scored.truncate(cap);
+        self.links[node as usize][layer] = scored.into_iter().map(|e| e.id).collect();
+    }
+}
+
+/// Squared Euclidean distance (monotone in L2 — ranks are unaffected, and
+/// skipping the `sqrt` keeps the hot loop cheap).
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift point cloud (the harness-wide generator).
+    fn cloud(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut state = seed | 1;
+        let mut unif = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| (0..d).map(|_| unif() * 100.0 - 50.0).collect())
+            .collect()
+    }
+
+    /// Exact serial k-NN for cross-checking (ids closest-first, `(dist,
+    /// id)` tie order — the same order the graph uses).
+    fn exact_knn(points: &[Vec<f64>], query: &[f64], k: usize) -> Vec<usize> {
+        let mut scored: Vec<(f64, usize)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (dist_sq(p, query), i))
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        scored.into_iter().take(k).map(|(_, i)| i).collect()
+    }
+
+    #[test]
+    fn level_hash_is_plausibly_geometric() {
+        let params = HnswParams::default();
+        let levels: Vec<usize> = (0..10_000).map(|id| params.level_of(id)).collect();
+        let zero = levels.iter().filter(|&&l| l == 0).count();
+        // P(level 0) = 1 - m^-1 ≈ 0.9375 for m=16.
+        assert!((8_500..=9_900).contains(&zero), "level-0 mass: {zero}");
+        assert!(levels.iter().all(|&l| l <= MAX_LEVEL));
+        assert!(*levels.iter().max().unwrap() >= 1, "some node must rise");
+    }
+
+    #[test]
+    fn repeat_builds_are_structurally_identical() {
+        let pts = cloud(400, 8, 0xA11CE);
+        let params = HnswParams::default().with_seed(7);
+        let a = Hnsw::build(pts.clone(), params);
+        let b = Hnsw::build(pts.clone(), params);
+        assert_eq!(a.digest(), b.digest());
+        let q = &pts[13];
+        assert_eq!(a.knn(q, 10), b.knn(q, 10));
+        // A different seed grows a different graph.
+        let c = Hnsw::build(pts, params.with_seed(8));
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn near_exhaustive_ef_recovers_exact_knn() {
+        // With ef ≥ n on a well-connected small graph the beam search
+        // degenerates to an exhaustive scan of the component.
+        let pts = cloud(300, 6, 0xBEEF);
+        let graph = Hnsw::build(pts.clone(), HnswParams::default().with_ef_search(300));
+        for qi in [0, 17, 299] {
+            let got = graph.knn(&pts[qi], 10);
+            assert_eq!(got, exact_knn(&pts, &pts[qi], 10), "query {qi}");
+        }
+    }
+
+    #[test]
+    fn self_query_returns_self_first() {
+        let pts = cloud(500, 12, 0xD0E);
+        let graph = Hnsw::build(pts.clone(), HnswParams::default());
+        for qi in [0, 250, 499] {
+            let got = graph.knn(&pts[qi], 3);
+            assert_eq!(got.first(), Some(&qi), "query {qi}: {got:?}");
+        }
+    }
+
+    #[test]
+    fn poisoned_points_are_never_linked_or_returned() {
+        let mut pts = cloud(200, 5, 0xF00D);
+        for i in [0, 3, 77, 199] {
+            pts[i][1] = f64::NAN;
+        }
+        let graph = Hnsw::build(pts.clone(), HnswParams::default());
+        for (id, layers) in graph.links.iter().enumerate() {
+            for layer in layers {
+                for &nb in layer {
+                    assert!(
+                        !graph.poisoned[nb as usize],
+                        "node {id} links poisoned {nb}"
+                    );
+                }
+            }
+        }
+        for qi in [1, 50] {
+            let got = graph.knn(&pts[qi], 50);
+            assert!(got.iter().all(|&i| !graph.poisoned[i]), "{got:?}");
+            assert_eq!(got.len(), 50);
+        }
+    }
+
+    #[test]
+    fn all_points_poisoned_yields_empty_answers() {
+        let pts = vec![vec![f64::NAN, 1.0]; 8];
+        let graph = Hnsw::build(pts, HnswParams::default());
+        assert!(graph.entry.is_none());
+        assert!(graph.knn(&[0.0, 0.0], 5).is_empty());
+    }
+
+    #[test]
+    fn k_edge_cases() {
+        let pts = cloud(50, 4, 0xE);
+        let graph = Hnsw::build(pts.clone(), HnswParams::default());
+        assert!(graph.knn(&pts[0], 0).is_empty());
+        // k > n clamps to the reachable set.
+        let all = graph.knn(&pts[0], 500);
+        assert_eq!(all.len(), 50);
+    }
+
+    #[test]
+    fn shared_is_memoized_and_identical_to_fresh() {
+        let pts = cloud(150, 6, 0xC0FF_EE01);
+        let params = HnswParams::default();
+        let a = Hnsw::shared(&pts, params);
+        let b = Hnsw::shared(&pts, params);
+        assert!(Arc::ptr_eq(&a, &b), "registry must share one graph");
+        assert_eq!(a.digest(), Hnsw::build(pts.clone(), params).digest());
+        // Different build params occupy a different artifact slot.
+        let c = Hnsw::shared(&pts, params.with_m(8));
+        assert!(!Arc::ptr_eq(&a, &c));
+        // A search-only knob shares the build.
+        let d = Hnsw::shared(&pts, params.with_ef_search(99));
+        assert!(Arc::ptr_eq(&a, &d), "ef_search must not rebuild");
+    }
+
+    #[test]
+    fn stats_count_real_work() {
+        let pts = cloud(400, 8, 0x57A75);
+        let graph = Hnsw::build(pts.clone(), HnswParams::default());
+        let (ids, stats) = graph.knn_with_stats(&pts[42], 10);
+        assert_eq!(ids.len(), 10);
+        assert!(stats.hops > 0);
+        assert!(stats.dist_evals >= ids.len());
+        // Sublinearity sanity: far fewer evals than a full scan would do.
+        assert!(
+            stats.dist_evals < pts.len(),
+            "dist_evals {} >= n {}",
+            stats.dist_evals,
+            pts.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn empty_input_panics() {
+        let _ = Hnsw::build(Vec::new(), HnswParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid params")]
+    fn invalid_params_panic() {
+        let _ = Hnsw::build(vec![vec![1.0]], HnswParams::default().with_m(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_input_panics() {
+        let _ = Hnsw::build(vec![vec![1.0], vec![1.0, 2.0]], HnswParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimensionality")]
+    fn query_dim_mismatch_panics() {
+        let graph = Hnsw::build(cloud(10, 3, 1), HnswParams::default());
+        let _ = graph.knn(&[0.0, 0.0], 1);
+    }
+
+    #[test]
+    fn visited_epoch_wraps_safely() {
+        let mut v = Visited::new(4);
+        v.epoch = u32::MAX - 1;
+        v.next_epoch();
+        assert!(v.insert(2));
+        assert!(!v.insert(2));
+        v.next_epoch(); // wraps: stamps reset
+        assert!(v.insert(2));
+        assert_eq!(v.epoch, 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Recall@k — the quality metric of approximate candidate generation.
+//!
+//! An approximate index earns its sublinearity by sometimes missing true
+//! neighbors; recall@k measures how often. This module holds the single
+//! shared definition used by the unit tests, the integration harness
+//! (`tests/common/recall.rs`) and the `index_bench` binary, so every
+//! reported number means the same thing.
+
+/// Fraction of the exact top-k found in the approximate answer:
+/// `|approx[..k] ∩ exact[..k]| / |exact[..k]|`.
+///
+/// Both lists are index lists, closest-first, as returned by every
+/// `CandidateSource`. Only the first `k` entries of each are considered.
+/// Returns 1.0 when the exact list is empty (there was nothing to find).
+pub fn recall_at_k(exact: &[usize], approx: &[usize], k: usize) -> f64 {
+    let truth = &exact[..k.min(exact.len())];
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let got = &approx[..k.min(approx.len())];
+    let hits = truth.iter().filter(|id| got.contains(id)).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Mean of [`recall_at_k`] over paired answer lists — one `(exact,
+/// approx)` pair per query. Returns 1.0 for an empty batch.
+pub fn mean_recall_at_k(pairs: &[(Vec<usize>, Vec<usize>)], k: usize) -> f64 {
+    if pairs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = pairs
+        .iter()
+        .map(|(exact, approx)| recall_at_k(exact, approx, k))
+        .sum();
+    sum / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_disjoint() {
+        assert_eq!(recall_at_k(&[1, 2, 3], &[1, 2, 3], 3), 1.0);
+        assert_eq!(recall_at_k(&[1, 2, 3], &[3, 2, 1], 3), 1.0); // order-free
+        assert_eq!(recall_at_k(&[1, 2, 3], &[4, 5, 6], 3), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_counts_fractionally() {
+        assert_eq!(recall_at_k(&[1, 2, 3, 4], &[1, 9, 3, 8], 4), 0.5);
+    }
+
+    #[test]
+    fn k_truncates_both_sides() {
+        // Beyond-k entries on either side are ignored.
+        assert_eq!(recall_at_k(&[1, 2, 9, 9], &[2, 1, 7, 7], 2), 1.0);
+        // A true neighbor ranked below k in the approximate list is a miss.
+        assert_eq!(recall_at_k(&[1, 2], &[2, 3, 1], 2), 0.5);
+    }
+
+    #[test]
+    fn short_lists_and_empty() {
+        assert_eq!(recall_at_k(&[], &[], 10), 1.0);
+        assert_eq!(recall_at_k(&[1, 2], &[1], 10), 0.5);
+    }
+
+    #[test]
+    fn mean_over_queries() {
+        let pairs = vec![
+            (vec![1, 2], vec![1, 2]), // 1.0
+            (vec![1, 2], vec![1, 9]), // 0.5
+        ];
+        assert_eq!(mean_recall_at_k(&pairs, 2), 0.75);
+        assert_eq!(mean_recall_at_k(&[], 5), 1.0);
+    }
+}

@@ -29,6 +29,9 @@
 //! * [`baselines`] — exact k-NN under L_p metrics, k-NN classification,
 //!   automated projected-NN and distinctiveness-sensitive baselines, and
 //!   the VA-file index.
+//! * [`index`] — the deterministic seeded HNSW graph behind
+//!   `CandidateSource::Hnsw`: sublinear approximate candidates, shared
+//!   per (dataset, build params) through the artifact registry.
 //! * [`metrics`] — precision/recall, accuracy, relative contrast and
 //!   ε-instability, rank agreement, steep-drop (natural neighbor count)
 //!   analysis.
@@ -69,6 +72,7 @@ pub use hinn_cache as cache;
 pub use hinn_core as core;
 pub use hinn_data as data;
 pub use hinn_fault as fault;
+pub use hinn_index as index;
 pub use hinn_kde as kde;
 pub use hinn_linalg as linalg;
 pub use hinn_metrics as metrics;
@@ -89,10 +93,11 @@ pub use hinn_viz as viz;
 /// ```
 pub mod prelude {
     pub use hinn_core::{
-        BatchRunner, HinnError, InteractiveSearch, Parallelism, ProjectionMode, RunOptions,
-        RunOutput, SearchConfig, SearchDiagnosis, SearchOutcome, SessionEngine, SessionSnapshot,
-        Step, ViewRequest,
+        BatchRunner, CandidateSource, HinnError, InteractiveSearch, Parallelism, ProjectionMode,
+        RunOptions, RunOutput, SearchConfig, SearchDiagnosis, SearchOutcome, SessionEngine,
+        SessionSnapshot, Step, ViewRequest,
     };
+    pub use hinn_index::HnswParams;
     pub use hinn_serve::{ServeConfig, ServeError, SessionId, SessionManager};
     pub use hinn_user::{
         HeuristicUser, ScriptedUser, TerminalUser, UserModel, UserResponse, ViewContext,

@@ -1,0 +1,7 @@
+//! Shared helpers of the integration-test harness.
+//!
+//! Each test binary declares `mod common;` and uses a subset of these
+//! helpers, so unused items in any one binary are expected.
+#![allow(dead_code)]
+
+pub mod recall;

@@ -15,7 +15,9 @@
 //! UPDATE_GOLDEN=1 cargo test --test golden_session
 //! ```
 
-use hinn::core::{InteractiveSearch, ProjectionMode, SearchConfig, SearchDiagnosis};
+use hinn::core::{
+    CandidateSource, InteractiveSearch, ProjectionMode, SearchConfig, SearchDiagnosis,
+};
 use hinn::data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
 use hinn::user::HeuristicUser;
 use rand::rngs::StdRng;
@@ -23,15 +25,17 @@ use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-fn golden_path() -> PathBuf {
+fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("golden")
-        .join("session.txt")
+        .join(name)
 }
 
-/// Render the fixed scenario to its snapshot text.
-fn render_session() -> String {
+/// Render the fixed scenario to its snapshot text. `candidates` selects
+/// the session's candidate source ([`CandidateSource::Full`] reproduces
+/// the original snapshot; the HNSW variant pins the seeded-subset path).
+fn render_session(label: &str, candidates: CandidateSource) -> String {
     let spec = ProjectedClusterSpec {
         n_points: 600,
         dim: 8,
@@ -45,7 +49,8 @@ fn render_session() -> String {
 
     let config = SearchConfig::default()
         .with_support(20)
-        .with_mode(ProjectionMode::AxisParallel);
+        .with_mode(ProjectionMode::AxisParallel)
+        .with_candidate_source(candidates);
     let mut user = HeuristicUser::default();
     let outcome = InteractiveSearch::new(config)
         .run_with(
@@ -58,7 +63,10 @@ fn render_session() -> String {
         .into_outcome();
 
     let mut out = String::new();
-    let _ = writeln!(out, "scenario: projected-clusters n=600 d=8 seed=1");
+    let _ = writeln!(
+        out,
+        "scenario: projected-clusters n=600 d=8 seed=1 candidates={label}"
+    );
     // Format diagnosis fields at 12 significant digits ourselves; `{:?}`
     // would print full-precision floats and break the ULP tolerance.
     match &outcome.diagnosis {
@@ -106,13 +114,11 @@ fn render_session() -> String {
     out
 }
 
-#[test]
-fn session_matches_golden_snapshot() {
-    let rendered = render_session();
-    let path = golden_path();
+fn assert_matches_golden(rendered: &str, name: &str) {
+    let path = golden_path(name);
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
-        std::fs::write(&path, &rendered).expect("write golden snapshot");
+        std::fs::write(&path, rendered).expect("write golden snapshot");
         return;
     }
     let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -126,4 +132,19 @@ fn session_matches_golden_snapshot() {
         "session output drifted from the golden snapshot; if the change is \
          intentional, regenerate with UPDATE_GOLDEN=1"
     );
+}
+
+#[test]
+fn session_matches_golden_snapshot() {
+    let rendered = render_session("full", CandidateSource::Full);
+    assert_matches_golden(&rendered, "session.txt");
+}
+
+/// The same scenario seeded through the deterministic HNSW source
+/// (ISSUE 6 satellite 4): the session ranks only the graph's top-450
+/// candidates, and that entire trajectory is pinned to its own snapshot.
+#[test]
+fn hnsw_session_matches_golden_snapshot() {
+    let rendered = render_session("hnsw-450", CandidateSource::hnsw(450));
+    assert_matches_golden(&rendered, "session_hnsw.txt");
 }

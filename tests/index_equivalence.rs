@@ -1,0 +1,190 @@
+//! Determinism of the HNSW candidate path (ISSUE 6 satellite 1).
+//!
+//! `hinn-index` promises that a fixed seed yields an *identical* graph —
+//! and therefore identical candidate lists and identical sessions — no
+//! matter the thread budget or the process. These tests pin that promise
+//! at three levels, mirroring `parallel_equivalence.rs`:
+//!
+//! 1. graph + answers: repeat builds are structurally identical (digest)
+//!    and answer queries identically;
+//! 2. sessions: complete interactive sessions seeded by
+//!    `CandidateSource::Hnsw` render byte-equal transcripts across thread
+//!    budgets {1, 2, 4, 7};
+//! 3. processes: a child process building the same graph reports the same
+//!    structural digest.
+
+mod common;
+
+use common::recall::uniform_cloud;
+use hinn::core::{CandidateSource, InteractiveSearch, Parallelism, SearchConfig, SearchOutcome};
+use hinn::index::{Hnsw, HnswParams};
+use hinn::par::SERIAL_CUTOFF;
+use hinn::user::{ScriptedUser, UserResponse};
+use std::fmt::Write as _;
+
+/// Thread budgets under test (ISSUE 6: one worker, even split, odd split).
+const BUDGETS: [usize; 4] = [1, 2, 4, 7];
+
+/// Fixture shared by the in-process and cross-process graph tests.
+fn graph_fixture() -> (Vec<Vec<f64>>, HnswParams) {
+    let points = uniform_cloud(1200, 8, 0x1DE5);
+    let params = HnswParams::default().with_seed(0xFEED);
+    (points, params)
+}
+
+#[test]
+fn hnsw_candidates_identical_across_thread_budgets() {
+    let (points, params) = graph_fixture();
+    let graph = Hnsw::build(points.clone(), params);
+    let digest = graph.digest();
+    let baseline: Vec<Vec<usize>> = [0, 311, 1199]
+        .iter()
+        .map(|&qi| graph.knn(&points[qi], 25))
+        .collect();
+    // The graph walk is a pure sequential function — the surrounding
+    // pipeline's thread budget cannot touch it. Rebuild + requery under
+    // every budget's environment to pin that this stays true end to end.
+    for t in BUDGETS {
+        let _par = Parallelism::fixed(t); // the budget sessions would use
+        let again = Hnsw::build(points.clone(), params);
+        assert_eq!(again.digest(), digest, "graph differs at budget {t}");
+        for (i, &qi) in [0, 311, 1199].iter().enumerate() {
+            assert_eq!(
+                again.knn(&points[qi], 25),
+                baseline[i],
+                "candidates differ at budget {t}, query {qi}"
+            );
+        }
+    }
+}
+
+/// Render every numeric field of an outcome through `to_bits`, so string
+/// equality is bit equality.
+fn render_outcome(outcome: &SearchOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "neighbors: {:?}", outcome.neighbors);
+    let _ = writeln!(out, "majors_run: {}", outcome.majors_run);
+    let _ = writeln!(out, "effective_support: {}", outcome.effective_support);
+    let probs: Vec<u64> = outcome.probabilities.iter().map(|p| p.to_bits()).collect();
+    let _ = writeln!(out, "probability_bits: {probs:?}");
+    for (m, major) in outcome.transcript.majors.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "major {m}: before={} after={} overlap={:?}",
+            major.n_points_before, major.n_points_after, major.overlap_with_previous
+        );
+        for minor in &major.minors {
+            let _ = writeln!(
+                out,
+                "  minor {}: picked={} peak_ratio_bits={}",
+                minor.minor,
+                minor.n_picked,
+                minor.query_peak_ratio.to_bits()
+            );
+        }
+    }
+    out
+}
+
+fn hnsw_session(par: Parallelism, points: &[Vec<f64>]) -> SearchOutcome {
+    let config = SearchConfig {
+        max_major_iterations: 2,
+        min_major_iterations: 1,
+        ..SearchConfig::default()
+            .with_support(25)
+            .with_parallelism(par)
+            .with_candidate_source(CandidateSource::hnsw(160))
+    };
+    let mut user = ScriptedUser::new([
+        UserResponse::Threshold(1e-7),
+        UserResponse::Discard,
+        UserResponse::Threshold(5e-7),
+    ])
+    .with_fallback(UserResponse::Threshold(1e-7));
+    InteractiveSearch::new(config)
+        .run_with(
+            points,
+            &points[0],
+            &mut user,
+            hinn::core::RunOptions::default(),
+        )
+        .expect("interactive session")
+        .into_outcome()
+}
+
+/// ISSUE 6 acceptance: full sessions seeded through the HNSW source are
+/// byte-equal across every thread budget.
+#[test]
+fn hnsw_sessions_byte_equal_across_thread_budgets() {
+    let points = uniform_cloud(SERIAL_CUTOFF + 130, 6, 0xD00D);
+    let serial = render_outcome(&hnsw_session(Parallelism::serial(), &points));
+    assert!(
+        serial.contains("probability_bits"),
+        "render sanity: {serial}"
+    );
+    for t in BUDGETS {
+        let budget = render_outcome(&hnsw_session(Parallelism::fixed(t), &points));
+        assert_eq!(
+            serial.as_bytes(),
+            budget.as_bytes(),
+            "HNSW session transcript differs at {t} threads"
+        );
+    }
+}
+
+/// The seeded session really is a *subset* session: every reported
+/// neighbor must come from the seeded candidate set.
+#[test]
+fn hnsw_session_neighbors_come_from_the_seeded_set() {
+    let points = uniform_cloud(SERIAL_CUTOFF + 130, 6, 0xD00D);
+    let seeded = CandidateSource::hnsw(160).top_k(Parallelism::serial(), &points, &points[0], 160);
+    let outcome = hnsw_session(Parallelism::serial(), &points);
+    assert!(!outcome.neighbors.is_empty());
+    for nb in &outcome.neighbors {
+        assert!(
+            seeded.contains(nb),
+            "neighbor {nb} not in the seeded candidate set"
+        );
+    }
+}
+
+/// Environment variable directing `child_digest_emit` to write its digest.
+const DIGEST_OUT: &str = "HINN_INDEX_DIGEST_OUT";
+
+/// Hidden child half of the cross-process test: inert unless the parent
+/// set [`DIGEST_OUT`].
+#[test]
+fn child_digest_emit() {
+    let Some(path) = std::env::var_os(DIGEST_OUT) else {
+        return;
+    };
+    let (points, params) = graph_fixture();
+    let digest = Hnsw::build(points, params).digest();
+    std::fs::write(path, format!("{:032x}", digest.0)).expect("write digest file");
+}
+
+/// ISSUE 6: same seed, different process ⇒ same graph. Spawns this test
+/// binary filtered to `child_digest_emit` and compares structural digests.
+#[test]
+fn hnsw_digest_identical_across_processes() {
+    let (points, params) = graph_fixture();
+    let local = format!("{:032x}", Hnsw::build(points, params).digest().0);
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let dir = std::env::temp_dir().join(format!("hinn_index_digest_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir digest dir");
+    let out = dir.join("digest.txt");
+    let status = std::process::Command::new(exe)
+        .args(["child_digest_emit", "--exact", "--test-threads", "1"])
+        .env(DIGEST_OUT, &out)
+        .status()
+        .expect("spawn child test process");
+    assert!(status.success(), "child process failed: {status}");
+    let remote = std::fs::read_to_string(&out).expect("child digest file");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        local,
+        remote.trim(),
+        "graph digest differs across processes"
+    );
+}

@@ -20,7 +20,7 @@
 //! Set `HINN_OBS_EXPORT=/path/to/telemetry.json` to export the traced
 //! session's full JSON report (CI uploads this as a workflow artifact).
 
-use hinn::core::{InteractiveSearch, Parallelism, SearchConfig, SearchOutcome};
+use hinn::core::{CandidateSource, InteractiveSearch, Parallelism, SearchConfig, SearchOutcome};
 use hinn::obs::TelemetryReport;
 use hinn::par::SERIAL_CUTOFF;
 use hinn::user::{ScriptedUser, UserResponse};
@@ -84,13 +84,29 @@ fn config(par: Parallelism) -> SearchConfig {
     }
 }
 
-fn workload() -> Vec<Vec<f64>> {
-    cloud(SERIAL_CUTOFF + 130, 6, 0xD00D)
+/// [`config`] seeded through the HNSW candidate source, with a budget
+/// still above `SERIAL_CUTOFF` so the parallel phases keep spawning (the
+/// `par.*` coverage assertions stay meaningful on the seeded subset).
+fn hnsw_config(par: Parallelism) -> SearchConfig {
+    config(par).with_candidate_source(CandidateSource::hnsw(SERIAL_CUTOFF + 40))
 }
 
-fn run_plain(par: Parallelism, points: &[Vec<f64>]) -> SearchOutcome {
+fn workload() -> Vec<Vec<f64>> {
+    workload_seeded(0xD00D)
+}
+
+/// A workload with its own dataset seed. The HNSW-traced tests each use a
+/// *unique* seed: the graph artifact registry is process-global, so a
+/// dataset reused from an earlier test would be a registry hit and the
+/// `index.build` span would never appear — making span coverage (and the
+/// schema golden) depend on test execution order.
+fn workload_seeded(seed: u64) -> Vec<Vec<f64>> {
+    cloud(SERIAL_CUTOFF + 130, 6, seed)
+}
+
+fn run_plain_with(config: SearchConfig, points: &[Vec<f64>]) -> SearchOutcome {
     let mut user = script();
-    InteractiveSearch::new(config(par))
+    InteractiveSearch::new(config)
         .run_with(
             points,
             &points[0],
@@ -101,9 +117,9 @@ fn run_plain(par: Parallelism, points: &[Vec<f64>]) -> SearchOutcome {
         .into_outcome()
 }
 
-fn run_traced(par: Parallelism, points: &[Vec<f64>]) -> (SearchOutcome, TelemetryReport) {
+fn run_traced_with(config: SearchConfig, points: &[Vec<f64>]) -> (SearchOutcome, TelemetryReport) {
     let mut user = script();
-    let out = InteractiveSearch::new(config(par))
+    let out = InteractiveSearch::new(config)
         .run_with(
             points,
             &points[0],
@@ -113,6 +129,14 @@ fn run_traced(par: Parallelism, points: &[Vec<f64>]) -> (SearchOutcome, Telemetr
         .expect("interactive session");
     let telemetry = out.telemetry.clone().expect("traced run yields telemetry");
     (out.into_outcome(), telemetry)
+}
+
+fn run_plain(par: Parallelism, points: &[Vec<f64>]) -> SearchOutcome {
+    run_plain_with(config(par), points)
+}
+
+fn run_traced(par: Parallelism, points: &[Vec<f64>]) -> (SearchOutcome, TelemetryReport) {
+    run_traced_with(config(par), points)
 }
 
 fn assert_outcomes_bit_identical(a: &SearchOutcome, b: &SearchOutcome, label: &str) {
@@ -167,6 +191,30 @@ fn recorder_on_equals_recorder_off_across_budgets() {
     }
 }
 
+/// The same on/off claim for the HNSW-seeded path: the index reads a
+/// clock during a traced build (`index.build_ms`), and that clock must
+/// never leak into the graph or the session (the first run builds the
+/// graph cold; the second shares it through the artifact registry — the
+/// shared graph is bit-identical to a fresh build, so the outcomes match).
+#[test]
+fn recorder_toggle_is_invisible_to_hnsw_sessions() {
+    let _guard = exclusive();
+    let points = workload_seeded(0x0FF0_0001);
+    for t in BUDGETS {
+        let plain = run_plain_with(hnsw_config(Parallelism::fixed(t)), &points);
+        let (traced, report) = run_traced_with(hnsw_config(Parallelism::fixed(t)), &points);
+        assert_outcomes_bit_identical(
+            &plain,
+            &traced,
+            &format!("hnsw recorder on/off, {t} threads"),
+        );
+        assert!(
+            report.counter("index.hops") > 0,
+            "{t} threads: traced HNSW run recorded no graph hops"
+        );
+    }
+}
+
 /// Cross-budget: the traced sessions must also agree with each other.
 #[test]
 fn traced_sessions_bit_identical_across_budgets() {
@@ -185,11 +233,16 @@ fn traced_sessions_bit_identical_across_budgets() {
 #[test]
 fn telemetry_covers_every_instrumented_phase() {
     let _guard = exclusive();
-    let points = workload();
-    let (_, report) = run_traced(Parallelism::fixed(4), &points);
+    // Unique dataset seed: the HNSW build must be cold in this test (see
+    // `workload_seeded`), or the `index.build` span assertion below would
+    // depend on which test ran first.
+    let points = workload_seeded(0xC0DE_0001);
+    let (_, report) = run_traced_with(hnsw_config(Parallelism::fixed(4)), &points);
 
     let paths = report.span_paths();
     for phase in [
+        "index.build",
+        "index.search",
         "kde.estimate_grid",
         "kde.profile",
         "kde.connect",
@@ -211,6 +264,9 @@ fn telemetry_covers_every_instrumented_phase() {
     }
 
     for counter in [
+        "index.hops",
+        "index.dist_evals",
+        "cache.miss",
         "kde.points_scanned",
         "kde.grid_cells",
         "kde.connect_calls",
@@ -240,6 +296,12 @@ fn telemetry_covers_every_instrumented_phase() {
         .get("search.candidates")
         .expect("candidate-set histogram");
     assert!(cand.count > 0 && cand.max <= points.len() as f64);
+    // The cold HNSW build records its wall-clock histogram.
+    let build = report
+        .histograms
+        .get("index.build_ms")
+        .expect("index build-time histogram");
+    assert_eq!(build.count, 1, "exactly one cold graph build");
 
     // Optional JSON export for the CI telemetry artifact.
     if let Some(path) = std::env::var_os("HINN_OBS_EXPORT") {
@@ -262,8 +324,10 @@ fn golden_path() -> PathBuf {
 #[test]
 fn telemetry_schema_matches_golden() {
     let _guard = exclusive();
-    let points = workload();
-    let (_, report) = run_traced(Parallelism::fixed(4), &points);
+    // HNSW-seeded run on its own dataset (cold build — see
+    // `workload_seeded`) so the schema covers the `index.*` metrics.
+    let points = workload_seeded(0x5C8E_0001);
+    let (_, report) = run_traced_with(hnsw_config(Parallelism::fixed(4)), &points);
     let rendered = report.schema();
 
     let path = golden_path();
