@@ -15,6 +15,7 @@
 //! [`hinn_cache::DatasetArtifacts`], so repeated sessions on one dataset
 //! share a single build.
 
+use crate::degrade::{DegradationEvent, DegradationKind};
 use crate::error::HinnError;
 use hinn_baselines::{knn_indices_with, Metric, VaFile};
 use hinn_index::{Hnsw, HnswParams};
@@ -125,7 +126,13 @@ impl CandidateSource {
         match self {
             Self::Full | Self::Linear { .. } => knn_indices_with(par, points, query, k, Metric::L2),
             Self::VaFile { bits, .. } => VaFile::shared(points, *bits).knn_with(par, query, k).0,
-            Self::Hnsw { params, .. } => Hnsw::shared(points, *params).knn(query, k),
+            // `shared` canonicalizes the stored `ef_search` (every ef
+            // variant maps to one artifact slot), so the *session's*
+            // configured width must travel with the query — never read it
+            // back off the shared graph, whose params reflect no caller.
+            Self::Hnsw { params, .. } => {
+                Hnsw::shared(points, *params).knn_with_ef(query, k, params.ef_search)
+            }
         }
     }
 
@@ -134,15 +141,26 @@ impl CandidateSource {
     /// `s_eff` (a candidate set smaller than the support would starve the
     /// ranking) and down to `n` — returned sorted ascending, the order the
     /// engine's alive set always maintains.
+    ///
+    /// The exact sources always deliver `min(budget, n)` ids, but the
+    /// HNSW graph can return fewer: poisoned (NaN-coordinate) points are
+    /// excluded from the graph entirely and disconnected components are
+    /// unreachable from the entry point. A seed below the effective
+    /// support would starve the ranking — or, below 2 ids, terminate the
+    /// session immediately — so when the source under-delivers, the seed
+    /// falls back to the exact linear scan and reports a
+    /// [`DegradationKind::StarvedSeed`] event for the session's
+    /// degradation log. The fallback is a pure function of
+    /// `(points, query, budget)`, so determinism is preserved.
     pub(crate) fn seed_alive(
         &self,
         par: Parallelism,
         points: &[Vec<f64>],
         query: &[f64],
         s_eff: usize,
-    ) -> Vec<usize> {
+    ) -> (Vec<usize>, Option<DegradationEvent>) {
         match self {
-            Self::Full => (0..points.len()).collect(),
+            Self::Full => ((0..points.len()).collect(), None),
             _ => {
                 let budget = self
                     .budget()
@@ -150,8 +168,21 @@ impl CandidateSource {
                     .max(s_eff)
                     .min(points.len());
                 let mut ids = self.top_k(par, points, query, budget);
+                let floor = s_eff.max(2).min(points.len());
+                let event = (ids.len() < floor).then(|| {
+                    let detail = format!(
+                        "candidate source {:?} returned {} of {} requested ids \
+                         (< effective support {}); reseeded via exact linear scan",
+                        self,
+                        ids.len(),
+                        budget,
+                        floor,
+                    );
+                    ids = Self::Linear { budget }.top_k(par, points, query, budget);
+                    DegradationEvent::unplaced(DegradationKind::StarvedSeed, detail)
+                });
                 ids.sort_unstable();
-                ids
+                (ids, event)
             }
         }
     }
@@ -227,8 +258,10 @@ mod tests {
     #[test]
     fn seed_alive_full_is_identity() {
         let pts = cloud(40, 4, 0x22);
-        let alive = CandidateSource::Full.seed_alive(Parallelism::serial(), &pts, &pts[0], 20);
+        let (alive, event) =
+            CandidateSource::Full.seed_alive(Parallelism::serial(), &pts, &pts[0], 20);
         assert_eq!(alive, (0..40).collect::<Vec<_>>());
+        assert!(event.is_none());
     }
 
     #[test]
@@ -237,11 +270,12 @@ mod tests {
         let q = pts[0].clone();
         let par = Parallelism::serial();
         // Budget below s_eff clamps up; above n clamps down.
-        let small = CandidateSource::Linear { budget: 3 }.seed_alive(par, &pts, &q, 30);
+        let (small, event) = CandidateSource::Linear { budget: 3 }.seed_alive(par, &pts, &q, 30);
         assert_eq!(small.len(), 30);
+        assert!(event.is_none(), "an exact source never starves");
         assert!(small.windows(2).all(|w| w[0] < w[1]), "sorted unique ids");
         assert!(small.contains(&0), "the query's own point survives");
-        let big = CandidateSource::Linear { budget: 10_000 }.seed_alive(par, &pts, &q, 30);
+        let (big, _) = CandidateSource::Linear { budget: 10_000 }.seed_alive(par, &pts, &q, 30);
         assert_eq!(big, (0..200).collect::<Vec<_>>());
     }
 
@@ -250,9 +284,29 @@ mod tests {
         let pts = cloud(400, 8, 0x44);
         let q = pts[11].clone();
         let src = CandidateSource::hnsw(60);
-        let a = src.seed_alive(Parallelism::serial(), &pts, &q, 20);
-        let b = src.seed_alive(Parallelism::fixed(7), &pts, &q, 20);
+        let (a, a_event) = src.seed_alive(Parallelism::serial(), &pts, &q, 20);
+        let (b, _) = src.seed_alive(Parallelism::fixed(7), &pts, &q, 20);
         assert_eq!(a, b, "HNSW seeding must ignore the thread budget");
         assert_eq!(a.len(), 60);
+        assert!(a_event.is_none(), "a healthy graph delivers the budget");
+    }
+
+    #[test]
+    fn starved_hnsw_seed_falls_back_to_linear_with_a_diagnostic() {
+        // Poison most of the dataset: the graph indexes only 10 clean
+        // points, so a budget of 30 cannot be met and the seed must fall
+        // back to the exact linear scan instead of starving the session.
+        let mut pts = cloud(40, 4, 0x55);
+        for p in pts.iter_mut().skip(10) {
+            p[0] = f64::NAN;
+        }
+        let q = pts[0].clone();
+        let src = CandidateSource::hnsw(30);
+        let (alive, event) = src.seed_alive(Parallelism::serial(), &pts, &q, 30);
+        assert_eq!(alive.len(), 30, "fallback must fill the clamped budget");
+        assert!(alive.windows(2).all(|w| w[0] < w[1]), "sorted unique ids");
+        let event = event.expect("a starved seed must be observable");
+        assert_eq!(event.kind, DegradationKind::StarvedSeed);
+        assert!(event.detail.contains("linear"), "{}", event.detail);
     }
 }

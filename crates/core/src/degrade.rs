@@ -36,6 +36,11 @@ pub enum DegradationKind {
     /// A batch query failed and was retried once with a degraded
     /// configuration (axis-parallel projections, fixed bandwidth).
     DegradedRetry,
+    /// An approximate candidate source returned fewer ids than the
+    /// session's effective support (poisoned points are excluded from the
+    /// index, disconnected graph components are unreachable); the seed
+    /// fell back to the exact linear scan.
+    StarvedSeed,
 }
 
 impl DegradationKind {
@@ -48,6 +53,7 @@ impl DegradationKind {
             Self::BandwidthFloored => "bandwidth_floored",
             Self::SkippedMinorView => "skipped_minor_view",
             Self::DegradedRetry => "degraded_retry",
+            Self::StarvedSeed => "starved_seed",
         }
     }
 
@@ -60,6 +66,7 @@ impl DegradationKind {
             Self::BandwidthFloored => "fault.downgrade.bandwidth_floored",
             Self::SkippedMinorView => "fault.downgrade.skipped_minor_view",
             Self::DegradedRetry => "fault.downgrade.degraded_retry",
+            Self::StarvedSeed => "fault.downgrade.starved_seed",
         }
     }
 }

@@ -269,10 +269,13 @@ impl<'a> SessionEngine<'a> {
         // source (bit-for-bit the pre-candidate-source behavior), else the
         // source's top-`budget` ids. Runs before the first view so the
         // whole session — ranking, pruning, termination — operates on the
-        // seeded subset.
-        let alive = config
-            .candidates
-            .seed_alive(config.parallelism, pts, query, s_eff);
+        // seeded subset. An approximate source that under-delivers (e.g.
+        // HNSW over a heavily poisoned dataset) is replaced by the exact
+        // linear seed and leaves a starved-seed rung in the log.
+        let (alive, seed_event) =
+            config
+                .candidates
+                .seed_alive(config.parallelism, pts, query, s_eff);
         let mut engine = SessionEngine {
             config,
             drop_config,
@@ -296,6 +299,9 @@ impl<'a> SessionEngine<'a> {
             pending: None,
             status: EngineStatus::Active,
         };
+        if let Some(event) = seed_event {
+            engine.transcript.degradations.push(event);
+        }
         let step = engine.drive(None)?;
         Ok((engine, step))
     }

@@ -416,6 +416,7 @@ fn parse_degradation_kind(s: &str) -> Result<DegradationKind, String> {
         DegradationKind::BandwidthFloored,
         DegradationKind::SkippedMinorView,
         DegradationKind::DegradedRetry,
+        DegradationKind::StarvedSeed,
     ] {
         if kind.as_str() == s {
             return Ok(kind);

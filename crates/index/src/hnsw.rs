@@ -286,9 +286,21 @@ impl Hnsw {
     /// key is the content fingerprint of `points`, so the shared graph is
     /// bit-identical to a fresh [`Hnsw::build`].
     ///
+    /// Because the registry key excludes the query-time `ef_search` knob
+    /// (see [`HnswParams::key`]), every `ef_search` variant maps to the
+    /// *same* artifact slot. The stored graph must therefore not remember
+    /// any one caller's `ef_search` — it is canonicalized to the default
+    /// before the build, so the `Arc` handed back is independent of which
+    /// caller registered first. Callers wanting a non-default search
+    /// width pass it per query through [`Hnsw::knn_with_ef`].
+    ///
     /// # Panics
     /// Panics exactly as [`Hnsw::build`] does on invalid input.
     pub fn shared(points: &[Vec<f64>], params: HnswParams) -> Arc<Self> {
+        let params = HnswParams {
+            ef_search: HnswParams::default().ef_search,
+            ..params
+        };
         let arts = hinn_cache::DatasetArtifacts::for_points(points);
         arts.store()
             .get_or_insert("index.hnsw", params.key(), || {
@@ -318,7 +330,11 @@ impl Hnsw {
     }
 
     /// Approximate Euclidean k-NN: neighbor ids, closest first. The
-    /// dynamic list width is `max(ef_search, k)`.
+    /// dynamic list width is `max(ef_search, k)` with `ef_search` taken
+    /// from the graph's own stored params — fine for a graph you built
+    /// yourself, but a graph from [`Hnsw::shared`] carries the *canonical*
+    /// (default) `ef_search`, so callers tuning the knob must pass it per
+    /// query via [`Hnsw::knn_with_ef`].
     ///
     /// # Panics
     /// Panics on query dimensionality mismatch.
@@ -326,11 +342,32 @@ impl Hnsw {
         self.knn_with_stats(query, k).0
     }
 
+    /// [`Hnsw::knn`] with an explicit search-list width: the dynamic list
+    /// is `max(ef, k)`, independent of the `ef_search` the graph was
+    /// built/registered with. This is the right entry point for shared
+    /// graphs (see [`Hnsw::shared`]): the result depends only on
+    /// `(points, build params, query, k, ef)`, never on which caller
+    /// registered the artifact first.
+    ///
+    /// # Panics
+    /// Panics on query dimensionality mismatch.
+    pub fn knn_with_ef(&self, query: &[f64], k: usize, ef: usize) -> Vec<usize> {
+        self.knn_with_stats_ef(query, k, ef).0
+    }
+
     /// [`Hnsw::knn`] plus the work counters of the walk.
     ///
     /// # Panics
     /// Panics on query dimensionality mismatch.
     pub fn knn_with_stats(&self, query: &[f64], k: usize) -> (Vec<usize>, HnswStats) {
+        self.knn_with_stats_ef(query, k, self.params.ef_search)
+    }
+
+    /// [`Hnsw::knn_with_ef`] plus the work counters of the walk.
+    ///
+    /// # Panics
+    /// Panics on query dimensionality mismatch.
+    pub fn knn_with_stats_ef(&self, query: &[f64], k: usize, ef: usize) -> (Vec<usize>, HnswStats) {
         assert_eq!(query.len(), self.dim, "Hnsw: query dimensionality");
         let mut stats = HnswStats::default();
         let Some(entry) = self.entry else {
@@ -340,7 +377,7 @@ impl Hnsw {
             return (Vec::new(), stats);
         }
         let _span = hinn_obs::span!("index.search");
-        let ef = self.params.ef_search.max(k);
+        let ef = ef.max(k).max(1);
 
         let ids = SCRATCH.with(|cell| {
             let mut visited = cell.borrow_mut();
@@ -482,9 +519,11 @@ impl Hnsw {
     }
 
     /// Insert node `id` (Malkov & Yashunin Alg. 1): descend to the node's
-    /// level, then connect to the `m` closest found on each layer down to
-    /// 0, pruning any neighbor list that overflows its cap back to the cap
-    /// closest.
+    /// level, then connect to a diversity-selected subset of the found
+    /// candidates on each layer down to 0, up to the per-layer cap
+    /// (`max_m0` on layer 0, `m` above; see [`Hnsw::select_diverse`]),
+    /// pruning any neighbor list that overflows its cap back through the
+    /// same heuristic.
     fn insert(&mut self, id: u32, visited: &mut Visited, stats: &mut HnswStats) {
         let level = self.levels[id as usize] as usize;
         self.links[id as usize] = vec![Vec::new(); level + 1];
@@ -513,7 +552,11 @@ impl Hnsw {
             } else {
                 self.params.m
             };
-            let selected: Vec<u32> = found.iter().take(self.params.m).map(|e| e.id).collect();
+            let selected: Vec<u32> = self
+                .select_diverse(found.clone(), cap, stats)
+                .into_iter()
+                .map(|e| e.id)
+                .collect();
             self.links[id as usize][layer] = selected.clone();
             for &u in &selected {
                 let list = &mut self.links[u as usize][layer];
@@ -531,11 +574,11 @@ impl Hnsw {
         }
     }
 
-    /// Shrink `node`'s neighbor list on `layer` to its `cap` closest (by
-    /// the total `(dist, id)` order, measured from `node`'s own point).
+    /// Shrink `node`'s neighbor list on `layer` back to `cap` entries via
+    /// the diversity heuristic (measured from `node`'s own point).
     fn prune(&mut self, node: u32, layer: usize, cap: usize, stats: &mut HnswStats) {
         let p = &self.points[node as usize];
-        let mut scored: Vec<Entry> = self.links[node as usize][layer]
+        let scored: Vec<Entry> = self.links[node as usize][layer]
             .iter()
             .map(|&u| {
                 stats.dist_evals += 1;
@@ -545,9 +588,56 @@ impl Hnsw {
                 }
             })
             .collect();
-        scored.sort_unstable();
-        scored.truncate(cap);
-        self.links[node as usize][layer] = scored.into_iter().map(|e| e.id).collect();
+        let kept = self.select_diverse(scored, cap, stats);
+        self.links[node as usize][layer] = kept.into_iter().map(|e| e.id).collect();
+    }
+
+    /// The neighbor selection of Malkov & Yashunin Alg. 4
+    /// (`extendCandidates = false`, `keepPrunedConnections = true`): scan
+    /// `cands` closest-first, keep an entry only if it is at least as
+    /// close to the base point as to every entry already kept, then
+    /// backfill any remaining capacity with the nearest discarded
+    /// entries. Plain closest-`cap` truncation points every link into the
+    /// local cluster and can disconnect layer 0 on clustered data; the
+    /// heuristic preserves the long-range bridges (paper §4.1).
+    /// Deterministic: candidates are scanned in the total `(dist, id)`
+    /// order and all comparisons are between finite distances (poisoned
+    /// points never enter the graph). Entries must carry distances
+    /// measured from the base point.
+    fn select_diverse(
+        &self,
+        mut cands: Vec<Entry>,
+        cap: usize,
+        stats: &mut HnswStats,
+    ) -> Vec<Entry> {
+        cands.sort_unstable();
+        if cands.len() <= cap {
+            return cands;
+        }
+        let mut kept: Vec<Entry> = Vec::with_capacity(cap);
+        let mut spilled: Vec<Entry> = Vec::new();
+        for e in cands {
+            if kept.len() >= cap {
+                break;
+            }
+            let diverse = kept.iter().all(|s| {
+                stats.dist_evals += 1;
+                dist_sq(&self.points[e.id as usize], &self.points[s.id as usize]) >= e.dist
+            });
+            if diverse {
+                kept.push(e);
+            } else {
+                spilled.push(e);
+            }
+        }
+        for e in spilled {
+            if kept.len() >= cap {
+                break;
+            }
+            kept.push(e);
+        }
+        kept.sort_unstable();
+        kept
     }
 }
 
@@ -695,6 +785,56 @@ mod tests {
         // A search-only knob shares the build.
         let d = Hnsw::shared(&pts, params.with_ef_search(99));
         assert!(Arc::ptr_eq(&a, &d), "ef_search must not rebuild");
+        // ...and never leaks into the shared graph: the stored params are
+        // canonical regardless of which registrant came first.
+        assert_eq!(d.params().ef_search, HnswParams::default().ef_search);
+    }
+
+    #[test]
+    fn shared_search_width_ignores_registration_order() {
+        // First registrant asks for a deliberately starved ef_search. A
+        // later caller wanting a wide search must get it — the width is a
+        // per-query argument, not a property of whoever registered first.
+        let pts = cloud(300, 6, 0xC0FF_EE02);
+        let params = HnswParams::default();
+        let first = Hnsw::shared(&pts, params.with_ef_search(1));
+        let wide = Hnsw::shared(&pts, params.with_ef_search(300));
+        assert!(Arc::ptr_eq(&first, &wide), "one artifact slot");
+        for qi in [0, 150, 299] {
+            // ef = n degenerates to an exhaustive scan of the component,
+            // so the explicit-ef answer matches exact kNN even though the
+            // graph was registered with ef_search = 1.
+            let got = wide.knn_with_ef(&pts[qi], 10, 300);
+            assert_eq!(got, exact_knn(&pts, &pts[qi], 10), "query {qi}");
+            // The explicit width also matches a privately built graph
+            // whose stored ef_search is that same width.
+            let own = Hnsw::build(pts.clone(), params.with_ef_search(300));
+            assert_eq!(got, own.knn(&pts[qi], 10), "query {qi}");
+        }
+    }
+
+    #[test]
+    fn layer0_lists_use_the_max_m0_cap() {
+        let pts = cloud(600, 4, 0x10_CA0);
+        let params = HnswParams::default();
+        let graph = Hnsw::build(pts, params);
+        let mut max_deg0 = 0;
+        for layers in &graph.links {
+            if let Some(l0) = layers.first() {
+                max_deg0 = max_deg0.max(l0.len());
+                assert!(l0.len() <= params.max_m0, "layer-0 cap violated");
+            }
+            for upper in layers.iter().skip(1) {
+                assert!(upper.len() <= params.m, "upper-layer cap violated");
+            }
+        }
+        // Fresh nodes link up to max_m0 (not just m) neighbors on layer 0;
+        // on a dense 600-point cloud some node must exceed the m cap.
+        assert!(
+            max_deg0 > params.m,
+            "max layer-0 degree {max_deg0} never exceeds m = {}",
+            params.m
+        );
     }
 
     #[test]
