@@ -18,6 +18,7 @@
 
 use hinn_bench::banner;
 use hinn_index::{recall::recall_at_k, Hnsw, HnswParams};
+use hinn_obs::QuantileSketch;
 use std::time::Instant;
 
 struct Args {
@@ -131,18 +132,38 @@ fn main() {
         params.ef_construction
     );
 
-    // Exact pass: serial exhaustive scan, timed per query.
-    let t0 = Instant::now();
+    // Exact pass: serial exhaustive scan, timed per query and fed through
+    // the quantile sketch so tail latency is reported, not just the mean.
+    let mut linear_sketch = QuantileSketch::default();
+    let mut linear_total = 0.0;
     let exact: Vec<Vec<usize>> = queries
         .iter()
-        .map(|q| linear_top_k(&points, q, K))
+        .map(|q| {
+            let t0 = Instant::now();
+            let ids = linear_top_k(&points, q, K);
+            let ms = t0.elapsed().as_secs_f64() * 1000.0;
+            linear_sketch.record(ms);
+            linear_total += ms;
+            ids
+        })
         .collect();
-    let linear_ms = t0.elapsed().as_secs_f64() * 1000.0 / n_queries as f64;
+    let linear_ms = linear_total / n_queries as f64;
 
     // Approximate pass: same queries through the graph.
-    let t0 = Instant::now();
-    let approx: Vec<Vec<usize>> = queries.iter().map(|q| graph.knn(q, K)).collect();
-    let hnsw_ms = t0.elapsed().as_secs_f64() * 1000.0 / n_queries as f64;
+    let mut hnsw_sketch = QuantileSketch::default();
+    let mut hnsw_total = 0.0;
+    let approx: Vec<Vec<usize>> = queries
+        .iter()
+        .map(|q| {
+            let t0 = Instant::now();
+            let ids = graph.knn(q, K);
+            let ms = t0.elapsed().as_secs_f64() * 1000.0;
+            hnsw_sketch.record(ms);
+            hnsw_total += ms;
+            ids
+        })
+        .collect();
+    let hnsw_ms = hnsw_total / n_queries as f64;
 
     let speedup = linear_ms / hnsw_ms;
     let recall = exact
@@ -155,6 +176,17 @@ fn main() {
         "linear {linear_ms:.3} ms/query, hnsw {hnsw_ms:.3} ms/query → {speedup:.1}× speedup; \
          recall@{K} {recall:.3}"
     );
+    let pct = |s: &QuantileSketch| {
+        (
+            s.p50().unwrap_or(f64::NAN),
+            s.p90().unwrap_or(f64::NAN),
+            s.p99().unwrap_or(f64::NAN),
+        )
+    };
+    let (lp50, lp90, lp99) = pct(&linear_sketch);
+    let (hp50, hp90, hp99) = pct(&hnsw_sketch);
+    println!("linear per-query: p50 {lp50:.3} p90 {lp90:.3} p99 {lp99:.3} ms");
+    println!("hnsw   per-query: p50 {hp50:.3} p90 {hp90:.3} p99 {hp99:.3} ms");
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -174,8 +206,20 @@ fn main() {
         json_f64(linear_ms)
     ));
     json.push_str(&format!(
+        "  \"linear_ms_quantiles\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}}},\n",
+        json_f64(lp50),
+        json_f64(lp90),
+        json_f64(lp99)
+    ));
+    json.push_str(&format!(
         "  \"hnsw_ms_per_query\": {},\n",
         json_f64(hnsw_ms)
+    ));
+    json.push_str(&format!(
+        "  \"hnsw_ms_quantiles\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}}},\n",
+        json_f64(hp50),
+        json_f64(hp90),
+        json_f64(hp99)
     ));
     json.push_str(&format!("  \"speedup\": {},\n", json_f64(speedup)));
     json.push_str(&format!("  \"recall_at_k\": {}\n", json_f64(recall)));

@@ -1,0 +1,90 @@
+//! **Telemetry regression gate** — compare two telemetry JSON exports.
+//!
+//! Takes a baseline and a current export (both produced by
+//! `TelemetryReport::to_json`, e.g. via `serving_bench --telemetry` or
+//! `HINN_OBS_EXPORT`) and exits nonzero when the current run regressed:
+//!
+//! * **counters** drifted (exact by default — the engine's work counters
+//!   are deterministic and thread-budget-invariant, so *any* change means
+//!   the computation changed, not the machine);
+//! * **histogram quantiles** (p50/p90/p99) drifted beyond the sketch's
+//!   documented relative error plus a wall-clock tolerance.
+//!
+//! ```sh
+//! obs_diff baseline.json current.json
+//! obs_diff --quantile-tol 0.5 baseline.json current.json   # looser timing bar
+//! obs_diff --counter-tol 0.05 baseline.json current.json   # 5% counter drift ok
+//! obs_diff --no-quantiles baseline.json current.json       # counters only
+//! ```
+//!
+//! Exit status: 0 when clean, 1 on any regression, 2 on usage or parse
+//! errors. Missing metrics on either side are reported as notes, never
+//! regressions — schema drift is a different gate's job.
+
+use hinn_obs::diff::{diff, DiffOptions, TelemetrySummary};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: obs_diff [options] <baseline.json> <current.json>\n\
+         options:\n\
+         \x20 --counter-tol <frac>   relative counter tolerance (default 0 = exact)\n\
+         \x20 --quantile-tol <frac>  extra relative quantile tolerance on top of\n\
+         \x20                        the sketch error (default 0.25)\n\
+         \x20 --no-counters          skip counter comparison\n\
+         \x20 --no-quantiles         skip histogram-quantile comparison"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut opts = DiffOptions::default();
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--counter-tol" => {
+                opts.counter_tol = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--quantile-tol" => {
+                opts.quantile_tol = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--no-counters" => opts.check_counters = false,
+            "--no-quantiles" => opts.check_quantiles = false,
+            "--help" | "-h" => usage(),
+            p if !p.starts_with('-') => paths.push(p.to_string()),
+            _ => usage(),
+        }
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+    let load = |path: &str| -> Result<TelemetrySummary, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        TelemetrySummary::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, current) = match (load(&paths[0]), load(&paths[1])) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for r in [b, c] {
+                if let Err(e) = r {
+                    eprintln!("obs_diff: {e}");
+                }
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let result = diff(&baseline, &current, &opts);
+    print!("{}", result.to_text());
+    if result.has_regression() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

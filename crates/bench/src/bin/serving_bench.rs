@@ -32,6 +32,11 @@ struct Args {
     smoke: bool,
     out: String,
     rounds: usize,
+    /// Write the full telemetry report (counters, histograms with
+    /// percentiles) as JSON — the input format of `obs_diff`.
+    telemetry: Option<String>,
+    /// Record timed span trees and write a Chrome/Perfetto trace.
+    trace: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -39,6 +44,8 @@ fn parse_args() -> Args {
         smoke: false,
         out: "BENCH_serving.json".to_string(),
         rounds: 5,
+        telemetry: None,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -51,7 +58,11 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .expect("--rounds needs a positive integer");
             }
-            other => panic!("unknown flag {other:?} (known: --smoke, --out, --rounds)"),
+            "--telemetry" => args.telemetry = Some(it.next().expect("--telemetry needs a path")),
+            "--trace" => args.trace = Some(it.next().expect("--trace needs a path")),
+            other => panic!(
+                "unknown flag {other:?} (known: --smoke, --out, --rounds, --telemetry, --trace)"
+            ),
         }
     }
     assert!(
@@ -108,8 +119,13 @@ fn main() {
     };
 
     // One recorder around the whole run so the cache counters cover every
-    // round; one runner so its session cache persists across rounds.
-    let recorder = Arc::new(SessionRecorder::new());
+    // round; one runner so its session cache persists across rounds. The
+    // span-tree clock only runs when a trace was asked for.
+    let recorder = Arc::new(if args.trace.is_some() {
+        SessionRecorder::with_trace()
+    } else {
+        SessionRecorder::new()
+    });
     let _guard = hinn_obs::install(recorder.clone());
     let runner = BatchRunner::new(&data.points, config);
     let make_user = || Box::new(HeuristicUser::default()) as Box<dyn UserModel>;
@@ -178,6 +194,27 @@ fn main() {
     json.push_str("}\n");
     std::fs::write(&args.out, &json).expect("write benchmark JSON");
     println!("wrote {}", args.out);
+
+    if let Some(hist) = report.histograms.get("batch.query_ms") {
+        println!(
+            "batch.query_ms: p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms over {} queries",
+            hist.quantile(0.50),
+            hist.quantile(0.90),
+            hist.quantile(0.99),
+            hist.count
+        );
+    }
+    if let Some(path) = &args.telemetry {
+        if hinn_obs::export::write_export(path, &report.to_json(), "telemetry JSON") {
+            println!("wrote {path}");
+        }
+    }
+    if let Some(path) = &args.trace {
+        if hinn_obs::export::write_export(path, &report.to_chrome_trace(), "Perfetto trace") {
+            println!("wrote {path}");
+        }
+        eprint!("{}", report.flame_text());
+    }
 
     // Smoke mode (CI) only proves the path runs end to end; the timing
     // bar is enforced in full mode on a real workload.

@@ -249,8 +249,13 @@ impl<'a> SessionEngine<'a> {
         points: PointStore<'a>,
         query: &[f64],
     ) -> Result<(Self, Step), HinnError> {
-        // No session span here: `drive` opens one per segment, and nesting
-        // a second would corrupt the span-path schema.
+        // Pre-drive work runs under its own `search.session` segment (the
+        // guard closes before `drive` opens the next one, so the root path
+        // merges rather than nesting): seeding can dominate session time
+        // for the indexed sources, and the flight recorder's coverage
+        // contract wants it under a named child span.
+        let session_span = hinn_obs::span!("search.session");
+        let seed_span = hinn_obs::span!("search.seed");
         validate_inputs(points.as_slice(), query)?;
         let pts = points.as_slice();
         let n = pts.len();
@@ -276,6 +281,8 @@ impl<'a> SessionEngine<'a> {
             config
                 .candidates
                 .seed_alive(config.parallelism, pts, query, s_eff);
+        drop(seed_span);
+        drop(session_span);
         let mut engine = SessionEngine {
             config,
             drop_config,
@@ -357,6 +364,14 @@ impl<'a> SessionEngine<'a> {
     /// Candidate points still alive.
     pub fn alive_len(&self) -> usize {
         self.alive.len()
+    }
+
+    /// Degradation-ladder rungs the session has taken so far. On
+    /// completion the log moves into [`SearchOutcome`]; after a terminal
+    /// error it stays here — which is exactly when a postmortem reader
+    /// (the serve layer's flight recorder) needs it.
+    pub fn degradations(&self) -> &crate::degrade::DegradationLog {
+        &self.transcript.degradations
     }
 
     /// Compute time consumed so far (tracked only when a deadline is
@@ -628,6 +643,10 @@ impl<'a> SessionEngine<'a> {
                 || self.major >= self.config.max_major_iterations
                 || self.alive.len() < 2
             {
+                // Final ranking and diagnosis get their own child span so
+                // the session root stays fully accounted for in the
+                // flight-recorder timeline.
+                let _finish_span = hinn_obs::span!("search.finish");
                 return Ok(Step::Done(Box::new(self.finish_session())));
             } else {
                 self.begin_major();

@@ -216,9 +216,12 @@ impl InteractiveSearch {
         if options.deadline.is_some() {
             config.deadline = options.deadline;
         }
+        // Traced runs use flight-recorder mode: per-occurrence timed span
+        // events ride along with the aggregates, so the report can be
+        // exported straight to Chrome/Perfetto (`HINN_OBS_TRACE`).
         let recorder = options
             .trace
-            .then(|| Arc::new(hinn_obs::SessionRecorder::new()));
+            .then(|| Arc::new(hinn_obs::SessionRecorder::with_trace()));
         let mut responses = options.record_responses.then(Vec::new);
         let outcome = {
             let _guard = recorder.clone().map(|r| hinn_obs::install(r));
@@ -242,9 +245,17 @@ impl InteractiveSearch {
                 }
             }
         };
+        let telemetry = recorder.map(|r| r.report());
+        if let Some(report) = &telemetry {
+            // Environment-driven export (`HINN_OBS_EXPORT` telemetry JSON,
+            // `HINN_OBS_TRACE` Chrome trace). Write failures are non-fatal
+            // by contract: the search result is never sacrificed to an
+            // unwritable path.
+            hinn_obs::export_env(report);
+        }
         Ok(RunOutput {
             outcome,
-            telemetry: recorder.map(|r| r.report()),
+            telemetry,
             responses,
         })
     }

@@ -1,0 +1,572 @@
+//! Telemetry regression diffing: compare two telemetry JSON exports and
+//! flag counter deltas and percentile drift — the library behind the
+//! `obs_diff` bin and the CI `telemetry-gate` job.
+//!
+//! # Comparison model
+//!
+//! * **Counters** are deterministic for a fixed workload (the invariance
+//!   tests prove they are independent of thread budget and recorder
+//!   mode), so the default counter tolerance is **zero**: any drift in
+//!   e.g. `kde.points_scanned` or `index.dist_evals` means the
+//!   computation itself changed and the gate should fail loudly.
+//! * **Quantiles** (`p50`/`p99` of each histogram) are wall-clock
+//!   measurements. Two honest runs differ by machine noise, and each
+//!   sketch already carries a relative error of α
+//!   ([`crate::sketch::DEFAULT_ALPHA`]). A quantile regresses when
+//!   `|current − baseline| > (2α + tolerance) · max(current, baseline)` —
+//!   the `2α` term absorbs worst-case sketch error on both sides, the
+//!   tolerance absorbs noise and is the knob CI documents.
+//! * Keys present on only one side are reported as **notes**, not
+//!   regressions: schema growth is pinned by the golden schema test, not
+//!   by the perf gate.
+//!
+//! The parser below is a minimal recursive-descent JSON reader for the
+//! crate's own stable exports (zero dependencies, like everything else
+//! in this workspace).
+
+use crate::sketch::DEFAULT_ALPHA;
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// Minimal JSON parsing (for our own exports).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as f64).
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("JSON parse error at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {lit}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy the raw UTF-8 run up to the next quote/escape.
+                    let start = self.pos;
+                    while !matches!(self.peek(), None | Some(b'"') | Some(b'\\')) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected , or ]")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(self.err("expected , or }")),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document (sufficient for the crate's own exports).
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------
+// Telemetry summaries and diffing.
+// ---------------------------------------------------------------------
+
+/// The percentile summary of one histogram, as read from an export.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistSummary {
+    /// Number of observations.
+    pub count: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// The diff-relevant slice of one telemetry export.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetrySummary {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, f64>,
+    /// Histogram percentile summaries by name.
+    pub histograms: BTreeMap<String, HistSummary>,
+}
+
+impl TelemetrySummary {
+    /// Extract the summary from a `TelemetryReport::to_json` export.
+    pub fn parse(json: &str) -> Result<Self, String> {
+        let root = parse_json(json)?;
+        let mut out = Self::default();
+        if let Some(JsonValue::Obj(members)) = root.get("counters") {
+            for (name, v) in members {
+                if let Some(n) = v.as_f64() {
+                    out.counters.insert(name.clone(), n);
+                }
+            }
+        }
+        if let Some(JsonValue::Obj(members)) = root.get("histograms") {
+            for (name, h) in members {
+                let f = |key: &str| h.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+                out.histograms.insert(
+                    name.clone(),
+                    HistSummary {
+                        count: f("count"),
+                        p50: f("p50"),
+                        p90: f("p90"),
+                        p99: f("p99"),
+                        max: f("max"),
+                    },
+                );
+            }
+        }
+        if out.counters.is_empty() && out.histograms.is_empty() {
+            return Err("export contains no counters or histograms".to_string());
+        }
+        Ok(out)
+    }
+}
+
+/// Tolerances of one diff run (see module docs for the model).
+#[derive(Clone, Copy, Debug)]
+pub struct DiffOptions {
+    /// Compare counters at all?
+    pub check_counters: bool,
+    /// Relative tolerance on counters (0.0 = exact, the default).
+    pub counter_tol: f64,
+    /// Compare histogram quantiles at all?
+    pub check_quantiles: bool,
+    /// Extra relative tolerance on quantiles, on top of `2·alpha`.
+    pub quantile_tol: f64,
+    /// The sketch's documented relative error α.
+    pub alpha: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        Self {
+            check_counters: true,
+            counter_tol: 0.0,
+            check_quantiles: true,
+            quantile_tol: 0.25,
+            alpha: DEFAULT_ALPHA,
+        }
+    }
+}
+
+/// One comparison result.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Metric identifier (`counter:name` or `quantile:name.p99`).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Does this finding fail the gate?
+    pub regression: bool,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// The result of diffing two exports.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryDiff {
+    /// Per-metric comparisons that were actually performed.
+    pub findings: Vec<Finding>,
+    /// Non-fatal observations (keys present on only one side, etc.).
+    pub notes: Vec<String>,
+}
+
+impl TelemetryDiff {
+    /// `true` when any finding fails the gate.
+    pub fn has_regression(&self) -> bool {
+        self.findings.iter().any(|f| f.regression)
+    }
+
+    /// Only the failing findings.
+    pub fn regressions(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.regression)
+    }
+
+    /// Render the diff for terminal output.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let n_reg = self.regressions().count();
+        for f in &self.findings {
+            if f.regression {
+                let _ = writeln!(out, "REGRESSION {}", f.message);
+            }
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        let _ = writeln!(
+            out,
+            "{} metrics compared, {} regression(s), {} note(s)",
+            self.findings.len(),
+            n_reg,
+            self.notes.len()
+        );
+        out
+    }
+}
+
+/// Relative drift check: `|a − b| > tol · max(|a|, |b|)`.
+fn drifts(baseline: f64, current: f64, tol: f64) -> bool {
+    let scale = baseline.abs().max(current.abs());
+    (current - baseline).abs() > tol * scale
+}
+
+/// Compare `current` against `baseline` (see module docs for the model).
+pub fn diff(
+    baseline: &TelemetrySummary,
+    current: &TelemetrySummary,
+    opts: &DiffOptions,
+) -> TelemetryDiff {
+    let mut out = TelemetryDiff::default();
+    if opts.check_counters {
+        for (name, &b) in &baseline.counters {
+            match current.counters.get(name) {
+                None => out
+                    .notes
+                    .push(format!("counter {name} missing from current")),
+                Some(&c) => {
+                    let bad = if opts.counter_tol == 0.0 {
+                        b != c
+                    } else {
+                        drifts(b, c, opts.counter_tol)
+                    };
+                    out.findings.push(Finding {
+                        metric: format!("counter:{name}"),
+                        baseline: b,
+                        current: c,
+                        regression: bad,
+                        message: format!(
+                            "counter {name}: baseline {b}, current {c} (tolerance {})",
+                            opts.counter_tol
+                        ),
+                    });
+                }
+            }
+        }
+        for name in current.counters.keys() {
+            if !baseline.counters.contains_key(name) {
+                out.notes
+                    .push(format!("counter {name} missing from baseline"));
+            }
+        }
+    }
+    if opts.check_quantiles {
+        let tol = 2.0 * opts.alpha + opts.quantile_tol;
+        for (name, b) in &baseline.histograms {
+            match current.histograms.get(name) {
+                None => out
+                    .notes
+                    .push(format!("histogram {name} missing from current")),
+                Some(c) => {
+                    for (q, bv, cv) in [
+                        ("p50", b.p50, c.p50),
+                        ("p90", b.p90, c.p90),
+                        ("p99", b.p99, c.p99),
+                    ] {
+                        out.findings.push(Finding {
+                            metric: format!("quantile:{name}.{q}"),
+                            baseline: bv,
+                            current: cv,
+                            regression: drifts(bv, cv, tol),
+                            message: format!(
+                                "{name}.{q}: baseline {bv:.3}, current {cv:.3} \
+                                 (allowed drift {:.0}% = 2α + tolerance)",
+                                tol * 100.0
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        for name in current.histograms.keys() {
+            if !baseline.histograms.contains_key(name) {
+                out.notes
+                    .push(format!("histogram {name} missing from baseline"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(p99: f64) -> TelemetrySummary {
+        let mut s = TelemetrySummary::default();
+        s.counters.insert("kde.points_scanned".to_string(), 1000.0);
+        s.histograms.insert(
+            "batch.query_ms".to_string(),
+            HistSummary {
+                count: 10.0,
+                p50: 1.0,
+                p90: 2.0,
+                p99,
+                max: p99,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn parser_round_trips_an_export() {
+        let rec = crate::SessionRecorder::new();
+        use crate::Recorder as _;
+        rec.add("a.count", 7);
+        rec.observe("lat", 3.5);
+        rec.observe("lat", 4.5);
+        let json = rec.report().to_json();
+        let s = TelemetrySummary::parse(&json).expect("parse own export");
+        assert_eq!(s.counters.get("a.count"), Some(&7.0));
+        let h = s.histograms.get("lat").expect("lat histogram");
+        assert_eq!(h.count, 2.0);
+        assert!(h.p50 > 0.0 && h.p99 >= h.p50);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{\"a\": ").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(TelemetrySummary::parse("{}").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_types() {
+        let v = parse_json(r#"{"s": "a\n\"bA", "x": [1, -2.5e1, true, null]}"#).unwrap();
+        assert_eq!(v.get("s"), Some(&JsonValue::Str("a\n\"bA".to_string())));
+        let arr = match v.get("x") {
+            Some(JsonValue::Arr(a)) => a,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(arr[1], JsonValue::Num(-25.0));
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let s = summary(5.0);
+        let d = diff(&s, &s, &DiffOptions::default());
+        assert!(!d.has_regression(), "{}", d.to_text());
+        assert!(d.notes.is_empty());
+    }
+
+    #[test]
+    fn doubled_p99_is_a_regression() {
+        let d = diff(&summary(5.0), &summary(10.0), &DiffOptions::default());
+        assert!(d.has_regression());
+        let reg: Vec<_> = d.regressions().collect();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].metric, "quantile:batch.query_ms.p99");
+    }
+
+    #[test]
+    fn counter_drift_is_exact_by_default() {
+        let mut cur = summary(5.0);
+        cur.counters
+            .insert("kde.points_scanned".to_string(), 1001.0);
+        let d = diff(&summary(5.0), &cur, &DiffOptions::default());
+        assert!(d.has_regression());
+        let no_counters = DiffOptions {
+            check_counters: false,
+            ..DiffOptions::default()
+        };
+        assert!(!diff(&summary(5.0), &cur, &no_counters).has_regression());
+    }
+
+    #[test]
+    fn missing_keys_are_notes_not_regressions() {
+        let mut cur = summary(5.0);
+        cur.counters.insert("new.counter".to_string(), 3.0);
+        cur.histograms.remove("batch.query_ms");
+        let d = diff(&summary(5.0), &cur, &DiffOptions::default());
+        assert!(!d.has_regression(), "{}", d.to_text());
+        assert_eq!(d.notes.len(), 2, "{:?}", d.notes);
+    }
+}

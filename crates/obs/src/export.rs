@@ -1,0 +1,237 @@
+//! Exporters: Chrome/Perfetto `trace_events` JSON, a text flame summary,
+//! and the non-fatal environment-driven file export.
+//!
+//! # Chrome trace format
+//!
+//! [`TelemetryReport::to_chrome_trace`] renders the flight-recorder
+//! timeline as the JSON object format every Chromium-family profiler
+//! understands — `chrome://tracing`, <https://ui.perfetto.dev>, and
+//! `speedscope` all load it directly. Each completed span becomes one
+//! complete ("ph": "X") event with microsecond timestamps relative to
+//! the recorder epoch; nesting is inferred by the viewers from time
+//! containment per `(pid, tid)` track, which holds by construction
+//! because child spans open after and close before their parent on the
+//! same thread.
+//!
+//! # Environment export
+//!
+//! [`export_env`] writes the report wherever the user asked:
+//!
+//! * `HINN_OBS_EXPORT=<path>` — the stable telemetry JSON
+//!   ([`TelemetryReport::to_json`]).
+//! * `HINN_OBS_TRACE=<path>` — the Chrome trace JSON, plus a flame
+//!   summary printed to stderr.
+//!
+//! File-write failures are **non-fatal**: a search must never panic at
+//! the I/O boundary (the workspace denies `unwrap`/`expect` in library
+//! code), so a failed export emits a `fault.obs_export_failed` counter
+//! and a stderr warning, and the search result is returned untouched.
+
+use crate::report::{SpanNode, TelemetryReport};
+use crate::trace::TraceData;
+use std::fmt::Write as _;
+
+impl TelemetryReport {
+    /// The flight-recorder timeline in Chrome/Perfetto `trace_events`
+    /// JSON (see module docs). When the report was collected without
+    /// trace mode the event list is empty but the output is still a
+    /// valid, loadable trace.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+        let mut first = true;
+        if let Some(trace) = &self.trace {
+            for e in &trace.events {
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                // Perfetto wants the leaf name; the full path goes into
+                // args so no information is lost.
+                let name = e.path.rsplit('/').next().unwrap_or(e.path.as_str());
+                let _ = write!(
+                    out,
+                    "  {{\"name\": \"{}\", \"cat\": \"hinn\", \"ph\": \"X\", \
+                     \"ts\": {}.{:03}, \"dur\": {}.{:03}, \"pid\": 1, \"tid\": {}, \
+                     \"args\": {{\"path\": \"{}\", \"seq\": {}}}}}",
+                    crate::report::json_escape(name),
+                    e.start_ns / 1_000,
+                    e.start_ns % 1_000,
+                    e.dur_ns / 1_000,
+                    e.dur_ns % 1_000,
+                    e.tid,
+                    crate::report::json_escape(&e.path),
+                    e.seq
+                );
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// A self-profiling flame summary: inclusive and exclusive wall time
+    /// per span path, depth-first. Exclusive time is the span's own time
+    /// minus its children's inclusive time (clamped at zero — child
+    /// guards time themselves, so rounding can make the sum exceed the
+    /// parent by nanoseconds). The `%incl` column is relative to the sum
+    /// of root spans.
+    pub fn flame_text(&self) -> String {
+        let root_total: u64 = self.spans.iter().map(|n| n.total_ns).sum();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>12} {:>12} {:>7} {:>8}  path",
+            "incl_ms", "excl_ms", "%incl", "count"
+        );
+        fn walk(out: &mut String, nodes: &[SpanNode], root_total: u64) {
+            for n in nodes {
+                let child_ns: u64 = n.children.iter().map(|c| c.total_ns).sum();
+                let excl = n.total_ns.saturating_sub(child_ns);
+                let pct = if root_total == 0 {
+                    0.0
+                } else {
+                    100.0 * n.total_ns as f64 / root_total as f64
+                };
+                let _ = writeln!(
+                    out,
+                    "{:>12.3} {:>12.3} {:>6.1}% {:>8}  {}",
+                    n.total_ns as f64 / 1e6,
+                    excl as f64 / 1e6,
+                    pct,
+                    n.count,
+                    n.path
+                );
+                walk(out, &n.children, root_total);
+            }
+        }
+        walk(&mut out, &self.spans, root_total);
+        out
+    }
+
+    /// Fraction of the span at `path` whose inclusive time is covered by
+    /// its direct children (1.0 for a leaf-free... a leaf). Used by the
+    /// acceptance test: the session root must not hide a giant
+    /// unaccounted gap.
+    pub fn span_coverage(&self, path: &str) -> Option<f64> {
+        let node = self.find_span(path)?;
+        if node.total_ns == 0 {
+            return Some(1.0);
+        }
+        let child_ns: u64 = node.children.iter().map(|c| c.total_ns).sum();
+        Some((child_ns.min(node.total_ns)) as f64 / node.total_ns as f64)
+    }
+}
+
+/// The trace's total recorded event count — a convenience for smoke
+/// assertions without reaching into the struct.
+pub fn event_count(trace: &TraceData) -> usize {
+    trace.events.len()
+}
+
+/// Write `contents` to `path`, non-fatally: on failure, emit a
+/// `fault.obs_export_failed` counter (into whatever recorder is installed
+/// at that moment) and a stderr warning. Returns `true` on success.
+pub fn write_export(path: &str, contents: &str, what: &str) -> bool {
+    match std::fs::write(path, contents) {
+        Ok(()) => true,
+        Err(err) => {
+            crate::counter("fault.obs_export_failed", 1);
+            eprintln!("hinn-obs: failed to write {what} to {path:?}: {err} (ignored)");
+            false
+        }
+    }
+}
+
+/// Export `report` per the `HINN_OBS_EXPORT` / `HINN_OBS_TRACE`
+/// environment variables (see module docs). Failures are non-fatal.
+pub fn export_env(report: &TelemetryReport) {
+    if let Ok(path) = std::env::var("HINN_OBS_EXPORT") {
+        if !path.is_empty() {
+            write_export(&path, &report.to_json(), "telemetry JSON");
+        }
+    }
+    if let Ok(path) = std::env::var("HINN_OBS_TRACE") {
+        if !path.is_empty() {
+            write_export(&path, &report.to_chrome_trace(), "chrome trace");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder as _, SessionRecorder};
+
+    fn traced_report() -> TelemetryReport {
+        let rec = SessionRecorder::with_trace();
+        rec.enter_span("session");
+        rec.enter_span("minor");
+        rec.exit_span("minor", 600_000);
+        rec.enter_span("minor");
+        rec.exit_span("minor", 400_000);
+        rec.exit_span("session", 1_000_000);
+        rec.report()
+    }
+
+    #[test]
+    fn chrome_trace_is_balanced_and_has_events() {
+        let r = traced_report();
+        let json = r.to_chrome_trace();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"path\": \"session/minor\""));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+        assert_eq!(event_count(r.trace.as_ref().unwrap()), 3);
+    }
+
+    #[test]
+    fn untraced_report_still_renders_a_valid_trace() {
+        let rec = SessionRecorder::new();
+        rec.enter_span("a");
+        rec.exit_span("a", 10);
+        let r = rec.report();
+        assert!(r.trace.is_none());
+        let json = r.to_chrome_trace();
+        assert!(json.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn flame_exclusive_subtracts_children() {
+        let r = traced_report();
+        let flame = r.flame_text();
+        assert!(flame.contains("session/minor"), "{flame}");
+        // session: 1.0 ms inclusive, 1.0 − 0.6 − 0.4 = 0.0 ms exclusive.
+        let session_line = flame
+            .lines()
+            .find(|l| l.trim_end().ends_with(" session"))
+            .expect("session row");
+        assert!(session_line.contains("1.000"), "{session_line}");
+        assert!(session_line.contains("0.000"), "{session_line}");
+    }
+
+    #[test]
+    fn coverage_of_fully_spanned_root_is_one() {
+        let r = traced_report();
+        let cov = r.span_coverage("session").unwrap();
+        assert!((cov - 1.0).abs() < 1e-9, "coverage {cov}");
+        assert_eq!(r.span_coverage("missing"), None);
+    }
+
+    #[test]
+    fn failed_export_is_nonfatal() {
+        let ok = write_export(
+            "/nonexistent-dir-hinn-obs/test.json",
+            "{}",
+            "telemetry JSON",
+        );
+        assert!(!ok, "write into a missing directory must fail");
+        // No panic is the contract; the counter lands only if a recorder
+        // is installed, which this test deliberately does not require.
+    }
+}

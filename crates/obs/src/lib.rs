@@ -55,11 +55,18 @@
 //! for the lifetime of the returned guard, so concurrent tests cannot
 //! interleave two recorders (they queue instead).
 
+pub mod diff;
+pub mod export;
 pub mod report;
 pub mod session;
+pub mod sketch;
+pub mod trace;
 
+pub use export::export_env;
 pub use report::{CacheStats, Histogram, SpanNode, TelemetryReport};
 pub use session::SessionRecorder;
+pub use sketch::QuantileSketch;
+pub use trace::{TraceData, TraceEvent};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};

@@ -9,6 +9,7 @@
 //! are inherently machine-dependent.
 
 use crate::session::SpanStat;
+use crate::sketch::QuantileSketch;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -16,8 +17,11 @@ use std::fmt::Write as _;
 /// shape changes incompatibly.
 pub const SCHEMA_VERSION: u32 = 1;
 
-/// Aggregate of one histogram metric.
-#[derive(Clone, Copy, Debug, PartialEq)]
+/// Aggregate of one histogram metric: count/sum/min/max plus a
+/// [`QuantileSketch`] so every observed metric reports p50/p90/p99 with
+/// the sketch's documented relative error bound
+/// ([`crate::sketch::DEFAULT_ALPHA`]).
+#[derive(Clone, Debug, PartialEq)]
 pub struct Histogram {
     /// Number of observations.
     pub count: u64,
@@ -27,6 +31,8 @@ pub struct Histogram {
     pub min: f64,
     /// Largest observed value.
     pub max: f64,
+    /// Deterministic quantile sketch over the observations.
+    pub sketch: QuantileSketch,
 }
 
 impl Default for Histogram {
@@ -36,6 +42,7 @@ impl Default for Histogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            sketch: QuantileSketch::default(),
         }
     }
 }
@@ -47,14 +54,18 @@ impl Histogram {
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+        self.sketch.record(value);
     }
 
-    /// Merge another accumulator into this one.
+    /// Merge another accumulator into this one. The sketch merge is
+    /// exact: the merged histogram's quantiles equal those of a single
+    /// histogram fed the concatenated stream.
     pub fn merge(&mut self, other: &Histogram) {
         self.count += other.count;
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        self.sketch.merge(&other.sketch);
     }
 
     /// Mean of the observations (0 when empty).
@@ -64,6 +75,27 @@ impl Histogram {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// The `q`-quantile of the observations within the sketch's relative
+    /// error bound (0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.sketch.quantile(q).unwrap_or(0.0)
+    }
+
+    /// Median (p50) within the sketch error bound (0 when empty).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile within the sketch error bound (0 when empty).
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile within the sketch error bound (0 when empty).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
     }
 }
 
@@ -122,6 +154,9 @@ pub struct TelemetryReport {
     pub gauges: BTreeMap<String, f64>,
     /// Histograms by name.
     pub histograms: BTreeMap<String, Histogram>,
+    /// Per-occurrence span timeline, present when the recorder ran in
+    /// flight-recorder mode ([`crate::SessionRecorder::with_trace`]).
+    pub trace: Option<crate::trace::TraceData>,
 }
 
 impl TelemetryReport {
@@ -145,6 +180,7 @@ impl TelemetryReport {
             counters,
             gauges,
             histograms,
+            trace: None,
         }
     }
 
@@ -210,6 +246,30 @@ impl TelemetryReport {
         out
     }
 
+    /// The span tree's *structure* — paths, parentage (as indentation),
+    /// and entry counts, but no wall times — one node per line. This is
+    /// what the workspace golden `tests/golden/trace_tree.txt` pins:
+    /// structure is deterministic for a deterministic workload, timings
+    /// never are.
+    pub fn span_tree_text(&self) -> String {
+        let mut out = String::new();
+        fn walk(out: &mut String, nodes: &[SpanNode], depth: usize) {
+            for n in nodes {
+                let _ = writeln!(
+                    out,
+                    "{:indent$}{} x{}",
+                    "",
+                    n.name,
+                    n.count,
+                    indent = depth * 2
+                );
+                walk(out, &n.children, depth + 1);
+            }
+        }
+        walk(&mut out, &self.spans, 0);
+        out
+    }
+
     /// Machine-readable JSON export (stable key order; see module docs).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -238,11 +298,15 @@ impl TelemetryReport {
         json_map(&mut out, "histograms", &self.histograms, |out, h| {
             let _ = write!(
                 out,
-                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
                 h.count,
                 json_f64(h.sum),
                 json_f64(if h.count == 0 { 0.0 } else { h.min }),
-                json_f64(if h.count == 0 { 0.0 } else { h.max })
+                json_f64(if h.count == 0 { 0.0 } else { h.max }),
+                json_f64(h.p50()),
+                json_f64(h.p90()),
+                json_f64(h.p99())
             );
         });
         out.push_str("\n}\n");
@@ -301,11 +365,15 @@ impl TelemetryReport {
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {name:<38} n={} mean={:.3} min={:.3} max={:.3}",
+                    "  {name:<38} n={} mean={:.3} min={:.3} max={:.3} \
+                     p50={:.3} p90={:.3} p99={:.3}",
                     h.count,
                     h.mean(),
                     if h.count == 0 { 0.0 } else { h.min },
-                    if h.count == 0 { 0.0 } else { h.max }
+                    if h.count == 0 { 0.0 } else { h.max },
+                    h.p50(),
+                    h.p90(),
+                    h.p99()
                 );
             }
         }
@@ -361,7 +429,7 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Escape a string for a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

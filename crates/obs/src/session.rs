@@ -16,11 +16,13 @@
 //! fixed by registration sequence.)
 
 use crate::report::{Histogram, TelemetryReport};
+use crate::trace::{TraceBuffer, TraceData, TraceEvent};
 use crate::Recorder;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Aggregated statistics of one span path within one shard.
 #[derive(Clone, Copy, Debug, Default)]
@@ -32,6 +34,10 @@ pub(crate) struct SpanStat {
 /// One thread's private event scratch area.
 #[derive(Default)]
 struct Shard {
+    /// Shard index in recorder registration order (the trace `tid`).
+    tid: u64,
+    /// Flight-recorder scratch (only touched in trace mode).
+    trace: TraceBuffer,
     /// Stack of currently-open span names on the owning thread.
     stack: Vec<&'static str>,
     /// Aggregated spans keyed by `/`-joined path.
@@ -71,6 +77,11 @@ thread_local! {
 pub struct SessionRecorder {
     generation: u64,
     shards: Mutex<Vec<Arc<Mutex<Shard>>>>,
+    /// Monotonic epoch all trace timestamps are offsets from.
+    epoch: Instant,
+    /// Flight-recorder mode: record per-occurrence [`TraceEvent`]s in
+    /// addition to the aggregates.
+    trace: bool,
 }
 
 impl Default for SessionRecorder {
@@ -80,12 +91,30 @@ impl Default for SessionRecorder {
 }
 
 impl SessionRecorder {
-    /// A fresh, empty recorder.
+    /// A fresh, empty recorder (aggregates only; no per-event trace).
     pub fn new() -> Self {
         Self {
             generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
             shards: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+            trace: false,
         }
+    }
+
+    /// A fresh recorder in flight-recorder mode: every span occurrence is
+    /// also recorded as a timed [`TraceEvent`], and
+    /// [`report`](Self::report) carries a [`TraceData`] timeline
+    /// exportable to Chrome/Perfetto (see [`crate::export`]).
+    pub fn with_trace() -> Self {
+        Self {
+            trace: true,
+            ..Self::new()
+        }
+    }
+
+    /// Is this recorder in flight-recorder (trace) mode?
+    pub fn is_tracing(&self) -> bool {
+        self.trace
     }
 
     /// Run `f` on the calling thread's shard, creating and registering the
@@ -95,11 +124,13 @@ impl SessionRecorder {
             let mut tl = tl.borrow_mut();
             let cached = matches!(&*tl, Some((generation, _)) if *generation == self.generation);
             if !cached {
-                let shard = Arc::new(Mutex::new(Shard::default()));
-                self.shards
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push(shard.clone());
+                let mut shards = self.shards.lock().unwrap_or_else(|e| e.into_inner());
+                let shard = Arc::new(Mutex::new(Shard {
+                    tid: shards.len() as u64,
+                    ..Shard::default()
+                }));
+                shards.push(shard.clone());
+                drop(shards);
                 *tl = Some((self.generation, shard));
             }
             let (_, shard) = tl.as_ref().expect("shard just installed");
@@ -115,8 +146,12 @@ impl SessionRecorder {
         let mut counters: BTreeMap<String, u64> = BTreeMap::new();
         let mut gauges: BTreeMap<String, (u64, f64)> = BTreeMap::new();
         let mut hists: BTreeMap<String, Histogram> = BTreeMap::new();
+        let mut trace_events: Vec<TraceEvent> = Vec::new();
         for shard in shards.iter() {
             let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            if self.trace {
+                trace_events.extend(shard.trace.events.iter().cloned());
+            }
             for (path, stat) in &shard.spans {
                 let s = spans.entry(path.clone()).or_default();
                 s.count += stat.count;
@@ -135,21 +170,34 @@ impl SessionRecorder {
                 hists.entry(name.to_string()).or_default().merge(h);
             }
         }
-        TelemetryReport::assemble(
+        let mut report = TelemetryReport::assemble(
             spans,
             counters,
             gauges.into_iter().map(|(k, (_, v))| (k, v)).collect(),
             hists,
-        )
+        );
+        if self.trace {
+            report.trace = Some(TraceData::from_shards(trace_events));
+        }
+        report
     }
 }
 
 impl Recorder for SessionRecorder {
     fn enter_span(&self, name: &'static str) {
-        self.with_shard(|shard| shard.stack.push(name));
+        // In trace mode the clock is read outside the shard lock; the
+        // offset is pushed in the same program order as the name stack.
+        let start_ns = self.trace.then(|| self.epoch.elapsed().as_nanos() as u64);
+        self.with_shard(|shard| {
+            shard.stack.push(name);
+            if let Some(start) = start_ns {
+                shard.trace.open_starts.push(start);
+            }
+        });
     }
 
     fn exit_span(&self, name: &'static str, nanos: u64) {
+        let end_ns = self.trace.then(|| self.epoch.elapsed().as_nanos() as u64);
         self.with_shard(|shard| {
             // Tolerate an unbalanced exit (a guard created just before the
             // recorder was installed, or dropped just after removal).
@@ -162,9 +210,15 @@ impl Recorder for SessionRecorder {
             } else {
                 format!("{}/{}", shard.path(), name)
             };
-            let stat = shard.spans.entry(path).or_default();
+            let stat = shard.spans.entry(path.clone()).or_default();
             stat.count += 1;
             stat.total_ns += nanos;
+            if let (Some(end), Some(start)) = (end_ns, shard.trace.open_starts.pop()) {
+                let tid = shard.tid;
+                shard
+                    .trace
+                    .record(&path, tid, start, end.saturating_sub(start));
+            }
         });
     }
 

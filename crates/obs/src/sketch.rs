@@ -1,0 +1,294 @@
+//! A deterministic, mergeable quantile sketch for latency telemetry.
+//!
+//! This is a DDSketch-style log-bucketed sketch (Masson, Rim & Lee, VLDB
+//! 2019), reduced to what the flight recorder needs: non-negative
+//! observations (durations in milliseconds, set sizes), integer bucket
+//! counts, and an exact merge. A value `v > MIN_TRACKABLE` lands in bucket
+//! `ceil(log_γ v)` with `γ = (1 + α)/(1 − α)`; reporting the geometric
+//! midpoint `2·γ^i/(γ + 1)` of a bucket guarantees every reported
+//! quantile is within **relative error α** of some value actually
+//! observed at that rank.
+//!
+//! # Determinism and merge exactness
+//!
+//! The sketch is a pure fold over the observed multiset: bucket indices
+//! are computed from the value alone, counts are integers, and buckets
+//! live in a `BTreeMap`. Therefore
+//!
+//! * the sketch of a stream is independent of observation order, and
+//! * [`QuantileSketch::merge`] is bucket-wise integer addition, so a
+//!   merge of shard sketches is **bit-identical** to the sketch of the
+//!   concatenated stream — not merely "within bound". (Only the `sum`
+//!   field is order-sensitive f64 addition; quantiles never read it.)
+//!
+//! # Error bound
+//!
+//! For a sketch with relative accuracy `α` ([`DEFAULT_ALPHA`] = 1%), and
+//! any rank `r`, the reported quantile `q̂` satisfies
+//! `|q̂ − x_r| ≤ α · x_r` for the true r-th smallest observation
+//! `x_r > MIN_TRACKABLE`. Values in `[0, MIN_TRACKABLE]` collapse into a
+//! dedicated zero bucket and are reported as `0.0` (absolute error at
+//! most `MIN_TRACKABLE` = 1 ns when observations are in milliseconds).
+//! Negative and NaN observations are counted in `count` but excluded
+//! from the bucket array (they cannot be ranked meaningfully); the
+//! workspace only ever records non-negative values.
+
+use std::collections::BTreeMap;
+
+/// Default relative accuracy of the sketch: reported quantiles are within
+/// 1% of a value actually observed at that rank.
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// Values at or below this threshold are tracked exactly as zero. With
+/// millisecond observations this is one nanosecond.
+pub const MIN_TRACKABLE: f64 = 1e-6;
+
+/// A deterministic mergeable quantile sketch (see module docs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantileSketch {
+    /// Relative accuracy α the sketch was built with.
+    alpha: f64,
+    /// Cached `1 / ln γ` where `γ = (1 + α)/(1 − α)`.
+    inv_log_gamma: f64,
+    /// Log-bucket counts keyed by bucket index `ceil(log_γ v)`.
+    buckets: BTreeMap<i32, u64>,
+    /// Observations in `[0, MIN_TRACKABLE]`.
+    zero_count: u64,
+    /// Observations that were negative or NaN (excluded from quantiles).
+    untracked: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new(DEFAULT_ALPHA)
+    }
+}
+
+impl QuantileSketch {
+    /// A fresh sketch with relative accuracy `alpha` (clamped to a sane
+    /// open interval so `γ` is finite and > 1).
+    pub fn new(alpha: f64) -> Self {
+        let alpha = alpha.clamp(1e-4, 0.5);
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        Self {
+            alpha,
+            inv_log_gamma: 1.0 / gamma.ln(),
+            buckets: BTreeMap::new(),
+            zero_count: 0,
+            untracked: 0,
+        }
+    }
+
+    /// The relative accuracy α this sketch guarantees.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Total number of recorded observations (including untracked ones).
+    pub fn count(&self) -> u64 {
+        self.ranked_count() + self.untracked
+    }
+
+    /// Observations that participate in quantile queries.
+    fn ranked_count(&self) -> u64 {
+        self.zero_count + self.buckets.values().sum::<u64>()
+    }
+
+    /// Bucket index of a positive trackable value.
+    fn bucket_index(&self, value: f64) -> i32 {
+        // ceil(log_γ v); clamp to i32 — any finite f64 fits easily.
+        (value.ln() * self.inv_log_gamma).ceil() as i32
+    }
+
+    /// Representative value of a bucket: the geometric midpoint
+    /// `2·γ^i/(γ+1)`, within α of every value the bucket can hold.
+    fn bucket_value(&self, index: i32) -> f64 {
+        let gamma = (1.0 + self.alpha) / (1.0 - self.alpha);
+        2.0 * gamma.powi(index) / (gamma + 1.0)
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        if value.is_nan() || value < 0.0 {
+            self.untracked += 1;
+        } else if value <= MIN_TRACKABLE {
+            self.zero_count += 1;
+        } else {
+            *self.buckets.entry(self.bucket_index(value)).or_insert(0) += 1;
+        }
+    }
+
+    /// Merge another sketch into this one. Requires equal `alpha` (all
+    /// workspace sketches use [`DEFAULT_ALPHA`]); with equal alphas the
+    /// result is bit-identical to a sketch of the concatenated stream.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        debug_assert!(
+            (self.alpha - other.alpha).abs() < 1e-12,
+            "merging sketches with different alphas loses the error bound"
+        );
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+        self.zero_count += other.zero_count;
+        self.untracked += other.untracked;
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) of the recorded stream, within
+    /// relative error α (see module docs). `None` when no trackable
+    /// observation has been recorded.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let n = self.ranked_count();
+        if n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Target rank in 0..n (nearest-rank on the lower side, the
+        // convention DDSketch uses): the ⌊q·(n−1)⌋-th smallest value.
+        let rank = (q * (n - 1) as f64).floor() as u64;
+        if rank < self.zero_count {
+            return Some(0.0);
+        }
+        let mut seen = self.zero_count;
+        for (&idx, &count) in &self.buckets {
+            seen += count;
+            if seen > rank {
+                return Some(self.bucket_value(idx));
+            }
+        }
+        // Unreachable: the loop covers all ranked observations.
+        self.buckets
+            .keys()
+            .next_back()
+            .map(|&i| self.bucket_value(i))
+    }
+
+    /// Convenience accessors for the percentiles the reports render.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// The 90th percentile, if any trackable observation exists.
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.90)
+    }
+
+    /// The 99th percentile, if any trackable observation exists.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact lower nearest-rank quantile of a sorted slice.
+    fn exact(sorted: &[f64], q: f64) -> f64 {
+        let rank = (q * (sorted.len() - 1) as f64).floor() as usize;
+        sorted[rank]
+    }
+
+    fn assert_within_alpha(sketch: &QuantileSketch, sorted: &[f64], q: f64) {
+        let got = sketch.quantile(q).expect("non-empty");
+        let want = exact(sorted, q);
+        let tol = sketch.alpha() * want.abs() + MIN_TRACKABLE;
+        assert!(
+            (got - want).abs() <= tol,
+            "q={q}: got {got}, exact {want}, tol {tol}"
+        );
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = QuantileSketch::default();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), None);
+    }
+
+    #[test]
+    fn single_value_round_trips_within_alpha() {
+        let mut s = QuantileSketch::default();
+        s.record(123.456);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let got = s.quantile(q).unwrap();
+            assert!((got - 123.456).abs() <= DEFAULT_ALPHA * 123.456);
+        }
+    }
+
+    #[test]
+    fn quantiles_track_a_uniform_stream() {
+        let mut s = QuantileSketch::default();
+        let values: Vec<f64> = (1..=1000).map(|i| i as f64 * 0.1).collect();
+        for &v in &values {
+            s.record(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_within_alpha(&s, &values, q);
+        }
+    }
+
+    #[test]
+    fn observation_order_does_not_change_the_sketch() {
+        let mut a = QuantileSketch::default();
+        let mut b = QuantileSketch::default();
+        let values: Vec<f64> = (1..=500).map(|i| (i as f64).sqrt()).collect();
+        for &v in &values {
+            a.record(v);
+        }
+        for &v in values.iter().rev() {
+            b.record(v);
+        }
+        assert_eq!(a.buckets, b.buckets);
+        assert_eq!(a.quantile(0.99), b.quantile(0.99));
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let values: Vec<f64> = (1..=300).map(|i| (i as f64) * 1.7 + 0.3).collect();
+        let mut whole = QuantileSketch::default();
+        let mut left = QuantileSketch::default();
+        let mut right = QuantileSketch::default();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.buckets, whole.buckets);
+        assert_eq!(left.count(), whole.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(left.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn zeros_and_untracked_values() {
+        let mut s = QuantileSketch::default();
+        s.record(0.0);
+        s.record(0.0);
+        s.record(f64::NAN);
+        s.record(-5.0);
+        s.record(10.0);
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.quantile(0.0), Some(0.0));
+        let p99 = s.quantile(1.0).unwrap();
+        assert!((p99 - 10.0).abs() <= DEFAULT_ALPHA * 10.0);
+    }
+
+    #[test]
+    fn huge_and_tiny_values_stay_bounded() {
+        let mut s = QuantileSketch::default();
+        let values = [1e-5, 1e-3, 1.0, 1e6, 1e12];
+        for &v in &values {
+            s.record(v);
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.0, 0.5, 1.0] {
+            assert_within_alpha(&s, &sorted, q);
+        }
+    }
+}

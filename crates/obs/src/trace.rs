@@ -1,0 +1,153 @@
+//! The flight-recorder trace buffer: timed span events with parent links.
+//!
+//! When a [`SessionRecorder`](crate::SessionRecorder) is created with
+//! [`with_trace`](crate::SessionRecorder::with_trace), every span entry
+//! records a monotonic start offset from the recorder's epoch and every
+//! exit appends a [`TraceEvent`] to the owning thread's buffer. The
+//! merged [`TraceData`] is the full timeline of the session —
+//! `search.session → search.major → search.minor → {projection, kde,
+//! eigen, meaning}` — exportable to the Chrome/Perfetto `trace_events`
+//! format (see [`crate::export`]).
+//!
+//! # Determinism rules
+//!
+//! Wall-clock values are inherently machine- and run-dependent, so they
+//! are carried as **data, never as ordering**:
+//!
+//! * Each event gets a `seq` number — its occurrence index among events
+//!   with the same `(thread, path)` — assigned by program order on the
+//!   owning thread, independent of the clock.
+//! * [`TraceData::events`] is sorted by the stable key
+//!   `(path, seq, tid)`, so two runs of the same deterministic workload
+//!   produce event lists that agree on everything except the `*_ns`
+//!   fields.
+//! * Structure (paths, parentage, counts) is asserted by golden tests
+//!   via the aggregated span tree; timings are never golden-tested.
+
+use std::collections::BTreeMap;
+
+/// One completed span occurrence, as recorded by the flight recorder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Full `/`-joined span path (parent links are encoded in the path).
+    pub path: String,
+    /// Occurrence index among events with the same `(tid, path)`,
+    /// assigned in program order on the owning thread.
+    pub seq: u64,
+    /// Shard (thread) index in recorder registration order.
+    pub tid: u64,
+    /// Monotonic start offset from the recorder's epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// The merged, deterministically-ordered timeline of a traced session.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceData {
+    /// Completed span events sorted by `(path, seq, tid)`.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceData {
+    /// Merge per-shard event buffers into the stable order (see module
+    /// docs). Called by `SessionRecorder::report`.
+    pub(crate) fn from_shards(mut events: Vec<TraceEvent>) -> Self {
+        events
+            .sort_by(|a, b| (a.path.as_str(), a.seq, a.tid).cmp(&(b.path.as_str(), b.seq, b.tid)));
+        Self { events }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Per-shard scratch state of the flight recorder. Lives inside the
+/// recorder's thread shard; only touched when trace mode is on.
+#[derive(Default)]
+pub(crate) struct TraceBuffer {
+    /// Start offsets (ns from the recorder epoch) of the currently-open
+    /// spans, parallel to the shard's name stack.
+    pub(crate) open_starts: Vec<u64>,
+    /// Next `seq` per span path on this shard.
+    seq: BTreeMap<String, u64>,
+    /// Completed events.
+    pub(crate) events: Vec<TraceEvent>,
+}
+
+impl TraceBuffer {
+    /// Record a completed span at `path` that started at `start_ns` and
+    /// ran for `dur_ns`.
+    pub(crate) fn record(&mut self, path: &str, tid: u64, start_ns: u64, dur_ns: u64) {
+        let seq = self.seq.entry(path.to_string()).or_insert(0);
+        self.events.push(TraceEvent {
+            path: path.to_string(),
+            seq: *seq,
+            tid,
+            start_ns,
+            dur_ns,
+        });
+        *seq += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(path: &str, seq: u64, tid: u64, start: u64) -> TraceEvent {
+        TraceEvent {
+            path: path.to_string(),
+            seq,
+            tid,
+            start_ns: start,
+            dur_ns: 1,
+        }
+    }
+
+    #[test]
+    fn merge_order_ignores_wall_time() {
+        // Same structural events, wildly different timestamps: identical
+        // merged order.
+        let a = TraceData::from_shards(vec![
+            ev("s/minor", 1, 0, 999),
+            ev("s", 0, 0, 5),
+            ev("s/minor", 0, 0, 700),
+        ]);
+        let b = TraceData::from_shards(vec![
+            ev("s/minor", 0, 0, 1),
+            ev("s/minor", 1, 0, 2),
+            ev("s", 0, 0, 3),
+        ]);
+        let shape = |d: &TraceData| -> Vec<(String, u64, u64)> {
+            d.events
+                .iter()
+                .map(|e| (e.path.clone(), e.seq, e.tid))
+                .collect()
+        };
+        assert_eq!(shape(&a), shape(&b));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn buffer_assigns_seq_per_path() {
+        let mut buf = TraceBuffer::default();
+        buf.record("a", 0, 10, 1);
+        buf.record("a/b", 0, 11, 1);
+        buf.record("a", 0, 20, 1);
+        let seqs: Vec<(&str, u64)> = buf
+            .events
+            .iter()
+            .map(|e| (e.path.as_str(), e.seq))
+            .collect();
+        assert_eq!(seqs, vec![("a", 0), ("a/b", 0), ("a", 1)]);
+    }
+}

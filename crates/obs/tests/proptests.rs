@@ -1,0 +1,158 @@
+//! Property tests of the quantile sketch's documented error bound
+//! (ISSUE 7 satellite c).
+//!
+//! The sketch promises: every reported quantile is within relative error
+//! α of the exact lower-nearest-rank value of the stream, and a merge of
+//! shard sketches is bit-identical to the sketch of the concatenated
+//! stream. These tests drive adversarial stream shapes at the bound —
+//! sorted ramps (every bucket in order), constant streams (one bucket
+//! holds every rank), bimodal mixtures (a cliff between quantiles), and
+//! NaN-free xorshift noise — and arbitrary shard splits for the merge
+//! law.
+
+use hinn_obs::QuantileSketch;
+use proptest::prelude::*;
+
+/// Exact lower nearest-rank quantile — the convention the sketch uses.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * (sorted.len() - 1) as f64).floor() as usize;
+    sorted[rank]
+}
+
+/// Assert the sketch's bound at the ranks the reports render.
+fn assert_bound(sketch: &QuantileSketch, values: &[f64]) {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        let got = sketch.quantile(q).expect("non-empty stream");
+        let want = exact_quantile(&sorted, q);
+        // Relative error α on trackable values; zero-bucket values are
+        // exact up to MIN_TRACKABLE.
+        let tol = sketch.alpha() * want.abs() + 1e-6;
+        assert!(
+            (got - want).abs() <= tol,
+            "q={q}: sketch {got} vs exact {want} (tol {tol})"
+        );
+    }
+}
+
+/// Deterministic positive noise stream (no NaN, no negatives).
+fn xorshift_stream(seed: u64, len: usize) -> Vec<f64> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            // Spread over ~6 decades, like latencies from ns to ms.
+            let u = (s >> 11) as f64 / (1u64 << 53) as f64;
+            1e-3 * (u * 13.8).exp()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sorted ramp: every observation lands in bucket order, so any
+    /// off-by-one in the rank walk shows up immediately.
+    #[test]
+    fn sorted_ramp_stays_within_alpha(
+        start in 0.001f64..10.0,
+        step in 0.001f64..5.0,
+        len in 2usize..400,
+    ) {
+        let values: Vec<f64> = (0..len).map(|i| start + step * i as f64).collect();
+        let mut sketch = QuantileSketch::default();
+        for &v in &values {
+            sketch.record(v);
+        }
+        assert_bound(&sketch, &values);
+    }
+
+    /// Constant stream: one bucket holds every rank; every quantile must
+    /// report (within α) that constant.
+    #[test]
+    fn constant_stream_reports_the_constant(
+        value in 0.0001f64..1e9,
+        len in 1usize..300,
+    ) {
+        let values = vec![value; len];
+        let mut sketch = QuantileSketch::default();
+        for &v in &values {
+            sketch.record(v);
+        }
+        assert_bound(&sketch, &values);
+    }
+
+    /// Bimodal mixture: a fast mode and a slow mode orders of magnitude
+    /// apart. The p50/p99 split across the cliff is where a bucketed
+    /// sketch with a broken rank walk misreports worst.
+    #[test]
+    fn bimodal_mixture_stays_within_alpha(
+        fast in 0.01f64..1.0,
+        slow_mult in 50.0f64..5000.0,
+        n_fast in 1usize..200,
+        n_slow in 1usize..200,
+    ) {
+        let slow = fast * slow_mult;
+        let mut values = vec![fast; n_fast];
+        values.extend(std::iter::repeat_n(slow, n_slow));
+        let mut sketch = QuantileSketch::default();
+        for &v in &values {
+            sketch.record(v);
+        }
+        assert_bound(&sketch, &values);
+    }
+
+    /// NaN-free xorshift noise over six decades.
+    #[test]
+    fn xorshift_noise_stays_within_alpha(
+        seed in 1u64..u64::MAX,
+        len in 1usize..500,
+    ) {
+        let values = xorshift_stream(seed, len);
+        let mut sketch = QuantileSketch::default();
+        for &v in &values {
+            sketch.record(v);
+        }
+        assert_bound(&sketch, &values);
+    }
+
+    /// Merge law: splitting a stream into shards at an arbitrary cut and
+    /// merging the shard sketches equals the sketch of the whole stream —
+    /// exactly, so all quantiles agree bit-for-bit (and trivially within
+    /// the bound of the concatenated stream).
+    #[test]
+    fn merged_shards_equal_the_concatenated_stream(
+        seed in 1u64..u64::MAX,
+        len in 2usize..400,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let values = xorshift_stream(seed, len);
+        let cut = ((len as f64 * cut_frac) as usize).min(len);
+        let mut whole = QuantileSketch::default();
+        let mut left = QuantileSketch::default();
+        let mut right = QuantileSketch::default();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i < cut {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let merged = left.quantile(q);
+            let direct = whole.quantile(q);
+            prop_assert_eq!(
+                merged.map(f64::to_bits),
+                direct.map(f64::to_bits),
+                "q={} diverged after merge", q
+            );
+        }
+        assert_bound(&left, &values);
+    }
+}

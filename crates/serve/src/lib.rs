@@ -27,13 +27,24 @@
 //!
 //! Telemetry (all no-ops unless a `hinn-obs` recorder is installed):
 //! counters `session.opened`, `session.finished`, `session.evicted`,
-//! `session.resumed`, `session.dropped`, `session.denied`; gauges
-//! `session.hot`, `session.warm`; spans `session.open` / `session.step`
-//! around the compute segments.
+//! `session.resumed`, `session.dropped`, `session.denied`,
+//! `session.postmortem`; gauges `session.hot`, `session.warm`; spans
+//! `session.open` / `session.step` around the compute segments;
+//! histograms `session.submit_ms`, `snapshot.serialize_ms`,
+//! `snapshot.restore_ms` (percentiles via `hinn-obs`'s quantile sketch).
+//!
+//! Every hot session also carries a bounded black box of recent
+//! lifecycle events ([`postmortem`]): when a session fails — engine
+//! error, deadline expiry, in-engine panic — or takes a
+//! degradation-ladder rung, the ring is frozen into a [`Postmortem`],
+//! printed to stderr as one-line JSON, and kept for
+//! [`SessionManager::take_postmortems`].
 
 mod manager;
+pub mod postmortem;
 
 pub use manager::{ServeConfig, ServeError, SessionId, SessionManager};
+pub use postmortem::{EventRing, Postmortem, SessionEvent};
 
 // The serving layer speaks the engine's vocabulary; re-export the types a
 // caller needs so `hinn_serve` works standalone.

@@ -1,14 +1,16 @@
 //! The session table: admission, two-tier residency, lazy eviction.
 
+use crate::postmortem::{EventRing, Postmortem, SessionEvent};
 use hinn_cache::{Fingerprint, LruCache};
 use hinn_core::{
-    HinnError, OwnedSessionEngine, SearchConfig, SessionCache, SessionEngine, SessionSnapshot, Step,
+    DegradationKind, HinnError, OwnedSessionEngine, SearchConfig, SessionCache, SessionEngine,
+    SessionSnapshot, Step,
 };
 use hinn_user::UserResponse;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Opaque handle to one open session. Ids are assigned sequentially and
 /// never reused within a manager's lifetime.
@@ -170,6 +172,12 @@ enum Lifecycle {
 /// session while letting other sessions compute concurrently.
 struct HotSlot {
     engine: OwnedSessionEngine,
+    /// Degradation-log events already mirrored into the session's black
+    /// box — `submit` diffs against this to find rungs the last compute
+    /// segment took. Reset to the restored engine's log length on a
+    /// warm-tier restore (a restore bit-identically replays rungs the
+    /// ring already recorded before the suspend).
+    degr_seen: usize,
 }
 
 /// A checked-out hot slot. While the lease is alive the session is
@@ -220,6 +228,10 @@ struct Inner {
     /// checked-out slot is unlocked until its caller gets around to
     /// locking it.
     pinned: HashMap<u64, usize>,
+    /// Per-session black box: the bounded ring of recent lifecycle
+    /// events a postmortem freezes. Keyed by raw id so it survives
+    /// hot/warm bounces; dropped when the session retires or closes.
+    black_box: HashMap<u64, EventRing>,
 }
 
 impl Inner {
@@ -245,6 +257,10 @@ pub struct SessionManager {
     cache: Arc<SessionCache>,
     warm: LruCache<SessionSnapshot>,
     inner: Mutex<Inner>,
+    /// Frozen incident records, drained by [`take_postmortems`].
+    ///
+    /// [`take_postmortems`]: SessionManager::take_postmortems
+    incidents: Mutex<Vec<Postmortem>>,
 }
 
 impl SessionManager {
@@ -285,7 +301,9 @@ impl SessionManager {
                 last_used: HashMap::new(),
                 lifecycle: HashMap::new(),
                 pinned: HashMap::new(),
+                black_box: HashMap::new(),
             }),
+            incidents: Mutex::new(Vec::new()),
         })
     }
 
@@ -345,6 +363,25 @@ impl SessionManager {
         }
         let (engine, step) =
             SessionEngine::start_shared(search, self.points.clone(), query, self.cache.clone())?;
+        // Mirror open-time degradation rungs (StarvedSeed's linear-scan
+        // fallback fires during the seed) into the black box before the
+        // engine moves into its slot.
+        let degr_seen = engine.degradations().len();
+        let mut ring = EventRing::default();
+        ring.push(SessionEvent::Opened {
+            n_points: self.points.len(),
+            dims: self.points.first().map_or(0, Vec::len),
+        });
+        let mut starved = false;
+        for e in engine.degradations().iter() {
+            starved |= e.kind == DegradationKind::StarvedSeed;
+            ring.push(SessionEvent::Degradation {
+                major: e.major,
+                minor: e.minor,
+                kind: e.kind.as_str().to_string(),
+                detail: e.detail.clone(),
+            });
+        }
         let mut inner = self.lock();
         let live = inner.live();
         if live >= self.config.max_sessions {
@@ -357,18 +394,26 @@ impl SessionManager {
         let id = SessionId(inner.next_id);
         inner.next_id += 1;
         hinn_obs::counter("session.opened", 1);
+        if starved {
+            // A starved seed is a meaningfulness hazard, not an error: the
+            // session continues on the linear-scan fallback, but the
+            // incident is dumped so an operator can audit which answers
+            // rest on it.
+            self.dump(&ring, id, "starved seed at open");
+        }
         if step.is_done() {
             inner.lifecycle.insert(id.0, Lifecycle::Finished);
             hinn_obs::counter("session.finished", 1);
             return Ok((id, step));
         }
+        inner.black_box.insert(id.0, ring);
         inner.tick += 1;
         let tick = inner.tick;
         inner.lifecycle.insert(id.0, Lifecycle::Hot);
         inner.last_used.insert(id.0, tick);
         inner
             .hot
-            .insert(id.0, Arc::new(Mutex::new(HotSlot { engine })));
+            .insert(id.0, Arc::new(Mutex::new(HotSlot { engine, degr_seen })));
         self.enforce_hot_cap(&mut inner);
         self.publish_gauges(&inner);
         Ok((id, step))
@@ -386,7 +431,58 @@ impl SessionManager {
         // keeps eviction away from this session until the new state is
         // safely in the slot (or the session is retired).
         let mut guard = lease.lock();
-        match guard.engine.submit(response) {
+        if let Some(view) = guard.engine.pending_view() {
+            let (major, minor) = (view.context().major, view.context().minor);
+            self.record(id, SessionEvent::Submitted { major, minor });
+        }
+        let timed = hinn_obs::enabled().then(Instant::now);
+        // Contain in-engine panics: freeze the black box and retire the
+        // session before re-raising, so one poisoned session cannot take
+        // its incident history down with it.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            guard.engine.submit(response)
+        }));
+        if let Some(start) = timed {
+            hinn_obs::observe("session.submit_ms", start.elapsed().as_secs_f64() * 1e3);
+        }
+        let result = match result {
+            Ok(r) => r,
+            Err(payload) => {
+                drop(guard);
+                let error = panic_text(payload.as_ref());
+                self.record(id, SessionEvent::Failed { error });
+                self.dump_by_id(id, "panic during submit");
+                self.retire(id, Lifecycle::Finished);
+                std::panic::resume_unwind(payload);
+            }
+        };
+        // Mirror degradation-ladder rungs this compute segment took; a
+        // degraded-but-alive session dumps too, because "quietly degraded"
+        // is the failure mode the paper warns about.
+        let total = guard.engine.degradations().len();
+        if total > guard.degr_seen {
+            let new_events: Vec<SessionEvent> = guard.engine.degradations().events
+                [guard.degr_seen..]
+                .iter()
+                .map(|e| SessionEvent::Degradation {
+                    major: e.major,
+                    minor: e.minor,
+                    kind: e.kind.as_str().to_string(),
+                    detail: e.detail.clone(),
+                })
+                .collect();
+            guard.degr_seen = total;
+            let mut inner = self.lock();
+            if let Some(ring) = inner.black_box.get_mut(&id.0) {
+                for event in new_events {
+                    ring.push(event);
+                }
+                let ring = ring.clone();
+                drop(inner);
+                self.dump(&ring, id, "degradation ladder");
+            }
+        }
+        match result {
             Ok(step) => {
                 if step.is_done() {
                     drop(guard);
@@ -397,6 +493,13 @@ impl SessionManager {
             }
             Err(e) => {
                 drop(guard);
+                self.record(
+                    id,
+                    SessionEvent::Failed {
+                        error: e.to_string(),
+                    },
+                );
+                self.dump_by_id(id, &format!("engine error: {e}"));
                 self.retire(id, Lifecycle::Finished);
                 Err(ServeError::Engine(e))
             }
@@ -445,6 +548,7 @@ impl SessionManager {
         }
         inner.hot.remove(&id.0);
         inner.last_used.remove(&id.0);
+        inner.black_box.remove(&id.0);
         self.warm.remove(id.key());
         self.publish_gauges(&inner);
         Ok(())
@@ -494,21 +598,39 @@ impl SessionManager {
         if self.config.session_deadline.is_some() {
             search.deadline = self.config.session_deadline;
         }
-        let (engine, _step) =
-            SessionEngine::resume_shared(search, self.points.clone(), &snap, self.cache.clone())
-                .map_err(|e| {
-                    // The snapshot came from this manager, so a resume failure is
-                    // an engine-level problem (e.g. deadline during the restore
-                    // segment). The session is spent either way.
-                    inner.lifecycle.insert(id.0, Lifecycle::Finished);
-                    ServeError::Engine(e)
-                })?;
+        let timed = hinn_obs::enabled().then(Instant::now);
+        let resumed =
+            SessionEngine::resume_shared(search, self.points.clone(), &snap, self.cache.clone());
+        if let Some(start) = timed {
+            hinn_obs::observe("snapshot.restore_ms", start.elapsed().as_secs_f64() * 1e3);
+        }
+        let (engine, _step) = resumed.map_err(|e| {
+            // The snapshot came from this manager, so a resume failure is
+            // an engine-level problem (e.g. deadline during the restore
+            // segment). The session is spent either way.
+            inner.lifecycle.insert(id.0, Lifecycle::Finished);
+            if let Some(ring) = inner.black_box.get_mut(&id.0) {
+                ring.push(SessionEvent::Failed {
+                    error: e.to_string(),
+                });
+                let ring = ring.clone();
+                self.dump(&ring, id, &format!("restore failed: {e}"));
+            }
+            ServeError::Engine(e)
+        })?;
         hinn_obs::counter("session.resumed", 1);
+        if let Some(ring) = inner.black_box.get_mut(&id.0) {
+            ring.push(SessionEvent::Restored);
+        }
         inner.tick += 1;
         let tick = inner.tick;
         inner.lifecycle.insert(id.0, Lifecycle::Hot);
         inner.last_used.insert(id.0, tick);
-        let slot = Arc::new(Mutex::new(HotSlot { engine }));
+        // The restored engine replayed its degradation log (bit-identical
+        // restore); the ring already holds those rungs, so only events
+        // past this length are new.
+        let degr_seen = engine.degradations().len();
+        let slot = Arc::new(Mutex::new(HotSlot { engine, degr_seen }));
         inner.hot.insert(id.0, slot.clone());
         // Pin before enforcing the cap: the session we just restored must
         // not be the one the cap enforcement pushes straight back out.
@@ -569,7 +691,12 @@ impl SessionManager {
         let Ok(guard) = slot.try_lock() else {
             return false;
         };
-        let Ok(snap) = guard.engine.snapshot() else {
+        let timed = hinn_obs::enabled().then(Instant::now);
+        let snap = guard.engine.snapshot();
+        if let Some(start) = timed {
+            hinn_obs::observe("snapshot.serialize_ms", start.elapsed().as_secs_f64() * 1e3);
+        }
+        let Ok(snap) = snap else {
             return false;
         };
         drop(guard);
@@ -577,6 +704,9 @@ impl SessionManager {
         inner.hot.remove(&sid);
         inner.last_used.remove(&sid);
         inner.lifecycle.insert(sid, Lifecycle::Warm);
+        if let Some(ring) = inner.black_box.get_mut(&sid) {
+            ring.push(SessionEvent::Suspended);
+        }
         hinn_obs::counter("session.evicted", 1);
         true
     }
@@ -588,9 +718,51 @@ impl SessionManager {
         let mut inner = self.lock();
         inner.hot.remove(&id.0);
         inner.last_used.remove(&id.0);
+        inner.black_box.remove(&id.0);
         self.warm.remove(id.key());
         inner.lifecycle.insert(id.0, state);
         self.publish_gauges(&inner);
+    }
+
+    /// Record `event` into session `id`'s black box, if it still has one.
+    fn record(&self, id: SessionId, event: SessionEvent) {
+        let mut inner = self.lock();
+        if let Some(ring) = inner.black_box.get_mut(&id.0) {
+            ring.push(event);
+        }
+    }
+
+    /// Freeze `ring` into a [`Postmortem`]: count it, keep it for
+    /// [`take_postmortems`](Self::take_postmortems), and print the
+    /// one-line JSON to stderr for operators tailing logs.
+    fn dump(&self, ring: &EventRing, id: SessionId, reason: &str) {
+        let pm = ring.freeze(id.raw(), reason);
+        hinn_obs::counter("session.postmortem", 1);
+        eprintln!("hinn-serve postmortem: {}", pm.to_json());
+        self.incidents
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(pm);
+    }
+
+    /// [`dump`](Self::dump) whatever the black box currently holds for
+    /// `id` (an empty ring if the session never had one).
+    fn dump_by_id(&self, id: SessionId, reason: &str) {
+        let ring = self
+            .lock()
+            .black_box
+            .get(&id.0)
+            .cloned()
+            .unwrap_or_default();
+        self.dump(&ring, id, reason);
+    }
+
+    /// Drain the incident store: every [`Postmortem`] dumped since the
+    /// last call (or since construction), oldest first. Incident tooling
+    /// polls this; each postmortem was also printed to stderr as one-line
+    /// JSON at dump time.
+    pub fn take_postmortems(&self) -> Vec<Postmortem> {
+        std::mem::take(&mut *self.incidents.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
     fn publish_gauges(&self, inner: &Inner) {
@@ -603,6 +775,17 @@ impl SessionManager {
     fn lock(&self) -> MutexGuard<'_, Inner> {
         // No partial mutation spans an unwind point; recover poisoning.
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Render a caught panic payload as text for the black box.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -851,5 +1034,113 @@ mod tests {
     fn manager_is_send_and_sync() {
         fn assert_sync<T: Send + Sync>() {}
         assert_sync::<SessionManager>();
+    }
+
+    #[test]
+    fn deadline_failure_dumps_a_postmortem() {
+        let pts = Arc::new(planted());
+        let q = vec![50.0; 8];
+        let m = SessionManager::new(
+            config().with_session_deadline(Duration::from_secs(3600)),
+            pts,
+        )
+        .expect("manager");
+        let (id, step) = m.open(&q).expect("open");
+        assert!(!step.is_done());
+        assert!(
+            m.take_postmortems().is_empty(),
+            "healthy open dumps nothing"
+        );
+        let plan = Arc::new(
+            hinn_fault::FaultPlan::new().with("search.deadline", hinn_fault::FaultMode::Always),
+        );
+        let err = {
+            let _g = hinn_fault::install_local(plan);
+            m.submit(id, UserResponse::Discard).expect_err("deadline")
+        };
+        assert!(
+            matches!(err, ServeError::Engine(HinnError::Deadline { .. })),
+            "{err}"
+        );
+        let pms = m.take_postmortems();
+        assert_eq!(pms.len(), 1);
+        let pm = &pms[0];
+        assert_eq!(pm.session, id.raw());
+        assert!(pm.reason.contains("deadline"), "{}", pm.reason);
+        assert!(matches!(
+            pm.events.first(),
+            Some(SessionEvent::Opened { .. })
+        ));
+        assert!(pm
+            .events
+            .iter()
+            .any(|e| matches!(e, SessionEvent::Submitted { .. })));
+        assert!(matches!(
+            pm.events.last(),
+            Some(SessionEvent::Failed { .. })
+        ));
+        let json = pm.to_json();
+        assert!(json.contains("\"type\":\"failed\""), "{json}");
+        // Drained: a second take sees nothing.
+        assert!(m.take_postmortems().is_empty());
+        assert_eq!(m.live_sessions(), 0, "failed session left the table");
+    }
+
+    #[test]
+    fn panic_during_submit_dumps_and_retires() {
+        let pts = Arc::new(planted());
+        let q = vec![50.0; 8];
+        let m = SessionManager::new(config(), pts).expect("manager");
+        let (id, _) = m.open(&q).expect("open");
+        let plan = Arc::new(
+            hinn_fault::FaultPlan::new().with("search.panic", hinn_fault::FaultMode::Once),
+        );
+        let caught = {
+            let _g = hinn_fault::install_local(plan);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = m.submit(id, UserResponse::Discard);
+            }))
+        };
+        assert!(caught.is_err(), "panic propagates to the caller");
+        let pms = m.take_postmortems();
+        assert_eq!(pms.len(), 1);
+        assert!(pms[0].reason.contains("panic"), "{}", pms[0].reason);
+        assert!(
+            matches!(pms[0].events.last(), Some(SessionEvent::Failed { error }) if error.contains("search.panic")),
+            "black box records the panic text"
+        );
+        // The poisoned session is retired, not wedged.
+        let err = m.submit(id, UserResponse::Discard).expect_err("spent");
+        assert!(matches!(err, ServeError::SessionFinished(_)), "{err}");
+        assert_eq!(m.live_sessions(), 0);
+    }
+
+    #[test]
+    fn postmortem_records_tier_moves() {
+        let pts = Arc::new(planted());
+        let q = vec![50.0; 8];
+        let m = SessionManager::new(
+            config().with_session_deadline(Duration::from_secs(3600)),
+            pts,
+        )
+        .expect("manager");
+        let (id, _) = m.open(&q).expect("open");
+        m.suspend(id).expect("suspend");
+        // This submit transparently restores the warm session.
+        let step = m.submit(id, UserResponse::Discard).expect("restore");
+        assert!(!step.is_done());
+        // The next one fails on the forced deadline, freezing the ring.
+        let plan = Arc::new(
+            hinn_fault::FaultPlan::new().with("search.deadline", hinn_fault::FaultMode::Always),
+        );
+        {
+            let _g = hinn_fault::install_local(plan);
+            let _ = m.submit(id, UserResponse::Discard);
+        }
+        let pms = m.take_postmortems();
+        assert_eq!(pms.len(), 1);
+        let kinds: Vec<&SessionEvent> = pms[0].events.iter().collect();
+        assert!(kinds.iter().any(|e| matches!(e, SessionEvent::Suspended)));
+        assert!(kinds.iter().any(|e| matches!(e, SessionEvent::Restored)));
     }
 }

@@ -1,0 +1,249 @@
+//! The serving layer's black box: a bounded ring of recent session
+//! lifecycle events, dumped as typed, stable JSON when a session dies.
+//!
+//! Every hot session carries an [`EventRing`] of its last
+//! [`RING_CAPACITY`] lifecycle events — opens, submits, tier moves,
+//! degradation-ladder rungs. When the session fails (engine error,
+//! deadline expiry, in-session panic) or trips the degradation ladder,
+//! the manager freezes the ring into a [`Postmortem`] and keeps it for
+//! [`SessionManager::take_postmortems`](crate::SessionManager::take_postmortems);
+//! a one-line JSON rendering also goes to stderr so an operator tailing
+//! logs sees the incident without asking the process anything.
+//!
+//! The JSON is hand-rolled and field-ordered (like every export in this
+//! workspace) so incident tooling can parse it without a schema registry.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Bounded capacity of one session's event ring. Old events are dropped
+/// (and counted) once the ring is full: a postmortem wants the *recent*
+/// history, and an unbounded log would let a degradation storm grow a hot
+/// slot without bound.
+pub const RING_CAPACITY: usize = 32;
+
+/// One session lifecycle event, as kept in the ring.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionEvent {
+    /// The session was opened (engine started, first view computed).
+    Opened {
+        /// Points in the shared data set.
+        n_points: usize,
+        /// Data dimensionality.
+        dims: usize,
+    },
+    /// A response was submitted at this `(major, minor)` cursor.
+    Submitted {
+        /// Major iteration of the pending view.
+        major: usize,
+        /// Minor iteration of the pending view.
+        minor: usize,
+    },
+    /// The session was snapshotted out of the hot tier.
+    Suspended,
+    /// The session was restored from the warm tier.
+    Restored,
+    /// The engine took a degradation-ladder rung.
+    Degradation {
+        /// Major iteration the rung belongs to, if attributed.
+        major: Option<usize>,
+        /// Minor iteration the rung belongs to, if attributed.
+        minor: Option<usize>,
+        /// The rung's kind (`DegradationKind::as_str`).
+        kind: String,
+        /// Free-form detail from the engine.
+        detail: String,
+    },
+    /// The session died: engine error, deadline, or panic.
+    Failed {
+        /// The error (or panic payload) rendered as text.
+        error: String,
+    },
+}
+
+impl SessionEvent {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Self::Opened { n_points, dims } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"opened\",\"n_points\":{n_points},\"dims\":{dims}}}"
+                );
+            }
+            Self::Submitted { major, minor } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"submitted\",\"major\":{major},\"minor\":{minor}}}"
+                );
+            }
+            Self::Suspended => out.push_str("{\"type\":\"suspended\"}"),
+            Self::Restored => out.push_str("{\"type\":\"restored\"}"),
+            Self::Degradation {
+                major,
+                minor,
+                kind,
+                detail,
+            } => {
+                let opt = |v: &Option<usize>| v.map_or("null".to_string(), |n| n.to_string());
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"degradation\",\"major\":{},\"minor\":{},\
+                     \"kind\":\"{}\",\"detail\":\"{}\"}}",
+                    opt(major),
+                    opt(minor),
+                    json_escape(kind),
+                    json_escape(detail)
+                );
+            }
+            Self::Failed { error } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"failed\",\"error\":\"{}\"}}",
+                    json_escape(error)
+                );
+            }
+        }
+    }
+}
+
+/// A bounded ring of [`SessionEvent`]s (see module docs).
+#[derive(Clone, Debug, Default)]
+pub struct EventRing {
+    events: VecDeque<SessionEvent>,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Append an event, dropping (and counting) the oldest past capacity.
+    pub fn push(&mut self, event: SessionEvent) {
+        if self.events.len() == RING_CAPACITY {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &SessionEvent> {
+        self.events.iter()
+    }
+
+    /// How many events aged out of the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Freeze the ring into a [`Postmortem`].
+    pub fn freeze(&self, session: u64, reason: impl Into<String>) -> Postmortem {
+        Postmortem {
+            session,
+            reason: reason.into(),
+            dropped_events: self.dropped,
+            events: self.events.iter().cloned().collect(),
+        }
+    }
+}
+
+/// A frozen incident record: what the session's black box held when it
+/// died (or tripped the degradation ladder).
+#[derive(Clone, Debug)]
+pub struct Postmortem {
+    /// Raw session id (`SessionId::raw`).
+    pub session: u64,
+    /// Why the dump fired (error text, "starved seed", …).
+    pub reason: String,
+    /// Ring-capacity overflow count: events lost before the dump.
+    pub dropped_events: u64,
+    /// The retained events, oldest first.
+    pub events: Vec<SessionEvent>,
+}
+
+impl Postmortem {
+    /// One-line stable JSON (field order fixed; see module docs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"session\":{},\"reason\":\"{}\",\"dropped_events\":{},\"events\":[",
+            self.session,
+            json_escape(&self.reason),
+            self.dropped_events
+        );
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            e.write_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escape a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let mut ring = EventRing::default();
+        for i in 0..(RING_CAPACITY + 5) {
+            ring.push(SessionEvent::Submitted { major: i, minor: 0 });
+        }
+        assert_eq!(ring.events().count(), RING_CAPACITY);
+        assert_eq!(ring.dropped(), 5);
+        // Oldest retained event is the 6th pushed.
+        assert_eq!(
+            ring.events().next(),
+            Some(&SessionEvent::Submitted { major: 5, minor: 0 })
+        );
+    }
+
+    #[test]
+    fn postmortem_json_is_stable_and_escaped() {
+        let mut ring = EventRing::default();
+        ring.push(SessionEvent::Opened {
+            n_points: 200,
+            dims: 8,
+        });
+        ring.push(SessionEvent::Degradation {
+            major: Some(1),
+            minor: None,
+            kind: "starved_seed".to_string(),
+            detail: "quote \" and\nnewline".to_string(),
+        });
+        ring.push(SessionEvent::Failed {
+            error: "deadline exceeded".to_string(),
+        });
+        let pm = ring.freeze(7, "engine error");
+        let json = pm.to_json();
+        assert!(json.starts_with("{\"session\":7,\"reason\":\"engine error\""));
+        assert!(json.contains("\"type\":\"opened\",\"n_points\":200"));
+        assert!(json.contains("\"minor\":null"));
+        assert!(json.contains("quote \\\" and\\nnewline"));
+        assert!(!json.contains('\n'), "one-line rendering");
+        assert_eq!(json, pm.to_json(), "stable");
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(json.matches(open).count(), json.matches(close).count());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Profiling a session with the flight recorder: run a traced search,
+//! print the timed span tree and flame summary, export a Perfetto trace,
+//! and read the latency percentiles.
+//!
+//! ```sh
+//! cargo run --release --example trace_session
+//! ```
+//!
+//! Then load `target/trace_session.json` into <https://ui.perfetto.dev>
+//! (or `chrome://tracing`) to browse the same tree interactively. The
+//! `HINN_OBS_TRACE=/path.json` environment variable does the same export
+//! for any traced run, with no code changes.
+
+use hinn::data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
+use hinn::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let spec = ProjectedClusterSpec {
+        n_points: 1500,
+        ..ProjectedClusterSpec::case1()
+    };
+    let (data, _truth) = generate_projected_clusters_detailed(&spec, &mut rng);
+    let query = data.points[data.cluster_members(0)[0]].clone();
+    let mut user = HeuristicUser::default();
+
+    // `RunOptions::traced()` installs a trace-mode recorder for the
+    // session: every span enter/exit is timestamped into per-thread
+    // buffers, merged deterministically at report time. The outcome is
+    // bit-identical to an untraced run — tracing only *observes*.
+    let out = InteractiveSearch::new(SearchConfig::default().with_support(40))
+        .run_with(
+            &data.points,
+            &query,
+            &mut user,
+            hinn::core::RunOptions::traced(),
+        )
+        .expect("interactive session");
+    let report = out.telemetry.as_ref().expect("traced run yields telemetry");
+
+    // Where did the wall clock go? The span tree shows structure and
+    // counts; the flame summary adds inclusive/exclusive times per path.
+    println!("== span tree ==\n{}", report.span_tree_text());
+    println!("== flame summary ==\n{}", report.flame_text());
+
+    // How well does the tree explain the session? (The flight-recorder
+    // test suite holds this at ≥95% for the session root.)
+    if let Some(coverage) = report.span_coverage("search.session") {
+        println!(
+            "session time covered by child spans: {:.1}%",
+            coverage * 100.0
+        );
+    }
+
+    // Tail latency, not just means: every histogram carries a
+    // relative-error quantile sketch (α = 1%).
+    println!("== latency percentiles ==");
+    for (name, hist) in &report.histograms {
+        println!(
+            "{name:<24} n={:<5} p50={:.3} p90={:.3} p99={:.3}",
+            hist.count,
+            hist.p50(),
+            hist.p90(),
+            hist.p99()
+        );
+    }
+
+    // The same trace, for Perfetto.
+    let path = "target/trace_session.json";
+    std::fs::write(path, report.to_chrome_trace()).expect("write trace");
+    println!("\nwrote {path} — load it in https://ui.perfetto.dev");
+}

@@ -1,0 +1,284 @@
+//! Flight-recorder acceptance (ISSUE 7): timed span trees, the Perfetto
+//! export, and the no-observer-effect contract for the new machinery.
+//!
+//! `tests/obs_invariance.rs` pins "recorder on/off changes nothing" for
+//! plain recorders; this suite extends the claim to the trace-mode
+//! recorder (which reads a monotonic clock at every span edge), to the
+//! environment-driven file export (including a *failing* export), and to
+//! a `SessionManager` evict/restore cycle. It also pins the span-tree
+//! *structure* — paths, parentage, counts, never times — to a golden
+//! file. To regenerate after an intentional instrumentation change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test flight_recorder
+//! ```
+
+use hinn::core::{
+    CandidateSource, InteractiveSearch, Parallelism, RunOptions, SearchConfig, SearchOutcome,
+};
+use hinn::obs::diff::{parse_json, JsonValue};
+use hinn::obs::TelemetryReport;
+use hinn::par::SERIAL_CUTOFF;
+use hinn::serve::{ServeConfig, SessionManager, Step};
+use hinn::user::{HeuristicUser, ScriptedUser, UserModel, UserResponse};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Thread budgets under test (pinned, independent of `HINN_THREADS`).
+const BUDGETS: [usize; 2] = [1, 4];
+
+/// The `hinn-obs` facade is process-global; serialize the tests in this
+/// binary so one test's session never records into another's shards.
+fn exclusive() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn cloud(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed | 1;
+    let mut unif = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| (0..d).map(|_| unif() * 100.0 - 50.0).collect())
+        .collect()
+}
+
+fn script() -> ScriptedUser {
+    ScriptedUser::new([
+        UserResponse::Threshold(1e-7),
+        UserResponse::Discard,
+        UserResponse::Threshold(5e-7),
+    ])
+    .with_fallback(UserResponse::Threshold(1e-7))
+}
+
+fn config(par: Parallelism) -> SearchConfig {
+    SearchConfig {
+        max_major_iterations: 2,
+        min_major_iterations: 1,
+        ..SearchConfig::default()
+            .with_support(25)
+            .with_parallelism(par)
+    }
+}
+
+fn run(config: SearchConfig, points: &[Vec<f64>], options: RunOptions) -> hinn::core::RunOutput {
+    let mut user = script();
+    InteractiveSearch::new(config)
+        .run_with(points, &points[0], &mut user, options)
+        .expect("interactive session")
+}
+
+fn assert_bits_equal(a: &SearchOutcome, b: &SearchOutcome, label: &str) {
+    assert_eq!(a.neighbors, b.neighbors, "{label}: neighbor sets differ");
+    assert_eq!(a.majors_run, b.majors_run, "{label}: majors_run differs");
+    let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&a.probabilities),
+        bits(&b.probabilities),
+        "{label}: probabilities not bit-identical"
+    );
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("trace_tree.txt")
+}
+
+/// The span-tree *structure* of a traced session — paths, nesting, and
+/// counts, rendered by [`TelemetryReport::span_tree_text`] — is pinned to
+/// a golden file. Wall times are deliberately absent: structure is
+/// deterministic (fixed dataset, script, and thread budget), times never
+/// are.
+#[test]
+fn trace_tree_structure_matches_golden() {
+    let _guard = exclusive();
+    let points = cloud(SERIAL_CUTOFF + 130, 6, 0xF11E);
+    let out = run(config(Parallelism::fixed(4)), &points, RunOptions::traced());
+    let report = out.telemetry.as_ref().expect("traced run yields telemetry");
+    let rendered = report.span_tree_text();
+
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &rendered).expect("write golden trace tree");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden trace tree {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test flight_recorder`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "span-tree structure drifted from the golden file; if the change \
+         is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// The Perfetto export of a traced session parses as JSON, carries one
+/// complete event per recorded span, and the session root's inclusive
+/// time is ≥95% covered by its named children — the flight recorder's
+/// coverage acceptance bar.
+#[test]
+fn perfetto_export_is_valid_and_covers_the_session() {
+    let _guard = exclusive();
+    let points = cloud(SERIAL_CUTOFF + 130, 6, 0xF11E_0002);
+    let out = run(config(Parallelism::fixed(4)), &points, RunOptions::traced());
+    let report = out.telemetry.as_ref().expect("telemetry");
+
+    let trace = report.trace.as_ref().expect("traced run records events");
+    assert!(!trace.events.is_empty(), "no trace events recorded");
+
+    // The export must parse as JSON (with the workspace's own parser —
+    // the same one `obs_diff` trusts) and carry every recorded event.
+    let json = report.to_chrome_trace();
+    let value = parse_json(&json).expect("chrome trace is valid JSON");
+    let events = match value.get("traceEvents") {
+        Some(JsonValue::Arr(events)) => events,
+        other => panic!("traceEvents missing or not an array: {other:?}"),
+    };
+    assert_eq!(events.len(), trace.events.len());
+    for e in events {
+        for key in ["name", "ph", "ts", "dur", "pid", "tid"] {
+            assert!(e.get(key).is_some(), "event missing {key:?}: {e:?}");
+        }
+    }
+
+    // ≥95% of the session root's inclusive wall time sits under named
+    // child spans (seed / major / finish) — no giant unaccounted gap.
+    let coverage = report
+        .span_coverage("search.session")
+        .expect("session root span");
+    assert!(
+        coverage >= 0.95,
+        "session span coverage {coverage:.3} below the 95% bar:\n{}",
+        report.flame_text()
+    );
+
+    // The flame summary renders the same tree.
+    let flame = report.flame_text();
+    assert!(flame.contains("search.session/search.major"), "{flame}");
+}
+
+/// Trace-mode recorders and the environment-driven export must be
+/// invisible in results — including when the export *fails* (unwritable
+/// path), which must cost a stderr warning, never a panic or a changed
+/// bit. Covered for both candidate sources.
+#[test]
+fn trace_and_export_toggles_are_invisible_to_results() {
+    let _guard = exclusive();
+    let points = cloud(SERIAL_CUTOFF + 130, 6, 0xF11E_0003);
+    let export_dir = std::env::temp_dir().join("hinn_flight_recorder_test");
+    std::fs::create_dir_all(&export_dir).expect("mkdir export dir");
+    let good_trace = export_dir.join("trace.json");
+    let bad_trace = "/nonexistent-dir-hinn-flight/trace.json";
+
+    for (label, source) in [
+        ("full", CandidateSource::Full),
+        ("hnsw", CandidateSource::hnsw(SERIAL_CUTOFF + 40)),
+    ] {
+        let cfg = || config(Parallelism::fixed(4)).with_candidate_source(source.clone());
+        let plain = run(cfg(), &points, RunOptions::default()).into_outcome();
+
+        std::env::set_var("HINN_OBS_TRACE", &good_trace);
+        let exported = run(cfg(), &points, RunOptions::traced()).into_outcome();
+        std::env::set_var("HINN_OBS_TRACE", bad_trace);
+        let export_failed = run(cfg(), &points, RunOptions::traced()).into_outcome();
+        std::env::remove_var("HINN_OBS_TRACE");
+        let untraced = run(cfg(), &points, RunOptions::traced()).into_outcome();
+
+        assert_bits_equal(&plain, &exported, &format!("{label}: export on"));
+        assert_bits_equal(&plain, &export_failed, &format!("{label}: export failing"));
+        assert_bits_equal(&plain, &untraced, &format!("{label}: export off"));
+
+        let written = std::fs::read_to_string(&good_trace).expect("trace file written");
+        parse_json(&written).expect("exported trace is valid JSON");
+        std::fs::remove_file(&good_trace).ok();
+    }
+}
+
+/// Recorder on/off bit-identity through a `SessionManager` evict/restore
+/// cycle, across thread budgets: the serving layer's new timing sketches
+/// and black-box rings observe the hot path without perturbing it.
+#[test]
+fn manager_evict_restore_cycle_is_recorder_invariant() {
+    let _guard = exclusive();
+    let points = Arc::new(cloud(200, 8, 0xF11E_0004));
+    let query = points[0].clone();
+
+    let drive = |recorded: bool, budget: usize| -> SearchOutcome {
+        let search = SearchConfig {
+            max_major_iterations: 2,
+            min_major_iterations: 1,
+            ..SearchConfig::default()
+                .with_support(20)
+                .with_parallelism(Parallelism::fixed(budget))
+        };
+        let recorder = recorded.then(|| Arc::new(hinn::obs::SessionRecorder::with_trace()));
+        let _guard = recorder
+            .clone()
+            .map(|r| hinn::obs::install(r as Arc<dyn hinn::obs::Recorder>));
+        let manager = SessionManager::new(
+            ServeConfig::new(search).with_max_resident(1),
+            points.clone(),
+        )
+        .expect("manager");
+        let (id, mut step) = manager.open(&query).expect("open");
+        let mut user = HeuristicUser::default();
+        loop {
+            match step {
+                Step::Done(outcome) => return *outcome,
+                Step::NeedResponse(req) => {
+                    // Force a full evict/restore round trip before every
+                    // submit: snapshot out, then transparently resume.
+                    manager.suspend(id).expect("suspend");
+                    let r = user.respond(req.profile(), req.context());
+                    step = manager.submit(id, r).expect("submit");
+                }
+            }
+        }
+    };
+
+    for budget in BUDGETS {
+        let plain = drive(false, budget);
+        let recorded = drive(true, budget);
+        assert_bits_equal(
+            &plain,
+            &recorded,
+            &format!("manager cycle, {budget} threads"),
+        );
+    }
+}
+
+/// The traced report exposes percentile fields for the latency
+/// histograms the batch layer feeds (closing the loop on the sketch →
+/// report → JSON path without a serving deployment).
+#[test]
+fn traced_report_serves_percentiles_in_json() {
+    let _guard = exclusive();
+    let points = cloud(SERIAL_CUTOFF + 130, 6, 0xF11E_0005);
+    let out = run(config(Parallelism::fixed(1)), &points, RunOptions::traced());
+    let report: &TelemetryReport = out.telemetry.as_ref().expect("telemetry");
+    let json = report.to_json();
+    let value = parse_json(&json).expect("report JSON parses");
+    let hists = match value.get("histograms") {
+        Some(JsonValue::Obj(fields)) => fields,
+        other => panic!("histograms missing: {other:?}"),
+    };
+    assert!(!hists.is_empty(), "no histograms in a traced session");
+    for (name, h) in hists {
+        for key in ["count", "p50", "p90", "p99"] {
+            assert!(h.get(key).is_some(), "{name}: missing {key:?} in {json}");
+        }
+    }
+}

@@ -212,6 +212,32 @@ fn soak_512_interleaved_sessions_through_a_tiny_hot_tier() {
         "no session may be lost when the warm tier fits everyone"
     );
 
+    // Latency percentiles (ISSUE 7): every submit and every snapshot
+    // serialize/restore feeds the quantile sketch, so the soak report
+    // carries a full tail-latency story, ordered p50 ≤ p90 ≤ p99 ≤ max.
+    for name in [
+        "session.submit_ms",
+        "snapshot.serialize_ms",
+        "snapshot.restore_ms",
+    ] {
+        let hist = report
+            .histograms
+            .get(name)
+            .unwrap_or_else(|| panic!("histogram {name:?} missing from the soak report"));
+        assert!(hist.count > 0, "{name}: no observations");
+        let (p50, p90, p99) = (hist.p50(), hist.p90(), hist.p99());
+        assert!(
+            p50 <= p90 && p90 <= p99 && p99 <= hist.max,
+            "{name}: percentiles out of order (p50 {p50}, p90 {p90}, p99 {p99}, max {})",
+            hist.max
+        );
+    }
+    assert_eq!(
+        Some(report.histograms["session.submit_ms"].count),
+        report.find_span("session.step").map(|s| s.count),
+        "every submit span must have fed the latency sketch"
+    );
+
     if let Some(path) = std::env::var_os("HINN_OBS_EXPORT_SOAK") {
         std::fs::write(&path, report.to_json()).expect("write HINN_OBS_EXPORT_SOAK JSON");
     }
