@@ -1,0 +1,282 @@
+//! **Wire serving throughput** — concurrent sessions over the TCP
+//! front-end, measuring per-submit latency, session throughput, and the
+//! overload-shedding ladder under real contention.
+//!
+//! A fleet of client threads drives discard-scripted sessions through
+//! `hinn-net` against a deliberately tight session bound, so the run
+//! crosses the shedding rungs (L1/L2/L3) and — at the margin — the typed
+//! `overloaded` refusal, exactly the regime the ladder exists for. Every
+//! submit round trip is timed client-side; shed/refused counts come from
+//! the server's `net.*` telemetry counters.
+//!
+//! ```sh
+//! cargo run --release -p hinn-bench --bin net_bench            # full
+//! cargo run --release -p hinn-bench --bin net_bench -- --smoke # CI
+//! ```
+//!
+//! Output: `BENCH_net.json` (override with `--out <path>`): p50/p99/max
+//! submit latency, sessions/sec, per-rung shed counts, per-kind refusal
+//! counts. `--telemetry <path>` additionally writes the full recorder
+//! report (the input format of `obs_diff`).
+
+use hinn_bench::banner;
+use hinn_core::SearchConfig;
+use hinn_net::{ClientError, NetClient, NetServer, NetServerConfig, Reply, Request, RetryPolicy};
+use hinn_obs::SessionRecorder;
+use hinn_serve::ServeConfig;
+use hinn_user::UserResponse;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    smoke: bool,
+    out: String,
+    telemetry: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_net.json".to_string(),
+        telemetry: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            "--telemetry" => args.telemetry = Some(it.next().expect("--telemetry needs a path")),
+            other => panic!("unknown flag {other:?} (known: --smoke, --out, --telemetry)"),
+        }
+    }
+    args
+}
+
+/// Deterministic xorshift for the planted fixture.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// Planted cluster plus background noise (the serving-soak fixture).
+fn planted(n_cluster: usize, n_noise: usize, d: usize) -> Vec<Vec<f64>> {
+    let mut rng = XorShift(0xDA3E39CB94B95BDB);
+    let unif = |rng: &mut XorShift| (rng.next() >> 11) as f64 / (1u64 << 53) as f64;
+    let mut pts: Vec<Vec<f64>> = Vec::new();
+    for _ in 0..n_cluster {
+        pts.push(
+            (0..d)
+                .map(|_| 50.0 + (unif(&mut rng) - 0.5) * 2.0)
+                .collect(),
+        );
+    }
+    for _ in 0..n_noise {
+        pts.push((0..d).map(|_| unif(&mut rng) * 100.0).collect());
+    }
+    pts
+}
+
+/// Drive one session over the wire with plain discards, timing every
+/// submit round trip. Returns the submit latencies, or the typed refusal
+/// that ended the attempt.
+fn drive_session(
+    client: &mut NetClient,
+    tenant: &str,
+    query: &[f64],
+) -> Result<Vec<f64>, ClientError> {
+    let mut latencies = Vec::new();
+    let mut reply = client.call_with_retry(&Request::Open {
+        tenant: tenant.to_string(),
+        query: query.to_vec(),
+    })?;
+    for _ in 0..200 {
+        match reply {
+            Reply::Done(_) => return Ok(latencies),
+            Reply::View(view) => {
+                let start = Instant::now();
+                reply = client.call_with_retry(&Request::Submit {
+                    session: view.session,
+                    major: view.major,
+                    minor: view.minor,
+                    response: UserResponse::Discard,
+                })?;
+                latencies.push(start.elapsed().as_secs_f64() * 1000.0);
+            }
+            Reply::Error(e) => return Err(ClientError::Server(e)),
+            other => return Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+    Err(ClientError::UnexpectedReply(
+        "session did not terminate within 200 views".to_string(),
+    ))
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    banner("Wire serving: concurrent sessions through the TCP front-end");
+
+    // Sized so the fleet outnumbers the session bound: the shed ladder
+    // must climb, and at the margin refuse (the retry policy absorbs the
+    // refusals, so every session still completes).
+    let (clients, sessions_per_client, max_sessions) = if args.smoke { (6, 2, 4) } else { (32, 4, 24) };
+    let points = Arc::new(planted(30, 170, 8));
+    let queries: Vec<Vec<f64>> = (0..8)
+        .map(|i| {
+            let mut q = points[i].clone();
+            for x in &mut q {
+                *x += i as f64 * 0.125;
+            }
+            q
+        })
+        .collect();
+
+    let search = SearchConfig {
+        max_major_iterations: 2,
+        min_major_iterations: 1,
+        ..SearchConfig::default().with_support(20)
+    };
+    let serve = ServeConfig::new(search)
+        .with_max_resident(max_sessions)
+        .with_warm_capacity(4 * max_sessions)
+        .with_max_sessions(max_sessions);
+    let config = NetServerConfig::new(serve)
+        .with_max_connections(clients + 8)
+        .with_tenant_quota(max_sessions)
+        .with_deadlines(Duration::from_secs(60), Duration::from_secs(60));
+
+    let recorder = Arc::new(SessionRecorder::new());
+    let _guard = hinn_obs::install(recorder.clone());
+    let server = NetServer::bind(config, Arc::clone(&points)).expect("bind");
+    let addr = server.addr();
+
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut client = NetClient::new(addr)
+                    .with_deadlines(Duration::from_secs(60), Duration::from_secs(60))
+                    .with_retry(RetryPolicy {
+                        max_attempts: 64,
+                        base_backoff_ms: 2,
+                    });
+                let tenant = format!("bench{}", c % 4);
+                let mut latencies = Vec::new();
+                let mut completed = 0usize;
+                let mut failed = 0usize;
+                for s in 0..sessions_per_client {
+                    let query = &queries[(c + s) % queries.len()];
+                    match drive_session(&mut client, &tenant, query) {
+                        Ok(mut ms) => {
+                            latencies.append(&mut ms);
+                            completed += 1;
+                        }
+                        Err(_) => failed += 1,
+                    }
+                }
+                (latencies, completed, failed)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    for h in handles {
+        let (ms, ok, bad) = h.join().expect("client thread");
+        latencies.extend(ms);
+        completed += ok;
+        failed += bad;
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    let report = recorder.report();
+    server.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let (p50, p99, max) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+        latencies.last().copied().unwrap_or(f64::NAN),
+    );
+    let sessions_per_sec = completed as f64 / wall_s;
+    let shed = [
+        report.counter("net.shed.l1"),
+        report.counter("net.shed.l2"),
+        report.counter("net.shed.l3"),
+    ];
+    let refused = [
+        report.counter("net.refused.overload"),
+        report.counter("net.refused.quota"),
+        report.counter("net.refused.fairness"),
+    ];
+
+    println!(
+        "{completed} sessions ({failed} failed) in {wall_s:.2} s → {sessions_per_sec:.1}/s; \
+         submit p50 {p50:.1} ms, p99 {p99:.1} ms, max {max:.1} ms"
+    );
+    println!(
+        "shed l1/l2/l3: {}/{}/{}; refused overload/quota/fairness: {}/{}/{}",
+        shed[0], shed[1], shed[2], refused[0], refused[1], refused[2]
+    );
+    assert_eq!(failed, 0, "with bounded retries every session must complete");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if args.smoke { "smoke" } else { "full" }
+    ));
+    json.push_str(&format!(
+        "  \"clients\": {clients},\n  \"sessions\": {completed},\n  \"failed\": {failed},\n"
+    ));
+    json.push_str(&format!("  \"submits\": {},\n", latencies.len()));
+    json.push_str(&format!("  \"wall_s\": {},\n", json_f64(wall_s)));
+    json.push_str(&format!(
+        "  \"sessions_per_sec\": {},\n",
+        json_f64(sessions_per_sec)
+    ));
+    json.push_str(&format!(
+        "  \"submit_ms\": {{\"p50\": {}, \"p99\": {}, \"max\": {}}},\n",
+        json_f64(p50),
+        json_f64(p99),
+        json_f64(max)
+    ));
+    json.push_str(&format!(
+        "  \"shed\": {{\"l1\": {}, \"l2\": {}, \"l3\": {}}},\n",
+        shed[0], shed[1], shed[2]
+    ));
+    json.push_str(&format!(
+        "  \"refused\": {{\"overload\": {}, \"quota\": {}, \"fairness\": {}}}\n",
+        refused[0], refused[1], refused[2]
+    ));
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json).expect("write benchmark JSON");
+    println!("wrote {}", args.out);
+
+    if let Some(path) = &args.telemetry {
+        std::fs::write(path, report.to_json()).expect("write telemetry JSON");
+        println!("wrote {path}");
+    }
+}

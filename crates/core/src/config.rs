@@ -94,6 +94,15 @@ pub struct SearchConfig {
     /// paper's literal protocol — is the default; the prefiltering sources
     /// bound the per-session working set for million-point datasets.
     pub candidates: CandidateSource,
+    /// Optional cap on minor iterations (views) per major iteration. The
+    /// paper runs `⌈d/2⌉` two-dimensional projections per major; capping
+    /// below that trades discrimination for per-major latency — it is the
+    /// "fewer minors" rung of the serving layer's overload-shedding
+    /// ladder. `None` (the default) keeps the paper's count; `Some(0)` is
+    /// refused by [`try_validate`](SearchConfig::try_validate). The cap
+    /// participates in the snapshot configuration fingerprint: a session
+    /// opened under a cap must be resumed under the same cap.
+    pub max_minors: Option<usize>,
 }
 
 impl Default for SearchConfig {
@@ -114,6 +123,7 @@ impl Default for SearchConfig {
             deadline: None,
             cache: CachePolicy::default(),
             candidates: CandidateSource::Full,
+            max_minors: None,
         }
     }
 }
@@ -166,6 +176,22 @@ impl SearchConfig {
     pub fn with_candidate_source(mut self, candidates: CandidateSource) -> Self {
         self.candidates = candidates;
         self
+    }
+
+    /// Cap minor iterations per major (see [`SearchConfig::max_minors`]).
+    pub fn with_max_minors(mut self, cap: usize) -> Self {
+        self.max_minors = Some(cap);
+        self
+    }
+
+    /// Minor iterations per major for data of dimensionality `d`: the
+    /// paper's `max(d/2, 1)`, clamped by [`SearchConfig::max_minors`].
+    pub fn effective_minors(&self, d: usize) -> usize {
+        let base = (d / 2).max(1);
+        match self.max_minors {
+            Some(cap) => base.min(cap.max(1)),
+            None => base,
+        }
     }
 
     /// The effective support for data of dimensionality `d`
@@ -227,6 +253,9 @@ impl SearchConfig {
                 return fail("SearchConfig: deadline must be non-zero");
             }
         }
+        if self.max_minors == Some(0) {
+            return fail("SearchConfig: max_minors must be at least 1 when set");
+        }
         self.candidates.try_validate()?;
         Ok(())
     }
@@ -239,6 +268,22 @@ mod tests {
     #[test]
     fn default_is_valid() {
         SearchConfig::default().validate();
+    }
+
+    #[test]
+    fn max_minors_caps_the_paper_count() {
+        let c = SearchConfig::default();
+        assert_eq!(c.effective_minors(8), 4, "paper default: d/2 views");
+        assert_eq!(c.effective_minors(1), 1, "at least one view per major");
+        let capped = SearchConfig::default().with_max_minors(2);
+        assert_eq!(capped.effective_minors(8), 2);
+        assert_eq!(capped.effective_minors(2), 1, "cap never raises the count");
+        let zero = SearchConfig {
+            max_minors: Some(0),
+            ..SearchConfig::default()
+        };
+        let err = zero.try_validate().expect_err("zero cap refused");
+        assert!(err.to_string().contains("max_minors"));
     }
 
     #[test]

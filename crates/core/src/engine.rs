@@ -261,7 +261,7 @@ impl<'a> SessionEngine<'a> {
         let n = pts.len();
         let d = pts[0].len();
         let s_eff = config.effective_support(d).min(n);
-        let n_minors = (d / 2).max(1);
+        let n_minors = config.effective_minors(d);
         if hinn_obs::enabled() {
             hinn_obs::gauge("search.points", n as f64);
             hinn_obs::gauge("search.dims", d as f64);
@@ -524,7 +524,7 @@ impl<'a> SessionEngine<'a> {
             }
         }
         let s_eff = config.effective_support(d).min(n);
-        let n_minors = (d / 2).max(1);
+        let n_minors = config.effective_minors(d);
         if state.alive.len() < 2 || state.alive.iter().any(|&i| i >= n) {
             return Err(resume_err("alive set is out of range".to_string()));
         }
@@ -1077,6 +1077,9 @@ fn config_fingerprint(config: &SearchConfig) -> Fingerprint {
     h.write_usize(config.max_major_iterations);
     h.write_f64s(&config.projection_weights);
     h.write_u8(u8::from(config.record_profiles));
+    // The minors cap changes how many views each major runs, so capped
+    // (load-shed) sessions resume only under the same cap.
+    h.write_str(&format!("{:?}", config.max_minors));
     // The candidate source changes which points a session ever considers;
     // its `Debug` form is exact (integer fields only).
     h.write_str(&format!("{:?}", config.candidates));

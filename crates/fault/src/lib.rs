@@ -59,13 +59,19 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 /// Every fault point compiled into the workspace's hot paths, for tests
 /// that want to force "everything at once" without chasing call sites.
-pub const POINTS: [&str; 6] = [
+/// The `net.*` points live on the serving wire (`hinn-net`): a torn
+/// reply frame, a client vanishing mid-submit, and a read stalling past
+/// the socket deadline.
+pub const POINTS: [&str; 9] = [
     "eigen.converge",
     "covariance.degenerate",
     "kde.bandwidth",
     "kde.grid",
     "search.panic",
     "search.deadline",
+    "net.torn_frame",
+    "net.disconnect",
+    "net.stall",
 ];
 
 /// When an armed fault point fires.

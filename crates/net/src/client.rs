@@ -1,0 +1,298 @@
+//! A blocking client with bounded, deterministic retry.
+//!
+//! [`NetClient`] owns one connection and reconnects lazily after any
+//! transport failure. [`NetClient::call_with_retry`] layers a *bounded*
+//! retry loop on top:
+//!
+//! * an `overloaded` / `quota` / `draining` refusal sleeps for the
+//!   server's `retry_after_ms` hint (or the policy's deterministic
+//!   attempt-indexed backoff) and retries;
+//! * a transport error (torn frame, disconnect, timeout) drops the
+//!   connection, reconnects, and retries the *same* request — safe even
+//!   for submits, because the `(major, minor)` cursor guard makes a
+//!   duplicate delivery a no-op resync (the server replies with the
+//!   current view) instead of a double application;
+//! * everything else (parse refusals, unknown session, engine errors)
+//!   returns immediately — retrying can't help.
+//!
+//! Retries are *bounded* ([`RetryPolicy::max_attempts`]); exhaustion is
+//! the typed [`ClientError::RetriesExhausted`], never a hang.
+//!
+//! [`NetClient::run_session`] drives a whole scripted session — the
+//! replay half of the wire-vs-in-process bit-identity tests.
+
+use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+use crate::proto::{
+    parse_reply, render_request, DoneSummary, ErrorKind, ParseError, Reply, Request, WireError,
+};
+use hinn_user::UserResponse;
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Bounded-retry policy with deterministic backoff.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per call (first try included). Must be ≥ 1.
+    pub max_attempts: usize,
+    /// Backoff for attempt `i` (0-based) when the server gave no hint:
+    /// `base_backoff_ms × (i + 1)` — linear, deterministic, no jitter.
+    pub base_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff_ms: 10,
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn backoff(&self, attempt: usize, hint: Option<u64>) -> Duration {
+        Duration::from_millis(hint.unwrap_or(self.base_backoff_ms * (attempt as u64 + 1)))
+    }
+}
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (connect, read, write).
+    Io(io::Error),
+    /// Framing failure (torn/corrupt/oversized reply).
+    Frame(FrameError),
+    /// The reply did not parse.
+    Parse(ParseError),
+    /// The server refused with a typed error.
+    Server(WireError),
+    /// The bounded retry budget ran out; `last` is the final failure.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: usize,
+        /// The last failure, rendered.
+        last: String,
+    },
+    /// The server answered with a reply that makes no sense for the
+    /// request (protocol bug or version skew).
+    UnexpectedReply(String),
+    /// `run_session` ran out of scripted responses before `done`.
+    ScriptExhausted {
+        /// Views answered before the script ran dry.
+        answered: usize,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport error: {e}"),
+            Self::Frame(e) => write!(f, "frame error: {e}"),
+            Self::Parse(e) => write!(f, "reply parse error: {e}"),
+            Self::Server(e) => write!(f, "server refusal: {e}"),
+            Self::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts; last: {last}")
+            }
+            Self::UnexpectedReply(r) => write!(f, "unexpected reply: {r}"),
+            Self::ScriptExhausted { answered } => {
+                write!(f, "response script ran dry after {answered} views")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One connection to a `hinn-net` server.
+pub struct NetClient {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    max_frame: usize,
+    retry: RetryPolicy,
+}
+
+impl NetClient {
+    /// A client for `addr` with 5 s deadlines and the default retry
+    /// policy. Connects lazily on the first call.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            stream: None,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_frame: DEFAULT_MAX_FRAME,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Replace the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Set both socket deadlines.
+    pub fn with_deadlines(mut self, read: Duration, write: Duration) -> Self {
+        self.read_timeout = read;
+        self.write_timeout = write;
+        self
+    }
+
+    fn connect(&mut self) -> Result<&mut TcpStream, ClientError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr).map_err(ClientError::Io)?;
+            stream
+                .set_read_timeout(Some(self.read_timeout))
+                .map_err(ClientError::Io)?;
+            stream
+                .set_write_timeout(Some(self.write_timeout))
+                .map_err(ClientError::Io)?;
+            self.stream = Some(stream);
+        }
+        match self.stream.as_mut() {
+            Some(s) => Ok(s),
+            // Unreachable: just inserted above. Kept typed for the lint
+            // wall rather than unwrapping.
+            None => Err(ClientError::Io(io::Error::other("no stream"))),
+        }
+    }
+
+    /// Drop the connection (the next call reconnects).
+    pub fn disconnect(&mut self) {
+        self.stream = None;
+    }
+
+    /// One round trip, no retry. Any transport/frame failure drops the
+    /// connection so the next call starts clean.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] / [`ClientError::Frame`] on transport,
+    /// [`ClientError::Parse`] on an unreadable reply. A typed server
+    /// refusal is returned as `Ok(Reply::Error(_))` — refusals are
+    /// protocol, not transport.
+    pub fn call(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        let max_frame = self.max_frame;
+        let payload = render_request(req);
+        let stream = self.connect()?;
+        if let Err(e) = write_frame(stream, &payload, max_frame) {
+            self.stream = None;
+            return Err(ClientError::Frame(e));
+        }
+        match read_frame(stream, max_frame) {
+            Ok(bytes) => parse_reply(&bytes).map_err(ClientError::Parse),
+            Err(e) => {
+                self.stream = None;
+                Err(ClientError::Frame(e))
+            }
+        }
+    }
+
+    /// [`call`](Self::call) under the bounded retry policy (see module
+    /// docs for which failures retry).
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] for non-retryable refusals;
+    /// [`ClientError::RetriesExhausted`] when the budget runs out.
+    pub fn call_with_retry(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        let attempts = self.retry.max_attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            match self.call(req) {
+                Ok(Reply::Error(e)) if retryable(e.kind) => {
+                    let backoff = self.retry.backoff(attempt, e.retry_after_ms);
+                    last = e.to_string();
+                    std::thread::sleep(backoff);
+                }
+                Ok(Reply::Error(e)) => return Err(ClientError::Server(e)),
+                Ok(reply) => return Ok(reply),
+                Err(ClientError::Io(e)) => {
+                    // Reconnect-and-retry; the submit cursor guard makes
+                    // the re-delivery safe.
+                    last = e.to_string();
+                    std::thread::sleep(self.retry.backoff(attempt, None));
+                }
+                Err(ClientError::Frame(e)) => {
+                    last = e.to_string();
+                    std::thread::sleep(self.retry.backoff(attempt, None));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ClientError::RetriesExhausted { attempts, last })
+    }
+
+    /// Drive one whole session: open, then answer each view with the next
+    /// scripted response, until `done`. Views are answered *at their
+    /// advertised cursor*, so retries and resyncs never double-apply; a
+    /// view whose cursor moved past the script position (server resync
+    /// after a duplicate) is simply answered with the response at the new
+    /// position.
+    ///
+    /// Returns the outcome summary.
+    ///
+    /// # Errors
+    /// Everything [`call_with_retry`](Self::call_with_retry) reports,
+    /// plus [`ClientError::ScriptExhausted`] when the script is shorter
+    /// than the session and [`ClientError::UnexpectedReply`] on protocol
+    /// nonsense.
+    pub fn run_session(
+        &mut self,
+        tenant: &str,
+        query: &[f64],
+        script: &[UserResponse],
+    ) -> Result<DoneSummary, ClientError> {
+        let mut reply = self.call_with_retry(&Request::Open {
+            tenant: tenant.to_string(),
+            query: query.to_vec(),
+        })?;
+        let mut answered = 0usize;
+        loop {
+            match reply {
+                Reply::Done(done) => return Ok(done),
+                Reply::View(view) => {
+                    let Some(response) = script.get(answered) else {
+                        return Err(ClientError::ScriptExhausted { answered });
+                    };
+                    answered += 1;
+                    reply = self.call_with_retry(&Request::Submit {
+                        session: view.session,
+                        major: view.major,
+                        minor: view.minor,
+                        response: response.clone(),
+                    })?;
+                }
+                Reply::Error(e) => return Err(ClientError::Server(e)),
+                other => {
+                    return Err(ClientError::UnexpectedReply(format!("{other:?}")));
+                }
+            }
+        }
+    }
+
+    /// `view` shorthand: the resync primitive.
+    ///
+    /// # Errors
+    /// As [`call_with_retry`](Self::call_with_retry).
+    pub fn view(&mut self, session: u64) -> Result<Reply, ClientError> {
+        self.call_with_retry(&Request::View { session })
+    }
+
+    /// `ping` shorthand.
+    ///
+    /// # Errors
+    /// As [`call_with_retry`](Self::call_with_retry);
+    /// [`ClientError::UnexpectedReply`] if the answer is not `pong`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call_with_retry(&Request::Ping)? {
+            Reply::Pong => Ok(()),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+}
+
+fn retryable(kind: ErrorKind) -> bool {
+    matches!(kind, ErrorKind::Overloaded | ErrorKind::QuotaExceeded)
+}

@@ -1,0 +1,214 @@
+//! Per-tenant admission: quotas plus deterministic round-robin fairness.
+//!
+//! The manager's `max_sessions` bound is global; without per-tenant
+//! accounting one greedy client opening sessions in a tight loop starves
+//! everyone else. The [`TenantGovernor`] adds two rules in front of the
+//! manager's own admission check:
+//!
+//! * **quota** — no tenant may hold more than `quota` open sessions,
+//!   ever;
+//! * **fairness** — once total occupancy reaches the *scarce zone*
+//!   (`fairness_start` sessions), a tenant is admitted only if its count
+//!   is not above the minimum count among active tenants. Two greedy
+//!   tenants therefore interleave 1:1 deterministically (each admission
+//!   raises the admitted tenant's count above the other's, so the next
+//!   grant goes to the other), rather than racing to whoever's packets
+//!   arrive faster.
+//!
+//! Admission *reserves* the slot (the count is incremented inside the
+//! governor's lock before the expensive open runs), so the quota is exact
+//! under concurrency; a failed open must [`TenantGovernor::release`] the
+//! reservation.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Why an open was not admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The tenant holds `held` of its `quota` allowed sessions.
+    QuotaExceeded {
+        /// Sessions the tenant already holds.
+        held: usize,
+        /// The per-tenant bound.
+        quota: usize,
+    },
+    /// Total occupancy is at the global bound.
+    Full {
+        /// Open sessions across all tenants.
+        live: usize,
+        /// The global bound.
+        max: usize,
+    },
+    /// In the scarce zone and another active tenant holds fewer
+    /// sessions: yield, retry shortly.
+    Deferred {
+        /// Sessions this tenant holds.
+        held: usize,
+        /// The minimum held by any *other* active tenant (who goes first).
+        min_held: usize,
+    },
+}
+
+/// Per-tenant session accounting. `BTreeMap` keeps iteration (and thus
+/// the fairness rule) deterministic in the tenant names.
+#[derive(Debug)]
+pub struct TenantGovernor {
+    max_sessions: usize,
+    quota: usize,
+    fairness_start: usize,
+    counts: Mutex<BTreeMap<String, usize>>,
+}
+
+impl TenantGovernor {
+    /// A governor over `max_sessions` total, `quota` per tenant, with the
+    /// fairness rule active from `fairness_start` total open sessions.
+    pub fn new(max_sessions: usize, quota: usize, fairness_start: usize) -> Self {
+        Self {
+            max_sessions,
+            quota: quota.max(1),
+            fairness_start,
+            counts: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Try to admit one open for `tenant`, reserving the slot on success.
+    ///
+    /// # Errors
+    /// A typed [`AdmitError`]; the slot is *not* reserved on error.
+    pub fn try_admit(&self, tenant: &str) -> Result<(), AdmitError> {
+        let mut counts = self.counts.lock().unwrap_or_else(|e| e.into_inner());
+        let held = counts.get(tenant).copied().unwrap_or(0);
+        if held >= self.quota {
+            return Err(AdmitError::QuotaExceeded {
+                held,
+                quota: self.quota,
+            });
+        }
+        let live: usize = counts.values().sum();
+        if live >= self.max_sessions {
+            return Err(AdmitError::Full {
+                live,
+                max: self.max_sessions,
+            });
+        }
+        if live >= self.fairness_start {
+            // Scarce zone: a tenant may grow only while no *other* active
+            // tenant holds fewer sessions. Two greedy tenants therefore
+            // ping-pong deterministically (each grant tips the balance to
+            // the other); a sole tenant is never blocked by the rule.
+            let min_others = counts
+                .iter()
+                .filter(|(name, &c)| c > 0 && name.as_str() != tenant)
+                .map(|(_, &c)| c)
+                .min();
+            if let Some(min_held) = min_others {
+                if held > min_held {
+                    return Err(AdmitError::Deferred { held, min_held });
+                }
+            }
+        }
+        *counts.entry(tenant.to_string()).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Release one reservation for `tenant` (session finished, closed,
+    /// evicted-and-discovered, or its open failed).
+    pub fn release(&self, tenant: &str) {
+        let mut counts = self.counts.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(c) = counts.get_mut(tenant) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                counts.remove(tenant);
+            }
+        }
+    }
+
+    /// Sessions `tenant` currently holds.
+    pub fn held(&self, tenant: &str) -> usize {
+        self.counts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(tenant)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total reserved sessions across tenants.
+    pub fn live(&self) -> usize {
+        self.counts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_is_exact() {
+        let g = TenantGovernor::new(100, 3, 100);
+        for _ in 0..3 {
+            g.try_admit("alice").expect("under quota");
+        }
+        assert_eq!(
+            g.try_admit("alice"),
+            Err(AdmitError::QuotaExceeded { held: 3, quota: 3 })
+        );
+        g.release("alice");
+        g.try_admit("alice").expect("freed a slot");
+    }
+
+    #[test]
+    fn full_is_typed() {
+        let g = TenantGovernor::new(2, 10, 100);
+        g.try_admit("a").expect("1/2");
+        g.try_admit("b").expect("2/2");
+        assert_eq!(g.try_admit("c"), Err(AdmitError::Full { live: 2, max: 2 }));
+    }
+
+    #[test]
+    fn greedy_tenants_interleave_deterministically_in_the_scarce_zone() {
+        // Scarce from the first session.
+        let g = TenantGovernor::new(100, 100, 0);
+        // A sole tenant is never blocked by the fairness rule.
+        for _ in 0..3 {
+            g.try_admit("greedy").expect("sole tenant");
+        }
+        // A newcomer with fewer sessions goes first…
+        g.try_admit("meek").expect("newcomer goes first");
+        // …and now blocks the greedy tenant until it catches up.
+        assert_eq!(
+            g.try_admit("greedy"),
+            Err(AdmitError::Deferred {
+                held: 3,
+                min_held: 1
+            })
+        );
+        g.try_admit("meek").expect("2 ≤ 3");
+        g.try_admit("meek").expect("3 ≤ 3");
+        // Tied: both may grow, and each grant tips the balance to the
+        // other — a deterministic 1:1 ping-pong from here on.
+        g.try_admit("greedy").expect("tied");
+        assert!(matches!(
+            g.try_admit("greedy"),
+            Err(AdmitError::Deferred { .. })
+        ));
+        g.try_admit("meek").expect("meek's turn");
+        assert_eq!(g.held("greedy"), 4);
+        assert_eq!(g.held("meek"), 4);
+        assert_eq!(g.live(), 8);
+    }
+
+    #[test]
+    fn fairness_is_dormant_below_the_scarce_zone() {
+        let g = TenantGovernor::new(100, 100, 50);
+        for i in 0..49 {
+            g.try_admit("greedy").unwrap_or_else(|e| panic!("{i}: {e:?}"));
+        }
+        assert_eq!(g.live(), 49);
+    }
+}

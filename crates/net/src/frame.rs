@@ -1,0 +1,314 @@
+//! Length-prefixed framing with an integrity checksum.
+//!
+//! Every message on the wire is one frame:
+//!
+//! ```text
+//! [u32 BE payload length][u32 BE FNV-1a checksum of payload][payload]
+//! ```
+//!
+//! The codec's entire contract is *typed refusal*: a truncated, oversized,
+//! or corrupt frame is a [`FrameError`] variant, never a panic and never a
+//! silently mis-parsed payload. The checksum is what turns a byte flip —
+//! which could otherwise decode into a *different valid message* — into a
+//! typed [`FrameError::Corrupt`] before the payload is ever interpreted.
+//!
+//! Reads distinguish a clean close (EOF on a frame boundary,
+//! [`FrameError::Closed`]) from a torn frame (EOF mid-frame,
+//! [`FrameError::Truncated`]) and from a read deadline expiring
+//! ([`FrameError::TimedOut`], which records whether the frame had
+//! started — a stalled *mid-frame* read is a peer incident, an idle
+//! timeout is routine housekeeping).
+//!
+//! The fault point `net.torn_frame` lives in [`write_frame`]: when it
+//! fires, half the frame is written and the call reports
+//! [`FrameError::Injected`] so the caller knows the stream is now
+//! unusable — exactly what a connection dying mid-write looks like to the
+//! peer.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Default upper bound on one frame's payload (1 MiB). A `done` reply for
+/// a 200k-point data set is well under this; anything larger is refused
+/// before allocation.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Everything the framing layer can refuse with. Every variant is a
+/// *typed* outcome — the codec never panics on wire bytes.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the stream on a frame boundary (clean EOF).
+    Closed,
+    /// The stream ended mid-frame: the peer died or tore the write.
+    Truncated {
+        /// Bytes the frame still owed when the stream ended.
+        missing: usize,
+    },
+    /// The declared payload length exceeds the configured bound; refused
+    /// before any payload allocation.
+    Oversized {
+        /// Declared payload length.
+        len: usize,
+        /// The configured bound.
+        max: usize,
+    },
+    /// The payload does not match its header checksum: a byte flip or a
+    /// torn-and-respliced stream.
+    Corrupt {
+        /// Checksum declared in the header.
+        declared: u32,
+        /// Checksum of the payload actually read.
+        actual: u32,
+    },
+    /// The read deadline expired.
+    TimedOut {
+        /// Whether any bytes of the frame had arrived: `true` is a peer
+        /// stalling mid-frame, `false` is an idle connection.
+        started: bool,
+    },
+    /// The `net.torn_frame` fault point fired: half the frame was written
+    /// and the stream is no longer usable.
+    Injected,
+    /// Any other transport error.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Closed => write!(f, "connection closed on a frame boundary"),
+            Self::Truncated { missing } => {
+                write!(f, "stream ended mid-frame ({missing} bytes missing)")
+            }
+            Self::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte bound")
+            }
+            Self::Corrupt { declared, actual } => write!(
+                f,
+                "frame checksum mismatch (declared {declared:#010x}, actual {actual:#010x})"
+            ),
+            Self::TimedOut { started } => {
+                if *started {
+                    write!(f, "read stalled mid-frame past the deadline")
+                } else {
+                    write!(f, "idle past the read deadline")
+                }
+            }
+            Self::Injected => write!(f, "torn frame injected (net.torn_frame)"),
+            Self::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// FNV-1a over the payload, folded to 32 bits.
+pub fn checksum(payload: &[u8]) -> u32 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in payload {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+/// Classify an `io::Error` from a read with a deadline set.
+fn read_error(e: io::Error, started: bool) -> FrameError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => FrameError::TimedOut { started },
+        io::ErrorKind::UnexpectedEof => FrameError::Truncated { missing: 0 },
+        _ => FrameError::Io(e),
+    }
+}
+
+/// Read exactly `buf.len()` bytes. `consumed_any` says whether earlier
+/// bytes of this frame already arrived (for EOF/timeout classification).
+fn read_full(r: &mut impl Read, buf: &mut [u8], mut consumed_any: bool) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if consumed_any {
+                    return Err(FrameError::Truncated {
+                        missing: buf.len() - filled,
+                    });
+                }
+                return Err(FrameError::Closed);
+            }
+            Ok(n) => {
+                filled += n;
+                consumed_any = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(read_error(e, consumed_any || filled > 0)),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame, enforcing `max` on the declared payload length.
+///
+/// # Errors
+/// Every refusal is a typed [`FrameError`]; see the module docs for the
+/// taxonomy. After [`FrameError::Oversized`] the stream is misaligned
+/// (the payload was never consumed) and must be closed.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; 8];
+    read_full(r, &mut header, false)?;
+    let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    let declared = u32::from_be_bytes([header[4], header[5], header[6], header[7]]);
+    if len > max {
+        return Err(FrameError::Oversized { len, max });
+    }
+    let mut payload = vec![0u8; len];
+    read_full(r, &mut payload, true)?;
+    let actual = checksum(&payload);
+    if actual != declared {
+        return Err(FrameError::Corrupt { declared, actual });
+    }
+    Ok(payload)
+}
+
+/// Write one frame. Consults the `net.torn_frame` fault point: when it
+/// fires, only the first half of the encoded frame is written (then
+/// flushed) and the call reports [`FrameError::Injected`] — the
+/// deterministic stand-in for a connection dying mid-write.
+///
+/// # Errors
+/// [`FrameError::Oversized`] when `payload` exceeds `max` (nothing is
+/// written); [`FrameError::Io`] on transport errors;
+/// [`FrameError::Injected`] under the fault.
+pub fn write_frame(w: &mut impl Write, payload: &[u8], max: usize) -> Result<(), FrameError> {
+    if payload.len() > max {
+        return Err(FrameError::Oversized {
+            len: payload.len(),
+            max,
+        });
+    }
+    let mut buf = Vec::with_capacity(8 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&checksum(payload).to_be_bytes());
+    buf.extend_from_slice(payload);
+    if hinn_fault::point("net.torn_frame") {
+        let half = buf.len() / 2;
+        let _ = w.write_all(&buf[..half]);
+        let _ = w.flush();
+        return Err(FrameError::Injected);
+    }
+    w.write_all(&buf).map_err(FrameError::Io)?;
+    w.flush().map_err(FrameError::Io)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use std::sync::Arc;
+
+    fn encode(payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload, DEFAULT_MAX_FRAME).expect("encode");
+        buf
+    }
+
+    #[test]
+    fn round_trip() {
+        let payload = b"hinn-session v1\nping\n".to_vec();
+        let bytes = encode(&payload);
+        let mut r = Cursor::new(bytes);
+        assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME).expect("read"), payload);
+        // The stream is now at a clean boundary.
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_is_typed() {
+        let bytes = encode(b"hello frame");
+        for cut in 1..bytes.len() {
+            let mut r = Cursor::new(bytes[..cut].to_vec());
+            match read_frame(&mut r, DEFAULT_MAX_FRAME) {
+                Err(FrameError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+        // Zero bytes is a clean close, not a tear.
+        let mut r = Cursor::new(Vec::new());
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn every_byte_flip_is_refused_or_detected() {
+        let bytes = encode(b"the payload under test");
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[i] ^= 1 << bit;
+                let mut r = Cursor::new(flipped);
+                match read_frame(&mut r, DEFAULT_MAX_FRAME) {
+                    // A flip in the length header can declare a longer
+                    // frame (Truncated/Oversized), a flip in checksum or
+                    // payload must be Corrupt. A shorter declared length
+                    // also lands on Corrupt: the checksum no longer
+                    // matches the shortened payload.
+                    Err(FrameError::Corrupt { .. }
+                    | FrameError::Truncated { .. }
+                    | FrameError::Oversized { .. }) => {}
+                    other => panic!("flip {i}:{bit} slipped through: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_is_refused_before_allocation() {
+        let mut bytes = encode(b"x");
+        // Declare a 3 GiB payload.
+        bytes[..4].copy_from_slice(&(3u32 << 30).to_be_bytes());
+        let mut r = Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::Oversized { max: DEFAULT_MAX_FRAME, .. })
+        ));
+        // And the writer refuses symmetrically.
+        let big = vec![0u8; 32];
+        let mut out = Vec::new();
+        assert!(matches!(
+            write_frame(&mut out, &big, 16),
+            Err(FrameError::Oversized { len: 32, max: 16 })
+        ));
+        assert!(out.is_empty(), "nothing written on refusal");
+    }
+
+    #[test]
+    fn torn_frame_fault_reports_injected_and_halves_the_write() {
+        let plan = Arc::new(
+            hinn_fault::FaultPlan::new().with("net.torn_frame", hinn_fault::FaultMode::Once),
+        );
+        let _g = hinn_fault::install_local(plan.clone());
+        let mut out = Vec::new();
+        let err = write_frame(&mut out, b"will be torn", DEFAULT_MAX_FRAME).expect_err("torn");
+        assert!(matches!(err, FrameError::Injected), "{err}");
+        assert!(!out.is_empty() && out.len() < 8 + 12, "half a frame on the wire");
+        assert_eq!(plan.fired("net.torn_frame"), 1);
+        // The peer reading those bytes sees a typed tear.
+        let mut r = Cursor::new(out);
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::Truncated { .. })
+        ));
+    }
+}

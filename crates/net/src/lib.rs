@@ -1,0 +1,61 @@
+//! Networked serving front-end for interactive nearest-neighbor search.
+//!
+//! `hinn-net` puts the [`hinn_serve::SessionManager`] behind a TCP
+//! listener speaking `hinn-session v1` over length-prefixed frames — a
+//! zero-dependency `std::net` stack whose load-bearing property is
+//! *typed refusal everywhere*: no wire input, fault injection, or
+//! overload condition may panic the server, lose a session, or corrupt
+//! an outcome.
+//!
+//! The layers, bottom up:
+//!
+//! * [`frame`] — `[len][checksum][payload]` framing. Truncation,
+//!   oversize, corruption, deadline expiry, and clean close are each a
+//!   distinct [`frame::FrameError`] variant.
+//! * [`proto`] — the message layer: typed [`proto::Request`] /
+//!   [`proto::Reply`] with a total parser ([`proto::ParseError`] for
+//!   every malformed input; property-tested against truncations,
+//!   duplicated keys, and byte flips). Submit bodies reuse the
+//!   `hinn-session v1` recording format, so a recorded session replays
+//!   over the wire byte-for-byte.
+//! * [`shed`] — the overload ladder: degrade (coarser KDE grid, fewer
+//!   minors, shorter major budget) *before* refusing; refusals carry a
+//!   deterministic retry hint.
+//! * [`fairness`] — per-tenant quotas plus a least-held admission rule
+//!   that makes greedy tenants interleave deterministically once
+//!   sessions are scarce.
+//! * [`server`] — the accept loop, per-connection deadlines, admission →
+//!   backpressure mapping, outcome retention for at-most-once submits,
+//!   connection postmortems, and graceful drain (in-flight submits
+//!   complete, hot sessions flush to warm snapshots).
+//! * [`client`] — a blocking client with bounded, deterministic
+//!   retry/backoff that honors `overloaded` retry hints and resyncs via
+//!   `view` after a torn reply.
+//!
+//! Fault points (`hinn-fault`): `net.torn_frame` tears a write in half,
+//! `net.disconnect` drops a connection after compute but before the
+//! reply, `net.stall` turns a read into a deadline expiry. The fault
+//! suite (`tests/net_faults.rs`) drives all three plus overload and
+//! drain; the soak (`tests/net_soak.rs`) proves outcomes served over the
+//! wire are bit-identical to in-process runs across thread budgets.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod client;
+pub mod fairness;
+pub mod frame;
+pub mod proto;
+pub mod server;
+pub mod shed;
+
+pub use client::{ClientError, NetClient, RetryPolicy};
+pub use fairness::{AdmitError, TenantGovernor};
+pub use frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+pub use proto::{
+    parse_reply, parse_request, render_reply, render_request, DoneSummary, ErrorKind, ParseError,
+    Reply, Request, StatsSummary, ViewSummary, WireError,
+};
+pub use server::{NetServer, NetServerConfig, ServerHandle};
+pub use shed::{degrade, ShedLevel, ShedPolicy};

@@ -1,0 +1,917 @@
+//! The `hinn-session v1` message layer: typed requests and replies as
+//! line-oriented text inside one frame.
+//!
+//! Every frame payload is UTF-8 text in the same versioned envelope the
+//! session logs use (`hinn-user`'s recording format): the
+//! [`hinn_user::recording::SESSION_WIRE_HEADER`] line, then a verb line,
+//! then optional body lines. Submit bodies are literally the recording
+//! format's response lines (`discard` | `threshold τ` | `polygon …`), so
+//! a recorded session replays over the wire byte-for-byte.
+//!
+//! ```text
+//! hinn-session v1
+//! open tenant=alice query=50.0,50.0,49.5
+//!
+//! hinn-session v1
+//! submit session=7 major=0 minor=1
+//! threshold 0.25
+//!
+//! hinn-session v1
+//! ok done session=7 majors=2 support=20 degraded=0
+//! neighbors 3,5,9
+//! probabilities 0.5,0.25,0.125
+//! ```
+//!
+//! Parsing is *total*: every malformed input is a typed [`ParseError`],
+//! never a panic and never a silent acceptance (`proto_proptests.rs`
+//! hammers truncations, duplicated keys, and byte flips). Forward
+//! tolerance matches the file format: `x-` prefixed lines are skipped and
+//! unknown `key=value` fields on a verb line are ignored, but a
+//! *duplicated* key — the classic smuggling vector — is always refused,
+//! and a different major version is refused outright.
+//!
+//! All floats are rendered with `{:?}` (shortest round-trip form), so a
+//! reply parsed back yields bit-identical values — the property the
+//! wire-vs-in-process soak pins.
+
+use crate::shed::ShedLevel;
+use hinn_user::recording::{response_from_line, response_to_line, SESSION_WIRE_HEADER};
+use hinn_user::UserResponse;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Open a session for `query` on behalf of `tenant`.
+    Open {
+        /// Tenant name (fairness/quota accounting key).
+        tenant: String,
+        /// The query point.
+        query: Vec<f64>,
+    },
+    /// Submit the response to the pending view at `(major, minor)` — the
+    /// cursor makes delivery at-most-once (see
+    /// `SessionManager::submit_at`).
+    Submit {
+        /// Session id.
+        session: u64,
+        /// Major cursor of the view being answered.
+        major: usize,
+        /// Minor cursor of the view being answered.
+        minor: usize,
+        /// The user's response.
+        response: UserResponse,
+    },
+    /// Re-fetch the pending view (or the retained outcome) — the resync
+    /// step after a torn reply or reconnect.
+    View {
+        /// Session id.
+        session: u64,
+    },
+    /// Suspend the session to the warm tier (client going away politely).
+    Suspend {
+        /// Session id.
+        session: u64,
+    },
+    /// Close the session, dropping all its state.
+    Close {
+        /// Session id.
+        session: u64,
+    },
+    /// Administratively retire the session (tombstone + `session.retired`).
+    Retire {
+        /// Session id.
+        session: u64,
+    },
+    /// Server load snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+/// The pending-view summary a client renders between submits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ViewSummary {
+    /// Session id.
+    pub session: u64,
+    /// Major cursor of the pending view.
+    pub major: usize,
+    /// Minor cursor of the pending view.
+    pub minor: usize,
+    /// Points still alive in the session.
+    pub alive: usize,
+    /// Points in the data set.
+    pub total: usize,
+    /// Overload-shedding level the session was opened under (0 = none).
+    pub shed: u8,
+    /// KDE density at the query's grid cell (bit-exact over the wire).
+    pub query_density: f64,
+    /// Maximum grid density (bit-exact over the wire).
+    pub max_density: f64,
+}
+
+/// The final outcome summary, bit-exact against the in-process
+/// `SearchOutcome` fields it mirrors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DoneSummary {
+    /// Session id.
+    pub session: u64,
+    /// Major iterations the session ran.
+    pub majors: usize,
+    /// Effective support of the answer.
+    pub support: usize,
+    /// Degradation-ladder rungs the session took (including load-shed).
+    pub degraded: usize,
+    /// Neighbor ids, best first.
+    pub neighbors: Vec<usize>,
+    /// Per-neighbor probabilities, aligned with `neighbors`.
+    pub probabilities: Vec<f64>,
+}
+
+/// Server load snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsSummary {
+    /// Open (hot + warm) sessions.
+    pub live: usize,
+    /// Resident hot engines.
+    pub hot: usize,
+    /// Warm snapshots.
+    pub warm: usize,
+    /// Shed level new opens would currently be admitted under.
+    pub shed: u8,
+}
+
+/// Error kinds a server can put on the wire. Mirrors `ServeError` plus
+/// the wire-only kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Load shed / accept queue full / fairness deferral: retry later.
+    Overloaded,
+    /// Per-tenant quota exhausted.
+    QuotaExceeded,
+    /// Unknown session id.
+    UnknownSession,
+    /// Session lost to the warm tier.
+    SessionEvicted,
+    /// Session already delivered its outcome (and it is no longer
+    /// retained).
+    SessionFinished,
+    /// Engine failure (deadline, invalid input, …).
+    Engine,
+    /// The request did not parse.
+    Parse,
+    /// The request frame was damaged.
+    Frame,
+    /// The server is draining; no new work.
+    Draining,
+    /// Anything else.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Stable wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Overloaded => "overloaded",
+            Self::QuotaExceeded => "quota",
+            Self::UnknownSession => "unknown_session",
+            Self::SessionEvicted => "evicted",
+            Self::SessionFinished => "finished",
+            Self::Engine => "engine",
+            Self::Parse => "parse",
+            Self::Frame => "frame",
+            Self::Draining => "draining",
+            Self::Internal => "internal",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "overloaded" => Self::Overloaded,
+            "quota" => Self::QuotaExceeded,
+            "unknown_session" => Self::UnknownSession,
+            "evicted" => Self::SessionEvicted,
+            "finished" => Self::SessionFinished,
+            "engine" => Self::Engine,
+            "parse" => Self::Parse,
+            "frame" => Self::Frame,
+            "draining" => Self::Draining,
+            "internal" => Self::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A typed error reply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireError {
+    /// What went wrong.
+    pub kind: ErrorKind,
+    /// Deterministic backoff hint, for the retryable kinds.
+    pub retry_after_ms: Option<u64>,
+    /// Human-readable detail (its own line, so it may contain spaces).
+    pub message: String,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.as_str(), self.message)?;
+        if let Some(ms) = self.retry_after_ms {
+            write!(f, " (retry after {ms}ms)")?;
+        }
+        Ok(())
+    }
+}
+
+/// One server reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// The pending view to respond to.
+    View(ViewSummary),
+    /// The session's outcome.
+    Done(DoneSummary),
+    /// Suspended to the warm tier.
+    Suspended {
+        /// Session id.
+        session: u64,
+    },
+    /// Closed; all state dropped.
+    Closed {
+        /// Session id.
+        session: u64,
+    },
+    /// Retired; tombstoned and counted.
+    Retired {
+        /// Session id.
+        session: u64,
+    },
+    /// Load snapshot.
+    Stats(StatsSummary),
+    /// Liveness answer.
+    Pong,
+    /// Typed refusal.
+    Error(WireError),
+}
+
+/// Every way a `hinn-session v1` message can fail to parse. Total and
+/// typed: no input panics, nothing malformed is silently accepted.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseError {
+    /// The payload is not UTF-8 text.
+    NotText,
+    /// The payload has no content lines at all.
+    Empty,
+    /// The first line is not a `hinn-session` header.
+    BadHeader(String),
+    /// The header names a major version this parser does not speak.
+    UnsupportedVersion(String),
+    /// The verb token is not one this protocol defines.
+    UnknownVerb(String),
+    /// A required `key=value` field is absent.
+    MissingField {
+        /// The verb whose field is missing.
+        verb: String,
+        /// The missing key.
+        key: String,
+    },
+    /// A field's value does not parse.
+    BadField {
+        /// The offending key.
+        key: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The same key appeared twice on one line — refused even for keys
+    /// this parser ignores, because duplicated keys are how conflicting
+    /// interpretations smuggle through forward-tolerant parsers.
+    DuplicateKey(String),
+    /// A verb that needs a body line (submit's response, done's vectors)
+    /// did not get one.
+    MissingBody(String),
+    /// A body line (response / neighbors / probabilities) is malformed.
+    BadBody(String),
+    /// A non-extension line appeared where the message should have ended.
+    TrailingContent(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotText => write!(f, "payload is not UTF-8 text"),
+            Self::Empty => write!(f, "empty message"),
+            Self::BadHeader(l) => write!(f, "bad header line {l:?}"),
+            Self::UnsupportedVersion(l) => write!(f, "unsupported protocol version {l:?}"),
+            Self::UnknownVerb(v) => write!(f, "unknown verb {v:?}"),
+            Self::MissingField { verb, key } => {
+                write!(f, "verb {verb:?} is missing its {key}= field")
+            }
+            Self::BadField { key, detail } => write!(f, "bad {key}= field: {detail}"),
+            Self::DuplicateKey(k) => write!(f, "duplicated key {k:?}"),
+            Self::MissingBody(what) => write!(f, "missing body line: {what}"),
+            Self::BadBody(detail) => write!(f, "bad body line: {detail}"),
+            Self::TrailingContent(l) => write!(f, "trailing content {l:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// `key=value` fields of one verb line, with duplicate refusal.
+struct Fields<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    /// Parse every `key=value` token after the verb. Bare tokens (no `=`)
+    /// are refused; unknown keys are kept (and ignored by the verbs), but
+    /// duplicates of *any* key are a typed error.
+    fn parse(tokens: impl Iterator<Item = &'a str>) -> Result<Self, ParseError> {
+        let mut pairs: Vec<(&'a str, &'a str)> = Vec::new();
+        for tok in tokens {
+            let Some((key, value)) = tok.split_once('=') else {
+                return Err(ParseError::BadField {
+                    key: tok.to_string(),
+                    detail: "expected key=value".to_string(),
+                });
+            };
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(ParseError::DuplicateKey(key.to_string()));
+            }
+            pairs.push((key, value));
+        }
+        Ok(Self { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    fn require(&self, verb: &str, key: &str) -> Result<&'a str, ParseError> {
+        self.get(key).ok_or_else(|| ParseError::MissingField {
+            verb: verb.to_string(),
+            key: key.to_string(),
+        })
+    }
+}
+
+fn bad_field(key: &str, detail: impl fmt::Display) -> ParseError {
+    ParseError::BadField {
+        key: key.to_string(),
+        detail: detail.to_string(),
+    }
+}
+
+fn parse_u64(key: &str, v: &str) -> Result<u64, ParseError> {
+    v.parse().map_err(|e| bad_field(key, e))
+}
+
+fn parse_usize(key: &str, v: &str) -> Result<usize, ParseError> {
+    v.parse().map_err(|e| bad_field(key, e))
+}
+
+fn parse_u8(key: &str, v: &str) -> Result<u8, ParseError> {
+    v.parse().map_err(|e| bad_field(key, e))
+}
+
+fn parse_f64(key: &str, v: &str) -> Result<f64, ParseError> {
+    v.parse().map_err(|e| bad_field(key, e))
+}
+
+/// Comma-separated floats (a query or probability vector).
+fn parse_f64s(key: &str, v: &str) -> Result<Vec<f64>, ParseError> {
+    if v.is_empty() {
+        return Ok(Vec::new());
+    }
+    v.split(',').map(|s| parse_f64(key, s)).collect()
+}
+
+/// Comma-separated indices.
+fn parse_usizes(key: &str, v: &str) -> Result<Vec<usize>, ParseError> {
+    if v.is_empty() {
+        return Ok(Vec::new());
+    }
+    v.split(',').map(|s| parse_usize(key, s)).collect()
+}
+
+fn join_f64s(xs: &[f64]) -> String {
+    let mut out = String::new();
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{x:?}");
+    }
+    out
+}
+
+fn join_usizes(xs: &[usize]) -> String {
+    let mut out = String::new();
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{x}");
+    }
+    out
+}
+
+/// Split a payload into its envelope: check the header, return the verb
+/// line's tokens plus the remaining body lines (with `x-` extension lines
+/// skipped everywhere, like the file format).
+fn envelope(payload: &[u8]) -> Result<(Vec<&str>, Vec<&str>), ParseError> {
+    let text = std::str::from_utf8(payload).map_err(|_| ParseError::NotText)?;
+    let mut lines = text
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with("x-"));
+    let header = lines.next().ok_or(ParseError::Empty)?;
+    if header != SESSION_WIRE_HEADER {
+        if header.starts_with("hinn-session ") {
+            return Err(ParseError::UnsupportedVersion(header.to_string()));
+        }
+        return Err(ParseError::BadHeader(header.to_string()));
+    }
+    let verb_line = lines
+        .next()
+        .ok_or_else(|| ParseError::MissingBody("verb line".to_string()))?;
+    Ok((verb_line.split_whitespace().collect(), lines.collect()))
+}
+
+fn no_trailing(body: &[&str]) -> Result<(), ParseError> {
+    match body.first() {
+        None => Ok(()),
+        Some(l) => Err(ParseError::TrailingContent((*l).to_string())),
+    }
+}
+
+/// Parse one request payload.
+///
+/// # Errors
+/// A typed [`ParseError`] for every malformed input; see the enum.
+pub fn parse_request(payload: &[u8]) -> Result<Request, ParseError> {
+    let (tokens, body) = envelope(payload)?;
+    let verb = *tokens.first().ok_or(ParseError::Empty)?;
+    let fields = Fields::parse(tokens.iter().skip(1).copied())?;
+    let session = |fields: &Fields| -> Result<u64, ParseError> {
+        parse_u64("session", fields.require(verb, "session")?)
+    };
+    match verb {
+        "open" => {
+            no_trailing(&body)?;
+            let tenant = fields.require(verb, "tenant")?.to_string();
+            if tenant.is_empty() {
+                return Err(bad_field("tenant", "must be non-empty"));
+            }
+            let query = parse_f64s("query", fields.require(verb, "query")?)?;
+            if query.is_empty() {
+                return Err(bad_field("query", "must be non-empty"));
+            }
+            if let Some(x) = query.iter().find(|x| !x.is_finite()) {
+                return Err(bad_field("query", format!("non-finite coordinate {x:?}")));
+            }
+            Ok(Request::Open { tenant, query })
+        }
+        "submit" => {
+            let session = session(&fields)?;
+            let major = parse_usize("major", fields.require(verb, "major")?)?;
+            let minor = parse_usize("minor", fields.require(verb, "minor")?)?;
+            let line = body
+                .first()
+                .ok_or_else(|| ParseError::MissingBody("submit response line".to_string()))?;
+            let response =
+                response_from_line(line).map_err(|e| ParseError::BadBody(e.to_string()))?;
+            no_trailing(&body[1..])?;
+            Ok(Request::Submit {
+                session,
+                major,
+                minor,
+                response,
+            })
+        }
+        "view" => {
+            no_trailing(&body)?;
+            Ok(Request::View {
+                session: session(&fields)?,
+            })
+        }
+        "suspend" => {
+            no_trailing(&body)?;
+            Ok(Request::Suspend {
+                session: session(&fields)?,
+            })
+        }
+        "close" => {
+            no_trailing(&body)?;
+            Ok(Request::Close {
+                session: session(&fields)?,
+            })
+        }
+        "retire" => {
+            no_trailing(&body)?;
+            Ok(Request::Retire {
+                session: session(&fields)?,
+            })
+        }
+        "stats" => {
+            no_trailing(&body)?;
+            Ok(Request::Stats)
+        }
+        "ping" => {
+            no_trailing(&body)?;
+            Ok(Request::Ping)
+        }
+        other => Err(ParseError::UnknownVerb(other.to_string())),
+    }
+}
+
+/// Render one request payload (canonical form; [`parse_request`] inverts
+/// it exactly).
+pub fn render_request(req: &Request) -> Vec<u8> {
+    let mut out = String::from(SESSION_WIRE_HEADER);
+    out.push('\n');
+    match req {
+        Request::Open { tenant, query } => {
+            let _ = writeln!(out, "open tenant={tenant} query={}", join_f64s(query));
+        }
+        Request::Submit {
+            session,
+            major,
+            minor,
+            response,
+        } => {
+            let _ = writeln!(out, "submit session={session} major={major} minor={minor}");
+            let _ = writeln!(out, "{}", response_to_line(response));
+        }
+        Request::View { session } => {
+            let _ = writeln!(out, "view session={session}");
+        }
+        Request::Suspend { session } => {
+            let _ = writeln!(out, "suspend session={session}");
+        }
+        Request::Close { session } => {
+            let _ = writeln!(out, "close session={session}");
+        }
+        Request::Retire { session } => {
+            let _ = writeln!(out, "retire session={session}");
+        }
+        Request::Stats => out.push_str("stats\n"),
+        Request::Ping => out.push_str("ping\n"),
+    }
+    out.into_bytes()
+}
+
+/// Parse one reply payload.
+///
+/// # Errors
+/// A typed [`ParseError`] for every malformed input.
+pub fn parse_reply(payload: &[u8]) -> Result<Reply, ParseError> {
+    let (tokens, body) = envelope(payload)?;
+    let head = *tokens.first().ok_or(ParseError::Empty)?;
+    match head {
+        "err" => {
+            let fields = Fields::parse(tokens.iter().skip(1).copied())?;
+            let kind_tok = fields.require("err", "kind")?;
+            let kind = ErrorKind::from_str(kind_tok)
+                .ok_or_else(|| bad_field("kind", format!("unknown error kind {kind_tok:?}")))?;
+            let retry_after_ms = fields
+                .get("retry_after_ms")
+                .map(|v| parse_u64("retry_after_ms", v))
+                .transpose()?;
+            let message = body.first().map_or(String::new(), |l| (*l).to_string());
+            no_trailing(body.get(1..).unwrap_or(&[]))?;
+            Ok(Reply::Error(WireError {
+                kind,
+                retry_after_ms,
+                message,
+            }))
+        }
+        "ok" => {
+            let what = *tokens
+                .get(1)
+                .ok_or_else(|| ParseError::MissingBody("ok sub-verb".to_string()))?;
+            let fields = Fields::parse(tokens.iter().skip(2).copied())?;
+            let session = |fields: &Fields| -> Result<u64, ParseError> {
+                parse_u64("session", fields.require(what, "session")?)
+            };
+            match what {
+                "view" => {
+                    no_trailing(&body)?;
+                    Ok(Reply::View(ViewSummary {
+                        session: session(&fields)?,
+                        major: parse_usize("major", fields.require(what, "major")?)?,
+                        minor: parse_usize("minor", fields.require(what, "minor")?)?,
+                        alive: parse_usize("alive", fields.require(what, "alive")?)?,
+                        total: parse_usize("total", fields.require(what, "total")?)?,
+                        shed: parse_u8("shed", fields.require(what, "shed")?)?,
+                        query_density: parse_f64(
+                            "query_density",
+                            fields.require(what, "query_density")?,
+                        )?,
+                        max_density: parse_f64(
+                            "max_density",
+                            fields.require(what, "max_density")?,
+                        )?,
+                    }))
+                }
+                "done" => {
+                    let neighbors_line = body
+                        .first()
+                        .and_then(|l| l.strip_prefix("neighbors "))
+                        .ok_or_else(|| ParseError::MissingBody("neighbors line".to_string()))?;
+                    let probs_line = body
+                        .get(1)
+                        .and_then(|l| l.strip_prefix("probabilities "))
+                        .ok_or_else(|| {
+                            ParseError::MissingBody("probabilities line".to_string())
+                        })?;
+                    no_trailing(body.get(2..).unwrap_or(&[]))?;
+                    let neighbors = parse_usizes("neighbors", neighbors_line.trim())?;
+                    let probabilities = parse_f64s("probabilities", probs_line.trim())?;
+                    if neighbors.len() != probabilities.len() {
+                        return Err(ParseError::BadBody(format!(
+                            "{} neighbors but {} probabilities",
+                            neighbors.len(),
+                            probabilities.len()
+                        )));
+                    }
+                    Ok(Reply::Done(DoneSummary {
+                        session: session(&fields)?,
+                        majors: parse_usize("majors", fields.require(what, "majors")?)?,
+                        support: parse_usize("support", fields.require(what, "support")?)?,
+                        degraded: parse_usize("degraded", fields.require(what, "degraded")?)?,
+                        neighbors,
+                        probabilities,
+                    }))
+                }
+                "suspended" => {
+                    no_trailing(&body)?;
+                    Ok(Reply::Suspended {
+                        session: session(&fields)?,
+                    })
+                }
+                "closed" => {
+                    no_trailing(&body)?;
+                    Ok(Reply::Closed {
+                        session: session(&fields)?,
+                    })
+                }
+                "retired" => {
+                    no_trailing(&body)?;
+                    Ok(Reply::Retired {
+                        session: session(&fields)?,
+                    })
+                }
+                "stats" => {
+                    no_trailing(&body)?;
+                    Ok(Reply::Stats(StatsSummary {
+                        live: parse_usize("live", fields.require(what, "live")?)?,
+                        hot: parse_usize("hot", fields.require(what, "hot")?)?,
+                        warm: parse_usize("warm", fields.require(what, "warm")?)?,
+                        shed: parse_u8("shed", fields.require(what, "shed")?)?,
+                    }))
+                }
+                "pong" => {
+                    no_trailing(&body)?;
+                    Ok(Reply::Pong)
+                }
+                other => Err(ParseError::UnknownVerb(format!("ok {other}"))),
+            }
+        }
+        other => Err(ParseError::UnknownVerb(other.to_string())),
+    }
+}
+
+/// Render one reply payload (canonical form; [`parse_reply`] inverts it
+/// exactly, bit-for-bit on every float).
+pub fn render_reply(reply: &Reply) -> Vec<u8> {
+    let mut out = String::from(SESSION_WIRE_HEADER);
+    out.push('\n');
+    match reply {
+        Reply::View(v) => {
+            let _ = writeln!(
+                out,
+                "ok view session={} major={} minor={} alive={} total={} shed={} \
+                 query_density={:?} max_density={:?}",
+                v.session, v.major, v.minor, v.alive, v.total, v.shed, v.query_density,
+                v.max_density
+            );
+        }
+        Reply::Done(d) => {
+            let _ = writeln!(
+                out,
+                "ok done session={} majors={} support={} degraded={}",
+                d.session, d.majors, d.support, d.degraded
+            );
+            let _ = writeln!(out, "neighbors {}", join_usizes(&d.neighbors));
+            let _ = writeln!(out, "probabilities {}", join_f64s(&d.probabilities));
+        }
+        Reply::Suspended { session } => {
+            let _ = writeln!(out, "ok suspended session={session}");
+        }
+        Reply::Closed { session } => {
+            let _ = writeln!(out, "ok closed session={session}");
+        }
+        Reply::Retired { session } => {
+            let _ = writeln!(out, "ok retired session={session}");
+        }
+        Reply::Stats(s) => {
+            let _ = writeln!(
+                out,
+                "ok stats live={} hot={} warm={} shed={}",
+                s.live, s.hot, s.warm, s.shed
+            );
+        }
+        Reply::Pong => out.push_str("ok pong\n"),
+        Reply::Error(e) => {
+            let _ = write!(out, "err kind={}", e.kind.as_str());
+            if let Some(ms) = e.retry_after_ms {
+                let _ = write!(out, " retry_after_ms={ms}");
+            }
+            out.push('\n');
+            if !e.message.is_empty() {
+                // The message gets its own line so it may contain spaces;
+                // newlines inside it would smuggle lines, so flatten them.
+                let _ = writeln!(out, "{}", e.message.replace(['\n', '\r'], " "));
+            }
+        }
+    }
+    out.into_bytes()
+}
+
+/// Convenience: an error reply.
+pub fn error_reply(kind: ErrorKind, retry_after_ms: Option<u64>, message: impl Into<String>) -> Reply {
+    Reply::Error(WireError {
+        kind,
+        retry_after_ms,
+        message: message.into(),
+    })
+}
+
+/// The shed level a view reply advertises.
+pub fn shed_to_u8(level: ShedLevel) -> u8 {
+    level.as_u8()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let bytes = render_request(&req);
+        assert_eq!(parse_request(&bytes).expect("parse"), req);
+    }
+
+    fn round_trip_reply(reply: Reply) {
+        let bytes = render_reply(&reply);
+        assert_eq!(parse_reply(&bytes).expect("parse"), reply);
+    }
+
+    #[test]
+    fn requests_round_trip_bit_exactly() {
+        round_trip_request(Request::Open {
+            tenant: "alice".to_string(),
+            query: vec![50.0, -0.125, 1e-300, f64::MIN_POSITIVE],
+        });
+        round_trip_request(Request::Submit {
+            session: 7,
+            major: 1,
+            minor: 3,
+            response: UserResponse::Threshold(0.257_843_123),
+        });
+        round_trip_request(Request::Submit {
+            session: 7,
+            major: 0,
+            minor: 0,
+            response: UserResponse::Discard,
+        });
+        round_trip_request(Request::View { session: 42 });
+        round_trip_request(Request::Suspend { session: 42 });
+        round_trip_request(Request::Close { session: 42 });
+        round_trip_request(Request::Retire { session: 42 });
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Ping);
+    }
+
+    #[test]
+    fn replies_round_trip_bit_exactly() {
+        round_trip_reply(Reply::View(ViewSummary {
+            session: 9,
+            major: 0,
+            minor: 1,
+            alive: 187,
+            total: 200,
+            shed: 2,
+            query_density: 0.123_456_789_012_345_6,
+            max_density: 0.999_999_999_999_999_9,
+        }));
+        round_trip_reply(Reply::Done(DoneSummary {
+            session: 9,
+            majors: 2,
+            support: 20,
+            degraded: 1,
+            neighbors: vec![3, 5, 9],
+            probabilities: vec![0.5, 0.25, 1e-17],
+        }));
+        round_trip_reply(Reply::Suspended { session: 1 });
+        round_trip_reply(Reply::Closed { session: 1 });
+        round_trip_reply(Reply::Retired { session: 1 });
+        round_trip_reply(Reply::Stats(StatsSummary {
+            live: 3,
+            hot: 2,
+            warm: 1,
+            shed: 0,
+        }));
+        round_trip_reply(Reply::Pong);
+        round_trip_reply(Reply::Error(WireError {
+            kind: ErrorKind::Overloaded,
+            retry_after_ms: Some(25),
+            message: "admission denied: 8 open sessions (max 8)".to_string(),
+        }));
+        round_trip_reply(Reply::Error(WireError {
+            kind: ErrorKind::Parse,
+            retry_after_ms: None,
+            message: String::new(),
+        }));
+    }
+
+    #[test]
+    fn duplicated_keys_are_refused_even_unknown_ones() {
+        let payload = b"hinn-session v1\nview session=1 session=2\n";
+        assert_eq!(
+            parse_request(payload),
+            Err(ParseError::DuplicateKey("session".to_string()))
+        );
+        // Unknown keys are ignored individually but still refused in
+        // duplicate — no conflicting-interpretation smuggling.
+        let payload = b"hinn-session v1\nview session=1 zzz=a zzz=b\n";
+        assert_eq!(
+            parse_request(payload),
+            Err(ParseError::DuplicateKey("zzz".to_string()))
+        );
+    }
+
+    #[test]
+    fn forward_tolerance_skips_x_lines_and_unknown_fields() {
+        let payload =
+            b"x-trace id=99\nhinn-session v1\nview session=5 x_new_field=yes\nx-footer done\n";
+        assert_eq!(parse_request(payload), Ok(Request::View { session: 5 }));
+    }
+
+    #[test]
+    fn version_and_header_refusals_are_typed() {
+        assert_eq!(
+            parse_request(b"hinn-session v2\nping\n"),
+            Err(ParseError::UnsupportedVersion("hinn-session v2".to_string()))
+        );
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\nHost: x\r\n"),
+            Err(ParseError::BadHeader(_))
+        ));
+        assert_eq!(parse_request(b""), Err(ParseError::Empty));
+        assert_eq!(parse_request(&[0xFF, 0xFE, 0x00]), Err(ParseError::NotText));
+        assert!(matches!(
+            parse_request(b"hinn-session v1\nexplode session=1\n"),
+            Err(ParseError::UnknownVerb(_))
+        ));
+        assert!(matches!(
+            parse_request(b"hinn-session v1\nopen tenant=a query=1,2\ntrailing junk\n"),
+            Err(ParseError::TrailingContent(_))
+        ));
+    }
+
+    #[test]
+    fn submit_embeds_the_recording_format() {
+        let payload =
+            b"hinn-session v1\nsubmit session=3 major=0 minor=2\npolygon 1.0,0.0,-3.5;0.0,1.0,2.0\n";
+        let req = parse_request(payload).expect("parse");
+        let Request::Submit { response, .. } = req else {
+            panic!("not a submit");
+        };
+        assert!(matches!(response, UserResponse::Polygon(ref l) if l.len() == 2));
+        // A malformed response line is a typed body error.
+        assert!(matches!(
+            parse_request(b"hinn-session v1\nsubmit session=3 major=0 minor=0\npolygon nope\n"),
+            Err(ParseError::BadBody(_))
+        ));
+        // A missing response line too.
+        assert!(matches!(
+            parse_request(b"hinn-session v1\nsubmit session=3 major=0 minor=0\n"),
+            Err(ParseError::MissingBody(_))
+        ));
+    }
+
+    #[test]
+    fn non_finite_query_coordinates_are_refused() {
+        for bad in ["NaN", "inf", "-inf"] {
+            let payload = format!("hinn-session v1\nopen tenant=a query=1.0,{bad}\n");
+            assert!(
+                matches!(
+                    parse_request(payload.as_bytes()),
+                    Err(ParseError::BadField { .. })
+                ),
+                "{bad} slipped through"
+            );
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The overload-shedding ladder: degrade before refusing.
+//!
+//! Refusal is the *last* rung. As session occupancy climbs, the server
+//! first admits new sessions under progressively cheaper configurations —
+//! a coarser KDE grid, then fewer minor iterations per major, then a
+//! shorter major-iteration budget — so that under load every user still
+//! gets an answer, just a coarser one, exactly mirroring the engine's own
+//! in-session degradation ladder (PR 3). Only past the final threshold do
+//! new opens get a typed `overloaded` refusal with a retry hint.
+//!
+//! The ladder is *deterministic in the occupancy*: the same live-session
+//! count always yields the same level and the same degraded
+//! [`SearchConfig`], so a degraded session's outcome is reproducible by
+//! re-running its transcript under the same level — which is how the soak
+//! test pins shed determinism.
+//!
+//! Every shed decision is observable twice: the view reply carries the
+//! session's level (`shed=` field), and the session's black box records a
+//! `load_shed` degradation event via `SessionManager::note_load_shed`.
+
+use hinn_core::SearchConfig;
+
+/// How loaded the server is, as rungs of the shedding ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ShedLevel {
+    /// Normal service: sessions open under the configured `SearchConfig`.
+    L0,
+    /// Coarser KDE grid (halved, floored at 16).
+    L1,
+    /// L1 plus at most 2 minor iterations per major.
+    L2,
+    /// Quarter grid, 1 minor per major, major budget clamped to 2.
+    L3,
+    /// Past the last threshold: refuse with `overloaded` + retry hint.
+    Refuse,
+}
+
+impl ShedLevel {
+    /// Wire encoding (the `shed=` field). `Refuse` never reaches a view
+    /// reply; it encodes as 4 for completeness.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Self::L0 => 0,
+            Self::L1 => 1,
+            Self::L2 => 2,
+            Self::L3 => 3,
+            Self::Refuse => 4,
+        }
+    }
+
+    /// Is this a degraded (but still admitting) rung?
+    pub fn is_degraded(self) -> bool {
+        matches!(self, Self::L1 | Self::L2 | Self::L3)
+    }
+}
+
+/// Occupancy thresholds for the ladder, as fractions of `max_sessions`.
+#[derive(Clone, Copy, Debug)]
+pub struct ShedPolicy {
+    /// Occupancy fraction at which L1 starts (default 0.50).
+    pub l1_at: f64,
+    /// Occupancy fraction at which L2 starts (default 0.70).
+    pub l2_at: f64,
+    /// Occupancy fraction at which L3 starts (default 0.85).
+    pub l3_at: f64,
+    /// Occupancy fraction at which opens are refused (default 1.0 —
+    /// refuse only when genuinely full).
+    pub refuse_at: f64,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        Self {
+            l1_at: 0.50,
+            l2_at: 0.70,
+            l3_at: 0.85,
+            refuse_at: 1.0,
+        }
+    }
+}
+
+impl ShedPolicy {
+    /// A policy that never sheds and refuses only at capacity — for
+    /// bit-identity tests where degradation would be a confound.
+    pub fn disabled() -> Self {
+        Self {
+            l1_at: f64::INFINITY,
+            l2_at: f64::INFINITY,
+            l3_at: f64::INFINITY,
+            refuse_at: f64::INFINITY,
+        }
+    }
+
+    /// The ladder rung for `live` open sessions out of `max`.
+    pub fn level_for(&self, live: usize, max: usize) -> ShedLevel {
+        if max == 0 {
+            return ShedLevel::Refuse;
+        }
+        let occupancy = live as f64 / max as f64;
+        if occupancy >= self.refuse_at {
+            ShedLevel::Refuse
+        } else if occupancy >= self.l3_at {
+            ShedLevel::L3
+        } else if occupancy >= self.l2_at {
+            ShedLevel::L2
+        } else if occupancy >= self.l1_at {
+            ShedLevel::L1
+        } else {
+            ShedLevel::L0
+        }
+    }
+}
+
+/// The degraded configuration a session opens under at `level`. `L0`
+/// returns `base` unchanged; every rung keeps the config valid
+/// (`try_validate` holds whenever it held for `base`).
+pub fn degrade(base: &SearchConfig, level: ShedLevel) -> SearchConfig {
+    let mut c = base.clone();
+    match level {
+        ShedLevel::L0 | ShedLevel::Refuse => {}
+        ShedLevel::L1 => {
+            c.grid_n = (base.grid_n / 2).max(16);
+        }
+        ShedLevel::L2 => {
+            c.grid_n = (base.grid_n / 2).max(16);
+            c.max_minors = Some(cap_minors(base, 2));
+        }
+        ShedLevel::L3 => {
+            c.grid_n = (base.grid_n / 4).max(16);
+            c.max_minors = Some(cap_minors(base, 1));
+            c.max_major_iterations = base.max_major_iterations.clamp(1, 2);
+            c.min_major_iterations = base.min_major_iterations.min(c.max_major_iterations);
+        }
+    }
+    c
+}
+
+/// Tighten the minor cap without ever *loosening* a cap the base config
+/// already set.
+fn cap_minors(base: &SearchConfig, cap: usize) -> usize {
+    match base.max_minors {
+        Some(existing) => existing.min(cap).max(1),
+        None => cap.max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone_in_occupancy() {
+        let p = ShedPolicy::default();
+        let max = 100;
+        let mut prev = ShedLevel::L0;
+        for live in 0..=max {
+            let level = p.level_for(live, max);
+            assert!(level >= prev, "ladder went down at {live}/{max}");
+            prev = level;
+        }
+        assert_eq!(p.level_for(0, max), ShedLevel::L0);
+        assert_eq!(p.level_for(49, max), ShedLevel::L0);
+        assert_eq!(p.level_for(50, max), ShedLevel::L1);
+        assert_eq!(p.level_for(70, max), ShedLevel::L2);
+        assert_eq!(p.level_for(85, max), ShedLevel::L3);
+        assert_eq!(p.level_for(100, max), ShedLevel::Refuse);
+        assert_eq!(p.level_for(5, 0), ShedLevel::Refuse);
+    }
+
+    #[test]
+    fn every_rung_yields_a_valid_cheaper_config() {
+        let base = SearchConfig {
+            grid_n: 64,
+            ..SearchConfig::default()
+        };
+        base.try_validate().expect("base valid");
+        let mut prev_cost = usize::MAX;
+        for level in [ShedLevel::L1, ShedLevel::L2, ShedLevel::L3] {
+            let c = degrade(&base, level);
+            c.try_validate().expect("degraded config stays valid");
+            // A coarse cost proxy: grid cells × minors × majors.
+            let minors = c.effective_minors(20);
+            let cost = c.grid_n * c.grid_n * minors * c.max_major_iterations;
+            assert!(cost < prev_cost, "{level:?} did not get cheaper");
+            prev_cost = cost;
+            assert!(level.is_degraded());
+        }
+        let untouched = degrade(&base, ShedLevel::L0);
+        assert_eq!(untouched.grid_n, base.grid_n);
+        assert_eq!(untouched.max_minors, base.max_minors);
+        assert_eq!(untouched.max_major_iterations, base.max_major_iterations);
+    }
+
+    #[test]
+    fn degrade_never_loosens_an_existing_minor_cap() {
+        let base = SearchConfig::default().with_max_minors(1);
+        let c = degrade(&base, ShedLevel::L2);
+        assert_eq!(c.max_minors, Some(1), "L2's cap of 2 must not loosen 1");
+    }
+
+    #[test]
+    fn disabled_policy_never_sheds() {
+        let p = ShedPolicy::disabled();
+        assert_eq!(p.level_for(999, 10), ShedLevel::L0);
+        assert_eq!(p.level_for(10, 10), ShedLevel::L0);
+    }
+}

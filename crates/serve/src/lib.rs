@@ -28,7 +28,8 @@
 //! Telemetry (all no-ops unless a `hinn-obs` recorder is installed):
 //! counters `session.opened`, `session.finished`, `session.evicted`,
 //! `session.resumed`, `session.dropped`, `session.denied`,
-//! `session.postmortem`; gauges `session.hot`, `session.warm`; spans
+//! `session.retired`, `session.postmortem`; gauges `session.hot`,
+//! `session.warm`; spans
 //! `session.open` / `session.step` around the compute segments;
 //! histograms `session.submit_ms`, `snapshot.serialize_ms`,
 //! `snapshot.restore_ms` (percentiles via `hinn-obs`'s quantile sketch).

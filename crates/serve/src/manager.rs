@@ -23,6 +23,14 @@ impl SessionId {
         self.0
     }
 
+    /// Rebuild a handle from a [`raw`](Self::raw) id that crossed a
+    /// process boundary (the wire protocol ships ids as integers). An id
+    /// that was never assigned simply names no session: every manager
+    /// call returns [`ServeError::UnknownSession`] for it.
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
     /// The warm-tier key for this session.
     fn key(self) -> Fingerprint {
         Fingerprint(self.0 as u128)
@@ -121,6 +129,27 @@ pub enum ServeError {
     /// The engine failed (deadline, degradation-ladder exhaustion, …).
     /// The session is spent.
     Engine(HinnError),
+    /// The serving layer is shedding load: the request was refused before
+    /// any state changed. Retry after the hinted backoff.
+    Overloaded {
+        /// Deterministic backoff hint for the client.
+        retry_after_ms: u64,
+        /// Which ladder refused (admission, fairness, quota, drain, …).
+        reason: String,
+    },
+    /// A guarded submit named a `(major, minor)` cursor that is not the
+    /// session's pending view — the response was already applied (e.g. a
+    /// retry after a torn reply) or the caller is out of sync. Nothing was
+    /// applied; the payload carries the *actual* pending cursor so the
+    /// caller can resynchronize.
+    CursorMismatch {
+        /// The session whose cursor disagreed.
+        session: SessionId,
+        /// Major iteration of the actual pending view.
+        major: usize,
+        /// Minor iteration of the actual pending view.
+        minor: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -135,6 +164,20 @@ impl fmt::Display for ServeError {
             }
             Self::SessionFinished(id) => write!(f, "{id} already finished"),
             Self::Engine(e) => write!(f, "engine error: {e}"),
+            Self::Overloaded {
+                retry_after_ms,
+                reason,
+            } => {
+                write!(f, "overloaded ({reason}); retry after {retry_after_ms}ms")
+            }
+            Self::CursorMismatch {
+                session,
+                major,
+                minor,
+            } => write!(
+                f,
+                "{session}: submit cursor mismatch; pending view is ({major}, {minor})"
+            ),
         }
     }
 }
@@ -232,6 +275,13 @@ struct Inner {
     /// events a postmortem freezes. Keyed by raw id so it survives
     /// hot/warm bounces; dropped when the session retires or closes.
     black_box: HashMap<u64, EventRing>,
+    /// Per-session [`SearchConfig`] overrides for sessions opened with
+    /// [`SessionManager::open_with`] (the overload-shedding ladder opens
+    /// degraded sessions this way). A warm-tier restore must resume under
+    /// the *same* configuration the session was opened with — the snapshot
+    /// fingerprint refuses anything else — so the override is kept for the
+    /// session's whole life and dropped when it retires or closes.
+    overrides: HashMap<u64, SearchConfig>,
 }
 
 impl Inner {
@@ -302,6 +352,7 @@ impl SessionManager {
                 lifecycle: HashMap::new(),
                 pinned: HashMap::new(),
                 black_box: HashMap::new(),
+                overrides: HashMap::new(),
             }),
             incidents: Mutex::new(Vec::new()),
         })
@@ -341,6 +392,42 @@ impl SessionManager {
     /// [`ServeError::AdmissionDenied`] at the session bound;
     /// [`ServeError::Engine`] when the engine rejects the input.
     pub fn open(&self, query: &[f64]) -> Result<(SessionId, Step), ServeError> {
+        self.open_inner(query, None)
+    }
+
+    /// [`open`](Self::open) with a per-session [`SearchConfig`] override —
+    /// how the serving front-end opens *degraded* sessions when its
+    /// overload-shedding ladder is active (coarser KDE grid, fewer minor
+    /// iterations) without touching the manager-wide configuration. The
+    /// override is remembered for the session's lifetime so warm-tier
+    /// restores resume under the exact configuration the snapshot was
+    /// taken with.
+    ///
+    /// # Errors
+    /// Everything [`open`](Self::open) reports, plus
+    /// [`ServeError::Engine`] when `search` is invalid or sets
+    /// `record_profiles` (unsnapshottable sessions are refused up front,
+    /// same as at construction).
+    pub fn open_with(
+        &self,
+        query: &[f64],
+        search: SearchConfig,
+    ) -> Result<(SessionId, Step), ServeError> {
+        search.try_validate()?;
+        if search.record_profiles {
+            return Err(ServeError::Engine(HinnError::InvalidInput {
+                phase: "serve.config",
+                message: "SessionManager: record_profiles sessions cannot be evicted".to_string(),
+            }));
+        }
+        self.open_inner(query, Some(search))
+    }
+
+    fn open_inner(
+        &self,
+        query: &[f64],
+        override_search: Option<SearchConfig>,
+    ) -> Result<(SessionId, Step), ServeError> {
         let _span = hinn_obs::span("session.open");
         {
             let inner = self.lock();
@@ -357,7 +444,9 @@ impl SessionManager {
         // sessions keep serving. Concurrent opens can transiently overshoot
         // admission by the number of in-flight opens; the recheck at
         // insertion keeps the *open-session* bound exact.
-        let mut search = self.config.search.clone();
+        let mut search = override_search
+            .clone()
+            .unwrap_or_else(|| self.config.search.clone());
         if self.config.session_deadline.is_some() {
             search.deadline = self.config.session_deadline;
         }
@@ -407,6 +496,9 @@ impl SessionManager {
             return Ok((id, step));
         }
         inner.black_box.insert(id.0, ring);
+        if let Some(over) = override_search {
+            inner.overrides.insert(id.0, over);
+        }
         inner.tick += 1;
         let tick = inner.tick;
         inner.lifecycle.insert(id.0, Lifecycle::Hot);
@@ -425,6 +517,32 @@ impl SessionManager {
     /// [`ServeError::SessionFinished`]). A warm session is transparently
     /// restored first — `session.resumed` counts how often.
     pub fn submit(&self, id: SessionId, response: UserResponse) -> Result<Step, ServeError> {
+        self.submit_inner(id, None, response)
+    }
+
+    /// [`submit`](Self::submit) guarded by the `(major, minor)` cursor of
+    /// the view the caller is responding to — the at-most-once guard a
+    /// networked front-end needs. A client that re-sends a submit after a
+    /// torn reply cannot advance the engine twice: if the pending view's
+    /// cursor differs from `expected`, nothing is applied and
+    /// [`ServeError::CursorMismatch`] reports the actual cursor so the
+    /// caller can resynchronize (view cursors advance strictly, so a
+    /// mismatch means the earlier delivery already landed).
+    pub fn submit_at(
+        &self,
+        id: SessionId,
+        expected: (usize, usize),
+        response: UserResponse,
+    ) -> Result<Step, ServeError> {
+        self.submit_inner(id, Some(expected), response)
+    }
+
+    fn submit_inner(
+        &self,
+        id: SessionId,
+        expected: Option<(usize, usize)>,
+        response: UserResponse,
+    ) -> Result<Step, ServeError> {
         let _span = hinn_obs::span("session.step");
         let lease = self.checkout(id)?;
         // Engine compute runs under the per-session lock only; the lease
@@ -433,6 +551,15 @@ impl SessionManager {
         let mut guard = lease.lock();
         if let Some(view) = guard.engine.pending_view() {
             let (major, minor) = (view.context().major, view.context().minor);
+            if let Some(want) = expected {
+                if want != (major, minor) {
+                    return Err(ServeError::CursorMismatch {
+                        session: id,
+                        major,
+                        minor,
+                    });
+                }
+            }
             self.record(id, SessionEvent::Submitted { major, minor });
         }
         let timed = hinn_obs::enabled().then(Instant::now);
@@ -452,7 +579,7 @@ impl SessionManager {
                 let error = panic_text(payload.as_ref());
                 self.record(id, SessionEvent::Failed { error });
                 self.dump_by_id(id, "panic during submit");
-                self.retire(id, Lifecycle::Finished);
+                self.tombstone(id, Lifecycle::Finished);
                 std::panic::resume_unwind(payload);
             }
         };
@@ -486,7 +613,7 @@ impl SessionManager {
             Ok(step) => {
                 if step.is_done() {
                     drop(guard);
-                    self.retire(id, Lifecycle::Finished);
+                    self.tombstone(id, Lifecycle::Finished);
                     hinn_obs::counter("session.finished", 1);
                 }
                 Ok(step)
@@ -500,7 +627,7 @@ impl SessionManager {
                     },
                 );
                 self.dump_by_id(id, &format!("engine error: {e}"));
-                self.retire(id, Lifecycle::Finished);
+                self.tombstone(id, Lifecycle::Finished);
                 Err(ServeError::Engine(e))
             }
         }
@@ -538,6 +665,60 @@ impl SessionManager {
         }
     }
 
+    /// Suspend every idle hot session to the warm tier — the graceful-
+    /// drain flush: a shutting-down server calls this after its workers
+    /// stop so every live session leaves a resumable snapshot behind.
+    /// Sessions with a submit in flight (pinned or slot-locked) are
+    /// skipped; their owning thread suspends or retires them. Returns how
+    /// many sessions were flushed.
+    pub fn suspend_all(&self) -> usize {
+        let mut inner = self.lock();
+        let mut ids: Vec<u64> = inner.hot.keys().copied().collect();
+        ids.sort_unstable();
+        let mut flushed = 0;
+        for sid in ids {
+            if self.evict_one(&mut inner, sid) {
+                flushed += 1;
+            }
+        }
+        self.publish_gauges(&inner);
+        flushed
+    }
+
+    /// Record a connection-level incident against session `id`: push a
+    /// `Failed` event into its black box and freeze it into a
+    /// [`Postmortem`] (stderr + [`take_postmortems`](Self::take_postmortems)).
+    /// The session itself is left alone — a client that disconnected
+    /// mid-submit can reconnect and resume; only the *incident* is
+    /// durable.
+    pub fn report_incident(&self, id: SessionId, reason: &str) {
+        self.record(
+            id,
+            SessionEvent::Failed {
+                error: reason.to_string(),
+            },
+        );
+        self.dump_by_id(id, reason);
+    }
+
+    /// Record that session `id` was opened under overload-shedding level
+    /// `level` (an [`open_with`](Self::open_with) degradation): a
+    /// `load_shed` rung in the session's black box, frozen into a
+    /// [`Postmortem`] like every other degradation — "quietly degraded"
+    /// answers must stay auditable.
+    pub fn note_load_shed(&self, id: SessionId, level: u8, detail: &str) {
+        self.record(
+            id,
+            SessionEvent::Degradation {
+                major: None,
+                minor: None,
+                kind: "load_shed".to_string(),
+                detail: format!("L{level}: {detail}"),
+            },
+        );
+        self.dump_by_id(id, "load shed at open");
+    }
+
     /// Close session `id`, dropping whatever state it still has. Closing
     /// an unknown id is an error; closing a finished or evicted session
     /// just clears the tombstone.
@@ -549,6 +730,8 @@ impl SessionManager {
         inner.hot.remove(&id.0);
         inner.last_used.remove(&id.0);
         inner.black_box.remove(&id.0);
+        inner.pinned.remove(&id.0);
+        inner.overrides.remove(&id.0);
         self.warm.remove(id.key());
         self.publish_gauges(&inner);
         Ok(())
@@ -594,7 +777,15 @@ impl SessionManager {
                 return Err(ServeError::SessionEvicted(id));
             }
         };
-        let mut search = self.config.search.clone();
+        // Resume under the session's own configuration: an `open_with`
+        // override (e.g. a load-shed session's coarser grid) must follow
+        // the session through the warm tier, or the snapshot's config
+        // fingerprint would refuse the restore.
+        let mut search = inner
+            .overrides
+            .get(&id.0)
+            .cloned()
+            .unwrap_or_else(|| self.config.search.clone());
         if self.config.session_deadline.is_some() {
             search.deadline = self.config.session_deadline;
         }
@@ -713,15 +904,47 @@ impl SessionManager {
 
     /// Drop a session's residency and tombstone it. The warm tier is
     /// purged too: a tombstoned session must not leave a resurrectable
-    /// snapshot occupying warm-LRU capacity until an explicit `close`.
-    fn retire(&self, id: SessionId, state: Lifecycle) {
+    /// snapshot occupying warm-LRU capacity until an explicit `close`,
+    /// and any stale lease pin is cleared so the dead id cannot linger in
+    /// the pin table (a lease that is still alive no-ops on drop when its
+    /// entry is gone).
+    fn tombstone(&self, id: SessionId, state: Lifecycle) {
         let mut inner = self.lock();
         inner.hot.remove(&id.0);
         inner.last_used.remove(&id.0);
         inner.black_box.remove(&id.0);
+        inner.pinned.remove(&id.0);
+        inner.overrides.remove(&id.0);
         self.warm.remove(id.key());
         inner.lifecycle.insert(id.0, state);
         self.publish_gauges(&inner);
+    }
+
+    /// Administratively retire session `id`: drop whatever state it holds
+    /// (hot engine, warm snapshot, black box, any stale lease pin) and
+    /// tombstone it as finished, counting `session.retired`. Works on any
+    /// live session — including one that was never checked out — and is
+    /// idempotent on tombstones (no recount, but stale pins are still
+    /// cleared).
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownSession`] when `id` was never opened or was
+    /// closed.
+    pub fn retire(&self, id: SessionId) -> Result<(), ServeError> {
+        {
+            let mut inner = self.lock();
+            match inner.lifecycle.get(&id.0) {
+                None => return Err(ServeError::UnknownSession(id)),
+                Some(Lifecycle::Finished | Lifecycle::Evicted) => {
+                    inner.pinned.remove(&id.0);
+                    return Ok(());
+                }
+                Some(Lifecycle::Hot | Lifecycle::Warm) => {}
+            }
+        }
+        self.tombstone(id, Lifecycle::Finished);
+        hinn_obs::counter("session.retired", 1);
+        Ok(())
     }
 
     /// Record `event` into session `id`'s black box, if it still has one.
@@ -775,6 +998,13 @@ impl SessionManager {
     fn lock(&self) -> MutexGuard<'_, Inner> {
         // No partial mutation spans an unwind point; recover poisoning.
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Live lease pins (test-only: the pin table must never outlive the
+    /// sessions it guards).
+    #[cfg(test)]
+    fn pinned_len(&self) -> usize {
+        self.lock().pinned.len()
     }
 }
 
@@ -1028,6 +1258,175 @@ mod tests {
         churn.join().expect("churn");
         assert_eq!(m.live_sessions(), 0, "all sessions finished");
         assert_eq!(m.warm_len(), 0, "retired sessions left warm snapshots");
+    }
+
+    #[test]
+    fn retire_never_checked_out_counts_and_leaves_no_pin() {
+        let recorder = Arc::new(hinn_obs::SessionRecorder::new());
+        let _guard = hinn_obs::install(recorder.clone());
+        let pts = Arc::new(planted());
+        let q = vec![50.0; 8];
+        let m = SessionManager::new(config(), pts).expect("manager");
+        let (id, step) = m.open(&q).expect("open");
+        assert!(!step.is_done());
+        // The session was never checked out (no submit, no pending_view):
+        // retiring it must still count and fully clear its state.
+        m.retire(id).expect("retire");
+        assert_eq!(recorder.report().counter("session.retired"), 1);
+        assert_eq!(m.live_sessions(), 0);
+        assert_eq!(m.hot_len(), 0);
+        assert_eq!(m.warm_len(), 0, "no resurrectable snapshot left behind");
+        assert_eq!(m.pinned_len(), 0, "no stale lease pin on the tombstone");
+        let err = m.submit(id, UserResponse::Discard).expect_err("tombstone");
+        assert!(matches!(err, ServeError::SessionFinished(e) if e == id));
+        // Idempotent on the tombstone: no recount.
+        m.retire(id).expect("idempotent");
+        assert_eq!(recorder.report().counter("session.retired"), 1);
+        // Unknown ids stay typed errors.
+        assert!(matches!(
+            m.retire(SessionId(999)).expect_err("ghost"),
+            ServeError::UnknownSession(_)
+        ));
+    }
+
+    #[test]
+    fn retire_during_inflight_submit_leaves_no_stale_pin() {
+        let pts = Arc::new(planted());
+        let q = vec![50.0; 8];
+        let m = Arc::new(SessionManager::new(config(), pts).expect("manager"));
+        let (id, _) = m.open(&q).expect("open");
+        // Race retire against a submit that holds the slot lease: whoever
+        // loses, the pin table must end empty (a tombstone pinned by a
+        // stale lease would wedge eviction accounting forever).
+        let worker = {
+            let m = m.clone();
+            std::thread::spawn(move || {
+                let _ = m.submit(id, UserResponse::Discard);
+            })
+        };
+        let _ = m.retire(id);
+        worker.join().expect("submit thread");
+        let _ = m.retire(id);
+        assert_eq!(m.pinned_len(), 0, "stale lease pin survived retirement");
+        assert_eq!(m.live_sessions(), 0);
+    }
+
+    #[test]
+    fn open_with_override_survives_the_warm_tier() {
+        let pts = Arc::new(planted());
+        let q = vec![50.0; 8];
+        let m = SessionManager::new(config(), pts.clone()).expect("manager");
+        // A degraded session: coarser grid, single minor per major — the
+        // shed ladder's configuration, distinct from the manager's base.
+        let degraded = SearchConfig {
+            grid_n: 16,
+            ..config().search.clone().with_max_minors(1)
+        };
+        let (id, step) = m.open_with(&q, degraded.clone()).expect("open_with");
+        assert!(!step.is_done());
+        m.suspend(id).expect("suspend");
+        // Without the per-session override the restore would run under the
+        // base config and the snapshot fingerprint would refuse it.
+        let step = m.submit(id, UserResponse::Discard).expect("restore");
+        let _ = step;
+        // The degraded session runs 1 minor per major: its first view after
+        // one submit is already major 1.
+        let view = m.pending_view(id).expect("pending");
+        assert_eq!(view.context().major, 1, "max_minors=1 skipped to next major");
+        // Reference: the same degraded config run in-process must agree.
+        let m2 = SessionManager::new(ServeConfig::new(degraded), pts).expect("manager2");
+        let (id2, _) = m2.open(&q).expect("open");
+        let _ = m2.submit(id2, UserResponse::Discard).expect("submit");
+        let v2 = m2.pending_view(id2).expect("pending");
+        assert_eq!(
+            view.profile().query_density().to_bits(),
+            v2.profile().query_density().to_bits(),
+            "override session is bit-identical to a base session of that config"
+        );
+        // Invalid overrides are refused up front, typed.
+        let bad = SearchConfig {
+            grid_n: 2,
+            ..SearchConfig::default()
+        };
+        assert!(matches!(
+            m.open_with(&q, bad).expect_err("invalid override"),
+            ServeError::Engine(HinnError::InvalidInput { .. })
+        ));
+        let recording = SearchConfig::default().recording_profiles();
+        assert!(m.open_with(&q, recording).is_err());
+    }
+
+    #[test]
+    fn submit_at_guards_against_duplicate_delivery() {
+        let pts = Arc::new(planted());
+        let q = vec![50.0; 8];
+        let m = SessionManager::new(config(), pts).expect("manager");
+        let (id, step) = m.open(&q).expect("open");
+        let view = step.view().expect("first view");
+        let cursor = (view.context().major, view.context().minor);
+        // First delivery applies.
+        let step = m
+            .submit_at(id, cursor, UserResponse::Discard)
+            .expect("first delivery");
+        assert!(!step.is_done());
+        // A retry of the *same* cursor (duplicate delivery after a torn
+        // reply) is refused with the actual cursor, and nothing advances.
+        let err = m
+            .submit_at(id, cursor, UserResponse::Discard)
+            .expect_err("duplicate");
+        let ServeError::CursorMismatch {
+            session,
+            major,
+            minor,
+        } = err
+        else {
+            panic!("expected CursorMismatch, got {err}");
+        };
+        assert_eq!(session, id);
+        let pending = m.pending_view(id).expect("pending");
+        assert_eq!((major, minor), {
+            let c = pending.context();
+            (c.major, c.minor)
+        });
+        assert_ne!((major, minor), cursor, "cursor advanced exactly once");
+        // Submitting at the *actual* cursor proceeds.
+        assert!(m
+            .submit_at(id, (major, minor), UserResponse::Discard)
+            .is_ok());
+    }
+
+    #[test]
+    fn suspend_all_flushes_every_idle_hot_session() {
+        let pts = Arc::new(planted());
+        let q = vec![50.0; 8];
+        let m = SessionManager::new(config(), pts).expect("manager");
+        let (a, _) = m.open(&q).expect("a");
+        let (b, _) = m.open(&q).expect("b");
+        assert_eq!(m.hot_len(), 2);
+        assert_eq!(m.suspend_all(), 2);
+        assert_eq!(m.hot_len(), 0);
+        assert_eq!(m.warm_len(), 2);
+        // Both sessions resume transparently afterwards.
+        assert!(m.pending_view(a).is_ok());
+        assert!(m.pending_view(b).is_ok());
+    }
+
+    #[test]
+    fn report_incident_freezes_a_postmortem_without_killing_the_session() {
+        let pts = Arc::new(planted());
+        let q = vec![50.0; 8];
+        let m = SessionManager::new(config(), pts).expect("manager");
+        let (id, _) = m.open(&q).expect("open");
+        m.report_incident(id, "client disconnected mid-submit");
+        let pms = m.take_postmortems();
+        assert_eq!(pms.len(), 1);
+        assert!(pms[0].reason.contains("disconnected"), "{}", pms[0].reason);
+        assert!(matches!(
+            pms[0].events.last(),
+            Some(SessionEvent::Failed { error }) if error.contains("disconnected")
+        ));
+        // The session survived the incident.
+        assert!(m.submit(id, UserResponse::Discard).is_ok());
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Serving over TCP: start a `hinn-net` front-end in-process, then drive
+//! interactive sessions against it from plain TCP clients — the same
+//! wire protocol a remote deployment would speak.
+//!
+//! ```sh
+//! cargo run --example net_client
+//! ```
+//!
+//! The demo shows the full serving story: a bounded server with an
+//! overload-shedding ladder, a client session driven view by view over
+//! `hinn-session v1` frames, a reconnect that resumes the session from
+//! the warm tier, and a graceful drain.
+
+use hinn::data::projected::{generate_projected_clusters, ProjectedClusterSpec};
+use hinn::net::{NetClient, Reply, Request};
+use hinn::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    // A projected-cluster workload (the paper's §4.1 data), served to
+    // every connecting client.
+    let mut rng = StdRng::seed_from_u64(42);
+    let spec = ProjectedClusterSpec {
+        n_points: 800,
+        ..ProjectedClusterSpec::case1()
+    };
+    let data = generate_projected_clusters(&spec, &mut rng);
+    let query = data.points[data.cluster_members(0)[0]].clone();
+
+    // The server: a bounded session table behind a loopback listener on
+    // an ephemeral port. The default shed ladder degrades new sessions
+    // (coarser KDE grids, fewer minor iterations) as occupancy climbs,
+    // and refuses with a typed `overloaded` + retry hint only when full.
+    let search = SearchConfig {
+        max_major_iterations: 2,
+        min_major_iterations: 1,
+        ..SearchConfig::default().with_support(20)
+    };
+    let serve = ServeConfig::new(search).with_max_sessions(32);
+    let server = hinn::net::NetServer::bind(
+        NetServerConfig::new(serve),
+        Arc::new(data.points.clone()),
+    )
+    .expect("bind");
+    println!("serving on {}", server.addr());
+
+    // A client session, driven view by view. A real remote user would
+    // render each view's density profile; this demo discards every view,
+    // letting the major iterations run to completion.
+    let mut client = NetClient::new(server.addr());
+    let Reply::View(mut view) = client
+        .call_with_retry(&Request::Open {
+            tenant: "demo".to_string(),
+            query: query.clone(),
+        })
+        .expect("open")
+    else {
+        panic!("expected a first view")
+    };
+    println!(
+        "session {} opened: view ({},{}), {} of {} points alive, shed level {}",
+        view.session, view.major, view.minor, view.alive, view.total, view.shed
+    );
+
+    // Mid-session disconnect: the session survives in the server's warm
+    // tier and a brand-new connection resumes it at the same cursor.
+    client.disconnect();
+    let mut client = NetClient::new(server.addr());
+    let Reply::View(resumed) = client.view(view.session).expect("resume") else {
+        panic!("expected the pending view after reconnect")
+    };
+    assert_eq!((resumed.major, resumed.minor), (view.major, view.minor));
+    println!("reconnected: session resumed at the same ({},{}) cursor", resumed.major, resumed.minor);
+
+    let done = loop {
+        let reply = client
+            .call_with_retry(&Request::Submit {
+                session: view.session,
+                major: view.major,
+                minor: view.minor,
+                response: UserResponse::Discard,
+            })
+            .expect("submit");
+        match reply {
+            Reply::Done(done) => break done,
+            Reply::View(next) => view = next,
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    };
+    println!(
+        "done after {} major iterations: {} neighbors (effective support {})",
+        done.majors,
+        done.neighbors.len(),
+        done.support
+    );
+    for (&id, p) in done.neighbors.iter().zip(&done.probabilities).take(5) {
+        println!("  neighbor {id:>4}  p = {p:.3}");
+    }
+
+    // Graceful drain: in-flight submits complete, live sessions are
+    // flushed to warm snapshots, incident postmortems go to stderr.
+    let report = server.shutdown();
+    println!(
+        "drained: {} sessions flushed, {} postmortems",
+        report.flushed, report.postmortems
+    );
+}

@@ -45,6 +45,10 @@
 //! * [`serve`] — the multi-tenant serving layer: a bounded table of
 //!   suspended sans-io session engines with snapshot-based eviction,
 //!   transparent restore, and admission control.
+//! * [`net`] — the TCP front-end over [`serve`]: `hinn-session v1` over
+//!   length-prefixed checksummed frames, typed refusal of every wire
+//!   fault, overload shedding that degrades before refusing, per-tenant
+//!   fairness, and graceful drain.
 //!
 //! ## Quickstart
 //!
@@ -76,6 +80,7 @@ pub use hinn_index as index;
 pub use hinn_kde as kde;
 pub use hinn_linalg as linalg;
 pub use hinn_metrics as metrics;
+pub use hinn_net as net;
 pub use hinn_obs as obs;
 pub use hinn_par as par;
 pub use hinn_serve as serve;
@@ -98,6 +103,7 @@ pub mod prelude {
         SessionSnapshot, Step, ViewRequest,
     };
     pub use hinn_index::HnswParams;
+    pub use hinn_net::{NetClient, NetServer, NetServerConfig, ShedPolicy};
     pub use hinn_serve::{ServeConfig, ServeError, SessionId, SessionManager};
     pub use hinn_user::{
         HeuristicUser, ScriptedUser, TerminalUser, UserModel, UserResponse, ViewContext,

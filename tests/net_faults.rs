@@ -1,0 +1,658 @@
+//! Wire-level fault drills: every injected fault yields a typed error or
+//! a recorded degradation — never a panic, never a lost or corrupted
+//! session.
+//!
+//! Faults come from the `hinn-fault` registry (`net.torn_frame`,
+//! `net.disconnect`, `net.stall`) plus hand-crafted wire damage (bad
+//! checksums, oversized headers) written straight onto the socket. The
+//! server consults the *global* fault plan from its worker threads, so
+//! every test here installs a plan — an empty one when it needs no faults
+//! — which makes the `hinn-fault` install lock serialize the whole
+//! binary (the documented pattern for multi-threaded fault drills; it
+//! also keeps one test's faults out of another's server).
+//!
+//! The final drill honors `HINN_FAULTS` (the CI smoke): when set, the
+//! env-specified plan replaces the default seeded chaos mix.
+
+use hinn::fault::{FaultMode, FaultPlan};
+use hinn::net::shed::ShedLevel;
+use hinn::net::{
+    read_frame, write_frame, NetClient, NetServer, NetServerConfig, Reply, Request, RetryPolicy,
+    ShedPolicy, DEFAULT_MAX_FRAME,
+};
+use hinn::obs::SessionRecorder;
+use hinn::prelude::*;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// The serve-soak fixture: 8-D planted cluster plus background noise.
+fn planted() -> Vec<Vec<f64>> {
+    let mut rng = XorShift(0xDA3E39CB94B95BDB);
+    let unif = |rng: &mut XorShift| (rng.next() >> 11) as f64 / (1u64 << 53) as f64;
+    let d = 8;
+    let mut pts: Vec<Vec<f64>> = Vec::new();
+    for _ in 0..30 {
+        pts.push(
+            (0..d)
+                .map(|_| 50.0 + (unif(&mut rng) - 0.5) * 2.0)
+                .collect(),
+        );
+    }
+    for _ in 0..170 {
+        pts.push((0..d).map(|_| unif(&mut rng) * 100.0).collect());
+    }
+    pts
+}
+
+fn search_config() -> SearchConfig {
+    SearchConfig {
+        max_major_iterations: 2,
+        min_major_iterations: 1,
+        ..SearchConfig::default().with_support(20)
+    }
+}
+
+type WireBits = (Vec<usize>, Vec<u64>, usize);
+
+fn done_bits(done: &hinn::net::DoneSummary) -> WireBits {
+    (
+        done.neighbors.clone(),
+        done.probabilities.iter().map(|p| p.to_bits()).collect(),
+        done.majors,
+    )
+}
+
+/// Drive one in-process session, returning the response script and the
+/// wire-comparable outcome bits.
+fn record_reference(points: &Arc<Vec<Vec<f64>>>, query: &[f64]) -> (Vec<UserResponse>, WireBits) {
+    let manager = SessionManager::new(
+        ServeConfig::new(search_config()).with_max_sessions(4),
+        Arc::clone(points),
+    )
+    .expect("reference manager");
+    let mut user = HeuristicUser::default();
+    let mut script = Vec::new();
+    let (id, mut step) = manager.open(query).expect("reference open");
+    loop {
+        match step {
+            Step::Done(outcome) => {
+                let bits = (
+                    outcome.neighbors.clone(),
+                    outcome
+                        .neighbors
+                        .iter()
+                        .map(|&i| outcome.probabilities[i].to_bits())
+                        .collect(),
+                    outcome.majors_run,
+                );
+                return (script, bits);
+            }
+            Step::NeedResponse(view) => {
+                let response = user.respond(view.profile(), view.context());
+                script.push(response.clone());
+                step = manager.submit(id, response).expect("reference submit");
+            }
+        }
+    }
+}
+
+fn bind(config: NetServerConfig, points: &Arc<Vec<Vec<f64>>>) -> hinn::net::ServerHandle {
+    NetServer::bind(config, Arc::clone(points)).expect("bind")
+}
+
+fn default_server(points: &Arc<Vec<Vec<f64>>>) -> hinn::net::ServerHandle {
+    bind(
+        NetServerConfig::new(ServeConfig::new(search_config()).with_max_sessions(16))
+            .with_shed(ShedPolicy::disabled()),
+        points,
+    )
+}
+
+/// A torn frame is a typed, *retryable* transport error: a `Once` tear is
+/// transparently absorbed by the bounded retry, and a tear on every reply
+/// exhausts the budget as the typed `RetriesExhausted` — never a hang.
+#[test]
+fn torn_frames_are_retried_and_retry_exhaustion_is_typed() {
+    let points = Arc::new(planted());
+    let query = points[0].clone();
+    let (script, want) = record_reference(&points, &query);
+
+    let plan = Arc::new(FaultPlan::new().with("net.torn_frame", FaultMode::Once));
+    let guard = hinn::fault::install(plan.clone());
+    let server = default_server(&points);
+    let mut client = NetClient::new(server.addr());
+    let done = client
+        .run_session("torn", &query, &script)
+        .expect("one torn frame must be absorbed by the retry budget");
+    assert_eq!(done_bits(&done), want, "retry after a torn frame changed the outcome");
+    assert_eq!(plan.fired("net.torn_frame"), 1, "the tear fired exactly once");
+    server.shutdown();
+    drop(guard);
+
+    // Now tear every *second* write — each request goes out clean, every
+    // reply is torn. The bounded retry must exhaust with a typed error.
+    let plan = Arc::new(FaultPlan::new().with("net.torn_frame", FaultMode::Nth(2)));
+    let _guard = hinn::fault::install(plan.clone());
+    let server = default_server(&points);
+    let mut client = NetClient::new(server.addr()).with_retry(RetryPolicy {
+        max_attempts: 3,
+        base_backoff_ms: 1,
+    });
+    match client.ping() {
+        Err(hinn::net::ClientError::RetriesExhausted { attempts, .. }) => {
+            assert_eq!(attempts, 3);
+        }
+        other => panic!("expected typed retry exhaustion, got {other:?}"),
+    }
+    assert!(plan.fired("net.torn_frame") >= 3, "every reply was torn");
+    server.shutdown();
+}
+
+/// The canonical mid-submit disconnect: the response is applied exactly
+/// once (cursor guard), the session is flushed to the warm tier with a
+/// postmortem, and the reconnecting client resyncs and finishes with the
+/// bit-identical outcome.
+#[test]
+fn disconnect_mid_submit_applies_once_and_the_session_survives() {
+    let points = Arc::new(planted());
+    let query = points[0].clone();
+    let (script, want) = record_reference(&points, &query);
+    assert!(script.len() >= 2, "fixture needs a session with ≥ 2 views");
+
+    let plan = Arc::new(FaultPlan::new().with("net.disconnect", FaultMode::Once));
+    let _guard = hinn::fault::install(plan.clone());
+    let server = default_server(&points);
+    let mut client = NetClient::new(server.addr());
+    let done = client
+        .run_session("ghost", &query, &script)
+        .expect("the disconnected submit must resync, not double-apply");
+    assert_eq!(
+        done_bits(&done),
+        want,
+        "a disconnect mid-submit corrupted the outcome"
+    );
+    assert_eq!(plan.fired("net.disconnect"), 1);
+    let postmortems = server.manager().take_postmortems();
+    assert!(
+        postmortems
+            .iter()
+            .any(|p| p.reason.contains("disconnected mid-submit")),
+        "the disconnect left no postmortem; got {:?}",
+        postmortems.iter().map(|p| &p.reason).collect::<Vec<_>>()
+    );
+    server.shutdown();
+}
+
+/// A read stalling mid-frame past the socket deadline is an incident on
+/// the last session served by that connection — and the session itself
+/// survives in the warm tier and finishes bit-identically after the
+/// client reconnects.
+#[test]
+fn stalled_reads_record_incidents_and_sessions_survive() {
+    let points = Arc::new(planted());
+    let query = points[0].clone();
+    let (script, want) = record_reference(&points, &query);
+
+    // Every 4th read stalls: by then the connection has served an open
+    // and at least one submit, so `last_session` is set and the stall is
+    // attributable.
+    let plan = Arc::new(FaultPlan::new().with("net.stall", FaultMode::Nth(4)));
+    let _guard = hinn::fault::install(plan.clone());
+    let server = default_server(&points);
+    let mut client = NetClient::new(server.addr()).with_retry(RetryPolicy {
+        max_attempts: 6,
+        base_backoff_ms: 1,
+    });
+    let done = client
+        .run_session("slowpoke", &query, &script)
+        .expect("stalls force reconnects, not failures");
+    assert_eq!(done_bits(&done), want, "stall recovery changed the outcome");
+    assert!(plan.fired("net.stall") >= 1, "the stall never fired");
+    let postmortems = server.manager().take_postmortems();
+    assert!(
+        postmortems.iter().any(|p| p.reason.contains("stalled")),
+        "no stall incident recorded; got {:?}",
+        postmortems.iter().map(|p| &p.reason).collect::<Vec<_>>()
+    );
+    server.shutdown();
+}
+
+/// The shedding ladder: opens degrade L1 → L2 → L3 as occupancy climbs —
+/// advertised on every view (`shed=`), counted in `net.shed.*`, and
+/// recorded in the session's black box — and only past the last threshold
+/// is an open refused, with a retry hint. Degraded sessions still finish.
+#[test]
+fn shed_ladder_degrades_before_refusing_and_records_every_rung() {
+    let plan = Arc::new(FaultPlan::new());
+    let _guard = hinn::fault::install(plan);
+    let recorder = Arc::new(SessionRecorder::new());
+    let obs_guard = hinn::obs::install(recorder.clone());
+
+    let points = Arc::new(planted());
+    let policy = ShedPolicy {
+        l1_at: 0.25,
+        l2_at: 0.50,
+        l3_at: 0.75,
+        refuse_at: 1.0,
+    };
+    let server = bind(
+        NetServerConfig::new(ServeConfig::new(search_config()).with_max_sessions(4))
+            .with_shed(policy),
+        &points,
+    );
+    let mut client = NetClient::new(server.addr());
+
+    // Four opens ride the ladder one rung at a time.
+    let mut views = Vec::new();
+    for i in 0..4 {
+        let reply = client
+            .call(&Request::Open {
+                tenant: "t".to_string(),
+                query: points[i].clone(),
+            })
+            .expect("open");
+        match reply {
+            Reply::View(view) => views.push(view),
+            other => panic!("expected a view, got {other:?}"),
+        }
+    }
+    let levels: Vec<u8> = views.iter().map(|v| v.shed).collect();
+    assert_eq!(levels, vec![0, 1, 2, 3], "opens must climb the ladder in order");
+    assert_eq!(server.current_shed_level(), ShedLevel::Refuse);
+
+    // The fifth open is the typed refusal with a retry hint.
+    match client.call(&Request::Open {
+        tenant: "t".to_string(),
+        query: points[4].clone(),
+    }) {
+        Ok(Reply::Error(e)) => {
+            assert_eq!(e.kind, hinn::net::ErrorKind::Overloaded);
+            assert!(e.retry_after_ms.is_some(), "refusals carry a retry hint");
+        }
+        other => panic!("expected a typed overloaded refusal, got {other:?}"),
+    }
+
+    // The L3 session still completes (drive it with plain discards).
+    let l3 = &views[3];
+    let mut cursor = (l3.major, l3.minor);
+    let session = l3.session;
+    for round in 0.. {
+        assert!(round < 100, "degraded session failed to terminate");
+        let reply = client
+            .call(&Request::Submit {
+                session,
+                major: cursor.0,
+                minor: cursor.1,
+                response: UserResponse::Discard,
+            })
+            .expect("submit");
+        match reply {
+            Reply::Done(done) => {
+                assert!(!done.neighbors.is_empty() || done.majors >= 1);
+                break;
+            }
+            Reply::View(view) => {
+                assert_eq!(view.shed, 3, "degradation level sticks to the session");
+                cursor = (view.major, view.minor);
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+
+    // Every rung left its trace: counters and black-box postmortems.
+    let report = recorder.report();
+    drop(obs_guard);
+    assert_eq!(report.counter("net.shed.l1"), 1);
+    assert_eq!(report.counter("net.shed.l2"), 1);
+    assert_eq!(report.counter("net.shed.l3"), 1);
+    assert_eq!(report.counter("net.refused.overload"), 1);
+    let postmortems = server.manager().take_postmortems();
+    assert_eq!(
+        postmortems
+            .iter()
+            .filter(|p| p.reason.contains("load shed"))
+            .count(),
+        3,
+        "each degraded open freezes a load-shed record"
+    );
+    server.shutdown();
+}
+
+/// Per-tenant quotas and scarce-zone fairness both refuse with typed,
+/// distinguishable replies (`quota` vs `overloaded` + fairness counter).
+#[test]
+fn quota_and_fairness_refusals_are_typed() {
+    let plan = Arc::new(FaultPlan::new());
+    let _guard = hinn::fault::install(plan);
+    let recorder = Arc::new(SessionRecorder::new());
+    let obs_guard = hinn::obs::install(recorder.clone());
+
+    let points = Arc::new(planted());
+    // Fairness wakes at 25% of 8 = 2 live sessions; only L1 sheds (a
+    // degradation, not a refusal), so refusals here are purely
+    // quota/fairness.
+    let policy = ShedPolicy {
+        l1_at: 0.25,
+        l2_at: f64::INFINITY,
+        l3_at: f64::INFINITY,
+        refuse_at: f64::INFINITY,
+    };
+    let server = bind(
+        NetServerConfig::new(ServeConfig::new(search_config()).with_max_sessions(8))
+            .with_tenant_quota(4)
+            .with_shed(policy),
+        &points,
+    );
+    let mut client = NetClient::new(server.addr());
+    let open = |client: &mut NetClient, tenant: &str, i: usize| {
+        client
+            .call(&Request::Open {
+                tenant: tenant.to_string(),
+                query: points[i].clone(),
+            })
+            .expect("call")
+    };
+
+    // Tenant a hoards 3 sessions; b takes 1.
+    for i in 0..3 {
+        assert!(matches!(open(&mut client, "a", i), Reply::View(_)));
+    }
+    assert!(matches!(open(&mut client, "b", 3), Reply::View(_)));
+
+    // Scarce zone + a holds 3 > b's 1: a's next open is deferred for
+    // fairness (typed overloaded with a hint — retryable backpressure).
+    match open(&mut client, "a", 4) {
+        Reply::Error(e) => {
+            assert_eq!(e.kind, hinn::net::ErrorKind::Overloaded);
+            assert!(e.message.contains("fairness"), "message: {}", e.message);
+            assert!(e.retry_after_ms.is_some());
+        }
+        other => panic!("expected a fairness deferral, got {other:?}"),
+    }
+
+    // b may climb to its quota of 4 — then the quota refusal is typed
+    // `quota`, not `overloaded`.
+    for i in 4..7 {
+        assert!(matches!(open(&mut client, "b", i), Reply::View(_)));
+    }
+    match open(&mut client, "b", 7) {
+        Reply::Error(e) => {
+            assert_eq!(e.kind, hinn::net::ErrorKind::QuotaExceeded);
+            assert!(e.retry_after_ms.is_some());
+        }
+        other => panic!("expected a quota refusal, got {other:?}"),
+    }
+
+    let report = recorder.report();
+    drop(obs_guard);
+    assert_eq!(report.counter("net.refused.fairness"), 1);
+    assert_eq!(report.counter("net.refused.quota"), 1);
+    assert_eq!(report.counter("net.refused.overload"), 0);
+    server.shutdown();
+}
+
+/// A checksum-corrupt frame gets the typed `frame` refusal and the
+/// connection *survives* (the stream is still aligned); an oversized
+/// header gets the typed refusal and then a close (it is not).
+#[test]
+fn corrupt_and_oversized_frames_are_refused_in_kind() {
+    let plan = Arc::new(FaultPlan::new());
+    let _guard = hinn::fault::install(plan);
+    let points = Arc::new(planted());
+    let server = default_server(&points);
+
+    // Corrupt checksum, by hand, straight onto the socket.
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("deadline");
+    let payload = hinn::net::proto::render_request(&Request::Ping);
+    let mut raw = Vec::new();
+    raw.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    raw.extend_from_slice(&(hinn::net::frame::checksum(&payload) ^ 1).to_be_bytes());
+    raw.extend_from_slice(&payload);
+    stream.write_all(&raw).expect("write corrupt frame");
+    let reply = read_frame(&mut stream, DEFAULT_MAX_FRAME).expect("typed reply");
+    match hinn::net::proto::parse_reply(&reply).expect("parse") {
+        Reply::Error(e) => assert_eq!(e.kind, hinn::net::ErrorKind::Frame),
+        other => panic!("expected a frame refusal, got {other:?}"),
+    }
+    // Same connection, now a clean ping: the stream stayed aligned.
+    write_frame(&mut stream, &payload, DEFAULT_MAX_FRAME).expect("write ping");
+    let reply = read_frame(&mut stream, DEFAULT_MAX_FRAME).expect("read pong");
+    assert!(matches!(
+        hinn::net::proto::parse_reply(&reply).expect("parse"),
+        Reply::Pong
+    ));
+
+    // Oversized declaration: typed refusal, then the connection closes.
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("deadline");
+    let mut raw = Vec::new();
+    raw.extend_from_slice(&((DEFAULT_MAX_FRAME as u32) + 1).to_be_bytes());
+    raw.extend_from_slice(&0u32.to_be_bytes());
+    stream.write_all(&raw).expect("write oversized header");
+    let reply = read_frame(&mut stream, DEFAULT_MAX_FRAME).expect("typed reply");
+    match hinn::net::proto::parse_reply(&reply).expect("parse") {
+        Reply::Error(e) => assert_eq!(e.kind, hinn::net::ErrorKind::Frame),
+        other => panic!("expected a frame refusal, got {other:?}"),
+    }
+    match read_frame(&mut stream, DEFAULT_MAX_FRAME) {
+        Err(hinn::net::FrameError::Closed) => {}
+        other => panic!("a misaligned stream must close, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// A duplicate submit (at-least-once delivery) is resynced with the
+/// *current* view — applied at most once, no error, session completes.
+#[test]
+fn duplicate_submits_resync_instead_of_double_applying() {
+    let plan = Arc::new(FaultPlan::new());
+    let _guard = hinn::fault::install(plan);
+    let points = Arc::new(planted());
+    let query = points[0].clone();
+    let (script, want) = record_reference(&points, &query);
+    assert!(script.len() >= 2);
+
+    let server = default_server(&points);
+    let mut client = NetClient::new(server.addr());
+    let Reply::View(v0) = client
+        .call(&Request::Open {
+            tenant: "dup".to_string(),
+            query: query.clone(),
+        })
+        .expect("open")
+    else {
+        panic!("expected the first view")
+    };
+    let submit0 = Request::Submit {
+        session: v0.session,
+        major: v0.major,
+        minor: v0.minor,
+        response: script[0].clone(),
+    };
+    let Reply::View(v1) = client.call(&submit0).expect("submit") else {
+        panic!("expected the second view")
+    };
+    // The duplicate: same cursor again. Nothing is applied; the reply is
+    // the current pending view, bit-for-bit the one we already hold.
+    let Reply::View(resync) = client.call(&submit0).expect("duplicate submit") else {
+        panic!("expected a resync view")
+    };
+    assert_eq!((resync.major, resync.minor), (v1.major, v1.minor));
+    assert_eq!(resync.session, v1.session);
+
+    // Finish from the resynced cursor; the outcome is untouched.
+    let mut reply = Reply::View(resync);
+    let mut next = 1usize;
+    let done = loop {
+        match reply {
+            Reply::Done(done) => break done,
+            Reply::View(view) => {
+                let response = script[next].clone();
+                next += 1;
+                reply = client
+                    .call(&Request::Submit {
+                        session: view.session,
+                        major: view.major,
+                        minor: view.minor,
+                        response,
+                    })
+                    .expect("submit");
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    };
+    assert_eq!(done_bits(&done), want, "the duplicate leaked into the outcome");
+    server.shutdown();
+}
+
+/// Graceful drain: live sessions are flushed to warm snapshots and the
+/// accumulated incident postmortems are emitted and counted.
+#[test]
+fn graceful_drain_flushes_sessions_and_emits_postmortems() {
+    let points = Arc::new(planted());
+    let query = points[0].clone();
+    let (script, _) = record_reference(&points, &query);
+
+    let plan = Arc::new(FaultPlan::new().with("net.disconnect", FaultMode::Once));
+    let _guard = hinn::fault::install(plan);
+    let server = default_server(&points);
+
+    // Session 1: its first submit hits the injected disconnect — applied,
+    // suspended, postmortem recorded. (The postmortems stay with the
+    // manager until the drain emits them.)
+    let mut client = NetClient::new(server.addr());
+    let Reply::View(view) = client
+        .call_with_retry(&Request::Open {
+            tenant: "drain".to_string(),
+            query: query.clone(),
+        })
+        .expect("open")
+    else {
+        panic!("expected a view")
+    };
+    let _ = client.call_with_retry(&Request::Submit {
+        session: view.session,
+        major: view.major,
+        minor: view.minor,
+        response: script[0].clone(),
+    });
+
+    // Session 2: opened and left hot mid-flight.
+    let mut idle = NetClient::new(server.addr());
+    assert!(matches!(
+        idle.call_with_retry(&Request::Open {
+            tenant: "drain".to_string(),
+            query: points[1].clone(),
+        })
+        .expect("open"),
+        Reply::View(_)
+    ));
+
+    let report = server.shutdown();
+    assert!(
+        report.flushed >= 1,
+        "the hot in-flight session must be flushed to a warm snapshot"
+    );
+    assert!(
+        report.postmortems >= 1,
+        "the drain must emit the disconnect postmortem"
+    );
+}
+
+/// The `HINN_FAULTS` smoke: under a chaos mix of wire faults (or the
+/// env-specified plan in CI), every client run ends in a bit-correct
+/// outcome or a typed error — zero panics, and with the default mix the
+/// outcomes that do complete are bit-identical to in-process runs.
+#[test]
+fn chaos_smoke_yields_typed_errors_only() {
+    let points = Arc::new(planted());
+    let query = points[0].clone();
+    // Reference first: an env plan ("all") may also arm engine-level
+    // faults, which would perturb an in-process run recorded under it.
+    let (script, want) = record_reference(&points, &query);
+
+    let env_plan = FaultPlan::from_env();
+    let strict = env_plan.is_none();
+    let plan = Arc::new(env_plan.unwrap_or_else(|| {
+        FaultPlan::new()
+            .with("net.torn_frame", FaultMode::Sometimes { p: 0.10, seed: 11 })
+            .with("net.disconnect", FaultMode::Sometimes { p: 0.10, seed: 12 })
+            .with("net.stall", FaultMode::Sometimes { p: 0.05, seed: 13 })
+    }));
+    let _guard = hinn::fault::install(plan);
+
+    let server = bind(
+        NetServerConfig::new(ServeConfig::new(search_config()).with_max_sessions(64))
+            .with_shed(ShedPolicy::disabled())
+            .with_tenant_quota(32),
+        &points,
+    );
+    let addr = server.addr();
+    let script = Arc::new(script);
+    let want = Arc::new(want);
+    let handles: Vec<_> = (0..12)
+        .map(|i| {
+            let script = Arc::clone(&script);
+            let want = Arc::clone(&want);
+            let query = query.clone();
+            std::thread::spawn(move || {
+                let mut client = NetClient::new(addr).with_retry(RetryPolicy {
+                    max_attempts: 8,
+                    base_backoff_ms: 1,
+                });
+                match client.run_session(&format!("chaos{}", i % 3), &query, &script) {
+                    Ok(done) => {
+                        assert_eq!(
+                            done_bits(&done),
+                            *want,
+                            "chaos client {i}: wire faults corrupted a completed session"
+                        );
+                        true
+                    }
+                    // Any error here is by construction a typed
+                    // `ClientError`; reaching this arm *is* the assertion
+                    // (a panic in client or server would fail the test).
+                    Err(_) => false,
+                }
+            })
+        })
+        .collect();
+    let mut completed = 0usize;
+    for h in handles {
+        match h.join() {
+            Ok(finished) => completed += usize::from(finished),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+    if strict {
+        assert!(
+            completed >= 6,
+            "the default chaos mix should let most retrying clients finish ({completed}/12)"
+        );
+    }
+    // The server survived the drills: it still drains cleanly, and every
+    // incident it recorded is a structured postmortem.
+    for p in server.manager().take_postmortems() {
+        assert!(!p.reason.is_empty());
+        assert!(p.to_json().starts_with('{'));
+    }
+    server.shutdown();
+}

@@ -1,0 +1,386 @@
+//! Wire soak: hundreds of concurrent client threads against one TCP
+//! front-end, proving the network layer adds *zero* semantics.
+//!
+//! The test records reference sessions fully in-process (a
+//! `HeuristicUser` driving a `SessionManager`, responses captured per
+//! view), then replays those exact response scripts over the wire from
+//! 200 concurrent client threads — twice, under engine thread budgets 1
+//! and 4, first with a telemetry recorder installed and then without.
+//! Assertions:
+//!
+//! * **bit identity** — every wire outcome (neighbor ids, probability
+//!   bits, majors run) equals the in-process reference, for every
+//!   session, thread budget, and recorder state;
+//! * **bounded residency** — the hot tier never exceeds its cap plus the
+//!   sessions pinned by in-flight submits (the manager's documented
+//!   transient: pinned slots cannot be evicted mid-compute), sampled from
+//!   the main thread while the fleet runs, and returns to ≤ cap at rest;
+//! * **zero lost sessions** — every client gets `done`; refusal counters
+//!   stay zero (shedding is disabled and quotas are generous, so any
+//!   refusal would be a bug, not backpressure).
+//!
+//! Set `HINN_OBS_EXPORT_NET=/path/to.json` to export the recorded run's
+//! telemetry report (the CI `net` job uploads it as an artifact).
+
+use hinn::net::{NetClient, NetServer, NetServerConfig, RetryPolicy, ShedPolicy};
+use hinn::obs::SessionRecorder;
+use hinn::prelude::*;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The telemetry recorder is process-global; tests in this binary run on
+/// parallel threads by default, so each takes this lock to keep an
+/// uninstrumented test from polluting an instrumented one's counters.
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+const CLIENT_THREADS: usize = 200;
+const DISTINCT_QUERIES: usize = 8;
+const MAX_RESIDENT: usize = 24;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// The serve-soak fixture: 8-D planted cluster plus background noise.
+fn planted() -> Vec<Vec<f64>> {
+    let mut rng = XorShift(0xDA3E39CB94B95BDB);
+    let unif = |rng: &mut XorShift| (rng.next() >> 11) as f64 / (1u64 << 53) as f64;
+    let d = 8;
+    let mut pts: Vec<Vec<f64>> = Vec::new();
+    for _ in 0..30 {
+        pts.push(
+            (0..d)
+                .map(|_| 50.0 + (unif(&mut rng) - 0.5) * 2.0)
+                .collect(),
+        );
+    }
+    for _ in 0..170 {
+        pts.push((0..d).map(|_| unif(&mut rng) * 100.0).collect());
+    }
+    pts
+}
+
+fn search_config(threads: usize) -> SearchConfig {
+    SearchConfig {
+        max_major_iterations: 2,
+        min_major_iterations: 1,
+        parallelism: Parallelism::fixed(threads),
+        ..SearchConfig::default().with_support(20)
+    }
+}
+
+fn queries(points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    (0..DISTINCT_QUERIES)
+        .map(|i| {
+            let mut q = points[i].clone();
+            for x in &mut q {
+                *x += i as f64 * 0.125;
+            }
+            q
+        })
+        .collect()
+}
+
+/// What the wire can carry of an outcome, bit-exactly.
+type WireBits = (Vec<usize>, Vec<u64>, usize);
+
+fn outcome_wire_bits(o: &SearchOutcome) -> WireBits {
+    (
+        o.neighbors.clone(),
+        o.neighbors
+            .iter()
+            .map(|&i| o.probabilities[i].to_bits())
+            .collect(),
+        o.majors_run,
+    )
+}
+
+/// Drive one in-process session, recording the response script and the
+/// outcome bits — the ground truth the wire must reproduce.
+fn record_reference(
+    manager: &SessionManager,
+    query: &[f64],
+) -> (Vec<UserResponse>, WireBits) {
+    let mut user = HeuristicUser::default();
+    let mut script = Vec::new();
+    let (id, mut step) = manager.open(query).expect("reference open");
+    loop {
+        match step {
+            Step::Done(outcome) => return (script, outcome_wire_bits(&outcome)),
+            Step::NeedResponse(view) => {
+                let response = user.respond(view.profile(), view.context());
+                script.push(response.clone());
+                step = manager.submit(id, response).expect("reference submit");
+            }
+        }
+    }
+}
+
+/// One soak pass: serve `CLIENT_THREADS` sessions over TCP from that many
+/// concurrent client threads, asserting every outcome against the
+/// reference. Returns (sessions completed, peak hot tier observed).
+fn run_wire_fleet(
+    threads: usize,
+    points: &Arc<Vec<Vec<f64>>>,
+    scripts: &Arc<Vec<(Vec<UserResponse>, WireBits)>>,
+    qs: &Arc<Vec<Vec<f64>>>,
+) -> (usize, usize) {
+    let serve = ServeConfig::new(search_config(threads))
+        .with_max_resident(MAX_RESIDENT)
+        .with_warm_capacity(CLIENT_THREADS + 8)
+        .with_max_sessions(CLIENT_THREADS + 8);
+    let config = NetServerConfig::new(serve)
+        .with_max_connections(CLIENT_THREADS + 8)
+        .with_tenant_quota(CLIENT_THREADS)
+        .with_shed(ShedPolicy::disabled())
+        .with_deadlines(Duration::from_secs(60), Duration::from_secs(60));
+    let server = NetServer::bind(config, Arc::clone(points)).expect("bind");
+    let addr = server.addr();
+
+    let completed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let handles: Vec<_> = (0..CLIENT_THREADS)
+        .map(|i| {
+            let scripts = Arc::clone(scripts);
+            let qs = Arc::clone(qs);
+            let completed = Arc::clone(&completed);
+            std::thread::spawn(move || {
+                let query_idx = i % DISTINCT_QUERIES;
+                let (script, want) = &scripts[query_idx];
+                let mut client = NetClient::new(addr)
+                    .with_deadlines(Duration::from_secs(60), Duration::from_secs(60))
+                    .with_retry(RetryPolicy {
+                        max_attempts: 6,
+                        base_backoff_ms: 5,
+                    });
+                // Tenants cycle so the governor tracks several names.
+                let tenant = format!("tenant{}", i % 4);
+                let done = client
+                    .run_session(&tenant, &qs[query_idx], script)
+                    .unwrap_or_else(|e| panic!("client {i}: {e}"));
+                let got: WireBits = (
+                    done.neighbors.clone(),
+                    done.probabilities.iter().map(|p| p.to_bits()).collect(),
+                    done.majors,
+                );
+                assert_eq!(
+                    &got, want,
+                    "client {i} (query {query_idx}): wire outcome diverged from in-process"
+                );
+                completed.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            })
+        })
+        .collect();
+
+    // Sample bounded residency from the main thread while the fleet runs
+    // (exit on all-threads-finished, so a panicking client can't hang the
+    // sampler — the joins below surface its panic). The hot tier may
+    // transiently exceed its cap by the sessions pinned by in-flight
+    // submits (pinned slots are never evicted mid-compute), so the bound
+    // is cap + unfinished clients — `completed` is read *before* the
+    // tier, and only grows, so the bound is conservative.
+    let mut peak_hot = 0usize;
+    loop {
+        let unfinished =
+            CLIENT_THREADS - completed.load(std::sync::atomic::Ordering::SeqCst).min(CLIENT_THREADS);
+        let hot = server.manager().hot_len();
+        peak_hot = peak_hot.max(hot);
+        assert!(
+            hot <= MAX_RESIDENT + unfinished,
+            "hot tier exceeded cap + in-flight pins: {hot} > {MAX_RESIDENT} + {unfinished}"
+        );
+        if handles.iter().all(|h| h.is_finished()) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for h in handles {
+        if let Err(panic) = h.join() {
+            std::panic::resume_unwind(panic);
+        }
+    }
+    // At rest — no submits in flight — the cap itself must hold.
+    assert!(
+        server.manager().hot_len() <= MAX_RESIDENT,
+        "hot tier over its cap at rest: {}",
+        server.manager().hot_len()
+    );
+    let report = server.shutdown();
+    assert_eq!(report.flushed, 0, "finished sessions left nothing to flush");
+    (
+        completed.load(std::sync::atomic::Ordering::SeqCst),
+        peak_hot,
+    )
+}
+
+#[test]
+fn wire_soak_bit_identical_to_in_process_across_thread_budgets() {
+    let _exclusive = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+    let points = Arc::new(planted());
+    let qs = Arc::new(queries(&points));
+
+    // Ground truth, fully in-process (no recorder installed yet, so the
+    // reference never pollutes the wire run's counters).
+    let ref_manager = SessionManager::new(
+        ServeConfig::new(search_config(1)).with_max_sessions(DISTINCT_QUERIES + 1),
+        Arc::clone(&points),
+    )
+    .expect("reference manager");
+    let scripts: Arc<Vec<(Vec<UserResponse>, WireBits)>> = Arc::new(
+        qs.iter()
+            .map(|q| record_reference(&ref_manager, q))
+            .collect(),
+    );
+    for (script, _) in scripts.iter() {
+        assert!(!script.is_empty(), "reference session finished in 0 views");
+    }
+
+    // Pass 1 — engine threads: 1, recorder installed (counters audited).
+    let recorder = Arc::new(SessionRecorder::new());
+    let guard = hinn::obs::install(recorder.clone());
+    let (completed, peak_hot) = run_wire_fleet(1, &points, &scripts, &qs);
+    assert_eq!(completed, CLIENT_THREADS, "lost sessions in pass 1");
+    assert!(peak_hot > 0, "residency sampling saw nothing");
+    let report = recorder.report();
+    drop(guard);
+    assert_eq!(
+        report.counter("session.opened"),
+        CLIENT_THREADS as u64,
+        "every wire open reached the manager exactly once"
+    );
+    assert_eq!(
+        report.counter("session.finished"),
+        CLIENT_THREADS as u64,
+        "every wire session finished"
+    );
+    assert_eq!(report.counter("session.dropped"), 0, "zero lost sessions");
+    assert_eq!(
+        report.counter("net.parse_error") + report.counter("net.frame_error"),
+        0,
+        "healthy clients never produce wire errors"
+    );
+    assert_eq!(
+        report.counter("net.refused.overload")
+            + report.counter("net.refused.quota")
+            + report.counter("net.refused.fairness")
+            + report.counter("net.shed.l1")
+            + report.counter("net.shed.l2")
+            + report.counter("net.shed.l3"),
+        0,
+        "shedding disabled: any refusal or degradation is a bug"
+    );
+    assert!(
+        report.counter("net.conn.accepted") >= CLIENT_THREADS as u64,
+        "one connection per client thread"
+    );
+    assert!(
+        report.counter("session.evicted") > 0,
+        "200 in-flight sessions over 24 hot slots must bounce through the warm tier"
+    );
+    if let Some(path) = std::env::var_os("HINN_OBS_EXPORT_NET") {
+        std::fs::write(&path, report.to_json()).expect("write HINN_OBS_EXPORT_NET JSON");
+    }
+
+    // Pass 2 — engine threads: 4, no recorder. Same bits required: the
+    // thread budget and the recorder are both invisible to outcomes
+    // served over the wire.
+    let (completed, _) = run_wire_fleet(4, &points, &scripts, &qs);
+    assert_eq!(completed, CLIENT_THREADS, "lost sessions in pass 2");
+}
+
+/// Sessions suspended over the wire survive the server's warm tier and
+/// resume bit-identically — the reconnect story: open on one connection,
+/// finish from another.
+#[test]
+fn wire_sessions_survive_suspend_and_reconnect() {
+    let _exclusive = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+    let points = Arc::new(planted());
+    let qs = queries(&points);
+
+    let ref_manager = SessionManager::new(
+        ServeConfig::new(search_config(1)).with_max_sessions(4),
+        Arc::clone(&points),
+    )
+    .expect("reference manager");
+    let (script, want) = record_reference(&ref_manager, &qs[0]);
+    assert!(script.len() >= 2, "fixture needs at least two views");
+
+    let serve = ServeConfig::new(search_config(1))
+        .with_max_resident(2)
+        .with_warm_capacity(8)
+        .with_max_sessions(8);
+    let config = NetServerConfig::new(serve).with_shed(ShedPolicy::disabled());
+    let server = NetServer::bind(config, Arc::clone(&points)).expect("bind");
+    let addr = server.addr();
+
+    let mut client = NetClient::new(addr);
+    // Open and answer the first view.
+    let reply = client
+        .call_with_retry(&hinn::net::Request::Open {
+            tenant: "roamer".to_string(),
+            query: qs[0].clone(),
+        })
+        .expect("open");
+    let hinn::net::Reply::View(view) = reply else {
+        panic!("expected a view, got {reply:?}");
+    };
+    let session = view.session;
+    let reply = client
+        .call_with_retry(&hinn::net::Request::Submit {
+            session,
+            major: view.major,
+            minor: view.minor,
+            response: script[0].clone(),
+        })
+        .expect("submit");
+    assert!(
+        matches!(reply, hinn::net::Reply::View(_)),
+        "a ≥2-view session must show another view after one answer"
+    );
+    // Politely suspend and drop the connection.
+    let _ = client
+        .call_with_retry(&hinn::net::Request::Suspend { session })
+        .expect("suspend");
+    drop(client);
+
+    // A brand-new connection resumes exactly where the session left off.
+    let mut client = NetClient::new(addr);
+    let mut reply = client.view(session).expect("resync view");
+    let mut next = 1usize;
+    let done = loop {
+        match reply {
+            hinn::net::Reply::Done(done) => break done,
+            hinn::net::Reply::View(view) => {
+                let response = script
+                    .get(next)
+                    .unwrap_or_else(|| panic!("script dry at view {next}"))
+                    .clone();
+                next += 1;
+                reply = client
+                    .call_with_retry(&hinn::net::Request::Submit {
+                        session: view.session,
+                        major: view.major,
+                        minor: view.minor,
+                        response,
+                    })
+                    .expect("submit after reconnect");
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    };
+    let got: WireBits = (
+        done.neighbors.clone(),
+        done.probabilities.iter().map(|p| p.to_bits()).collect(),
+        done.majors,
+    );
+    assert_eq!(got, want, "suspend/reconnect changed the outcome");
+    // The suspended-then-finished session left a clean table.
+    let report = server.shutdown();
+    assert_eq!(report.flushed, 0);
+}
