@@ -35,8 +35,12 @@ pub struct VaFile {
     /// the filter gives them infinite bounds — they can neither tighten
     /// the pruning threshold nor appear in any answer.
     poisoned: Vec<bool>,
-    /// The exact vectors (needed for the refine phase).
-    points: Vec<Vec<f64>>,
+    /// Number of indexed points.
+    n: usize,
+    /// The exact vectors for the refine phase, flat row-major: point `i`
+    /// at `[i·dim, (i+1)·dim)` — one contiguous allocation instead of
+    /// `N` heap rows, so the refine phase's random accesses stay cheap.
+    points: Vec<f64>,
 }
 
 /// Statistics of one query — how much the filter phase saved.
@@ -109,14 +113,26 @@ impl VaFile {
             }
             poisoned.push(p.iter().any(|v| v.is_nan()));
         }
+        let n = points.len();
+        let mut flat = Vec::with_capacity(n * dim);
+        for p in &points {
+            flat.extend_from_slice(p);
+        }
         Self {
             bits,
             dim,
             bounds,
             cells: cell_ids,
             poisoned,
-            points,
+            n,
+            points: flat,
         }
+    }
+
+    /// Point `i` as a slice into the flat row-major storage.
+    #[inline]
+    fn point(&self, i: usize) -> &[f64] {
+        &self.points[i * self.dim..(i + 1) * self.dim]
     }
 
     /// The shared, memoized index over `points`: built at most once per
@@ -142,12 +158,12 @@ impl VaFile {
 
     /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.n
     }
 
     /// `true` iff the index is empty (never true post-construction).
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.n == 0
     }
 
     /// Quantization bits per dimension.
@@ -180,7 +196,7 @@ impl VaFile {
         k: usize,
     ) -> (Vec<usize>, VaQueryStats) {
         assert_eq!(query.len(), self.dim, "VaFile: query dimensionality");
-        let n = self.points.len();
+        let n = self.n;
         let k = k.min(n);
         if k == 0 {
             return (
@@ -266,7 +282,7 @@ impl VaFile {
             if heap.len() == k && l > heap.peek().expect("non-empty").dist {
                 continue;
             }
-            let d = hinn_linalg::vector::dist_sq(&self.points[i], query);
+            let d = hinn_linalg::vector::dist_sq(self.point(i), query);
             refined += 1;
             if heap.len() < k {
                 heap.push(HeapEntry { dist: d, idx: i });

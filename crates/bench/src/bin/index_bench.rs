@@ -77,9 +77,7 @@ fn gaussian_mixture(n: usize, d: usize, n_clusters: usize, sigma: f64, seed: u64
         .collect()
 }
 
-fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-}
+use hinn_linalg::vector::dist_sq;
 
 /// Exact serial kNN over the whole dataset — the baseline both sides of
 /// the comparison are judged against.

@@ -140,7 +140,8 @@ fn main() {
     // Sized so the fleet outnumbers the session bound: the shed ladder
     // must climb, and at the margin refuse (the retry policy absorbs the
     // refusals, so every session still completes).
-    let (clients, sessions_per_client, max_sessions) = if args.smoke { (6, 2, 4) } else { (32, 4, 24) };
+    let (clients, sessions_per_client, max_sessions) =
+        if args.smoke { (6, 2, 4) } else { (32, 4, 24) };
     let points = Arc::new(planted(30, 170, 8));
     let queries: Vec<Vec<f64>> = (0..8)
         .map(|i| {
@@ -240,7 +241,10 @@ fn main() {
         "shed l1/l2/l3: {}/{}/{}; refused overload/quota/fairness: {}/{}/{}",
         shed[0], shed[1], shed[2], refused[0], refused[1], refused[2]
     );
-    assert_eq!(failed, 0, "with bounded retries every session must complete");
+    assert_eq!(
+        failed, 0,
+        "with bounded retries every session must complete"
+    );
 
     let mut json = String::new();
     json.push_str("{\n");

@@ -1,0 +1,337 @@
+//! **SIMD kernels vs the frozen scalar reference.**
+//!
+//! Two hot loops got the columnar/SIMD treatment in this change, and this
+//! binary measures both against byte-frozen copies of the code they
+//! replaced — not against a re-run of the new code with SIMD disabled,
+//! so the baseline cannot silently inherit future optimizations:
+//!
+//! 1. **KDE grid accumulation** (`hinn_kde::estimate_grid`): the old
+//!    per-point scalar loop (chunked exactly like the library, so the
+//!    float schedule matches) vs the new blocked `gaussian_prep`/`axpy8`
+//!    path. The outputs are asserted **bit-identical** first — the
+//!    speedup must come for free, not from a numerics change.
+//! 2. **Exact kNN scan** (`hinn_baselines`): the row-major
+//!    `knn_indices` scan vs the columnar scans over a
+//!    [`hinn_data::ColumnStore`] — per-query `knn_indices_cols`, and the
+//!    batched `knn_indices_cols_batch` (the headline: one pass over the
+//!    cached columns serves every query, amortizing the memory traffic
+//!    that bounds the single-query scan). Identical neighbor lists
+//!    asserted for both. The opt-in f32 mirror scan is reported as an
+//!    informational extra row (it is *approximate* — candidate
+//!    generation only).
+//!
+//! ```sh
+//! cargo run --release -p hinn-bench --bin simd_bench            # full
+//! cargo run --release -p hinn-bench --bin simd_bench -- --smoke # CI
+//! ```
+//!
+//! Output: `BENCH_simd.json` (override with `--out <path>`). In full
+//! mode the binary exits nonzero unless both measured speedups are ≥ 2×
+//! — the PR's acceptance bar.
+
+use hinn_bench::banner;
+use hinn_data::ColumnStore;
+use hinn_kde::{gaussian_kernel, Bandwidth2D, GridSpec};
+use std::time::Instant;
+
+struct Args {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_simd.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            other => panic!("unknown flag {other:?} (known: --smoke, --out)"),
+        }
+    }
+    args
+}
+
+/// xorshift64* — the harness-wide seeded generator.
+fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed.max(1);
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Seeded Gaussian mixture (Box–Muller), identical to `index_bench`'s.
+fn gaussian_mixture(n: usize, d: usize, n_clusters: usize, sigma: f64, seed: u64) -> Vec<Vec<f64>> {
+    let mut next = xorshift(seed);
+    let mut unif = move || (next() >> 11) as f64 / (1u64 << 53) as f64;
+    let centers: Vec<Vec<f64>> = (0..n_clusters)
+        .map(|_| (0..d).map(|_| unif() * 100.0).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = &centers[i % n_clusters];
+            (0..d)
+                .map(|j| {
+                    let u1 = 1.0 - unif();
+                    let u2 = unif();
+                    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    c[j] + sigma * z
+                })
+                .collect()
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Frozen pre-SIMD reference: the KDE grid accumulation exactly as it
+// stood before this change (per-point scalar kernel columns, scalar row
+// accumulation, the library's fixed-chunk merge order). Kept verbatim so
+// the bit-identity assertion pins the refactor against real history.
+// ---------------------------------------------------------------------
+
+const TRUNC_SIGMAS: f64 = 6.0;
+
+fn frozen_support_range(center: f64, h: f64, origin: f64, step: f64, n: usize) -> (usize, usize) {
+    let lo_f = ((center - TRUNC_SIGMAS * h - origin) / step).ceil();
+    let hi_f = ((center + TRUNC_SIGMAS * h - origin) / step).floor();
+    if hi_f < 0.0 || lo_f > (n - 1) as f64 {
+        return (1, 0);
+    }
+    let lo = lo_f.max(0.0) as usize;
+    let hi = (hi_f as usize).min(n - 1);
+    (lo, hi)
+}
+
+#[allow(clippy::needless_range_loop)] // frozen pre-SIMD code, kept verbatim
+fn frozen_accumulate_chunk(points: &[[f64; 2]], bw: Bandwidth2D, spec: GridSpec) -> Vec<f64> {
+    let n = spec.n;
+    let mut values = vec![0.0; n * n];
+    let mut kx = vec![0.0; n];
+    let mut ky = vec![0.0; n];
+    for p in points {
+        let (x_lo, x_hi) = frozen_support_range(p[0], bw.hx, spec.x0, spec.dx, n);
+        let (y_lo, y_hi) = frozen_support_range(p[1], bw.hy, spec.y0, spec.dy, n);
+        if x_lo > x_hi || y_lo > y_hi {
+            continue;
+        }
+        for ix in x_lo..=x_hi {
+            let gx = spec.x0 + ix as f64 * spec.dx;
+            kx[ix] = gaussian_kernel(gx - p[0], bw.hx);
+        }
+        for iy in y_lo..=y_hi {
+            let gy = spec.y0 + iy as f64 * spec.dy;
+            ky[iy] = gaussian_kernel(gy - p[1], bw.hy);
+        }
+        for iy in y_lo..=y_hi {
+            let row = &mut values[iy * n..(iy + 1) * n];
+            let kyv = ky[iy];
+            for ix in x_lo..=x_hi {
+                row[ix] += kx[ix] * kyv;
+            }
+        }
+    }
+    values
+}
+
+fn frozen_estimate_grid(points: &[[f64; 2]], bw: Bandwidth2D, spec: GridSpec) -> Vec<f64> {
+    let n = spec.n;
+    let mut acc = vec![0.0; n * n];
+    for chunk in points.chunks(hinn_par::CHUNK) {
+        let part = frozen_accumulate_chunk(chunk, bw, spec);
+        for (a, b) in acc.iter_mut().zip(&part) {
+            *a += b;
+        }
+    }
+    let inv_n = 1.0 / points.len() as f64;
+    for v in &mut acc {
+        *v *= inv_n;
+    }
+    acc
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds, returning the last
+/// result for verification.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1000.0);
+        out = Some(r);
+    }
+    (best, out.unwrap())
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    banner("SIMD kernels vs frozen scalar reference");
+    println!("active backend: {}", hinn_linalg::active_backend().name());
+
+    let (kde_n, grid_n, knn_n, knn_d, n_queries, reps) = if args.smoke {
+        (2_000, 64, 5_000, 16, 10, 2)
+    } else {
+        (20_000, 256, 100_000, 16, 50, 5)
+    };
+
+    // ------------------------------------------------------------------
+    // 1. KDE grid accumulation.
+    // ------------------------------------------------------------------
+    let pts2: Vec<[f64; 2]> = gaussian_mixture(kde_n, 2, 8, 4.0, 0x51D_0001)
+        .into_iter()
+        .map(|p| [p[0], p[1]])
+        .collect();
+    let bw = Bandwidth2D::silverman(&pts2);
+    let spec = GridSpec::covering(&pts2, &[], 0.3, grid_n);
+    println!(
+        "kde: n={kde_n} points, {grid_n}x{grid_n} grid, hx={:.3} hy={:.3}",
+        bw.hx, bw.hy
+    );
+
+    let (scalar_kde_ms, want) = time_best(reps, || frozen_estimate_grid(&pts2, bw, spec));
+    let (simd_kde_ms, got) = time_best(reps, || hinn_kde::estimate_grid(&pts2, bw, spec));
+    for (i, (a, b)) in got.values().iter().zip(&want).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "cell {i}: SIMD estimate_grid must be bit-identical to the frozen scalar \
+             reference ({a} vs {b})"
+        );
+    }
+    let kde_speedup = scalar_kde_ms / simd_kde_ms;
+    println!(
+        "estimate_grid: scalar {scalar_kde_ms:.2} ms, simd {simd_kde_ms:.2} ms → \
+         {kde_speedup:.2}× (bit-identical)"
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Exact kNN scan, rows vs columns.
+    // ------------------------------------------------------------------
+    const K: usize = 10;
+    let points = gaussian_mixture(knn_n, knn_d, 16, 6.0, 0x51D_0002);
+    let stride = (knn_n / n_queries).max(1);
+    let queries: Vec<&Vec<f64>> = (0..n_queries).map(|q| &points[q * stride]).collect();
+
+    let t0 = Instant::now();
+    let store = ColumnStore::from_rows(&points);
+    let transpose_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    println!("knn: n={knn_n} d={knn_d}, {n_queries} queries, k={K} (transpose {transpose_ms:.1} ms, once per dataset)");
+
+    let (row_total_ms, exact) = time_best(reps, || {
+        queries
+            .iter()
+            .map(|q| hinn_baselines::knn_indices(&points, q, K, hinn_baselines::Metric::L2))
+            .collect::<Vec<_>>()
+    });
+    let (col_total_ms, cols) = time_best(reps, || {
+        queries
+            .iter()
+            .map(|q| hinn_baselines::knn_indices_cols(&store, q, K, hinn_baselines::Metric::L2))
+            .collect::<Vec<_>>()
+    });
+    let q_refs: Vec<&[f64]> = queries.iter().map(|q| q.as_slice()).collect();
+    let (batch_total_ms, batch) = time_best(reps, || {
+        hinn_baselines::knn_indices_cols_batch(&store, &q_refs, K, hinn_baselines::Metric::L2)
+    });
+    assert_eq!(
+        exact, cols,
+        "columnar kNN scan must return exactly the row scan's neighbor lists"
+    );
+    assert_eq!(
+        exact, batch,
+        "batched columnar kNN scan must return exactly the row scan's neighbor lists"
+    );
+    let row_knn_ms = row_total_ms / n_queries as f64;
+    let col_knn_ms = col_total_ms / n_queries as f64;
+    let batch_knn_ms = batch_total_ms / n_queries as f64;
+    let knn_speedup = row_knn_ms / batch_knn_ms;
+    println!(
+        "knn scan: rows {row_knn_ms:.3} ms/query, cols {col_knn_ms:.3} ms/query \
+         ({:.2}×), cols batched {batch_knn_ms:.3} ms/query → {knn_speedup:.2}× \
+         (identical results)",
+        row_knn_ms / col_knn_ms
+    );
+
+    // Informational: the approximate f32 mirror tier.
+    let _ = store.f32_cols(); // materialize outside the timed region
+    let (f32_total_ms, approx) = time_best(reps, || {
+        queries
+            .iter()
+            .map(|q| hinn_baselines::knn_candidates_f32(&store, q, K))
+            .collect::<Vec<_>>()
+    });
+    let f32_knn_ms = f32_total_ms / n_queries as f64;
+    let f32_recall = exact
+        .iter()
+        .zip(&approx)
+        .map(|(e, a)| {
+            let hits = a.iter().filter(|i| e.contains(i)).count();
+            hits as f64 / K as f64
+        })
+        .sum::<f64>()
+        / n_queries as f64;
+    println!(
+        "knn f32 mirror (approximate): {f32_knn_ms:.3} ms/query \
+         ({:.2}× vs rows), recall@{K} {f32_recall:.3}",
+        row_knn_ms / f32_knn_ms
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n  \"backend\": \"{}\",\n",
+        if args.smoke { "smoke" } else { "full" },
+        hinn_linalg::active_backend().name()
+    ));
+    json.push_str(&format!(
+        "  \"kde\": {{\"n_points\": {kde_n}, \"grid\": {grid_n}, \"scalar_ms\": {}, \"simd_ms\": {}, \"speedup\": {}, \"bit_identical\": true}},\n",
+        json_f64(scalar_kde_ms),
+        json_f64(simd_kde_ms),
+        json_f64(kde_speedup)
+    ));
+    json.push_str(&format!(
+        "  \"knn\": {{\"n_points\": {knn_n}, \"dim\": {knn_d}, \"n_queries\": {n_queries}, \"k\": {K}, \"rows_ms_per_query\": {}, \"cols_ms_per_query\": {}, \"cols_batch_ms_per_query\": {}, \"speedup\": {}, \"identical_results\": true, \"transpose_ms\": {}}},\n",
+        json_f64(row_knn_ms),
+        json_f64(col_knn_ms),
+        json_f64(batch_knn_ms),
+        json_f64(knn_speedup),
+        json_f64(transpose_ms)
+    ));
+    json.push_str(&format!(
+        "  \"knn_f32_approximate\": {{\"ms_per_query\": {}, \"speedup_vs_rows\": {}, \"recall_at_k\": {}}}\n",
+        json_f64(f32_knn_ms),
+        json_f64(row_knn_ms / f32_knn_ms),
+        json_f64(f32_recall)
+    ));
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json).expect("write benchmark JSON");
+    println!("wrote {}", args.out);
+
+    // Smoke mode (CI) only proves the paths run and stay bit-identical;
+    // the speedup bars are enforced in full mode.
+    if !args.smoke {
+        assert!(
+            kde_speedup >= 2.0,
+            "acceptance bar: estimate_grid SIMD speedup must be ≥2× (got {kde_speedup:.2}×)"
+        );
+        assert!(
+            knn_speedup >= 2.0,
+            "acceptance bar: columnar kNN speedup must be ≥2× (got {knn_speedup:.2}×)"
+        );
+        println!("acceptance bars met: kde {kde_speedup:.2}× ≥ 2×, knn {knn_speedup:.2}× ≥ 2×");
+    }
+}

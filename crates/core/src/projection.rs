@@ -487,9 +487,25 @@ fn try_find_projection_with_support(
         hinn_obs::counter("projection.points_scanned", data_coords.len() as u64);
         let mut order: Vec<(f64, usize)> = vec![(0.0, 0); data_coords.len()];
         fill_chunks(par, &mut order, |start, slice| {
+            // Transpose this chunk of projected coordinates into pooled
+            // column scratch and run the batch distance kernel — one
+            // point per SIMD lane, bit-identical to the scalar
+            // `vector::dist` per point (the per-point reduction keeps the
+            // ascending-coordinate fold order).
+            let m = q_coords.len();
+            let len = slice.len();
+            let mut colbuf = hinn_cache::PooledF64::take_zeroed(m * len);
+            for off in 0..len {
+                for (j, &v) in data_coords[start + off].iter().enumerate() {
+                    colbuf[j * len + off] = v;
+                }
+            }
+            let cols: Vec<&[f64]> = (0..m).map(|j| &colbuf[j * len..(j + 1) * len]).collect();
+            let mut dists = hinn_cache::PooledF64::take_zeroed(len);
+            hinn_linalg::simd::dist_sq_cols(&cols, &q_coords, &mut dists);
+            hinn_linalg::simd::sqrt_inplace(&mut dists);
             for (off, slot) in slice.iter_mut().enumerate() {
-                let i = start + off;
-                *slot = (hinn_linalg::vector::dist(&data_coords[i], &q_coords), i);
+                *slot = (dists[off], start + off);
             }
         });
         let keep = support.min(order.len());

@@ -1,0 +1,269 @@
+//! Columnar (structure-of-arrays) point storage.
+//!
+//! [`Dataset`](crate::Dataset) keeps its public row-major
+//! `Vec<Vec<f64>>` — every existing call site stays valid — and this
+//! module adds the columnar view the batch kernels want: one contiguous
+//! slice per dimension, so a distance scan streams `d` flat arrays
+//! instead of chasing `N` heap pointers, and the `hinn_linalg::simd`
+//! kernels vectorize across points (one point per SIMD lane) while each
+//! point's own reduction keeps the scalar spec's ascending-dimension
+//! order. Result: bit-identical distances at several points per
+//! instruction.
+//!
+//! # The f64-exact / f32-approximate boundary
+//!
+//! The store is f64, and everything computed from [`ColumnStore::col`] /
+//! [`ColumnStore::dist_scan_into`] is bit-identical to the row-major
+//! scalar code — safe for any exact path (kNN baselines, session
+//! transcripts, goldens). The **opt-in** f32 mirror
+//! ([`ColumnStore::f32_cols`], built lazily on first use) halves memory
+//! traffic and doubles lane count for *approximate* phases only —
+//! candidate generation in the spirit of the HNSW tier, where a
+//! downstream exact pass re-ranks. Nothing routes through f32 unless a
+//! caller asks for the mirror explicitly.
+
+use hinn_linalg::simd;
+use std::sync::OnceLock;
+
+/// A point set stored one contiguous column per dimension.
+#[derive(Debug)]
+pub struct ColumnStore {
+    n: usize,
+    dim: usize,
+    /// Column `j` occupies `flat[j*n .. (j+1)*n]`.
+    flat: Vec<f64>,
+    /// Lazily built f32 mirror, same layout. `OnceLock` so shared
+    /// (`Arc`) stores can materialize it without a `&mut`.
+    mirror: OnceLock<Vec<f32>>,
+}
+
+impl Clone for ColumnStore {
+    fn clone(&self) -> Self {
+        let mirror = OnceLock::new();
+        if let Some(m) = self.mirror.get() {
+            let _ = mirror.set(m.clone());
+        }
+        Self {
+            n: self.n,
+            dim: self.dim,
+            flat: self.flat.clone(),
+            mirror,
+        }
+    }
+}
+
+impl ColumnStore {
+    /// Transpose row-major points into columns.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty, zero-dimensional, or ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "ColumnStore: empty point set");
+        let dim = rows[0].len();
+        assert!(dim > 0, "ColumnStore: zero-dimensional points");
+        let n = rows.len();
+        let mut flat = vec![0.0; n * dim];
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), dim, "ColumnStore: ragged point set");
+            for (j, &v) in row.iter().enumerate() {
+                flat[j * n + i] = v;
+            }
+        }
+        Self {
+            n,
+            dim,
+            flat,
+            mirror: OnceLock::new(),
+        }
+    }
+
+    /// Number of points `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff the store holds no points (never true post-construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Dimensionality `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Column `j`: coordinate `j` of every point, contiguous.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.flat[j * self.n..(j + 1) * self.n]
+    }
+
+    /// All columns as slices (cheap: `d` fat pointers).
+    pub fn cols(&self) -> Vec<&[f64]> {
+        (0..self.dim).map(|j| self.col(j)).collect()
+    }
+
+    /// Gather row `i` (one point) into `buf`.
+    ///
+    /// # Panics
+    /// Panics if `buf.len() != self.dim()`.
+    pub fn gather_row(&self, i: usize, buf: &mut [f64]) {
+        assert_eq!(buf.len(), self.dim, "gather_row: dimension mismatch");
+        for (j, v) in buf.iter_mut().enumerate() {
+            *v = self.flat[j * self.n + i];
+        }
+    }
+
+    /// Row `i` as a fresh vector (tests/diagnostics; hot paths should
+    /// stay columnar or reuse [`ColumnStore::gather_row`]).
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        let mut buf = vec![0.0; self.dim];
+        self.gather_row(i, &mut buf);
+        buf
+    }
+
+    /// Euclidean distances from `query` to points `start..start+out.len()`,
+    /// written into `out`. Bit-identical to
+    /// `hinn_linalg::vector::dist(row_i, query)` per point — this is the
+    /// SIMD path of the kNN scan, and the fixed-chunk parallel driver
+    /// calls it per chunk (per-point results do not depend on chunking).
+    ///
+    /// # Panics
+    /// Panics if `query.len() != self.dim()` or the range overruns `N`.
+    pub fn dist_scan_into(&self, query: &[f64], start: usize, out: &mut [f64]) {
+        let cols = self.range_cols(start, out.len());
+        simd::dist_sq_cols(&cols, query, out);
+        simd::sqrt_inplace(out);
+    }
+
+    /// Squared-distance variant of [`ColumnStore::dist_scan_into`].
+    ///
+    /// # Panics
+    /// Panics if `query.len() != self.dim()` or the range overruns `N`.
+    pub fn dist_sq_scan_into(&self, query: &[f64], start: usize, out: &mut [f64]) {
+        let cols = self.range_cols(start, out.len());
+        simd::dist_sq_cols(&cols, query, out);
+    }
+
+    /// The f32 mirror's columns, built on first use (the opt-in
+    /// approximate tier; see the module docs for the boundary).
+    pub fn f32_cols(&self) -> Vec<&[f32]> {
+        let m = self
+            .mirror
+            .get_or_init(|| self.flat.iter().map(|&v| v as f32).collect());
+        (0..self.dim)
+            .map(|j| &m[j * self.n..(j + 1) * self.n])
+            .collect()
+    }
+
+    /// Approximate squared-distance scan over the f32 mirror for points
+    /// `start..start+out.len()`. Deterministic, but **not** bit-comparable
+    /// with the f64 path — candidate generation only.
+    ///
+    /// # Panics
+    /// Panics if `query.len() != self.dim()` or the range overruns `N`.
+    pub fn dist_sq_scan_f32_into(&self, query: &[f32], start: usize, out: &mut [f32]) {
+        let all = self.f32_cols();
+        let end = start + out.len();
+        assert!(end <= self.n, "dist_sq_scan_f32_into: range overruns N");
+        let cols: Vec<&[f32]> = all.iter().map(|c| &c[start..end]).collect();
+        hinn_linalg::simd::dist_sq_cols_f32(&cols, query, out);
+    }
+
+    /// Column stripes covering points `start..start+len`.
+    fn range_cols(&self, start: usize, len: usize) -> Vec<&[f64]> {
+        let end = start + len;
+        assert!(end <= self.n, "column scan: range overruns N");
+        (0..self.dim)
+            .map(|j| &self.flat[j * self.n + start..j * self.n + end])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<f64>> {
+        (0..37)
+            .map(|i| {
+                (0..5)
+                    .map(|j| ((i * 31 + j * 17) % 23) as f64 - 11.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // (j, i) indexing mirrors the transpose under test
+    fn round_trips_rows() {
+        let r = rows();
+        let s = ColumnStore::from_rows(&r);
+        assert_eq!(s.len(), 37);
+        assert_eq!(s.dim(), 5);
+        for (i, row) in r.iter().enumerate() {
+            assert_eq!(&s.row(i), row);
+        }
+        for j in 0..5 {
+            for i in 0..37 {
+                assert_eq!(s.col(j)[i], r[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn dist_scan_matches_rowwise_spec_bitwise() {
+        let r = rows();
+        let s = ColumnStore::from_rows(&r);
+        let q = &r[7];
+        let mut out = vec![0.0; s.len()];
+        s.dist_scan_into(q, 0, &mut out);
+        for (i, row) in r.iter().enumerate() {
+            assert_eq!(
+                out[i].to_bits(),
+                hinn_linalg::vector::dist(row, q).to_bits(),
+                "point {i}"
+            );
+        }
+        // A mid-range chunk produces the same per-point values.
+        let mut part = vec![0.0; 10];
+        s.dist_scan_into(q, 13, &mut part);
+        for k in 0..10 {
+            assert_eq!(part[k].to_bits(), out[13 + k].to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_mirror_is_close_but_separate() {
+        let r = rows();
+        let s = ColumnStore::from_rows(&r);
+        let qf: Vec<f32> = r[3].iter().map(|&v| v as f32).collect();
+        let mut out = vec![0.0f32; s.len()];
+        s.dist_sq_scan_f32_into(&qf, 0, &mut out);
+        for (i, row) in r.iter().enumerate() {
+            let exact = hinn_linalg::vector::dist_sq(row, &r[3]);
+            assert!(
+                (f64::from(out[i]) - exact).abs() <= 1e-3 * (1.0 + exact),
+                "point {i}: {} vs {exact}",
+                out[i]
+            );
+        }
+    }
+
+    #[test]
+    fn clone_preserves_materialized_mirror() {
+        let s = ColumnStore::from_rows(&rows());
+        let _ = s.f32_cols();
+        let c = s.clone();
+        assert_eq!(c.f32_cols()[0], s.f32_cols()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        ColumnStore::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+}

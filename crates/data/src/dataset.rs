@@ -66,13 +66,25 @@ impl Dataset {
     }
 
     /// Number of distinct (non-outlier) labels.
+    ///
+    /// Counts *distinct* label values, as documented. (This used to
+    /// return `max_label + 1`, so sparse label ids like `{0, 5}` reported
+    /// six classes — wrong for any consumer sizing per-class work or
+    /// computing per-class rates over labels that are not dense from 0.)
     pub fn n_classes(&self) -> usize {
         self.labels
             .iter()
             .flatten()
-            .max()
-            .map(|m| m + 1)
-            .unwrap_or(0)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    }
+
+    /// The columnar (structure-of-arrays) view of the points, freshly
+    /// transposed — one contiguous column per dimension, the layout the
+    /// `hinn_linalg::simd` batch kernels scan. Row storage stays the
+    /// public representation; callers migrate scan-by-scan.
+    pub fn column_store(&self) -> crate::ColumnStore {
+        crate::ColumnStore::from_rows(&self.points)
     }
 
     /// Indices of points carrying label `c`.
@@ -164,6 +176,35 @@ mod tests {
         assert_eq!(d.dim(), 2);
         assert_eq!(d.n_classes(), 2);
         assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn n_classes_counts_distinct_labels_not_max_plus_one() {
+        // Regression: sparse label ids {0, 5} used to report 6 classes.
+        let d = Dataset::new(
+            "sparse",
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![Some(0), Some(5), Some(5)],
+        );
+        assert_eq!(d.n_classes(), 2);
+        // Labels not containing 0 at all.
+        let d = Dataset::new(
+            "shifted",
+            vec![vec![0.0], vec![1.0]],
+            vec![Some(7), Some(9)],
+        );
+        assert_eq!(d.n_classes(), 2);
+    }
+
+    #[test]
+    fn column_store_round_trips() {
+        let d = toy();
+        let s = d.column_store();
+        assert_eq!(s.len(), d.len());
+        assert_eq!(s.dim(), d.dim());
+        for i in 0..d.len() {
+            assert_eq!(s.row(i), d.points[i]);
+        }
     }
 
     #[test]

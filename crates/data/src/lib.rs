@@ -19,6 +19,7 @@
 //! [`dataset`] defines the common [`Dataset`] container, and [`csv`]
 //! persists datasets as plain CSV for external inspection.
 
+pub mod column_store;
 pub mod csv;
 pub mod dataset;
 pub mod projected;
@@ -27,6 +28,7 @@ pub mod uci;
 pub mod uci_load;
 pub mod uniform;
 
+pub use column_store::ColumnStore;
 pub use dataset::Dataset;
 pub use projected::{generate_projected_clusters, ProjectedClusterSpec};
 pub use scaling::FeatureScaler;

@@ -1,6 +1,7 @@
 //! The HNSW graph: seeded build, deterministic search (see crate docs).
 
 use hinn_cache::{Fingerprint, Fnv128};
+use hinn_linalg::vector::dist_sq;
 use std::cell::RefCell;
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
@@ -207,7 +208,13 @@ thread_local! {
 pub struct Hnsw {
     params: HnswParams,
     dim: usize,
-    points: Vec<Vec<f64>>,
+    /// Number of indexed points.
+    n: usize,
+    /// Flat row-major point storage: point `i` at `[i·dim, (i+1)·dim)`.
+    /// One contiguous allocation instead of `N` heap rows — the search
+    /// walk's random point accesses stay within one cache-friendly block,
+    /// and slicing it is as cheap as the old `&points[i]`.
+    points: Vec<f64>,
     /// Points with a NaN coordinate: excluded from the graph entirely —
     /// never linked, never an entry point, never returned (the same policy
     /// as the VA-file's poisoned bitmap).
@@ -250,10 +257,15 @@ impl Hnsw {
             .map(|p| p.iter().any(|v| v.is_nan()))
             .collect();
         let levels: Vec<u32> = (0..n).map(|id| params.level_of(id) as u32).collect();
+        let mut flat = Vec::with_capacity(n * dim);
+        for p in &points {
+            flat.extend_from_slice(p);
+        }
         let mut graph = Self {
             params,
             dim,
-            points,
+            n,
+            points: flat,
             poisoned,
             levels,
             links: (0..n).map(|_| Vec::new()).collect(),
@@ -311,12 +323,12 @@ impl Hnsw {
 
     /// Number of indexed points (poisoned ones included in the count).
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.n
     }
 
     /// `true` iff the index is empty (never true post-construction).
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.n == 0
     }
 
     /// The build/search parameters.
@@ -327,6 +339,13 @@ impl Hnsw {
     /// Highest populated layer.
     pub fn max_level(&self) -> usize {
         self.max_level
+    }
+
+    /// Point `id` as a slice into the flat row-major storage.
+    #[inline]
+    fn point(&self, id: u32) -> &[f64] {
+        let i = id as usize * self.dim;
+        &self.points[i..i + self.dim]
     }
 
     /// Approximate Euclidean k-NN: neighbor ids, closest first. The
@@ -381,12 +400,12 @@ impl Hnsw {
 
         let ids = SCRATCH.with(|cell| {
             let mut visited = cell.borrow_mut();
-            if visited.stamp.len() != self.points.len() {
-                *visited = Visited::new(self.points.len());
+            if visited.stamp.len() != self.n {
+                *visited = Visited::new(self.n);
             }
             // Greedy descent through the upper layers to a local minimum.
             let mut ep = Entry {
-                dist: dist_sq(&self.points[entry as usize], query),
+                dist: dist_sq(self.point(entry), query),
                 id: entry,
             };
             stats.dist_evals += 1;
@@ -408,7 +427,7 @@ impl Hnsw {
     /// identical. The equivalence tests compare digests across processes.
     pub fn digest(&self) -> Fingerprint {
         let mut h = Fnv128::new();
-        h.write_usize(self.points.len());
+        h.write_usize(self.n);
         h.write_usize(self.dim);
         h.write_u64(self.entry.map(|e| e as u64 + 1).unwrap_or(0));
         h.write_usize(self.max_level);
@@ -441,7 +460,7 @@ impl Hnsw {
                 stats.hops += 1;
                 for &u in nbs {
                     let cand = Entry {
-                        dist: dist_sq(&self.points[u as usize], query),
+                        dist: dist_sq(self.point(u), query),
                         id: u,
                     };
                     stats.dist_evals += 1;
@@ -496,7 +515,7 @@ impl Hnsw {
                         continue;
                     }
                     let e = Entry {
-                        dist: dist_sq(&self.points[u as usize], query),
+                        dist: dist_sq(self.point(u), query),
                         id: u,
                     };
                     stats.dist_evals += 1;
@@ -527,7 +546,7 @@ impl Hnsw {
     fn insert(&mut self, id: u32, visited: &mut Visited, stats: &mut HnswStats) {
         let level = self.levels[id as usize] as usize;
         self.links[id as usize] = vec![Vec::new(); level + 1];
-        let q = self.points[id as usize].clone();
+        let q = self.point(id).to_vec();
         let Some(entry) = self.entry else {
             self.entry = Some(id);
             self.max_level = level;
@@ -535,7 +554,7 @@ impl Hnsw {
         };
 
         let mut ep = Entry {
-            dist: dist_sq(&self.points[entry as usize], &q),
+            dist: dist_sq(self.point(entry), &q),
             id: entry,
         };
         stats.dist_evals += 1;
@@ -577,13 +596,13 @@ impl Hnsw {
     /// Shrink `node`'s neighbor list on `layer` back to `cap` entries via
     /// the diversity heuristic (measured from `node`'s own point).
     fn prune(&mut self, node: u32, layer: usize, cap: usize, stats: &mut HnswStats) {
-        let p = &self.points[node as usize];
+        let p = self.point(node);
         let scored: Vec<Entry> = self.links[node as usize][layer]
             .iter()
             .map(|&u| {
                 stats.dist_evals += 1;
                 Entry {
-                    dist: dist_sq(&self.points[u as usize], p),
+                    dist: dist_sq(self.point(u), p),
                     id: u,
                 }
             })
@@ -622,7 +641,7 @@ impl Hnsw {
             }
             let diverse = kept.iter().all(|s| {
                 stats.dist_evals += 1;
-                dist_sq(&self.points[e.id as usize], &self.points[s.id as usize]) >= e.dist
+                dist_sq(self.point(e.id), self.point(s.id)) >= e.dist
             });
             if diverse {
                 kept.push(e);
@@ -639,17 +658,6 @@ impl Hnsw {
         kept.sort_unstable();
         kept
     }
-}
-
-/// Squared Euclidean distance (monotone in L2 — ranks are unaffected, and
-/// skipping the `sqrt` keeps the hot loop cheap).
-fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
-    let mut acc = 0.0;
-    for (x, y) in a.iter().zip(b) {
-        let d = x - y;
-        acc += d * d;
-    }
-    acc
 }
 
 #[cfg(test)]

@@ -19,8 +19,10 @@
 //! The ablation experiment compares this against the scaled-Silverman
 //! default on cluster-separation quality.
 
+use crate::estimate::{count_nonfinite, fill_kernel_column, support_range};
 use crate::grid::{DensityGrid, GridSpec};
-use crate::kernel::{gaussian_kernel, Bandwidth2D};
+use crate::kernel::Bandwidth2D;
+use hinn_linalg::simd;
 use hinn_par::{fill_chunks, map_reduce_chunks, Parallelism};
 
 /// Per-point bandwidth factors `λᵢ` from a pilot estimate.
@@ -138,7 +140,19 @@ pub fn estimate_grid_adaptive_with(
         hinn_obs::counter("kde.points_scanned", points.len() as u64);
         hinn_obs::counter("kde.grid_cells", (n * n) as u64);
     }
-    let inv_n = 1.0 / points.len() as f64;
+    let skipped = count_nonfinite(points);
+    if skipped > 0 {
+        // Same contract as the fixed estimator: skipped points are
+        // counted (only when present, keeping clean-data telemetry
+        // schemas unchanged) and excluded from the normalization.
+        if hinn_obs::enabled() {
+            hinn_obs::counter("kde.skipped_nonfinite", skipped as u64);
+        }
+        if skipped == points.len() {
+            return DensityGrid::new(spec, vec![0.0; n * n]);
+        }
+    }
+    let inv_n = 1.0 / (points.len() - skipped) as f64;
     let mut values = map_reduce_chunks(
         par,
         points.len(),
@@ -159,7 +173,14 @@ pub fn estimate_grid_adaptive_with(
 
 /// Un-normalized adaptive kernel-sum grid of one chunk of points. Partial
 /// grid and kernel scratch come from the thread-local pool, zeroed.
-#[allow(clippy::needless_range_loop)] // index loops mirror the grid math
+///
+/// Per-point bandwidths defeat the fixed estimator's 8-point blocking
+/// (supports vary wildly between neighbors), so each point flushes
+/// individually — but the kernel columns go through the same vectorized
+/// [`fill_kernel_column`] and the row updates through
+/// [`simd::axpy_inplace`], both bit-identical to the scalar loops they
+/// replaced. Non-finite points are skipped ([`support_range`] returns the
+/// empty range for them; they're counted by the caller).
 fn accumulate_adaptive_chunk(
     points: &[[f64; 2]],
     factors: &[f64],
@@ -168,38 +189,21 @@ fn accumulate_adaptive_chunk(
 ) -> hinn_cache::PooledF64 {
     let n = spec.n;
     let mut values = hinn_cache::PooledF64::take_zeroed(n * n);
-    let trunc = 6.0;
     let mut kx = hinn_cache::PooledF64::take_zeroed(n);
     let mut ky = hinn_cache::PooledF64::take_zeroed(n);
     for (p, &lambda) in points.iter().zip(factors) {
         let hx = base.hx * lambda;
         let hy = base.hy * lambda;
-        let x_lo = (((p[0] - trunc * hx - spec.x0) / spec.dx).ceil().max(0.0)) as usize;
-        let x_hi_f = ((p[0] + trunc * hx - spec.x0) / spec.dx).floor();
-        let y_lo = (((p[1] - trunc * hy - spec.y0) / spec.dy).ceil().max(0.0)) as usize;
-        let y_hi_f = ((p[1] + trunc * hy - spec.y0) / spec.dy).floor();
-        if x_hi_f < 0.0 || y_hi_f < 0.0 {
-            continue;
-        }
-        let x_hi = (x_hi_f as usize).min(n - 1);
-        let y_hi = (y_hi_f as usize).min(n - 1);
+        let (x_lo, x_hi) = support_range(p[0], hx, spec.x0, spec.dx, n);
+        let (y_lo, y_hi) = support_range(p[1], hy, spec.y0, spec.dy, n);
         if x_lo > x_hi || y_lo > y_hi {
             continue;
         }
-        for ix in x_lo..=x_hi {
-            let gx = spec.x0 + ix as f64 * spec.dx;
-            kx[ix] = gaussian_kernel(gx - p[0], hx);
-        }
+        fill_kernel_column(&mut kx, x_lo, x_hi, spec.x0, spec.dx, p[0], hx);
+        fill_kernel_column(&mut ky, y_lo, y_hi, spec.y0, spec.dy, p[1], hy);
+        let col = &kx[x_lo..=x_hi];
         for iy in y_lo..=y_hi {
-            let gy = spec.y0 + iy as f64 * spec.dy;
-            ky[iy] = gaussian_kernel(gy - p[1], hy);
-        }
-        for iy in y_lo..=y_hi {
-            let row = &mut values[iy * n..(iy + 1) * n];
-            let kyv = ky[iy];
-            for ix in x_lo..=x_hi {
-                row[ix] += kx[ix] * kyv;
-            }
+            simd::axpy_inplace(ky[iy], col, &mut values[iy * n + x_lo..iy * n + x_hi + 1]);
         }
     }
     values
@@ -282,6 +286,41 @@ mod tests {
         let g = estimate_grid_adaptive(&pts, &bw, spec);
         let mass = g.integral();
         assert!((mass - 1.0).abs() < 0.05, "adaptive mass {mass}");
+    }
+
+    #[test]
+    fn nan_point_is_skipped_by_the_adaptive_estimator() {
+        // Regression: the old inline support computation sent a NaN
+        // center to the corner cell (`NaN as usize == 0`), poisoning the
+        // grid. Poisoned points must drop out entirely.
+        let clean = cluster_and_noise();
+        let base = Bandwidth2D::silverman(&clean);
+        let spec = GridSpec::covering(&clean, &[], 0.2, 31);
+        let bw_clean = adaptive_bandwidths(&clean, base, 0.5);
+        let want = estimate_grid_adaptive(&clean, &bw_clean, spec);
+
+        let mut pts = clean.clone();
+        pts.push([f64::NAN, 0.1]);
+        // Reuse the clean factors for the clean points; the poisoned
+        // point's factor is irrelevant (it is skipped).
+        let bw_poison = AdaptiveBandwidths {
+            base,
+            factors: {
+                let mut f = bw_clean.factors.clone();
+                f.push(1.0);
+                f
+            },
+            alpha: 0.5,
+        };
+        let g = estimate_grid_adaptive(&pts, &bw_poison, spec);
+        assert!(g.values().iter().all(|v| v.is_finite()));
+        for (a, b) in g.values().iter().zip(want.values()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "grid with a NaN point must equal the finite subset's"
+            );
+        }
     }
 
     #[test]

@@ -6,14 +6,33 @@
 //! once (`O(p)` each) and their outer product is accumulated (`O(p²)` only
 //! over the kernel's support), with the kernel truncated at `TRUNC_SIGMAS`
 //! standard deviations — a standard, visually lossless optimization.
+//!
+//! The accumulation is vectorized through `hinn_linalg::simd` without
+//! changing a single output bit: kernel columns are evaluated with
+//! [`hinn_linalg::simd::gaussian_prep`] (exactly-rounded ops; `exp` stays
+//! scalar libm), and outer products land on the grid through `axpy`
+//! passes. Points are processed in blocks of [`KDE_BLOCK`] so one
+//! read-modify-write pass over a grid row applies eight points'
+//! contributions ([`hinn_linalg::simd::axpy8`]); cells outside a point's
+//! support receive `+0.0`, which leaves a non-negative accumulator
+//! bit-unchanged, so the blocked schedule equals the one-point-at-a-time
+//! spec exactly.
+//!
+//! Points with a non-finite coordinate are skipped (and counted via the
+//! `kde.skipped_nonfinite` counter) rather than poisoning the grid; the
+//! normalization divides by the number of points actually accumulated.
 
 use crate::grid::{DensityGrid, GridSpec};
 use crate::kernel::{gaussian_kernel, Bandwidth2D};
+use hinn_linalg::simd;
 use hinn_par::{map_reduce_chunks, Parallelism};
 
 /// Gaussian kernel support truncation, in bandwidth units. Beyond 6σ the
 /// kernel value is below 6e-9 of the peak — invisible in any profile.
 const TRUNC_SIGMAS: f64 = 6.0;
+
+/// Points per fused grid pass: matches the [`simd::axpy8`] kernel.
+const KDE_BLOCK: usize = 8;
 
 /// Evaluate the KDE of `points` on every grid point of `spec`.
 ///
@@ -44,7 +63,18 @@ pub fn estimate_grid_with(
         hinn_obs::counter("kde.points_scanned", points.len() as u64);
         hinn_obs::counter("kde.grid_cells", (n * n) as u64);
     }
-    let inv_n = 1.0 / points.len() as f64;
+    let skipped = count_nonfinite(points);
+    if skipped > 0 {
+        // Emitted only when something was actually skipped, so clean-data
+        // telemetry keeps its exact counter schema.
+        if hinn_obs::enabled() {
+            hinn_obs::counter("kde.skipped_nonfinite", skipped as u64);
+        }
+        if skipped == points.len() {
+            return DensityGrid::new(spec, vec![0.0; n * n]);
+        }
+    }
+    let inv_n = 1.0 / (points.len() - skipped) as f64;
     let mut values = map_reduce_chunks(
         par,
         points.len(),
@@ -63,10 +93,49 @@ pub fn estimate_grid_with(
     DensityGrid::new(spec, values)
 }
 
+/// How many points have a non-finite coordinate (these are skipped by the
+/// accumulators rather than poisoning the whole grid).
+pub(crate) fn count_nonfinite(points: &[[f64; 2]]) -> usize {
+    points
+        .iter()
+        .filter(|p| !(p[0].is_finite() && p[1].is_finite()))
+        .count()
+}
+
+/// Fill `col[lo..=hi]` with `gaussian_kernel(grid(i) − center, h)` for
+/// `i ∈ [lo, hi]`, bit-identical to the scalar kernel call per cell: the
+/// exactly-rounded prefix (`−0.5·z²`) and the final normalization divide
+/// are vectorized; `exp` stays a scalar libm call per cell.
+pub(crate) fn fill_kernel_column(
+    col: &mut [f64],
+    lo: usize,
+    hi: usize,
+    origin: f64,
+    step: f64,
+    center: f64,
+    h: f64,
+) {
+    assert!(h > 0.0, "gaussian_kernel: bandwidth must be positive");
+    let seg = &mut col[lo..=hi];
+    simd::gaussian_prep(seg, lo, origin, step, center, h);
+    for v in seg.iter_mut() {
+        *v = v.exp();
+    }
+    simd::div_inplace(seg, (2.0 * std::f64::consts::PI).sqrt() * h);
+}
+
 /// Un-normalized kernel-sum grid of one chunk of points. The returned
 /// buffer (and the kernel scratch) comes from the thread-local pool; it
 /// starts all-zero, exactly like a fresh allocation.
-#[allow(clippy::needless_range_loop)] // index loops mirror the grid math
+///
+/// Points are gathered into blocks of [`KDE_BLOCK`]; a full block flushes
+/// through [`simd::axpy8`] — one pass over each grid row in the block's
+/// union support applies all eight outer products. Scratch columns are
+/// zero outside each point's own support, so out-of-support cells receive
+/// `+0.0`: the grid accumulator is non-negative (it starts at `+0.0` and
+/// kernel products are `≥ 0`), and `x + 0.0 == x` bitwise for every
+/// non-negative `x`, so the fused pass reproduces the per-point spec loop
+/// bit-for-bit in the same point order.
 fn accumulate_grid_chunk(
     points: &[[f64; 2]],
     bw: Bandwidth2D,
@@ -74,37 +143,153 @@ fn accumulate_grid_chunk(
 ) -> hinn_cache::PooledF64 {
     let n = spec.n;
     let mut values = hinn_cache::PooledF64::take_zeroed(n * n);
-    let mut kx = hinn_cache::PooledF64::take_zeroed(n);
-    let mut ky = hinn_cache::PooledF64::take_zeroed(n);
+    // Slot `b`'s kernel column/row lives at `[b*n, (b+1)*n)`.
+    let mut kx = hinn_cache::PooledF64::take_zeroed(KDE_BLOCK * n);
+    let mut ky = hinn_cache::PooledF64::take_zeroed(KDE_BLOCK * n);
+    let mut xr = [(1usize, 0usize); KDE_BLOCK];
+    let mut yr = [(1usize, 0usize); KDE_BLOCK];
+    let mut filled = 0usize;
     for p in points {
+        if !(p[0].is_finite() && p[1].is_finite()) {
+            continue; // counted once, up front, by the caller
+        }
         // Index range of grid points within the truncated support.
         let (x_lo, x_hi) = support_range(p[0], bw.hx, spec.x0, spec.dx, n);
         let (y_lo, y_hi) = support_range(p[1], bw.hy, spec.y0, spec.dy, n);
         if x_lo > x_hi || y_lo > y_hi {
             continue;
         }
-        for ix in x_lo..=x_hi {
-            let gx = spec.x0 + ix as f64 * spec.dx;
-            kx[ix] = gaussian_kernel(gx - p[0], bw.hx);
+        let b = filled;
+        fill_kernel_column(
+            &mut kx[b * n..(b + 1) * n],
+            x_lo,
+            x_hi,
+            spec.x0,
+            spec.dx,
+            p[0],
+            bw.hx,
+        );
+        fill_kernel_column(
+            &mut ky[b * n..(b + 1) * n],
+            y_lo,
+            y_hi,
+            spec.y0,
+            spec.dy,
+            p[1],
+            bw.hy,
+        );
+        xr[b] = (x_lo, x_hi);
+        yr[b] = (y_lo, y_hi);
+        filled += 1;
+        if filled == KDE_BLOCK {
+            flush_block(&mut values, n, &kx, &ky, &xr, &yr, filled);
+            clear_columns(&mut kx, n, &xr, filled);
+            clear_columns(&mut ky, n, &yr, filled);
+            filled = 0;
         }
-        for iy in y_lo..=y_hi {
-            let gy = spec.y0 + iy as f64 * spec.dy;
-            ky[iy] = gaussian_kernel(gy - p[1], bw.hy);
-        }
-        for iy in y_lo..=y_hi {
-            let row = &mut values[iy * n..(iy + 1) * n];
-            let kyv = ky[iy];
-            for ix in x_lo..=x_hi {
-                row[ix] += kx[ix] * kyv;
-            }
-        }
+    }
+    if filled > 0 {
+        flush_block(&mut values, n, &kx, &ky, &xr, &yr, filled);
     }
     values
 }
 
+/// Apply the outer-product contributions of `filled` buffered points.
+///
+/// A full block whose eight supports overlap tightly walks each grid row
+/// in the union y-support once, fusing all eight columns via
+/// [`simd::axpy8`] — one load/store of the grid row serves eight points.
+/// When the supports are scattered (points from far-apart clusters landing
+/// in the same block), the union rectangle can dwarf the individual
+/// supports and the fused pass would spend most of its lanes adding the
+/// `+0.0` padding; those blocks — and partial (tail) blocks — instead take
+/// per-point [`simd::axpy_inplace`] passes over each point's own support.
+/// Both schedules deposit bit-identical contributions (the padding adds
+/// are exact no-ops on the non-negative accumulator), so the choice is
+/// purely a throughput heuristic and never shows up in the output.
+fn flush_block(
+    values: &mut [f64],
+    n: usize,
+    kx: &[f64],
+    ky: &[f64],
+    xr: &[(usize, usize); KDE_BLOCK],
+    yr: &[(usize, usize); KDE_BLOCK],
+    filled: usize,
+) {
+    let fused = filled == KDE_BLOCK && {
+        let ux_lo = xr.iter().map(|r| r.0).min().unwrap();
+        let ux_hi = xr.iter().map(|r| r.1).max().unwrap();
+        let uy_lo = yr.iter().map(|r| r.0).min().unwrap();
+        let uy_hi = yr.iter().map(|r| r.1).max().unwrap();
+        let union_cells = (ux_hi - ux_lo + 1) * (uy_hi - uy_lo + 1);
+        let own_cells: usize = xr
+            .iter()
+            .zip(yr)
+            .map(|(&(xl, xh), &(yl, yh))| (xh - xl + 1) * (yh - yl + 1))
+            .sum();
+        // Fuse only while the union pass does at most ~2x the essential
+        // cell updates; past that the padding lanes outweigh the saved
+        // grid traffic and the per-point passes win.
+        union_cells * KDE_BLOCK <= 2 * own_cells
+    };
+    if fused {
+        let ux_lo = xr.iter().map(|r| r.0).min().unwrap();
+        let ux_hi = xr.iter().map(|r| r.1).max().unwrap();
+        let uy_lo = yr.iter().map(|r| r.0).min().unwrap();
+        let uy_hi = yr.iter().map(|r| r.1).max().unwrap();
+        let xs: [&[f64]; KDE_BLOCK] =
+            std::array::from_fn(|b| &kx[b * n + ux_lo..b * n + ux_hi + 1]);
+        for iy in uy_lo..=uy_hi {
+            let cs: [f64; KDE_BLOCK] = std::array::from_fn(|b| ky[b * n + iy]);
+            simd::axpy8(&cs, &xs, &mut values[iy * n + ux_lo..iy * n + ux_hi + 1]);
+        }
+    } else {
+        for b in 0..filled {
+            let (x_lo, x_hi) = xr[b];
+            let (y_lo, y_hi) = yr[b];
+            let col = &kx[b * n + x_lo..b * n + x_hi + 1];
+            for iy in y_lo..=y_hi {
+                simd::axpy_inplace(
+                    ky[b * n + iy],
+                    col,
+                    &mut values[iy * n + x_lo..iy * n + x_hi + 1],
+                );
+            }
+        }
+    }
+}
+
+/// Re-zero exactly the written support ranges so the next block again sees
+/// all-zero scratch (the `+0.0`-padding invariant).
+fn clear_columns(
+    scratch: &mut [f64],
+    n: usize,
+    ranges: &[(usize, usize); KDE_BLOCK],
+    filled: usize,
+) {
+    for (b, &(lo, hi)) in ranges.iter().enumerate().take(filled) {
+        scratch[b * n + lo..b * n + hi + 1].fill(0.0);
+    }
+}
+
 /// Inclusive index range `[lo, hi]` of grid coordinates within the truncated
 /// kernel support around `center`; may be empty (`lo > hi`).
-fn support_range(center: f64, h: f64, origin: f64, step: f64, n: usize) -> (usize, usize) {
+///
+/// A non-finite `center` has no meaningful support and yields the empty
+/// range. (NaN used to sail through the comparisons below — both bounds
+/// compare false — and come out as the non-empty range `[0, 0]`, so one
+/// NaN coordinate deposited a NaN kernel column into the grid corner and
+/// poisoned every downstream consumer of the estimate.)
+pub(crate) fn support_range(
+    center: f64,
+    h: f64,
+    origin: f64,
+    step: f64,
+    n: usize,
+) -> (usize, usize) {
+    if !center.is_finite() {
+        return (1, 0);
+    }
     let lo_f = ((center - TRUNC_SIGMAS * h - origin) / step).ceil();
     let hi_f = ((center + TRUNC_SIGMAS * h - origin) / step).floor();
     // A support entirely off either side of the grid contributes nothing.
@@ -258,6 +443,106 @@ mod tests {
         // A point whose support straddles the border still contributes.
         let g = estimate_grid(&[[1.2, 0.5]], bw(1.0), spec);
         assert!(g.max() > 0.0);
+    }
+
+    /// The pre-SIMD spec loop: one point at a time, scalar
+    /// `gaussian_kernel` per cell, scalar row accumulation.
+    fn reference_grid(points: &[[f64; 2]], bw: Bandwidth2D, spec: GridSpec) -> Vec<f64> {
+        let n = spec.n;
+        let mut values = vec![0.0; n * n];
+        let mut finite = 0usize;
+        for p in points {
+            if !(p[0].is_finite() && p[1].is_finite()) {
+                continue;
+            }
+            finite += 1;
+            let (x_lo, x_hi) = support_range(p[0], bw.hx, spec.x0, spec.dx, n);
+            let (y_lo, y_hi) = support_range(p[1], bw.hy, spec.y0, spec.dy, n);
+            if x_lo > x_hi || y_lo > y_hi {
+                continue;
+            }
+            let mut kx = vec![0.0; n];
+            for (ix, k) in kx.iter_mut().enumerate().take(x_hi + 1).skip(x_lo) {
+                let gx = spec.x0 + ix as f64 * spec.dx;
+                *k = gaussian_kernel(gx - p[0], bw.hx);
+            }
+            for iy in y_lo..=y_hi {
+                let gy = spec.y0 + iy as f64 * spec.dy;
+                let kyv = gaussian_kernel(gy - p[1], bw.hy);
+                let row = &mut values[iy * n..(iy + 1) * n];
+                for ix in x_lo..=x_hi {
+                    row[ix] += kx[ix] * kyv;
+                }
+            }
+        }
+        let inv_n = 1.0 / finite as f64;
+        for v in &mut values {
+            *v *= inv_n;
+        }
+        values
+    }
+
+    #[test]
+    fn blocked_simd_grid_is_bit_identical_to_the_scalar_spec_loop() {
+        // Deliberately not a multiple of the 8-point block: exercises the
+        // partial-tail flush path too. Mix of overlapping and disjoint
+        // supports so the union-range padding actually pads.
+        let pts: Vec<[f64; 2]> = (0..53)
+            .map(|i| {
+                let a = i as f64 * 0.7;
+                let c = if i % 3 == 0 { 4.0 } else { 0.0 };
+                [c + a.sin(), c + (a * 1.3).cos()]
+            })
+            .collect();
+        let spec = GridSpec::covering(&pts, &[], 0.3, 33);
+        for h in [0.05, 0.4, 2.0] {
+            let g = estimate_grid(&pts, bw(h), spec);
+            let want = reference_grid(&pts, bw(h), spec);
+            for (i, (a, b)) in g.values().iter().zip(&want).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "h={h}, cell {i}: {a} vs {b} — SIMD path must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nan_point_is_skipped_not_smeared_across_the_grid() {
+        // Regression: `support_range` let a NaN center through as the
+        // range [0, 0], so one NaN coordinate deposited a NaN kernel
+        // column into the grid corner. The contract now: non-finite
+        // points are skipped, everything else lands exactly as if the
+        // poisoned points were never in the set.
+        let clean = vec![[0.0, 0.0], [1.0, 0.5], [-0.5, 0.25], [0.2, -0.8]];
+        let spec = GridSpec::covering(&clean, &[], 0.3, 11);
+        let want = estimate_grid(&clean, bw(0.4), spec);
+        for poison in [
+            [f64::NAN, 0.3],
+            [0.3, f64::NAN],
+            [f64::NAN, f64::NAN],
+            [f64::INFINITY, 0.3],
+            [0.3, f64::NEG_INFINITY],
+        ] {
+            let mut pts = clean.clone();
+            pts.insert(2, poison);
+            let g = estimate_grid(&pts, bw(0.4), spec);
+            assert!(
+                g.values().iter().all(|v| v.is_finite()),
+                "poison {poison:?} must not reach the grid"
+            );
+            for (i, (a, b)) in g.values().iter().zip(want.values()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "poison {poison:?}, cell {i}: grid must equal the finite subset's"
+                );
+            }
+        }
+        // All points poisoned: a well-defined all-zero grid, not NaN/NaN.
+        let g = estimate_grid(&[[f64::NAN, f64::NAN]], bw(0.4), spec);
+        assert!(g.values().iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!   operations ([`subspace`]) used to keep the `d/2` projections of a major
 //!   iteration mutually orthogonal (§2 of the paper),
 //! * Minkowski distances, including the fractional metrics discussed in the
-//!   paper's related work ([`vector::lp_dist`]).
+//!   paper's related work ([`vector::lp_dist`]),
+//! * explicitly vectorized batch kernels over columnar point storage
+//!   ([`simd`]), bit-identical to the scalar spec functions on every f64
+//!   path (scalar / AVX2 / AVX-512 backends, `HINN_SIMD` to pin one).
 //!
 //! Dimensionalities in the target workloads are small (`d ≤ 64`), so a
 //! straightforward `O(d^3)` Jacobi sweep is both simple and plenty fast; no
@@ -21,6 +24,7 @@
 pub mod eigen;
 pub mod error;
 pub mod matrix;
+pub mod simd;
 pub mod stats;
 pub mod subspace;
 pub mod vector;
@@ -29,6 +33,7 @@ pub use eigen::{jacobi_eigen, try_jacobi_eigen, EigenOutcome, SymEigen};
 pub use error::LinalgError;
 pub use hinn_par::Parallelism;
 pub use matrix::Matrix;
+pub use simd::{active_backend, Backend};
 pub use stats::{
     covariance_matrix, covariance_matrix_with, mean_vector, mean_vector_with, variance_along,
     variance_along_with,

@@ -2,6 +2,15 @@
 //!
 //! All functions panic on dimension mismatch: a mismatch is always a logic
 //! error in this workspace, never a recoverable condition.
+//!
+//! These are the workspace's **specification kernels**: every vectorized
+//! variant in [`crate::simd`] (and every batch scan built on it) is
+//! required to reproduce these functions bit-for-bit on f64 inputs. The
+//! reductions (`dot`, `dist`, `dist_sq`, `lp_dist`) deliberately stay
+//! sequential left-to-right folds — f64 addition is not associative, so
+//! the fold order *is* the spec; SIMD speedups come from batching across
+//! points (see `simd::dist_sq_cols`), never from reassociating within
+//! one pair of vectors.
 
 /// Dot product `x · y`.
 ///
@@ -52,6 +61,12 @@ pub fn dist_sq(x: &[f64], y: &[f64]) -> f64 {
 /// `0 < p < 1` the result is a pre-metric (no triangle inequality), which is
 /// fine for ranking by distance.
 ///
+/// NaN propagates uniformly at **every** `p`, including `p = ∞`: a NaN
+/// coordinate delta poisons the distance. (The `L∞` branch used to fold
+/// with `f64::max`, which silently *drops* NaN operands — a poisoned
+/// point could then out-rank real neighbors, violating the workspace's
+/// poison-never-ranks contract.)
+///
 /// # Panics
 /// Panics if `p <= 0` or on dimension mismatch.
 pub fn lp_dist(x: &[f64], y: &[f64], p: f64) -> f64 {
@@ -64,11 +79,18 @@ pub fn lp_dist(x: &[f64], y: &[f64], p: f64) -> f64 {
         return x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum();
     }
     if p.is_infinite() {
-        return x
-            .iter()
-            .zip(y)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max);
+        // Sticky-NaN max: `f64::max` returns its non-NaN operand, so the
+        // plain fold would launder a poisoned coordinate into a finite
+        // distance. Bail to NaN the moment one appears instead.
+        let mut acc = 0.0f64;
+        for (a, b) in x.iter().zip(y) {
+            let d = (a - b).abs();
+            if d.is_nan() {
+                return f64::NAN;
+            }
+            acc = acc.max(d);
+        }
+        return acc;
     }
     let s: f64 = x.iter().zip(y).map(|(a, b)| (a - b).abs().powf(p)).sum();
     s.powf(1.0 / p)
@@ -91,12 +113,11 @@ pub fn scale(x: &[f64], c: f64) -> Vec<f64> {
     x.iter().map(|a| a * c).collect()
 }
 
-/// In-place `y ← y + c·x` (the BLAS `axpy` primitive).
+/// In-place `y ← y + c·x` (the BLAS `axpy` primitive). Elementwise, so it
+/// dispatches to the active [`crate::simd`] backend — bit-identical to
+/// the scalar loop at any vector width.
 pub fn axpy(c: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpy: dimension mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += c * xi;
-    }
+    crate::simd::axpy_inplace(c, x, y);
 }
 
 /// Normalize `x` to unit Euclidean length, returning `None` for (near-)zero
@@ -150,6 +171,25 @@ mod tests {
     #[should_panic(expected = "p must be positive")]
     fn lp_zero_p_panics() {
         lp_dist(&[1.0], &[2.0], 0.0);
+    }
+
+    #[test]
+    fn lp_dist_propagates_nan_at_every_p() {
+        // Regression: the L∞ fold used `f64::max`, which drops NaN — a
+        // poisoned point ranked as if its NaN axis did not exist. Every
+        // branch must poison the distance instead.
+        let x = [1.0, f64::NAN, 3.0];
+        let y = [0.0, 0.0, 0.0];
+        for p in [0.5, 1.0, 2.0, 3.0, f64::INFINITY] {
+            assert!(
+                lp_dist(&x, &y, p).is_nan(),
+                "p={p}: NaN coordinate must poison the distance"
+            );
+        }
+        // NaN introduced by the query side behaves the same.
+        assert!(lp_dist(&y, &x, f64::INFINITY).is_nan());
+        // And a clean pair stays clean.
+        assert_eq!(lp_dist(&[0.0, 0.0], &[3.0, 4.0], f64::INFINITY), 4.0);
     }
 
     #[test]

@@ -92,7 +92,10 @@ impl fmt::Display for ClientError {
             Self::Parse(e) => write!(f, "reply parse error: {e}"),
             Self::Server(e) => write!(f, "server refusal: {e}"),
             Self::RetriesExhausted { attempts, last } => {
-                write!(f, "retries exhausted after {attempts} attempts; last: {last}")
+                write!(
+                    f,
+                    "retries exhausted after {attempts} attempts; last: {last}"
+                )
             }
             Self::UnexpectedReply(r) => write!(f, "unexpected reply: {r}"),
             Self::ScriptExhausted { answered } => {

@@ -207,7 +207,8 @@ mod tests {
     fn fairness_is_dormant_below_the_scarce_zone() {
         let g = TenantGovernor::new(100, 100, 50);
         for i in 0..49 {
-            g.try_admit("greedy").unwrap_or_else(|e| panic!("{i}: {e:?}"));
+            g.try_admit("greedy")
+                .unwrap_or_else(|e| panic!("{i}: {e:?}"));
         }
         assert_eq!(g.live(), 49);
     }

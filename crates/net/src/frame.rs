@@ -224,7 +224,10 @@ mod tests {
         let payload = b"hinn-session v1\nping\n".to_vec();
         let bytes = encode(&payload);
         let mut r = Cursor::new(bytes);
-        assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME).expect("read"), payload);
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).expect("read"),
+            payload
+        );
         // The stream is now at a clean boundary.
         assert!(matches!(
             read_frame(&mut r, DEFAULT_MAX_FRAME),
@@ -264,9 +267,11 @@ mod tests {
                     // payload must be Corrupt. A shorter declared length
                     // also lands on Corrupt: the checksum no longer
                     // matches the shortened payload.
-                    Err(FrameError::Corrupt { .. }
-                    | FrameError::Truncated { .. }
-                    | FrameError::Oversized { .. }) => {}
+                    Err(
+                        FrameError::Corrupt { .. }
+                        | FrameError::Truncated { .. }
+                        | FrameError::Oversized { .. },
+                    ) => {}
                     other => panic!("flip {i}:{bit} slipped through: {other:?}"),
                 }
             }
@@ -281,7 +286,10 @@ mod tests {
         let mut r = Cursor::new(bytes);
         assert!(matches!(
             read_frame(&mut r, DEFAULT_MAX_FRAME),
-            Err(FrameError::Oversized { max: DEFAULT_MAX_FRAME, .. })
+            Err(FrameError::Oversized {
+                max: DEFAULT_MAX_FRAME,
+                ..
+            })
         ));
         // And the writer refuses symmetrically.
         let big = vec![0u8; 32];
@@ -302,7 +310,10 @@ mod tests {
         let mut out = Vec::new();
         let err = write_frame(&mut out, b"will be torn", DEFAULT_MAX_FRAME).expect_err("torn");
         assert!(matches!(err, FrameError::Injected), "{err}");
-        assert!(!out.is_empty() && out.len() < 8 + 12, "half a frame on the wire");
+        assert!(
+            !out.is_empty() && out.len() < 8 + 12,
+            "half a frame on the wire"
+        );
         assert_eq!(plan.fired("net.torn_frame"), 1);
         // The peer reading those bytes sees a typed tear.
         let mut r = Cursor::new(out);

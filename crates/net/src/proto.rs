@@ -622,9 +622,7 @@ pub fn parse_reply(payload: &[u8]) -> Result<Reply, ParseError> {
                     let probs_line = body
                         .get(1)
                         .and_then(|l| l.strip_prefix("probabilities "))
-                        .ok_or_else(|| {
-                            ParseError::MissingBody("probabilities line".to_string())
-                        })?;
+                        .ok_or_else(|| ParseError::MissingBody("probabilities line".to_string()))?;
                     no_trailing(body.get(2..).unwrap_or(&[]))?;
                     let neighbors = parse_usizes("neighbors", neighbors_line.trim())?;
                     let probabilities = parse_f64s("probabilities", probs_line.trim())?;
@@ -693,7 +691,13 @@ pub fn render_reply(reply: &Reply) -> Vec<u8> {
                 out,
                 "ok view session={} major={} minor={} alive={} total={} shed={} \
                  query_density={:?} max_density={:?}",
-                v.session, v.major, v.minor, v.alive, v.total, v.shed, v.query_density,
+                v.session,
+                v.major,
+                v.minor,
+                v.alive,
+                v.total,
+                v.shed,
+                v.query_density,
                 v.max_density
             );
         }
@@ -740,7 +744,11 @@ pub fn render_reply(reply: &Reply) -> Vec<u8> {
 }
 
 /// Convenience: an error reply.
-pub fn error_reply(kind: ErrorKind, retry_after_ms: Option<u64>, message: impl Into<String>) -> Reply {
+pub fn error_reply(
+    kind: ErrorKind,
+    retry_after_ms: Option<u64>,
+    message: impl Into<String>,
+) -> Reply {
     Reply::Error(WireError {
         kind,
         retry_after_ms,
@@ -862,7 +870,9 @@ mod tests {
     fn version_and_header_refusals_are_typed() {
         assert_eq!(
             parse_request(b"hinn-session v2\nping\n"),
-            Err(ParseError::UnsupportedVersion("hinn-session v2".to_string()))
+            Err(ParseError::UnsupportedVersion(
+                "hinn-session v2".to_string()
+            ))
         );
         assert!(matches!(
             parse_request(b"GET / HTTP/1.1\r\nHost: x\r\n"),

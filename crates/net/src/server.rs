@@ -333,7 +333,13 @@ impl ServerHandle {
         {
             let _ = stream.shutdown(Shutdown::Read);
         }
-        let workers = std::mem::take(&mut *self.shared.workers.lock().unwrap_or_else(|e| e.into_inner()));
+        let workers = std::mem::take(
+            &mut *self
+                .shared
+                .workers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
         for w in workers {
             let _ = w.join();
         }
@@ -678,11 +684,9 @@ fn open(shared: &Arc<Shared>, tenant: &str, query: &[f64]) -> (Reply, After) {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .insert(raw, level.as_u8());
-        shared.manager.note_load_shed(
-            id,
-            level.as_u8(),
-            "opened degraded by the net shed ladder",
-        );
+        shared
+            .manager
+            .note_load_shed(id, level.as_u8(), "opened degraded by the net shed ladder");
     }
     match step {
         Step::NeedResponse(request) => (
@@ -764,7 +768,10 @@ fn submit(
             // view instead of an error.
             (view(shared, session), After::Continue)
         }
-        Err(e) => (serve_error_reply(shared, Some(session), &e), After::Continue),
+        Err(e) => (
+            serve_error_reply(shared, Some(session), &e),
+            After::Continue,
+        ),
     }
 }
 

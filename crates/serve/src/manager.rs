@@ -1332,7 +1332,11 @@ mod tests {
         // The degraded session runs 1 minor per major: its first view after
         // one submit is already major 1.
         let view = m.pending_view(id).expect("pending");
-        assert_eq!(view.context().major, 1, "max_minors=1 skipped to next major");
+        assert_eq!(
+            view.context().major,
+            1,
+            "max_minors=1 skipped to next major"
+        );
         // Reference: the same degraded config run in-process must agree.
         let m2 = SessionManager::new(ServeConfig::new(degraded), pts).expect("manager2");
         let (id2, _) = m2.open(&q).expect("open");

@@ -39,11 +39,9 @@ fn main() {
         ..SearchConfig::default().with_support(20)
     };
     let serve = ServeConfig::new(search).with_max_sessions(32);
-    let server = hinn::net::NetServer::bind(
-        NetServerConfig::new(serve),
-        Arc::new(data.points.clone()),
-    )
-    .expect("bind");
+    let server =
+        hinn::net::NetServer::bind(NetServerConfig::new(serve), Arc::new(data.points.clone()))
+            .expect("bind");
     println!("serving on {}", server.addr());
 
     // A client session, driven view by view. A real remote user would
@@ -72,7 +70,10 @@ fn main() {
         panic!("expected the pending view after reconnect")
     };
     assert_eq!((resumed.major, resumed.minor), (view.major, view.minor));
-    println!("reconnected: session resumed at the same ({},{}) cursor", resumed.major, resumed.minor);
+    println!(
+        "reconnected: session resumed at the same ({},{}) cursor",
+        resumed.major, resumed.minor
+    );
 
     let done = loop {
         let reply = client

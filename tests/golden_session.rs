@@ -148,3 +148,55 @@ fn hnsw_session_matches_golden_snapshot() {
     let rendered = render_session("hnsw-450", CandidateSource::hnsw(450));
     assert_matches_golden(&rendered, "session_hnsw.txt");
 }
+
+/// Environment variable directing `child_render_emit` to write its render.
+const RENDER_OUT: &str = "HINN_GOLDEN_RENDER_OUT";
+
+/// Hidden child half of the cross-backend test: inert unless the parent
+/// set [`RENDER_OUT`]. Runs with whatever `HINN_SIMD` the parent pinned.
+#[test]
+fn child_render_emit() {
+    let Some(path) = std::env::var_os(RENDER_OUT) else {
+        return;
+    };
+    let rendered = render_session("full", CandidateSource::Full);
+    std::fs::write(path, rendered).expect("write rendered session");
+}
+
+/// The `hinn_linalg::simd` kernel backend is chosen once per process, so
+/// holding the f64 pipeline to "bit-identical on every backend" needs one
+/// process per backend: spawn this test binary filtered to
+/// `child_render_emit` under each `HINN_SIMD` value and require the full
+/// session transcripts to be byte-equal — to each other *and* to the
+/// committed golden snapshot, so a backend can't drift even in lockstep.
+#[test]
+fn session_bytes_identical_across_simd_backends() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let dir = std::env::temp_dir().join(format!("hinn_golden_simd_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir render dir");
+
+    let mut renders: Vec<(&str, String)> = Vec::new();
+    for backend in ["scalar", "auto"] {
+        let out = dir.join(format!("render_{backend}.txt"));
+        let status = std::process::Command::new(&exe)
+            .args(["child_render_emit", "--exact", "--test-threads", "1"])
+            .env(RENDER_OUT, &out)
+            .env(hinn::linalg::simd::SIMD_ENV, backend)
+            .status()
+            .expect("spawn child test process");
+        assert!(status.success(), "child ({backend}) failed: {status}");
+        renders.push((
+            backend,
+            std::fs::read_to_string(&out).expect("child render"),
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let golden = std::fs::read_to_string(golden_path("session.txt")).expect("golden snapshot");
+    for (backend, rendered) in &renders {
+        assert_eq!(
+            rendered, &golden,
+            "HINN_SIMD={backend}: session bytes differ from the golden snapshot"
+        );
+    }
+}

@@ -137,8 +137,16 @@ fn torn_frames_are_retried_and_retry_exhaustion_is_typed() {
     let done = client
         .run_session("torn", &query, &script)
         .expect("one torn frame must be absorbed by the retry budget");
-    assert_eq!(done_bits(&done), want, "retry after a torn frame changed the outcome");
-    assert_eq!(plan.fired("net.torn_frame"), 1, "the tear fired exactly once");
+    assert_eq!(
+        done_bits(&done),
+        want,
+        "retry after a torn frame changed the outcome"
+    );
+    assert_eq!(
+        plan.fired("net.torn_frame"),
+        1,
+        "the tear fired exactly once"
+    );
     server.shutdown();
     drop(guard);
 
@@ -270,7 +278,11 @@ fn shed_ladder_degrades_before_refusing_and_records_every_rung() {
         }
     }
     let levels: Vec<u8> = views.iter().map(|v| v.shed).collect();
-    assert_eq!(levels, vec![0, 1, 2, 3], "opens must climb the ladder in order");
+    assert_eq!(
+        levels,
+        vec![0, 1, 2, 3],
+        "opens must climb the ladder in order"
+    );
     assert_eq!(server.current_shed_level(), ShedLevel::Refuse);
 
     // The fifth open is the typed refusal with a retry hint.
@@ -519,7 +531,11 @@ fn duplicate_submits_resync_instead_of_double_applying() {
             other => panic!("unexpected reply: {other:?}"),
         }
     };
-    assert_eq!(done_bits(&done), want, "the duplicate leaked into the outcome");
+    assert_eq!(
+        done_bits(&done),
+        want,
+        "the duplicate leaked into the outcome"
+    );
     server.shutdown();
 }
 

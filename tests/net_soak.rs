@@ -104,10 +104,7 @@ fn outcome_wire_bits(o: &SearchOutcome) -> WireBits {
 
 /// Drive one in-process session, recording the response script and the
 /// outcome bits — the ground truth the wire must reproduce.
-fn record_reference(
-    manager: &SessionManager,
-    query: &[f64],
-) -> (Vec<UserResponse>, WireBits) {
+fn record_reference(manager: &SessionManager, query: &[f64]) -> (Vec<UserResponse>, WireBits) {
     let mut user = HeuristicUser::default();
     let mut script = Vec::new();
     let (id, mut step) = manager.open(query).expect("reference open");
@@ -187,8 +184,10 @@ fn run_wire_fleet(
     // tier, and only grows, so the bound is conservative.
     let mut peak_hot = 0usize;
     loop {
-        let unfinished =
-            CLIENT_THREADS - completed.load(std::sync::atomic::Ordering::SeqCst).min(CLIENT_THREADS);
+        let unfinished = CLIENT_THREADS
+            - completed
+                .load(std::sync::atomic::Ordering::SeqCst)
+                .min(CLIENT_THREADS);
         let hot = server.manager().hot_len();
         peak_hot = peak_hot.max(hot);
         assert!(
