@@ -22,6 +22,7 @@ fn bench_full_session(c: &mut Criterion) {
         let data = generate_projected_clusters(&spec, &mut rng);
         let q = data.cluster_members(0)[0];
         let query = data.points[q].clone();
+        let handle = hinn_core::DatasetHandle::new(&data.points).expect("dataset");
         let config = SearchConfig {
             max_major_iterations: 2,
             min_major_iterations: 2,
@@ -34,7 +35,7 @@ fn bench_full_session(c: &mut Criterion) {
                 let mut user = HeuristicUser::default();
                 InteractiveSearch::new(config.clone())
                     .run_with(
-                        black_box(&data.points),
+                        black_box(&handle),
                         black_box(&query),
                         &mut user,
                         hinn_core::RunOptions::default(),

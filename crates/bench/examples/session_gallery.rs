@@ -33,7 +33,7 @@ fn main() {
     let mut user = RecordingUser::new(HeuristicUser::default());
     let outcome = InteractiveSearch::new(config)
         .run_with(
-            &data.points,
+            &hinn_core::DatasetHandle::new(&data.points).expect("dataset"),
             &query,
             &mut user,
             hinn_core::RunOptions::default(),

@@ -44,6 +44,7 @@ fn evaluate(
     make_user: &mut dyn FnMut() -> Box<dyn UserModel>,
 ) -> (PrecisionRecall, usize) {
     let queries = sample_labeled_queries(data, N_QUERIES, 31);
+    let handle = hinn_core::DatasetHandle::new(&data.points).expect("dataset");
     let mut prs = Vec::new();
     let mut found = 0;
     for &q in &queries {
@@ -53,7 +54,7 @@ fn evaluate(
         let mut user = make_user();
         let outcome = InteractiveSearch::new(config.clone())
             .run_with(
-                &data.points,
+                &handle,
                 &data.points[q],
                 user.as_mut(),
                 hinn_core::RunOptions::default(),

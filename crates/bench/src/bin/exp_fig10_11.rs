@@ -43,7 +43,7 @@ fn main() {
     let mut user = HeuristicUser::default();
     let outcome = InteractiveSearch::new(config)
         .run_with(
-            &data.points,
+            &hinn_core::DatasetHandle::new(&data.points).expect("dataset"),
             &data.points[q],
             &mut user,
             hinn_core::RunOptions::default(),

@@ -41,7 +41,7 @@ fn main() {
             .with_mode(ProjectionMode::AxisParallel),
     )
     .run_with(
-        &data.points,
+        &hinn_core::DatasetHandle::new(&data.points).expect("dataset"),
         &data.points[q],
         &mut user,
         hinn_core::RunOptions::default(),
@@ -66,7 +66,7 @@ fn main() {
             .with_mode(ProjectionMode::AxisParallel),
     )
     .run_with(
-        &uniform.points,
+        &hinn_core::DatasetHandle::new(&uniform.points).expect("dataset"),
         &uq,
         &mut user2,
         hinn_core::RunOptions::default(),

@@ -49,6 +49,7 @@ fn main() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let data = generate_projected_clusters(&spec, &mut rng);
         let query = data.points[data.cluster_members(0)[0]].clone();
+        let handle = hinn_core::DatasetHandle::new(&data.points).expect("dataset");
         let config = SearchConfig {
             max_major_iterations: 1,
             min_major_iterations: 1,
@@ -61,12 +62,7 @@ fn main() {
             || {
                 let mut user = HeuristicUser::default();
                 let outcome = InteractiveSearch::new(config.clone())
-                    .run_with(
-                        &data.points,
-                        &query,
-                        &mut user,
-                        hinn_core::RunOptions::default(),
-                    )
+                    .run_with(&handle, &query, &mut user, hinn_core::RunOptions::default())
                     .expect("interactive session")
                     .into_outcome();
                 views = outcome.transcript.total_views();

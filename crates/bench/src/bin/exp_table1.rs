@@ -49,6 +49,7 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(7);
         let (data, _truth) = generate_projected_clusters_detailed(&spec, &mut rng);
         let queries = sample_labeled_queries(&data, N_QUERIES, 31);
+        let handle = hinn_core::DatasetHandle::new(&data.points).expect("dataset");
 
         let per_query = parallel_map(&queries, |&q| {
             let relevant: Vec<usize> = (0..data.len())
@@ -60,7 +61,7 @@ fn main() {
                 .with_mode(mode);
             let outcome = InteractiveSearch::new(config)
                 .run_with(
-                    &data.points,
+                    &handle,
                     &data.points[q],
                     &mut user,
                     hinn_core::RunOptions::default(),

@@ -64,6 +64,7 @@ fn main() {
     };
     for (label, data) in datasets {
         let queries = sample_labeled_queries(&data, N_QUERIES, 99);
+        let handle = hinn_core::DatasetHandle::new(&data.points).expect("dataset");
 
         let l2: Vec<(usize, Option<usize>)> = parallel_map(&queries, |&q| {
             (
@@ -83,7 +84,7 @@ fn main() {
             let mut user = HeuristicUser::default();
             let outcome = InteractiveSearch::new(SearchConfig::default().with_support(20))
                 .run_with(
-                    &data.points,
+                    &handle,
                     &data.points[q],
                     &mut user,
                     hinn_core::RunOptions::default(),

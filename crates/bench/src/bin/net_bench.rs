@@ -169,7 +169,11 @@ fn main() {
 
     let recorder = Arc::new(SessionRecorder::new());
     let _guard = hinn_obs::install(recorder.clone());
-    let server = NetServer::bind(config, Arc::clone(&points)).expect("bind");
+    let server = NetServer::bind(
+        config,
+        hinn_core::DatasetHandle::new(&points).expect("dataset"),
+    )
+    .expect("bind");
     let addr = server.addr();
 
     let wall = Instant::now();

@@ -127,7 +127,10 @@ fn main() {
         SessionRecorder::new()
     });
     let _guard = hinn_obs::install(recorder.clone());
-    let runner = BatchRunner::new(&data.points, config);
+    let runner = BatchRunner::new(
+        &hinn_core::DatasetHandle::new(&data.points).expect("dataset"),
+        config,
+    );
     let make_user = || Box::new(HeuristicUser::default()) as Box<dyn UserModel>;
 
     let mut round_ms = Vec::with_capacity(args.rounds);

@@ -195,7 +195,7 @@ mod tests {
         let mut user = hinn_user::HeuristicUser::default();
         let outcome = InteractiveSearch::new(config)
             .run_with(
-                &data.points,
+                &hinn_data::DatasetHandle::new(&data.points).expect("epoch handle"),
                 &query,
                 &mut user,
                 hinn_core::RunOptions::default(),

@@ -49,6 +49,20 @@ impl ArtifactStore {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Peek at the artifact under `(name, param)` without computing —
+    /// `None` when absent or stored under a different type. Epoch-chained
+    /// index builders use this to find a predecessor epoch's structure to
+    /// extend instead of rebuilding from scratch.
+    pub fn get<T>(&self, name: &'static str, param: u64) -> Option<Arc<T>>
+    where
+        T: Send + Sync + 'static,
+    {
+        self.lock()
+            .get(&(name, param))
+            .cloned()
+            .and_then(|stored| stored.downcast::<T>().ok())
+    }
+
     /// The artifact under `(name, param)`, computing and storing it with
     /// `build` on first request. `build` runs outside the lock; if two
     /// threads race, the first insertion wins (both computed the same
@@ -148,6 +162,54 @@ impl DatasetArtifacts {
         arts
     }
 
+    /// The shared artifacts of a dataset already identified by a content
+    /// fingerprint — the epoch path: `EpochSnapshot`s carry their chained
+    /// fingerprint, so sharing the shell is `O(1)` instead of the
+    /// `O(n·d)` re-hash [`DatasetArtifacts::for_points`] pays. Uses the
+    /// same registry (same LRU bound, same hit/miss/evict counters); the
+    /// caller supplies the shape the shell reports.
+    pub fn for_fingerprint(fp: Fingerprint, n_points: usize, dims: usize) -> Arc<Self> {
+        let tick = REGISTRY_TICK.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = reg.iter_mut().find(|(k, _, _)| *k == fp.0) {
+            entry.2 = tick;
+            hinn_obs::counter("cache.hit", 1);
+            return entry.1.clone();
+        }
+        hinn_obs::counter("cache.miss", 1);
+        if reg.len() >= REGISTRY_CAPACITY {
+            if let Some(pos) = reg
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, t))| *t)
+                .map(|(i, _)| i)
+            {
+                reg.swap_remove(pos);
+                hinn_obs::counter("cache.evict", 1);
+            }
+        }
+        let arts = Arc::new(Self {
+            fingerprint: fp,
+            n_points,
+            dims,
+            store: ArtifactStore::new(),
+        });
+        reg.push((fp.0, arts.clone(), tick));
+        arts
+    }
+
+    /// Peek the registry for a fingerprint without creating a shell (and
+    /// without touching its LRU position or counters) — for opportunistic
+    /// reuse, e.g. extending a predecessor epoch's index instead of
+    /// rebuilding. `None` when the dataset was never registered or has
+    /// been evicted.
+    pub fn lookup(fp: Fingerprint) -> Option<Arc<Self>> {
+        let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        reg.iter()
+            .find(|(k, _, _)| *k == fp.0)
+            .map(|(_, arts, _)| arts.clone())
+    }
+
     /// The dataset's content fingerprint.
     pub fn fingerprint(&self) -> Fingerprint {
         self.fingerprint
@@ -236,6 +298,36 @@ mod tests {
             });
         }
         assert_eq!(calls, 1, "artifact computed once across sessions");
+    }
+
+    #[test]
+    fn get_peeks_without_computing() {
+        let _x = crate::testlock::exclusive();
+        let store = ArtifactStore::new();
+        assert!(store.get::<u64>("test.peek", 0).is_none());
+        let _: Option<Arc<u64>> = store.get_or_insert("test.peek", 0, || 11u64);
+        assert_eq!(store.get::<u64>("test.peek", 0).as_deref(), Some(&11));
+        assert!(
+            store.get::<String>("test.peek", 0).is_none(),
+            "type mismatch must surface as None"
+        );
+    }
+
+    #[test]
+    fn for_fingerprint_shares_the_shell_with_for_points() {
+        let _x = crate::testlock::exclusive();
+        let data = pts(9.0);
+        let a = DatasetArtifacts::for_points(&data);
+        let b = DatasetArtifacts::for_fingerprint(a.fingerprint(), data.len(), 2);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "fingerprint route must share the shell"
+        );
+        let c = DatasetArtifacts::for_fingerprint(Fingerprint(0xDEAD), 3, 4);
+        assert_eq!(c.n_points(), 3);
+        assert_eq!(c.dims(), 4);
+        let d = DatasetArtifacts::for_fingerprint(Fingerprint(0xDEAD), 3, 4);
+        assert!(Arc::ptr_eq(&c, &d));
     }
 
     #[test]

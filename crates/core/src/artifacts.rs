@@ -12,6 +12,7 @@
 //! a cached value is therefore the exact value any caller would compute.
 
 use hinn_cache::DatasetArtifacts;
+use hinn_data::EpochSnapshot;
 use hinn_linalg::{Matrix, Parallelism};
 use std::sync::Arc;
 
@@ -19,6 +20,51 @@ use std::sync::Arc;
 /// by content fingerprint — see [`DatasetArtifacts::for_points`]).
 pub fn dataset_artifacts(points: &[Vec<f64>]) -> Arc<DatasetArtifacts> {
     DatasetArtifacts::for_points(points)
+}
+
+/// The shared artifacts shell of an epoch snapshot, keyed by the chained
+/// epoch fingerprint — O(1), no row hashing (see
+/// [`DatasetArtifacts::for_fingerprint`]).
+pub fn epoch_artifacts(snap: &EpochSnapshot) -> Arc<DatasetArtifacts> {
+    DatasetArtifacts::for_fingerprint(snap.fingerprint(), snap.len(), snap.dim())
+}
+
+/// The epoch's global mean vector, served from the handle's rank-1
+/// maintained [`hinn_data::StreamingStats`] and cached in the epoch's
+/// artifact shell under the same well-known key the slice path uses.
+///
+/// Within one recompute window the rank-1 value can drift from the exact
+/// serial value by accumulated floating-point error; the periodic exact
+/// checkpoint bounds that drift (see `DESIGN.md` §6.10), and
+/// `tests/epoch_streaming.rs` pins the tolerance.
+pub fn epoch_global_mean(snap: &EpochSnapshot) -> Arc<Vec<f64>> {
+    let arts = epoch_artifacts(snap);
+    let build = || snap.stats().mean().to_vec();
+    arts.store()
+        .get_or_insert("core.global_mean", 0, build)
+        .unwrap_or_else(|| Arc::new(build()))
+}
+
+/// The epoch's global covariance matrix, served from the rank-1
+/// maintained streaming moments (see [`epoch_global_mean`] for the
+/// tolerance contract).
+pub fn epoch_global_covariance(snap: &EpochSnapshot) -> Arc<Matrix> {
+    let arts = epoch_artifacts(snap);
+    let build = || snap.stats().covariance();
+    arts.store()
+        .get_or_insert("core.global_covariance", 0, build)
+        .unwrap_or_else(|| Arc::new(build()))
+}
+
+/// The epoch's per-coordinate variances (the `γᵢ` denominators along the
+/// original attributes), served from the rank-1 maintained streaming
+/// moments (see [`epoch_global_mean`] for the tolerance contract).
+pub fn epoch_global_coordinate_variances(snap: &EpochSnapshot) -> Arc<Vec<f64>> {
+    let arts = epoch_artifacts(snap);
+    let build = || snap.stats().coordinate_variances();
+    arts.store()
+        .get_or_insert("core.coordinate_variances", 0, build)
+        .unwrap_or_else(|| Arc::new(build()))
 }
 
 /// The dataset's global mean vector, computed once and shared.
@@ -98,6 +144,37 @@ mod tests {
         for (a, b) in cov.as_slice().iter().zip(direct.as_slice()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn epoch_stats_are_cached_under_the_chained_fingerprint() {
+        let data = pts();
+        let dh = hinn_data::DatasetHandle::new(&data).expect("epoch handle");
+        let snap = dh.snapshot();
+        let mean = epoch_global_mean(&snap);
+        let exact = hinn_linalg::stats::mean_vector(&data);
+        for (a, b) in mean.iter().zip(&exact) {
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+        }
+        // A second request shares the Arc through the epoch shell.
+        let again = epoch_global_mean(&snap);
+        assert!(Arc::ptr_eq(&mean, &again));
+
+        let var = epoch_global_coordinate_variances(&snap);
+        let exact = hinn_linalg::stats::coordinate_variances(&data);
+        for (a, b) in var.iter().zip(&exact) {
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+        }
+        let cov = epoch_global_covariance(&snap);
+        let exact = hinn_linalg::covariance_matrix(&data);
+        assert_eq!(cov.rows(), exact.rows());
+        for (a, b) in cov.as_slice().iter().zip(exact.as_slice()) {
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+        }
+        // A new epoch is a new shell: the cache key moves with the chain.
+        dh.append(&[vec![100.0, 100.0, 5.0]]).expect("append");
+        let moved = epoch_global_mean(&dh.snapshot());
+        assert!(!Arc::ptr_eq(&mean, &moved));
     }
 
     #[test]

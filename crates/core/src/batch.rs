@@ -21,6 +21,8 @@ use crate::degrade::{DegradationEvent, DegradationKind};
 use crate::diagnosis::SearchDiagnosis;
 use crate::error::HinnError;
 use crate::search::{InteractiveSearch, RunOptions, RunOutput, SearchOutcome};
+use hinn_cache::Fingerprint;
+use hinn_data::{DatasetHandle, EpochSnapshot};
 use hinn_par::Parallelism;
 use hinn_user::UserModel;
 use std::sync::Arc;
@@ -174,26 +176,67 @@ impl QueryReport {
     }
 }
 
+/// The batch's data: an epoch snapshot pinned at construction, or a
+/// borrowed slice through the deprecated shim.
+enum BatchStore<'a> {
+    Slice(&'a [Vec<f64>]),
+    Epoch(Arc<EpochSnapshot>),
+}
+
 /// Multi-query driver (see module docs).
 pub struct BatchRunner<'a> {
-    points: &'a [Vec<f64>],
+    store: BatchStore<'a>,
     config: SearchConfig,
     budget: Parallelism,
     cache: Arc<SessionCache>,
 }
 
 impl<'a> BatchRunner<'a> {
-    /// Create a runner over `points` with the shared `config`. The thread
-    /// budget defaults to the config's [`SearchConfig::parallelism`]. One
-    /// [`SessionCache`] (sized by [`SearchConfig::cache`]) is shared by
-    /// every session of the batch, including degraded retries — repeated
-    /// or similar queries reuse each other's projections and profiles.
-    pub fn new(points: &'a [Vec<f64>], config: SearchConfig) -> Self {
+    /// Create a runner pinned to `data`'s *current* epoch with the shared
+    /// `config`. Rows appended or deleted after construction do not affect
+    /// the batch — every query of the batch sees the same snapshot. The
+    /// thread budget defaults to the config's
+    /// [`SearchConfig::parallelism`]. One [`SessionCache`] (sized by
+    /// [`SearchConfig::cache`]) is shared by every session of the batch,
+    /// including degraded retries — repeated or similar queries reuse each
+    /// other's projections and profiles.
+    pub fn new(data: &DatasetHandle, config: SearchConfig) -> Self {
+        Self::at(data.snapshot(), config)
+    }
+
+    /// [`BatchRunner::new`] against an explicit epoch snapshot.
+    pub fn at(snap: Arc<EpochSnapshot>, config: SearchConfig) -> Self {
         config.validate();
         let budget = config.parallelism;
         let cache = Arc::new(SessionCache::new(config.cache));
         Self {
-            points,
+            store: BatchStore::Epoch(snap),
+            config,
+            budget,
+            cache,
+        }
+    }
+
+    /// The epoch the batch is pinned to: `(epoch counter, chained
+    /// fingerprint)`. `None` for slice-backed runners.
+    pub fn dataset_epoch(&self) -> Option<(u64, Fingerprint)> {
+        match &self.store {
+            BatchStore::Epoch(snap) => Some((snap.epoch(), snap.fingerprint())),
+            BatchStore::Slice(_) => None,
+        }
+    }
+
+    /// Create a runner over a borrowed slice — the pre-epoch shim.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use BatchRunner::new with a DatasetHandle (or BatchRunner::at with an EpochSnapshot)"
+    )]
+    pub fn from_slice(points: &'a [Vec<f64>], config: SearchConfig) -> Self {
+        config.validate();
+        let budget = config.parallelism;
+        let cache = Arc::new(SessionCache::new(config.cache));
+        Self {
+            store: BatchStore::Slice(points),
             config,
             budget,
             cache,
@@ -281,7 +324,7 @@ impl<'a> BatchRunner<'a> {
                     let first = run_guarded(
                         &session_config,
                         &self.cache,
-                        self.points,
+                        &self.store,
                         &queries[i],
                         &make_user,
                     );
@@ -308,7 +351,7 @@ impl<'a> BatchRunner<'a> {
                             match run_guarded(
                                 &degraded_config,
                                 &self.cache,
-                                self.points,
+                                &self.store,
                                 &queries[i],
                                 &make_user,
                             ) {
@@ -372,7 +415,7 @@ impl<'a> BatchRunner<'a> {
 fn run_guarded<F>(
     config: &SearchConfig,
     cache: &Arc<SessionCache>,
-    points: &[Vec<f64>],
+    store: &BatchStore<'_>,
     query: &[f64],
     make_user: &F,
 ) -> Result<SearchOutcome, HinnError>
@@ -382,9 +425,16 @@ where
     let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let engine = InteractiveSearch::try_new(config.clone())?.with_session_cache(cache.clone());
         let mut user = make_user();
-        engine
-            .run_with(points, query, user.as_mut(), RunOptions::default())
-            .map(RunOutput::into_outcome)
+        let run = match store {
+            BatchStore::Epoch(snap) => {
+                engine.run_at(snap.clone(), query, user.as_mut(), RunOptions::default())
+            }
+            #[allow(deprecated)]
+            BatchStore::Slice(points) => {
+                engine.run_with_slice(points, query, user.as_mut(), RunOptions::default())
+            }
+        };
+        run.map(RunOutput::into_outcome)
     }));
     match attempt {
         Ok(result) => result,
@@ -438,11 +488,15 @@ mod tests {
         }
     }
 
+    fn handle(pts: &[Vec<f64>]) -> DatasetHandle {
+        DatasetHandle::new(pts).expect("epoch handle")
+    }
+
     #[test]
     fn batch_reports_in_query_order() {
         let pts = workload();
         let queries = vec![pts[0].clone(), pts[5].clone(), pts[100].clone()];
-        let runner = BatchRunner::new(&pts, config());
+        let runner = BatchRunner::new(&handle(&pts), config());
         let reports = runner.run(&queries, || Box::new(HeuristicUser::default()));
         assert_eq!(reports.len(), 3);
         for (i, r) in reports.iter().enumerate() {
@@ -462,10 +516,11 @@ mod tests {
     fn parallel_matches_single_threaded() {
         let pts = workload();
         let queries: Vec<Vec<f64>> = (0..4).map(|i| pts[i * 7].clone()).collect();
-        let serial = BatchRunner::new(&pts, config())
+        let dh = handle(&pts);
+        let serial = BatchRunner::new(&dh, config())
             .with_threads(1)
             .run(&queries, || Box::new(HeuristicUser::default()));
-        let parallel = BatchRunner::new(&pts, config())
+        let parallel = BatchRunner::new(&dh, config())
             .with_threads(4)
             .run(&queries, || Box::new(HeuristicUser::default()));
         for (a, b) in serial.iter().zip(&parallel) {
@@ -477,7 +532,7 @@ mod tests {
     #[test]
     fn empty_query_list_is_fine() {
         let pts = workload();
-        let runner = BatchRunner::new(&pts, config());
+        let runner = BatchRunner::new(&handle(&pts), config());
         let reports = runner.run(&[], || Box::new(HeuristicUser::default()));
         assert!(reports.is_empty());
     }
@@ -486,7 +541,7 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_panics() {
         let pts = workload();
-        let _ = BatchRunner::new(&pts, config()).with_threads(0);
+        let _ = BatchRunner::new(&handle(&pts), config()).with_threads(0);
     }
 
     #[test]
@@ -495,10 +550,11 @@ mod tests {
         // hot paths must not change any answer.
         let pts = workload();
         let queries: Vec<Vec<f64>> = (0..4).map(|i| pts[i * 7].clone()).collect();
-        let serial = BatchRunner::new(&pts, config())
+        let dh = handle(&pts);
+        let serial = BatchRunner::new(&dh, config())
             .with_parallelism(Parallelism::serial())
             .run(&queries, || Box::new(HeuristicUser::default()));
-        let budgeted = BatchRunner::new(&pts, config())
+        let budgeted = BatchRunner::new(&dh, config())
             .with_parallelism(Parallelism::fixed(6))
             .run(&queries, || Box::new(HeuristicUser::default()));
         for (a, b) in serial.iter().zip(&budgeted) {
@@ -517,8 +573,8 @@ mod tests {
         // Query 1 has the wrong dimensionality: an input error, reported
         // typed and unretried; queries 0 and 2 must be untouched.
         let queries = vec![pts[0].clone(), vec![1.0, 2.0], pts[100].clone()];
-        let reports =
-            BatchRunner::new(&pts, config()).run(&queries, || Box::new(HeuristicUser::default()));
+        let reports = BatchRunner::new(&handle(&pts), config())
+            .run(&queries, || Box::new(HeuristicUser::default()));
         assert!(!reports[0].is_failed());
         assert!(!reports[2].is_failed());
         let failed = &reports[1];
@@ -527,6 +583,39 @@ mod tests {
         let err = failed.error().expect("failed report carries its error");
         assert!(err.is_invalid_input());
         assert!(err.to_string().contains("query dimensionality"));
+    }
+
+    #[test]
+    fn slice_shim_matches_the_epoch_runner() {
+        let pts = workload();
+        let queries: Vec<Vec<f64>> = (0..3).map(|i| pts[i * 11].clone()).collect();
+        let epoch = BatchRunner::new(&handle(&pts), config())
+            .run(&queries, || Box::new(HeuristicUser::default()));
+        #[allow(deprecated)]
+        let slice = BatchRunner::from_slice(&pts, config())
+            .run(&queries, || Box::new(HeuristicUser::default()));
+        for (a, b) in epoch.iter().zip(&slice) {
+            assert_eq!(a.neighbors(), b.neighbors());
+            assert_eq!(a.majors_run(), b.majors_run());
+            assert_eq!(a.views(), b.views());
+        }
+    }
+
+    #[test]
+    fn runner_is_pinned_to_the_epoch_it_was_built_at() {
+        let pts = workload();
+        let dh = handle(&pts);
+        let runner = BatchRunner::new(&dh, config());
+        let pinned = runner.dataset_epoch().expect("epoch runner");
+        assert_eq!(pinned.0, dh.epoch());
+        // The handle streams on; the batch still answers from its pin.
+        dh.append(&[vec![1.0; 6]]).expect("append");
+        assert_eq!(runner.dataset_epoch().expect("epoch runner").1, pinned.1);
+        let reports = runner.run(&[pts[0].clone()], || Box::new(HeuristicUser::default()));
+        assert!(!reports[0].is_failed());
+        #[allow(deprecated)]
+        let slice_runner = BatchRunner::from_slice(&pts, config());
+        assert_eq!(slice_runner.dataset_epoch(), None);
     }
 
     // Fault drills that must install a *global* plan (the points fire on

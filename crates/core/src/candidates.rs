@@ -18,8 +18,16 @@
 use crate::degrade::{DegradationEvent, DegradationKind};
 use crate::error::HinnError;
 use hinn_baselines::{knn_indices_with, Metric, VaFile};
+use hinn_cache::DatasetArtifacts;
+use hinn_data::EpochSnapshot;
 use hinn_index::{Hnsw, HnswParams};
 use hinn_par::Parallelism;
+use std::sync::Arc;
+
+/// Tombstone fraction (deleted / appended) beyond which the epoch HNSW
+/// seed abandons the incremental append-only graph — whose searches must
+/// over-fetch past tombstones — and rebuilds over the dense alive rows.
+pub(crate) const REBUILD_TOMBSTONE_FRACTION: f64 = 0.3;
 
 /// How a session seeds its initial candidate (alive) set. See the module
 /// docs; configured via
@@ -186,6 +194,115 @@ impl CandidateSource {
             }
         }
     }
+
+    /// [`CandidateSource::seed_alive`] for a session opened over an
+    /// [`EpochSnapshot`]: `rows` is the snapshot's dense alive view (the
+    /// engine's id space), and the HNSW source reuses the epoch's
+    /// append-only graph lineage instead of hashing the rows.
+    ///
+    /// The graph is keyed by the snapshot's *append* fingerprint chain, so
+    /// epochs that differ only by deletes share one graph and each append
+    /// batch extends the predecessor's graph in place of a rebuild
+    /// (bit-identical to a one-shot build — see `Hnsw::extended`).
+    /// Deletes filter at search time: the walk over-fetches by the
+    /// tombstone count and drops tombstoned ids; past
+    /// [`REBUILD_TOMBSTONE_FRACTION`] the seed rebuilds over the dense
+    /// alive rows, keyed by the full chained fingerprint.
+    pub(crate) fn seed_alive_epoch(
+        &self,
+        par: Parallelism,
+        snap: &EpochSnapshot,
+        rows: &[Vec<f64>],
+        query: &[f64],
+        s_eff: usize,
+    ) -> (Vec<usize>, Option<DegradationEvent>) {
+        let Self::Hnsw { params, budget } = self else {
+            // Exact sources scan the dense alive rows directly — dense
+            // indices *are* the engine's point ids under an epoch store.
+            return self.seed_alive(par, rows, query, s_eff);
+        };
+        let n = rows.len();
+        let budget = (*budget).max(s_eff).min(n);
+        let mut ids = Self::epoch_hnsw_ids(snap, *params, rows, query, budget);
+        let floor = s_eff.max(2).min(n);
+        let event = (ids.len() < floor).then(|| {
+            let detail = format!(
+                "candidate source {:?} returned {} of {} requested ids \
+                 (< effective support {}); reseeded via exact linear scan",
+                self,
+                ids.len(),
+                budget,
+                floor,
+            );
+            ids = Self::Linear { budget }.top_k(par, rows, query, budget);
+            DegradationEvent::unplaced(DegradationKind::StarvedSeed, detail)
+        });
+        ids.sort_unstable();
+        (ids, event)
+    }
+
+    /// The epoch HNSW walk: top-`budget` *dense* (alive) indices.
+    fn epoch_hnsw_ids(
+        snap: &EpochSnapshot,
+        params: HnswParams,
+        rows: &[Vec<f64>],
+        query: &[f64],
+        budget: usize,
+    ) -> Vec<usize> {
+        let appended = snap.appended_len();
+        if appended == 0 {
+            return Vec::new();
+        }
+        // Same canonicalization as `Hnsw::shared`: every `ef_search`
+        // variant maps to one artifact slot, and the session's width
+        // travels with the query.
+        let canon = HnswParams {
+            ef_search: HnswParams::default().ef_search,
+            ..params
+        };
+        let dead = snap.tombstone_count();
+        if dead as f64 > REBUILD_TOMBSTONE_FRACTION * appended as f64 {
+            // Heavily tombstoned: rebuild over the dense alive rows, keyed
+            // by the full chained fingerprint (appends *and* deletes), so
+            // the graph itself carries no tombstones.
+            let arts =
+                DatasetArtifacts::for_fingerprint(snap.fingerprint(), rows.len(), snap.dim());
+            let graph = arts
+                .store()
+                .get_or_insert("index.hnsw", canon.key(), || {
+                    Hnsw::build(rows.to_vec(), canon)
+                })
+                .unwrap_or_else(|| Arc::new(Hnsw::build(rows.to_vec(), canon)));
+            return graph.knn_with_ef(query, budget, params.ef_search);
+        }
+        // Incremental path: one graph over all appended rows, extended
+        // from the predecessor epoch's graph when the registry still holds
+        // it (a pure optimization — the extension is bit-identical to the
+        // fallback one-shot build, so cache residency never changes ids).
+        let all = snap.all_rows();
+        let arts =
+            DatasetArtifacts::for_fingerprint(snap.append_fingerprint(), appended, snap.dim());
+        let graph = arts
+            .store()
+            .get_or_insert("index.hnsw", canon.key(), || {
+                snap.prev_append_fingerprint()
+                    .and_then(DatasetArtifacts::lookup)
+                    .and_then(|prev| prev.store().get::<Hnsw>("index.hnsw", canon.key()))
+                    .map(|prev_graph| prev_graph.extended(&all))
+                    .unwrap_or_else(|| Hnsw::build(all.as_ref().clone(), canon))
+            })
+            .unwrap_or_else(|| Arc::new(Hnsw::build(all.as_ref().clone(), canon)));
+        // Over-fetch by the tombstone count so the post-filter can still
+        // deliver `budget` alive ids, then map global ids to dense ones
+        // (`dense_index_of` is `None` exactly for tombstoned ids).
+        let want = budget.saturating_add(dead).min(appended);
+        graph
+            .knn_with_ef(query, want, params.ef_search)
+            .into_iter()
+            .filter_map(|gid| snap.dense_index_of(gid))
+            .take(budget)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -308,5 +425,96 @@ mod tests {
         let event = event.expect("a starved seed must be observable");
         assert_eq!(event.kind, DegradationKind::StarvedSeed);
         assert!(event.detail.contains("linear"), "{}", event.detail);
+    }
+
+    #[test]
+    fn epoch_hnsw_seed_is_chunking_invariant_and_filters_tombstones() {
+        use hinn_data::DatasetHandle;
+        let pts = cloud(300, 6, 0x66);
+        let q = pts[3].clone();
+        let src = CandidateSource::hnsw(40);
+        let par = Parallelism::serial();
+
+        let batched = DatasetHandle::new(&pts).expect("clean rows");
+        let chunked = DatasetHandle::empty(6).expect("dim");
+        chunked.append(&pts[..100]).expect("chunk 1");
+        chunked.append(&pts[100..101]).expect("chunk 2");
+        chunked.append(&pts[101..]).expect("chunk 3");
+
+        let (snap_b, snap_c) = (batched.snapshot(), chunked.snapshot());
+        let (rows_b, rows_c) = (snap_b.rows(), snap_c.rows());
+        let (a, ea) = src.seed_alive_epoch(par, &snap_b, &rows_b, &q, 20);
+        let (b, eb) = src.seed_alive_epoch(par, &snap_c, &rows_c, &q, 20);
+        assert_eq!(a, b, "chunked ingest must seed identically to batched");
+        assert_eq!(a.len(), 40);
+        assert!(ea.is_none() && eb.is_none());
+
+        // Delete five seeded points (dense == global pre-delete) from both
+        // handles: the walk must over-fetch past the tombstones and the
+        // two lineages must still agree.
+        let victims: Vec<usize> = a.iter().take(5).copied().collect();
+        batched.delete(&victims).expect("known ids");
+        chunked.delete(&victims).expect("known ids");
+        let (snap_b, snap_c) = (batched.snapshot(), chunked.snapshot());
+        let (rows_b, rows_c) = (snap_b.rows(), snap_c.rows());
+        let (a2, _) = src.seed_alive_epoch(par, &snap_b, &rows_b, &q, 20);
+        let (b2, _) = src.seed_alive_epoch(par, &snap_c, &rows_c, &q, 20);
+        assert_eq!(a2, b2);
+        assert_eq!(a2.len(), 40, "tombstones must not starve the seed");
+        let alive_ids = snap_b.alive_ids();
+        for &dense in &a2 {
+            assert!(
+                !victims.contains(&alive_ids[dense]),
+                "tombstoned id leaked into the seed"
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_hnsw_seed_rebuilds_past_the_tombstone_threshold() {
+        use hinn_data::DatasetHandle;
+        let pts = cloud(200, 5, 0x77);
+        let q = pts[2].clone();
+        let handle = DatasetHandle::new(&pts).expect("clean rows");
+        // Tombstone 40% of the appended rows — past the 30% threshold the
+        // seed must take the dense-rebuild path and stay deterministic.
+        let victims: Vec<usize> = (100..180).collect();
+        handle.delete(&victims).expect("known ids");
+        let snap = handle.snapshot();
+        let rows = snap.rows();
+        assert!(
+            snap.tombstone_count() as f64 > REBUILD_TOMBSTONE_FRACTION * snap.appended_len() as f64
+        );
+        let src = CandidateSource::hnsw(30);
+        let (a, ea) = src.seed_alive_epoch(Parallelism::serial(), &snap, &rows, &q, 15);
+        let (b, _) = src.seed_alive_epoch(Parallelism::fixed(4), &snap, &rows, &q, 15);
+        assert_eq!(a, b, "rebuilt seed must ignore the thread budget");
+        assert_eq!(a.len(), 30);
+        assert!(ea.is_none());
+        assert!(a.iter().all(|&i| i < rows.len()), "dense ids only");
+    }
+
+    #[test]
+    fn epoch_exact_sources_match_the_dense_slice_path() {
+        use hinn_data::DatasetHandle;
+        let pts = cloud(120, 4, 0x88);
+        let q = pts[0].clone();
+        let handle = DatasetHandle::new(&pts).expect("clean rows");
+        handle.delete(&[7, 8, 9]).expect("known ids");
+        let snap = handle.snapshot();
+        let rows = snap.rows();
+        let par = Parallelism::serial();
+        for src in [
+            CandidateSource::Full,
+            CandidateSource::Linear { budget: 25 },
+            CandidateSource::VaFile {
+                bits: 4,
+                budget: 25,
+            },
+        ] {
+            let (epoch_seed, _) = src.seed_alive_epoch(par, &snap, &rows, &q, 10);
+            let (slice_seed, _) = src.seed_alive(par, &rows, &q, 10);
+            assert_eq!(epoch_seed, slice_seed, "{src:?}");
+        }
     }
 }

@@ -54,6 +54,7 @@ use crate::search::SearchOutcome;
 use crate::snapshot::{self, EngineState, SessionSnapshot};
 use crate::transcript::{MajorRecord, MinorPhases, MinorRecord, Transcript};
 use hinn_cache::{Fingerprint, Fnv128};
+use hinn_data::{DatasetHandle, EpochSnapshot};
 use hinn_kde::{ProfileNotes, VisualProfile};
 use hinn_linalg::Subspace;
 use hinn_metrics::drop::DropConfig;
@@ -116,17 +117,41 @@ impl ViewRequest {
 
 /// The data set a session runs against: borrowed for the classic
 /// run-to-completion drivers, `Arc`-shared for suspended serving sessions
-/// that must outlive any caller frame.
+/// that must outlive any caller frame, or pinned to one immutable
+/// [`EpochSnapshot`] of a streaming [`DatasetHandle`] — the primary form
+/// since the epoch redesign. An epoch store carries the snapshot (for its
+/// chained fingerprint, tombstones, and incremental index lineage) plus
+/// its materialized dense alive rows, which every engine internal
+/// operates on: point id `i` is dense index `i` of the pinned epoch.
 pub(crate) enum PointStore<'a> {
     Borrowed(&'a [Vec<f64>]),
     Shared(Arc<Vec<Vec<f64>>>),
+    Epoch {
+        snap: Arc<EpochSnapshot>,
+        rows: Arc<Vec<Vec<f64>>>,
+    },
 }
 
 impl PointStore<'_> {
+    /// Pin `snap`, materializing its dense alive view once.
+    pub(crate) fn epoch(snap: Arc<EpochSnapshot>) -> PointStore<'static> {
+        let rows = snap.rows();
+        PointStore::Epoch { snap, rows }
+    }
+
     fn as_slice(&self) -> &[Vec<f64>] {
         match self {
             PointStore::Borrowed(p) => p,
             PointStore::Shared(p) => p.as_slice(),
+            PointStore::Epoch { rows, .. } => rows.as_slice(),
+        }
+    }
+
+    /// The pinned epoch snapshot, if this is an epoch store.
+    fn epoch_snapshot(&self) -> Option<&Arc<EpochSnapshot>> {
+        match self {
+            PointStore::Epoch { snap, .. } => Some(snap),
+            _ => None,
         }
     }
 }
@@ -186,6 +211,11 @@ pub struct SessionEngine<'a> {
     s_eff: usize,
     n_minors: usize,
     dataset_fp: Option<Fingerprint>,
+    /// `(epoch counter, chained fingerprint)` pinned at open for epoch
+    /// sessions; `None` for slice/shared stores. Travels through
+    /// snapshots (`x-epoch`) and enforces the typed consistency rule:
+    /// resuming against any other epoch is [`HinnError::EpochMismatch`].
+    epoch: Option<(u64, Fingerprint)>,
     /// Compute time accumulated across segments (tracked only when a
     /// deadline is configured; the default path stays clock-free).
     pub(crate) spent: Duration,
@@ -205,9 +235,67 @@ pub struct SessionEngine<'a> {
 }
 
 impl<'a> SessionEngine<'a> {
-    /// Start a session over borrowed `points` with its own fresh cache.
-    /// Returns the engine together with its first [`Step`].
+    /// Start a session over `data`, pinning its current epoch, with a
+    /// fresh cache. Returns the engine together with its first [`Step`].
+    ///
+    /// The session runs against the pinned [`EpochSnapshot`] for its whole
+    /// life: concurrent `append`/`delete` on the handle never perturb it,
+    /// and resuming one of its snapshots against a moved handle is a typed
+    /// [`HinnError::EpochMismatch`] (see [`SessionEngine::resume`]).
     pub fn start(
+        config: SearchConfig,
+        data: &DatasetHandle,
+        query: &[f64],
+    ) -> Result<(OwnedSessionEngine, Step), HinnError> {
+        Self::start_at(config, data.snapshot(), query)
+    }
+
+    /// [`SessionEngine::start`] pinned to an explicit epoch snapshot
+    /// (e.g. one retained before further ingestion).
+    pub fn start_at(
+        config: SearchConfig,
+        snap: Arc<EpochSnapshot>,
+        query: &[f64],
+    ) -> Result<(OwnedSessionEngine, Step), HinnError> {
+        config.try_validate()?;
+        let cache = Arc::new(SessionCache::new(config.cache));
+        SessionEngine::start_inner(
+            config,
+            DropConfig::default(),
+            cache,
+            PointStore::epoch(snap),
+            query,
+        )
+    }
+
+    /// [`SessionEngine::start_at`] in the serving form: a shared cache,
+    /// so sessions pinned to the same epoch reuse each other's artifacts.
+    pub fn start_at_shared(
+        config: SearchConfig,
+        snap: Arc<EpochSnapshot>,
+        query: &[f64],
+        cache: Arc<SessionCache>,
+    ) -> Result<(OwnedSessionEngine, Step), HinnError> {
+        config.try_validate()?;
+        SessionEngine::start_inner(
+            config,
+            DropConfig::default(),
+            cache,
+            PointStore::epoch(snap),
+            query,
+        )
+    }
+
+    /// Start a session over borrowed `points` with its own fresh cache —
+    /// the pre-epoch one-shot form, kept as a shim: it behaves exactly as
+    /// the old `start` did (content fingerprint by full hash, no epoch
+    /// pin). New code should build a [`DatasetHandle`] and use
+    /// [`SessionEngine::start`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SessionEngine::start with a DatasetHandle (or start_at with an EpochSnapshot)"
+    )]
+    pub fn start_slice(
         config: SearchConfig,
         points: &'a [Vec<f64>],
         query: &[f64],
@@ -223,9 +311,14 @@ impl<'a> SessionEngine<'a> {
         )
     }
 
-    /// Start a session that *shares* its data set and cache — the serving
-    /// form: the engine is `'static` and can be suspended in a session
-    /// table while other sessions of the same data set reuse the cache.
+    /// Start a session that *shares* its data set and cache — the
+    /// pre-epoch serving form: the engine is `'static` and can be
+    /// suspended in a session table while other sessions of the same data
+    /// set reuse the cache.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SessionEngine::start_at_shared with an EpochSnapshot"
+    )]
     pub fn start_shared(
         config: SearchConfig,
         points: Arc<Vec<Vec<f64>>>,
@@ -268,19 +361,37 @@ impl<'a> SessionEngine<'a> {
             hinn_obs::gauge("search.threads", config.parallelism.threads() as f64);
         }
         // Content fingerprint for the session caches, skipped entirely
-        // when every cache is off so that path stays hash-free.
-        let dataset_fp = (!cache.is_disabled()).then(|| Fingerprint::of_points(pts));
+        // when every cache is off so that path stays hash-free. An epoch
+        // store already carries its chained fingerprint — O(1) instead of
+        // the O(n·d) full hash.
+        let dataset_fp = (!cache.is_disabled()).then(|| match points.epoch_snapshot() {
+            Some(snap) => snap.fingerprint(),
+            None => Fingerprint::of_points(pts),
+        });
+        // The epoch pin is independent of cache policy: the consistency
+        // rule must hold even for cache-disabled sessions.
+        let epoch = points
+            .epoch_snapshot()
+            .map(|snap| (snap.epoch(), snap.fingerprint()));
         // Seed the candidate set: the full id range under the default
         // source (bit-for-bit the pre-candidate-source behavior), else the
         // source's top-`budget` ids. Runs before the first view so the
         // whole session — ranking, pruning, termination — operates on the
         // seeded subset. An approximate source that under-delivers (e.g.
         // HNSW over a heavily poisoned dataset) is replaced by the exact
-        // linear seed and leaves a starved-seed rung in the log.
-        let (alive, seed_event) =
-            config
+        // linear seed and leaves a starved-seed rung in the log. Epoch
+        // stores route through the epoch-aware seeder, which reuses the
+        // snapshot's append-only graph lineage and filters tombstones.
+        let (alive, seed_event) = match points.epoch_snapshot() {
+            Some(snap) => {
+                config
+                    .candidates
+                    .seed_alive_epoch(config.parallelism, snap, pts, query, s_eff)
+            }
+            None => config
                 .candidates
-                .seed_alive(config.parallelism, pts, query, s_eff);
+                .seed_alive(config.parallelism, pts, query, s_eff),
+        };
         drop(seed_span);
         drop(session_span);
         let mut engine = SessionEngine {
@@ -294,6 +405,7 @@ impl<'a> SessionEngine<'a> {
             s_eff,
             n_minors,
             dataset_fp,
+            epoch,
             spent: Duration::ZERO,
             alive,
             p_sum: vec![0.0; n],
@@ -390,6 +502,12 @@ impl<'a> SessionEngine<'a> {
         &self.cache
     }
 
+    /// The `(epoch counter, chained fingerprint)` this session pinned at
+    /// open — `None` for sessions over plain slices or shared vectors.
+    pub fn dataset_epoch(&self) -> Option<(u64, Fingerprint)> {
+        self.epoch
+    }
+
     /// Serialize the suspended session to a [`SessionSnapshot`] (see
     /// [`crate::snapshot`] for the format and what it guarantees). The
     /// pending view is *not* serialized — resume recomputes it, and
@@ -425,6 +543,7 @@ impl<'a> SessionEngine<'a> {
             config_fp: config_fingerprint(&self.config),
             query: self.query.clone(),
             dataset_fp: self.dataset_fp,
+            epoch: self.epoch,
             spent_ns: self.spent.as_nanos() as u64,
             major: self.major,
             minor: cur.minor,
@@ -447,14 +566,202 @@ impl<'a> SessionEngine<'a> {
         Ok(snapshot::render(&state))
     }
 
-    /// Resume a snapshotted session over borrowed `points` with a fresh
-    /// cache. Returns the engine re-suspended at the same view it was
-    /// snapshotted at (recomputed, bit-identically).
+    /// Resume a snapshotted session against `data`'s *current* epoch with
+    /// a fresh cache. Returns the engine re-suspended at the same view it
+    /// was snapshotted at (recomputed, bit-identically).
+    ///
+    /// The typed consistency rule: if the handle has moved past the epoch
+    /// the session pinned at open — any `append` or `delete` since — this
+    /// is [`HinnError::EpochMismatch`], never a silent resume against
+    /// moved data. Callers either resume onto the pinned snapshot they
+    /// retained ([`SessionEngine::resume_at`]) or opt into an explicit
+    /// remap with [`SessionEngine::resume_rebased`].
     ///
     /// `config` must match the loop-relevant knobs of the session that was
     /// snapshotted (guarded by a fingerprint); thread budget, cache
     /// policy, and deadline may differ — none of them change results.
     pub fn resume(
+        config: SearchConfig,
+        data: &DatasetHandle,
+        snapshot: &SessionSnapshot,
+    ) -> Result<(OwnedSessionEngine, Step), HinnError> {
+        Self::resume_at(config, data.snapshot(), snapshot)
+    }
+
+    /// [`SessionEngine::resume`] against an explicit epoch snapshot —
+    /// normally the one the session pinned at open.
+    pub fn resume_at(
+        config: SearchConfig,
+        snap: Arc<EpochSnapshot>,
+        snapshot: &SessionSnapshot,
+    ) -> Result<(OwnedSessionEngine, Step), HinnError> {
+        config.try_validate()?;
+        let cache = Arc::new(SessionCache::new(config.cache));
+        SessionEngine::resume_inner(
+            config,
+            DropConfig::default(),
+            cache,
+            PointStore::epoch(snap),
+            snapshot,
+        )
+    }
+
+    /// [`SessionEngine::resume_at`] in the serving form: shared cache,
+    /// `'static` engine (see [`SessionEngine::start_at_shared`]).
+    pub fn resume_at_shared(
+        config: SearchConfig,
+        snap: Arc<EpochSnapshot>,
+        snapshot: &SessionSnapshot,
+        cache: Arc<SessionCache>,
+    ) -> Result<(OwnedSessionEngine, Step), HinnError> {
+        config.try_validate()?;
+        SessionEngine::resume_inner(
+            config,
+            DropConfig::default(),
+            cache,
+            PointStore::epoch(snap),
+            snapshot,
+        )
+    }
+
+    /// Explicitly rebase a snapshotted epoch session onto a *newer* epoch
+    /// of the same handle — the opt-in escape hatch from
+    /// [`HinnError::EpochMismatch`].
+    ///
+    /// `from` must be the epoch the session pinned at open (fingerprint
+    /// checked); `onto` must be a later snapshot of the same handle's
+    /// lineage. The session's per-point state is remapped by *global* row
+    /// id: rows deleted since the pin drop out of the alive set,
+    /// probability mass, and preference counts; rows appended since join
+    /// with zero mass (they compete from the next major iteration on).
+    /// The rebase is therefore *not* bit-identical to having run on
+    /// `onto` from the start — it is an explicit, documented
+    /// approximation, which is why it never happens implicitly.
+    ///
+    /// # Errors
+    /// [`HinnError::EpochMismatch`] when `from` is not the pinned epoch;
+    /// [`HinnError::InvalidInput`] when the snapshot carries no epoch pin,
+    /// the shapes are incompatible, or fewer than two of the session's
+    /// alive points survive on `onto`.
+    pub fn resume_rebased(
+        config: SearchConfig,
+        from: Arc<EpochSnapshot>,
+        onto: Arc<EpochSnapshot>,
+        snapshot: &SessionSnapshot,
+    ) -> Result<(OwnedSessionEngine, Step), HinnError> {
+        config.try_validate()?;
+        let cache = Arc::new(SessionCache::new(config.cache));
+        Self::resume_rebased_shared(config, from, onto, snapshot, cache)
+    }
+
+    /// [`SessionEngine::resume_rebased`] with a shared cache (the serving
+    /// form).
+    pub fn resume_rebased_shared(
+        config: SearchConfig,
+        from: Arc<EpochSnapshot>,
+        onto: Arc<EpochSnapshot>,
+        snapshot: &SessionSnapshot,
+        cache: Arc<SessionCache>,
+    ) -> Result<(OwnedSessionEngine, Step), HinnError> {
+        let rebase_err = |message: String| HinnError::InvalidInput {
+            phase: "session.rebase",
+            message: format!("SessionEngine::resume_rebased: {message}"),
+        };
+        config.try_validate()?;
+        let state = snapshot::parse(snapshot).map_err(&rebase_err)?;
+        let Some((pinned_num, pinned_fp)) = state.epoch else {
+            return Err(rebase_err(
+                "snapshot carries no epoch pin; only epoch sessions can be rebased".into(),
+            ));
+        };
+        if pinned_fp != from.fingerprint() {
+            return Err(HinnError::EpochMismatch {
+                pinned: pinned_num,
+                offered: from.epoch(),
+            });
+        }
+        if onto.dim() != from.dim() {
+            return Err(rebase_err(format!(
+                "target epoch dimensionality {} differs from the pinned epoch's {}",
+                onto.dim(),
+                from.dim()
+            )));
+        }
+        if onto.appended_len() < from.appended_len() {
+            return Err(rebase_err(
+                "target epoch is not a descendant of the pinned epoch \
+                 (fewer rows were ever appended)"
+                    .into(),
+            ));
+        }
+        // Remap dense indices through global row ids: pinned-dense →
+        // global → target-dense. `dense_index_of` is `None` exactly for
+        // rows deleted since the pin.
+        let from_ids = from.alive_ids();
+        let remap = |dense: usize| -> Option<usize> {
+            from_ids
+                .get(dense)
+                .and_then(|&gid| onto.dense_index_of(gid))
+        };
+        let alive: Vec<usize> = state.alive.iter().filter_map(|&i| remap(i)).collect();
+        if alive.len() < 2 {
+            return Err(rebase_err(
+                "fewer than two of the session's alive points survive on the target epoch".into(),
+            ));
+        }
+        let n_new = onto.len();
+        let mut p_sum = vec![0.0; n_new];
+        let mut counts_v = vec![0.0; n_new];
+        for (old_dense, (&p, &c)) in state.p_sum.iter().zip(&state.counts_v).enumerate() {
+            if let Some(new_dense) = remap(old_dense) {
+                p_sum[new_dense] = p;
+                counts_v[new_dense] = c;
+            }
+        }
+        let prev_top = state
+            .prev_top
+            .as_ref()
+            .map(|top| top.iter().filter_map(|&i| remap(i)).collect());
+        let rebased = EngineState {
+            n: n_new,
+            d: state.d,
+            config_fp: state.config_fp,
+            query: state.query,
+            dataset_fp: Some(onto.fingerprint()),
+            epoch: Some((onto.epoch(), onto.fingerprint())),
+            spent_ns: state.spent_ns,
+            major: state.major,
+            minor: state.minor,
+            majors_run: state.majors_run,
+            stopped: state.stopped,
+            alive,
+            p_sum,
+            prev_top,
+            counts_v,
+            counts_picks: state.counts_picks,
+            ec: state.ec,
+            major_n_before: state.major_n_before,
+            major_minors: state.major_minors,
+            transcript_majors: state.transcript_majors,
+            degradations: state.degradations,
+        };
+        let rebased_snapshot = snapshot::render(&rebased);
+        SessionEngine::resume_inner(
+            config,
+            DropConfig::default(),
+            cache,
+            PointStore::epoch(onto),
+            &rebased_snapshot,
+        )
+    }
+
+    /// Resume a snapshotted session over borrowed `points` with a fresh
+    /// cache — the pre-epoch shim matching [`SessionEngine::start_slice`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SessionEngine::resume with a DatasetHandle (or resume_at with an EpochSnapshot)"
+    )]
+    pub fn resume_slice(
         config: SearchConfig,
         points: &'a [Vec<f64>],
         snapshot: &SessionSnapshot,
@@ -470,8 +777,12 @@ impl<'a> SessionEngine<'a> {
         )
     }
 
-    /// [`SessionEngine::resume`] in the serving form: shared data set and
-    /// cache, `'static` engine (see [`SessionEngine::start_shared`]).
+    /// The pre-epoch serving resume: shared data set and cache, `'static`
+    /// engine (see [`SessionEngine::start_shared`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SessionEngine::resume_at_shared with an EpochSnapshot"
+    )]
     pub fn resume_shared(
         config: SearchConfig,
         points: Arc<Vec<Vec<f64>>>,
@@ -501,6 +812,26 @@ impl<'a> SessionEngine<'a> {
         };
         let state = snapshot::parse(snap).map_err(&resume_err)?;
         validate_inputs(points.as_slice(), &state.query)?;
+        // Epoch consistency is checked before shape: a handle that moved
+        // past the pinned epoch usually changes n as well, and the typed
+        // refusal must win over a bare shape error.
+        match (points.epoch_snapshot(), state.epoch) {
+            (Some(snap_now), Some((pinned_num, pinned_fp)))
+                if pinned_fp != snap_now.fingerprint() =>
+            {
+                return Err(HinnError::EpochMismatch {
+                    pinned: pinned_num,
+                    offered: snap_now.epoch(),
+                });
+            }
+            (None, Some((pinned, _))) => {
+                return Err(resume_err(format!(
+                    "snapshot pinned dataset epoch {pinned}; resume it over an epoch \
+                     snapshot (SessionEngine::resume / resume_at) or rebase explicitly"
+                )));
+            }
+            _ => {}
+        }
         let pts = points.as_slice();
         let n = pts.len();
         let d = pts[0].len();
@@ -515,7 +846,13 @@ impl<'a> SessionEngine<'a> {
                 "configuration differs from the snapshotted session's".to_string(),
             ));
         }
-        let dataset_fp = (!cache.is_disabled()).then(|| Fingerprint::of_points(pts));
+        let dataset_fp = (!cache.is_disabled()).then(|| match points.epoch_snapshot() {
+            // The chained epoch fingerprint is O(1) and already covers
+            // content; re-hashing the dense rows would key caches
+            // differently from the open path.
+            Some(s) => s.fingerprint(),
+            None => Fingerprint::of_points(pts),
+        });
         if let (Some(now), Some(then)) = (dataset_fp, state.dataset_fp) {
             if now != then {
                 return Err(resume_err(
@@ -555,6 +892,7 @@ impl<'a> SessionEngine<'a> {
             s_eff,
             n_minors,
             dataset_fp,
+            epoch: state.epoch,
             spent: spent_at_snapshot,
             alive: state.alive,
             p_sum: state.p_sum,
@@ -1116,6 +1454,7 @@ pub(crate) fn rank_neighbors(
 mod tests {
     use super::*;
     use crate::config::ProjectionMode;
+    use hinn_data::EpochError;
     use hinn_user::{HeuristicUser, UserModel};
 
     fn planted() -> (Vec<Vec<f64>>, Vec<f64>) {
@@ -1146,6 +1485,10 @@ mod tests {
             .with_mode(ProjectionMode::AxisParallel)
     }
 
+    fn handle(pts: &[Vec<f64>]) -> DatasetHandle {
+        DatasetHandle::new(pts).expect("epoch handle")
+    }
+
     /// Drive an engine to completion with a user model (the inverted
     /// control flow done by hand).
     fn drive_to_done(
@@ -1167,12 +1510,13 @@ mod tests {
     #[test]
     fn engine_matches_callback_loop_bit_for_bit() {
         let (pts, q) = planted();
+        let dh = handle(&pts);
         let mut user = HeuristicUser::default();
         let callback = crate::InteractiveSearch::new(config())
-            .run_with(&pts, &q, &mut user, crate::search::RunOptions::default())
+            .run_with(&dh, &q, &mut user, crate::search::RunOptions::default())
             .expect("callback loop")
             .outcome;
-        let (engine, step) = SessionEngine::start(config(), &pts, &q).expect("start");
+        let (engine, step) = SessionEngine::start(config(), &dh, &q).expect("start");
         let outcome = drive_to_done(engine, step, &mut HeuristicUser::default());
         assert_eq!(outcome.neighbors, callback.neighbors);
         assert_eq!(outcome.majors_run, callback.majors_run);
@@ -1184,7 +1528,7 @@ mod tests {
     #[test]
     fn submit_after_done_is_a_typed_error() {
         let (pts, q) = planted();
-        let (mut engine, step) = SessionEngine::start(config(), &pts, &q).expect("start");
+        let (mut engine, step) = SessionEngine::start(config(), &handle(&pts), &q).expect("start");
         let mut step = step;
         loop {
             match step {
@@ -1204,11 +1548,20 @@ mod tests {
 
     #[test]
     fn start_validates_inputs_like_the_legacy_loop() {
-        let err = SessionEngine::start(SearchConfig::default(), &[], &[0.0, 0.0])
+        let empty = DatasetHandle::empty(2).expect("empty handle");
+        let err = SessionEngine::start(SearchConfig::default(), &empty, &[0.0, 0.0])
             .err()
             .expect("empty data");
         assert!(err.to_string().contains("empty data set"));
-        let err = SessionEngine::start(
+        // Ragged rows never reach an epoch engine: the handle refuses
+        // them at append time.
+        assert!(matches!(
+            DatasetHandle::new(&[vec![0.0, 0.0], vec![1.0, 1.0, 2.0]]),
+            Err(EpochError::DimMismatch { .. })
+        ));
+        // The deprecated slice shim still validates like the legacy loop.
+        #[allow(deprecated)]
+        let err = SessionEngine::start_slice(
             SearchConfig::default(),
             &[vec![0.0, 0.0], vec![1.0, 1.0, 2.0]],
             &[0.0, 0.0],
@@ -1221,7 +1574,7 @@ mod tests {
     #[test]
     fn pending_view_and_cursor_expose_the_suspension() {
         let (pts, q) = planted();
-        let (engine, step) = SessionEngine::start(config(), &pts, &q).expect("start");
+        let (engine, step) = SessionEngine::start(config(), &handle(&pts), &q).expect("start");
         let view = step.view().expect("first view");
         assert_eq!(view.context().major, 0);
         assert_eq!(view.context().minor, 0);
@@ -1237,14 +1590,15 @@ mod tests {
     #[test]
     fn snapshot_resume_midway_is_bit_identical() {
         let (pts, q) = planted();
+        let dh = handle(&pts);
         // Uninterrupted reference run.
-        let (engine, step) = SessionEngine::start(config(), &pts, &q).expect("start");
+        let (engine, step) = SessionEngine::start(config(), &dh, &q).expect("start");
         let reference = drive_to_done(engine, step, &mut HeuristicUser::default());
 
         // Same session, suspended after 3 responses, serialized, resumed
         // in a fresh engine, finished.
         let mut user = HeuristicUser::default();
-        let (mut engine, mut step) = SessionEngine::start(config(), &pts, &q).expect("start");
+        let (mut engine, mut step) = SessionEngine::start(config(), &dh, &q).expect("start");
         for _ in 0..3 {
             let req = step.view().expect("view available").clone();
             let r = user.respond(req.profile(), req.context());
@@ -1252,7 +1606,7 @@ mod tests {
         }
         let snap = engine.snapshot().expect("suspended engine snapshots");
         drop(engine);
-        let (resumed, step2) = SessionEngine::resume(config(), &pts, &snap).expect("resume");
+        let (resumed, step2) = SessionEngine::resume(config(), &dh, &snap).expect("resume");
         // The recomputed pending view matches where we left off.
         assert_eq!(
             step2.view().expect("resumed at a view").context().minor,
@@ -1281,7 +1635,8 @@ mod tests {
             min_major_iterations: 1,
             ..config()
         };
-        let (engine, step) = SessionEngine::start(cfg.clone(), &pts, &q).expect("start");
+        let dh = handle(&pts);
+        let (engine, step) = SessionEngine::start(cfg.clone(), &dh, &q).expect("start");
         let reference = drive_to_done(engine, step, &mut HeuristicUser::default());
         assert!(
             !reference.transcript.degradations.is_empty(),
@@ -1293,10 +1648,10 @@ mod tests {
         // that view's degradation events; they must not also come back in
         // via the snapshot.
         let mut user = HeuristicUser::default();
-        let (mut engine, mut step) = SessionEngine::start(cfg.clone(), &pts, &q).expect("start");
+        let (mut engine, mut step) = SessionEngine::start(cfg.clone(), &dh, &q).expect("start");
         while let Step::NeedResponse(req) = step {
             let snap = engine.snapshot().expect("snapshot");
-            let (resumed, _) = SessionEngine::resume(cfg.clone(), &pts, &snap).expect("resume");
+            let (resumed, _) = SessionEngine::resume(cfg.clone(), &dh, &snap).expect("resume");
             engine = resumed;
             let r = user.respond(req.profile(), req.context());
             step = engine.submit(r).expect("submit");
@@ -1328,7 +1683,8 @@ mod tests {
             deadline: Some(Duration::from_secs(3600)),
             ..config()
         };
-        let (mut engine, step) = SessionEngine::start(cfg.clone(), &pts, &q).expect("start");
+        let dh = handle(&pts);
+        let (mut engine, step) = SessionEngine::start(cfg.clone(), &dh, &q).expect("start");
         let mut user = HeuristicUser::default();
         let req = step.view().expect("view").clone();
         let r = user.respond(req.profile(), req.context());
@@ -1340,7 +1696,7 @@ mod tests {
         // pressure alone could drain a served session's budget.
         let mut snap = engine.snapshot().expect("snapshot");
         for _ in 0..3 {
-            let (resumed, _step) = SessionEngine::resume(cfg.clone(), &pts, &snap).expect("resume");
+            let (resumed, _step) = SessionEngine::resume(cfg.clone(), &dh, &snap).expect("resume");
             assert_eq!(
                 resumed.spent_compute(),
                 spent,
@@ -1353,22 +1709,34 @@ mod tests {
     #[test]
     fn resume_rejects_mismatched_config_and_data() {
         let (pts, q) = planted();
-        let (engine, _step) = SessionEngine::start(config(), &pts, &q).expect("start");
+        let dh = handle(&pts);
+        let (engine, _step) = SessionEngine::start(config(), &dh, &q).expect("start");
         let snap = engine.snapshot().expect("snapshot");
         // Different loop-relevant knob → fingerprint mismatch.
-        let err = SessionEngine::resume(config().with_support(31), &pts, &snap)
+        let err = SessionEngine::resume(config().with_support(31), &dh, &snap)
             .err()
             .expect("different support");
         assert!(err.to_string().contains("configuration differs"), "{err}");
-        // Different data content → dataset fingerprint mismatch.
+        // A handle with different content is a different epoch chain: the
+        // typed epoch refusal fires before any content or shape check.
         let mut other = pts.clone();
         other[0][0] += 1.0;
-        let err = SessionEngine::resume(config(), &other, &snap)
+        let err = SessionEngine::resume(config(), &handle(&other), &snap)
             .err()
             .expect("different data");
-        assert!(err.to_string().contains("content differs"), "{err}");
-        // Different shape.
-        let err = SessionEngine::resume(config(), &pts[..100], &snap)
+        assert!(matches!(err, HinnError::EpochMismatch { .. }), "{err}");
+        // An epoch-pinned snapshot refuses to resume over a bare slice.
+        #[allow(deprecated)]
+        let err = SessionEngine::resume_slice(config(), &pts, &snap)
+            .err()
+            .expect("slice store");
+        assert!(err.to_string().contains("pinned dataset epoch"), "{err}");
+        // Slice sessions still get the legacy shape check.
+        #[allow(deprecated)]
+        let (engine, _step) = SessionEngine::start_slice(config(), &pts, &q).expect("start");
+        let snap = engine.snapshot().expect("snapshot");
+        #[allow(deprecated)]
+        let err = SessionEngine::resume_slice(config(), &pts[..100], &snap)
             .err()
             .expect("different shape");
         assert!(err.to_string().contains("shape"), "{err}");
@@ -1377,7 +1745,8 @@ mod tests {
     #[test]
     fn snapshot_requires_a_suspended_engine() {
         let (pts, q) = planted();
-        let (mut engine, mut step) = SessionEngine::start(config(), &pts, &q).expect("start");
+        let dh = handle(&pts);
+        let (mut engine, mut step) = SessionEngine::start(config(), &dh, &q).expect("start");
         let mut user = HeuristicUser::default();
         while let Step::NeedResponse(req) = step {
             let r = user.respond(req.profile(), req.context());
@@ -1390,7 +1759,7 @@ mod tests {
             record_profiles: true,
             ..config()
         };
-        let (engine, _step) = SessionEngine::start(cfg, &pts, &q).expect("start");
+        let (engine, _step) = SessionEngine::start(cfg, &dh, &q).expect("start");
         let err = engine.snapshot().expect_err("record_profiles");
         assert!(err.to_string().contains("record_profiles"), "{err}");
     }
@@ -1401,13 +1770,98 @@ mod tests {
         let (pts, q) = planted();
         let cache = Arc::new(SessionCache::new(hinn_cache::CachePolicy::default()));
         let (engine, step) =
-            SessionEngine::start_shared(config(), Arc::new(pts), &q, cache).expect("start");
+            SessionEngine::start_at_shared(config(), handle(&pts).snapshot(), &q, cache)
+                .expect("start");
         assert_send(&engine);
         // Move the suspended engine to another thread and finish there.
-        let handle = std::thread::spawn(move || {
+        let worker = std::thread::spawn(move || {
             let mut user = HeuristicUser::default();
             drive_to_done(engine, step, &mut user).majors_run
         });
-        assert!(handle.join().expect("thread") >= 1);
+        assert!(worker.join().expect("thread") >= 1);
+    }
+
+    #[test]
+    fn epoch_pin_is_visible_and_slice_sessions_have_none() {
+        let (pts, q) = planted();
+        let dh = handle(&pts);
+        let (engine, _step) = SessionEngine::start(config(), &dh, &q).expect("start");
+        assert_eq!(
+            engine.dataset_epoch(),
+            Some((dh.epoch(), dh.snapshot().fingerprint()))
+        );
+        #[allow(deprecated)]
+        let (engine, _step) = SessionEngine::start_slice(config(), &pts, &q).expect("start");
+        assert_eq!(engine.dataset_epoch(), None);
+    }
+
+    #[test]
+    fn resume_after_ingest_is_a_typed_epoch_mismatch() {
+        let (pts, q) = planted();
+        let dh = handle(&pts);
+        let pinned_snap = dh.snapshot();
+        let (engine, _step) = SessionEngine::start(config(), &dh, &q).expect("start");
+        let snap = engine.snapshot().expect("snapshot");
+        drop(engine);
+        // The handle moves on while the session is suspended.
+        dh.append(&[vec![1.0; 8], vec![2.0; 8]]).expect("append");
+        let err = SessionEngine::resume(config(), &dh, &snap)
+            .err()
+            .expect("moved epoch");
+        match err {
+            HinnError::EpochMismatch { pinned, offered } => {
+                assert_eq!(pinned, pinned_snap.epoch());
+                assert_eq!(offered, dh.epoch());
+            }
+            other => panic!("expected EpochMismatch, got {other}"),
+        }
+        // The retained pinned snapshot still resumes — the refusal is
+        // about the handle having moved, not about resumability.
+        let (resumed, _step) =
+            SessionEngine::resume_at(config(), pinned_snap, &snap).expect("resume at pin");
+        assert!(resumed.is_suspended());
+    }
+
+    #[test]
+    fn explicit_rebase_carries_a_session_onto_a_newer_epoch() {
+        let (pts, q) = planted();
+        let dh = handle(&pts);
+        let from = dh.snapshot();
+        let (mut engine, mut step) = SessionEngine::start(config(), &dh, &q).expect("start");
+        let mut user = HeuristicUser::default();
+        for _ in 0..3 {
+            let req = step.view().expect("view").clone();
+            let r = user.respond(req.profile(), req.context());
+            step = engine.submit(r).expect("submit");
+        }
+        let snap = engine.snapshot().expect("snapshot");
+        drop(engine);
+        // Stream in new rows and delete a handful of background rows.
+        dh.append(&[vec![60.0; 8], vec![40.0; 8]]).expect("append");
+        dh.delete(&[100, 101, 102]).expect("delete");
+        let onto = dh.snapshot();
+
+        // Implicit resume refuses; the explicit rebase carries the
+        // session over and finishes on the new epoch.
+        assert!(matches!(
+            SessionEngine::resume(config(), &dh, &snap),
+            Err(HinnError::EpochMismatch { .. })
+        ));
+        let (rebased, step) =
+            SessionEngine::resume_rebased(config(), from.clone(), onto.clone(), &snap)
+                .expect("rebase");
+        assert_eq!(
+            rebased.dataset_epoch(),
+            Some((onto.epoch(), onto.fingerprint()))
+        );
+        let outcome = drive_to_done(rebased, step, &mut user);
+        assert!(!outcome.neighbors.is_empty());
+        assert!(outcome.neighbors.iter().all(|&i| i < onto.len()));
+
+        // Rebasing from the wrong pinned epoch is itself the typed error.
+        assert!(matches!(
+            SessionEngine::resume_rebased(config(), onto, from, &snap),
+            Err(HinnError::EpochMismatch { .. })
+        ));
     }
 }

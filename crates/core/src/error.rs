@@ -68,6 +68,17 @@ pub enum HinnError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// A session pinned to one dataset epoch was asked to resume against
+    /// a different one. The typed consistency rule of streaming epochs:
+    /// callers either resume onto the pinned epoch or opt into an
+    /// explicit rebase (`SessionEngine::resume_rebased`); silently
+    /// running a snapshot against moved data is never an option.
+    EpochMismatch {
+        /// The epoch counter the session pinned at open.
+        pinned: u64,
+        /// The epoch counter of the snapshot the caller offered.
+        offered: u64,
+    },
 }
 
 impl HinnError {
@@ -79,6 +90,7 @@ impl HinnError {
             | Self::EigenFailure { phase, .. }
             | Self::Deadline { phase, .. }
             | Self::SessionPanicked { phase, .. } => phase,
+            Self::EpochMismatch { .. } => "session.resume",
         }
     }
 
@@ -113,6 +125,11 @@ impl fmt::Display for HinnError {
             Self::SessionPanicked { phase, message } => {
                 write!(f, "session panicked in {phase}: {message}")
             }
+            Self::EpochMismatch { pinned, offered } => write!(
+                f,
+                "epoch mismatch: session pinned dataset epoch {pinned} but was offered epoch \
+                 {offered}; resume onto the pinned epoch or rebase explicitly"
+            ),
         }
     }
 }
@@ -164,6 +181,19 @@ mod tests {
         assert!(matches!(he, HinnError::DegenerateGeometry { .. }));
         assert!(he.to_string().contains("empty projection"));
         assert!(!he.is_invalid_input());
+    }
+
+    #[test]
+    fn epoch_mismatch_is_not_invalid_input() {
+        let e = HinnError::EpochMismatch {
+            pinned: 3,
+            offered: 9,
+        };
+        assert!(!e.is_invalid_input(), "mismatch is a consistency refusal");
+        assert_eq!(e.phase(), "session.resume");
+        let s = e.to_string();
+        assert!(s.contains("epoch 3"), "{s}");
+        assert!(s.contains("epoch 9"), "{s}");
     }
 
     #[test]

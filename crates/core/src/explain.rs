@@ -206,7 +206,7 @@ mod tests {
         let mut user = HeuristicUser::default();
         let outcome = InteractiveSearch::new(config)
             .run_with(
-                &pts,
+                &hinn_data::DatasetHandle::new(&pts).expect("epoch handle"),
                 &query,
                 &mut user,
                 crate::search::RunOptions::default(),

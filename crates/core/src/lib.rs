@@ -57,6 +57,7 @@ pub use engine::{OwnedSessionEngine, SessionEngine, Step, ViewRequest};
 pub use error::HinnError;
 pub use explain::{explain_neighbor, explanation_text, NeighborExplanation};
 pub use hinn_cache::CachePolicy;
+pub use hinn_data::{DatasetHandle, EpochError, EpochSnapshot};
 pub use hinn_par::Parallelism;
 pub use search::{InteractiveSearch, RunOptions, RunOutput, SearchOutcome};
 pub use snapshot::SessionSnapshot;

@@ -143,7 +143,7 @@ mod tests {
         };
         InteractiveSearch::new(config)
             .run_with(
-                &points,
+                &hinn_data::DatasetHandle::new(&points).expect("epoch handle"),
                 &points[0].clone(),
                 &mut user,
                 crate::search::RunOptions::default(),

@@ -11,9 +11,10 @@ use crate::cache::SessionCache;
 use crate::config::SearchConfig;
 use crate::degrade::DegradationLog;
 use crate::diagnosis::SearchDiagnosis;
-use crate::engine::{PointStore, SessionEngine, Step};
+use crate::engine::{OwnedSessionEngine, PointStore, SessionEngine, Step};
 use crate::error::HinnError;
 use crate::transcript::Transcript;
+use hinn_data::{DatasetHandle, EpochSnapshot};
 use hinn_metrics::drop::DropConfig;
 use hinn_user::{UserModel, UserResponse};
 use std::sync::Arc;
@@ -207,7 +208,47 @@ impl InteractiveSearch {
     /// recorded in [`Transcript::degradations`].
     pub fn run_with(
         &self,
+        data: &DatasetHandle,
+        query: &[f64],
+        user: &mut dyn UserModel,
+        options: RunOptions,
+    ) -> Result<RunOutput, HinnError> {
+        self.run_at(data.snapshot(), query, user, options)
+    }
+
+    /// [`run_with`](Self::run_with) against an explicit epoch snapshot —
+    /// the form that lets a caller keep running sessions against a pinned
+    /// epoch while the handle streams on.
+    pub fn run_at(
+        &self,
+        snap: Arc<EpochSnapshot>,
+        query: &[f64],
+        user: &mut dyn UserModel,
+        options: RunOptions,
+    ) -> Result<RunOutput, HinnError> {
+        self.run_inner(PointStore::epoch(snap), query, user, options)
+    }
+
+    /// [`run_with`](Self::run_with) over a borrowed slice — the pre-epoch
+    /// shim. Each call behaves like a one-epoch [`DatasetHandle`] minus
+    /// the epoch pin (no chained fingerprint, no typed epoch refusals).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use run_with with a DatasetHandle (or run_at with an EpochSnapshot)"
+    )]
+    pub fn run_with_slice(
+        &self,
         points: &[Vec<f64>],
+        query: &[f64],
+        user: &mut dyn UserModel,
+        options: RunOptions,
+    ) -> Result<RunOutput, HinnError> {
+        self.run_inner(PointStore::Borrowed(points), query, user, options)
+    }
+
+    fn run_inner(
+        &self,
+        store: PointStore<'_>,
         query: &[f64],
         user: &mut dyn UserModel,
         options: RunOptions,
@@ -229,7 +270,7 @@ impl InteractiveSearch {
                 config,
                 self.drop_config,
                 self.cache.clone(),
-                PointStore::Borrowed(points),
+                store,
                 query,
             )?;
             loop {
@@ -260,10 +301,41 @@ impl InteractiveSearch {
         })
     }
 
-    /// Start a suspendable session over `points` sharing this engine's
-    /// cache and drop configuration — the inverted-control-flow form of
-    /// [`run_with`](Self::run_with) (see [`SessionEngine`]).
-    pub fn start_session<'a>(
+    /// Start a suspendable session over `data`'s current epoch, sharing
+    /// this engine's cache and drop configuration — the
+    /// inverted-control-flow form of [`run_with`](Self::run_with) (see
+    /// [`SessionEngine`]).
+    pub fn start_session(
+        &self,
+        data: &DatasetHandle,
+        query: &[f64],
+    ) -> Result<(OwnedSessionEngine, Step), HinnError> {
+        self.start_session_at(data.snapshot(), query)
+    }
+
+    /// [`start_session`](Self::start_session) against an explicit epoch
+    /// snapshot.
+    pub fn start_session_at(
+        &self,
+        snap: Arc<EpochSnapshot>,
+        query: &[f64],
+    ) -> Result<(OwnedSessionEngine, Step), HinnError> {
+        SessionEngine::start_inner(
+            self.config.clone(),
+            self.drop_config,
+            self.cache.clone(),
+            PointStore::epoch(snap),
+            query,
+        )
+    }
+
+    /// Start a suspendable session over a borrowed slice — the pre-epoch
+    /// shim matching [`run_with_slice`](Self::run_with_slice).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use start_session with a DatasetHandle (or start_session_at with an EpochSnapshot)"
+    )]
+    pub fn start_session_slice<'a>(
         &self,
         points: &'a [Vec<f64>],
         query: &[f64],
@@ -289,7 +361,8 @@ impl InteractiveSearch {
         query: &[f64],
         user: &mut dyn UserModel,
     ) -> SearchOutcome {
-        match self.run_with(points, query, user, RunOptions::default()) {
+        #[allow(deprecated)]
+        match self.run_with_slice(points, query, user, RunOptions::default()) {
             Ok(out) => out.outcome,
             Err(e) => panic!("{e}"),
         }
@@ -306,7 +379,8 @@ impl InteractiveSearch {
         query: &[f64],
         user: &mut dyn UserModel,
     ) -> Result<SearchOutcome, HinnError> {
-        self.run_with(points, query, user, RunOptions::default())
+        #[allow(deprecated)]
+        self.run_with_slice(points, query, user, RunOptions::default())
             .map(RunOutput::into_outcome)
     }
 
@@ -323,7 +397,8 @@ impl InteractiveSearch {
         query: &[f64],
         user: &mut dyn UserModel,
     ) -> (SearchOutcome, hinn_obs::TelemetryReport) {
-        match self.run_with(points, query, user, RunOptions::traced()) {
+        #[allow(deprecated)]
+        match self.run_with_slice(points, query, user, RunOptions::traced()) {
             Ok(RunOutput {
                 outcome,
                 telemetry: Some(report),
@@ -343,9 +418,10 @@ impl InteractiveSearch {
         query: &[f64],
         user: &mut dyn UserModel,
     ) -> Result<(SearchOutcome, hinn_obs::TelemetryReport), HinnError> {
+        #[allow(deprecated)]
         let RunOutput {
             outcome, telemetry, ..
-        } = self.run_with(points, query, user, RunOptions::traced())?;
+        } = self.run_with_slice(points, query, user, RunOptions::traced())?;
         match telemetry {
             Some(report) => Ok((outcome, report)),
             None => unreachable!("traced run always yields telemetry"),
@@ -359,6 +435,10 @@ mod tests {
     use crate::config::ProjectionMode;
     use hinn_user::{HeuristicUser, ScriptedUser};
 
+    fn handle(pts: &[Vec<f64>]) -> DatasetHandle {
+        DatasetHandle::new(pts).expect("epoch handle")
+    }
+
     fn run_default(
         engine: &InteractiveSearch,
         pts: &[Vec<f64>],
@@ -366,7 +446,7 @@ mod tests {
         user: &mut dyn hinn_user::UserModel,
     ) -> SearchOutcome {
         engine
-            .run_with(pts, q, user, RunOptions::default())
+            .run_with(&handle(pts), q, user, RunOptions::default())
             .expect("healthy input")
             .outcome
     }
@@ -533,17 +613,27 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn run_with_reports_invalid_input_instead_of_panicking() {
         let mut user = ScriptedUser::new([]);
         let engine = InteractiveSearch::new(SearchConfig::default());
+        // The epoch path: an empty handle is still an engine-side error.
+        let empty = DatasetHandle::empty(2).expect("empty handle");
         let err = engine
-            .run_with(&[], &[0.0, 0.0], &mut user, RunOptions::default())
+            .run_with(&empty, &[0.0, 0.0], &mut user, RunOptions::default())
             .expect_err("empty data");
         assert!(err.is_invalid_input());
         assert!(err.to_string().contains("empty data set"));
 
+        // Malformed rows never reach an epoch engine (the handle refuses
+        // them at append), so the slice shim keeps the legacy checks.
         let err = engine
-            .run_with(
+            .run_with_slice(&[], &[0.0, 0.0], &mut user, RunOptions::default())
+            .expect_err("empty data");
+        assert!(err.to_string().contains("empty data set"));
+
+        let err = engine
+            .run_with_slice(
                 &[vec![0.0, 0.0], vec![1.0, f64::NAN]],
                 &[0.0, 0.0],
                 &mut user,
@@ -553,7 +643,7 @@ mod tests {
         assert!(err.to_string().contains("point 1"));
 
         let err = engine
-            .run_with(
+            .run_with_slice(
                 &[vec![0.0, 0.0], vec![1.0, 1.0, 2.0]],
                 &[0.0, 0.0],
                 &mut user,
@@ -583,7 +673,7 @@ mod tests {
             .expect("healthy data");
         let unified = InteractiveSearch::new(config)
             .run_with(
-                &pts,
+                &handle(&pts),
                 &q,
                 &mut HeuristicUser::default(),
                 RunOptions::default(),
@@ -610,7 +700,7 @@ mod tests {
         let config = SearchConfig::default().with_support(20);
         let out = InteractiveSearch::new(config)
             .run_with(
-                &pts,
+                &handle(&pts),
                 &q,
                 &mut HeuristicUser::default(),
                 RunOptions::traced().with_recorded_responses(),
@@ -626,7 +716,7 @@ mod tests {
         // Untraced runs carry neither.
         let bare = InteractiveSearch::new(SearchConfig::default().with_support(20))
             .run_with(
-                &pts,
+                &handle(&pts),
                 &q,
                 &mut HeuristicUser::default(),
                 RunOptions::default(),
@@ -648,7 +738,7 @@ mod tests {
             let _g = hinn_fault::install_local(plan.clone());
             InteractiveSearch::new(SearchConfig::default().with_support(20))
                 .run_with(
-                    &pts,
+                    &handle(&pts),
                     &q,
                     &mut HeuristicUser::default(),
                     RunOptions::default().with_deadline(std::time::Duration::from_secs(3600)),
@@ -675,7 +765,7 @@ mod tests {
             let _g = hinn_fault::install_local(plan.clone());
             InteractiveSearch::new(config)
                 .run_with(
-                    &pts,
+                    &handle(&pts),
                     &q,
                     &mut HeuristicUser::default(),
                     RunOptions::default(),
@@ -697,7 +787,7 @@ mod tests {
             let _g = hinn_fault::install_local(plan.clone());
             InteractiveSearch::new(SearchConfig::default().with_support(20))
                 .run_with(
-                    &pts,
+                    &handle(&pts),
                     &q,
                     &mut HeuristicUser::default(),
                     RunOptions::default(),

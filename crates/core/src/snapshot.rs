@@ -76,6 +76,11 @@ pub(crate) struct EngineState {
     pub config_fp: Fingerprint,
     pub query: Vec<f64>,
     pub dataset_fp: Option<Fingerprint>,
+    /// Epoch pin of a session opened over an
+    /// [`hinn_data::EpochSnapshot`]: the epoch counter and the chained
+    /// content fingerprint. Serialized as an `x-epoch` extension line so
+    /// pre-epoch readers skip it; `None` for slice/shared sessions.
+    pub epoch: Option<(u64, Fingerprint)>,
     pub spent_ns: u64,
     pub major: usize,
     pub minor: usize,
@@ -187,6 +192,11 @@ pub(crate) fn render(state: &EngineState) -> SessionSnapshot {
     match state.dataset_fp {
         Some(fp) => out.push_str(&format!("dataset-fp {:032x}\n", fp.0)),
         None => out.push_str("dataset-fp -\n"),
+    }
+    // Epoch pin rides as an `x-` extension line: pre-epoch readers skip
+    // it (forward tolerance), epoch-aware resume pre-scans for it.
+    if let Some((epoch, fp)) = state.epoch {
+        out.push_str(&format!("x-epoch {epoch} {:032x}\n", fp.0));
     }
     out.push_str(&format!("spent-ns {}\n", state.spent_ns));
     out.push_str(&format!(
@@ -432,7 +442,27 @@ fn parse_opt_usize(s: &str) -> Result<Option<usize>, String> {
     parse_usize(s).map(Some)
 }
 
+/// Pre-scan for the `x-epoch` extension line. The main parser skips every
+/// `x-` line by design (forward tolerance), so the epoch pin is recovered
+/// from the raw text: `x-epoch <counter> <fingerprint hex>`. A malformed
+/// line is an error — an epoch-aware writer never emits one, so damage
+/// must not silently downgrade the pin to "legacy snapshot".
+fn parse_epoch_pin(text: &str) -> Result<Option<(u64, Fingerprint)>, String> {
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("x-epoch ") else {
+            continue;
+        };
+        let mut parts = rest.split_whitespace();
+        let counter = parse_u64(parts.next().unwrap_or(""))?;
+        let fp = parse_fingerprint(parts.next().unwrap_or("-"))?
+            .ok_or_else(|| "x-epoch: missing fingerprint".to_string())?;
+        return Ok(Some((counter, fp)));
+    }
+    Ok(None)
+}
+
 pub(crate) fn parse(snapshot: &SessionSnapshot) -> Result<EngineState, String> {
+    let epoch = parse_epoch_pin(snapshot.as_str())?;
     let mut lines = Lines::new(snapshot.as_str());
     let header = lines
         .next_content()
@@ -533,6 +563,7 @@ pub(crate) fn parse(snapshot: &SessionSnapshot) -> Result<EngineState, String> {
         config_fp,
         query,
         dataset_fp,
+        epoch,
         spent_ns,
         major,
         minor,
@@ -563,6 +594,7 @@ mod tests {
             config_fp: Fingerprint(0xDEADBEEF),
             query: vec![1.0, -2.5, 0.1 + 0.2],
             dataset_fp: Some(Fingerprint(0x1234_5678_9ABC)),
+            epoch: Some((7, Fingerprint(0xFEED_F00D))),
             spent_ns: 12_345,
             major: 1,
             minor: 1,
@@ -625,6 +657,7 @@ mod tests {
         assert_eq!(back.d, state.d);
         assert_eq!(back.config_fp, state.config_fp);
         assert_eq!(back.dataset_fp, state.dataset_fp);
+        assert_eq!(back.epoch, state.epoch);
         assert_eq!(back.spent_ns, state.spent_ns);
         assert_eq!(
             (back.major, back.minor, back.majors_run),
@@ -677,6 +710,44 @@ mod tests {
         let back = parse(&snap2).expect("tolerant parse");
         assert_eq!(back.alive, state.alive);
         assert_eq!(back.transcript_majors.len(), 1);
+    }
+
+    #[test]
+    fn epoch_pin_rides_an_extension_line() {
+        let state = sample_state();
+        let snap = render(&state);
+        // The pin is carried on an `x-` line, so a pre-epoch reader (which
+        // skips all of them) still parses the snapshot.
+        assert!(
+            snap.as_str().lines().any(|l| l.starts_with("x-epoch 7 ")),
+            "{snap}"
+        );
+        // A legacy snapshot (no x-epoch line) parses to an unpinned state.
+        let legacy: String = snap
+            .as_str()
+            .lines()
+            .filter(|l| !l.starts_with("x-epoch"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = parse(&SessionSnapshot::from_text(legacy).expect("header")).expect("parse");
+        assert_eq!(back.epoch, None);
+        // A mangled pin is a parse error, never a silent downgrade.
+        let mangled: String = snap
+            .as_str()
+            .lines()
+            .map(|l| {
+                if l.starts_with("x-epoch") {
+                    "x-epoch 7 zz".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = parse(&SessionSnapshot::from_text(mangled).expect("header"))
+            .map(|_| ())
+            .expect_err("bad fingerprint hex");
+        assert!(err.contains("fingerprint"), "{err}");
     }
 
     #[test]

@@ -53,9 +53,12 @@ fn forced_panic_is_contained_and_retried() {
         let _g = hinn_fault::install(plan.clone());
         let prev_hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
-        let reports = BatchRunner::new(&pts, config())
-            .with_threads(1)
-            .run(&queries, || Box::new(HeuristicUser::default()));
+        let reports = BatchRunner::new(
+            &hinn_data::DatasetHandle::new(&pts).expect("epoch handle"),
+            config(),
+        )
+        .with_threads(1)
+        .run(&queries, || Box::new(HeuristicUser::default()));
         std::panic::set_hook(prev_hook);
         reports
     };
@@ -80,10 +83,13 @@ fn forced_deadline_on_both_attempts_surfaces_as_failed() {
     );
     let reports = {
         let _g = hinn_fault::install(plan.clone());
-        BatchRunner::new(&pts, config())
-            .with_threads(1)
-            .with_deadline(Duration::from_secs(3600))
-            .run(&queries, || Box::new(HeuristicUser::default()))
+        BatchRunner::new(
+            &hinn_data::DatasetHandle::new(&pts).expect("epoch handle"),
+            config(),
+        )
+        .with_threads(1)
+        .with_deadline(Duration::from_secs(3600))
+        .run(&queries, || Box::new(HeuristicUser::default()))
     };
     assert!(
         plan.fired("search.deadline") >= 4,
@@ -108,9 +114,12 @@ fn forcing_every_point_at_once_cannot_panic_the_batch() {
         let _g = hinn_fault::install(plan.clone());
         let prev_hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {})); // forced in-session panics
-        let reports = BatchRunner::new(&pts, config())
-            .with_threads(2)
-            .run(&queries, || Box::new(HeuristicUser::default()));
+        let reports = BatchRunner::new(
+            &hinn_data::DatasetHandle::new(&pts).expect("epoch handle"),
+            config(),
+        )
+        .with_threads(2)
+        .run(&queries, || Box::new(HeuristicUser::default()));
         std::panic::set_hook(prev_hook);
         reports
     };

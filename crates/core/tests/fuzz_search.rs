@@ -48,7 +48,8 @@ proptest! {
             ..SearchConfig::default().with_support(support)
         };
         let mut user = ScriptedUser::new(responses);
-        let outcome = InteractiveSearch::new(config).run_with(&points, &query, &mut user, hinn_core::RunOptions::default()).expect("interactive session").into_outcome();
+        let dh = hinn_data::DatasetHandle::new(&points).expect("finite uniform-dim fuzz data");
+        let outcome = InteractiveSearch::new(config).run_with(&dh, &query, &mut user, hinn_core::RunOptions::default()).expect("interactive session").into_outcome();
 
         // Structural invariants that must hold for ANY input.
         prop_assert_eq!(outcome.probabilities.len(), points.len());

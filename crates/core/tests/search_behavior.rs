@@ -62,7 +62,12 @@ fn weights_change_the_probabilities() {
         };
         let mut user = HeuristicUser::default();
         InteractiveSearch::new(config)
-            .run_with(&pts, &query, &mut user, hinn_core::RunOptions::default())
+            .run_with(
+                &hinn_data::DatasetHandle::new(&pts).expect("epoch handle"),
+                &query,
+                &mut user,
+                hinn_core::RunOptions::default(),
+            )
             .expect("interactive session")
             .into_outcome()
             .probabilities
@@ -91,7 +96,12 @@ fn termination_stops_at_min_major_when_ranking_is_stable() {
     };
     let mut user = HeuristicUser::default();
     let outcome = InteractiveSearch::new(config)
-        .run_with(&pts, &query, &mut user, hinn_core::RunOptions::default())
+        .run_with(
+            &hinn_data::DatasetHandle::new(&pts).expect("epoch handle"),
+            &query,
+            &mut user,
+            hinn_core::RunOptions::default(),
+        )
         .expect("interactive session")
         .into_outcome();
     assert!(
@@ -123,7 +133,12 @@ fn max_major_is_a_hard_cap_when_overlap_never_stabilizes() {
     });
     let mut user = ScriptedUser::new(responses);
     let outcome = InteractiveSearch::new(config)
-        .run_with(&pts, &query, &mut user, hinn_core::RunOptions::default())
+        .run_with(
+            &hinn_data::DatasetHandle::new(&pts).expect("epoch handle"),
+            &query,
+            &mut user,
+            hinn_core::RunOptions::default(),
+        )
         .expect("interactive session")
         .into_outcome();
     assert!(outcome.majors_run <= 3);
@@ -142,7 +157,7 @@ fn two_dimensional_data_runs_a_single_minor_iteration() {
     let mut user = HeuristicUser::default();
     let outcome = InteractiveSearch::new(config)
         .run_with(
-            &pts,
+            &hinn_data::DatasetHandle::new(&pts).expect("epoch handle"),
             &[3.0, 3.0],
             &mut user,
             hinn_core::RunOptions::default(),
@@ -171,7 +186,12 @@ fn duplicate_points_are_handled() {
     let mut user = HeuristicUser::default();
     // Must not panic; NaN-free probabilities.
     let outcome = InteractiveSearch::new(config)
-        .run_with(&pts, &[5.0; 4], &mut user, hinn_core::RunOptions::default())
+        .run_with(
+            &hinn_data::DatasetHandle::new(&pts).expect("epoch handle"),
+            &[5.0; 4],
+            &mut user,
+            hinn_core::RunOptions::default(),
+        )
         .expect("interactive session")
         .into_outcome();
     assert!(outcome.probabilities.iter().all(|p| p.is_finite()));
@@ -190,7 +210,7 @@ fn odd_dimensionality_gets_floor_of_d_over_2_views() {
     let mut user = HeuristicUser::default();
     let outcome = InteractiveSearch::new(config)
         .run_with(
-            &pts5,
+            &hinn_data::DatasetHandle::new(&pts5).expect("epoch handle"),
             &[50.0; 5],
             &mut user,
             hinn_core::RunOptions::default(),
@@ -203,11 +223,14 @@ fn odd_dimensionality_gets_floor_of_d_over_2_views() {
 
 #[test]
 #[should_panic(expected = "non-finite")]
+#[allow(deprecated)]
 fn nan_data_fails_fast() {
+    // Epoch handles refuse non-finite rows at append; the slice shim
+    // keeps the legacy fail-fast behavior inside the engine.
     let pts = vec![vec![0.0, 1.0], vec![f64::NAN, 2.0]];
     let mut user = HeuristicUser::default();
     let _ = InteractiveSearch::new(SearchConfig::default().with_support(1))
-        .run_with(
+        .run_with_slice(
             &pts,
             &[0.0, 0.0],
             &mut user,
@@ -219,11 +242,12 @@ fn nan_data_fails_fast() {
 
 #[test]
 #[should_panic(expected = "ragged")]
+#[allow(deprecated)]
 fn ragged_data_fails_fast() {
     let pts = vec![vec![0.0, 1.0], vec![1.0]];
     let mut user = HeuristicUser::default();
     let _ = InteractiveSearch::new(SearchConfig::default().with_support(1))
-        .run_with(
+        .run_with_slice(
             &pts,
             &[0.0, 0.0],
             &mut user,

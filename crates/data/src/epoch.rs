@@ -1,0 +1,922 @@
+//! Streaming dataset epochs: [`DatasetHandle`] / [`EpochSnapshot`].
+//!
+//! The paper's interactive loop assumes a frozen data set, but the
+//! monitoring / fraud-triage deployments the ROADMAP targets need points
+//! that arrive and expire *while analysts are mid-session*. This module
+//! is the data-layer half of that story:
+//!
+//! * [`DatasetHandle`] is the mutable entry point: `append(rows)` /
+//!   `delete(ids)` each produce a new immutable [`EpochSnapshot`] and
+//!   advance the handle. Mutations serialize on an internal mutex; the
+//!   snapshots they produce are plain `Arc`s that readers hold for as
+//!   long as they like.
+//! * [`EpochSnapshot`] is one frozen epoch: `Arc`'d [`ColumnStore`]
+//!   segments (one per append batch, structurally shared across epochs),
+//!   a tombstone bitmap over global row ids, the epoch-chained
+//!   fingerprints, and rank-1-maintained global statistics.
+//!
+//! # The epoch chain is chunking-invariant
+//!
+//! Every accepted row-operation — one appended row, one deleted id —
+//! folds into the chained fingerprint *individually*:
+//!
+//! ```text
+//! fp₀       = H("hinn-epoch-genesis", d)
+//! fpₖ₊₁     = H("epoch-append", fpₖ, row)      for an appended row
+//! fpₖ₊₁     = H("epoch-delete", fpₖ, id)       for a deleted id
+//! ```
+//!
+//! so `append(&[a, b])` and `append(&[a]); append(&[b])` land on the
+//! *same* fingerprint, epoch number (the count of row-operations), and
+//! statistics — the property the epoch determinism suite pins
+//! bit-for-bit. The chain deliberately differs from
+//! `Fingerprint::of_points` (which writes the outer length first and so
+//! cannot be prefix-folded); it generalizes the session layer's
+//! alive-set chaining to dataset mutations. A second, append-only chain
+//! ([`EpochSnapshot::append_fingerprint`]) ignores deletes; the shared
+//! HNSW graph keys on it so tombstones do not force a graph rebuild.
+//!
+//! # Rank-1 statistics with an exact checkpoint
+//!
+//! [`StreamingStats`] maintains the global mean, covariance comoments,
+//! and per-axis variances with Welford-style rank-1 updates (and
+//! downdates for deletes). Floating-point drift from a long
+//! update/downdate stream is bounded by recomputing *exactly* — serial,
+//! over the alive rows — every [`StreamingStats::RECOMPUTE_EVERY`]
+//! row-operations. The checkpoint counter ticks per row-operation, not
+//! per call, so chunked and batched replays checkpoint at identical
+//! stream positions and stay bit-identical.
+
+use crate::ColumnStore;
+use hinn_cache::{Fingerprint, Fnv128};
+use hinn_linalg::Matrix;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Everything a dataset mutation can refuse. Total and typed — streaming
+/// ingest arrives over the wire, so malformed rows must be refusals, not
+/// panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EpochError {
+    /// A handle cannot be built over zero-dimensional points.
+    ZeroDim,
+    /// An appended row's length differs from the handle's dimensionality.
+    DimMismatch {
+        /// The handle's fixed dimensionality.
+        expected: usize,
+        /// The offending row's length.
+        got: usize,
+        /// Index of the offending row within the batch.
+        row: usize,
+    },
+    /// An appended row contains a NaN or infinite coordinate.
+    NonFinite {
+        /// Index of the offending row within the batch.
+        row: usize,
+    },
+    /// A deleted id was never appended.
+    UnknownId {
+        /// The offending global id.
+        id: usize,
+        /// Rows ever appended (valid ids are `0..appended`).
+        appended: usize,
+    },
+}
+
+impl fmt::Display for EpochError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroDim => write!(f, "DatasetHandle: zero-dimensional points"),
+            Self::DimMismatch { expected, got, row } => write!(
+                f,
+                "DatasetHandle: row {row} has {got} coordinates, expected {expected}"
+            ),
+            Self::NonFinite { row } => {
+                write!(
+                    f,
+                    "DatasetHandle: row {row} contains non-finite coordinates"
+                )
+            }
+            Self::UnknownId { id, appended } => write!(
+                f,
+                "DatasetHandle: delete of id {id} outside the appended range 0..{appended}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EpochError {}
+
+/// Rank-1-maintained global statistics of the alive rows: mean,
+/// covariance comoments, per-axis variances. See the module docs for the
+/// update/downdate + exact-checkpoint scheme.
+#[derive(Clone, Debug)]
+pub struct StreamingStats {
+    dim: usize,
+    /// Alive rows folded in.
+    count: usize,
+    /// Running mean of the alive rows.
+    mean: Vec<f64>,
+    /// Comoment matrix `M₂ = Σ (x−μ)(x−μ)ᵀ` (population covariance is
+    /// `M₂ / count`). Kept symmetric by mirroring the upper triangle.
+    m2: Matrix,
+    /// Row-operations since the last exact recompute.
+    since_checkpoint: u64,
+}
+
+impl StreamingStats {
+    /// Exact serial recompute cadence, in row-operations. Chosen so the
+    /// relative drift of the rank-1 path stays within the documented
+    /// `1e-9` bound between checkpoints (see `DESIGN.md` §6.10).
+    pub const RECOMPUTE_EVERY: u64 = 64;
+
+    fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            count: 0,
+            mean: vec![0.0; dim],
+            m2: Matrix::zeros(dim, dim),
+            since_checkpoint: 0,
+        }
+    }
+
+    /// Alive rows folded in.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Global mean of the alive rows (all zeros while empty).
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Population (`1/n`) covariance of the alive rows — the same
+    /// normalization as `hinn_linalg::stats::covariance_matrix`. Zero
+    /// while fewer than two rows are alive.
+    pub fn covariance(&self) -> Matrix {
+        let d = self.dim;
+        let mut cov = Matrix::zeros(d, d);
+        if self.count == 0 {
+            return cov;
+        }
+        let n = self.count as f64;
+        for i in 0..d {
+            for j in i..d {
+                let v = self.m2[(i, j)] / n;
+                cov[(i, j)] = v;
+                cov[(j, i)] = v;
+            }
+        }
+        cov
+    }
+
+    /// Per-axis population variances (the covariance diagonal).
+    pub fn coordinate_variances(&self) -> Vec<f64> {
+        if self.count == 0 {
+            return vec![0.0; self.dim];
+        }
+        let n = self.count as f64;
+        (0..self.dim).map(|i| self.m2[(i, i)] / n).collect()
+    }
+
+    /// Welford update with one appended row.
+    fn push(&mut self, row: &[f64]) {
+        self.count += 1;
+        let n = self.count as f64;
+        let mut delta = vec![0.0; self.dim];
+        for (d, (x, m)) in delta.iter_mut().zip(row.iter().zip(&self.mean)) {
+            *d = x - m;
+        }
+        for (m, d) in self.mean.iter_mut().zip(&delta) {
+            *m += d / n;
+        }
+        // delta2 = x − μ_new; outer(delta, delta2) is symmetric in exact
+        // arithmetic, so fill the upper triangle and mirror to keep the
+        // float result symmetric too.
+        let mut delta2 = vec![0.0; self.dim];
+        for (d, (x, m)) in delta2.iter_mut().zip(row.iter().zip(&self.mean)) {
+            *d = x - m;
+        }
+        for (i, di) in delta.iter().enumerate() {
+            for (j, d2j) in delta2.iter().enumerate().skip(i) {
+                let v = self.m2[(i, j)] + di * d2j;
+                self.m2[(i, j)] = v;
+                self.m2[(j, i)] = v;
+            }
+        }
+        self.since_checkpoint += 1;
+    }
+
+    /// Welford downdate with one deleted row (the reverse of
+    /// [`Self::push`]).
+    fn remove(&mut self, row: &[f64]) {
+        debug_assert!(self.count > 0, "StreamingStats: downdate below zero rows");
+        if self.count == 1 {
+            // Down to empty: reset exactly rather than trust cancellation.
+            *self = Self {
+                since_checkpoint: self.since_checkpoint + 1,
+                ..Self::new(self.dim)
+            };
+            return;
+        }
+        // delta2 = x − μ_old (the mean that still includes the row);
+        // delta = x − μ_new.
+        let mut delta2 = vec![0.0; self.dim];
+        for (d, (x, m)) in delta2.iter_mut().zip(row.iter().zip(&self.mean)) {
+            *d = x - m;
+        }
+        self.count -= 1;
+        let n = self.count as f64;
+        for (m, d) in self.mean.iter_mut().zip(&delta2) {
+            *m -= d / n;
+        }
+        let mut delta = vec![0.0; self.dim];
+        for (d, (x, m)) in delta.iter_mut().zip(row.iter().zip(&self.mean)) {
+            *d = x - m;
+        }
+        for (i, di) in delta.iter().enumerate() {
+            for (j, d2j) in delta2.iter().enumerate().skip(i) {
+                let v = self.m2[(i, j)] - di * d2j;
+                self.m2[(i, j)] = v;
+                self.m2[(j, i)] = v;
+            }
+        }
+        self.since_checkpoint += 1;
+    }
+
+    /// Exact serial recompute over `alive`, run when the per-row-op
+    /// counter reaches [`Self::RECOMPUTE_EVERY`].
+    fn maybe_checkpoint(&mut self, alive: &[Vec<f64>]) {
+        if self.since_checkpoint < Self::RECOMPUTE_EVERY {
+            return;
+        }
+        self.since_checkpoint = 0;
+        debug_assert_eq!(self.count, alive.len());
+        if alive.is_empty() {
+            self.mean = vec![0.0; self.dim];
+            self.m2 = Matrix::zeros(self.dim, self.dim);
+            return;
+        }
+        self.mean = hinn_linalg::stats::mean_vector(alive);
+        let cov = hinn_linalg::stats::covariance_matrix(alive);
+        let n = alive.len() as f64;
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                self.m2[(i, j)] = cov[(i, j)] * n;
+            }
+        }
+    }
+}
+
+/// One frozen epoch of a streaming dataset: shared columnar segments, a
+/// tombstone bitmap over global row ids, the chained fingerprints, and
+/// the rank-1 global statistics. Cheap to clone behind an `Arc`; sessions
+/// pin one at open and keep it for their whole life.
+#[derive(Debug)]
+pub struct EpochSnapshot {
+    /// Row-operations applied since genesis (appended rows + deleted
+    /// ids). Chunking-invariant, monotone, and *excluded* from identity:
+    /// two snapshots are interchangeable iff their chained fingerprints
+    /// match.
+    epoch: u64,
+    dim: usize,
+    /// One columnar segment per append batch, shared across epochs.
+    segments: Vec<Arc<ColumnStore>>,
+    /// Global id of each segment's first row.
+    seg_starts: Vec<usize>,
+    /// Rows ever appended (global ids are `0..appended`).
+    appended: usize,
+    /// Tombstone bitmap over global ids; bit set = deleted.
+    tombstones: Vec<u64>,
+    /// Deleted rows (popcount of `tombstones`).
+    dead: usize,
+    /// The full epoch chain (appends *and* deletes) — the snapshot's
+    /// identity, and the dataset fingerprint epoch-pinned sessions use.
+    fp: Fingerprint,
+    /// The append-only chain — the HNSW graph lineage key.
+    append_fp: Fingerprint,
+    /// The append-only chain *before* this epoch's most recent append
+    /// batch, so an index can extend its predecessor's graph instead of
+    /// rebuilding.
+    prev_append_fp: Option<Fingerprint>,
+    stats: StreamingStats,
+    /// Alive rows in global-id order, materialized on first use (the
+    /// dense view the session engine runs over).
+    dense: OnceLock<Arc<Vec<Vec<f64>>>>,
+    /// Global id of each dense row, materialized with `dense`.
+    alive_ids: OnceLock<Arc<Vec<usize>>>,
+    /// Every appended row (tombstoned included), for index structures
+    /// that filter at search time.
+    full: OnceLock<Arc<Vec<Vec<f64>>>>,
+}
+
+impl EpochSnapshot {
+    /// The empty genesis epoch of dimensionality `dim`.
+    fn genesis(dim: usize) -> Result<Self, EpochError> {
+        if dim == 0 {
+            return Err(EpochError::ZeroDim);
+        }
+        let mut h = Fnv128::new();
+        h.write_str("hinn-epoch-genesis");
+        h.write_usize(dim);
+        let fp = h.finish();
+        Ok(Self {
+            epoch: 0,
+            dim,
+            segments: Vec::new(),
+            seg_starts: Vec::new(),
+            appended: 0,
+            tombstones: Vec::new(),
+            dead: 0,
+            fp,
+            append_fp: fp,
+            prev_append_fp: None,
+            stats: StreamingStats::new(dim),
+            dense: OnceLock::new(),
+            alive_ids: OnceLock::new(),
+            full: OnceLock::new(),
+        })
+    }
+
+    /// Row-operations since genesis. Monotone across `append`/`delete`
+    /// and invariant to how a stream was chunked; **not** part of the
+    /// snapshot's identity (compare [`Self::fingerprint`] instead).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Dimensionality `d` (fixed at handle creation).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Alive rows (appended minus tombstoned).
+    pub fn len(&self) -> usize {
+        self.appended - self.dead
+    }
+
+    /// `true` iff no rows are alive.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rows ever appended; global ids are `0..appended_len()`.
+    pub fn appended_len(&self) -> usize {
+        self.appended
+    }
+
+    /// Tombstoned rows.
+    pub fn tombstone_count(&self) -> usize {
+        self.dead
+    }
+
+    /// `true` iff global id `id` is deleted (out-of-range ids are not
+    /// tombstoned — they were never appended).
+    pub fn is_tombstoned(&self, id: usize) -> bool {
+        id < self.appended && self.tombstones[id / 64] & (1u64 << (id % 64)) != 0
+    }
+
+    /// The full epoch chain — this snapshot's identity. Sessions pin it
+    /// at open; caches and artifacts key on it, so stale entries become
+    /// unreachable the moment the data moves on.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fp
+    }
+
+    /// The append-only chain (deletes excluded) — the lineage key for
+    /// incremental index structures.
+    pub fn append_fingerprint(&self) -> Fingerprint {
+        self.append_fp
+    }
+
+    /// The append-only chain before this epoch's latest append batch, if
+    /// any batch was ever appended.
+    pub fn prev_append_fingerprint(&self) -> Option<Fingerprint> {
+        self.prev_append_fp
+    }
+
+    /// Alive rows in global-id order — the dense view a pinned session
+    /// runs over. Materialized once per snapshot and shared.
+    pub fn rows(&self) -> Arc<Vec<Vec<f64>>> {
+        self.materialize_dense();
+        Arc::clone(self.dense.get().unwrap_or_else(|| unreachable!()))
+    }
+
+    /// Global id of each dense row (ascending). `alive_ids()[k]` is the
+    /// global id of `rows()[k]`.
+    pub fn alive_ids(&self) -> Arc<Vec<usize>> {
+        self.materialize_dense();
+        Arc::clone(self.alive_ids.get().unwrap_or_else(|| unreachable!()))
+    }
+
+    /// Dense index of global id `id`, or `None` if tombstoned / out of
+    /// range.
+    pub fn dense_index_of(&self, id: usize) -> Option<usize> {
+        if id >= self.appended || self.is_tombstoned(id) {
+            return None;
+        }
+        let ids = self.alive_ids();
+        ids.binary_search(&id).ok()
+    }
+
+    /// Every appended row (tombstoned included) in global-id order — for
+    /// index structures that insert append-only and filter tombstones at
+    /// search time.
+    pub fn all_rows(&self) -> Arc<Vec<Vec<f64>>> {
+        Arc::clone(self.full.get_or_init(|| {
+            let mut out = Vec::with_capacity(self.appended);
+            for seg in &self.segments {
+                for i in 0..seg.len() {
+                    out.push(seg.row(i));
+                }
+            }
+            Arc::new(out)
+        }))
+    }
+
+    /// Gather the row with global id `id` (alive or tombstoned).
+    ///
+    /// # Panics
+    /// Panics if `id` was never appended.
+    pub fn row(&self, id: usize) -> Vec<f64> {
+        assert!(id < self.appended, "EpochSnapshot: row {id} never appended");
+        // seg_starts is ascending; find the owning segment.
+        let seg = match self.seg_starts.binary_search(&id) {
+            Ok(k) => k,
+            Err(k) => k - 1,
+        };
+        self.segments[seg].row(id - self.seg_starts[seg])
+    }
+
+    /// The rank-1-maintained global statistics of the alive rows.
+    pub fn stats(&self) -> &StreamingStats {
+        &self.stats
+    }
+
+    fn materialize_dense(&self) {
+        if self.dense.get().is_some() {
+            return;
+        }
+        let mut rows = Vec::with_capacity(self.len());
+        let mut ids = Vec::with_capacity(self.len());
+        let mut id = 0usize;
+        for seg in &self.segments {
+            for i in 0..seg.len() {
+                if !self.is_tombstoned(id) {
+                    rows.push(seg.row(i));
+                    ids.push(id);
+                }
+                id += 1;
+            }
+        }
+        let _ = self.dense.set(Arc::new(rows));
+        let _ = self.alive_ids.set(Arc::new(ids));
+    }
+
+    /// Successor snapshot with `rows` appended (one new shared segment).
+    fn appended_with(&self, rows: &[Vec<f64>]) -> Result<Self, EpochError> {
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != self.dim {
+                return Err(EpochError::DimMismatch {
+                    expected: self.dim,
+                    got: row.len(),
+                    row: i,
+                });
+            }
+            if row.iter().any(|x| !x.is_finite()) {
+                return Err(EpochError::NonFinite { row: i });
+            }
+        }
+        if rows.is_empty() {
+            return Ok(self.shallow_clone());
+        }
+        let mut fp = self.fp;
+        let mut append_fp = self.append_fp;
+        let mut stats = self.stats.clone();
+        // The alive rows, maintained incrementally so exact checkpoints
+        // see the stream state *at that row-operation* — identical
+        // whether the stream arrived chunked or batched.
+        let mut alive = self.rows().as_ref().clone();
+        let mut alive_ids = self.alive_ids().as_ref().clone();
+        for (next_id, row) in (self.appended..).zip(rows.iter()) {
+            fp = chain_append(fp, row);
+            append_fp = chain_append(append_fp, row);
+            stats.push(row);
+            alive.push(row.clone());
+            alive_ids.push(next_id);
+            stats.maybe_checkpoint(&alive);
+        }
+        let mut segments = self.segments.clone();
+        let mut seg_starts = self.seg_starts.clone();
+        seg_starts.push(self.appended);
+        segments.push(Arc::new(ColumnStore::from_rows(rows)));
+        let appended = self.appended + rows.len();
+        let mut tombstones = self.tombstones.clone();
+        tombstones.resize(appended.div_ceil(64), 0);
+        let snap = Self {
+            epoch: self.epoch + rows.len() as u64,
+            dim: self.dim,
+            segments,
+            seg_starts,
+            appended,
+            tombstones,
+            dead: self.dead,
+            fp,
+            append_fp,
+            prev_append_fp: Some(self.append_fp),
+            stats,
+            dense: OnceLock::new(),
+            alive_ids: OnceLock::new(),
+            full: OnceLock::new(),
+        };
+        let _ = snap.dense.set(Arc::new(alive));
+        let _ = snap.alive_ids.set(Arc::new(alive_ids));
+        Ok(snap)
+    }
+
+    /// Successor snapshot with `ids` tombstoned. Out-of-range ids are a
+    /// typed refusal; already-tombstoned ids are skipped without folding
+    /// into the chain (so `delete` is idempotent and chunking-invariant).
+    fn deleted_with(&self, ids: &[usize]) -> Result<Self, EpochError> {
+        for &id in ids {
+            if id >= self.appended {
+                return Err(EpochError::UnknownId {
+                    id,
+                    appended: self.appended,
+                });
+            }
+        }
+        let mut fp = self.fp;
+        let mut stats = self.stats.clone();
+        let mut tombstones = self.tombstones.clone();
+        let mut dead = self.dead;
+        let mut ops = 0u64;
+        let mut alive = self.rows().as_ref().clone();
+        let mut alive_ids = self.alive_ids().as_ref().clone();
+        for &id in ids {
+            if tombstones[id / 64] & (1u64 << (id % 64)) != 0 {
+                continue; // idempotent: already dead, nothing folds
+            }
+            tombstones[id / 64] |= 1u64 << (id % 64);
+            dead += 1;
+            ops += 1;
+            fp = chain_delete(fp, id);
+            let k = alive_ids
+                .binary_search(&id)
+                .unwrap_or_else(|_| unreachable!("alive id {id} missing from dense view"));
+            let row = alive.remove(k);
+            alive_ids.remove(k);
+            stats.remove(&row);
+            stats.maybe_checkpoint(&alive);
+        }
+        if ops == 0 {
+            return Ok(self.shallow_clone());
+        }
+        let snap = Self {
+            epoch: self.epoch + ops,
+            dim: self.dim,
+            segments: self.segments.clone(),
+            seg_starts: self.seg_starts.clone(),
+            appended: self.appended,
+            tombstones,
+            dead,
+            fp,
+            append_fp: self.append_fp,
+            prev_append_fp: self.prev_append_fp,
+            stats,
+            dense: OnceLock::new(),
+            alive_ids: OnceLock::new(),
+            full: OnceLock::new(),
+        };
+        let _ = snap.dense.set(Arc::new(alive));
+        let _ = snap.alive_ids.set(Arc::new(alive_ids));
+        Ok(snap)
+    }
+
+    /// A field-for-field clone sharing the lazily materialized views
+    /// (used when a mutation turns out to be a no-op).
+    fn shallow_clone(&self) -> Self {
+        let dense = OnceLock::new();
+        if let Some(v) = self.dense.get() {
+            let _ = dense.set(Arc::clone(v));
+        }
+        let alive_ids = OnceLock::new();
+        if let Some(v) = self.alive_ids.get() {
+            let _ = alive_ids.set(Arc::clone(v));
+        }
+        let full = OnceLock::new();
+        if let Some(v) = self.full.get() {
+            let _ = full.set(Arc::clone(v));
+        }
+        Self {
+            epoch: self.epoch,
+            dim: self.dim,
+            segments: self.segments.clone(),
+            seg_starts: self.seg_starts.clone(),
+            appended: self.appended,
+            tombstones: self.tombstones.clone(),
+            dead: self.dead,
+            fp: self.fp,
+            append_fp: self.append_fp,
+            prev_append_fp: self.prev_append_fp,
+            stats: self.stats.clone(),
+            dense,
+            alive_ids,
+            full,
+        }
+    }
+}
+
+fn chain_append(prev: Fingerprint, row: &[f64]) -> Fingerprint {
+    let mut h = Fnv128::new();
+    h.write_str("epoch-append");
+    h.write_fingerprint(prev);
+    h.write_f64s(row);
+    h.finish()
+}
+
+fn chain_delete(prev: Fingerprint, id: usize) -> Fingerprint {
+    let mut h = Fnv128::new();
+    h.write_str("epoch-delete");
+    h.write_fingerprint(prev);
+    h.write_usize(id);
+    h.finish()
+}
+
+/// The epoch-versioned dataset handle — the redesigned entry point every
+/// search API takes. `append` / `delete` produce immutable
+/// [`EpochSnapshot`]s; readers pin a snapshot and are never invalidated
+/// under their feet. See the module docs for the consistency model.
+#[derive(Debug)]
+pub struct DatasetHandle {
+    current: Mutex<Arc<EpochSnapshot>>,
+}
+
+impl DatasetHandle {
+    /// An empty handle of dimensionality `dim`, ready for streaming
+    /// ingest.
+    ///
+    /// # Errors
+    /// [`EpochError::ZeroDim`] when `dim == 0`.
+    pub fn empty(dim: usize) -> Result<Self, EpochError> {
+        Ok(Self {
+            current: Mutex::new(Arc::new(EpochSnapshot::genesis(dim)?)),
+        })
+    }
+
+    /// A handle seeded with `rows` — exactly equivalent to an empty
+    /// handle with `rows` appended (same chain, same epoch number), so a
+    /// seeded handle and a streamed one are interchangeable.
+    ///
+    /// # Errors
+    /// [`EpochError::ZeroDim`] on an empty or zero-dimensional seed;
+    /// [`EpochError::DimMismatch`] / [`EpochError::NonFinite`] on bad
+    /// rows.
+    pub fn new(rows: &[Vec<f64>]) -> Result<Self, EpochError> {
+        let dim = rows.first().map_or(0, Vec::len);
+        let handle = Self::empty(dim)?;
+        handle.append(rows)?;
+        Ok(handle)
+    }
+
+    /// The current epoch snapshot. Sessions pin this at open.
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        Arc::clone(&self.lock())
+    }
+
+    /// The current epoch number (row-operations since genesis).
+    pub fn epoch(&self) -> u64 {
+        self.lock().epoch
+    }
+
+    /// Dimensionality `d` (fixed at creation).
+    pub fn dim(&self) -> usize {
+        self.lock().dim
+    }
+
+    /// Alive rows in the current epoch.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` iff the current epoch holds no alive rows.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Append `rows`, producing (and returning) the next epoch. An empty
+    /// batch is a no-op returning the current snapshot.
+    ///
+    /// # Errors
+    /// [`EpochError::DimMismatch`] / [`EpochError::NonFinite`]; the
+    /// handle is unchanged on error (batches apply atomically).
+    pub fn append(&self, rows: &[Vec<f64>]) -> Result<Arc<EpochSnapshot>, EpochError> {
+        let mut cur = self.lock();
+        let next = Arc::new(cur.appended_with(rows)?);
+        *cur = Arc::clone(&next);
+        Ok(next)
+    }
+
+    /// Tombstone `ids`, producing (and returning) the next epoch.
+    /// Already-deleted ids are skipped (idempotent); unknown ids are a
+    /// typed refusal and the handle is unchanged.
+    ///
+    /// # Errors
+    /// [`EpochError::UnknownId`] when any id was never appended.
+    pub fn delete(&self, ids: &[usize]) -> Result<Arc<EpochSnapshot>, EpochError> {
+        let mut cur = self.lock();
+        let next = Arc::new(cur.deleted_with(ids)?);
+        *cur = Arc::clone(&next);
+        Ok(next)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Arc<EpochSnapshot>> {
+        self.current.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut state = seed;
+        let mut unif = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| (0..d).map(|_| unif() * 100.0 - 50.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn chunked_and_batched_appends_are_identical() {
+        let data = rows(200, 6, 0xABCD);
+        let batched = DatasetHandle::new(&data).expect("batched");
+        let chunked = DatasetHandle::empty(6).expect("empty");
+        for chunk in data.chunks(7) {
+            chunked.append(chunk).expect("chunk");
+        }
+        let (a, b) = (batched.snapshot(), chunked.snapshot());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.append_fingerprint(), b.append_fingerprint());
+        assert_eq!(a.epoch(), b.epoch());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.rows().iter().zip(b.rows().iter()) {
+            for (p, q) in x.iter().zip(y) {
+                assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+        for (p, q) in a.stats().mean().iter().zip(b.stats().mean()) {
+            assert_eq!(p.to_bits(), q.to_bits(), "chunked mean drifted");
+        }
+        let (ca, cb) = (a.stats().covariance(), b.stats().covariance());
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(ca[(i, j)].to_bits(), cb[(i, j)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_and_batched_deletes_are_identical() {
+        let data = rows(120, 4, 0x5150);
+        let ids: Vec<usize> = (0..120).step_by(3).collect();
+        let batched = DatasetHandle::new(&data).expect("handle");
+        batched.delete(&ids).expect("delete");
+        let chunked = DatasetHandle::new(&data).expect("handle");
+        for chunk in ids.chunks(5) {
+            chunked.delete(chunk).expect("chunk");
+        }
+        let (a, b) = (batched.snapshot(), chunked.snapshot());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.epoch(), b.epoch());
+        assert_eq!(a.len(), 120 - ids.len());
+        assert_eq!(*a.alive_ids(), *b.alive_ids());
+        for (p, q) in a.stats().mean().iter().zip(b.stats().mean()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn delete_is_idempotent_and_appends_change_identity() {
+        let h = DatasetHandle::new(&rows(30, 3, 7)).expect("handle");
+        let once = h.delete(&[4]).expect("delete");
+        let twice = h.delete(&[4, 4]).expect("redelete");
+        assert_eq!(once.fingerprint(), twice.fingerprint());
+        assert_eq!(once.epoch(), twice.epoch());
+        let before = h.snapshot().fingerprint();
+        h.append(&rows(1, 3, 9)).expect("append");
+        assert_ne!(h.snapshot().fingerprint(), before);
+    }
+
+    #[test]
+    fn streaming_stats_track_exact_recompute() {
+        // A long update/downdate stream (several checkpoints deep) stays
+        // within the documented tolerance of the exact statistics.
+        let data = rows(300, 5, 0xFEED);
+        let h = DatasetHandle::new(&data).expect("handle");
+        h.delete(&(0..90).collect::<Vec<_>>()).expect("delete");
+        h.append(&rows(40, 5, 0xBEEF)).expect("append");
+        let snap = h.snapshot();
+        let alive = snap.rows();
+        let exact_mean = hinn_linalg::stats::mean_vector(&alive);
+        let exact_cov = hinn_linalg::stats::covariance_matrix(&alive);
+        for (a, b) in snap.stats().mean().iter().zip(&exact_mean) {
+            assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        let cov = snap.stats().covariance();
+        for i in 0..5 {
+            for j in 0..5 {
+                let (a, b) = (cov[(i, j)], exact_cov[(i, j)]);
+                assert!(
+                    (a - b).abs() <= 1e-6 * (1.0 + b.abs()),
+                    "({i},{j}): {a} vs {b}"
+                );
+            }
+        }
+        assert_eq!(snap.stats().count(), snap.len());
+    }
+
+    #[test]
+    fn global_ids_and_dense_view_agree() {
+        let data = rows(50, 3, 0x1234);
+        let h = DatasetHandle::new(&data).expect("handle");
+        h.delete(&[0, 7, 49]).expect("delete");
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), 47);
+        assert_eq!(snap.appended_len(), 50);
+        assert_eq!(snap.tombstone_count(), 3);
+        assert!(snap.is_tombstoned(7));
+        assert!(!snap.is_tombstoned(8));
+        assert_eq!(snap.dense_index_of(7), None);
+        let ids = snap.alive_ids();
+        for (k, &id) in ids.iter().enumerate() {
+            assert_eq!(snap.dense_index_of(id), Some(k));
+            assert_eq!(snap.rows()[k], data[id]);
+            assert_eq!(snap.row(id), data[id]);
+        }
+        assert_eq!(snap.all_rows().len(), 50);
+        assert_eq!(snap.all_rows()[7], data[7]);
+    }
+
+    #[test]
+    fn mutation_refusals_are_typed_and_atomic() {
+        let h = DatasetHandle::new(&rows(10, 3, 1)).expect("handle");
+        let fp = h.snapshot().fingerprint();
+        assert!(matches!(
+            h.append(&[vec![1.0, 2.0]]),
+            Err(EpochError::DimMismatch {
+                expected: 3,
+                got: 2,
+                row: 0
+            })
+        ));
+        assert!(matches!(
+            h.append(&[vec![1.0, 2.0, f64::NAN]]),
+            Err(EpochError::NonFinite { row: 0 })
+        ));
+        assert!(matches!(
+            h.delete(&[3, 99]),
+            Err(EpochError::UnknownId {
+                id: 99,
+                appended: 10
+            })
+        ));
+        assert_eq!(
+            h.snapshot().fingerprint(),
+            fp,
+            "failed batch mutated the handle"
+        );
+        assert!(matches!(DatasetHandle::empty(0), Err(EpochError::ZeroDim)));
+        assert!(matches!(DatasetHandle::new(&[]), Err(EpochError::ZeroDim)));
+    }
+
+    #[test]
+    fn seeded_equals_streamed_from_genesis() {
+        let data = rows(64, 4, 0x42);
+        let seeded = DatasetHandle::new(&data).expect("seeded");
+        let streamed = DatasetHandle::empty(4).expect("empty");
+        for row in &data {
+            streamed.append(std::slice::from_ref(row)).expect("row");
+        }
+        assert_eq!(
+            seeded.snapshot().fingerprint(),
+            streamed.snapshot().fingerprint()
+        );
+        // Checkpoints fired mid-stream (64 rows = one full cadence) and
+        // the stats still match bit-for-bit.
+        for (a, b) in seeded
+            .snapshot()
+            .stats()
+            .mean()
+            .iter()
+            .zip(streamed.snapshot().stats().mean())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

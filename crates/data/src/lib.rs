@@ -22,6 +22,7 @@
 pub mod column_store;
 pub mod csv;
 pub mod dataset;
+pub mod epoch;
 pub mod projected;
 pub mod scaling;
 pub mod uci;
@@ -30,6 +31,7 @@ pub mod uniform;
 
 pub use column_store::ColumnStore;
 pub use dataset::Dataset;
+pub use epoch::{DatasetHandle, EpochError, EpochSnapshot, StreamingStats};
 pub use projected::{generate_projected_clusters, ProjectedClusterSpec};
 pub use scaling::FeatureScaler;
 pub use uci::{simulated_ionosphere, simulated_segmentation};

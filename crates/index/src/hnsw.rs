@@ -321,6 +321,70 @@ impl Hnsw {
             .unwrap_or_else(|| Arc::new(Self::build(points.to_vec(), params)))
     }
 
+    /// Extend the graph with the rows of `points` beyond the indexed
+    /// prefix (`points[self.len()..]`), inserted in strict id order.
+    ///
+    /// Because [`HnswParams::level_of`] hashes ids independently and
+    /// [`Hnsw::build`] inserts in strict id order, a graph built over a
+    /// prefix and then extended with the suffix is **bit-identical**
+    /// (same [`Hnsw::digest`]) to one built over the full set in one
+    /// shot — the property that lets streaming epochs grow the shared
+    /// graph incrementally instead of rebuilding per append batch. The
+    /// caller guarantees `points[..self.len()]` equals the rows the graph
+    /// was built over (epoch callers key graphs by the append-only
+    /// fingerprint chain, which encodes exactly that).
+    ///
+    /// # Panics
+    /// Panics if `points` is shorter than the indexed prefix or the new
+    /// rows are ragged.
+    pub fn extended(&self, points: &[Vec<f64>]) -> Self {
+        assert!(
+            points.len() >= self.n,
+            "Hnsw: extension set shorter than the indexed prefix"
+        );
+        let m = points.len();
+        if m == self.n {
+            return self.clone();
+        }
+        assert!(
+            points[self.n..].iter().all(|p| p.len() == self.dim),
+            "Hnsw: ragged extension rows"
+        );
+
+        let _span = hinn_obs::span!("index.extend");
+        let t0 = hinn_obs::enabled().then(std::time::Instant::now);
+
+        let mut graph = self.clone();
+        graph.points.reserve((m - self.n) * self.dim);
+        for p in &points[self.n..] {
+            graph.points.extend_from_slice(p);
+        }
+        graph.poisoned.extend(
+            points[self.n..]
+                .iter()
+                .map(|p| p.iter().any(|v| v.is_nan())),
+        );
+        graph
+            .levels
+            .extend((self.n..m).map(|id| self.params.level_of(id) as u32));
+        graph.links.extend((self.n..m).map(|_| Vec::new()));
+        graph.n = m;
+
+        let mut visited = Visited::new(m);
+        let mut stats = HnswStats::default();
+        for id in self.n as u32..m as u32 {
+            if !graph.poisoned[id as usize] {
+                graph.insert(id, &mut visited, &mut stats);
+            }
+        }
+
+        hinn_obs::counter("index.dist_evals", stats.dist_evals as u64);
+        if let Some(t0) = t0 {
+            hinn_obs::observe("index.extend_ms", t0.elapsed().as_secs_f64() * 1e3);
+        }
+        graph
+    }
+
     /// Number of indexed points (poisoned ones included in the count).
     pub fn len(&self) -> usize {
         self.n
@@ -819,6 +883,44 @@ mod tests {
             let own = Hnsw::build(pts.clone(), params.with_ef_search(300));
             assert_eq!(got, own.knn(&pts[qi], 10), "query {qi}");
         }
+    }
+
+    #[test]
+    fn extended_graph_is_bit_identical_to_full_build() {
+        let pts = cloud(360, 7, 0x57EA4);
+        let params = HnswParams::default().with_seed(3);
+        let full = Hnsw::build(pts.clone(), params);
+        // One big extension and a chain of small ones both land on the
+        // full build's digest.
+        let prefix = Hnsw::build(pts[..200].to_vec(), params);
+        assert_eq!(prefix.extended(&pts).digest(), full.digest());
+        let mut grown = Hnsw::build(pts[..100].to_vec(), params);
+        for stop in [150, 220, 360] {
+            grown = grown.extended(&pts[..stop]);
+        }
+        assert_eq!(grown.len(), 360);
+        assert_eq!(grown.digest(), full.digest());
+        assert_eq!(grown.knn(&pts[42], 10), full.knn(&pts[42], 10));
+        // A no-op extension is a plain clone.
+        assert_eq!(full.extended(&pts).digest(), full.digest());
+    }
+
+    #[test]
+    fn extension_handles_poisoned_new_rows() {
+        let mut pts = cloud(120, 4, 0xBAD);
+        pts[110][0] = f64::NAN;
+        let params = HnswParams::default();
+        let grown = Hnsw::build(pts[..100].to_vec(), params).extended(&pts);
+        assert_eq!(grown.digest(), Hnsw::build(pts.clone(), params).digest());
+        assert!(grown.knn(&pts[0], 120).iter().all(|&i| i != 110));
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the indexed prefix")]
+    fn extension_shorter_than_prefix_panics() {
+        let pts = cloud(20, 3, 5);
+        let graph = Hnsw::build(pts.clone(), HnswParams::default());
+        let _ = graph.extended(&pts[..10]);
     }
 
     #[test]

@@ -23,7 +23,8 @@
 
 use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
 use crate::proto::{
-    parse_reply, render_request, DoneSummary, ErrorKind, ParseError, Reply, Request, WireError,
+    parse_reply, render_request, DoneSummary, EpochSummary, ErrorKind, ParseError, Reply, Request,
+    WireError,
 };
 use hinn_user::UserResponse;
 use std::fmt;
@@ -291,6 +292,61 @@ impl NetClient {
     pub fn ping(&mut self) -> Result<(), ClientError> {
         match self.call_with_retry(&Request::Ping)? {
             Reply::Pong => Ok(()),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Append `rows` to the served dataset; returns the new epoch.
+    ///
+    /// # Errors
+    /// As [`call_with_retry`](Self::call_with_retry);
+    /// [`ClientError::UnexpectedReply`] if the answer is not an epoch.
+    pub fn ingest(&mut self, tenant: &str, rows: &[Vec<f64>]) -> Result<EpochSummary, ClientError> {
+        self.expect_epoch(&Request::Ingest {
+            tenant: tenant.to_string(),
+            rows: rows.to_vec(),
+        })
+    }
+
+    /// Tombstone rows by global id; returns the new epoch.
+    ///
+    /// # Errors
+    /// As [`call_with_retry`](Self::call_with_retry);
+    /// [`ClientError::UnexpectedReply`] if the answer is not an epoch.
+    pub fn delete_rows(
+        &mut self,
+        tenant: &str,
+        ids: &[usize],
+    ) -> Result<EpochSummary, ClientError> {
+        self.expect_epoch(&Request::Delete {
+            tenant: tenant.to_string(),
+            ids: ids.to_vec(),
+        })
+    }
+
+    /// The dataset's current epoch.
+    ///
+    /// # Errors
+    /// As [`call_with_retry`](Self::call_with_retry);
+    /// [`ClientError::UnexpectedReply`] if the answer is not an epoch.
+    pub fn epoch(&mut self) -> Result<EpochSummary, ClientError> {
+        self.expect_epoch(&Request::Epoch)
+    }
+
+    /// Explicitly carry a session onto the dataset's current epoch. The
+    /// reply is the session's next pending view (or its outcome, if the
+    /// remap finished it) — both stamped with the new epoch.
+    ///
+    /// # Errors
+    /// As [`call_with_retry`](Self::call_with_retry).
+    pub fn rebase(&mut self, session: u64) -> Result<Reply, ClientError> {
+        self.call_with_retry(&Request::Rebase { session })
+    }
+
+    fn expect_epoch(&mut self, req: &Request) -> Result<EpochSummary, ClientError> {
+        match self.call_with_retry(req)? {
+            Reply::Epoch(e) => Ok(e),
+            Reply::Error(e) => Err(ClientError::Server(e)),
             other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
         }
     }

@@ -54,8 +54,8 @@ pub use client::{ClientError, NetClient, RetryPolicy};
 pub use fairness::{AdmitError, TenantGovernor};
 pub use frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
 pub use proto::{
-    parse_reply, parse_request, render_reply, render_request, DoneSummary, ErrorKind, ParseError,
-    Reply, Request, StatsSummary, ViewSummary, WireError,
+    parse_reply, parse_request, render_reply, render_request, DoneSummary, EpochSummary, ErrorKind,
+    ParseError, Reply, Request, StatsSummary, ViewSummary, WireError,
 };
 pub use server::{NetServer, NetServerConfig, ServerHandle};
 pub use shed::{degrade, ShedLevel, ShedPolicy};

@@ -84,6 +84,30 @@ pub enum Request {
         /// Session id.
         session: u64,
     },
+    /// Append rows to the served dataset, advancing its epoch. Open
+    /// sessions keep answering from the epoch they pinned at open.
+    Ingest {
+        /// Tenant name (accounting / audit key).
+        tenant: String,
+        /// The rows to append, one body line each.
+        rows: Vec<Vec<f64>>,
+    },
+    /// Tombstone rows by global id, advancing the dataset epoch.
+    Delete {
+        /// Tenant name (accounting / audit key).
+        tenant: String,
+        /// Global row ids to tombstone.
+        ids: Vec<usize>,
+    },
+    /// Query the dataset's current epoch.
+    Epoch,
+    /// Explicitly carry a session onto the dataset's current epoch (the
+    /// opt-in escape from `epoch_mismatch`; see
+    /// `SessionManager::rebase`).
+    Rebase {
+        /// Session id.
+        session: u64,
+    },
     /// Server load snapshot.
     Stats,
     /// Liveness probe.
@@ -109,6 +133,21 @@ pub struct ViewSummary {
     pub query_density: f64,
     /// Maximum grid density (bit-exact over the wire).
     pub max_density: f64,
+    /// The dataset epoch the session is pinned to, when the server speaks
+    /// epochs. `None` from pre-epoch servers (the field is absent on the
+    /// wire) — optional for forward tolerance in both directions.
+    pub epoch: Option<u64>,
+}
+
+/// The dataset-epoch summary: the reply to `epoch`, `ingest`, and
+/// `delete`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochSummary {
+    /// Epoch number (cumulative row operations).
+    pub epoch: u64,
+    /// The epoch's chained fingerprint (raw 128-bit value; rendered as
+    /// zero-padded hex on the wire).
+    pub fingerprint: u128,
 }
 
 /// The final outcome summary, bit-exact against the in-process
@@ -157,6 +196,9 @@ pub enum ErrorKind {
     /// Session already delivered its outcome (and it is no longer
     /// retained).
     SessionFinished,
+    /// The session is pinned to a dataset epoch the server no longer
+    /// offers for implicit resume; `rebase` is the opt-in escape.
+    EpochMismatch,
     /// Engine failure (deadline, invalid input, …).
     Engine,
     /// The request did not parse.
@@ -178,6 +220,7 @@ impl ErrorKind {
             Self::UnknownSession => "unknown_session",
             Self::SessionEvicted => "evicted",
             Self::SessionFinished => "finished",
+            Self::EpochMismatch => "epoch_mismatch",
             Self::Engine => "engine",
             Self::Parse => "parse",
             Self::Frame => "frame",
@@ -193,6 +236,7 @@ impl ErrorKind {
             "unknown_session" => Self::UnknownSession,
             "evicted" => Self::SessionEvicted,
             "finished" => Self::SessionFinished,
+            "epoch_mismatch" => Self::EpochMismatch,
             "engine" => Self::Engine,
             "parse" => Self::Parse,
             "frame" => Self::Frame,
@@ -210,6 +254,10 @@ pub struct WireError {
     pub kind: ErrorKind,
     /// Deterministic backoff hint, for the retryable kinds.
     pub retry_after_ms: Option<u64>,
+    /// The dataset's current epoch at refusal time, when the server
+    /// speaks epochs — lets an `epoch_mismatch` client decide whether to
+    /// `rebase` without another round trip. Optional on the wire.
+    pub epoch: Option<u64>,
     /// Human-readable detail (its own line, so it may contain spaces).
     pub message: String,
 }
@@ -246,6 +294,8 @@ pub enum Reply {
         /// Session id.
         session: u64,
     },
+    /// The dataset epoch (answer to `epoch`, `ingest`, and `delete`).
+    Epoch(EpochSummary),
     /// Load snapshot.
     Stats(StatsSummary),
     /// Liveness answer.
@@ -513,6 +563,54 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, ParseError> {
                 session: session(&fields)?,
             })
         }
+        "ingest" => {
+            let tenant = fields.require(verb, "tenant")?.to_string();
+            if tenant.is_empty() {
+                return Err(bad_field("tenant", "must be non-empty"));
+            }
+            if body.is_empty() {
+                return Err(ParseError::MissingBody("ingest row lines".to_string()));
+            }
+            let mut rows = Vec::with_capacity(body.len());
+            for line in &body {
+                let Some(values) = line.strip_prefix("row ") else {
+                    return Err(ParseError::BadBody(format!(
+                        "expected a `row …` line, got {line:?}"
+                    )));
+                };
+                let row = parse_f64s("row", values.trim())?;
+                if row.is_empty() {
+                    return Err(ParseError::BadBody("empty row".to_string()));
+                }
+                if let Some(x) = row.iter().find(|x| !x.is_finite()) {
+                    return Err(ParseError::BadBody(format!("non-finite coordinate {x:?}")));
+                }
+                rows.push(row);
+            }
+            Ok(Request::Ingest { tenant, rows })
+        }
+        "delete" => {
+            no_trailing(&body)?;
+            let tenant = fields.require(verb, "tenant")?.to_string();
+            if tenant.is_empty() {
+                return Err(bad_field("tenant", "must be non-empty"));
+            }
+            let ids = parse_usizes("ids", fields.require(verb, "ids")?)?;
+            if ids.is_empty() {
+                return Err(bad_field("ids", "must be non-empty"));
+            }
+            Ok(Request::Delete { tenant, ids })
+        }
+        "epoch" => {
+            no_trailing(&body)?;
+            Ok(Request::Epoch)
+        }
+        "rebase" => {
+            no_trailing(&body)?;
+            Ok(Request::Rebase {
+                session: session(&fields)?,
+            })
+        }
         "stats" => {
             no_trailing(&body)?;
             Ok(Request::Stats)
@@ -555,6 +653,19 @@ pub fn render_request(req: &Request) -> Vec<u8> {
         Request::Retire { session } => {
             let _ = writeln!(out, "retire session={session}");
         }
+        Request::Ingest { tenant, rows } => {
+            let _ = writeln!(out, "ingest tenant={tenant}");
+            for row in rows {
+                let _ = writeln!(out, "row {}", join_f64s(row));
+            }
+        }
+        Request::Delete { tenant, ids } => {
+            let _ = writeln!(out, "delete tenant={tenant} ids={}", join_usizes(ids));
+        }
+        Request::Epoch => out.push_str("epoch\n"),
+        Request::Rebase { session } => {
+            let _ = writeln!(out, "rebase session={session}");
+        }
         Request::Stats => out.push_str("stats\n"),
         Request::Ping => out.push_str("ping\n"),
     }
@@ -578,11 +689,16 @@ pub fn parse_reply(payload: &[u8]) -> Result<Reply, ParseError> {
                 .get("retry_after_ms")
                 .map(|v| parse_u64("retry_after_ms", v))
                 .transpose()?;
+            let epoch = fields
+                .get("epoch")
+                .map(|v| parse_u64("epoch", v))
+                .transpose()?;
             let message = body.first().map_or(String::new(), |l| (*l).to_string());
             no_trailing(body.get(1..).unwrap_or(&[]))?;
             Ok(Reply::Error(WireError {
                 kind,
                 retry_after_ms,
+                epoch,
                 message,
             }))
         }
@@ -612,16 +728,42 @@ pub fn parse_reply(payload: &[u8]) -> Result<Reply, ParseError> {
                             "max_density",
                             fields.require(what, "max_density")?,
                         )?,
+                        // Absent from pre-epoch servers: optional, never
+                        // required — forward tolerance both ways.
+                        epoch: fields
+                            .get("epoch")
+                            .map(|v| parse_u64("epoch", v))
+                            .transpose()?,
+                    }))
+                }
+                "epoch" => {
+                    no_trailing(&body)?;
+                    let fp_hex = fields.require(what, "fp")?;
+                    let fingerprint = u128::from_str_radix(fp_hex, 16)
+                        .map_err(|e| bad_field("fp", format!("not 128-bit hex: {e}")))?;
+                    Ok(Reply::Epoch(EpochSummary {
+                        epoch: parse_u64("epoch", fields.require(what, "epoch")?)?,
+                        fingerprint,
                     }))
                 }
                 "done" => {
+                    // An empty list renders as a bare `neighbors` line once
+                    // the envelope trims trailing whitespace — accept it.
+                    let strip = |l: &&str, tag: &str| -> Option<String> {
+                        if *l == tag {
+                            return Some(String::new());
+                        }
+                        l.strip_prefix(tag)
+                            .and_then(|rest| rest.strip_prefix(' '))
+                            .map(str::to_string)
+                    };
                     let neighbors_line = body
                         .first()
-                        .and_then(|l| l.strip_prefix("neighbors "))
+                        .and_then(|l| strip(l, "neighbors"))
                         .ok_or_else(|| ParseError::MissingBody("neighbors line".to_string()))?;
                     let probs_line = body
                         .get(1)
-                        .and_then(|l| l.strip_prefix("probabilities "))
+                        .and_then(|l| strip(l, "probabilities"))
                         .ok_or_else(|| ParseError::MissingBody("probabilities line".to_string()))?;
                     no_trailing(body.get(2..).unwrap_or(&[]))?;
                     let neighbors = parse_usizes("neighbors", neighbors_line.trim())?;
@@ -687,7 +829,7 @@ pub fn render_reply(reply: &Reply) -> Vec<u8> {
     out.push('\n');
     match reply {
         Reply::View(v) => {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "ok view session={} major={} minor={} alive={} total={} shed={} \
                  query_density={:?} max_density={:?}",
@@ -700,6 +842,10 @@ pub fn render_reply(reply: &Reply) -> Vec<u8> {
                 v.query_density,
                 v.max_density
             );
+            if let Some(epoch) = v.epoch {
+                let _ = write!(out, " epoch={epoch}");
+            }
+            out.push('\n');
         }
         Reply::Done(d) => {
             let _ = writeln!(
@@ -719,6 +865,9 @@ pub fn render_reply(reply: &Reply) -> Vec<u8> {
         Reply::Retired { session } => {
             let _ = writeln!(out, "ok retired session={session}");
         }
+        Reply::Epoch(e) => {
+            let _ = writeln!(out, "ok epoch epoch={} fp={:032x}", e.epoch, e.fingerprint);
+        }
         Reply::Stats(s) => {
             let _ = writeln!(
                 out,
@@ -731,6 +880,9 @@ pub fn render_reply(reply: &Reply) -> Vec<u8> {
             let _ = write!(out, "err kind={}", e.kind.as_str());
             if let Some(ms) = e.retry_after_ms {
                 let _ = write!(out, " retry_after_ms={ms}");
+            }
+            if let Some(epoch) = e.epoch {
+                let _ = write!(out, " epoch={epoch}");
             }
             out.push('\n');
             if !e.message.is_empty() {
@@ -752,6 +904,7 @@ pub fn error_reply(
     Reply::Error(WireError {
         kind,
         retry_after_ms,
+        epoch: None,
         message: message.into(),
     })
 }
@@ -797,6 +950,16 @@ mod tests {
         round_trip_request(Request::Suspend { session: 42 });
         round_trip_request(Request::Close { session: 42 });
         round_trip_request(Request::Retire { session: 42 });
+        round_trip_request(Request::Ingest {
+            tenant: "alice".to_string(),
+            rows: vec![vec![1.0, -0.125, 1e-300], vec![4.0, 5.0, 6.0]],
+        });
+        round_trip_request(Request::Delete {
+            tenant: "alice".to_string(),
+            ids: vec![0, 7, 199],
+        });
+        round_trip_request(Request::Epoch);
+        round_trip_request(Request::Rebase { session: 42 });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Ping);
     }
@@ -812,6 +975,22 @@ mod tests {
             shed: 2,
             query_density: 0.123_456_789_012_345_6,
             max_density: 0.999_999_999_999_999_9,
+            epoch: Some(207),
+        }));
+        round_trip_reply(Reply::View(ViewSummary {
+            session: 9,
+            major: 0,
+            minor: 1,
+            alive: 187,
+            total: 200,
+            shed: 0,
+            query_density: 0.5,
+            max_density: 1.0,
+            epoch: None,
+        }));
+        round_trip_reply(Reply::Epoch(EpochSummary {
+            epoch: 207,
+            fingerprint: 0x00ab_cdef_0123_4567_89ab_cdef_0123_4567,
         }));
         round_trip_reply(Reply::Done(DoneSummary {
             session: 9,
@@ -820,6 +999,16 @@ mod tests {
             degraded: 1,
             neighbors: vec![3, 5, 9],
             probabilities: vec![0.5, 0.25, 1e-17],
+        }));
+        // Empty lists render as bare `neighbors` / `probabilities` lines
+        // once the envelope trims trailing whitespace — still invertible.
+        round_trip_reply(Reply::Done(DoneSummary {
+            session: 9,
+            majors: 2,
+            support: 20,
+            degraded: 0,
+            neighbors: Vec::new(),
+            probabilities: Vec::new(),
         }));
         round_trip_reply(Reply::Suspended { session: 1 });
         round_trip_reply(Reply::Closed { session: 1 });
@@ -834,13 +1023,66 @@ mod tests {
         round_trip_reply(Reply::Error(WireError {
             kind: ErrorKind::Overloaded,
             retry_after_ms: Some(25),
+            epoch: None,
             message: "admission denied: 8 open sessions (max 8)".to_string(),
+        }));
+        round_trip_reply(Reply::Error(WireError {
+            kind: ErrorKind::EpochMismatch,
+            retry_after_ms: None,
+            epoch: Some(212),
+            message: "session pinned epoch 200; dataset is at 212".to_string(),
         }));
         round_trip_reply(Reply::Error(WireError {
             kind: ErrorKind::Parse,
             retry_after_ms: None,
+            epoch: None,
             message: String::new(),
         }));
+    }
+
+    #[test]
+    fn epoch_fields_are_optional_and_ingest_bodies_are_strict() {
+        // A pre-epoch `ok view` line (no epoch=) still parses: None.
+        let old = b"hinn-session v1\nok view session=1 major=0 minor=1 alive=5 total=9 shed=0 \
+                    query_density=0.5 max_density=1.0\n";
+        let Reply::View(v) = parse_reply(old).expect("old view") else {
+            panic!("not a view");
+        };
+        assert_eq!(v.epoch, None);
+        // A mangled epoch= is a typed refusal, not a silent None.
+        let bad = b"hinn-session v1\nok view session=1 major=0 minor=1 alive=5 total=9 shed=0 \
+                    query_density=0.5 max_density=1.0 epoch=xyz\n";
+        assert!(matches!(parse_reply(bad), Err(ParseError::BadField { .. })));
+        // Same on err replies.
+        let Reply::Error(e) =
+            parse_reply(b"hinn-session v1\nerr kind=engine\nboom\n").expect("old err")
+        else {
+            panic!("not an error");
+        };
+        assert_eq!(e.epoch, None);
+        // Ingest refuses empty batches, non-`row` body lines, and
+        // non-finite coordinates.
+        assert!(matches!(
+            parse_request(b"hinn-session v1\ningest tenant=a\n"),
+            Err(ParseError::MissingBody(_))
+        ));
+        assert!(matches!(
+            parse_request(b"hinn-session v1\ningest tenant=a\nnot-a-row 1,2\n"),
+            Err(ParseError::BadBody(_))
+        ));
+        assert!(matches!(
+            parse_request(b"hinn-session v1\ningest tenant=a\nrow 1.0,NaN\n"),
+            Err(ParseError::BadBody(_))
+        ));
+        // Delete refuses empty id lists; epoch fingerprints must be hex.
+        assert!(matches!(
+            parse_request(b"hinn-session v1\ndelete tenant=a ids=\n"),
+            Err(ParseError::BadField { .. })
+        ));
+        assert!(matches!(
+            parse_reply(b"hinn-session v1\nok epoch epoch=5 fp=zz\n"),
+            Err(ParseError::BadField { .. })
+        ));
     }
 
     #[test]

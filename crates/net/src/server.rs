@@ -39,11 +39,11 @@
 use crate::fairness::{AdmitError, TenantGovernor};
 use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
 use crate::proto::{
-    error_reply, parse_request, render_reply, DoneSummary, ErrorKind, ParseError, Reply, Request,
-    StatsSummary, ViewSummary,
+    error_reply, parse_request, render_reply, DoneSummary, EpochSummary, ErrorKind, ParseError,
+    Reply, Request, StatsSummary, ViewSummary, WireError,
 };
 use crate::shed::{degrade, ShedLevel, ShedPolicy};
-use hinn_core::HinnError;
+use hinn_core::{DatasetHandle, HinnError};
 use hinn_serve::{ServeConfig, ServeError, SessionId, SessionManager, Step, ViewRequest};
 use std::collections::{HashMap, VecDeque};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -228,16 +228,16 @@ impl Shared {
 pub struct NetServer;
 
 impl NetServer {
-    /// Bind the listener, start the accept loop, and return the handle.
+    /// Bind the listener over the epoch-versioned dataset behind `data`,
+    /// start the accept loop, and return the handle. The wire's `ingest`
+    /// / `delete` / `epoch` / `rebase` verbs operate on this handle; open
+    /// sessions answer from the epoch they pinned at open.
     ///
     /// # Errors
     /// [`HinnError`] when the serve configuration is invalid; the bind
     /// failure is wrapped the same way (`phase: "net.bind"`).
-    pub fn bind(
-        config: NetServerConfig,
-        points: Arc<Vec<Vec<f64>>>,
-    ) -> Result<ServerHandle, HinnError> {
-        let manager = SessionManager::new(config.serve.clone(), points)?;
+    pub fn bind(config: NetServerConfig, data: DatasetHandle) -> Result<ServerHandle, HinnError> {
+        let manager = SessionManager::new(config.serve.clone(), data)?;
         let listener = TcpListener::bind(&config.addr).map_err(|e| HinnError::InvalidInput {
             phase: "net.bind",
             message: format!("cannot bind {}: {e}", config.addr),
@@ -283,6 +283,28 @@ impl NetServer {
             shared,
             accept: Some(accept),
         })
+    }
+
+    /// [`bind`](Self::bind) over a plain point set — the pre-epoch shim.
+    /// Builds a single-epoch [`DatasetHandle`], so data validation
+    /// (finite values, uniform dimensionality) happens here.
+    ///
+    /// # Errors
+    /// As [`bind`](Self::bind), plus [`HinnError::InvalidInput`] when
+    /// `points` is data a [`DatasetHandle`] refuses.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a DatasetHandle and use NetServer::bind"
+    )]
+    pub fn bind_points(
+        config: NetServerConfig,
+        points: Arc<Vec<Vec<f64>>>,
+    ) -> Result<ServerHandle, HinnError> {
+        let data = DatasetHandle::new(&points).map_err(|e| HinnError::InvalidInput {
+            phase: "net.bind",
+            message: format!("NetServer::bind_points: {e}"),
+        })?;
+        Self::bind(config, data)
     }
 }
 
@@ -551,8 +573,14 @@ fn req_session(req: &Request) -> Option<u64> {
         | Request::View { session }
         | Request::Suspend { session }
         | Request::Close { session }
-        | Request::Retire { session } => Some(*session),
-        Request::Open { .. } | Request::Stats | Request::Ping => None,
+        | Request::Retire { session }
+        | Request::Rebase { session } => Some(*session),
+        Request::Open { .. }
+        | Request::Ingest { .. }
+        | Request::Delete { .. }
+        | Request::Epoch
+        | Request::Stats
+        | Request::Ping => None,
     }
 }
 
@@ -575,6 +603,10 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> (Reply, After) {
         Request::Suspend { session } => (suspend(shared, session), After::Continue),
         Request::Close { session } => (close(shared, session), After::Continue),
         Request::Retire { session } => (retire(shared, session), After::Continue),
+        Request::Ingest { rows, .. } => (ingest(shared, &rows), After::Continue),
+        Request::Delete { ids, .. } => (delete(shared, &ids), After::Continue),
+        Request::Epoch => (epoch(shared), After::Continue),
+        Request::Rebase { session } => (rebase(shared, session), After::Continue),
     }
 }
 
@@ -599,6 +631,13 @@ fn view_summary(shared: &Arc<Shared>, session: u64, request: &ViewRequest) -> Vi
         shed: shared.shed_level_of(session),
         query_density: profile.query_density(),
         max_density: profile.max_density(),
+        // Every view advertises the epoch the session's answers are
+        // relative to — a live session's pin, not the handle's current.
+        epoch: shared
+            .manager
+            .session_epoch(SessionId::from_raw(session))
+            .ok()
+            .map(|(num, _)| num),
     }
 }
 
@@ -829,6 +868,43 @@ fn retire(shared: &Arc<Shared>, session: u64) -> Reply {
     }
 }
 
+fn ingest(shared: &Arc<Shared>, rows: &[Vec<f64>]) -> Reply {
+    match shared.manager.ingest(rows) {
+        Ok((epoch, fp)) => Reply::Epoch(EpochSummary {
+            epoch,
+            fingerprint: fp.0,
+        }),
+        Err(e) => serve_error_reply(shared, None, &e),
+    }
+}
+
+fn delete(shared: &Arc<Shared>, ids: &[usize]) -> Reply {
+    match shared.manager.delete(ids) {
+        Ok((epoch, fp)) => Reply::Epoch(EpochSummary {
+            epoch,
+            fingerprint: fp.0,
+        }),
+        Err(e) => serve_error_reply(shared, None, &e),
+    }
+}
+
+fn epoch(shared: &Arc<Shared>) -> Reply {
+    let (epoch, fp) = shared.manager.current_epoch();
+    Reply::Epoch(EpochSummary {
+        epoch,
+        fingerprint: fp.0,
+    })
+}
+
+fn rebase(shared: &Arc<Shared>, session: u64) -> Reply {
+    let id = SessionId::from_raw(session);
+    match shared.manager.rebase(id) {
+        Ok(Step::NeedResponse(request)) => Reply::View(view_summary(shared, session, &request)),
+        Ok(Step::Done(outcome)) => finish(shared, session, &outcome),
+        Err(e) => serve_error_reply(shared, Some(session), &e),
+    }
+}
+
 /// Map a [`ServeError`] to its typed wire reply, releasing the tenant
 /// reservation when the error means the session is gone for good.
 fn serve_error_reply(shared: &Arc<Shared>, session: Option<u64>, e: &ServeError) -> Reply {
@@ -841,18 +917,32 @@ fn serve_error_reply(shared: &Arc<Shared>, session: Option<u64>, e: &ServeError)
         ServeError::UnknownSession(_) => (ErrorKind::UnknownSession, None),
         ServeError::SessionEvicted(_) => (ErrorKind::SessionEvicted, None),
         ServeError::SessionFinished(_) => (ErrorKind::SessionFinished, None),
+        ServeError::Engine(HinnError::EpochMismatch { .. }) => (ErrorKind::EpochMismatch, None),
         ServeError::Engine(_) => (ErrorKind::Engine, None),
         ServeError::CursorMismatch { .. } => (ErrorKind::Internal, None),
     };
     // Evicted and engine-failed sessions are spent: free their tenant
-    // slot so the refusals self-heal.
-    if matches!(
-        e,
-        ServeError::SessionEvicted(_) | ServeError::Engine(_) | ServeError::SessionFinished(_)
-    ) {
+    // slot so the refusals self-heal. An epoch mismatch is the exception:
+    // the session's state is intact (nothing was applied) and `rebase`
+    // is its documented way forward.
+    let mismatch = matches!(kind, ErrorKind::EpochMismatch);
+    if !mismatch
+        && matches!(
+            e,
+            ServeError::SessionEvicted(_) | ServeError::Engine(_) | ServeError::SessionFinished(_)
+        )
+    {
         if let Some(session) = session {
             shared.release_session(session);
         }
     }
-    error_reply(kind, retry, e.to_string())
+    // Every refusal is stamped with the dataset's current epoch, so an
+    // epoch-aware client can reason about staleness without another
+    // round trip.
+    Reply::Error(WireError {
+        kind,
+        retry_after_ms: retry,
+        epoch: Some(shared.manager.current_epoch().0),
+        message: e.to_string(),
+    })
 }

@@ -11,8 +11,8 @@
 //! self-consistent.
 
 use hinn_net::proto::{
-    parse_reply, parse_request, render_reply, render_request, DoneSummary, ErrorKind, ParseError,
-    Reply, Request, ViewSummary, WireError,
+    parse_reply, parse_request, render_reply, render_request, DoneSummary, EpochSummary, ErrorKind,
+    ParseError, Reply, Request, ViewSummary, WireError,
 };
 use hinn_user::UserResponse;
 use proptest::prelude::*;
@@ -36,6 +36,12 @@ fn printable(max: usize) -> impl Strategy<Value = String> {
     })
 }
 
+/// `Option<u64>` epochs — the stub proptest has no `option::of`, so a
+/// two-valued discriminant picks the arm.
+fn optional_epoch() -> impl Strategy<Value = Option<u64>> {
+    (0u32..2, 0u64..1_000_000).prop_map(|(some, epoch)| (some == 1).then_some(epoch))
+}
+
 fn arbitrary_request() -> impl Strategy<Value = Request> {
     let open = (
         tenant_name(),
@@ -57,16 +63,30 @@ fn arbitrary_request() -> impl Strategy<Value = Request> {
             minor,
             response,
         });
+    let ingest = (
+        tenant_name(),
+        proptest::collection::vec(proptest::collection::vec(-1.0e9..1.0e9f64, 1..8), 1..5),
+    )
+        .prop_map(|(tenant, rows)| Request::Ingest { tenant, rows });
+    let delete = (
+        tenant_name(),
+        proptest::collection::vec(0usize..100_000, 1..8),
+    )
+        .prop_map(|(tenant, ids)| Request::Delete { tenant, ids });
     let id = 0u64..1_000_000;
     prop_oneof![
         open,
         submit,
+        ingest,
+        delete,
         id.clone().prop_map(|session| Request::View { session }),
         id.clone().prop_map(|session| Request::Suspend { session }),
         id.clone().prop_map(|session| Request::Close { session }),
-        id.prop_map(|session| Request::Retire { session }),
+        id.clone().prop_map(|session| Request::Retire { session }),
+        id.prop_map(|session| Request::Rebase { session }),
         Just(Request::Stats),
         Just(Request::Ping),
+        Just(Request::Epoch),
     ]
 }
 
@@ -77,20 +97,26 @@ fn arbitrary_reply() -> impl Strategy<Value = Reply> {
         0usize..10,
         0usize..100_000,
         0usize..100_000,
-        (0u32..4, -1.0e6..1.0e6f64, -1.0e6..1.0e6f64),
+        (
+            (0u32..4, -1.0e6..1.0e6f64, -1.0e6..1.0e6f64),
+            optional_epoch(),
+        ),
     )
-        .prop_map(|(session, major, minor, alive, total, (shed, qd, md))| {
-            Reply::View(ViewSummary {
-                session,
-                major,
-                minor,
-                alive,
-                total,
-                shed: shed as u8,
-                query_density: qd,
-                max_density: md,
-            })
-        });
+        .prop_map(
+            |(session, major, minor, alive, total, ((shed, qd, md), epoch))| {
+                Reply::View(ViewSummary {
+                    session,
+                    major,
+                    minor,
+                    alive,
+                    total,
+                    shed: shed as u8,
+                    query_density: qd,
+                    max_density: md,
+                    epoch,
+                })
+            },
+        );
     let done = (
         0u64..1_000_000,
         1usize..10,
@@ -109,17 +135,27 @@ fn arbitrary_reply() -> impl Strategy<Value = Reply> {
                 probabilities,
             })
         });
-    let err = (0u64..1000, printable(40)).prop_map(|(ms, message)| {
+    let err = (0u64..1000, optional_epoch(), printable(40)).prop_map(|(ms, epoch, message)| {
         Reply::Error(WireError {
             kind: ErrorKind::Overloaded,
             retry_after_ms: Some(ms),
+            epoch,
             message,
         })
     });
+    let epoch = (0u64..1_000_000, proptest::collection::vec(0u32..256, 16)).prop_map(
+        |(epoch, fp_bytes)| {
+            let fingerprint = fp_bytes
+                .into_iter()
+                .fold(0u128, |acc, b| (acc << 8) | u128::from(b as u8));
+            Reply::Epoch(EpochSummary { epoch, fingerprint })
+        },
+    );
     prop_oneof![
         view,
         done,
         err,
+        epoch,
         (0u64..1000).prop_map(|session| Reply::Suspended { session }),
         (0u64..1000).prop_map(|session| Reply::Closed { session }),
         Just(Reply::Pong),
@@ -221,6 +257,34 @@ proptest! {
                 parse_request(damaged.as_bytes()),
                 Err(ParseError::DuplicateKey(key))
             );
+        }
+    }
+
+    /// Forward tolerance of the `epoch=` field: a pre-epoch peer that
+    /// omits it from a `view` or `err` line yields the same reply with
+    /// `epoch: None` — never a refusal, never a silent default.
+    #[test]
+    fn missing_epoch_field_parses_to_none(reply in arbitrary_reply()) {
+        // Only view/err carry an optional epoch; other replies skip the case.
+        let case = match &reply {
+            Reply::View(view) => view.epoch.map(|epoch| {
+                let mut bare = view.clone();
+                bare.epoch = None;
+                (epoch, Reply::View(bare))
+            }),
+            Reply::Error(err) => err.epoch.map(|epoch| {
+                let mut bare = err.clone();
+                bare.epoch = None;
+                (epoch, Reply::Error(bare))
+            }),
+            _ => None,
+        };
+        if let Some((epoch, stripped)) = case {
+            let text = String::from_utf8(render_reply(&reply)).unwrap();
+            let token = format!(" epoch={epoch}");
+            prop_assert!(text.contains(&token), "epoch field missing from render");
+            let damaged = text.replacen(&token, "", 1);
+            prop_assert_eq!(parse_reply(damaged.as_bytes()).unwrap(), stripped);
         }
     }
 

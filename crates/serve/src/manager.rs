@@ -3,8 +3,8 @@
 use crate::postmortem::{EventRing, Postmortem, SessionEvent};
 use hinn_cache::{Fingerprint, LruCache};
 use hinn_core::{
-    DegradationKind, HinnError, OwnedSessionEngine, SearchConfig, SessionCache, SessionEngine,
-    SessionSnapshot, Step,
+    DatasetHandle, DegradationKind, EpochSnapshot, HinnError, OwnedSessionEngine, SearchConfig,
+    SessionCache, SessionEngine, SessionSnapshot, Step,
 };
 use hinn_user::UserResponse;
 use std::collections::HashMap;
@@ -282,6 +282,13 @@ struct Inner {
     /// fingerprint refuses anything else — so the override is kept for the
     /// session's whole life and dropped when it retires or closes.
     overrides: HashMap<u64, SearchConfig>,
+    /// The dataset epoch each live session pinned at open. A warm-tier
+    /// restore resumes against *this* snapshot — never the handle's
+    /// current one — so concurrent ingestion can't turn a routine restore
+    /// into an [`HinnError::EpochMismatch`]. Dropped when the session
+    /// retires or closes; replaced by an explicit
+    /// [`SessionManager::rebase`].
+    epochs: HashMap<u64, Arc<EpochSnapshot>>,
 }
 
 impl Inner {
@@ -301,7 +308,10 @@ impl Inner {
 /// concurrently; submits to the same session serialize.
 pub struct SessionManager {
     config: ServeConfig,
-    points: Arc<Vec<Vec<f64>>>,
+    /// The served dataset. Epoch-versioned: [`ingest`](Self::ingest) and
+    /// [`delete`](Self::delete) advance it in place while every open
+    /// session keeps computing against the epoch it pinned at open.
+    data: DatasetHandle,
     /// One cache shared by every session: same data set, same pure
     /// stages, so sessions warm each other exactly like batch queries do.
     cache: Arc<SessionCache>,
@@ -314,7 +324,11 @@ pub struct SessionManager {
 }
 
 impl SessionManager {
-    /// A manager serving sessions over `points`.
+    /// A manager serving sessions over the epoch-versioned dataset
+    /// behind `data`. The manager takes ownership of the handle; feed it
+    /// new rows through [`ingest`](Self::ingest) and
+    /// [`delete`](Self::delete), which open sessions observe only at
+    /// their next open (or an explicit [`rebase`](Self::rebase)).
     ///
     /// # Errors
     /// [`HinnError::InvalidInput`] when the search configuration is
@@ -322,7 +336,7 @@ impl SessionManager {
     /// cannot be snapshotted, so they cannot be evicted — refuse up front
     /// rather than fail at the first eviction), or when `max_resident`
     /// is 0.
-    pub fn new(config: ServeConfig, points: Arc<Vec<Vec<f64>>>) -> Result<Self, HinnError> {
+    pub fn new(config: ServeConfig, data: DatasetHandle) -> Result<Self, HinnError> {
         config.search.try_validate()?;
         let invalid = |message: &str| HinnError::InvalidInput {
             phase: "serve.config",
@@ -341,7 +355,7 @@ impl SessionManager {
         let warm = LruCache::new(config.warm_capacity);
         Ok(Self {
             config,
-            points,
+            data,
             cache,
             warm,
             inner: Mutex::new(Inner {
@@ -353,9 +367,162 @@ impl SessionManager {
                 pinned: HashMap::new(),
                 black_box: HashMap::new(),
                 overrides: HashMap::new(),
+                epochs: HashMap::new(),
             }),
             incidents: Mutex::new(Vec::new()),
         })
+    }
+
+    /// [`new`](Self::new) over a plain point set — the pre-epoch shim.
+    /// Builds a single-epoch [`DatasetHandle`] from `points`, so data
+    /// validation (finite values, uniform dimensionality) now happens
+    /// here instead of at the first `open`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a DatasetHandle and use SessionManager::new"
+    )]
+    pub fn with_points(config: ServeConfig, points: Arc<Vec<Vec<f64>>>) -> Result<Self, HinnError> {
+        let data = DatasetHandle::new(&points).map_err(|e| HinnError::InvalidInput {
+            phase: "serve.config",
+            message: format!("SessionManager: {e}"),
+        })?;
+        Self::new(config, data)
+    }
+
+    /// The served dataset handle — the door to epoch-aware callers that
+    /// want to pin snapshots themselves (e.g. to batch-verify against the
+    /// exact epoch a session answered from).
+    pub fn dataset(&self) -> &DatasetHandle {
+        &self.data
+    }
+
+    /// The dataset's current epoch: `(epoch number, chained fingerprint)`.
+    pub fn current_epoch(&self) -> (u64, Fingerprint) {
+        let snap = self.data.snapshot();
+        (snap.epoch(), snap.fingerprint())
+    }
+
+    /// The epoch session `id` pinned at open (or at its last
+    /// [`rebase`](Self::rebase)) — what its answers are relative to.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownSession`] when `id` has no live pin (never
+    /// opened, closed, or already finished).
+    pub fn session_epoch(&self, id: SessionId) -> Result<(u64, Fingerprint), ServeError> {
+        self.lock()
+            .epochs
+            .get(&id.0)
+            .map(|snap| (snap.epoch(), snap.fingerprint()))
+            .ok_or(ServeError::UnknownSession(id))
+    }
+
+    /// Append `rows` to the served dataset, producing a new epoch that
+    /// only *future* opens observe: every live session keeps computing
+    /// against the epoch it pinned. Returns the new epoch's
+    /// `(number, fingerprint)`.
+    ///
+    /// # Errors
+    /// [`ServeError::Engine`] wrapping [`HinnError::InvalidInput`] when a
+    /// row is ragged or non-finite (the dataset is unchanged).
+    pub fn ingest(&self, rows: &[Vec<f64>]) -> Result<(u64, Fingerprint), ServeError> {
+        let _span = hinn_obs::span("serve.ingest");
+        let snap = self.data.append(rows).map_err(|e| {
+            ServeError::Engine(HinnError::InvalidInput {
+                phase: "serve.ingest",
+                message: format!("SessionManager::ingest: {e}"),
+            })
+        })?;
+        hinn_obs::counter("serve.ingested_rows", rows.len() as u64);
+        Ok((snap.epoch(), snap.fingerprint()))
+    }
+
+    /// Tombstone the rows with global ids `ids`, producing a new epoch
+    /// (same pinning rules as [`ingest`](Self::ingest)). Already-deleted
+    /// ids are skipped. Returns the new epoch's `(number, fingerprint)`.
+    ///
+    /// # Errors
+    /// [`ServeError::Engine`] wrapping [`HinnError::InvalidInput`] when an
+    /// id was never appended (the dataset is unchanged).
+    pub fn delete(&self, ids: &[usize]) -> Result<(u64, Fingerprint), ServeError> {
+        let _span = hinn_obs::span("serve.delete");
+        let snap = self.data.delete(ids).map_err(|e| {
+            ServeError::Engine(HinnError::InvalidInput {
+                phase: "serve.delete",
+                message: format!("SessionManager::delete: {e}"),
+            })
+        })?;
+        hinn_obs::counter("serve.deleted_rows", ids.len() as u64);
+        Ok((snap.epoch(), snap.fingerprint()))
+    }
+
+    /// Explicitly carry session `id` onto the dataset's *current* epoch:
+    /// suspend-point state is remapped by global row id (rows deleted
+    /// since the session's pin drop out; rows appended since join with
+    /// zero preference mass), the session is re-pinned, and its next
+    /// pending view — recomputed on the new epoch — is returned. A no-op
+    /// returning the pending view when the session is already current.
+    ///
+    /// This is the serving face of
+    /// [`SessionEngine::resume_rebased`]: it never happens implicitly —
+    /// a session's answers stay relative to one epoch unless an operator
+    /// asks for the remap.
+    ///
+    /// # Errors
+    /// The usual residency errors ([`ServeError::UnknownSession`] /
+    /// [`SessionEvicted`](ServeError::SessionEvicted) /
+    /// [`SessionFinished`](ServeError::SessionFinished));
+    /// [`ServeError::Engine`] when the engine refuses the remap (e.g.
+    /// fewer than two of the session's alive points survive). On engine
+    /// refusal the session keeps its old pin and state, untouched.
+    pub fn rebase(&self, id: SessionId) -> Result<Step, ServeError> {
+        let _span = hinn_obs::span("session.rebase");
+        let lease = self.checkout(id)?;
+        let mut guard = lease.lock();
+        let onto = self.data.snapshot();
+        let from = self
+            .lock()
+            .epochs
+            .get(&id.0)
+            .cloned()
+            .ok_or(ServeError::UnknownSession(id))?;
+        if from.fingerprint() == onto.fingerprint() {
+            return match guard.engine.pending_view() {
+                Some(view) => Ok(Step::NeedResponse(view.clone())),
+                None => Err(ServeError::SessionFinished(id)),
+            };
+        }
+        let snap = guard.engine.snapshot().map_err(ServeError::Engine)?;
+        let mut search = {
+            let inner = self.lock();
+            inner
+                .overrides
+                .get(&id.0)
+                .cloned()
+                .unwrap_or_else(|| self.config.search.clone())
+        };
+        if self.config.session_deadline.is_some() {
+            search.deadline = self.config.session_deadline;
+        }
+        let (engine, step) = SessionEngine::resume_rebased_shared(
+            search,
+            from.clone(),
+            onto.clone(),
+            &snap,
+            self.cache.clone(),
+        )
+        .map_err(ServeError::Engine)?;
+        guard.degr_seen = engine.degradations().len();
+        guard.engine = engine;
+        hinn_obs::counter("session.rebased", 1);
+        self.record(
+            id,
+            SessionEvent::Rebased {
+                from_epoch: from.epoch(),
+                onto_epoch: onto.epoch(),
+            },
+        );
+        self.lock().epochs.insert(id.0, onto);
+        Ok(step)
     }
 
     /// The serving configuration.
@@ -450,16 +617,20 @@ impl SessionManager {
         if self.config.session_deadline.is_some() {
             search.deadline = self.config.session_deadline;
         }
+        // Pin the dataset epoch *before* the first compute: everything
+        // this session ever reports is relative to this snapshot, however
+        // much the handle moves underneath it.
+        let pinned = self.data.snapshot();
         let (engine, step) =
-            SessionEngine::start_shared(search, self.points.clone(), query, self.cache.clone())?;
+            SessionEngine::start_at_shared(search, pinned.clone(), query, self.cache.clone())?;
         // Mirror open-time degradation rungs (StarvedSeed's linear-scan
         // fallback fires during the seed) into the black box before the
         // engine moves into its slot.
         let degr_seen = engine.degradations().len();
         let mut ring = EventRing::default();
         ring.push(SessionEvent::Opened {
-            n_points: self.points.len(),
-            dims: self.points.first().map_or(0, Vec::len),
+            n_points: pinned.len(),
+            dims: pinned.dim(),
         });
         let mut starved = false;
         for e in engine.degradations().iter() {
@@ -496,6 +667,7 @@ impl SessionManager {
             return Ok((id, step));
         }
         inner.black_box.insert(id.0, ring);
+        inner.epochs.insert(id.0, pinned);
         if let Some(over) = override_search {
             inner.overrides.insert(id.0, over);
         }
@@ -732,6 +904,7 @@ impl SessionManager {
         inner.black_box.remove(&id.0);
         inner.pinned.remove(&id.0);
         inner.overrides.remove(&id.0);
+        inner.epochs.remove(&id.0);
         self.warm.remove(id.key());
         self.publish_gauges(&inner);
         Ok(())
@@ -789,9 +962,19 @@ impl SessionManager {
         if self.config.session_deadline.is_some() {
             search.deadline = self.config.session_deadline;
         }
+        // Resume against the epoch the session *pinned*, not the handle's
+        // current one: ingestion between suspend and restore must never
+        // shift a session's answers (and would otherwise surface as an
+        // EpochMismatch on a routine warm-tier bounce). The fallback to
+        // the current snapshot only covers a pin lost to a racing close —
+        // the engine's own epoch check still refuses a wrong dataset.
+        let pinned = inner
+            .epochs
+            .get(&id.0)
+            .cloned()
+            .unwrap_or_else(|| self.data.snapshot());
         let timed = hinn_obs::enabled().then(Instant::now);
-        let resumed =
-            SessionEngine::resume_shared(search, self.points.clone(), &snap, self.cache.clone());
+        let resumed = SessionEngine::resume_at_shared(search, pinned, &snap, self.cache.clone());
         if let Some(start) = timed {
             hinn_obs::observe("snapshot.restore_ms", start.elapsed().as_secs_f64() * 1e3);
         }
@@ -915,6 +1098,7 @@ impl SessionManager {
         inner.black_box.remove(&id.0);
         inner.pinned.remove(&id.0);
         inner.overrides.remove(&id.0);
+        inner.epochs.remove(&id.0);
         self.warm.remove(id.key());
         inner.lifecycle.insert(id.0, state);
         self.publish_gauges(&inner);
@@ -1045,6 +1229,13 @@ mod tests {
         pts
     }
 
+    /// A fresh epoch handle over the planted fixture. Handles over the
+    /// same rows share an epoch fingerprint, so separately-built
+    /// reference managers stay comparable.
+    fn handle() -> DatasetHandle {
+        DatasetHandle::new(&planted()).expect("epoch handle")
+    }
+
     fn config() -> ServeConfig {
         ServeConfig::new(SearchConfig {
             max_major_iterations: 2,
@@ -1068,9 +1259,8 @@ mod tests {
 
     #[test]
     fn one_session_end_to_end() {
-        let pts = Arc::new(planted());
         let q = vec![50.0; 8];
-        let m = SessionManager::new(config(), pts).expect("manager");
+        let m = SessionManager::new(config(), handle()).expect("manager");
         let (id, step) = m.open(&q).expect("open");
         assert_eq!(m.live_sessions(), 1);
         let outcome = drive_to_done(&m, id, step);
@@ -1085,9 +1275,8 @@ mod tests {
 
     #[test]
     fn hot_cap_evicts_to_warm_and_resumes_transparently() {
-        let pts = Arc::new(planted());
         let q = vec![50.0; 8];
-        let m = SessionManager::new(config().with_max_resident(2), pts).expect("manager");
+        let m = SessionManager::new(config().with_max_resident(2), handle()).expect("manager");
         let (a, _) = m.open(&q).expect("a");
         let (b, _) = m.open(&q).expect("b");
         let (c, _) = m.open(&q).expect("c");
@@ -1105,10 +1294,12 @@ mod tests {
 
     #[test]
     fn warm_overflow_is_reported_as_eviction() {
-        let pts = Arc::new(planted());
         let q = vec![50.0; 8];
-        let m = SessionManager::new(config().with_max_resident(1).with_warm_capacity(1), pts)
-            .expect("manager");
+        let m = SessionManager::new(
+            config().with_max_resident(1).with_warm_capacity(1),
+            handle(),
+        )
+        .expect("manager");
         let (a, _) = m.open(&q).expect("a");
         let (b, _) = m.open(&q).expect("b"); // a → warm
         let (_c, _) = m.open(&q).expect("c"); // b → warm, a's snapshot dropped
@@ -1129,9 +1320,8 @@ mod tests {
 
     #[test]
     fn admission_control_refuses_past_the_bound() {
-        let pts = Arc::new(planted());
         let q = vec![50.0; 8];
-        let m = SessionManager::new(config().with_max_sessions(2), pts).expect("manager");
+        let m = SessionManager::new(config().with_max_sessions(2), handle()).expect("manager");
         let (a, _) = m.open(&q).expect("a");
         let _ = m.open(&q).expect("b");
         let err = m.open(&q).expect_err("denied");
@@ -1146,8 +1336,7 @@ mod tests {
 
     #[test]
     fn unknown_and_closed_sessions_are_typed_errors() {
-        let pts = Arc::new(planted());
-        let m = SessionManager::new(config(), pts).expect("manager");
+        let m = SessionManager::new(config(), handle()).expect("manager");
         let ghost = SessionId(99);
         assert!(matches!(
             m.submit(ghost, UserResponse::Discard).expect_err("ghost"),
@@ -1167,16 +1356,13 @@ mod tests {
 
     #[test]
     fn record_profiles_and_zero_residency_are_refused_up_front() {
-        let pts = Arc::new(planted());
         let bad = ServeConfig::new(SearchConfig {
             record_profiles: true,
             ..SearchConfig::default()
         });
-        let err = SessionManager::new(bad, pts.clone())
-            .err()
-            .expect("refused");
+        let err = SessionManager::new(bad, handle()).err().expect("refused");
         assert!(err.to_string().contains("record_profiles"), "{err}");
-        let err = SessionManager::new(config().with_max_resident(0), pts)
+        let err = SessionManager::new(config().with_max_resident(0), handle())
             .err()
             .expect("refused");
         assert!(err.to_string().contains("max_resident"), "{err}");
@@ -1184,9 +1370,8 @@ mod tests {
 
     #[test]
     fn suspend_then_pending_view_round_trips() {
-        let pts = Arc::new(planted());
         let q = vec![50.0; 8];
-        let m = SessionManager::new(config(), pts).expect("manager");
+        let m = SessionManager::new(config(), handle()).expect("manager");
         let (id, step) = m.open(&q).expect("open");
         let before = step.view().expect("first view").clone();
         m.suspend(id).expect("suspend");
@@ -1211,11 +1396,10 @@ mod tests {
     #[test]
     fn concurrent_submits_survive_eviction_churn() {
         use std::sync::atomic::{AtomicBool, Ordering};
-        let pts = Arc::new(planted());
         let q = vec![50.0; 8];
         // Serial reference outcome (all sessions share the same query).
         let reference = {
-            let m = SessionManager::new(config(), pts.clone()).expect("manager");
+            let m = SessionManager::new(config(), handle()).expect("manager");
             let (id, step) = m.open(&q).expect("open");
             drive_to_done(&m, id, step)
         };
@@ -1223,7 +1407,9 @@ mod tests {
         // hammers suspend(), aiming for the window between checkout and
         // the slot lock: a submit landing on an engine the evictor just
         // snapshotted would lose the response and replay stale state.
-        let m = Arc::new(SessionManager::new(config().with_max_resident(2), pts).expect("manager"));
+        let m = Arc::new(
+            SessionManager::new(config().with_max_resident(2), handle()).expect("manager"),
+        );
         let stop = Arc::new(AtomicBool::new(false));
         let churn = {
             let m = m.clone();
@@ -1264,9 +1450,8 @@ mod tests {
     fn retire_never_checked_out_counts_and_leaves_no_pin() {
         let recorder = Arc::new(hinn_obs::SessionRecorder::new());
         let _guard = hinn_obs::install(recorder.clone());
-        let pts = Arc::new(planted());
         let q = vec![50.0; 8];
-        let m = SessionManager::new(config(), pts).expect("manager");
+        let m = SessionManager::new(config(), handle()).expect("manager");
         let (id, step) = m.open(&q).expect("open");
         assert!(!step.is_done());
         // The session was never checked out (no submit, no pending_view):
@@ -1291,9 +1476,8 @@ mod tests {
 
     #[test]
     fn retire_during_inflight_submit_leaves_no_stale_pin() {
-        let pts = Arc::new(planted());
         let q = vec![50.0; 8];
-        let m = Arc::new(SessionManager::new(config(), pts).expect("manager"));
+        let m = Arc::new(SessionManager::new(config(), handle()).expect("manager"));
         let (id, _) = m.open(&q).expect("open");
         // Race retire against a submit that holds the slot lease: whoever
         // loses, the pin table must end empty (a tombstone pinned by a
@@ -1313,9 +1497,8 @@ mod tests {
 
     #[test]
     fn open_with_override_survives_the_warm_tier() {
-        let pts = Arc::new(planted());
         let q = vec![50.0; 8];
-        let m = SessionManager::new(config(), pts.clone()).expect("manager");
+        let m = SessionManager::new(config(), handle()).expect("manager");
         // A degraded session: coarser grid, single minor per major — the
         // shed ladder's configuration, distinct from the manager's base.
         let degraded = SearchConfig {
@@ -1338,7 +1521,7 @@ mod tests {
             "max_minors=1 skipped to next major"
         );
         // Reference: the same degraded config run in-process must agree.
-        let m2 = SessionManager::new(ServeConfig::new(degraded), pts).expect("manager2");
+        let m2 = SessionManager::new(ServeConfig::new(degraded), handle()).expect("manager2");
         let (id2, _) = m2.open(&q).expect("open");
         let _ = m2.submit(id2, UserResponse::Discard).expect("submit");
         let v2 = m2.pending_view(id2).expect("pending");
@@ -1362,9 +1545,8 @@ mod tests {
 
     #[test]
     fn submit_at_guards_against_duplicate_delivery() {
-        let pts = Arc::new(planted());
         let q = vec![50.0; 8];
-        let m = SessionManager::new(config(), pts).expect("manager");
+        let m = SessionManager::new(config(), handle()).expect("manager");
         let (id, step) = m.open(&q).expect("open");
         let view = step.view().expect("first view");
         let cursor = (view.context().major, view.context().minor);
@@ -1401,9 +1583,8 @@ mod tests {
 
     #[test]
     fn suspend_all_flushes_every_idle_hot_session() {
-        let pts = Arc::new(planted());
         let q = vec![50.0; 8];
-        let m = SessionManager::new(config(), pts).expect("manager");
+        let m = SessionManager::new(config(), handle()).expect("manager");
         let (a, _) = m.open(&q).expect("a");
         let (b, _) = m.open(&q).expect("b");
         assert_eq!(m.hot_len(), 2);
@@ -1417,9 +1598,8 @@ mod tests {
 
     #[test]
     fn report_incident_freezes_a_postmortem_without_killing_the_session() {
-        let pts = Arc::new(planted());
         let q = vec![50.0; 8];
-        let m = SessionManager::new(config(), pts).expect("manager");
+        let m = SessionManager::new(config(), handle()).expect("manager");
         let (id, _) = m.open(&q).expect("open");
         m.report_incident(id, "client disconnected mid-submit");
         let pms = m.take_postmortems();
@@ -1441,11 +1621,10 @@ mod tests {
 
     #[test]
     fn deadline_failure_dumps_a_postmortem() {
-        let pts = Arc::new(planted());
         let q = vec![50.0; 8];
         let m = SessionManager::new(
             config().with_session_deadline(Duration::from_secs(3600)),
-            pts,
+            handle(),
         )
         .expect("manager");
         let (id, step) = m.open(&q).expect("open");
@@ -1491,9 +1670,8 @@ mod tests {
 
     #[test]
     fn panic_during_submit_dumps_and_retires() {
-        let pts = Arc::new(planted());
         let q = vec![50.0; 8];
-        let m = SessionManager::new(config(), pts).expect("manager");
+        let m = SessionManager::new(config(), handle()).expect("manager");
         let (id, _) = m.open(&q).expect("open");
         let plan = Arc::new(
             hinn_fault::FaultPlan::new().with("search.panic", hinn_fault::FaultMode::Once),
@@ -1519,12 +1697,115 @@ mod tests {
     }
 
     #[test]
+    fn ingest_and_delete_advance_the_epoch_but_not_open_sessions() {
+        let q = vec![50.0; 8];
+        let m = SessionManager::new(config(), handle()).expect("manager");
+        let (e0, fp0) = m.current_epoch();
+        assert_eq!(e0, 200, "one row-op per planted row");
+        let (id, _) = m.open(&q).expect("open");
+        assert_eq!(m.session_epoch(id).expect("pin"), (e0, fp0));
+        // Ingest moves the handle; the open session's pin stays put.
+        let (e1, fp1) = m.ingest(&[vec![1.0; 8], vec![2.0; 8]]).expect("ingest");
+        assert_eq!(e1, e0 + 2);
+        assert_ne!(fp1, fp0);
+        assert_eq!(m.current_epoch(), (e1, fp1));
+        assert_eq!(m.session_epoch(id).expect("pin"), (e0, fp0));
+        // The key regression: a warm-tier bounce after ingestion restores
+        // against the *pinned* epoch instead of tripping EpochMismatch.
+        m.suspend(id).expect("suspend");
+        let step = m.submit(id, UserResponse::Discard).expect("restore");
+        assert!(!step.is_done());
+        assert_eq!(m.session_epoch(id).expect("pin"), (e0, fp0));
+        // Deletes advance the chain too, and a new session pins the
+        // moved epoch (fewer alive rows, same dimensionality).
+        let (e2, _) = m.delete(&[150, 151]).expect("delete");
+        assert_eq!(e2, e1 + 2);
+        let (id2, _) = m.open(&q).expect("open on new epoch");
+        assert_eq!(m.session_epoch(id2).expect("pin").0, e2);
+        // Invalid batches are typed refusals that leave the epoch alone.
+        let err = m.ingest(&[vec![f64::NAN; 8]]).expect_err("non-finite");
+        assert!(
+            matches!(&err, ServeError::Engine(HinnError::InvalidInput { phase, .. })
+                if *phase == "serve.ingest"),
+            "{err}"
+        );
+        let err = m.delete(&[9999]).expect_err("unknown id");
+        assert!(
+            matches!(&err, ServeError::Engine(HinnError::InvalidInput { phase, .. })
+                if *phase == "serve.delete"),
+            "{err}"
+        );
+        assert_eq!(m.current_epoch().0, e2, "failed ops moved the epoch");
+        // Finished/closed sessions drop their pin.
+        m.close(id).expect("close");
+        assert!(matches!(
+            m.session_epoch(id).expect_err("pin gone"),
+            ServeError::UnknownSession(_)
+        ));
+    }
+
+    #[test]
+    fn rebase_carries_a_session_onto_the_current_epoch() {
+        let q = vec![50.0; 8];
+        let m = SessionManager::new(config(), handle()).expect("manager");
+        let (id, _) = m.open(&q).expect("open");
+        let (e0, fp0) = m.session_epoch(id).expect("pin");
+        // Rebasing a current session is a no-op handing back the view.
+        let step = m.rebase(id).expect("no-op rebase");
+        assert!(!step.is_done());
+        assert_eq!(m.session_epoch(id).expect("pin"), (e0, fp0));
+        // Move the dataset: new noise rows, two noise deletions.
+        m.ingest(&[vec![90.0; 8], vec![10.0; 8]]).expect("ingest");
+        let (e1, fp1) = m.delete(&[180, 181]).expect("delete");
+        let step = m.rebase(id).expect("rebase");
+        assert!(!step.is_done());
+        assert_eq!(m.session_epoch(id).expect("pin"), (e1, fp1));
+        // The rebased session keeps serving: warm bounce + run to done.
+        m.suspend(id).expect("suspend");
+        let view = m.pending_view(id).expect("restored on the new pin");
+        let step = Step::NeedResponse(view);
+        let outcome = drive_to_done(&m, id, step);
+        assert!(!outcome.neighbors.is_empty());
+        // The black box recorded the remap.
+        let (id2, _) = m.open(&q).expect("open");
+        m.ingest(&[vec![3.0; 8]]).expect("ingest");
+        m.rebase(id2).expect("rebase");
+        m.report_incident(id2, "inspect ring");
+        let pms = m.take_postmortems();
+        assert!(
+            pms[0].events.iter().any(|e| matches!(
+                e,
+                SessionEvent::Rebased { from_epoch, onto_epoch }
+                    if *onto_epoch == from_epoch + 1
+            )),
+            "rebase event missing from the ring"
+        );
+    }
+
+    #[test]
+    fn with_points_shim_validates_at_construction() {
+        #[allow(deprecated)]
+        let m = SessionManager::with_points(config(), Arc::new(planted())).expect("shim");
+        let (id, step) = m.open(&[50.0; 8]).expect("open");
+        let outcome = drive_to_done(&m, id, step);
+        assert!(!outcome.neighbors.is_empty());
+        // Data the epoch layer refuses is now refused up front, typed.
+        #[allow(deprecated)]
+        let err = SessionManager::with_points(config(), Arc::new(vec![vec![f64::NAN; 8]]))
+            .map(|_| ())
+            .expect_err("non-finite");
+        assert!(
+            matches!(&err, HinnError::InvalidInput { phase, .. } if *phase == "serve.config"),
+            "{err}"
+        );
+    }
+
+    #[test]
     fn postmortem_records_tier_moves() {
-        let pts = Arc::new(planted());
         let q = vec![50.0; 8];
         let m = SessionManager::new(
             config().with_session_deadline(Duration::from_secs(3600)),
-            pts,
+            handle(),
         )
         .expect("manager");
         let (id, _) = m.open(&q).expect("open");

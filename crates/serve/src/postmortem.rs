@@ -54,6 +54,15 @@ pub enum SessionEvent {
         /// Free-form detail from the engine.
         detail: String,
     },
+    /// The session was explicitly rebased onto a newer dataset epoch
+    /// (its per-point state remapped; see
+    /// [`SessionManager::rebase`](crate::SessionManager::rebase)).
+    Rebased {
+        /// The epoch the session was pinned to before the rebase.
+        from_epoch: u64,
+        /// The epoch the session runs on afterwards.
+        onto_epoch: u64,
+    },
     /// The session died: engine error, deadline, or panic.
     Failed {
         /// The error (or panic payload) rendered as text.
@@ -93,6 +102,15 @@ impl SessionEvent {
                     opt(minor),
                     json_escape(kind),
                     json_escape(detail)
+                );
+            }
+            Self::Rebased {
+                from_epoch,
+                onto_epoch,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"rebased\",\"from_epoch\":{from_epoch},\"onto_epoch\":{onto_epoch}}}"
                 );
             }
             Self::Failed { error } => {

@@ -48,7 +48,8 @@ fn main() {
     // *total* budget; BatchRunner splits it across query workers.
     let config = SearchConfig::default().with_support(20);
     let budget = config.parallelism;
-    let runner = BatchRunner::new(&data.points, config).with_parallelism(budget);
+    let runner = BatchRunner::new(&DatasetHandle::new(&data.points).expect("dataset"), config)
+        .with_parallelism(budget);
 
     println!(
         "running {} queries over N={} d={} (budget: {} threads)\n",
@@ -97,9 +98,12 @@ fn main() {
     }
 
     // Same queries under a serial budget: the answers must match exactly.
-    let serial = BatchRunner::new(&data.points, SearchConfig::default().with_support(20))
-        .with_parallelism(Parallelism::serial())
-        .run(&queries, || Box::new(HeuristicUser::default()));
+    let serial = BatchRunner::new(
+        &DatasetHandle::new(&data.points).expect("dataset"),
+        SearchConfig::default().with_support(20),
+    )
+    .with_parallelism(Parallelism::serial())
+    .run(&queries, || Box::new(HeuristicUser::default()));
     let identical = serial
         .iter()
         .zip(&reports)

@@ -63,7 +63,12 @@ fn main() {
 
         let mut user = HeuristicUser::default();
         let outcome = InteractiveSearch::new(SearchConfig::default().with_support(40))
-            .run_with(data, query, &mut user, hinn::core::RunOptions::default())
+            .run_with(
+                &DatasetHandle::new(data).expect("dataset"),
+                query,
+                &mut user,
+                hinn::core::RunOptions::default(),
+            )
             .expect("interactive session")
             .into_outcome();
         println!(

@@ -68,7 +68,7 @@ fn main() {
     let mut analyst = HeuristicUser::default();
     let outcome = InteractiveSearch::new(SearchConfig::default().with_support(40))
         .run_with(
-            &transactions,
+            &DatasetHandle::new(&transactions).expect("dataset"),
             &seed_case,
             &mut analyst,
             hinn::core::RunOptions::default(),

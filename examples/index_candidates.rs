@@ -54,7 +54,12 @@ fn main() {
             .with_candidate_source(candidates);
         let mut user = HeuristicUser::default();
         InteractiveSearch::new(config)
-            .run_with(&data.points, &query, &mut user, RunOptions::default())
+            .run_with(
+                &DatasetHandle::new(&data.points).expect("dataset"),
+                &query,
+                &mut user,
+                RunOptions::default(),
+            )
             .expect("session")
             .into_outcome()
     };

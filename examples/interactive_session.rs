@@ -59,7 +59,7 @@ fn main() {
     };
     let outcome = InteractiveSearch::new(config)
         .run_with(
-            &data.points,
+            &DatasetHandle::new(&data.points).expect("dataset"),
             &query,
             &mut user,
             hinn::core::RunOptions::default(),

@@ -85,7 +85,7 @@ fn main() {
     let mut user = HeuristicUser::default();
     let outcome = InteractiveSearch::new(SearchConfig::default().with_support(k))
         .run_with(
-            &library.points,
+            &DatasetHandle::new(&library.points).expect("dataset"),
             &query,
             &mut user,
             hinn::core::RunOptions::default(),

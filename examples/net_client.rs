@@ -16,7 +16,6 @@ use hinn::net::{NetClient, Reply, Request};
 use hinn::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
 
 fn main() {
     // A projected-cluster workload (the paper's §4.1 data), served to
@@ -39,9 +38,11 @@ fn main() {
         ..SearchConfig::default().with_support(20)
     };
     let serve = ServeConfig::new(search).with_max_sessions(32);
-    let server =
-        hinn::net::NetServer::bind(NetServerConfig::new(serve), Arc::new(data.points.clone()))
-            .expect("bind");
+    let server = hinn::net::NetServer::bind(
+        NetServerConfig::new(serve),
+        DatasetHandle::new(&data.points).expect("dataset"),
+    )
+    .expect("bind");
     println!("serving on {}", server.addr());
 
     // A client session, driven view by view. A real remote user would

@@ -43,7 +43,7 @@ fn main() {
         .recording_profiles();
     let outcome = InteractiveSearch::new(config)
         .run_with(
-            &data.points,
+            &DatasetHandle::new(&data.points).expect("dataset"),
             &query,
             &mut user,
             hinn::core::RunOptions::default(),

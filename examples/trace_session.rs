@@ -32,7 +32,7 @@ fn main() {
     // bit-identical to an untraced run — tracing only *observes*.
     let out = InteractiveSearch::new(SearchConfig::default().with_support(40))
         .run_with(
-            &data.points,
+            &DatasetHandle::new(&data.points).expect("dataset"),
             &query,
             &mut user,
             hinn::core::RunOptions::traced(),

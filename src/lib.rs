@@ -64,11 +64,31 @@
 //!
 //! let config = SearchConfig::default().with_support(20);
 //! let mut user = HeuristicUser::default();
+//! let handle = DatasetHandle::new(&data.points).expect("dataset");
 //! let outcome = InteractiveSearch::new(config)
-//!     .run_with(&data.points, &query, &mut user, RunOptions::default())
+//!     .run_with(&handle, &query, &mut user, RunOptions::default())
 //!     .expect("session")
 //!     .into_outcome();
 //! assert!(!outcome.neighbors.is_empty());
+//! ```
+//!
+//! ## Streaming ingestion
+//!
+//! A [`prelude::DatasetHandle`] is a live, epoch-versioned dataset: `append`
+//! and `delete` advance it to a new immutable epoch snapshot (with a chained
+//! fingerprint), while sessions keep computing against the epoch they pinned
+//! at open — resuming onto changed data is a typed refusal, never a silent
+//! answer from the wrong dataset.
+//!
+//! ```
+//! use hinn::prelude::*;
+//!
+//! let handle = DatasetHandle::new(&[vec![0.0, 0.0], vec![1.0, 1.0]]).expect("dataset");
+//! let e0 = handle.epoch();
+//! let snap = handle.append(&[vec![2.0, 2.0]]).expect("append");
+//! assert_eq!(snap.epoch(), e0 + 1);
+//! handle.delete(&[0]).expect("delete");
+//! assert_eq!(handle.snapshot().len(), 2); // 3 rows, 1 tombstoned
 //! ```
 
 pub use hinn_baselines as baselines;
@@ -98,9 +118,9 @@ pub use hinn_viz as viz;
 /// ```
 pub mod prelude {
     pub use hinn_core::{
-        BatchRunner, CandidateSource, HinnError, InteractiveSearch, Parallelism, ProjectionMode,
-        RunOptions, RunOutput, SearchConfig, SearchDiagnosis, SearchOutcome, SessionEngine,
-        SessionSnapshot, Step, ViewRequest,
+        BatchRunner, CandidateSource, DatasetHandle, EpochError, EpochSnapshot, HinnError,
+        InteractiveSearch, Parallelism, ProjectionMode, RunOptions, RunOutput, SearchConfig,
+        SearchDiagnosis, SearchOutcome, SessionEngine, SessionSnapshot, Step, ViewRequest,
     };
     pub use hinn_index::HnswParams;
     pub use hinn_net::{NetClient, NetServer, NetServerConfig, ShedPolicy};

@@ -2,7 +2,7 @@
 //! baselines on workloads where the paper predicts a specific ordering.
 
 use hinn::baselines::{knn_indices, projected_knn, Metric, ProjectedNnConfig};
-use hinn::core::{InteractiveSearch, ProjectionMode, SearchConfig};
+use hinn::core::{DatasetHandle, InteractiveSearch, ProjectionMode, SearchConfig};
 use hinn::data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
 use hinn::metrics::{relative_contrast, PrecisionRecall};
 use hinn::user::HeuristicUser;
@@ -44,7 +44,7 @@ fn interactive_beats_full_dimensional_l2_on_subspace_clusters() {
             .with_mode(ProjectionMode::AxisParallel),
     )
     .run_with(
-        &data.points,
+        &DatasetHandle::new(&data.points).expect("dataset"),
         &query,
         &mut user,
         hinn::core::RunOptions::default(),
@@ -112,7 +112,7 @@ fn contrast_is_restored_inside_the_discovered_projection() {
     };
     let outcome = InteractiveSearch::new(config)
         .run_with(
-            &data.points,
+            &DatasetHandle::new(&data.points).expect("dataset"),
             &query,
             &mut user,
             hinn::core::RunOptions::default(),

@@ -20,7 +20,8 @@
 //!   touch the cache, and a tiny capacity actually evicts.
 
 use hinn::core::{
-    CachePolicy, InteractiveSearch, Parallelism, SearchConfig, SearchOutcome, SessionCache,
+    CachePolicy, DatasetHandle, InteractiveSearch, Parallelism, SearchConfig, SearchOutcome,
+    SessionCache,
 };
 use hinn::obs::TelemetryReport;
 use hinn::par::SERIAL_CUTOFF;
@@ -90,7 +91,7 @@ fn run_with(engine: &InteractiveSearch, points: &[Vec<f64>]) -> SearchOutcome {
     let mut user = script();
     engine
         .run_with(
-            points,
+            &DatasetHandle::new(points).expect("dataset"),
             &points[0],
             &mut user,
             hinn::core::RunOptions::default(),
@@ -106,7 +107,7 @@ fn run_traced_with(
     let mut user = script();
     let out = engine
         .run_with(
-            points,
+            &DatasetHandle::new(points).expect("dataset"),
             &points[0],
             &mut user,
             hinn::core::RunOptions::traced(),

@@ -1,7 +1,7 @@
 //! Integration tests for reproducibility (seeded determinism across the
 //! whole pipeline) and dataset I/O round-trips.
 
-use hinn::core::{InteractiveSearch, ProjectionMode, SearchConfig};
+use hinn::core::{DatasetHandle, InteractiveSearch, ProjectionMode, SearchConfig};
 use hinn::data::csv::{load_csv, save_csv};
 use hinn::data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
 use hinn::user::HeuristicUser;
@@ -26,7 +26,7 @@ fn run_once(seed: u64) -> (Vec<usize>, Vec<f64>) {
             .with_mode(ProjectionMode::AxisParallel),
     )
     .run_with(
-        &data.points,
+        &DatasetHandle::new(&data.points).expect("dataset"),
         &query,
         &mut user,
         hinn::core::RunOptions::default(),
@@ -82,7 +82,7 @@ fn dataset_roundtrips_through_csv_and_search_agrees() {
     let mut u1 = HeuristicUser::default();
     let r1 = InteractiveSearch::new(config.clone())
         .run_with(
-            &data.points,
+            &DatasetHandle::new(&data.points).expect("dataset"),
             &query,
             &mut u1,
             hinn::core::RunOptions::default(),
@@ -92,7 +92,7 @@ fn dataset_roundtrips_through_csv_and_search_agrees() {
     let mut u2 = HeuristicUser::default();
     let r2 = InteractiveSearch::new(config)
         .run_with(
-            &loaded.points,
+            &DatasetHandle::new(&loaded.points).expect("dataset"),
             &query,
             &mut u2,
             hinn::core::RunOptions::default(),

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full interactive pipeline from data
 //! generation through search, diagnosis, and evaluation.
 
-use hinn::core::{InteractiveSearch, ProjectionMode, SearchConfig};
+use hinn::core::{DatasetHandle, InteractiveSearch, ProjectionMode, SearchConfig};
 use hinn::data::projected::{
     generate_projected_clusters_detailed, Orientation, ProjectedClusterSpec,
 };
@@ -36,7 +36,7 @@ fn heuristic_session_recovers_planted_cluster() {
             .with_mode(ProjectionMode::AxisParallel),
     )
     .run_with(
-        &data.points,
+        &DatasetHandle::new(&data.points).expect("dataset"),
         &query,
         &mut user,
         hinn::core::RunOptions::default(),
@@ -77,7 +77,7 @@ fn uniform_data_is_diagnosed_not_meaningful() {
     let mut user = HeuristicUser::default();
     let outcome = InteractiveSearch::new(SearchConfig::default().with_support(15))
         .run_with(
-            &data.points,
+            &DatasetHandle::new(&data.points).expect("dataset"),
             &query,
             &mut user,
             hinn::core::RunOptions::default(),
@@ -112,7 +112,7 @@ fn oracle_user_is_an_upper_bound_for_the_heuristic() {
     let run = |user: &mut dyn hinn::user::UserModel| {
         let outcome = InteractiveSearch::new(config.clone())
             .run_with(
-                &data.points,
+                &DatasetHandle::new(&data.points).expect("dataset"),
                 &query,
                 user,
                 hinn::core::RunOptions::default(),
@@ -148,7 +148,7 @@ fn scripted_all_discard_returns_not_meaningful_and_zero_probabilities() {
     };
     let outcome = InteractiveSearch::new(config)
         .run_with(
-            &data.points,
+            &DatasetHandle::new(&data.points).expect("dataset"),
             &query,
             &mut user,
             hinn::core::RunOptions::default(),
@@ -178,7 +178,7 @@ fn polygon_responses_flow_through_the_search() {
     };
     let outcome = InteractiveSearch::new(config)
         .run_with(
-            &data.points,
+            &DatasetHandle::new(&data.points).expect("dataset"),
             &query,
             &mut user,
             hinn::core::RunOptions::default(),
@@ -211,7 +211,7 @@ fn arbitrary_mode_handles_oblique_clusters() {
             .with_mode(ProjectionMode::Arbitrary),
     )
     .run_with(
-        &data.points,
+        &DatasetHandle::new(&data.points).expect("dataset"),
         &query,
         &mut user,
         hinn::core::RunOptions::default(),
@@ -243,7 +243,7 @@ fn transcript_is_complete_and_consistent() {
     let mut user = HeuristicUser::default();
     let outcome = InteractiveSearch::new(config)
         .run_with(
-            &data.points,
+            &DatasetHandle::new(&data.points).expect("dataset"),
             &query,
             &mut user,
             hinn::core::RunOptions::default(),

@@ -1,0 +1,232 @@
+//! Streaming-epoch determinism: the contract that makes incremental
+//! ingest/delete safe to serve from.
+//!
+//! Three claims, each at the integration level (facade API, real search
+//! sessions, thread budgets {1, 4}):
+//!
+//! 1. **chunking invariance** — a dataset grown row-by-row and the same
+//!    dataset ingested in one batch are the *same epoch*: identical
+//!    chained fingerprint, identical epoch counter, and bit-identical
+//!    search outcomes (probabilities compared via `f64::to_bits`,
+//!    telemetry counter maps included);
+//! 2. **rank-1 statistics** — the incrementally maintained global
+//!    mean/covariance/axis variances stay within the documented tolerance
+//!    of an exact recompute over the alive rows, across a stream long
+//!    enough to cross several exact-recompute checkpoints;
+//! 3. **typed consistency** — a session snapshot carries its pinned
+//!    epoch through text serialization, so resuming against moved data
+//!    is the typed `HinnError::EpochMismatch` (never a silent answer
+//!    from the wrong dataset), while resuming on the pinned snapshot or
+//!    explicitly rebasing both work.
+
+use hinn::core::{
+    DatasetHandle, HinnError, InteractiveSearch, Parallelism, RunOptions, SearchConfig,
+    SearchOutcome, SessionEngine, SessionSnapshot, Step,
+};
+use hinn::par::SERIAL_CUTOFF;
+use hinn::user::{HeuristicUser, UserModel};
+
+/// Deterministic xorshift point cloud sized so worker threads really
+/// spawn (above `SERIAL_CUTOFF` the parallel paths stop running inline).
+fn cloud(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed | 1;
+    let mut unif = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| (0..d).map(|_| unif() * 100.0 - 50.0).collect())
+        .collect()
+}
+
+fn config(par: Parallelism) -> SearchConfig {
+    SearchConfig {
+        max_major_iterations: 2,
+        min_major_iterations: 1,
+        ..SearchConfig::default()
+            .with_support(25)
+            .with_parallelism(par)
+    }
+}
+
+/// Bit-exact outcome summary: neighbor ids, probability bits, majors.
+fn bits(o: &SearchOutcome) -> (Vec<usize>, Vec<u64>, usize) {
+    (
+        o.neighbors.clone(),
+        o.probabilities.iter().map(|p| p.to_bits()).collect(),
+        o.majors_run,
+    )
+}
+
+/// Grow one handle in one `append` + one `delete`, the other in drips of
+/// uneven chunk sizes — then check they are indistinguishable: same
+/// fingerprint, same epoch counter, and bit-identical traced sessions.
+#[test]
+fn chunked_and_batched_ingest_replay_bit_identically() {
+    let base = cloud(SERIAL_CUTOFF + 60, 6, 0xE90C);
+    let extra = cloud(48, 6, 0xA11CE);
+    let doomed: Vec<usize> = (0..20).chain([40, 41, 55]).collect();
+    let query = base[30].clone();
+
+    let all: Vec<Vec<f64>> = base.iter().chain(extra.iter()).cloned().collect();
+    let batched = DatasetHandle::new(&all).expect("batched handle");
+    batched.delete(&doomed).expect("batched delete");
+
+    let chunked = DatasetHandle::empty(6).expect("empty handle");
+    for chunk in base.chunks(7) {
+        chunked.append(chunk).expect("chunked append");
+    }
+    for chunk in extra.chunks(13) {
+        chunked.append(chunk).expect("chunked append");
+    }
+    for id in &doomed {
+        chunked.delete(&[*id]).expect("chunked delete");
+    }
+
+    // Same epoch in every observable way: the chain hashes row-ops, not
+    // batch boundaries.
+    let (sb, sc) = (batched.snapshot(), chunked.snapshot());
+    assert_eq!(
+        sb.fingerprint(),
+        sc.fingerprint(),
+        "fingerprint chain diverged"
+    );
+    assert_eq!(sb.epoch(), sc.epoch(), "epoch counters diverged");
+    assert_eq!(sb.len(), sc.len());
+
+    for budget in [1usize, 4] {
+        let run = |data: &DatasetHandle| {
+            let mut user = HeuristicUser::default();
+            InteractiveSearch::new(config(Parallelism::fixed(budget)))
+                .run_with(data, &query, &mut user, RunOptions::traced())
+                .expect("interactive session")
+        };
+        let a = run(&batched);
+        let b = run(&chunked);
+        let (ta, tb) = (
+            a.telemetry.clone().expect("traced"),
+            b.telemetry.clone().expect("traced"),
+        );
+        assert_eq!(
+            bits(&a.into_outcome()),
+            bits(&b.into_outcome()),
+            "outcomes diverged at {budget} threads"
+        );
+        assert_eq!(
+            ta.counters, tb.counters,
+            "telemetry counters diverged at {budget} threads"
+        );
+    }
+}
+
+/// A long interleaved append/delete stream — several exact-recompute
+/// checkpoints deep — keeps the rank-1 global statistics within the
+/// documented tolerance of a from-scratch recompute (mean 1e-9,
+/// covariance and axis variances 1e-6, both relative).
+#[test]
+fn rank1_statistics_track_exact_recompute_through_a_long_stream() {
+    let d = 6;
+    let handle = DatasetHandle::new(&cloud(400, d, 0x57A7)).expect("handle");
+    for round in 0u64..6 {
+        let first = (round * 30) as usize;
+        let doomed: Vec<usize> = (first..first + 25).collect();
+        handle.delete(&doomed).expect("delete");
+        handle
+            .append(&cloud(35, d, 0x57A7 ^ (round + 1)))
+            .expect("append");
+    }
+
+    let snap = handle.snapshot();
+    let alive = snap.rows();
+    let exact_mean = hinn::linalg::stats::mean_vector(&alive);
+    let exact_cov = hinn::linalg::covariance_matrix(&alive);
+
+    let stats = snap.stats();
+    assert_eq!(stats.count(), snap.len());
+    for (a, b) in stats.mean().iter().zip(&exact_mean) {
+        assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "mean: {a} vs {b}");
+    }
+    let cov = stats.covariance();
+    for i in 0..d {
+        for j in 0..d {
+            let (a, b) = (cov[(i, j)], exact_cov[(i, j)]);
+            assert!(
+                (a - b).abs() <= 1e-6 * (1.0 + b.abs()),
+                "covariance ({i},{j}): {a} vs {b}"
+            );
+        }
+    }
+    for (i, v) in stats.coordinate_variances().iter().enumerate() {
+        let want = exact_cov[(i, i)];
+        assert!(
+            (v - want).abs() <= 1e-6 * (1.0 + want.abs()),
+            "axis variance {i}: {v} vs {want}"
+        );
+    }
+}
+
+/// The typed consistency rule survives text serialization: snapshot a
+/// session, move the dataset, and the resume refusal names both epochs;
+/// the pinned snapshot still resumes bit-identically, and an explicit
+/// rebase carries the session onto the new epoch.
+#[test]
+fn epoch_mismatch_round_trips_through_session_snapshot() {
+    let points = cloud(SERIAL_CUTOFF + 42, 6, 0x5EED);
+    let query = points[0].clone();
+    let handle = DatasetHandle::new(&points).expect("handle");
+    let pinned = handle.snapshot();
+
+    let cfg = || config(Parallelism::fixed(1));
+    let (mut engine, mut step) = SessionEngine::start(cfg(), &handle, &query).expect("start");
+    let mut user = HeuristicUser::default();
+    // Answer one view so the snapshot has real loop state.
+    if let Step::NeedResponse(req) = step {
+        let r = user.respond(req.profile(), req.context());
+        step = engine.submit(r).expect("submit");
+    }
+    assert!(
+        matches!(step, Step::NeedResponse(_)),
+        "fixture session too short"
+    );
+    let text = engine.snapshot().expect("snapshot").to_string();
+    drop(engine);
+    let snap = SessionSnapshot::from_text(text).expect("parse snapshot");
+
+    // Move the dataset under the suspended session.
+    handle.append(&cloud(10, 6, 0xD00D)).expect("append");
+    let moved = handle.snapshot();
+
+    let refusal = SessionEngine::resume(cfg(), &handle, &snap).map(|_| ());
+    match refusal.expect_err("resume against a moved dataset must refuse") {
+        HinnError::EpochMismatch { pinned: p, offered } => {
+            assert_eq!(p, pinned.epoch());
+            assert_eq!(offered, moved.epoch());
+        }
+        other => panic!("wrong refusal: {other}"),
+    }
+
+    // The pinned epoch still resumes, and runs to completion.
+    let (mut engine, mut step) =
+        SessionEngine::resume_at(cfg(), pinned.clone(), &snap).expect("resume_at pinned");
+    assert_eq!(engine.dataset_epoch().map(|(e, _)| e), Some(pinned.epoch()));
+    loop {
+        match step {
+            Step::Done(outcome) => {
+                assert!(!outcome.neighbors.is_empty());
+                break;
+            }
+            Step::NeedResponse(req) => {
+                let r = user.respond(req.profile(), req.context());
+                step = engine.submit(r).expect("submit");
+            }
+        }
+    }
+
+    // Opting into the move is explicit — and lands on the new epoch.
+    let (engine, step) =
+        SessionEngine::resume_rebased(cfg(), pinned, moved.clone(), &snap).expect("rebase");
+    assert_eq!(engine.dataset_epoch().map(|(e, _)| e), Some(moved.epoch()));
+    assert!(matches!(step, Step::NeedResponse(_)));
+}

@@ -10,8 +10,8 @@
 //! reason — it queues with the others instead of racing them.)
 
 use hinn::core::{
-    BatchRunner, DegradationKind, HinnError, InteractiveSearch, Parallelism, ProjectionMode,
-    SearchConfig, SearchOutcome,
+    BatchRunner, DatasetHandle, DegradationKind, HinnError, InteractiveSearch, Parallelism,
+    ProjectionMode, SearchConfig, SearchOutcome,
 };
 use hinn::data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
 use hinn::fault::{FaultMode, FaultPlan};
@@ -42,7 +42,12 @@ fn session(points: &[Vec<f64>], query: &[f64], config: SearchConfig) -> SearchOu
     let mut user = HeuristicUser::default();
     InteractiveSearch::try_new(config)
         .expect("valid config")
-        .run_with(points, query, &mut user, hinn::core::RunOptions::default())
+        .run_with(
+            &DatasetHandle::new(points).expect("dataset"),
+            query,
+            &mut user,
+            hinn::core::RunOptions::default(),
+        )
         .map(hinn::core::RunOutput::into_outcome)
         .expect("session must complete")
 }
@@ -165,7 +170,7 @@ fn forced_deadline_surfaces_as_typed_error() {
         InteractiveSearch::try_new(cfg)
             .expect("valid config")
             .run_with(
-                &points,
+                &DatasetHandle::new(&points).expect("dataset"),
                 &query,
                 &mut user,
                 hinn::core::RunOptions::default(),
@@ -195,9 +200,12 @@ fn no_panic_escapes_the_batch_runner_under_any_fault_mix() {
         let _g = hinn::fault::install(plan.clone());
         let prev_hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {})); // silence the forced panics
-        let reports = BatchRunner::new(&points, config(ProjectionMode::Arbitrary))
-            .with_threads(2)
-            .run(&queries, || Box::new(HeuristicUser::default()));
+        let reports = BatchRunner::new(
+            &DatasetHandle::new(&points).expect("dataset"),
+            config(ProjectionMode::Arbitrary),
+        )
+        .with_threads(2)
+        .run(&queries, || Box::new(HeuristicUser::default()));
         std::panic::set_hook(prev_hook);
         reports
     };
@@ -225,9 +233,12 @@ fn env_forced_smoke_runs_under_hinn_faults() {
     let _g = hinn::fault::install(plan);
     let prev_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
-    let reports = BatchRunner::new(&points, config(ProjectionMode::Arbitrary))
-        .with_threads(1)
-        .run(&queries, || Box::new(HeuristicUser::default()));
+    let reports = BatchRunner::new(
+        &DatasetHandle::new(&points).expect("dataset"),
+        config(ProjectionMode::Arbitrary),
+    )
+    .with_threads(1)
+    .run(&queries, || Box::new(HeuristicUser::default()));
     std::panic::set_hook(prev_hook);
     assert_eq!(reports.len(), 1, "a typed report, not a crash");
 }

@@ -12,7 +12,8 @@
 //! than dimensions, and near-singular (collinear) clusters.
 
 use hinn::core::{
-    HinnError, InteractiveSearch, Parallelism, ProjectionMode, SearchConfig, SearchOutcome,
+    DatasetHandle, HinnError, InteractiveSearch, Parallelism, ProjectionMode, SearchConfig,
+    SearchOutcome,
 };
 use hinn::user::{ScriptedUser, UserResponse};
 use proptest::prelude::*;
@@ -107,7 +108,12 @@ fn try_session(
     };
     let mut user = ScriptedUser::new(rsp.to_vec());
     InteractiveSearch::try_new(config)?
-        .run_with(points, query, &mut user, hinn::core::RunOptions::default())
+        .run_with(
+            &DatasetHandle::new(points).expect("dataset"),
+            query,
+            &mut user,
+            hinn::core::RunOptions::default(),
+        )
         .map(hinn::core::RunOutput::into_outcome)
 }
 
@@ -181,7 +187,7 @@ fn expired_wall_clock_deadline_is_a_typed_error() {
     let err = InteractiveSearch::try_new(config)
         .expect("valid config")
         .run_with(
-            &points,
+            &DatasetHandle::new(&points).expect("dataset"),
             &query,
             &mut user,
             hinn::core::RunOptions::default(),

@@ -14,7 +14,8 @@
 //! ```
 
 use hinn::core::{
-    CandidateSource, InteractiveSearch, Parallelism, RunOptions, SearchConfig, SearchOutcome,
+    CandidateSource, DatasetHandle, InteractiveSearch, Parallelism, RunOptions, SearchConfig,
+    SearchOutcome,
 };
 use hinn::obs::diff::{parse_json, JsonValue};
 use hinn::obs::TelemetryReport;
@@ -71,7 +72,12 @@ fn config(par: Parallelism) -> SearchConfig {
 fn run(config: SearchConfig, points: &[Vec<f64>], options: RunOptions) -> hinn::core::RunOutput {
     let mut user = script();
     InteractiveSearch::new(config)
-        .run_with(points, &points[0], &mut user, options)
+        .run_with(
+            &DatasetHandle::new(points).expect("dataset"),
+            &points[0],
+            &mut user,
+            options,
+        )
         .expect("interactive session")
 }
 
@@ -230,7 +236,7 @@ fn manager_evict_restore_cycle_is_recorder_invariant() {
             .map(|r| hinn::obs::install(r as Arc<dyn hinn::obs::Recorder>));
         let manager = SessionManager::new(
             ServeConfig::new(search).with_max_resident(1),
-            points.clone(),
+            DatasetHandle::new(&points).expect("dataset"),
         )
         .expect("manager");
         let (id, mut step) = manager.open(&query).expect("open");

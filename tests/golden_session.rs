@@ -16,7 +16,8 @@
 //! ```
 
 use hinn::core::{
-    CandidateSource, InteractiveSearch, ProjectionMode, SearchConfig, SearchDiagnosis,
+    CandidateSource, DatasetHandle, InteractiveSearch, ProjectionMode, SearchConfig,
+    SearchDiagnosis,
 };
 use hinn::data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
 use hinn::user::HeuristicUser;
@@ -54,7 +55,7 @@ fn render_session(label: &str, candidates: CandidateSource) -> String {
     let mut user = HeuristicUser::default();
     let outcome = InteractiveSearch::new(config)
         .run_with(
-            &data.points,
+            &DatasetHandle::new(&data.points).expect("dataset"),
             &query,
             &mut user,
             hinn::core::RunOptions::default(),

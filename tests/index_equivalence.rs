@@ -16,7 +16,9 @@
 mod common;
 
 use common::recall::uniform_cloud;
-use hinn::core::{CandidateSource, InteractiveSearch, Parallelism, SearchConfig, SearchOutcome};
+use hinn::core::{
+    CandidateSource, DatasetHandle, InteractiveSearch, Parallelism, SearchConfig, SearchOutcome,
+};
 use hinn::index::{Hnsw, HnswParams};
 use hinn::par::SERIAL_CUTOFF;
 use hinn::user::{ScriptedUser, UserResponse};
@@ -103,7 +105,7 @@ fn hnsw_session(par: Parallelism, points: &[Vec<f64>]) -> SearchOutcome {
     .with_fallback(UserResponse::Threshold(1e-7));
     InteractiveSearch::new(config)
         .run_with(
-            points,
+            &DatasetHandle::new(points).expect("dataset"),
             &points[0],
             &mut user,
             hinn::core::RunOptions::default(),

@@ -80,7 +80,7 @@ fn done_bits(done: &hinn::net::DoneSummary) -> WireBits {
 fn record_reference(points: &Arc<Vec<Vec<f64>>>, query: &[f64]) -> (Vec<UserResponse>, WireBits) {
     let manager = SessionManager::new(
         ServeConfig::new(search_config()).with_max_sessions(4),
-        Arc::clone(points),
+        DatasetHandle::new(points).expect("dataset"),
     )
     .expect("reference manager");
     let mut user = HeuristicUser::default();
@@ -110,7 +110,8 @@ fn record_reference(points: &Arc<Vec<Vec<f64>>>, query: &[f64]) -> (Vec<UserResp
 }
 
 fn bind(config: NetServerConfig, points: &Arc<Vec<Vec<f64>>>) -> hinn::net::ServerHandle {
-    NetServer::bind(config, Arc::clone(points)).expect("bind")
+    let data = DatasetHandle::new(points).expect("dataset");
+    NetServer::bind(config, data).expect("bind")
 }
 
 fn default_server(points: &Arc<Vec<Vec<f64>>>) -> hinn::net::ServerHandle {

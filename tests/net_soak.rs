@@ -138,7 +138,8 @@ fn run_wire_fleet(
         .with_tenant_quota(CLIENT_THREADS)
         .with_shed(ShedPolicy::disabled())
         .with_deadlines(Duration::from_secs(60), Duration::from_secs(60));
-    let server = NetServer::bind(config, Arc::clone(points)).expect("bind");
+    let server =
+        NetServer::bind(config, DatasetHandle::new(points).expect("dataset")).expect("bind");
     let addr = server.addr();
 
     let completed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
@@ -228,7 +229,7 @@ fn wire_soak_bit_identical_to_in_process_across_thread_budgets() {
     // reference never pollutes the wire run's counters).
     let ref_manager = SessionManager::new(
         ServeConfig::new(search_config(1)).with_max_sessions(DISTINCT_QUERIES + 1),
-        Arc::clone(&points),
+        DatasetHandle::new(&points).expect("dataset"),
     )
     .expect("reference manager");
     let scripts: Arc<Vec<(Vec<UserResponse>, WireBits)>> = Arc::new(
@@ -304,7 +305,7 @@ fn wire_sessions_survive_suspend_and_reconnect() {
 
     let ref_manager = SessionManager::new(
         ServeConfig::new(search_config(1)).with_max_sessions(4),
-        Arc::clone(&points),
+        DatasetHandle::new(&points).expect("dataset"),
     )
     .expect("reference manager");
     let (script, want) = record_reference(&ref_manager, &qs[0]);
@@ -315,7 +316,8 @@ fn wire_sessions_survive_suspend_and_reconnect() {
         .with_warm_capacity(8)
         .with_max_sessions(8);
     let config = NetServerConfig::new(serve).with_shed(ShedPolicy::disabled());
-    let server = NetServer::bind(config, Arc::clone(&points)).expect("bind");
+    let server =
+        NetServer::bind(config, DatasetHandle::new(&points).expect("dataset")).expect("bind");
     let addr = server.addr();
 
     let mut client = NetClient::new(addr);

@@ -1,0 +1,295 @@
+//! Streaming ingestion end-to-end over the wire: `ingest` / `delete` /
+//! `epoch` / `rebase` verbs against a live server, with the epoch stamped
+//! on every `view` reply and every refusal.
+//!
+//! The load-bearing claim is the serve layer's pinning rule observed
+//! through the TCP front-end: a session opened before an ingest keeps
+//! answering from the epoch it pinned — bit-identically to an in-process
+//! reference run on the pre-ingest data, even across a suspend → ingest →
+//! reconnect bounce — while `epoch` and fresh sessions see the moved
+//! dataset immediately, and `rebase` is the explicit bridge between the
+//! two.
+
+use hinn::net::{NetClient, NetServer, NetServerConfig, Reply, Request, ShedPolicy};
+use hinn::prelude::*;
+use hinn::user::UserModel;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// The serve-soak fixture: 8-D planted cluster plus background noise.
+fn planted() -> Vec<Vec<f64>> {
+    let mut rng = XorShift(0xDA3E39CB94B95BDB);
+    let unif = |rng: &mut XorShift| (rng.next() >> 11) as f64 / (1u64 << 53) as f64;
+    let d = 8;
+    let mut pts: Vec<Vec<f64>> = Vec::new();
+    for _ in 0..30 {
+        pts.push(
+            (0..d)
+                .map(|_| 50.0 + (unif(&mut rng) - 0.5) * 2.0)
+                .collect(),
+        );
+    }
+    for _ in 0..170 {
+        pts.push((0..d).map(|_| unif(&mut rng) * 100.0).collect());
+    }
+    pts
+}
+
+fn search_config() -> SearchConfig {
+    SearchConfig {
+        max_major_iterations: 2,
+        min_major_iterations: 1,
+        ..SearchConfig::default().with_support(20)
+    }
+}
+
+type WireBits = (Vec<usize>, Vec<u64>, usize);
+
+/// Drive one in-process session over the same data, returning the
+/// response script and the wire-comparable outcome bits.
+fn record_reference(points: &[Vec<f64>], query: &[f64]) -> (Vec<UserResponse>, WireBits) {
+    let manager = SessionManager::new(
+        ServeConfig::new(search_config()).with_max_sessions(4),
+        DatasetHandle::new(points).expect("dataset"),
+    )
+    .expect("reference manager");
+    let mut user = HeuristicUser::default();
+    let mut script = Vec::new();
+    let (id, mut step) = manager.open(query).expect("reference open");
+    loop {
+        match step {
+            Step::Done(outcome) => {
+                let bits = (
+                    outcome.neighbors.clone(),
+                    outcome
+                        .neighbors
+                        .iter()
+                        .map(|&i| outcome.probabilities[i].to_bits())
+                        .collect(),
+                    outcome.majors_run,
+                );
+                return (script, bits);
+            }
+            Step::NeedResponse(view) => {
+                let response = user.respond(view.profile(), view.context());
+                script.push(response.clone());
+                step = manager.submit(id, response).expect("reference submit");
+            }
+        }
+    }
+}
+
+fn expect_view(reply: Reply) -> hinn::net::ViewSummary {
+    match reply {
+        Reply::View(view) => view,
+        other => panic!("expected a view, got {other:?}"),
+    }
+}
+
+#[test]
+fn ingest_and_delete_stream_over_the_wire_without_disturbing_open_sessions() {
+    let points = planted();
+    let query = points[0].clone();
+    let (script, want) = record_reference(&points, &query);
+    assert!(script.len() >= 2, "fixture needs at least two views");
+
+    let serve = ServeConfig::new(search_config())
+        .with_max_resident(2)
+        .with_warm_capacity(8)
+        .with_max_sessions(8);
+    let config = NetServerConfig::new(serve).with_shed(ShedPolicy::disabled());
+    let server =
+        NetServer::bind(config, DatasetHandle::new(&points).expect("dataset")).expect("bind");
+    let addr = server.addr();
+
+    let mut client = NetClient::new(addr);
+    let e0 = client.epoch().expect("epoch");
+    assert_eq!(e0.epoch, points.len() as u64, "epoch counts row-ops");
+
+    // Open: the first view is stamped with the pinned epoch.
+    let view = expect_view(
+        client
+            .call_with_retry(&Request::Open {
+                tenant: "alice".to_string(),
+                query: query.clone(),
+            })
+            .expect("open"),
+    );
+    let session = view.session;
+    assert_eq!(view.epoch, Some(e0.epoch), "open view must carry the epoch");
+
+    // Ingest while the session is live: the dataset moves...
+    let rows = planted()[..5].to_vec();
+    let moved = client.ingest("alice", &rows).expect("ingest");
+    assert_eq!(moved.epoch, e0.epoch + 5);
+    assert_ne!(moved.fingerprint, e0.fingerprint);
+    assert_eq!(client.epoch().expect("epoch").epoch, moved.epoch);
+
+    // ...but the open session keeps its pin, visible on every view reply.
+    let mut reply = client.view(session).expect("view");
+    let mut next = 0usize;
+    // Suspend mid-session and bounce the connection: the warm restore
+    // must also come back on the pinned epoch, not the moved one.
+    let mut suspended = false;
+    let done = loop {
+        match reply {
+            Reply::Done(done) => break done,
+            Reply::View(view) => {
+                assert_eq!(
+                    view.epoch,
+                    Some(e0.epoch),
+                    "view {next} answered from the wrong epoch"
+                );
+                if next == 1 && !suspended {
+                    suspended = true;
+                    client
+                        .call_with_retry(&Request::Suspend { session })
+                        .expect("suspend");
+                    client.disconnect();
+                    client.delete_rows("alice", &[150, 151]).expect("delete");
+                    reply = client.view(session).expect("resync view");
+                    continue;
+                }
+                let response = script.get(next).expect("script exhausted").clone();
+                next += 1;
+                reply = client
+                    .call_with_retry(&Request::Submit {
+                        session,
+                        major: view.major,
+                        minor: view.minor,
+                        response,
+                    })
+                    .expect("submit");
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    };
+    assert!(
+        suspended,
+        "fixture never exercised the suspend+ingest bounce"
+    );
+    let got = (
+        done.neighbors.clone(),
+        done.probabilities.iter().map(|p| p.to_bits()).collect(),
+        done.majors,
+    );
+    assert_eq!(got, want, "streaming under the session changed its answer");
+
+    // The deletes above advanced the epoch too; a fresh session pins it.
+    let now = client.epoch().expect("epoch");
+    assert_eq!(now.epoch, moved.epoch + 2);
+    let view = expect_view(
+        client
+            .call_with_retry(&Request::Open {
+                tenant: "alice".to_string(),
+                query: query.clone(),
+            })
+            .expect("open"),
+    );
+    assert_eq!(
+        view.epoch,
+        Some(now.epoch),
+        "fresh session pins the new epoch"
+    );
+
+    // Rebase is a no-op for an up-to-date session — and still a view.
+    let rebased = expect_view(client.rebase(view.session).expect("rebase"));
+    assert_eq!(rebased.epoch, Some(now.epoch));
+
+    // Refusals carry the current epoch as well: deleting an unknown id.
+    let err = client
+        .delete_rows("alice", &[1_000_000])
+        .expect_err("unknown id must refuse");
+    match err {
+        hinn::net::ClientError::Server(wire) => {
+            assert_eq!(
+                wire.epoch,
+                Some(now.epoch),
+                "refusal missing the epoch stamp"
+            );
+        }
+        other => panic!("expected a server refusal, got {other:?}"),
+    }
+    assert_eq!(
+        client.epoch().expect("epoch").epoch,
+        now.epoch,
+        "a refused delete must not advance the epoch"
+    );
+
+    server.shutdown();
+}
+
+/// A session opened before an ingest can be carried onto the moved
+/// dataset explicitly: `rebase` re-pins it and subsequent views are
+/// stamped with the new epoch.
+#[test]
+fn rebase_over_the_wire_moves_a_session_onto_the_current_epoch() {
+    let points = planted();
+    let query = points[0].clone();
+    let (script, _) = record_reference(&points, &query);
+
+    let serve = ServeConfig::new(search_config()).with_max_sessions(8);
+    let config = NetServerConfig::new(serve).with_shed(ShedPolicy::disabled());
+    let server =
+        NetServer::bind(config, DatasetHandle::new(&points).expect("dataset")).expect("bind");
+    let addr = server.addr();
+
+    let mut client = NetClient::new(addr);
+    let e0 = client.epoch().expect("epoch").epoch;
+    let view = expect_view(
+        client
+            .call_with_retry(&Request::Open {
+                tenant: "bob".to_string(),
+                query: query.clone(),
+            })
+            .expect("open"),
+    );
+    let session = view.session;
+    assert_eq!(view.epoch, Some(e0));
+
+    let moved = client.ingest("bob", &planted()[..3]).expect("ingest").epoch;
+    assert_eq!(
+        expect_view(client.view(session).expect("view")).epoch,
+        Some(e0),
+        "pre-rebase views answer from the pin"
+    );
+
+    let rebased = expect_view(client.rebase(session).expect("rebase"));
+    assert_eq!(rebased.epoch, Some(moved), "rebase must re-pin the session");
+
+    // The rebased session still drives to completion over the wire.
+    let mut reply = client.view(session).expect("view");
+    let mut next = 0usize;
+    loop {
+        match reply {
+            Reply::Done(_) => break,
+            Reply::View(view) => {
+                assert_eq!(view.epoch, Some(moved));
+                // The rebased session may ask for more views than the
+                // reference script; reuse its last response if so.
+                let response = script[next.min(script.len() - 1)].clone();
+                next += 1;
+                reply = client
+                    .call_with_retry(&Request::Submit {
+                        session,
+                        major: view.major,
+                        minor: view.minor,
+                        response,
+                    })
+                    .expect("submit");
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+
+    server.shutdown();
+}

@@ -20,7 +20,9 @@
 //! Set `HINN_OBS_EXPORT=/path/to/telemetry.json` to export the traced
 //! session's full JSON report (CI uploads this as a workflow artifact).
 
-use hinn::core::{CandidateSource, InteractiveSearch, Parallelism, SearchConfig, SearchOutcome};
+use hinn::core::{
+    CandidateSource, DatasetHandle, InteractiveSearch, Parallelism, SearchConfig, SearchOutcome,
+};
 use hinn::obs::TelemetryReport;
 use hinn::par::SERIAL_CUTOFF;
 use hinn::user::{ScriptedUser, UserResponse};
@@ -108,7 +110,7 @@ fn run_plain_with(config: SearchConfig, points: &[Vec<f64>]) -> SearchOutcome {
     let mut user = script();
     InteractiveSearch::new(config)
         .run_with(
-            points,
+            &DatasetHandle::new(points).expect("dataset"),
             &points[0],
             &mut user,
             hinn::core::RunOptions::default(),
@@ -121,7 +123,7 @@ fn run_traced_with(config: SearchConfig, points: &[Vec<f64>]) -> (SearchOutcome,
     let mut user = script();
     let out = InteractiveSearch::new(config)
         .run_with(
-            points,
+            &DatasetHandle::new(points).expect("dataset"),
             &points[0],
             &mut user,
             hinn::core::RunOptions::traced(),

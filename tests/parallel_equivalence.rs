@@ -15,7 +15,7 @@
 //! test would be vacuous).
 
 use hinn::baselines::{knn_indices, knn_indices_with, Metric, VaFile};
-use hinn::core::{InteractiveSearch, Parallelism, SearchConfig, SearchOutcome};
+use hinn::core::{DatasetHandle, InteractiveSearch, Parallelism, SearchConfig, SearchOutcome};
 use hinn::kde::{estimate_grid, estimate_grid_with, Bandwidth2D, GridSpec};
 use hinn::linalg::{covariance_matrix, covariance_matrix_with};
 use hinn::par::SERIAL_CUTOFF;
@@ -128,7 +128,12 @@ fn session(par: Parallelism, points: &[Vec<f64>], user: &mut dyn UserModel) -> S
             .with_parallelism(par)
     };
     InteractiveSearch::new(config)
-        .run_with(points, &points[0], user, hinn::core::RunOptions::default())
+        .run_with(
+            &DatasetHandle::new(points).expect("dataset"),
+            &points[0],
+            user,
+            hinn::core::RunOptions::default(),
+        )
         .expect("interactive session")
         .into_outcome()
 }

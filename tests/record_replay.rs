@@ -6,7 +6,7 @@
 //! cache (the batch-serving topology) yields the same outcome and a
 //! byte-identical re-recorded session file.
 
-use hinn::core::{InteractiveSearch, ProjectionMode, SearchConfig};
+use hinn::core::{DatasetHandle, InteractiveSearch, ProjectionMode, SearchConfig};
 use hinn::data::projected::{generate_projected_clusters_detailed, ProjectedClusterSpec};
 use hinn::user::{session_from_string, session_to_string, HeuristicUser, RecordingUser};
 use rand::rngs::StdRng;
@@ -32,7 +32,7 @@ fn recorded_session_replays_identically() {
     let mut recorder = RecordingUser::new(HeuristicUser::default());
     let live = InteractiveSearch::new(config.clone())
         .run_with(
-            &data.points,
+            &DatasetHandle::new(&data.points).expect("dataset"),
             &query,
             &mut recorder,
             hinn::core::RunOptions::default(),
@@ -47,7 +47,7 @@ fn recorded_session_replays_identically() {
     let mut replay = session_from_string(&text).expect("parse recorded session");
     let replayed = InteractiveSearch::new(config)
         .run_with(
-            &data.points,
+            &DatasetHandle::new(&data.points).expect("dataset"),
             &query,
             &mut replay,
             hinn::core::RunOptions::default(),
@@ -94,7 +94,7 @@ fn replay_against_prewarmed_cache_is_byte_stable() {
     let mut recorder = RecordingUser::new(HeuristicUser::default());
     let live = engine
         .run_with(
-            &data.points,
+            &DatasetHandle::new(&data.points).expect("dataset"),
             &query,
             &mut recorder,
             hinn::core::RunOptions::default(),
@@ -112,7 +112,7 @@ fn replay_against_prewarmed_cache_is_byte_stable() {
     let mut re_recorder = RecordingUser::new(replay);
     let replayed = served
         .run_with(
-            &data.points,
+            &DatasetHandle::new(&data.points).expect("dataset"),
             &query,
             &mut re_recorder,
             hinn::core::RunOptions::default(),

@@ -117,7 +117,8 @@ fn soak_512_interleaved_sessions_through_a_tiny_hot_tier() {
         .with_max_resident(MAX_RESIDENT)
         .with_warm_capacity(TOTAL_SESSIONS)
         .with_max_sessions(WINDOW);
-    let manager = SessionManager::new(config, points).expect("manager");
+    let data = DatasetHandle::new(&points).expect("dataset");
+    let manager = SessionManager::new(config, data).expect("manager");
 
     let mut rng = XorShift(0x5EED_CAFE_F00D);
     let mut live: Vec<Live> = Vec::new();
@@ -254,7 +255,8 @@ fn warm_overflow_loses_sessions_loudly_not_wrongly() {
         .with_max_resident(2)
         .with_warm_capacity(4)
         .with_max_sessions(64);
-    let manager = SessionManager::new(config, points).expect("manager");
+    let data = DatasetHandle::new(&points).expect("dataset");
+    let manager = SessionManager::new(config, data).expect("manager");
 
     // Open 32 sessions up front: 2 stay hot, 4 warm, 26 silently fall off
     // the warm LRU (to be discovered lazily).

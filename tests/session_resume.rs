@@ -8,7 +8,9 @@
 //! makes it checkable because the snapshot carries *all* loop state and
 //! the pending view is a pure function of that state.
 
-use hinn::core::{Parallelism, SearchConfig, SearchOutcome, SessionEngine, SessionSnapshot, Step};
+use hinn::core::{
+    DatasetHandle, Parallelism, SearchConfig, SearchOutcome, SessionEngine, SessionSnapshot, Step,
+};
 use hinn::par::SERIAL_CUTOFF;
 use hinn::user::{HeuristicUser, UserModel};
 
@@ -62,8 +64,8 @@ fn transcript_text(o: &SearchOutcome) -> String {
 }
 
 /// Run a session to completion with no interruption.
-fn uninterrupted(points: &[Vec<f64>], query: &[f64], par: Parallelism) -> SearchOutcome {
-    let (mut engine, mut step) = SessionEngine::start(config(par), points, query).expect("start");
+fn uninterrupted(data: &DatasetHandle, query: &[f64], par: Parallelism) -> SearchOutcome {
+    let (mut engine, mut step) = SessionEngine::start(config(par), data, query).expect("start");
     let mut user = HeuristicUser::default();
     loop {
         match step {
@@ -81,13 +83,13 @@ fn uninterrupted(points: &[Vec<f64>], query: &[f64], par: Parallelism) -> Search
 /// `resume_par` — exercising snapshot/restore at every view and proving
 /// thread budget and cache policy are resume-time free choices.
 fn interrupted_at_every_view(
-    points: &[Vec<f64>],
+    data: &DatasetHandle,
     query: &[f64],
     start_par: Parallelism,
     resume_par: Parallelism,
 ) -> (SearchOutcome, usize) {
     let (mut engine, mut step) =
-        SessionEngine::start(config(start_par), points, query).expect("start");
+        SessionEngine::start(config(start_par), data, query).expect("start");
     let mut user = HeuristicUser::default();
     let mut resumes = 0;
     loop {
@@ -100,7 +102,7 @@ fn interrupted_at_every_view(
                 drop(engine);
                 let snap = SessionSnapshot::from_text(text).expect("parse snapshot");
                 let restored =
-                    SessionEngine::resume(config(resume_par).without_cache(), points, &snap)
+                    SessionEngine::resume(config(resume_par).without_cache(), data, &snap)
                         .expect("resume");
                 engine = restored.0;
                 resumes += 1;
@@ -124,11 +126,12 @@ fn interrupted_at_every_view(
 fn resume_at_every_view_is_byte_identical_across_budgets() {
     let points = cloud(SERIAL_CUTOFF + 42, 6, 0x5EED);
     let query = points[0].clone();
-    let reference = uninterrupted(&points, &query, Parallelism::fixed(1));
+    let data = DatasetHandle::new(&points).expect("dataset");
+    let reference = uninterrupted(&data, &query, Parallelism::fixed(1));
     let want = transcript_text(&reference);
     for (start_t, resume_t) in [(1, 4), (4, 1), (4, 4)] {
         let (outcome, resumes) = interrupted_at_every_view(
-            &points,
+            &data,
             &query,
             Parallelism::fixed(start_t),
             Parallelism::fixed(resume_t),
@@ -155,9 +158,12 @@ fn snapshots_of_identical_sessions_are_identical_text() {
     let points = cloud(SERIAL_CUTOFF + 42, 6, 0x5EED);
     let query = points[0].clone();
     let snap = |threads: usize| {
-        let (mut engine, mut step) =
-            SessionEngine::start(config(Parallelism::fixed(threads)), &points, &query)
-                .expect("start");
+        let (mut engine, mut step) = SessionEngine::start(
+            config(Parallelism::fixed(threads)),
+            &DatasetHandle::new(&points).expect("dataset"),
+            &query,
+        )
+        .expect("start");
         let mut user = HeuristicUser::default();
         // Advance three views in, then serialize.
         for _ in 0..3 {

@@ -3,7 +3,7 @@
 //! parser path.
 
 use hinn::baselines::{knn_classify, Metric};
-use hinn::core::{InteractiveSearch, SearchConfig};
+use hinn::core::{DatasetHandle, InteractiveSearch, SearchConfig};
 use hinn::data::scaling::FeatureScaler;
 use hinn::data::uci::{class_subspace_dataset, ClassSpec};
 use hinn::data::uci_load::parse_ionosphere;
@@ -37,7 +37,7 @@ fn interactive_classification_works_on_uci_like_data() {
         let mut user = HeuristicUser::default();
         let outcome = InteractiveSearch::new(SearchConfig::default().with_support(15))
             .run_with(
-                &ds.points,
+                &DatasetHandle::new(&ds.points).expect("dataset"),
                 &ds.points[q],
                 &mut user,
                 hinn::core::RunOptions::default(),
@@ -87,7 +87,7 @@ fn scaling_preserves_search_structure() {
         };
         InteractiveSearch::new(config)
             .run_with(
-                &data.points,
+                &DatasetHandle::new(&data.points).expect("dataset"),
                 query,
                 &mut user,
                 hinn::core::RunOptions::default(),
@@ -162,7 +162,7 @@ fn real_ionosphere_format_feeds_the_search() {
     };
     let outcome = InteractiveSearch::new(config)
         .run_with(
-            &ds.points,
+            &DatasetHandle::new(&ds.points).expect("dataset"),
             &ds.points[q].clone(),
             &mut user,
             hinn::core::RunOptions::default(),
